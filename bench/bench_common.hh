@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Shared helpers for the figure-reproduction benchmarks: wall-clock
+ * timing and paper-style table/breakdown printing.
+ *
+ * Absolute numbers will not match the paper (the substrate is an
+ * emulator, not the authors' NVDIMM testbed); the printed shapes —
+ * who wins, by roughly what factor, where curves bend — are the
+ * reproduction target. See EXPERIMENTS.md.
+ */
+
+#ifndef ESPRESSO_BENCH_BENCH_COMMON_HH
+#define ESPRESSO_BENCH_BENCH_COMMON_HH
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "util/phase_timer.hh"
+
+namespace espresso {
+namespace bench {
+
+inline std::uint64_t
+nowNs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+/** Time a callable, returning nanoseconds. */
+template <typename Fn>
+std::uint64_t
+timeNs(Fn &&fn)
+{
+    std::uint64_t t0 = nowNs();
+    fn();
+    return nowNs() - t0;
+}
+
+inline void
+printHeader(const std::string &figure, const std::string &caption)
+{
+    std::printf("\n=== %s ===\n%s\n\n", figure.c_str(), caption.c_str());
+}
+
+/**
+ * Print a normalized breakdown like the paper's stacked bars:
+ * phases as percentages of @p total_ns, with the remainder reported
+ * as "Other".
+ */
+inline void
+printBreakdown(const std::string &label, const PhaseTimer &timer,
+               const std::vector<std::string> &phases,
+               std::uint64_t total_ns)
+{
+    std::printf("%-24s total %8.2f ms\n", label.c_str(),
+                total_ns / 1e6);
+    std::uint64_t accounted = 0;
+    for (const std::string &phase : phases) {
+        std::uint64_t ns = timer.total(phase);
+        accounted += ns;
+        std::printf("    %-20s %6.1f%%  (%8.2f ms)\n", phase.c_str(),
+                    100.0 * ns / total_ns, ns / 1e6);
+    }
+    std::uint64_t other = total_ns > accounted ? total_ns - accounted : 0;
+    std::printf("    %-20s %6.1f%%  (%8.2f ms)\n", "other",
+                100.0 * other / total_ns, other / 1e6);
+}
+
+} // namespace bench
+} // namespace espresso
+
+#endif // ESPRESSO_BENCH_BENCH_COMMON_HH

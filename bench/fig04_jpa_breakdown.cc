@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Figure 4: breakdown of the commit phase of DataNucleus (the JPA
+ * provider) on NVM.
+ *
+ * Paper shape: user-oriented database work is only ~24% of the total;
+ * the object-to-SQL transformation takes ~41.9%; the rest is other
+ * provider overhead — the motivation for removing the SQL round-trip
+ * with PJO.
+ */
+
+#include "bench/bench_common.hh"
+#include "orm/jpa_provider.hh"
+#include "orm/jpab_model.hh"
+
+using namespace espresso;
+using namespace espresso::orm;
+
+int
+main()
+{
+    bench::printHeader(
+        "Figure 4",
+        "DataNucleus(JPA) commit-phase breakdown on the BasicTest "
+        "workload.\nPaper shape: Database ~24.0%, Transformation "
+        "~41.9%, Other the rest.");
+
+    db::DatabaseConfig cfg;
+    cfg.rowRegionSize = 32u << 20;
+    cfg.rowsPerTable = 32768;
+    NvmConfig nvm;
+    nvm.flushLatencyNs = 100;
+    nvm.fenceLatencyNs = 100;
+    db::Database database(cfg, nvm);
+
+    Enhancer enhancer;
+    registerJpabModel(enhancer, JpabModel::kBasic);
+    enhancer.createTables(database);
+
+    JpaProvider provider;
+    EntityManager em(&database, &provider, &enhancer);
+    PhaseTimer timer;
+    em.setPhaseTimer(&timer);
+
+    constexpr int kN = 20000;
+    std::uint64_t create_ns = bench::timeNs(
+        [&] { runJpabOp(em, JpabModel::kBasic, JpabOp::kCreate, kN); });
+    std::uint64_t retrieve_ns = bench::timeNs(
+        [&] { runJpabOp(em, JpabModel::kBasic, JpabOp::kRetrieve, kN); });
+
+    bench::printBreakdown("JPA create+retrieve", timer,
+                          {"database", "transformation"},
+                          create_ns + retrieve_ns);
+    return 0;
+}

@@ -1,0 +1,299 @@
+/**
+ * @file
+ * Figure 15: normalized speedup of the PJH collections over PCJ for
+ * create / set / get on ArrayList, Generic (reference array), Tuple,
+ * Primitive (boxed long) and Hashmap.
+ *
+ * Paper shape (log scale): creates and sets win by one to two orders
+ * of magnitude (best case 256.3x, tuple set); gets win by at least
+ * 6.0x. Both sides run with ACID semantics — PCJ natively, PJH via
+ * its simple undo log (§6.2).
+ */
+
+#include "bench/bench_common.hh"
+#include "collections/parray_list.hh"
+#include "collections/pbox.hh"
+#include "collections/pgeneric_array.hh"
+#include "collections/phashmap.hh"
+#include "collections/ptuple.hh"
+#include "core/espresso.hh"
+#include "pcj/pcj_collections.hh"
+
+using namespace espresso;
+
+namespace {
+
+constexpr int kOps = 10000;
+
+struct Cell
+{
+    const char *type;
+    const char *op;
+    std::uint64_t pjhNs;
+    std::uint64_t pcjNs;
+};
+
+NvmConfig
+nvmModel()
+{
+    NvmConfig nvm;
+    nvm.flushLatencyNs = 100;
+    nvm.fenceLatencyNs = 100;
+    return nvm;
+}
+
+pcj::PcjConfig
+pcjModel()
+{
+    pcj::PcjConfig cfg;
+    cfg.dataSize = 192u << 20;
+    cfg.registryCapacity = 1u << 21;
+    cfg.nativeCallNs = 12000;
+    cfg.nativeReadNs = 40;
+    return cfg;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::printHeader(
+        "Figure 15",
+        "Normalized speedup of PJH collections over PCJ "
+        "(create/set/get,\n10k ops per cell, both sides ACID). Paper "
+        "shape: create/set 10-256x, get >= 6x.");
+
+    std::vector<Cell> cells;
+    volatile std::int64_t sink = 0;
+
+    // --- Espresso/PJH side --------------------------------------------
+    EspressoConfig ecfg;
+    ecfg.nvm = nvmModel();
+    EspressoRuntime ert(ecfg);
+    PjhConfig pjh_cfg;
+    pjh_cfg.dataSize = 192u << 20;
+    PjhHeap *heap = ert.heaps().createHeap("fig15", pjh_cfg);
+
+    // --- PCJ side ------------------------------------------------------
+    pcj::PcjRuntime prt(pcjModel(), nvmModel());
+
+    auto add = [&](const char *type, const char *op, std::uint64_t pjh,
+                   std::uint64_t pcj) {
+        cells.push_back({type, op, pjh, pcj});
+    };
+
+    // Primitive (boxed long).
+    {
+        std::vector<PBox> pjh_boxes;
+        pjh_boxes.reserve(kOps);
+        std::uint64_t c1 = bench::timeNs([&] {
+            for (int i = 0; i < kOps; ++i)
+                pjh_boxes.push_back(PBox::create(heap, i));
+        });
+        std::vector<pcj::PersistentLong> pcj_boxes;
+        pcj_boxes.reserve(kOps);
+        std::uint64_t c2 = bench::timeNs([&] {
+            for (int i = 0; i < kOps; ++i)
+                pcj_boxes.push_back(
+                    pcj::PersistentLong::create(&prt, i));
+        });
+        add("Primitive", "Create", c1, c2);
+
+        std::uint64_t s1 = bench::timeNs([&] {
+            for (int i = 0; i < kOps; ++i)
+                pjh_boxes[i].set(i * 2);
+        });
+        std::uint64_t s2 = bench::timeNs([&] {
+            for (int i = 0; i < kOps; ++i)
+                pcj_boxes[i].set(i * 2);
+        });
+        add("Primitive", "Set", s1, s2);
+
+        std::uint64_t g1 = bench::timeNs([&] {
+            for (int i = 0; i < kOps; ++i)
+                sink += pjh_boxes[i].get();
+        });
+        std::uint64_t g2 = bench::timeNs([&] {
+            for (int i = 0; i < kOps; ++i)
+                sink += pcj_boxes[i].longValue();
+        });
+        add("Primitive", "Get", g1, g2);
+    }
+
+    // Tuple.
+    {
+        PBox pjh_val = PBox::create(heap, 7);
+        pcj::PersistentLong pcj_val =
+            pcj::PersistentLong::create(&prt, 7);
+
+        std::vector<PTuple> pjh_tuples;
+        pjh_tuples.reserve(kOps);
+        std::uint64_t c1 = bench::timeNs([&] {
+            for (int i = 0; i < kOps; ++i)
+                pjh_tuples.push_back(PTuple::create(heap));
+        });
+        std::vector<pcj::PersistentTuple> pcj_tuples;
+        pcj_tuples.reserve(kOps);
+        std::uint64_t c2 = bench::timeNs([&] {
+            for (int i = 0; i < kOps; ++i)
+                pcj_tuples.push_back(pcj::PersistentTuple::create(&prt));
+        });
+        add("Tuple", "Create", c1, c2);
+
+        std::uint64_t s1 = bench::timeNs([&] {
+            for (int i = 0; i < kOps; ++i)
+                pjh_tuples[i].set(i % 3, pjh_val.oop());
+        });
+        std::uint64_t s2 = bench::timeNs([&] {
+            for (int i = 0; i < kOps; ++i)
+                pcj_tuples[i].set(i % 3, pcj_val.ref());
+        });
+        add("Tuple", "Set", s1, s2);
+
+        std::uint64_t g1 = bench::timeNs([&] {
+            for (int i = 0; i < kOps; ++i)
+                sink += pjh_tuples[i].get(i % 3).addr();
+        });
+        std::uint64_t g2 = bench::timeNs([&] {
+            for (int i = 0; i < kOps; ++i)
+                sink += static_cast<std::int64_t>(
+                    pcj_tuples[i].get(i % 3));
+        });
+        add("Tuple", "Get", g1, g2);
+    }
+
+    // Generic arrays (64 elements each, one per 64 ops).
+    {
+        PBox pjh_val = PBox::create(heap, 7);
+        pcj::PersistentLong pcj_val =
+            pcj::PersistentLong::create(&prt, 7);
+        constexpr int kArrays = kOps / 64;
+
+        std::vector<PGenericArray> pjh_arrays;
+        std::uint64_t c1 = bench::timeNs([&] {
+            for (int i = 0; i < kArrays; ++i)
+                pjh_arrays.push_back(PGenericArray::create(heap, 64));
+        });
+        std::vector<pcj::PersistentGenericArray> pcj_arrays;
+        std::uint64_t c2 = bench::timeNs([&] {
+            for (int i = 0; i < kArrays; ++i)
+                pcj_arrays.push_back(
+                    pcj::PersistentGenericArray::create(&prt, 64));
+        });
+        add("Generic", "Create", c1 * 64, c2 * 64); // per-element scale
+
+        std::uint64_t s1 = bench::timeNs([&] {
+            for (int i = 0; i < kOps; ++i)
+                pjh_arrays[i % kArrays].set(i % 64, pjh_val.oop());
+        });
+        std::uint64_t s2 = bench::timeNs([&] {
+            for (int i = 0; i < kOps; ++i)
+                pcj_arrays[i % kArrays].set(i % 64, pcj_val.ref());
+        });
+        add("Generic", "Set", s1, s2);
+
+        std::uint64_t g1 = bench::timeNs([&] {
+            for (int i = 0; i < kOps; ++i)
+                sink += pjh_arrays[i % kArrays].get(i % 64).addr();
+        });
+        std::uint64_t g2 = bench::timeNs([&] {
+            for (int i = 0; i < kOps; ++i)
+                sink += static_cast<std::int64_t>(
+                    pcj_arrays[i % kArrays].get(i % 64));
+        });
+        add("Generic", "Get", g1, g2);
+    }
+
+    // ArrayList (create = list creation + adds).
+    {
+        PBox pjh_val = PBox::create(heap, 7);
+        pcj::PersistentLong pcj_val =
+            pcj::PersistentLong::create(&prt, 7);
+
+        PArrayList pjh_list = PArrayList::create(heap, 64);
+        std::uint64_t c1 = bench::timeNs([&] {
+            for (int i = 0; i < kOps; ++i)
+                pjh_list.add(pjh_val.oop());
+        });
+        pcj::PersistentArrayList pcj_list =
+            pcj::PersistentArrayList::create(&prt, 64);
+        std::uint64_t c2 = bench::timeNs([&] {
+            for (int i = 0; i < kOps; ++i)
+                pcj_list.add(pcj_val.ref());
+        });
+        add("ArrayList", "Create", c1, c2);
+
+        std::uint64_t s1 = bench::timeNs([&] {
+            for (int i = 0; i < kOps; ++i)
+                pjh_list.set(i, pjh_val.oop());
+        });
+        std::uint64_t s2 = bench::timeNs([&] {
+            for (int i = 0; i < kOps; ++i)
+                pcj_list.set(i, pcj_val.ref());
+        });
+        add("ArrayList", "Set", s1, s2);
+
+        std::uint64_t g1 = bench::timeNs([&] {
+            for (int i = 0; i < kOps; ++i)
+                sink += pjh_list.get(i).addr();
+        });
+        std::uint64_t g2 = bench::timeNs([&] {
+            for (int i = 0; i < kOps; ++i)
+                sink += static_cast<std::int64_t>(pcj_list.get(i));
+        });
+        add("ArrayList", "Get", g1, g2);
+    }
+
+    // Hashmap.
+    {
+        PBox pjh_val = PBox::create(heap, 7);
+        pcj::PersistentLong pcj_val =
+            pcj::PersistentLong::create(&prt, 7);
+
+        PHashmap pjh_map = PHashmap::create(heap, 4096);
+        std::uint64_t c1 = bench::timeNs([&] {
+            for (int i = 0; i < kOps; ++i)
+                pjh_map.put(i, pjh_val.oop());
+        });
+        pcj::PersistentHashmap pcj_map =
+            pcj::PersistentHashmap::create(&prt, 4096);
+        std::uint64_t c2 = bench::timeNs([&] {
+            for (int i = 0; i < kOps; ++i)
+                pcj_map.put(i, pcj_val.ref());
+        });
+        add("Hashmap", "Create", c1, c2);
+
+        std::uint64_t s1 = bench::timeNs([&] {
+            for (int i = 0; i < kOps; ++i)
+                pjh_map.put(i, pjh_val.oop()); // replace
+        });
+        std::uint64_t s2 = bench::timeNs([&] {
+            for (int i = 0; i < kOps; ++i)
+                pcj_map.put(i, pcj_val.ref());
+        });
+        add("Hashmap", "Set", s1, s2);
+
+        std::uint64_t g1 = bench::timeNs([&] {
+            for (int i = 0; i < kOps; ++i)
+                sink += pjh_map.get(i).addr();
+        });
+        std::uint64_t g2 = bench::timeNs([&] {
+            for (int i = 0; i < kOps; ++i)
+                sink += static_cast<std::int64_t>(pcj_map.get(i));
+        });
+        add("Hashmap", "Get", g1, g2);
+    }
+
+    std::printf("%-10s %-7s %12s %12s %10s\n", "Type", "Op",
+                "PJH ns/op", "PCJ ns/op", "Speedup");
+    for (const Cell &c : cells) {
+        std::printf("%-10s %-7s %12.1f %12.1f %9.1fx\n", c.type, c.op,
+                    static_cast<double>(c.pjhNs) / kOps,
+                    static_cast<double>(c.pcjNs) / kOps,
+                    static_cast<double>(c.pcjNs) /
+                        static_cast<double>(c.pjhNs));
+    }
+    (void)sink;
+    return 0;
+}

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Figure 16 (a-d): JPAB throughput, H2-JPA vs H2-PJO, for the
+ * Retrieve / Update / Delete / Create operations on the BasicTest,
+ * ExtTest, CollectionTest and NodeTest models.
+ *
+ * Paper shape: H2-PJO beats H2-JPA in every cell, by up to 3.24x.
+ */
+
+#include <memory>
+
+#include "bench/bench_common.hh"
+#include "orm/jpa_provider.hh"
+#include "orm/jpab_model.hh"
+#include "orm/pjo_provider.hh"
+
+using namespace espresso;
+using namespace espresso::orm;
+
+namespace {
+
+constexpr int kEntities = 8000;
+
+struct Rig
+{
+    explicit Rig(bool pjo, JpabModel model)
+    {
+        db::DatabaseConfig cfg;
+        cfg.rowRegionSize = 96u << 20;
+        cfg.rowsPerTable = 65536;
+        NvmConfig nvm;
+        nvm.flushLatencyNs = 100;
+        nvm.fenceLatencyNs = 100;
+        database = std::make_unique<db::Database>(cfg, nvm);
+        if (pjo)
+            provider = std::make_unique<PjoProvider>();
+        else
+            provider = std::make_unique<JpaProvider>();
+        registerJpabModel(enhancer, model);
+        enhancer.createTables(*database);
+        em = std::make_unique<EntityManager>(database.get(),
+                                             provider.get(), &enhancer);
+    }
+
+    std::unique_ptr<db::Database> database;
+    std::unique_ptr<Provider> provider;
+    Enhancer enhancer;
+    std::unique_ptr<EntityManager> em;
+};
+
+} // namespace
+
+int
+main()
+{
+    bench::printHeader(
+        "Figure 16",
+        "JPAB throughput (ops/s), H2-JPA vs H2-PJO, per model and "
+        "operation.\nPaper shape: PJO wins everywhere, up to ~3.24x.");
+
+    for (JpabModel model :
+         {JpabModel::kBasic, JpabModel::kExt, JpabModel::kCollection,
+          JpabModel::kNode}) {
+        std::printf("(%s)\n", jpabModelName(model));
+        std::printf("  %-9s %14s %14s %9s\n", "Op", "H2-JPA ops/s",
+                    "H2-PJO ops/s", "Speedup");
+
+        // Run ops in the paper's x-axis order, per provider; each
+        // provider gets its own fresh database.
+        for (JpabOp op : {JpabOp::kRetrieve, JpabOp::kUpdate,
+                          JpabOp::kDelete, JpabOp::kCreate}) {
+            double ops[2] = {0, 0};
+            for (int pjo = 0; pjo < 2; ++pjo) {
+                Rig rig(pjo, model);
+                // All ops need a populated table; Create is measured
+                // on the empty one.
+                if (op != JpabOp::kCreate) {
+                    runJpabOp(*rig.em, model, JpabOp::kCreate,
+                              kEntities);
+                }
+                JpabResult r = runJpabOp(*rig.em, model, op, kEntities);
+                ops[pjo] = r.opsPerSec();
+            }
+            std::printf("  %-9s %14.0f %14.0f %8.2fx\n", jpabOpName(op),
+                        ops[0], ops[1], ops[1] / ops[0]);
+        }
+        std::printf("\n");
+    }
+    return 0;
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Figure 17: breakdown analysis for BasicTest — time in H2 execution
+ * vs SQL transformation vs other, for each CRUD operation, under
+ * H2-JPA and H2-PJO.
+ *
+ * Paper shape: PJO nearly eliminates the transformation slice and
+ * also shortens execution (DBPersistable ingress instead of JDBC).
+ */
+
+#include <memory>
+
+#include "bench/bench_common.hh"
+#include "orm/jpa_provider.hh"
+#include "orm/jpab_model.hh"
+#include "orm/pjo_provider.hh"
+
+using namespace espresso;
+using namespace espresso::orm;
+
+namespace {
+constexpr int kEntities = 12000;
+} // namespace
+
+int
+main()
+{
+    bench::printHeader(
+        "Figure 17",
+        "BasicTest per-operation breakdown (Execution / Transformation "
+        "/ Other),\nH2-JPA vs H2-PJO. Paper shape: the transformation "
+        "slice vanishes under PJO.");
+
+    for (JpabOp op : {JpabOp::kRetrieve, JpabOp::kUpdate,
+                      JpabOp::kDelete, JpabOp::kCreate}) {
+        for (int pjo = 0; pjo < 2; ++pjo) {
+            db::DatabaseConfig cfg;
+            cfg.rowRegionSize = 64u << 20;
+            cfg.rowsPerTable = 32768;
+            NvmConfig nvm;
+            nvm.flushLatencyNs = 100;
+            nvm.fenceLatencyNs = 100;
+            db::Database database(cfg, nvm);
+            std::unique_ptr<Provider> provider;
+            if (pjo)
+                provider = std::make_unique<PjoProvider>();
+            else
+                provider = std::make_unique<JpaProvider>();
+            Enhancer enhancer;
+            registerJpabModel(enhancer, JpabModel::kBasic);
+            enhancer.createTables(database);
+            EntityManager em(&database, provider.get(), &enhancer);
+
+            if (op != JpabOp::kCreate)
+                runJpabOp(em, JpabModel::kBasic, JpabOp::kCreate,
+                          kEntities);
+
+            PhaseTimer timer;
+            em.setPhaseTimer(&timer);
+            std::uint64_t total = bench::timeNs([&] {
+                runJpabOp(em, JpabModel::kBasic, op, kEntities);
+            });
+
+            char label[64];
+            std::snprintf(label, sizeof(label), "%s %s", jpabOpName(op),
+                          provider->name());
+            bench::printBreakdown(label, timer,
+                                  {"database", "transformation"},
+                                  total);
+        }
+        std::printf("\n");
+    }
+    return 0;
+}

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * §6.4 "The cost of recoverable GC": pause time of a forced
+ * persistent-space collection with crash-consistency flushes enabled
+ * vs the same algorithm with all clflush/sfence removed.
+ *
+ * Paper: the flushes add ~17.8% to the pause — an acceptable price
+ * for a heap that survives mid-collection crashes. The workload
+ * allocates a large object population and drops some references
+ * before collecting, like the paper's 1 GB microbenchmark (scaled to
+ * emulator-friendly size).
+ */
+
+#include <algorithm>
+
+#include "bench/bench_common.hh"
+#include "core/espresso.hh"
+
+using namespace espresso;
+
+namespace {
+
+/** Build the workload heap and run one forced collection. */
+std::uint64_t
+runOnce(bool flushes_enabled, std::uint64_t *flushed_lines)
+{
+    EspressoConfig cfg;
+    cfg.nvm.persistenceEnabled = flushes_enabled;
+    cfg.nvm.flushLatencyNs = 10;
+    cfg.nvm.fenceLatencyNs = 10;
+    EspressoRuntime rt(cfg);
+    rt.define({"Blob", "",
+               {{"next", FieldType::kRef}, {"pad1", FieldType::kI64},
+                {"pad2", FieldType::kI64}, {"pad3", FieldType::kI64},
+                {"pad4", FieldType::kI64}, {"pad5", FieldType::kI64}},
+              false});
+
+    PjhConfig pjh;
+    pjh.dataSize = 256u << 20;
+    PjhHeap *heap = rt.heaps().createHeap("gcbench", pjh);
+
+    // ~192 MiB of 64-byte objects; every 4th chain is kept.
+    constexpr int kChains = 512;
+    constexpr int kPerChain = 6000;
+    std::uint32_t next_off = rt.fieldOffset("Blob", "next");
+    for (int c = 0; c < kChains; ++c) {
+        Oop head;
+        for (int i = 0; i < kPerChain; ++i) {
+            Oop o = rt.pnewInstance(heap, "Blob");
+            o.setRef(next_off, head);
+            head = o;
+        }
+        if (c % 4 == 0)
+            heap->setRoot("chain" + std::to_string(c), head);
+        // Other chains' references are abandoned (garbage).
+    }
+
+    heap->device().resetStats();
+    std::uint64_t pause =
+        bench::timeNs([&] { heap->collect(&rt.heap()); });
+    *flushed_lines = heap->device().stats().linesFlushed;
+    return pause;
+}
+
+} // namespace
+
+int
+main()
+{
+    bench::printHeader(
+        "Section 6.4 (recoverable GC cost)",
+        "Forced persistent-space GC pause, crash-consistency flushes "
+        "on vs off.\nPaper shape: flushes add ~17.8% to the pause.");
+
+    std::uint64_t lines_on = 0, lines_off = 0;
+    std::uint64_t with_flush = runOnce(true, &lines_on);
+    std::uint64_t without_flush = runOnce(false, &lines_off);
+
+    std::printf("pause with flushes:    %8.2f ms (%llu lines flushed)\n",
+                with_flush / 1e6,
+                static_cast<unsigned long long>(lines_on));
+    std::printf("pause without flushes: %8.2f ms\n", without_flush / 1e6);
+    std::printf("crash-consistency overhead: %+.1f%%\n",
+                100.0 * (static_cast<double>(with_flush) -
+                         static_cast<double>(without_flush)) /
+                    static_cast<double>(without_flush));
+    return 0;
+}

@@ -1,0 +1,103 @@
+#include "collections/parray_list.hh"
+
+#include "collections/pgeneric_array.hh"
+#include "util/logging.hh"
+
+namespace espresso {
+
+namespace {
+// Field slots: size, then the data-array reference.
+constexpr std::uint32_t kSizeOff = ObjectLayout::kHeaderSize;
+constexpr std::uint32_t kDataOff = ObjectLayout::kHeaderSize + 8;
+
+KlassDef
+listDef()
+{
+    return KlassDef{PArrayList::kKlassName,
+                    "",
+                    {{"size", FieldType::kI64},
+                     {"data", FieldType::kRef}},
+                    false};
+}
+
+} // namespace
+
+PArrayList
+PArrayList::create(PjhHeap *heap, std::uint64_t initial_capacity)
+{
+    if (initial_capacity == 0)
+        initial_capacity = 1;
+    Klass *k = ensureKlass(heap, listDef());
+    Oop obj = heap->allocInstance(k);
+    Oop arr = PGenericArray::create(heap, initial_capacity).oop();
+    obj.setRef(kDataOff, arr);
+    heap->flushField(obj, kDataOff);
+    return PArrayList(heap, obj);
+}
+
+Oop
+PArrayList::data() const
+{
+    return Oop(obj_.getRef(kDataOff));
+}
+
+std::uint64_t
+PArrayList::size() const
+{
+    return static_cast<std::uint64_t>(obj_.getI64(kSizeOff));
+}
+
+std::uint64_t
+PArrayList::capacity() const
+{
+    return data().arrayLength();
+}
+
+Oop
+PArrayList::get(std::uint64_t index) const
+{
+    if (index >= size())
+        panic("PArrayList::get: index out of range");
+    return Oop(data().getRefElem(index));
+}
+
+void
+PArrayList::set(std::uint64_t index, Oop value)
+{
+    if (index >= size())
+        panic("PArrayList::set: index out of range");
+    PjhTransaction tx(heap_);
+    tx.write(data().elemAddr(index, kWordSize), value.addr());
+    tx.commit();
+}
+
+void
+PArrayList::grow()
+{
+    // The new array is unreachable until the data pointer flips, so
+    // populating it needs no undo records; the flip itself is inside
+    // the caller's transaction.
+    Oop old = data();
+    std::uint64_t n = old.arrayLength();
+    Oop bigger = PGenericArray::create(heap_, n * 2).oop();
+    for (std::uint64_t i = 0; i < n; ++i)
+        bigger.setRefElem(i, old.getRefElem(i));
+    heap_->flushObject(bigger);
+    obj_.setRef(kDataOff, bigger);
+}
+
+void
+PArrayList::add(Oop value)
+{
+    PjhTransaction tx(heap_);
+    std::uint64_t n = size();
+    if (n == capacity()) {
+        heap_->undoLog().record(obj_.addr() + kDataOff, kWordSize);
+        grow();
+    }
+    tx.write(data().elemAddr(n, kWordSize), value.addr());
+    tx.write(obj_.addr() + kSizeOff, n + 1);
+    tx.commit();
+}
+
+} // namespace espresso

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * PArrayList — a growable persistent list of references (the
+ * PersistentArrayList analog) with ACID add/set and amortized
+ * doubling growth.
+ */
+
+#ifndef ESPRESSO_COLLECTIONS_PARRAY_LIST_HH
+#define ESPRESSO_COLLECTIONS_PARRAY_LIST_HH
+
+#include "collections/pcollection.hh"
+
+namespace espresso {
+
+/** A persistent ArrayList<Object>. */
+class PArrayList : public PCollectionBase
+{
+  public:
+    static constexpr const char *kKlassName = "espresso.PArrayList";
+
+    PArrayList() = default;
+
+    static PArrayList create(PjhHeap *heap,
+                             std::uint64_t initial_capacity = 8);
+
+    static PArrayList
+    at(PjhHeap *heap, Oop obj)
+    {
+        return PArrayList(heap, obj);
+    }
+
+    std::uint64_t size() const;
+    std::uint64_t capacity() const;
+
+    Oop get(std::uint64_t index) const;
+
+    /** Transactionally replace element @p index (< size). */
+    void set(std::uint64_t index, Oop value);
+
+    /** Transactionally append, growing the backing array on demand. */
+    void add(Oop value);
+
+  private:
+    PArrayList(PjhHeap *heap, Oop obj) : PCollectionBase(heap, obj) {}
+
+    Oop data() const;
+    void grow();
+};
+
+} // namespace espresso
+
+#endif // ESPRESSO_COLLECTIONS_PARRAY_LIST_HH

@@ -1,0 +1,47 @@
+#include "collections/pbox.hh"
+
+namespace espresso {
+
+namespace {
+/** First (only) declared field: directly after the header. */
+constexpr std::uint32_t kValueOff = ObjectLayout::kHeaderSize;
+} // namespace
+
+Klass *
+PCollectionBase::ensureKlass(PjhHeap *heap, const KlassDef &def)
+{
+    KlassRegistry &reg = heap->registry();
+    if (!reg.find(def.name))
+        reg.define(def);
+    return reg.resolve(def.name, MemKind::kPersistent);
+}
+
+PBox
+PBox::create(PjhHeap *heap, std::int64_t value)
+{
+    Klass *k = ensureKlass(
+        heap, {kKlassName, "", {{"value", FieldType::kI64}}, false});
+    // Allocation itself is crash-consistent; the fresh object is
+    // unreachable until the caller links it, so initializing the
+    // value needs only a flush, not an undo record.
+    Oop obj = heap->allocInstance(k);
+    obj.setI64(kValueOff, value);
+    heap->flushField(obj, kValueOff);
+    return PBox(heap, obj);
+}
+
+std::int64_t
+PBox::get() const
+{
+    return obj_.getI64(kValueOff);
+}
+
+void
+PBox::set(std::int64_t value)
+{
+    PjhTransaction tx(heap_);
+    tx.write(obj_.addr() + kValueOff, static_cast<Word>(value));
+    tx.commit();
+}
+
+} // namespace espresso

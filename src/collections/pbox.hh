@@ -1,0 +1,41 @@
+/**
+ * @file
+ * PBox — the PersistentLong/PersistentInteger analog: a single boxed
+ * 64-bit value in the persistent heap with ACID create/set/get.
+ */
+
+#ifndef ESPRESSO_COLLECTIONS_PBOX_HH
+#define ESPRESSO_COLLECTIONS_PBOX_HH
+
+#include "collections/pcollection.hh"
+
+namespace espresso {
+
+/** A persistent boxed long. */
+class PBox : public PCollectionBase
+{
+  public:
+    static constexpr const char *kKlassName = "espresso.PBox";
+
+    PBox() = default;
+
+    /** Allocate and durably initialize a box (ACID). */
+    static PBox create(PjhHeap *heap, std::int64_t value);
+
+    /** Adopt an existing box object. */
+    static PBox at(PjhHeap *heap, Oop obj) { return PBox(heap, obj); }
+
+    std::int64_t get() const;
+
+    /** Transactionally update the value. */
+    void set(std::int64_t value);
+
+  private:
+    PBox(PjhHeap *heap, Oop obj) : PCollectionBase(heap, obj) {}
+
+    static std::uint32_t valueOffset(PjhHeap *heap);
+};
+
+} // namespace espresso
+
+#endif // ESPRESSO_COLLECTIONS_PBOX_HH

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Shared plumbing for the Espresso persistent collections.
+ *
+ * These are the PJH-side data types used in the paper's §6.2
+ * microbenchmark: the same structures PCJ provides, built instead as
+ * ordinary managed objects in the persistent heap, with ACID
+ * semantics supplied by the heap's simple undo log. Unlike PCJ, no
+ * special supertype is required — the types here are plain classes,
+ * and user classes can reference them freely.
+ */
+
+#ifndef ESPRESSO_COLLECTIONS_PCOLLECTION_HH
+#define ESPRESSO_COLLECTIONS_PCOLLECTION_HH
+
+#include <cstdint>
+
+#include "pjh/pjh_heap.hh"
+#include "runtime/klass_registry.hh"
+
+namespace espresso {
+
+/** RAII ACID transaction over a PJH's undo log. */
+class PjhTransaction
+{
+  public:
+    explicit PjhTransaction(PjhHeap *heap) : heap_(heap)
+    {
+        heap_->undoLog().begin();
+    }
+
+    ~PjhTransaction()
+    {
+        if (!done_)
+            heap_->undoLog().abort();
+    }
+
+    PjhTransaction(const PjhTransaction &) = delete;
+    PjhTransaction &operator=(const PjhTransaction &) = delete;
+
+    /** Log-and-overwrite one 8-byte slot. */
+    void
+    write(Addr slot, Word value)
+    {
+        heap_->undoLog().record(slot, kWordSize);
+        storeWord(slot, value);
+    }
+
+    void
+    commit()
+    {
+        heap_->undoLog().commit();
+        done_ = true;
+    }
+
+    void
+    abort()
+    {
+        heap_->undoLog().abort();
+        done_ = true;
+    }
+
+  private:
+    PjhHeap *heap_;
+    bool done_ = false;
+};
+
+/** Base for collection facades: a heap plus a backing object. */
+class PCollectionBase
+{
+  public:
+    Oop oop() const { return obj_; }
+    PjhHeap *heap() const { return heap_; }
+    bool isNull() const { return obj_.isNull(); }
+
+  protected:
+    PCollectionBase() = default;
+    PCollectionBase(PjhHeap *heap, Oop obj) : heap_(heap), obj_(obj) {}
+
+    /** Resolve (defining on first use) the persistent Klass @p def. */
+    static Klass *ensureKlass(PjhHeap *heap, const KlassDef &def);
+
+    PjhHeap *heap_ = nullptr;
+    Oop obj_;
+};
+
+} // namespace espresso
+
+#endif // ESPRESSO_COLLECTIONS_PCOLLECTION_HH

@@ -1,0 +1,41 @@
+#include "collections/pgeneric_array.hh"
+
+#include "util/logging.hh"
+
+namespace espresso {
+
+PGenericArray
+PGenericArray::create(PjhHeap *heap, std::uint64_t length)
+{
+    KlassRegistry &reg = heap->registry();
+    if (!reg.find(kElemKlassName))
+        reg.define(KlassDef{kElemKlassName, "", {}, false});
+    Klass *array_k = reg.arrayOfRefs(reg.find(kElemKlassName),
+                                     MemKind::kPersistent);
+    return PGenericArray(heap, heap->allocArray(array_k, length));
+}
+
+void
+PGenericArray::checkBounds(std::uint64_t index) const
+{
+    if (index >= obj_.arrayLength())
+        panic("PGenericArray: index out of range");
+}
+
+Oop
+PGenericArray::get(std::uint64_t index) const
+{
+    checkBounds(index);
+    return Oop(obj_.getRefElem(index));
+}
+
+void
+PGenericArray::set(std::uint64_t index, Oop value)
+{
+    checkBounds(index);
+    PjhTransaction tx(heap_);
+    tx.write(obj_.elemAddr(index, kWordSize), value.addr());
+    tx.commit();
+}
+
+} // namespace espresso

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * PGenericArray — a fixed-length persistent array of references
+ * (the PersistentGenericArray analog) with ACID element stores.
+ */
+
+#ifndef ESPRESSO_COLLECTIONS_PGENERIC_ARRAY_HH
+#define ESPRESSO_COLLECTIONS_PGENERIC_ARRAY_HH
+
+#include "collections/pcollection.hh"
+
+namespace espresso {
+
+/** A persistent Object[] of fixed length. */
+class PGenericArray : public PCollectionBase
+{
+  public:
+    /** Nominal element class for untyped reference arrays. */
+    static constexpr const char *kElemKlassName = "espresso.Object";
+
+    PGenericArray() = default;
+
+    static PGenericArray create(PjhHeap *heap, std::uint64_t length);
+
+    static PGenericArray
+    at(PjhHeap *heap, Oop obj)
+    {
+        return PGenericArray(heap, obj);
+    }
+
+    std::uint64_t length() const { return obj_.arrayLength(); }
+
+    Oop get(std::uint64_t index) const;
+
+    /** Transactionally replace element @p index. */
+    void set(std::uint64_t index, Oop value);
+
+  private:
+    PGenericArray(PjhHeap *heap, Oop obj) : PCollectionBase(heap, obj) {}
+
+    void checkBounds(std::uint64_t index) const;
+};
+
+} // namespace espresso
+
+#endif // ESPRESSO_COLLECTIONS_PGENERIC_ARRAY_HH

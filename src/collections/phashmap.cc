@@ -1,0 +1,151 @@
+#include "collections/phashmap.hh"
+
+#include "collections/pgeneric_array.hh"
+#include "util/logging.hh"
+
+namespace espresso {
+
+namespace {
+// PHashmap fields: size, buckets ref.
+constexpr std::uint32_t kSizeOff = ObjectLayout::kHeaderSize;
+constexpr std::uint32_t kBucketsOff = ObjectLayout::kHeaderSize + 8;
+// PHashEntry fields: key, value ref, next ref.
+constexpr std::uint32_t kKeyOff = ObjectLayout::kHeaderSize;
+constexpr std::uint32_t kValueOff = ObjectLayout::kHeaderSize + 8;
+constexpr std::uint32_t kNextOff = ObjectLayout::kHeaderSize + 16;
+
+KlassDef
+mapDef()
+{
+    return KlassDef{PHashmap::kKlassName,
+                    "",
+                    {{"size", FieldType::kI64},
+                     {"buckets", FieldType::kRef}},
+                    false};
+}
+
+KlassDef
+entryDef()
+{
+    return KlassDef{PHashmap::kEntryKlassName,
+                    "",
+                    {{"key", FieldType::kI64},
+                     {"value", FieldType::kRef},
+                     {"next", FieldType::kRef}},
+                    false};
+}
+
+std::uint64_t
+mixKey(std::int64_t key)
+{
+    std::uint64_t z = static_cast<std::uint64_t>(key) +
+                      0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+} // namespace
+
+PHashmap
+PHashmap::create(PjhHeap *heap, std::uint64_t num_buckets)
+{
+    if (num_buckets == 0)
+        num_buckets = 1;
+    Klass *k = ensureKlass(heap, mapDef());
+    ensureKlass(heap, entryDef());
+    Oop obj = heap->allocInstance(k);
+    Oop buckets = PGenericArray::create(heap, num_buckets).oop();
+    obj.setRef(kBucketsOff, buckets);
+    heap->flushField(obj, kBucketsOff);
+    return PHashmap(heap, obj);
+}
+
+Oop
+PHashmap::buckets() const
+{
+    return Oop(obj_.getRef(kBucketsOff));
+}
+
+std::uint64_t
+PHashmap::bucketIndex(std::int64_t key) const
+{
+    return mixKey(key) % buckets().arrayLength();
+}
+
+std::uint64_t
+PHashmap::size() const
+{
+    return static_cast<std::uint64_t>(obj_.getI64(kSizeOff));
+}
+
+Oop
+PHashmap::findEntry(std::int64_t key) const
+{
+    Oop e(buckets().getRefElem(bucketIndex(key)));
+    while (!e.isNull()) {
+        if (e.getI64(kKeyOff) == key)
+            return e;
+        e = Oop(e.getRef(kNextOff));
+    }
+    return Oop();
+}
+
+Oop
+PHashmap::get(std::int64_t key) const
+{
+    Oop e = findEntry(key);
+    return e.isNull() ? Oop() : Oop(e.getRef(kValueOff));
+}
+
+bool
+PHashmap::contains(std::int64_t key) const
+{
+    return !findEntry(key).isNull();
+}
+
+void
+PHashmap::put(std::int64_t key, Oop value)
+{
+    PjhTransaction tx(heap_);
+    Oop existing = findEntry(key);
+    if (!existing.isNull()) {
+        tx.write(existing.addr() + kValueOff, value.addr());
+        tx.commit();
+        return;
+    }
+    // A fresh entry is unreachable until the bucket head flips.
+    Klass *ek = ensureKlass(heap_, entryDef());
+    Oop entry = heap_->allocInstance(ek);
+    std::uint64_t b = bucketIndex(key);
+    entry.setI64(kKeyOff, key);
+    entry.setRef(kValueOff, value);
+    entry.setRef(kNextOff, buckets().getRefElem(b));
+    heap_->flushObject(entry);
+    tx.write(buckets().elemAddr(b, kWordSize), entry.addr());
+    tx.write(obj_.addr() + kSizeOff, size() + 1);
+    tx.commit();
+}
+
+bool
+PHashmap::remove(std::int64_t key)
+{
+    PjhTransaction tx(heap_);
+    std::uint64_t b = bucketIndex(key);
+    Addr slot = buckets().elemAddr(b, kWordSize);
+    Oop e(loadWord(slot));
+    while (!e.isNull()) {
+        if (e.getI64(kKeyOff) == key) {
+            tx.write(slot, e.getRef(kNextOff));
+            tx.write(obj_.addr() + kSizeOff, size() - 1);
+            tx.commit();
+            return true;
+        }
+        slot = e.addr() + kNextOff;
+        e = Oop(e.getRef(kNextOff));
+    }
+    tx.abort();
+    return false;
+}
+
+} // namespace espresso

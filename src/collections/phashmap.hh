@@ -1,0 +1,55 @@
+/**
+ * @file
+ * PHashmap — a persistent chained hash map from 64-bit keys to
+ * references (the PersistentHashmap analog) with ACID put/remove.
+ */
+
+#ifndef ESPRESSO_COLLECTIONS_PHASHMAP_HH
+#define ESPRESSO_COLLECTIONS_PHASHMAP_HH
+
+#include "collections/pcollection.hh"
+
+namespace espresso {
+
+/** A persistent HashMap<long, Object>. */
+class PHashmap : public PCollectionBase
+{
+  public:
+    static constexpr const char *kKlassName = "espresso.PHashmap";
+    static constexpr const char *kEntryKlassName =
+        "espresso.PHashEntry";
+
+    PHashmap() = default;
+
+    static PHashmap create(PjhHeap *heap, std::uint64_t buckets = 64);
+
+    static PHashmap
+    at(PjhHeap *heap, Oop obj)
+    {
+        return PHashmap(heap, obj);
+    }
+
+    std::uint64_t size() const;
+
+    /** Lookup; returns a null Oop when absent. */
+    Oop get(std::int64_t key) const;
+
+    bool contains(std::int64_t key) const;
+
+    /** Transactionally insert or replace. */
+    void put(std::int64_t key, Oop value);
+
+    /** Transactionally remove; returns true when the key existed. */
+    bool remove(std::int64_t key);
+
+  private:
+    PHashmap(PjhHeap *heap, Oop obj) : PCollectionBase(heap, obj) {}
+
+    Oop buckets() const;
+    std::uint64_t bucketIndex(std::int64_t key) const;
+    Oop findEntry(std::int64_t key) const;
+};
+
+} // namespace espresso
+
+#endif // ESPRESSO_COLLECTIONS_PHASHMAP_HH

@@ -1,0 +1,54 @@
+#include "collections/ptuple.hh"
+
+#include "util/logging.hh"
+
+namespace espresso {
+
+namespace {
+
+constexpr std::uint32_t
+slotOff(std::size_t index)
+{
+    return ObjectLayout::kHeaderSize +
+           static_cast<std::uint32_t>(index) * kWordSize;
+}
+
+KlassDef
+tupleDef()
+{
+    return KlassDef{PTuple::kKlassName,
+                    "",
+                    {{"f0", FieldType::kRef},
+                     {"f1", FieldType::kRef},
+                     {"f2", FieldType::kRef}},
+                    false};
+}
+
+} // namespace
+
+PTuple
+PTuple::create(PjhHeap *heap)
+{
+    Klass *k = ensureKlass(heap, tupleDef());
+    return PTuple(heap, heap->allocInstance(k));
+}
+
+Oop
+PTuple::get(std::size_t index) const
+{
+    if (index >= kArity)
+        panic("PTuple::get: index out of range");
+    return Oop(obj_.getRef(slotOff(index)));
+}
+
+void
+PTuple::set(std::size_t index, Oop value)
+{
+    if (index >= kArity)
+        panic("PTuple::set: index out of range");
+    PjhTransaction tx(heap_);
+    tx.write(obj_.addr() + slotOff(index), value.addr());
+    tx.commit();
+}
+
+} // namespace espresso

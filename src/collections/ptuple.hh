@@ -1,0 +1,37 @@
+/**
+ * @file
+ * PTuple — a fixed-arity tuple of persistent references (the
+ * PersistentTuple analog) with ACID element updates.
+ */
+
+#ifndef ESPRESSO_COLLECTIONS_PTUPLE_HH
+#define ESPRESSO_COLLECTIONS_PTUPLE_HH
+
+#include "collections/pcollection.hh"
+
+namespace espresso {
+
+/** A persistent 3-tuple of references. */
+class PTuple : public PCollectionBase
+{
+  public:
+    static constexpr const char *kKlassName = "espresso.PTuple";
+    static constexpr std::size_t kArity = 3;
+
+    PTuple() = default;
+
+    static PTuple create(PjhHeap *heap);
+    static PTuple at(PjhHeap *heap, Oop obj) { return PTuple(heap, obj); }
+
+    Oop get(std::size_t index) const;
+
+    /** Transactionally replace element @p index. */
+    void set(std::size_t index, Oop value);
+
+  private:
+    PTuple(PjhHeap *heap, Oop obj) : PCollectionBase(heap, obj) {}
+};
+
+} // namespace espresso
+
+#endif // ESPRESSO_COLLECTIONS_PTUPLE_HH

@@ -1,0 +1,125 @@
+#include "core/espresso.hh"
+
+#include "util/logging.hh"
+
+namespace espresso {
+
+EspressoRuntime::EspressoRuntime(const EspressoConfig &cfg)
+    : registry_(), volatileHeap_(cfg.volatileHeap),
+      heapManager_(&registry_, &volatileHeap_, cfg.nvm)
+{}
+
+EspressoRuntime::~EspressoRuntime() = default;
+
+std::uint32_t
+EspressoRuntime::fieldOffset(const std::string &klass,
+                             const std::string &field) const
+{
+    const Klass *k = registry_.find(klass);
+    if (!k)
+        fatal("fieldOffset: class " + klass + " is not defined");
+    return k->fieldOffset(field);
+}
+
+Oop
+EspressoRuntime::newInstance(const std::string &klass_name)
+{
+    return volatileHeap_.allocInstance(
+        registry_.resolve(klass_name, MemKind::kVolatile));
+}
+
+Oop
+EspressoRuntime::newI64Array(std::uint64_t length)
+{
+    return volatileHeap_.allocArray(
+        registry_.arrayOf(FieldType::kI64, MemKind::kVolatile), length);
+}
+
+Oop
+EspressoRuntime::newCharArray(std::uint64_t length)
+{
+    return volatileHeap_.allocArray(
+        registry_.arrayOf(FieldType::kChar, MemKind::kVolatile), length);
+}
+
+Oop
+EspressoRuntime::newRefArray(const std::string &elem_klass,
+                             std::uint64_t length)
+{
+    Klass *elem = registry_.find(elem_klass);
+    if (!elem)
+        fatal("newRefArray: class " + elem_klass + " is not defined");
+    return volatileHeap_.allocArray(
+        registry_.arrayOfRefs(elem, MemKind::kVolatile), length);
+}
+
+Oop
+EspressoRuntime::newString(const std::string &s)
+{
+    Oop arr = newCharArray(s.size());
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        *reinterpret_cast<std::uint16_t *>(arr.elemAddr(i, 2)) =
+            static_cast<std::uint8_t>(s[i]);
+    }
+    return arr;
+}
+
+Oop
+EspressoRuntime::pnewInstance(PjhHeap *heap, const std::string &klass_name)
+{
+    return heap->allocInstance(
+        registry_.resolve(klass_name, MemKind::kPersistent));
+}
+
+Oop
+EspressoRuntime::pnewI64Array(PjhHeap *heap, std::uint64_t length)
+{
+    return heap->allocArray(
+        registry_.arrayOf(FieldType::kI64, MemKind::kPersistent), length);
+}
+
+Oop
+EspressoRuntime::pnewCharArray(PjhHeap *heap, std::uint64_t length)
+{
+    return heap->allocArray(
+        registry_.arrayOf(FieldType::kChar, MemKind::kPersistent),
+        length);
+}
+
+Oop
+EspressoRuntime::pnewRefArray(PjhHeap *heap, const std::string &elem_klass,
+                              std::uint64_t length)
+{
+    Klass *elem = registry_.find(elem_klass);
+    if (!elem)
+        fatal("pnewRefArray: class " + elem_klass + " is not defined");
+    return heap->allocArray(
+        registry_.arrayOfRefs(elem, MemKind::kPersistent), length);
+}
+
+Oop
+EspressoRuntime::pnewString(PjhHeap *heap, const std::string &s)
+{
+    Oop arr = pnewCharArray(heap, s.size());
+    for (std::size_t i = 0; i < s.size(); ++i) {
+        *reinterpret_cast<std::uint16_t *>(arr.elemAddr(i, 2)) =
+            static_cast<std::uint8_t>(s[i]);
+    }
+    heap->flushObject(arr);
+    return arr;
+}
+
+std::string
+EspressoRuntime::readString(Oop char_array)
+{
+    std::string out;
+    std::uint64_t n = char_array.arrayLength();
+    out.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        out.push_back(static_cast<char>(
+            *reinterpret_cast<std::uint16_t *>(char_array.elemAddr(i, 2))));
+    }
+    return out;
+}
+
+} // namespace espresso

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * The Espresso runtime facade — the library's public entry point.
+ *
+ * Bundles the class registry, the volatile generational heap and the
+ * persistent-heap manager, and exposes the paper's programming model:
+ *
+ *   EspressoRuntime rt;
+ *   rt.define({"Person", "", {{"id", FieldType::kI64},
+ *                             {"name", FieldType::kRef}}});
+ *   PjhHeap *h = rt.heaps().createHeap("Jimmy", 16 << 20);
+ *   Oop p = rt.pnewInstance(h, "Person");          // pnew Person(...)
+ *   p.setI64(rt.fieldOffset("Person", "id"), 42);
+ *   h->flushField(p, rt.fieldOffset("Person", "id"));
+ *   h->setRoot("Jimmy_info", p);
+ *
+ * `new` is newInstance/newArray (DRAM); `pnew` and its three array
+ * bytecodes are pnewInstance/pnewArray (NVM). Both go through the
+ * constant-pool-style resolution that makes alias Klasses necessary
+ * (paper §3.2, Fig. 10).
+ */
+
+#ifndef ESPRESSO_CORE_ESPRESSO_HH
+#define ESPRESSO_CORE_ESPRESSO_HH
+
+#include <memory>
+#include <string>
+
+#include "heap/volatile_heap.hh"
+#include "nvm/nvm_device.hh"
+#include "pjh/heap_manager.hh"
+#include "pjh/pjh_heap.hh"
+#include "runtime/klass_registry.hh"
+
+namespace espresso {
+
+/** Top-level runtime configuration. */
+struct EspressoConfig
+{
+    VolatileHeapConfig volatileHeap;
+    NvmConfig nvm;
+};
+
+/** One Espresso runtime instance (the modified-JVM analog). */
+class EspressoRuntime
+{
+  public:
+    explicit EspressoRuntime(const EspressoConfig &cfg = {});
+    ~EspressoRuntime();
+
+    EspressoRuntime(const EspressoRuntime &) = delete;
+    EspressoRuntime &operator=(const EspressoRuntime &) = delete;
+
+    KlassRegistry &registry() { return registry_; }
+    VolatileHeap &heap() { return volatileHeap_; }
+    HandleRegistry &handles() { return volatileHeap_.handles(); }
+    HeapManager &heaps() { return heapManager_; }
+
+    /** Define a logical class. */
+    Klass *define(const KlassDef &def) { return registry_.define(def); }
+
+    /** Field offset shorthand. */
+    std::uint32_t fieldOffset(const std::string &klass,
+                              const std::string &field) const;
+
+    /** @name new — volatile allocation */
+    /// @{
+    Oop newInstance(const std::string &klass_name);
+    Oop newI64Array(std::uint64_t length);
+    Oop newCharArray(std::uint64_t length);
+    Oop newRefArray(const std::string &elem_klass, std::uint64_t length);
+
+    /** Allocate a DRAM char-array holding @p s (a Java String stand-in). */
+    Oop newString(const std::string &s);
+    /// @}
+
+    /** @name pnew — persistent allocation (§3.2) */
+    /// @{
+    Oop pnewInstance(PjhHeap *heap, const std::string &klass_name);
+    Oop pnewI64Array(PjhHeap *heap, std::uint64_t length);
+    Oop pnewCharArray(PjhHeap *heap, std::uint64_t length);
+    Oop pnewRefArray(PjhHeap *heap, const std::string &elem_klass,
+                     std::uint64_t length);
+
+    /** Allocate a persistent char-array holding @p s. */
+    Oop pnewString(PjhHeap *heap, const std::string &s);
+    /// @}
+
+    /** Decode a char-array back into a std::string. */
+    static std::string readString(Oop char_array);
+
+    /** checkcast sugar: throws ClassCastException on failure. */
+    void
+    checkCast(Oop obj, const std::string &klass_name)
+    {
+        registry_.checkCast(obj ? obj.klass() : nullptr, klass_name);
+    }
+
+  private:
+    KlassRegistry registry_;
+    VolatileHeap volatileHeap_;
+    HeapManager heapManager_;
+};
+
+} // namespace espresso
+
+#endif // ESPRESSO_CORE_ESPRESSO_HH

@@ -1,0 +1,121 @@
+#include "db/catalog.hh"
+
+#include <cstring>
+
+#include "nvm/nvm_device.hh"
+#include "runtime/oop.hh"
+#include "util/logging.hh"
+
+namespace espresso {
+namespace db {
+
+std::size_t
+TableSchema::columnIndex(const std::string &column_name) const
+{
+    for (std::size_t i = 0; i < columns.size(); ++i) {
+        if (columns[i].name == column_name)
+            return i;
+    }
+    return static_cast<std::size_t>(-1);
+}
+
+std::size_t
+TableSchema::rowBytes() const
+{
+    return 16 + columns.size() * kValueSlotBytes;
+}
+
+Catalog::Catalog(NvmDevice *device, Addr base)
+    : device_(device), base_(base)
+{}
+
+const TableSchema &
+Catalog::createTable(const TableSchema &schema)
+{
+    if (find(schema.name))
+        fatal("db: table " + schema.name + " already exists");
+    if (tables_.size() >= kMaxTables)
+        fatal("db: too many tables");
+    if (schema.columns.empty() || schema.columns.size() > kMaxColumns)
+        fatal("db: bad column count for " + schema.name);
+    if (schema.name.size() > 63)
+        fatal("db: table name too long");
+    if (schema.pkColumn >= schema.columns.size())
+        fatal("db: primary key column out of range");
+    tables_.push_back(schema);
+    persistTable(tables_.size() - 1);
+    return tables_.back();
+}
+
+void
+Catalog::persistTable(std::size_t index)
+{
+    // Record: name[64] | ncols | pk | ncols * (name[56], type word).
+    Addr rec = base_ + kCacheLineSize + index * kTableRecordBytes;
+    const TableSchema &t = tables_[index];
+    std::memset(reinterpret_cast<void *>(rec), 0, kTableRecordBytes);
+    std::memcpy(reinterpret_cast<void *>(rec), t.name.c_str(),
+                t.name.size());
+    storeWord(rec + 64, t.columns.size());
+    storeWord(rec + 72, t.pkColumn);
+    storeWord(rec + 80, t.indexColumn);
+    for (std::size_t c = 0; c < t.columns.size(); ++c) {
+        Addr col = rec + 88 + c * 64;
+        if (t.columns[c].name.size() > 55)
+            fatal("db: column name too long: " + t.columns[c].name);
+        std::memcpy(reinterpret_cast<void *>(col),
+                    t.columns[c].name.c_str(), t.columns[c].name.size());
+        storeWord(col + 56,
+                  static_cast<Word>(t.columns[c].type));
+    }
+    device_->persist(rec, kTableRecordBytes);
+    // Publish the count last.
+    storeWord(base_, tables_.size());
+    device_->persist(base_, kWordSize);
+}
+
+void
+Catalog::reload()
+{
+    tables_.clear();
+    Word count = loadWord(base_);
+    for (Word i = 0; i < count; ++i) {
+        Addr rec = base_ + kCacheLineSize + i * kTableRecordBytes;
+        TableSchema t;
+        t.name = reinterpret_cast<const char *>(rec);
+        Word ncols = loadWord(rec + 64);
+        t.pkColumn = loadWord(rec + 72);
+        t.indexColumn = loadWord(rec + 80);
+        for (Word c = 0; c < ncols; ++c) {
+            Addr col = rec + 88 + c * 64;
+            ColumnDef def;
+            def.name = reinterpret_cast<const char *>(col);
+            def.type = static_cast<DbType>(loadWord(col + 56));
+            t.columns.push_back(def);
+        }
+        tables_.push_back(std::move(t));
+    }
+}
+
+const TableSchema *
+Catalog::find(const std::string &name) const
+{
+    for (const TableSchema &t : tables_) {
+        if (t.name == name)
+            return &t;
+    }
+    return nullptr;
+}
+
+std::size_t
+Catalog::tableIndex(const std::string &name) const
+{
+    for (std::size_t i = 0; i < tables_.size(); ++i) {
+        if (tables_[i].name == name)
+            return i;
+    }
+    return static_cast<std::size_t>(-1);
+}
+
+} // namespace db
+} // namespace espresso

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Schema catalog: table definitions, persisted in a fixed-format
+ * region of the database device so a reopened database knows its own
+ * schema.
+ */
+
+#ifndef ESPRESSO_DB_CATALOG_HH
+#define ESPRESSO_DB_CATALOG_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "db/value_codec.hh"
+#include "util/common.hh"
+
+namespace espresso {
+
+class NvmDevice;
+
+namespace db {
+
+/** One column. */
+struct ColumnDef
+{
+    std::string name;
+    DbType type = DbType::kI64;
+};
+
+/** One table: first column is always the BIGINT primary key unless
+ * @p pkColumn says otherwise. */
+struct TableSchema
+{
+    static constexpr std::size_t kNoIndex = static_cast<std::size_t>(-1);
+
+    std::string name;
+    std::vector<ColumnDef> columns;
+    std::size_t pkColumn = 0;
+
+    /** Optional secondary equality index (BIGINT column). */
+    std::size_t indexColumn = kNoIndex;
+
+    /** Index of @p column_name, or npos. */
+    std::size_t columnIndex(const std::string &column_name) const;
+
+    /** Bytes per stored row (state+rowid header plus value slots). */
+    std::size_t rowBytes() const;
+};
+
+/** In-memory catalog with a persistent backing region. */
+class Catalog
+{
+  public:
+    static constexpr std::size_t kMaxTables = 64;
+    static constexpr std::size_t kMaxColumns = 30;
+
+    Catalog() = default;
+
+    /** @param device backing device; @param base region address;
+     * region size is persistedBytes(). */
+    Catalog(NvmDevice *device, Addr base);
+
+    static constexpr std::size_t
+    persistedBytes()
+    {
+        return kMaxTables * kTableRecordBytes + kCacheLineSize;
+    }
+
+    /** Register and persist a table definition. */
+    const TableSchema &createTable(const TableSchema &schema);
+
+    const TableSchema *find(const std::string &name) const;
+
+    const std::vector<TableSchema> &tables() const { return tables_; }
+
+    /** Index of @p name in tables(), or npos. */
+    std::size_t tableIndex(const std::string &name) const;
+
+    /** Rebuild the in-memory view from the persistent region. */
+    void reload();
+
+  private:
+    static constexpr std::size_t kTableRecordBytes = 64 + 24 +
+                                                     kMaxColumns * 64;
+
+    void persistTable(std::size_t index);
+
+    NvmDevice *device_ = nullptr;
+    Addr base_ = 0;
+    std::vector<TableSchema> tables_;
+};
+
+} // namespace db
+} // namespace espresso
+
+#endif // ESPRESSO_DB_CATALOG_HH

@@ -1,0 +1,291 @@
+#include "db/database.hh"
+
+#include "util/logging.hh"
+
+namespace espresso {
+namespace db {
+
+/** Opens a statement-scoped transaction unless one is active. */
+class Database::AutoTx
+{
+  public:
+    explicit AutoTx(Database &database) : db_(database)
+    {
+        if (!db_.explicitTx_) {
+            db_.wal_.begin();
+            own_ = true;
+        }
+    }
+
+    ~AutoTx()
+    {
+        if (own_ && db_.wal_.active())
+            db_.wal_.commit();
+    }
+
+  private:
+    Database &db_;
+    bool own_ = false;
+};
+
+Database::Database(const DatabaseConfig &cfg, NvmConfig nvm_cfg)
+    : cfg_(cfg)
+{
+    std::size_t catalog_off = alignUp(64, kCacheLineSize);
+    std::size_t wal_off =
+        catalog_off + alignUp(Catalog::persistedBytes(), kCacheLineSize);
+    rowsOff_ = wal_off + alignUp(cfg.walSize, kCacheLineSize);
+    std::size_t total = rowsOff_ + alignUp(cfg.rowRegionSize,
+                                           kCacheLineSize);
+
+    dev_ = std::make_unique<NvmDevice>(total, nvm_cfg);
+    Addr base = reinterpret_cast<Addr>(dev_->base());
+    catalog_ = Catalog(dev_.get(), base + catalog_off);
+    wal_ = Wal(dev_.get(), base + wal_off, cfg.walSize);
+    rows_ = RowStore(dev_.get(), base + rowsOff_, cfg.rowRegionSize,
+                     &catalog_, cfg.rowsPerTable);
+}
+
+Database::~Database() = default;
+
+void
+Database::begin()
+{
+    if (explicitTx_)
+        fatal("db: nested transactions are not supported");
+    wal_.begin();
+    explicitTx_ = true;
+}
+
+void
+Database::commit()
+{
+    if (!explicitTx_)
+        fatal("db: commit without begin");
+    wal_.commit();
+    explicitTx_ = false;
+}
+
+void
+Database::rollback()
+{
+    if (!explicitTx_)
+        fatal("db: rollback without begin");
+    wal_.rollbackAndRetire();
+    explicitTx_ = false;
+    // Volatile indexes may now disagree with the rows; rebuild.
+    rows_.syncWithCatalog();
+}
+
+std::size_t
+Database::tableIndexOrDie(const std::string &table)
+{
+    std::size_t idx = catalog_.tableIndex(table);
+    if (idx == static_cast<std::size_t>(-1))
+        fatal("db: no such table " + table);
+    return idx;
+}
+
+void
+Database::createTable(const TableSchema &schema)
+{
+    PhaseScope scope(timer_, "database");
+    catalog_.createTable(schema);
+    rows_.syncWithCatalog();
+}
+
+void
+Database::persistRecord(const std::string &table, const DbRecord &record)
+{
+    PhaseScope scope(timer_, "database");
+    std::size_t t = tableIndexOrDie(table);
+    const TableSchema &schema = catalog_.tables()[t];
+    if (record.values.size() != schema.columns.size())
+        fatal("db: record shape mismatch for " + table);
+    AutoTx tx(*this);
+    std::int64_t pk = record.values[schema.pkColumn].i;
+    if (!rows_.update(t, pk, record.values, record.dirtyMask, wal_))
+        if (!rows_.insert(t, record.values, wal_))
+            fatal("db: persistRecord failed for " + table);
+}
+
+bool
+Database::fetchRecord(const std::string &table, std::int64_t pk,
+                      DbRecord *out)
+{
+    PhaseScope scope(timer_, "database");
+    std::size_t t = tableIndexOrDie(table);
+    return rows_.fetch(t, pk, &out->values);
+}
+
+bool
+Database::deleteRecord(const std::string &table, std::int64_t pk)
+{
+    PhaseScope scope(timer_, "database");
+    std::size_t t = tableIndexOrDie(table);
+    AutoTx tx(*this);
+    return rows_.erase(t, pk, wal_);
+}
+
+void
+Database::scanEq(const std::string &table, const std::string &column,
+                 const DbValue &v,
+                 const std::function<void(const std::vector<DbValue> &)>
+                     &fn)
+{
+    PhaseScope scope(timer_, "database");
+    std::size_t t = tableIndexOrDie(table);
+    std::size_t c = catalog_.tables()[t].columnIndex(column);
+    if (c == static_cast<std::size_t>(-1))
+        fatal("db: no such column " + column);
+    rows_.scanEq(t, c, v, fn);
+}
+
+std::size_t
+Database::rowCount(const std::string &table)
+{
+    return rows_.rowCount(tableIndexOrDie(table));
+}
+
+ResultSet
+Database::executeSql(const std::string &sql)
+{
+    // The JDBC path: text -> tokens -> AST -> typed execution.
+    SqlStatement stmt;
+    {
+        PhaseScope scope(timer_, "transformation");
+        stmt = parseSql(sql);
+    }
+    PhaseScope scope(timer_, "database");
+    return execute(stmt);
+}
+
+ResultSet
+Database::execute(const SqlStatement &stmt)
+{
+    ResultSet rs;
+    switch (stmt.kind) {
+      case SqlStatement::Kind::kCreateTable: {
+        catalog_.createTable(stmt.schema);
+        rows_.syncWithCatalog();
+        return rs;
+      }
+      case SqlStatement::Kind::kInsert: {
+        std::size_t t = tableIndexOrDie(stmt.table);
+        const TableSchema &schema = catalog_.tables()[t];
+        std::vector<DbValue> row(schema.columns.size());
+        for (std::size_t i = 0; i < stmt.insertColumns.size(); ++i) {
+            std::size_t c = schema.columnIndex(stmt.insertColumns[i]);
+            if (c == static_cast<std::size_t>(-1))
+                fatal("db: no such column " + stmt.insertColumns[i]);
+            row[c] = stmt.insertValues[i];
+        }
+        AutoTx tx(*this);
+        if (!rows_.insert(t, row, wal_))
+            fatal("db: duplicate primary key inserting into " +
+                  stmt.table);
+        rs.affected = 1;
+        return rs;
+      }
+      case SqlStatement::Kind::kSelect: {
+        std::size_t t = tableIndexOrDie(stmt.table);
+        const TableSchema &schema = catalog_.tables()[t];
+        std::vector<std::size_t> cols;
+        if (stmt.selectAll) {
+            for (std::size_t c = 0; c < schema.columns.size(); ++c)
+                cols.push_back(c);
+        } else {
+            for (const std::string &name : stmt.selectColumns) {
+                std::size_t c = schema.columnIndex(name);
+                if (c == static_cast<std::size_t>(-1))
+                    fatal("db: no such column " + name);
+                cols.push_back(c);
+            }
+        }
+        for (std::size_t c : cols)
+            rs.columns.push_back(schema.columns[c].name);
+
+        auto emit = [&](const std::vector<DbValue> &row) {
+            std::vector<DbValue> projected;
+            projected.reserve(cols.size());
+            for (std::size_t c : cols)
+                projected.push_back(row[c]);
+            rs.rows.push_back(std::move(projected));
+        };
+
+        if (stmt.hasWhere) {
+            std::size_t wc = schema.columnIndex(stmt.whereColumn);
+            if (wc == static_cast<std::size_t>(-1))
+                fatal("db: no such column " + stmt.whereColumn);
+            if (wc == schema.pkColumn &&
+                stmt.whereValue.type == DbType::kI64) {
+                std::vector<DbValue> row;
+                if (rows_.fetch(t, stmt.whereValue.i, &row))
+                    emit(row);
+            } else {
+                rows_.scanEq(t, wc, stmt.whereValue, emit);
+            }
+        } else {
+            rows_.scanAll(t, emit);
+        }
+        return rs;
+      }
+      case SqlStatement::Kind::kUpdate: {
+        std::size_t t = tableIndexOrDie(stmt.table);
+        const TableSchema &schema = catalog_.tables()[t];
+        if (schema.columnIndex(stmt.whereColumn) != schema.pkColumn)
+            fatal("db: UPDATE supports pk predicates only");
+        std::vector<DbValue> row(schema.columns.size());
+        std::uint64_t mask = 0;
+        for (const auto &[col, val] : stmt.assignments) {
+            std::size_t c = schema.columnIndex(col);
+            if (c == static_cast<std::size_t>(-1))
+                fatal("db: no such column " + col);
+            row[c] = val;
+            mask |= 1ull << c;
+        }
+        AutoTx tx(*this);
+        rs.affected =
+            rows_.update(t, stmt.whereValue.i, row, mask, wal_) ? 1 : 0;
+        return rs;
+      }
+      case SqlStatement::Kind::kDelete: {
+        std::size_t t = tableIndexOrDie(stmt.table);
+        const TableSchema &schema = catalog_.tables()[t];
+        AutoTx tx(*this);
+        std::size_t wc = schema.columnIndex(stmt.whereColumn);
+        if (wc == schema.pkColumn &&
+            stmt.whereValue.type == DbType::kI64) {
+            rs.affected =
+                rows_.erase(t, stmt.whereValue.i, wal_) ? 1 : 0;
+        } else {
+            // Non-pk delete: collect pks then erase.
+            std::vector<std::int64_t> pks;
+            rows_.scanEq(t, wc, stmt.whereValue,
+                         [&](const std::vector<DbValue> &row) {
+                             pks.push_back(row[schema.pkColumn].i);
+                         });
+            for (std::int64_t pk : pks)
+                rs.affected += rows_.erase(t, pk, wal_) ? 1 : 0;
+        }
+        return rs;
+      }
+    }
+    panic("db: unhandled statement kind");
+}
+
+void
+Database::crash(CrashMode mode, std::uint64_t seed)
+{
+    explicitTx_ = false;
+    dev_->crash(mode, seed);
+    wal_.recover();
+    catalog_.reload();
+    rows_ = RowStore(dev_.get(),
+                     reinterpret_cast<Addr>(dev_->base()) + rowsOff_,
+                     cfg_.rowRegionSize, &catalog_, cfg_.rowsPerTable);
+    rows_.syncWithCatalog();
+}
+
+} // namespace db
+} // namespace espresso

@@ -1,0 +1,291 @@
+#include "db/row_store.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "nvm/nvm_device.hh"
+#include "runtime/oop.hh"
+#include "util/logging.hh"
+
+namespace espresso {
+namespace db {
+
+namespace {
+constexpr Word kRowFree = 0;
+constexpr Word kRowLive = 1;
+constexpr std::size_t kRowHeader = 16;
+} // namespace
+
+RowStore::RowStore(NvmDevice *device, Addr base, std::size_t size,
+                   Catalog *catalog, std::size_t rows_per_table)
+    : device_(device), base_(base), size_(size), catalog_(catalog),
+      rowsPerTable_(rows_per_table)
+{}
+
+void
+RowStore::syncWithCatalog()
+{
+    const auto &tables = catalog_->tables();
+    for (std::size_t t = 0; t < tables.size(); ++t) {
+        if (t < regions_.size() && regions_[t].base != 0)
+            continue;
+        std::size_t row_bytes = tables[t].rowBytes();
+        std::size_t need = row_bytes * rowsPerTable_;
+        if (allocated_ + need > size_)
+            fatal("db: row region exhausted creating " + tables[t].name);
+        if (t >= regions_.size())
+            regions_.resize(t + 1);
+        regions_[t].base = base_ + allocated_;
+        regions_[t].capacity = rowsPerTable_;
+        allocated_ += alignUp(need, kCacheLineSize);
+    }
+
+    // Rebuild volatile indexes from row state words.
+    for (std::size_t t = 0; t < regions_.size(); ++t) {
+        TableRegion &region = regions_[t];
+        region.pkIndex.clear();
+        region.eqIndex.clear();
+        region.freeRows.clear();
+        region.highWater = 0;
+        std::size_t row_bytes = tables[t].rowBytes();
+        std::size_t pk_col = tables[t].pkColumn;
+        std::size_t idx_col = tables[t].indexColumn;
+        for (std::size_t i = 0; i < region.capacity; ++i) {
+            Addr row = rowAddr(region, i, row_bytes);
+            if (loadWord(row) == kRowLive) {
+                DbValue pk = decodeValueSlot(
+                    reinterpret_cast<const std::uint8_t *>(
+                        row + kRowHeader + pk_col * kValueSlotBytes));
+                region.pkIndex[pk.i] = i;
+                if (idx_col != TableSchema::kNoIndex) {
+                    region.eqIndex.emplace(
+                        cellAt(region, i, row_bytes, idx_col).i, i);
+                }
+                region.highWater = i + 1;
+            } else {
+                region.freeRows.push_back(i);
+            }
+        }
+        // Allocate low indexes first so scans stay short.
+        std::reverse(region.freeRows.begin(), region.freeRows.end());
+    }
+}
+
+void
+RowStore::writeRow(std::size_t table, TableRegion &region,
+                   std::size_t idx, const std::vector<DbValue> &row,
+                   std::uint64_t dirty_mask, Wal &wal, bool fresh)
+{
+    const TableSchema &schema = catalog_->tables()[table];
+    std::size_t row_bytes = schema.rowBytes();
+    Addr addr = rowAddr(region, idx, row_bytes);
+    if (!fresh)
+        wal.logRange(addr, row_bytes);
+    for (std::size_t c = 0; c < schema.columns.size(); ++c) {
+        if (!(dirty_mask & (1ull << c)))
+            continue;
+        encodeValueSlot(reinterpret_cast<std::uint8_t *>(
+                            addr + kRowHeader + c * kValueSlotBytes),
+                        row[c]);
+    }
+    device_->flush(addr, row_bytes);
+    device_->fence();
+    if (fresh) {
+        // Publish the row after its payload is durable.
+        storeWord(addr, kRowLive);
+        device_->persist(addr, kWordSize);
+    }
+}
+
+DbValue
+RowStore::cellAt(const TableRegion &region, std::size_t idx,
+                 std::size_t row_bytes, std::size_t col) const
+{
+    Addr addr = rowAddr(region, idx, row_bytes);
+    return decodeValueSlot(reinterpret_cast<const std::uint8_t *>(
+        addr + kRowHeader + col * kValueSlotBytes));
+}
+
+void
+RowStore::eqIndexErase(TableRegion &region, std::int64_t key,
+                       std::size_t idx)
+{
+    auto [lo, hi] = region.eqIndex.equal_range(key);
+    for (auto it = lo; it != hi; ++it) {
+        if (it->second == idx) {
+            region.eqIndex.erase(it);
+            return;
+        }
+    }
+}
+
+bool
+RowStore::insert(std::size_t table, const std::vector<DbValue> &row,
+                 Wal &wal)
+{
+    const TableSchema &schema = catalog_->tables()[table];
+    if (row.size() != schema.columns.size())
+        fatal("db: column count mismatch inserting into " + schema.name);
+    TableRegion &region = regions_[table];
+    std::int64_t pk = row[schema.pkColumn].i;
+    if (region.pkIndex.count(pk))
+        return false;
+
+    std::size_t idx;
+    if (!region.freeRows.empty()) {
+        idx = region.freeRows.back();
+        region.freeRows.pop_back();
+    } else {
+        fatal("db: table " + schema.name + " is full");
+    }
+    // Log the (free) header word so rollback un-publishes the row.
+    Addr addr = rowAddr(region, idx, schema.rowBytes());
+    wal.logRange(addr, kWordSize);
+    writeRow(table, region, idx, row, ~0ull, wal, /*fresh=*/true);
+    region.pkIndex[pk] = idx;
+    if (schema.indexColumn != TableSchema::kNoIndex)
+        region.eqIndex.emplace(row[schema.indexColumn].i, idx);
+    if (idx >= region.highWater)
+        region.highWater = idx + 1;
+    return true;
+}
+
+bool
+RowStore::update(std::size_t table, std::int64_t pk,
+                 const std::vector<DbValue> &row,
+                 std::uint64_t dirty_mask, Wal &wal)
+{
+    TableRegion &region = regions_[table];
+    auto it = region.pkIndex.find(pk);
+    if (it == region.pkIndex.end())
+        return false;
+    const TableSchema &schema = catalog_->tables()[table];
+    dirty_mask &= ~(1ull << schema.pkColumn);
+    std::size_t icol = schema.indexColumn;
+    if (icol != TableSchema::kNoIndex && (dirty_mask & (1ull << icol))) {
+        eqIndexErase(region,
+                     cellAt(region, it->second, schema.rowBytes(), icol)
+                         .i,
+                     it->second);
+        region.eqIndex.emplace(row[icol].i, it->second);
+    }
+    writeRow(table, region, it->second, row, dirty_mask, wal,
+             /*fresh=*/false);
+    return true;
+}
+
+bool
+RowStore::erase(std::size_t table, std::int64_t pk, Wal &wal)
+{
+    TableRegion &region = regions_[table];
+    auto it = region.pkIndex.find(pk);
+    if (it == region.pkIndex.end())
+        return false;
+    const TableSchema &schema = catalog_->tables()[table];
+    Addr addr = rowAddr(region, it->second, schema.rowBytes());
+    wal.logRange(addr, kWordSize);
+    storeWord(addr, kRowFree);
+    device_->persist(addr, kWordSize);
+    if (schema.indexColumn != TableSchema::kNoIndex) {
+        eqIndexErase(region,
+                     cellAt(region, it->second, schema.rowBytes(),
+                            schema.indexColumn)
+                         .i,
+                     it->second);
+    }
+    region.freeRows.push_back(it->second);
+    region.pkIndex.erase(it);
+    return true;
+}
+
+bool
+RowStore::fetch(std::size_t table, std::int64_t pk,
+                std::vector<DbValue> *out) const
+{
+    const TableRegion &region = regions_[table];
+    auto it = region.pkIndex.find(pk);
+    if (it == region.pkIndex.end())
+        return false;
+    const TableSchema &schema = catalog_->tables()[table];
+    Addr addr = rowAddr(region, it->second, schema.rowBytes());
+    out->clear();
+    for (std::size_t c = 0; c < schema.columns.size(); ++c) {
+        out->push_back(decodeValueSlot(
+            reinterpret_cast<const std::uint8_t *>(
+                addr + kRowHeader + c * kValueSlotBytes)));
+    }
+    return true;
+}
+
+void
+RowStore::scanEq(
+    std::size_t table, std::size_t col, const DbValue &v,
+    const std::function<void(const std::vector<DbValue> &)> &fn) const
+{
+    const TableRegion &region = regions_[table];
+    const TableSchema &schema = catalog_->tables()[table];
+    std::size_t row_bytes = schema.rowBytes();
+    std::vector<DbValue> row;
+
+    auto emit_row = [&](std::size_t i) {
+        Addr addr = rowAddr(region, i, row_bytes);
+        row.clear();
+        for (std::size_t c = 0; c < schema.columns.size(); ++c) {
+            row.push_back(decodeValueSlot(
+                reinterpret_cast<const std::uint8_t *>(
+                    addr + kRowHeader + c * kValueSlotBytes)));
+        }
+        fn(row);
+    };
+
+    // Use the secondary index when it covers this predicate.
+    if (col == schema.indexColumn && v.type == DbType::kI64) {
+        auto [lo, hi] = region.eqIndex.equal_range(v.i);
+        for (auto it = lo; it != hi; ++it)
+            emit_row(it->second);
+        return;
+    }
+
+    for (std::size_t i = 0; i < region.highWater; ++i) {
+        Addr addr = rowAddr(region, i, row_bytes);
+        if (loadWord(addr) != kRowLive)
+            continue;
+        DbValue cell = decodeValueSlot(
+            reinterpret_cast<const std::uint8_t *>(
+                addr + kRowHeader + col * kValueSlotBytes));
+        if (cell == v)
+            emit_row(i);
+    }
+}
+
+void
+RowStore::scanAll(
+    std::size_t table,
+    const std::function<void(const std::vector<DbValue> &)> &fn) const
+{
+    const TableRegion &region = regions_[table];
+    const TableSchema &schema = catalog_->tables()[table];
+    std::size_t row_bytes = schema.rowBytes();
+    std::vector<DbValue> row;
+    for (std::size_t i = 0; i < region.highWater; ++i) {
+        Addr addr = rowAddr(region, i, row_bytes);
+        if (loadWord(addr) != kRowLive)
+            continue;
+        row.clear();
+        for (std::size_t c = 0; c < schema.columns.size(); ++c) {
+            row.push_back(decodeValueSlot(
+                reinterpret_cast<const std::uint8_t *>(
+                    addr + kRowHeader + c * kValueSlotBytes)));
+        }
+        fn(row);
+    }
+}
+
+std::size_t
+RowStore::rowCount(std::size_t table) const
+{
+    return regions_[table].pkIndex.size();
+}
+
+} // namespace db
+} // namespace espresso

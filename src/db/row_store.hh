@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Slotted fixed-width row storage on the database device, with a
+ * volatile primary-key hash index per table (rebuilt on open, the
+ * way H2 rebuilds/loads in-memory indexes).
+ *
+ * Every mutation logs the old row image through the caller's Wal
+ * before touching it, so statement atomicity and crash rollback come
+ * for free.
+ */
+
+#ifndef ESPRESSO_DB_ROW_STORE_HH
+#define ESPRESSO_DB_ROW_STORE_HH
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "db/catalog.hh"
+#include "db/wal.hh"
+
+namespace espresso {
+
+class NvmDevice;
+
+namespace db {
+
+/** All tables' row regions. */
+class RowStore
+{
+  public:
+    RowStore() = default;
+
+    /**
+     * @param device backing device.
+     * @param base row-region base address.
+     * @param size region capacity in bytes.
+     * @param catalog schema source.
+     * @param rows_per_table fixed table capacity.
+     */
+    RowStore(NvmDevice *device, Addr base, std::size_t size,
+             Catalog *catalog, std::size_t rows_per_table);
+
+    /** Insert; false when the primary key already exists. */
+    bool insert(std::size_t table, const std::vector<DbValue> &row,
+                Wal &wal);
+
+    /**
+     * Update columns selected by @p dirty_mask (bit per column; the
+     * pk column is never rewritten); false when the pk is absent.
+     */
+    bool update(std::size_t table, std::int64_t pk,
+                const std::vector<DbValue> &row, std::uint64_t dirty_mask,
+                Wal &wal);
+
+    /** Delete by pk; false when absent. */
+    bool erase(std::size_t table, std::int64_t pk, Wal &wal);
+
+    /** Point lookup by pk. */
+    bool fetch(std::size_t table, std::int64_t pk,
+               std::vector<DbValue> *out) const;
+
+    /** Scan rows where column @p col equals @p v. */
+    void scanEq(std::size_t table, std::size_t col, const DbValue &v,
+                const std::function<void(const std::vector<DbValue> &)>
+                    &fn) const;
+
+    /** Visit every live row. */
+    void scanAll(std::size_t table,
+                 const std::function<void(const std::vector<DbValue> &)>
+                     &fn) const;
+
+    /** Number of live rows. */
+    std::size_t rowCount(std::size_t table) const;
+
+    /** Ensure a region exists for every cataloged table (DDL hook),
+     * and rebuild the volatile pk indexes (open hook). */
+    void syncWithCatalog();
+
+  private:
+    struct TableRegion
+    {
+        Addr base = 0;
+        std::size_t capacity = 0;
+        std::unordered_map<std::int64_t, std::size_t> pkIndex;
+        /** Secondary equality index (schema.indexColumn). */
+        std::unordered_multimap<std::int64_t, std::size_t> eqIndex;
+        std::vector<std::size_t> freeRows;
+        std::size_t highWater = 0;
+    };
+
+    void eqIndexErase(TableRegion &region, std::int64_t key,
+                      std::size_t idx);
+    db::DbValue cellAt(const TableRegion &region, std::size_t idx,
+                       std::size_t row_bytes, std::size_t col) const;
+
+    Addr rowAddr(const TableRegion &region, std::size_t idx,
+                 std::size_t row_bytes) const
+    {
+        return region.base + idx * row_bytes;
+    }
+
+    void writeRow(std::size_t table, TableRegion &region,
+                  std::size_t idx, const std::vector<DbValue> &row,
+                  std::uint64_t dirty_mask, Wal &wal, bool fresh);
+
+    NvmDevice *device_ = nullptr;
+    Addr base_ = 0;
+    std::size_t size_ = 0;
+    Catalog *catalog_ = nullptr;
+    std::size_t rowsPerTable_ = 0;
+    std::size_t allocated_ = 0;
+    std::vector<TableRegion> regions_;
+};
+
+} // namespace db
+} // namespace espresso
+
+#endif // ESPRESSO_DB_ROW_STORE_HH

@@ -1,0 +1,103 @@
+#include "db/sql_lexer.hh"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "util/logging.hh"
+
+namespace espresso {
+namespace db {
+
+std::vector<Token>
+tokenizeSql(const std::string &sql)
+{
+    std::vector<Token> out;
+    std::size_t i = 0;
+    std::size_t n = sql.size();
+    while (i < n) {
+        char c = sql[i];
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+        if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+            Token t;
+            t.kind = TokKind::kIdent;
+            while (i < n &&
+                   (std::isalnum(static_cast<unsigned char>(sql[i])) ||
+                    sql[i] == '_' || sql[i] == '.')) {
+                t.text.push_back(static_cast<char>(
+                    std::toupper(static_cast<unsigned char>(sql[i]))));
+                ++i;
+            }
+            out.push_back(std::move(t));
+            continue;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c)) ||
+            (c == '-' &&
+             i + 1 < n &&
+             std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+            std::size_t start = i;
+            if (c == '-')
+                ++i;
+            bool is_float = false;
+            while (i < n &&
+                   (std::isdigit(static_cast<unsigned char>(sql[i])) ||
+                    sql[i] == '.' || sql[i] == 'e' || sql[i] == 'E' ||
+                    ((sql[i] == '+' || sql[i] == '-') &&
+                     (sql[i - 1] == 'e' || sql[i - 1] == 'E')))) {
+                if (sql[i] == '.' || sql[i] == 'e' || sql[i] == 'E')
+                    is_float = true;
+                ++i;
+            }
+            std::string text = sql.substr(start, i - start);
+            Token t;
+            if (is_float) {
+                t.kind = TokKind::kFloat;
+                t.d = std::strtod(text.c_str(), nullptr);
+            } else {
+                t.kind = TokKind::kInt;
+                t.i = std::strtoll(text.c_str(), nullptr, 10);
+            }
+            out.push_back(std::move(t));
+            continue;
+        }
+        if (c == '\'') {
+            Token t;
+            t.kind = TokKind::kString;
+            ++i;
+            while (i < n) {
+                if (sql[i] == '\'') {
+                    if (i + 1 < n && sql[i + 1] == '\'') {
+                        t.text.push_back('\'');
+                        i += 2;
+                        continue;
+                    }
+                    break;
+                }
+                t.text.push_back(sql[i]);
+                ++i;
+            }
+            if (i >= n)
+                fatal("sql: unterminated string literal");
+            ++i; // closing quote
+            out.push_back(std::move(t));
+            continue;
+        }
+        if (c == ',' || c == '(' || c == ')' || c == '=' || c == '*' ||
+            c == ';') {
+            Token t;
+            t.kind = TokKind::kPunct;
+            t.punct = c;
+            out.push_back(std::move(t));
+            ++i;
+            continue;
+        }
+        fatal(std::string("sql: unexpected character '") + c + "'");
+    }
+    out.push_back(Token{});
+    return out;
+}
+
+} // namespace db
+} // namespace espresso

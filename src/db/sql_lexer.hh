@@ -1,0 +1,46 @@
+/**
+ * @file
+ * SQL tokenizer for the mini-H2 front end. Together with the parser
+ * it is the receiving half of the JPA "transformation" cost: every
+ * statement the ORM formats must be re-tokenized, re-parsed and its
+ * literals re-typed here before the engine can touch a row.
+ */
+
+#ifndef ESPRESSO_DB_SQL_LEXER_HH
+#define ESPRESSO_DB_SQL_LEXER_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace espresso {
+namespace db {
+
+/** Token categories. */
+enum class TokKind : std::uint8_t
+{
+    kIdent,  ///< bare word (keywords included; case-insensitive)
+    kInt,    ///< integer literal
+    kFloat,  ///< floating literal
+    kString, ///< quoted string (unescaped)
+    kPunct,  ///< single-character punctuation , ( ) = * ;
+    kEnd,
+};
+
+/** One token. */
+struct Token
+{
+    TokKind kind = TokKind::kEnd;
+    std::string text; ///< identifier (upper-cased) or string body
+    std::int64_t i = 0;
+    double d = 0.0;
+    char punct = 0;
+};
+
+/** Tokenize @p sql; throws FatalError on malformed input. */
+std::vector<Token> tokenizeSql(const std::string &sql);
+
+} // namespace db
+} // namespace espresso
+
+#endif // ESPRESSO_DB_SQL_LEXER_HH

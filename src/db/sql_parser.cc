@@ -1,0 +1,247 @@
+#include "db/sql_parser.hh"
+
+#include "util/logging.hh"
+
+namespace espresso {
+namespace db {
+
+namespace {
+
+/** Token cursor with expectation helpers. */
+class Cursor
+{
+  public:
+    explicit Cursor(std::vector<Token> tokens)
+        : tokens_(std::move(tokens))
+    {}
+
+    const Token &peek() const { return tokens_[pos_]; }
+
+    const Token &
+    next()
+    {
+        const Token &t = tokens_[pos_];
+        if (t.kind != TokKind::kEnd)
+            ++pos_;
+        return t;
+    }
+
+    bool
+    acceptPunct(char c)
+    {
+        if (peek().kind == TokKind::kPunct && peek().punct == c) {
+            next();
+            return true;
+        }
+        return false;
+    }
+
+    bool
+    acceptKeyword(const std::string &kw)
+    {
+        if (peek().kind == TokKind::kIdent && peek().text == kw) {
+            next();
+            return true;
+        }
+        return false;
+    }
+
+    void
+    expectPunct(char c)
+    {
+        if (!acceptPunct(c))
+            fatal(std::string("sql: expected '") + c + "'");
+    }
+
+    void
+    expectKeyword(const std::string &kw)
+    {
+        if (!acceptKeyword(kw))
+            fatal("sql: expected " + kw);
+    }
+
+    std::string
+    expectIdent()
+    {
+        if (peek().kind != TokKind::kIdent)
+            fatal("sql: expected identifier");
+        return next().text;
+    }
+
+    DbValue
+    expectLiteral()
+    {
+        const Token &t = next();
+        switch (t.kind) {
+          case TokKind::kInt:
+            return DbValue::ofI64(t.i);
+          case TokKind::kFloat:
+            return DbValue::ofF64(t.d);
+          case TokKind::kString:
+            return DbValue::ofStr(t.text);
+          case TokKind::kIdent:
+            if (t.text == "NULL")
+                return DbValue::null();
+            [[fallthrough]];
+          default:
+            fatal("sql: expected literal");
+        }
+    }
+
+  private:
+    std::vector<Token> tokens_;
+    std::size_t pos_ = 0;
+};
+
+DbType
+parseTypeName(const std::string &name)
+{
+    if (name == "BIGINT" || name == "INT" || name == "INTEGER")
+        return DbType::kI64;
+    if (name == "DOUBLE" || name == "FLOAT" || name == "REAL")
+        return DbType::kF64;
+    if (name == "VARCHAR" || name == "TEXT" || name == "CHAR")
+        return DbType::kStr;
+    fatal("sql: unknown type " + name);
+}
+
+void
+parseWhere(Cursor &cur, SqlStatement &stmt)
+{
+    if (!cur.acceptKeyword("WHERE"))
+        return;
+    stmt.hasWhere = true;
+    stmt.whereColumn = cur.expectIdent();
+    cur.expectPunct('=');
+    stmt.whereValue = cur.expectLiteral();
+}
+
+SqlStatement
+parseCreate(Cursor &cur)
+{
+    SqlStatement stmt;
+    stmt.kind = SqlStatement::Kind::kCreateTable;
+    cur.expectKeyword("TABLE");
+    stmt.table = cur.expectIdent();
+    stmt.schema.name = stmt.table;
+    cur.expectPunct('(');
+    while (true) {
+        ColumnDef col;
+        col.name = cur.expectIdent();
+        col.type = parseTypeName(cur.expectIdent());
+        if (cur.acceptKeyword("PRIMARY")) {
+            cur.expectKeyword("KEY");
+            stmt.schema.pkColumn = stmt.schema.columns.size();
+        }
+        stmt.schema.columns.push_back(std::move(col));
+        if (cur.acceptPunct(','))
+            continue;
+        cur.expectPunct(')');
+        break;
+    }
+    return stmt;
+}
+
+SqlStatement
+parseInsert(Cursor &cur)
+{
+    SqlStatement stmt;
+    stmt.kind = SqlStatement::Kind::kInsert;
+    cur.expectKeyword("INTO");
+    stmt.table = cur.expectIdent();
+    cur.expectPunct('(');
+    while (true) {
+        stmt.insertColumns.push_back(cur.expectIdent());
+        if (cur.acceptPunct(','))
+            continue;
+        cur.expectPunct(')');
+        break;
+    }
+    cur.expectKeyword("VALUES");
+    cur.expectPunct('(');
+    while (true) {
+        stmt.insertValues.push_back(cur.expectLiteral());
+        if (cur.acceptPunct(','))
+            continue;
+        cur.expectPunct(')');
+        break;
+    }
+    if (stmt.insertColumns.size() != stmt.insertValues.size())
+        fatal("sql: INSERT column/value count mismatch");
+    return stmt;
+}
+
+SqlStatement
+parseSelect(Cursor &cur)
+{
+    SqlStatement stmt;
+    stmt.kind = SqlStatement::Kind::kSelect;
+    if (cur.acceptPunct('*')) {
+        stmt.selectAll = true;
+    } else {
+        while (true) {
+            stmt.selectColumns.push_back(cur.expectIdent());
+            if (!cur.acceptPunct(','))
+                break;
+        }
+    }
+    cur.expectKeyword("FROM");
+    stmt.table = cur.expectIdent();
+    parseWhere(cur, stmt);
+    return stmt;
+}
+
+SqlStatement
+parseUpdate(Cursor &cur)
+{
+    SqlStatement stmt;
+    stmt.kind = SqlStatement::Kind::kUpdate;
+    stmt.table = cur.expectIdent();
+    cur.expectKeyword("SET");
+    while (true) {
+        std::string col = cur.expectIdent();
+        cur.expectPunct('=');
+        stmt.assignments.emplace_back(col, cur.expectLiteral());
+        if (!cur.acceptPunct(','))
+            break;
+    }
+    parseWhere(cur, stmt);
+    if (!stmt.hasWhere)
+        fatal("sql: UPDATE without WHERE is not supported");
+    return stmt;
+}
+
+SqlStatement
+parseDelete(Cursor &cur)
+{
+    SqlStatement stmt;
+    stmt.kind = SqlStatement::Kind::kDelete;
+    cur.expectKeyword("FROM");
+    stmt.table = cur.expectIdent();
+    parseWhere(cur, stmt);
+    if (!stmt.hasWhere)
+        fatal("sql: DELETE without WHERE is not supported");
+    return stmt;
+}
+
+} // namespace
+
+SqlStatement
+parseSql(const std::string &sql)
+{
+    Cursor cur(tokenizeSql(sql));
+    if (cur.acceptKeyword("CREATE"))
+        return parseCreate(cur);
+    if (cur.acceptKeyword("INSERT"))
+        return parseInsert(cur);
+    if (cur.acceptKeyword("SELECT"))
+        return parseSelect(cur);
+    if (cur.acceptKeyword("UPDATE"))
+        return parseUpdate(cur);
+    if (cur.acceptKeyword("DELETE"))
+        return parseDelete(cur);
+    fatal("sql: unsupported statement");
+}
+
+} // namespace db
+} // namespace espresso

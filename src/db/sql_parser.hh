@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Recursive-descent parser for the SQL subset the ORM emits:
+ *
+ *   CREATE TABLE t (c1 BIGINT PRIMARY KEY, c2 VARCHAR, ...)
+ *   INSERT INTO t (c1, c2) VALUES (v1, v2)
+ *   SELECT * | c1, c2 FROM t [WHERE c = v]
+ *   UPDATE t SET c1 = v1, c2 = v2 WHERE c = v
+ *   DELETE FROM t WHERE c = v
+ */
+
+#ifndef ESPRESSO_DB_SQL_PARSER_HH
+#define ESPRESSO_DB_SQL_PARSER_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "db/catalog.hh"
+#include "db/sql_lexer.hh"
+#include "db/value_codec.hh"
+
+namespace espresso {
+namespace db {
+
+/** A parsed statement (tagged union, kind-dependent fields). */
+struct SqlStatement
+{
+    enum class Kind
+    {
+        kCreateTable,
+        kInsert,
+        kSelect,
+        kUpdate,
+        kDelete,
+    };
+
+    Kind kind = Kind::kSelect;
+    std::string table;
+
+    // CREATE TABLE
+    TableSchema schema;
+
+    // INSERT
+    std::vector<std::string> insertColumns;
+    std::vector<DbValue> insertValues;
+
+    // SELECT
+    bool selectAll = false;
+    std::vector<std::string> selectColumns;
+
+    // UPDATE
+    std::vector<std::pair<std::string, DbValue>> assignments;
+
+    // WHERE c = v (single equality predicate)
+    bool hasWhere = false;
+    std::string whereColumn;
+    DbValue whereValue;
+};
+
+/** Parse one statement; throws FatalError on syntax errors. */
+SqlStatement parseSql(const std::string &sql);
+
+} // namespace db
+} // namespace espresso
+
+#endif // ESPRESSO_DB_SQL_PARSER_HH

@@ -1,0 +1,113 @@
+#include "db/value_codec.hh"
+
+#include <cmath>
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace espresso {
+namespace db {
+
+const char *
+dbTypeName(DbType t)
+{
+    switch (t) {
+      case DbType::kNull: return "NULL";
+      case DbType::kI64: return "BIGINT";
+      case DbType::kF64: return "DOUBLE";
+      case DbType::kStr: return "VARCHAR";
+    }
+    panic("unknown DbType");
+}
+
+bool
+DbValue::operator==(const DbValue &o) const
+{
+    if (type != o.type)
+        return false;
+    switch (type) {
+      case DbType::kNull: return true;
+      case DbType::kI64: return i == o.i;
+      case DbType::kF64: return d == o.d;
+      case DbType::kStr: return s == o.s;
+    }
+    return false;
+}
+
+void
+encodeValueSlot(std::uint8_t *slot, const DbValue &v)
+{
+    std::memset(slot, 0, kValueSlotBytes);
+    slot[0] = static_cast<std::uint8_t>(v.type);
+    switch (v.type) {
+      case DbType::kNull:
+        break;
+      case DbType::kI64:
+        std::memcpy(slot + 8, &v.i, 8);
+        break;
+      case DbType::kF64:
+        std::memcpy(slot + 8, &v.d, 8);
+        break;
+      case DbType::kStr:
+        if (v.s.size() > kMaxInlineString)
+            fatal("db: string exceeds inline slot: " + v.s);
+        slot[1] = static_cast<std::uint8_t>(v.s.size());
+        std::memcpy(slot + 8, v.s.data(), v.s.size());
+        break;
+    }
+}
+
+DbValue
+decodeValueSlot(const std::uint8_t *slot)
+{
+    DbValue v;
+    v.type = static_cast<DbType>(slot[0]);
+    switch (v.type) {
+      case DbType::kNull:
+        break;
+      case DbType::kI64:
+        std::memcpy(&v.i, slot + 8, 8);
+        break;
+      case DbType::kF64:
+        std::memcpy(&v.d, slot + 8, 8);
+        break;
+      case DbType::kStr:
+        v.s.assign(reinterpret_cast<const char *>(slot + 8), slot[1]);
+        break;
+      default:
+        panic("db: corrupted value slot tag");
+    }
+    return v;
+}
+
+std::string
+toSqlLiteral(const DbValue &v)
+{
+    switch (v.type) {
+      case DbType::kNull:
+        return "NULL";
+      case DbType::kI64:
+        return std::to_string(v.i);
+      case DbType::kF64: {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.17g", v.d);
+        return buf;
+      }
+      case DbType::kStr: {
+        std::string out;
+        out.reserve(v.s.size() + 2);
+        out.push_back('\'');
+        for (char c : v.s) {
+            if (c == '\'')
+                out.push_back('\''); // SQL doubling escape
+            out.push_back(c);
+        }
+        out.push_back('\'');
+        return out;
+      }
+    }
+    panic("unknown DbType");
+}
+
+} // namespace db
+} // namespace espresso

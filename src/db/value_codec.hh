@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Database values: typed cells, the fixed-width persistent slot
+ * encoding used by the row store, and the SQL-literal text codec.
+ *
+ * The text codec is deliberately load-bearing: the JPA path turns
+ * every value into a SQL literal and back (object → SQL text → typed
+ * cell), which is precisely the "transformation" overhead Figures 4
+ * and 17 attribute; the PJO path ships DbValues directly and skips
+ * both conversions.
+ */
+
+#ifndef ESPRESSO_DB_VALUE_CODEC_HH
+#define ESPRESSO_DB_VALUE_CODEC_HH
+
+#include <cstdint>
+#include <string>
+
+namespace espresso {
+namespace db {
+
+/** Column/value type. */
+enum class DbType : std::uint8_t
+{
+    kNull = 0,
+    kI64,
+    kF64,
+    kStr,
+};
+
+const char *dbTypeName(DbType t);
+
+/** One typed cell. */
+struct DbValue
+{
+    DbType type = DbType::kNull;
+    std::int64_t i = 0;
+    double d = 0.0;
+    std::string s;
+
+    static DbValue null() { return DbValue{}; }
+
+    static DbValue
+    ofI64(std::int64_t v)
+    {
+        DbValue out;
+        out.type = DbType::kI64;
+        out.i = v;
+        return out;
+    }
+
+    static DbValue
+    ofF64(double v)
+    {
+        DbValue out;
+        out.type = DbType::kF64;
+        out.d = v;
+        return out;
+    }
+
+    static DbValue
+    ofStr(std::string v)
+    {
+        DbValue out;
+        out.type = DbType::kStr;
+        out.s = std::move(v);
+        return out;
+    }
+
+    bool operator==(const DbValue &o) const;
+};
+
+/** Fixed persistent slot: 8-byte tag + 56-byte payload. */
+constexpr std::size_t kValueSlotBytes = 64;
+constexpr std::size_t kMaxInlineString = 55;
+
+/** Encode @p v into a 64-byte slot. Strings longer than
+ * kMaxInlineString are fatal (schema restriction). */
+void encodeValueSlot(std::uint8_t *slot, const DbValue &v);
+
+/** Decode a 64-byte slot. */
+DbValue decodeValueSlot(const std::uint8_t *slot);
+
+/** Format @p v as a SQL literal (quotes and escapes strings). */
+std::string toSqlLiteral(const DbValue &v);
+
+} // namespace db
+} // namespace espresso
+
+#endif // ESPRESSO_DB_VALUE_CODEC_HH

@@ -1,0 +1,120 @@
+#include "db/wal.hh"
+
+#include <cstring>
+#include <vector>
+
+#include "nvm/nvm_device.hh"
+#include "util/logging.hh"
+
+namespace espresso {
+namespace db {
+
+Wal::Wal(NvmDevice *device, Addr base, std::size_t size)
+    : device_(device), base_(base), size_(size)
+{}
+
+bool
+Wal::active() const
+{
+    return header()->active != 0;
+}
+
+void
+Wal::begin()
+{
+    if (active())
+        panic("db wal: transaction already open");
+    Header *h = header();
+    h->count = 0;
+    h->used = 0;
+    device_->flush(base_, sizeof(Header));
+    h->active = 1;
+    device_->persist(reinterpret_cast<Addr>(&h->active), kWordSize);
+}
+
+void
+Wal::logRange(Addr addr, std::size_t len)
+{
+    if (!active())
+        panic("db wal: logRange outside a transaction");
+    Header *h = header();
+    std::size_t entry_bytes = sizeof(Entry) + alignUp(len, kWordSize);
+    if (kCacheLineSize + h->used + entry_bytes > size_)
+        fatal("db wal: log full");
+    Addr entry_addr = payload() + h->used;
+    auto *entry = reinterpret_cast<Entry *>(entry_addr);
+    entry->deviceOffset = device_->toOffset(addr);
+    entry->length = len;
+    std::memcpy(entry + 1, reinterpret_cast<const void *>(addr), len);
+    device_->flush(entry_addr, entry_bytes);
+    device_->fence();
+    h->used += entry_bytes;
+    h->count += 1;
+    device_->persist(base_, sizeof(Header));
+}
+
+void
+Wal::commit()
+{
+    if (!active())
+        panic("db wal: commit outside a transaction");
+    Header *h = header();
+    Addr cursor = payload();
+    for (Word i = 0; i < h->count; ++i) {
+        auto *entry = reinterpret_cast<Entry *>(cursor);
+        device_->flush(device_->toAddr(entry->deviceOffset),
+                       entry->length);
+        cursor += sizeof(Entry) + alignUp(entry->length, kWordSize);
+    }
+    device_->fence();
+    retire();
+}
+
+void
+Wal::rollback()
+{
+    Header *h = header();
+    std::vector<Entry *> entries;
+    Addr cursor = payload();
+    for (Word i = 0; i < h->count; ++i) {
+        auto *entry = reinterpret_cast<Entry *>(cursor);
+        entries.push_back(entry);
+        cursor += sizeof(Entry) + alignUp(entry->length, kWordSize);
+    }
+    for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
+        Addr dst = device_->toAddr((*it)->deviceOffset);
+        std::memcpy(reinterpret_cast<void *>(dst), *it + 1,
+                    (*it)->length);
+        device_->flush(dst, (*it)->length);
+    }
+    device_->fence();
+}
+
+void
+Wal::rollbackAndRetire()
+{
+    if (!active())
+        panic("db wal: rollback outside a transaction");
+    rollback();
+    retire();
+}
+
+void
+Wal::retire()
+{
+    Header *h = header();
+    h->active = 0;
+    device_->persist(reinterpret_cast<Addr>(&h->active), kWordSize);
+}
+
+void
+Wal::recover()
+{
+    if (active()) {
+        rollback();
+        retire();
+    }
+}
+
+} // namespace db
+} // namespace espresso

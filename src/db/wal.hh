@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Write-ahead undo logging for the database device.
+ *
+ * Statement/transaction atomicity: before a row byte is overwritten,
+ * its old image is persisted to the log; commit persists the new row
+ * bytes and retires the log; reopening a crashed database rolls back
+ * the in-flight transaction. (H2 keeps its own transaction logs —
+ * the paper leaves "the data structures for transaction control
+ * (like logging)" intact, so both the JPA and PJO paths share this.)
+ */
+
+#ifndef ESPRESSO_DB_WAL_HH
+#define ESPRESSO_DB_WAL_HH
+
+#include <cstdint>
+
+#include "util/common.hh"
+
+namespace espresso {
+
+class NvmDevice;
+
+namespace db {
+
+/** Undo-style transaction log over a device region. */
+class Wal
+{
+  public:
+    Wal() = default;
+
+    /** @param device owning device; @param base log region address;
+     * @param size region capacity. */
+    Wal(NvmDevice *device, Addr base, std::size_t size);
+
+    void begin();
+    bool active() const;
+
+    /** Persist the old image of [addr, addr+len) before overwrite. */
+    void logRange(Addr addr, std::size_t len);
+
+    void commit();
+    void rollbackAndRetire();
+
+    /** Open-time recovery. */
+    void recover();
+
+  private:
+    struct Header
+    {
+        Word active;
+        Word count;
+        Word used;
+    };
+
+    struct Entry
+    {
+        Word deviceOffset;
+        Word length;
+    };
+
+    Header *header() const { return reinterpret_cast<Header *>(base_); }
+    Addr payload() const { return base_ + kCacheLineSize; }
+    void rollback();
+    void retire();
+
+    NvmDevice *device_ = nullptr;
+    Addr base_ = 0;
+    std::size_t size_ = 0;
+};
+
+} // namespace db
+} // namespace espresso
+
+#endif // ESPRESSO_DB_WAL_HH

@@ -1,0 +1,50 @@
+#include "heap/mark_bitmap.hh"
+
+#include "util/logging.hh"
+
+namespace espresso {
+
+MarkBitmap::MarkBitmap(Addr base, std::size_t size, Word *start_words,
+                       Word *live_words)
+    : base_(base), size_(size),
+      startBits_(start_words, bitsFor(size)),
+      liveBits_(live_words, bitsFor(size))
+{
+    if (!isAligned(base, kGranule) || !isAligned(size, kGranule))
+        panic("MarkBitmap: unaligned coverage");
+}
+
+void
+MarkBitmap::markObject(Addr obj, std::size_t size)
+{
+    if (obj < base_ || obj + size > base_ + size_)
+        panic("MarkBitmap::markObject out of coverage");
+    std::size_t first = bitIndex(obj);
+    startBits_.set(first);
+    liveBits_.setRange(first, first + size / kGranule);
+}
+
+Addr
+MarkBitmap::nextMarkedObject(Addr from, Addr limit) const
+{
+    std::size_t bit =
+        startBits_.findNextSet(bitIndex(from), bitIndex(limit));
+    if (bit == bitIndex(limit))
+        return kNullAddr;
+    return base_ + bit * kGranule;
+}
+
+std::size_t
+MarkBitmap::liveSizeAt(Addr obj) const
+{
+    // The live bits of one object form a run that ends either at an
+    // unset bit or at the start bit of the next object.
+    std::size_t bit = bitIndex(obj);
+    std::size_t limit = bitsFor(size_);
+    std::size_t end = bit + 1;
+    while (end < limit && liveBits_.test(end) && !startBits_.test(end))
+        ++end;
+    return (end - bit) * kGranule;
+}
+
+} // namespace espresso

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Liveness bitmap for mark/summary/compact collections.
+ *
+ * Two bit vectors over 8-byte heap granules:
+ *  - start bits: one bit at the first granule of each live object
+ *    (drives object iteration during compaction/recovery);
+ *  - live bits: every granule of a live object (drives destination
+ *    computation by popcount, with no need to read object headers —
+ *    essential for PJH recovery, where source headers of already
+ *    moved objects may be overwritten).
+ *
+ * Storage is caller-owned so the PJH can place it inside the
+ * persistent space and persist it at the end of the marking phase
+ * (paper §4.2: "the mark bitmap can be seen as a sketch of the whole
+ * heap ... it must be persisted before the objects start being
+ * moved").
+ */
+
+#ifndef ESPRESSO_HEAP_MARK_BITMAP_HH
+#define ESPRESSO_HEAP_MARK_BITMAP_HH
+
+#include <cstddef>
+
+#include "util/bitmap.hh"
+#include "util/common.hh"
+
+namespace espresso {
+
+/** Liveness bitmap over [base, base+size). */
+class MarkBitmap
+{
+  public:
+    /** Heap granule covered by one bit. */
+    static constexpr std::size_t kGranule = kWordSize;
+
+    MarkBitmap() = default;
+
+    /**
+     * @param base first covered heap address (granule aligned).
+     * @param size covered bytes.
+     * @param start_words backing words for the start bits.
+     * @param live_words backing words for the live bits.
+     */
+    MarkBitmap(Addr base, std::size_t size, Word *start_words,
+               Word *live_words);
+
+    /** Bits needed per vector for @p size covered bytes. */
+    static constexpr std::size_t
+    bitsFor(std::size_t size)
+    {
+        return size / kGranule;
+    }
+
+    /** Bytes of backing storage needed for ONE vector. */
+    static constexpr std::size_t
+    storageBytesFor(std::size_t size)
+    {
+        return BitmapView::bytesFor(bitsFor(size));
+    }
+
+    Addr base() const { return base_; }
+    std::size_t coveredBytes() const { return size_; }
+
+    /** Record a live object at @p obj spanning @p size bytes. */
+    void markObject(Addr obj, std::size_t size);
+
+    bool
+    isMarked(Addr obj) const
+    {
+        return startBits_.test(bitIndex(obj));
+    }
+
+    /** Live bytes in [from, to) (popcount of live bits). */
+    std::size_t
+    liveBytesInRange(Addr from, Addr to) const
+    {
+        return liveBits_.popcount(bitIndex(from), bitIndex(to)) * kGranule;
+    }
+
+    /**
+     * First marked object start at or after @p from, strictly below
+     * @p limit; returns kNullAddr when none.
+     */
+    Addr nextMarkedObject(Addr from, Addr limit) const;
+
+    /** Object size implied by the live bits at @p obj. */
+    std::size_t liveSizeAt(Addr obj) const;
+
+    void
+    clearAll()
+    {
+        startBits_.clearAll();
+        liveBits_.clearAll();
+    }
+
+    BitmapView &startBits() { return startBits_; }
+    BitmapView &liveBits() { return liveBits_; }
+    const BitmapView &startBits() const { return startBits_; }
+    const BitmapView &liveBits() const { return liveBits_; }
+
+  private:
+    std::size_t
+    bitIndex(Addr a) const
+    {
+        return (a - base_) / kGranule;
+    }
+
+    Addr base_ = 0;
+    std::size_t size_ = 0;
+    BitmapView startBits_;
+    BitmapView liveBits_;
+};
+
+} // namespace espresso
+
+#endif // ESPRESSO_HEAP_MARK_BITMAP_HH

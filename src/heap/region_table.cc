@@ -1,0 +1,54 @@
+#include "heap/region_table.hh"
+
+#include "util/logging.hh"
+
+namespace espresso {
+
+RegionTable::RegionTable(Addr base, std::size_t size,
+                         std::size_t region_size)
+    : base_(base), size_(size), regionSize_(region_size)
+{
+    if (!isAligned(region_size, kBlockSize))
+        panic("RegionTable: region size must be a block multiple");
+    if (!isAligned(size, region_size))
+        panic("RegionTable: space size must be a region multiple");
+    std::size_t n = size / region_size;
+    liveBytes_.assign(n, 0);
+    destBase_.assign(n, 0);
+    blockPrefix_.assign(size / kBlockSize, 0);
+}
+
+void
+RegionTable::buildSummary(const MarkBitmap &marks, Addr compact_base)
+{
+    std::size_t blocks_per_region = regionSize_ / kBlockSize;
+    Addr cursor = compact_base;
+    for (std::size_t r = 0; r < liveBytes_.size(); ++r) {
+        Addr rbase = regionBase(r);
+        std::size_t region_live = 0;
+        for (std::size_t b = 0; b < blocks_per_region; ++b) {
+            std::size_t gblock = r * blocks_per_region + b;
+            blockPrefix_[gblock] = region_live;
+            Addr bbase = rbase + b * kBlockSize;
+            region_live +=
+                marks.liveBytesInRange(bbase, bbase + kBlockSize);
+        }
+        liveBytes_[r] = region_live;
+        destBase_[r] = cursor;
+        cursor += region_live;
+    }
+    newTop_ = cursor;
+}
+
+Addr
+RegionTable::forwardee(Addr obj, const MarkBitmap &marks) const
+{
+    std::size_t r = regionIndex(obj);
+    Addr block_base = alignDown(obj - base_, kBlockSize) + base_;
+    std::size_t gblock = (obj - base_) / kBlockSize;
+    std::size_t within = blockPrefix_[gblock] +
+                         marks.liveBytesInRange(block_base, obj);
+    return destBase_[r] + within;
+}
+
+} // namespace espresso

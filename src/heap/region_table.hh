@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Summary-phase data: per-region destinations and block offsets.
+ *
+ * The summary phase of PSGC turns the mark bitmap into region-based
+ * indices that answer forwardee(addr) — where a live object will be
+ * moved. The computation is a pure function of the mark bitmap
+ * (paper §4.2: "the summary phase is idempotent"), which is exactly
+ * what makes PJH recovery possible: the table is volatile and simply
+ * recomputed from the persisted bitmap after a crash.
+ *
+ * Destinations implement sliding compaction: live objects are packed
+ * toward the space base in address order, so an object's destination
+ * never exceeds its source address.
+ */
+
+#ifndef ESPRESSO_HEAP_REGION_TABLE_HH
+#define ESPRESSO_HEAP_REGION_TABLE_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "heap/mark_bitmap.hh"
+#include "util/common.hh"
+
+namespace espresso {
+
+/** Region-based compaction indices. */
+class RegionTable
+{
+  public:
+    /** Block granularity of the intra-region live-prefix cache. */
+    static constexpr std::size_t kBlockSize = 512;
+
+    RegionTable() = default;
+
+    /**
+     * @param base covered space base.
+     * @param size covered bytes.
+     * @param region_size region granularity (multiple of kBlockSize).
+     */
+    RegionTable(Addr base, std::size_t size, std::size_t region_size);
+
+    /**
+     * Recompute all indices from @p marks; live data slides down to
+     * @p compact_base (normally the space base).
+     */
+    void buildSummary(const MarkBitmap &marks, Addr compact_base);
+
+    /** Post-compaction allocation top. */
+    Addr newTop() const { return newTop_; }
+
+    /** Destination of the live object at @p obj. */
+    Addr forwardee(Addr obj, const MarkBitmap &marks) const;
+
+    std::size_t numRegions() const { return liveBytes_.size(); }
+    std::size_t regionSize() const { return regionSize_; }
+
+    std::size_t
+    regionIndex(Addr a) const
+    {
+        return (a - base_) / regionSize_;
+    }
+
+    Addr
+    regionBase(std::size_t idx) const
+    {
+        return base_ + idx * regionSize_;
+    }
+
+    std::size_t liveBytesInRegion(std::size_t idx) const
+    {
+        return liveBytes_[idx];
+    }
+
+    /** Destination address of the first live byte of region @p idx. */
+    Addr destBase(std::size_t idx) const { return destBase_[idx]; }
+
+  private:
+    Addr base_ = 0;
+    std::size_t size_ = 0;
+    std::size_t regionSize_ = 0;
+    Addr newTop_ = 0;
+    std::vector<std::size_t> liveBytes_; ///< per region
+    std::vector<Addr> destBase_;         ///< per region
+    std::vector<std::size_t> blockPrefix_; ///< live bytes before block,
+                                           ///< within its region
+};
+
+} // namespace espresso
+
+#endif // ESPRESSO_HEAP_REGION_TABLE_HH

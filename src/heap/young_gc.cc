@@ -1,0 +1,105 @@
+#include "heap/young_gc.hh"
+
+#include <cstring>
+#include <utility>
+
+#include "util/logging.hh"
+
+namespace espresso {
+
+YoungGc::YoungGc(VolatileHeap &heap)
+    : h_(heap), toTop_(heap.toBase_), scan_(heap.toBase_),
+      oldTopAtStart_(heap.oldTop_)
+{}
+
+void
+YoungGc::collect()
+{
+    auto visitor = [this](Addr slot) { processSlot(slot); };
+
+    // Roots: handles, providers, external (PJH) spaces.
+    h_.visitAllRootSlots(visitor);
+
+    // Old-to-young references act as roots too (remembered set by
+    // full old-space scan; a card table would narrow this).
+    Addr a = h_.oldBase_;
+    while (a < oldTopAtStart_) {
+        Oop o(a);
+        o.forEachRefSlot(visitor);
+        a += o.sizeInBytes();
+    }
+
+    // Transitive closure: scan evacuated and promoted objects.
+    while (scan_ < toTop_ || !promotedToScan_.empty()) {
+        if (scan_ < toTop_) {
+            Oop o(scan_);
+            scan_ += o.sizeInBytes();
+            o.forEachRefSlot(visitor);
+        } else {
+            Oop o(promotedToScan_.back());
+            promotedToScan_.pop_back();
+            o.forEachRefSlot(visitor);
+        }
+    }
+
+    // Flip: eden empties, to-space becomes from-space.
+    h_.edenTop_ = h_.edenBase_;
+    std::swap(h_.fromBase_, h_.toBase_);
+    std::swap(h_.fromLimit_, h_.toLimit_);
+    h_.fromTop_ = toTop_;
+}
+
+void
+YoungGc::processSlot(Addr slot)
+{
+    Addr ref = loadWord(slot);
+    if (ref == kNullAddr)
+        return;
+    // Only eden and the current from-space hold evacuation
+    // candidates; references already pointing into to-space (or
+    // anywhere else) are final.
+    bool in_eden = ref >= h_.edenBase_ && ref < h_.edenLimit_;
+    bool in_from = ref >= h_.fromBase_ && ref < h_.fromLimit_;
+    if (!in_eden && !in_from)
+        return;
+    Oop obj(ref);
+    Addr dest =
+        obj.isForwarded() ? obj.forwardee() : evacuate(obj);
+    storeWord(slot, dest);
+}
+
+Addr
+YoungGc::evacuate(Oop obj)
+{
+    std::size_t size = obj.sizeInBytes();
+    unsigned age = obj.age();
+    bool tenure = age + 1 >= h_.cfg_.tenureThreshold;
+
+    Addr dest = kNullAddr;
+    if (tenure)
+        dest = h_.tryBump(h_.oldTop_, h_.oldLimit_, size);
+    if (dest == kNullAddr)
+        dest = h_.tryBump(toTop_, h_.toLimit_, size);
+    if (dest == kNullAddr) {
+        // Survivor overflow: promote instead.
+        dest = h_.tryBump(h_.oldTop_, h_.oldLimit_, size);
+        tenure = true;
+    }
+    if (dest == kNullAddr)
+        fatal("young GC: promotion failure (old space full)");
+
+    std::memcpy(reinterpret_cast<void *>(dest),
+                reinterpret_cast<const void *>(obj.addr()), size);
+    Oop moved(dest);
+    moved.setAge(age + 1);
+    obj.forwardTo(dest);
+
+    if (tenure || dest >= h_.oldBase_) {
+        promotedToScan_.push_back(dest);
+        h_.stats_.bytesPromoted += size;
+    }
+    h_.stats_.bytesCopiedYoung += size;
+    return dest;
+}
+
+} // namespace espresso

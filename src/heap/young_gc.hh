@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Copying collection of the young generation (scavenge).
+ *
+ * Cheney-style: live young objects are evacuated into the empty
+ * survivor space (or tenured into old after enough copies), the
+ * original header is overwritten with a forwarding pointer, and all
+ * root/old/external slots are redirected.
+ */
+
+#ifndef ESPRESSO_HEAP_YOUNG_GC_HH
+#define ESPRESSO_HEAP_YOUNG_GC_HH
+
+#include <vector>
+
+#include "heap/volatile_heap.hh"
+
+namespace espresso {
+
+/** One scavenge pass; construct and call collect() once. */
+class YoungGc
+{
+  public:
+    explicit YoungGc(VolatileHeap &heap);
+
+    void collect();
+
+  private:
+    void processSlot(Addr slot);
+    Addr evacuate(Oop obj);
+
+    VolatileHeap &h_;
+    Addr toTop_;
+    Addr scan_;
+    std::vector<Addr> promotedToScan_;
+    Addr oldTopAtStart_;
+};
+
+} // namespace espresso
+
+#endif // ESPRESSO_HEAP_YOUNG_GC_HH

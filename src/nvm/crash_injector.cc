@@ -1,0 +1,33 @@
+#include "nvm/crash_injector.hh"
+
+namespace espresso {
+
+void
+CrashInjector::arm(std::uint64_t fire_at_event)
+{
+    armed_ = true;
+    target_ = fire_at_event;
+    count_ = 0;
+}
+
+void
+CrashInjector::disarm()
+{
+    armed_ = false;
+}
+
+void
+CrashInjector::resetCount()
+{
+    count_ = 0;
+}
+
+void
+CrashInjector::onEvent()
+{
+    ++count_;
+    if (armed_ && count_ == target_)
+        throw SimulatedCrash();
+}
+
+} // namespace espresso

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Flush/fence-boundary fault injection.
+ *
+ * The durable state of an NvmDevice only changes at persistence events
+ * (flush stages lines, fence commits them). Sweeping a simulated crash
+ * across every such event therefore covers every distinct durable
+ * state a real power failure could leave behind. Tests arm the
+ * injector with an event ordinal; when the device reaches it, a
+ * SimulatedCrash is thrown, the test discards all volatile state,
+ * calls NvmDevice::crash() and re-runs recovery.
+ */
+
+#ifndef ESPRESSO_NVM_CRASH_INJECTOR_HH
+#define ESPRESSO_NVM_CRASH_INJECTOR_HH
+
+#include <cstdint>
+#include <exception>
+
+namespace espresso {
+
+/** Thrown at an armed persistence event to simulate a power failure. */
+class SimulatedCrash : public std::exception
+{
+  public:
+    const char *
+    what() const noexcept override
+    {
+        return "simulated crash at persistence event";
+    }
+};
+
+/** Counts persistence events and fires at an armed ordinal. */
+class CrashInjector
+{
+  public:
+    /**
+     * Arm the injector: the @p fire_at_event -th future event (1-based
+     * from now) throws SimulatedCrash. Resets the event counter.
+     */
+    void arm(std::uint64_t fire_at_event);
+
+    /** Disarm; events are still counted. */
+    void disarm();
+
+    /** Reset the event counter without changing armed state. */
+    void resetCount();
+
+    /** Record one persistence event; throws when the armed one hits. */
+    void onEvent();
+
+    std::uint64_t eventCount() const { return count_; }
+    bool armed() const { return armed_; }
+
+    /** The most recently armed target (valid even after disarm). */
+    std::uint64_t armedTarget() const { return target_; }
+
+  private:
+    std::uint64_t count_ = 0;
+    std::uint64_t target_ = 0;
+    bool armed_ = false;
+};
+
+} // namespace espresso
+
+#endif // ESPRESSO_NVM_CRASH_INJECTOR_HH

@@ -1,0 +1,75 @@
+#include "orm/enhancer.hh"
+
+#include "util/logging.hh"
+
+namespace espresso {
+namespace orm {
+
+const EntityDescriptor &
+Enhancer::registerEntity(EntityDescriptor desc)
+{
+    if (entities_.count(desc.name))
+        fatal("enhancer: entity " + desc.name + " already registered");
+
+    auto owned = std::make_unique<EntityDescriptor>(std::move(desc));
+    EntityDescriptor *d = owned.get();
+
+    if (!d->superName.empty()) {
+        const EntityDescriptor *super = descriptor(d->superName);
+        if (!super)
+            fatal("enhancer: superclass " + d->superName +
+                  " of " + d->name + " is not registered");
+        d->super = super;
+        // Flatten: inherited columns (and the pk) come first.
+        std::vector<EntityField> flat = super->fields;
+        flat.insert(flat.end(), d->fields.begin(), d->fields.end());
+        d->fields = std::move(flat);
+        d->pkIndex = super->pkIndex;
+        for (const std::string &c : super->collections)
+            d->collections.push_back(c);
+    }
+
+    if (d->fields.empty() ||
+        d->fields[d->pkIndex].type != db::DbType::kI64) {
+        fatal("enhancer: entity " + d->name +
+              " needs a BIGINT primary key field");
+    }
+    if (d->fields.size() > 62)
+        fatal("enhancer: too many columns in " + d->name);
+
+    entities_[d->name] = std::move(owned);
+    return *d;
+}
+
+const EntityDescriptor *
+Enhancer::descriptor(const std::string &name) const
+{
+    auto it = entities_.find(name);
+    return it == entities_.end() ? nullptr : it->second.get();
+}
+
+void
+Enhancer::createTables(db::Database &database) const
+{
+    for (const auto &kv : entities_) {
+        const EntityDescriptor &d = *kv.second;
+        if (!database.catalog().find(d.name))
+            database.createTable(d.tableSchema());
+        for (const std::string &c : d.collections) {
+            if (!database.catalog().find(d.collectionTable(c)))
+                database.createTable(d.collectionSchema(c));
+        }
+    }
+}
+
+std::unique_ptr<Entity>
+Enhancer::enhanceNew(const std::string &name) const
+{
+    const EntityDescriptor *d = descriptor(name);
+    if (!d)
+        fatal("enhancer: entity " + name + " is not registered");
+    return std::make_unique<Entity>(d);
+}
+
+} // namespace orm
+} // namespace espresso

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * The enhancer: entity-class registration and "bytecode
+ * instrumentation" (paper §2.1). Registering a descriptor is the
+ * @persistable annotation; enhanceNew() is the enhancer's rewrite
+ * that implants a StateManager into every instance. The enhancer
+ * also derives the relational DDL for the registered classes.
+ */
+
+#ifndef ESPRESSO_ORM_ENHANCER_HH
+#define ESPRESSO_ORM_ENHANCER_HH
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "db/database.hh"
+#include "orm/entity.hh"
+
+namespace espresso {
+namespace orm {
+
+/** Registry of enhanced entity classes. */
+class Enhancer
+{
+  public:
+    /**
+     * Register an entity class. @p desc.superName, when set, must
+     * already be registered; its fields are inherited (flattened
+     * single-table mapping). The first own field of a root class
+     * must be the BIGINT primary key.
+     */
+    const EntityDescriptor &registerEntity(EntityDescriptor desc);
+
+    const EntityDescriptor *descriptor(const std::string &name) const;
+
+    /** Issue DDL for every registered class and collection table. */
+    void createTables(db::Database &database) const;
+
+    /** Instantiate an enhanced (StateManager-attached) instance. */
+    std::unique_ptr<Entity> enhanceNew(const std::string &name) const;
+
+  private:
+    std::map<std::string, std::unique_ptr<EntityDescriptor>> entities_;
+};
+
+} // namespace orm
+} // namespace espresso
+
+#endif // ESPRESSO_ORM_ENHANCER_HH

@@ -1,0 +1,109 @@
+#include "orm/entity.hh"
+
+#include "util/logging.hh"
+
+namespace espresso {
+namespace orm {
+
+std::size_t
+EntityDescriptor::fieldIndex(const std::string &field_name) const
+{
+    for (std::size_t i = 0; i < fields.size(); ++i) {
+        if (fields[i].name == field_name)
+            return i;
+    }
+    panic("entity " + name + " has no field " + field_name);
+}
+
+db::TableSchema
+EntityDescriptor::tableSchema() const
+{
+    db::TableSchema schema;
+    schema.name = name;
+    for (const EntityField &f : fields)
+        schema.columns.push_back({f.name, f.type});
+    schema.pkColumn = pkIndex;
+    return schema;
+}
+
+std::string
+EntityDescriptor::collectionTable(const std::string &field) const
+{
+    return name + "_" + field;
+}
+
+db::TableSchema
+EntityDescriptor::collectionSchema(const std::string &field) const
+{
+    db::TableSchema schema;
+    schema.name = collectionTable(field);
+    schema.columns = {{"ROWID", db::DbType::kI64},
+                      {"PARENT", db::DbType::kI64},
+                      {"IDX", db::DbType::kI64},
+                      {"VAL", db::DbType::kStr}};
+    schema.pkColumn = 0;
+    schema.indexColumn = 1; // PARENT lookups dominate
+    return schema;
+}
+
+Entity::Entity(const EntityDescriptor *desc)
+    : desc_(desc), values_(desc->fields.size()),
+      collections_(desc->collections.size())
+{
+    for (std::size_t i = 0; i < desc_->fields.size(); ++i) {
+        if (desc_->fields[i].type == db::DbType::kI64 ||
+            desc_->fields[i].isReference) {
+            values_[i] = db::DbValue::ofI64(0);
+        }
+    }
+}
+
+std::int64_t
+Entity::pk() const
+{
+    return values_[desc_->pkIndex].i;
+}
+
+db::DbValue
+Entity::get(std::size_t index) const
+{
+    // Deduplicated fields live in the backend; only copy-on-write
+    // shadows (dirty fields) remain local (§5).
+    if (sm_.deduplicated() && !sm_.isDirty(index) &&
+        index != desc_->pkIndex) {
+        return sm_.readThrough(index);
+    }
+    return values_[index];
+}
+
+void
+Entity::set(std::size_t index, db::DbValue v)
+{
+    if (index >= values_.size())
+        panic("entity field index out of range");
+    // Copy-on-write shadow under deduplication: the write stays in
+    // DRAM until commit ships the dirty fields.
+    values_[index] = std::move(v);
+    sm_.markDirty(index);
+}
+
+std::vector<db::DbValue> &
+Entity::collection(std::size_t index)
+{
+    return collections_.at(index);
+}
+
+const std::vector<db::DbValue> &
+Entity::collection(std::size_t index) const
+{
+    return collections_.at(index);
+}
+
+void
+Entity::touchCollection(std::size_t)
+{
+    sm_.markCollectionsDirty();
+}
+
+} // namespace orm
+} // namespace espresso

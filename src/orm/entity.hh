@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Entity model for the persistence layer (§2.1, §5).
+ *
+ * An EntityDescriptor is what the DataNucleus enhancer derives from
+ * an annotated class: the flattened column list (superclass fields
+ * first — inheritance maps to a single table), the primary key,
+ * element collections (mapped to child tables), and foreign-key
+ * reference fields. An Entity is one enhanced instance: its values,
+ * plus the StateManager the enhancer attaches for lifecycle and
+ * field-level dirty tracking.
+ */
+
+#ifndef ESPRESSO_ORM_ENTITY_HH
+#define ESPRESSO_ORM_ENTITY_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "db/catalog.hh"
+#include "db/value_codec.hh"
+#include "orm/state_manager.hh"
+
+namespace espresso {
+namespace orm {
+
+/** One persistent field (a table column). */
+struct EntityField
+{
+    std::string name;
+    db::DbType type = db::DbType::kI64;
+    bool isReference = false; ///< foreign key to another entity
+    std::string refTarget;    ///< referenced entity name
+};
+
+/** Enhanced class metadata. */
+class EntityDescriptor
+{
+  public:
+    std::string name; ///< class name == table name (upper case)
+    std::string superName;
+    const EntityDescriptor *super = nullptr;
+    std::vector<EntityField> fields; ///< flattened, [0] is the pk
+    std::vector<std::string> collections;
+
+    std::size_t pkIndex = 0;
+
+    std::size_t fieldIndex(const std::string &field_name) const;
+
+    /** Main table schema. */
+    db::TableSchema tableSchema() const;
+
+    /** Child-table name for collection @p field. */
+    std::string collectionTable(const std::string &field) const;
+
+    /** Child-table schema: ROWID pk | PARENT | IDX | VALUE. */
+    db::TableSchema collectionSchema(const std::string &field) const;
+};
+
+/** One enhanced, managed instance. */
+class Entity
+{
+  public:
+    explicit Entity(const EntityDescriptor *desc);
+
+    const EntityDescriptor &descriptor() const { return *desc_; }
+    StateManager &stateManager() { return sm_; }
+    const StateManager &stateManager() const { return sm_; }
+
+    std::int64_t pk() const;
+
+    /** Read field @p index; honors data deduplication (§5): a
+     * deduplicated, non-shadowed field reads through to the backend
+     * copy instead of DRAM. */
+    db::DbValue get(std::size_t index) const;
+
+    db::DbValue
+    get(const std::string &field) const
+    {
+        return get(desc_->fieldIndex(field));
+    }
+
+    /** Write field @p index; records the dirty bit (field-level
+     * tracking) and, when deduplicated, performs the copy-on-write
+     * shadow update instead of touching the persistent copy. */
+    void set(std::size_t index, db::DbValue v);
+
+    void
+    set(const std::string &field, db::DbValue v)
+    {
+        set(desc_->fieldIndex(field), std::move(v));
+    }
+
+    /** Raw (provider-side) access bypassing dedup redirection. */
+    const std::vector<db::DbValue> &localValues() const { return values_; }
+    std::vector<db::DbValue> &mutableValues() { return values_; }
+
+    /** Collection field content (index into descriptor().collections). */
+    std::vector<db::DbValue> &collection(std::size_t index);
+    const std::vector<db::DbValue> &collection(std::size_t index) const;
+
+    /** Mark a collection dirty (whole-collection granularity). */
+    void touchCollection(std::size_t index);
+
+  private:
+    const EntityDescriptor *desc_;
+    std::vector<db::DbValue> values_;
+    std::vector<std::vector<db::DbValue>> collections_;
+    StateManager sm_;
+};
+
+} // namespace orm
+} // namespace espresso
+
+#endif // ESPRESSO_ORM_ENTITY_HH

@@ -1,0 +1,182 @@
+#include "orm/jpa_provider.hh"
+
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace espresso {
+namespace orm {
+
+namespace {
+
+std::string
+buildInsert(const EntityDescriptor &desc, const Entity &entity)
+{
+    std::ostringstream sql;
+    sql << "INSERT INTO " << desc.name << " (";
+    for (std::size_t i = 0; i < desc.fields.size(); ++i) {
+        if (i)
+            sql << ", ";
+        sql << desc.fields[i].name;
+    }
+    sql << ") VALUES (";
+    for (std::size_t i = 0; i < desc.fields.size(); ++i) {
+        if (i)
+            sql << ", ";
+        sql << db::toSqlLiteral(entity.localValues()[i]);
+    }
+    sql << ")";
+    return sql.str();
+}
+
+std::string
+buildUpdate(const EntityDescriptor &desc, const Entity &entity)
+{
+    std::ostringstream sql;
+    sql << "UPDATE " << desc.name << " SET ";
+    bool first = true;
+    for (std::size_t i = 0; i < desc.fields.size(); ++i) {
+        if (i == desc.pkIndex ||
+            !entity.stateManager().isDirty(i))
+            continue;
+        if (!first)
+            sql << ", ";
+        first = false;
+        sql << desc.fields[i].name << " = "
+            << db::toSqlLiteral(entity.localValues()[i]);
+    }
+    sql << " WHERE " << desc.fields[desc.pkIndex].name << " = "
+        << entity.pk();
+    return first ? std::string() : sql.str();
+}
+
+std::string
+buildCollectionInsert(const EntityDescriptor &desc,
+                      const std::string &field, std::int64_t parent,
+                      std::int64_t idx, const db::DbValue &value)
+{
+    std::ostringstream sql;
+    sql << "INSERT INTO " << desc.collectionTable(field)
+        << " (ROWID, PARENT, IDX, VAL) VALUES ("
+        << parent * 4096 + idx << ", " << parent << ", " << idx << ", "
+        << db::toSqlLiteral(value) << ")";
+    return sql.str();
+}
+
+} // namespace
+
+void
+JpaProvider::writeEntity(db::Database &database, Entity &entity,
+                         bool is_new, PhaseTimer *timer)
+{
+    const EntityDescriptor &desc = entity.descriptor();
+
+    std::string sql;
+    {
+        PhaseScope scope(timer, "transformation");
+        sql = is_new ? buildInsert(desc, entity)
+                     : buildUpdate(desc, entity);
+    }
+    if (!sql.empty())
+        database.executeSql(sql);
+
+    if (is_new || entity.stateManager().collectionsDirty()) {
+        for (std::size_t c = 0; c < desc.collections.size(); ++c) {
+            const std::string &field = desc.collections[c];
+            if (!is_new) {
+                std::string del;
+                {
+                    PhaseScope scope(timer, "transformation");
+                    del = "DELETE FROM " + desc.collectionTable(field) +
+                          " WHERE PARENT = " +
+                          std::to_string(entity.pk());
+                }
+                database.executeSql(del);
+            }
+            const auto &elems = entity.collection(c);
+            for (std::size_t i = 0; i < elems.size(); ++i) {
+                std::string ins;
+                {
+                    PhaseScope scope(timer, "transformation");
+                    ins = buildCollectionInsert(
+                        desc, field, entity.pk(),
+                        static_cast<std::int64_t>(i), elems[i]);
+                }
+                database.executeSql(ins);
+            }
+        }
+    }
+}
+
+std::unique_ptr<Entity>
+JpaProvider::readEntity(db::Database &database,
+                        const EntityDescriptor &desc, std::int64_t pk,
+                        PhaseTimer *timer)
+{
+    std::string sql;
+    {
+        PhaseScope scope(timer, "transformation");
+        sql = "SELECT * FROM " + desc.name + " WHERE " +
+              desc.fields[desc.pkIndex].name + " = " +
+              std::to_string(pk);
+    }
+    db::ResultSet rs = database.executeSql(sql);
+    if (rs.rows.empty())
+        return nullptr;
+
+    std::unique_ptr<Entity> entity;
+    {
+        // Result-set to object mapping is transformation work too.
+        PhaseScope scope(timer, "transformation");
+        entity = std::make_unique<Entity>(&desc);
+        for (std::size_t i = 0; i < desc.fields.size(); ++i)
+            entity->mutableValues()[i] = rs.rows[0][i];
+    }
+
+    for (std::size_t c = 0; c < desc.collections.size(); ++c) {
+        std::string csql;
+        {
+            PhaseScope scope(timer, "transformation");
+            csql = "SELECT * FROM " +
+                   desc.collectionTable(desc.collections[c]) +
+                   " WHERE PARENT = " + std::to_string(pk);
+        }
+        db::ResultSet crs = database.executeSql(csql);
+        PhaseScope scope(timer, "transformation");
+        auto &elems = entity->collection(c);
+        elems.assign(crs.rows.size(), db::DbValue());
+        for (const auto &row : crs.rows) {
+            std::size_t idx = static_cast<std::size_t>(row[2].i);
+            if (idx < elems.size())
+                elems[idx] = row[3];
+        }
+    }
+    return entity;
+}
+
+void
+JpaProvider::removeEntity(db::Database &database,
+                          const EntityDescriptor &desc, std::int64_t pk,
+                          PhaseTimer *timer)
+{
+    for (const std::string &field : desc.collections) {
+        std::string del;
+        {
+            PhaseScope scope(timer, "transformation");
+            del = "DELETE FROM " + desc.collectionTable(field) +
+                  " WHERE PARENT = " + std::to_string(pk);
+        }
+        database.executeSql(del);
+    }
+    std::string sql;
+    {
+        PhaseScope scope(timer, "transformation");
+        sql = "DELETE FROM " + desc.name + " WHERE " +
+              desc.fields[desc.pkIndex].name + " = " +
+              std::to_string(pk);
+    }
+    database.executeSql(sql);
+}
+
+} // namespace orm
+} // namespace espresso

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * The JPA provider (DataNucleus-over-JDBC analog, paper Fig. 1).
+ *
+ * Every operation round-trips through SQL text: entities are
+ * formatted into INSERT/UPDATE/DELETE/SELECT statements (literal
+ * quoting and all), the database re-tokenizes and re-parses them,
+ * and query results are mapped back into entity objects. All of
+ * that string work is attributed to the "transformation" phase —
+ * the 41.9% slice of the paper's Fig. 4.
+ */
+
+#ifndef ESPRESSO_ORM_JPA_PROVIDER_HH
+#define ESPRESSO_ORM_JPA_PROVIDER_HH
+
+#include "orm/entity_manager.hh"
+
+namespace espresso {
+namespace orm {
+
+/** SQL-text data movement. */
+class JpaProvider : public Provider
+{
+  public:
+    const char *name() const override { return "H2-JPA"; }
+
+    void writeEntity(db::Database &database, Entity &entity,
+                     bool is_new, PhaseTimer *timer) override;
+
+    std::unique_ptr<Entity> readEntity(db::Database &database,
+                                       const EntityDescriptor &desc,
+                                       std::int64_t pk,
+                                       PhaseTimer *timer) override;
+
+    void removeEntity(db::Database &database,
+                      const EntityDescriptor &desc, std::int64_t pk,
+                      PhaseTimer *timer) override;
+};
+
+} // namespace orm
+} // namespace espresso
+
+#endif // ESPRESSO_ORM_JPA_PROVIDER_HH

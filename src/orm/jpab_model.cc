@@ -1,0 +1,237 @@
+#include "orm/jpab_model.hh"
+
+#include <chrono>
+
+#include "util/logging.hh"
+
+namespace espresso {
+namespace orm {
+
+namespace {
+
+std::uint64_t
+nowNs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+void
+fillNew(Entity *e, JpabModel model, int i)
+{
+    e->set("ID", db::DbValue::ofI64(i));
+    switch (model) {
+      case JpabModel::kBasic:
+        e->set("FIRSTNAME", db::DbValue::ofStr("First" +
+                                               std::to_string(i)));
+        e->set("LASTNAME",
+               db::DbValue::ofStr("Last" + std::to_string(i)));
+        e->set("PHONE", db::DbValue::ofStr("+1-555-000-" +
+                                           std::to_string(i % 10000)));
+        e->set("EMAIL", db::DbValue::ofStr("p" + std::to_string(i) +
+                                           "@example.com"));
+        break;
+      case JpabModel::kExt:
+        e->set("FIRSTNAME", db::DbValue::ofStr("First" +
+                                               std::to_string(i)));
+        e->set("LASTNAME",
+               db::DbValue::ofStr("Last" + std::to_string(i)));
+        e->set("PHONE", db::DbValue::ofStr("+1-555-111-" +
+                                           std::to_string(i % 10000)));
+        e->set("EMAIL", db::DbValue::ofStr("x" + std::to_string(i) +
+                                           "@example.com"));
+        break;
+      case JpabModel::kCollection: {
+        e->set("NAME", db::DbValue::ofStr("Coll" + std::to_string(i)));
+        auto &phones = e->collection(0);
+        phones = {db::DbValue::ofStr("h-" + std::to_string(i)),
+                  db::DbValue::ofStr("w-" + std::to_string(i)),
+                  db::DbValue::ofStr("m-" + std::to_string(i))};
+        e->touchCollection(0);
+        break;
+      }
+      case JpabModel::kNode:
+        e->set("NAME", db::DbValue::ofStr("Node" + std::to_string(i)));
+        // Foreign-key-like references to already created nodes,
+        // forming an implicit binary tree.
+        e->set("LEFTID", db::DbValue::ofI64(i > 0 ? (i - 1) / 2 : 0));
+        e->set("RIGHTID",
+               db::DbValue::ofI64(i > 1 ? (i - 2) / 2 : 0));
+        break;
+    }
+}
+
+void
+mutate(Entity *e, JpabModel model, int i)
+{
+    switch (model) {
+      case JpabModel::kBasic:
+      case JpabModel::kExt:
+        e->set("PHONE", db::DbValue::ofStr("+1-555-999-" +
+                                           std::to_string(i % 10000)));
+        break;
+      case JpabModel::kCollection: {
+        auto &phones = e->collection(0);
+        phones.push_back(
+            db::DbValue::ofStr("extra-" + std::to_string(i)));
+        e->touchCollection(0);
+        break;
+      }
+      case JpabModel::kNode:
+        e->set("NAME",
+               db::DbValue::ofStr("Node'" + std::to_string(i)));
+        break;
+    }
+}
+
+} // namespace
+
+const char *
+jpabModelName(JpabModel model)
+{
+    switch (model) {
+      case JpabModel::kBasic: return "BasicTest";
+      case JpabModel::kExt: return "ExtTest";
+      case JpabModel::kCollection: return "CollectionTest";
+      case JpabModel::kNode: return "NodeTest";
+    }
+    panic("unknown JpabModel");
+}
+
+const char *
+jpabEntityName(JpabModel model)
+{
+    switch (model) {
+      case JpabModel::kBasic: return "PERSON";
+      case JpabModel::kExt: return "PERSONEXT";
+      case JpabModel::kCollection: return "PERSONCOLL";
+      case JpabModel::kNode: return "TREENODE";
+    }
+    panic("unknown JpabModel");
+}
+
+const char *
+jpabOpName(JpabOp op)
+{
+    switch (op) {
+      case JpabOp::kCreate: return "Create";
+      case JpabOp::kRetrieve: return "Retrieve";
+      case JpabOp::kUpdate: return "Update";
+      case JpabOp::kDelete: return "Delete";
+    }
+    panic("unknown JpabOp");
+}
+
+void
+registerJpabModel(Enhancer &enhancer, JpabModel model)
+{
+    using db::DbType;
+    switch (model) {
+      case JpabModel::kBasic: {
+        EntityDescriptor person;
+        person.name = "PERSON";
+        person.fields = {{"ID", DbType::kI64, false, ""},
+                         {"FIRSTNAME", DbType::kStr, false, ""},
+                         {"LASTNAME", DbType::kStr, false, ""},
+                         {"PHONE", DbType::kStr, false, ""},
+                         {"EMAIL", DbType::kStr, false, ""}};
+        enhancer.registerEntity(person);
+        break;
+      }
+      case JpabModel::kExt: {
+        EntityDescriptor base;
+        base.name = "PERSONBASE";
+        base.fields = {{"ID", DbType::kI64, false, ""},
+                       {"FIRSTNAME", DbType::kStr, false, ""},
+                       {"LASTNAME", DbType::kStr, false, ""}};
+        enhancer.registerEntity(base);
+        EntityDescriptor ext;
+        ext.name = "PERSONEXT";
+        ext.superName = "PERSONBASE";
+        ext.fields = {{"PHONE", DbType::kStr, false, ""},
+                      {"EMAIL", DbType::kStr, false, ""}};
+        enhancer.registerEntity(ext);
+        break;
+      }
+      case JpabModel::kCollection: {
+        EntityDescriptor coll;
+        coll.name = "PERSONCOLL";
+        coll.fields = {{"ID", DbType::kI64, false, ""},
+                       {"NAME", DbType::kStr, false, ""}};
+        coll.collections = {"PHONES"};
+        enhancer.registerEntity(coll);
+        break;
+      }
+      case JpabModel::kNode: {
+        EntityDescriptor node;
+        node.name = "TREENODE";
+        node.fields = {{"ID", DbType::kI64, false, ""},
+                       {"NAME", DbType::kStr, false, ""},
+                       {"LEFTID", DbType::kI64, true, "TREENODE"},
+                       {"RIGHTID", DbType::kI64, true, "TREENODE"}};
+        enhancer.registerEntity(node);
+        break;
+      }
+    }
+}
+
+JpabResult
+runJpabOp(EntityManager &em, JpabModel model, JpabOp op, int n,
+          int batch)
+{
+    const char *entity = jpabEntityName(model);
+    JpabResult result;
+    std::uint64_t t0 = nowNs();
+
+    int done = 0;
+    while (done < n) {
+        int upto = std::min(n, done + batch);
+        em.begin();
+        for (int i = done; i < upto; ++i) {
+            switch (op) {
+              case JpabOp::kCreate: {
+                Entity *e = em.newEntity(entity);
+                fillNew(e, model, i);
+                em.persist(e);
+                break;
+              }
+              case JpabOp::kRetrieve: {
+                Entity *e = em.find(entity, i);
+                if (!e)
+                    fatal("jpab: missing entity during retrieve");
+                // Touch the payload like JPAB's getters do.
+                (void)e->get(1);
+                if (model == JpabModel::kCollection)
+                    (void)e->collection(0).size();
+                break;
+              }
+              case JpabOp::kUpdate: {
+                Entity *e = em.find(entity, i);
+                if (!e)
+                    fatal("jpab: missing entity during update");
+                mutate(e, model, i);
+                break;
+              }
+              case JpabOp::kDelete: {
+                Entity *e = em.find(entity, i);
+                if (!e)
+                    fatal("jpab: missing entity during delete");
+                em.remove(e);
+                break;
+              }
+            }
+            ++result.operations;
+        }
+        em.commit();
+        em.clear();
+        done = upto;
+    }
+
+    result.elapsedNs = nowNs() - t0;
+    return result;
+}
+
+} // namespace orm
+} // namespace espresso

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * The JPAB benchmark models and CRUD drivers (paper §6.3, Table 2):
+ *
+ *  - BasicTest:      flat Person entity;
+ *  - ExtTest:        inheritance (PERSONBASE -> PERSONEXT);
+ *  - CollectionTest: entity with an element collection (phones);
+ *  - NodeTest:       entities with foreign-key-like references.
+ *
+ * The drivers run Create / Retrieve / Update / Delete sweeps through
+ * an EntityManager and report throughput, so the same code measures
+ * H2-JPA and H2-PJO by swapping the provider (Fig. 16/17).
+ */
+
+#ifndef ESPRESSO_ORM_JPAB_MODEL_HH
+#define ESPRESSO_ORM_JPAB_MODEL_HH
+
+#include <cstdint>
+#include <string>
+
+#include "orm/entity_manager.hh"
+
+namespace espresso {
+namespace orm {
+
+/** The four JPAB test cases. */
+enum class JpabModel
+{
+    kBasic,
+    kExt,
+    kCollection,
+    kNode,
+};
+
+const char *jpabModelName(JpabModel model);
+
+/** Concrete entity name the drivers instantiate. */
+const char *jpabEntityName(JpabModel model);
+
+/** Register the model's entity classes with @p enhancer. */
+void registerJpabModel(Enhancer &enhancer, JpabModel model);
+
+/** CRUD operations measured by JPAB. */
+enum class JpabOp
+{
+    kCreate,
+    kRetrieve,
+    kUpdate,
+    kDelete,
+};
+
+const char *jpabOpName(JpabOp op);
+
+/** One driver result. */
+struct JpabResult
+{
+    std::uint64_t operations = 0;
+    std::uint64_t elapsedNs = 0;
+
+    double
+    opsPerSec() const
+    {
+        return elapsedNs == 0
+                   ? 0.0
+                   : 1e9 * static_cast<double>(operations) /
+                         static_cast<double>(elapsedNs);
+    }
+};
+
+/**
+ * Run one CRUD sweep of @p n entities (commit every @p batch ops).
+ * kCreate populates ids [0, n); the other ops expect them present
+ * (kDelete consumes them).
+ */
+JpabResult runJpabOp(EntityManager &em, JpabModel model, JpabOp op,
+                     int n, int batch = 50);
+
+} // namespace orm
+} // namespace espresso
+
+#endif // ESPRESSO_ORM_JPAB_MODEL_HH

@@ -1,0 +1,129 @@
+#include "orm/pjo_provider.hh"
+
+namespace espresso {
+namespace orm {
+
+void
+PjoProvider::writeEntity(db::Database &database, Entity &entity,
+                         bool is_new, PhaseTimer *timer)
+{
+    const EntityDescriptor &desc = entity.descriptor();
+
+    db::DbRecord record;
+    {
+        // Building the DBPersistable view: reference the entity's
+        // typed values directly — no text formatting.
+        PhaseScope scope(timer, "transformation");
+        record.values = entity.localValues();
+        record.dirtyMask = is_new
+                               ? ~0ull
+                               : entity.stateManager().dirtyMask();
+    }
+    database.persistRecord(desc.name, record);
+
+    if (is_new || entity.stateManager().collectionsDirty()) {
+        for (std::size_t c = 0; c < desc.collections.size(); ++c) {
+            const std::string table =
+                desc.collectionTable(desc.collections[c]);
+            if (!is_new) {
+                // Replace the collection rows wholesale.
+                std::vector<std::int64_t> stale;
+                database.scanEq(
+                    table, "PARENT", db::DbValue::ofI64(entity.pk()),
+                    [&](const std::vector<db::DbValue> &row) {
+                        stale.push_back(row[0].i);
+                    });
+                for (std::int64_t rowid : stale)
+                    database.deleteRecord(table, rowid);
+            }
+            const auto &elems = entity.collection(c);
+            for (std::size_t i = 0; i < elems.size(); ++i) {
+                db::DbRecord child;
+                child.values = {
+                    db::DbValue::ofI64(entity.pk() * 4096 +
+                                       static_cast<std::int64_t>(i)),
+                    db::DbValue::ofI64(entity.pk()),
+                    db::DbValue::ofI64(static_cast<std::int64_t>(i)),
+                    elems[i]};
+                database.persistRecord(table, child);
+            }
+        }
+    }
+}
+
+std::unique_ptr<Entity>
+PjoProvider::readEntity(db::Database &database,
+                        const EntityDescriptor &desc, std::int64_t pk,
+                        PhaseTimer *timer)
+{
+    db::DbRecord record;
+    if (!database.fetchRecord(desc.name, pk, &record))
+        return nullptr;
+
+    std::unique_ptr<Entity> entity;
+    {
+        PhaseScope scope(timer, "transformation");
+        entity = std::make_unique<Entity>(&desc);
+        entity->mutableValues() = std::move(record.values);
+    }
+
+    for (std::size_t c = 0; c < desc.collections.size(); ++c) {
+        auto &elems = entity->collection(c);
+        database.scanEq(desc.collectionTable(desc.collections[c]),
+                        "PARENT", db::DbValue::ofI64(pk),
+                        [&](const std::vector<db::DbValue> &row) {
+                            std::size_t idx =
+                                static_cast<std::size_t>(row[2].i);
+                            if (elems.size() <= idx)
+                                elems.resize(idx + 1);
+                            elems[idx] = row[3];
+                        });
+    }
+    return entity;
+}
+
+void
+PjoProvider::removeEntity(db::Database &database,
+                          const EntityDescriptor &desc, std::int64_t pk,
+                          PhaseTimer *)
+{
+    for (const std::string &field : desc.collections) {
+        const std::string table = desc.collectionTable(field);
+        std::vector<std::int64_t> stale;
+        database.scanEq(table, "PARENT", db::DbValue::ofI64(pk),
+                        [&](const std::vector<db::DbValue> &row) {
+                            stale.push_back(row[0].i);
+                        });
+        for (std::int64_t rowid : stale)
+            database.deleteRecord(table, rowid);
+    }
+    database.deleteRecord(desc.name, pk);
+}
+
+void
+PjoProvider::postCommit(db::Database &database, Entity &entity)
+{
+    if (!dedup_)
+        return;
+    // Data deduplication (§5, Fig. 14d): redirect reads to the
+    // persisted copy and release the volatile duplicates.
+    const EntityDescriptor *desc = &entity.descriptor();
+    std::int64_t pk = entity.pk();
+    db::Database *dbp = &database;
+    entity.stateManager().enableDeduplication(
+        [dbp, desc, pk](std::size_t field) {
+            db::DbRecord record;
+            if (!dbp->fetchRecord(desc->name, pk, &record))
+                return db::DbValue::null();
+            return record.values[field];
+        });
+    for (std::size_t i = 0; i < entity.mutableValues().size(); ++i) {
+        if (i == desc->pkIndex)
+            continue;
+        // Reclaim the DRAM copy (strings dominate).
+        entity.mutableValues()[i] = db::DbValue::null();
+    }
+}
+
+} // namespace orm
+} // namespace espresso

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * The PJO provider (paper §5, Fig. 13/14).
+ *
+ * Entities are shipped to the backend as DBPersistable records: the
+ * typed field values plus the StateManager's field-level dirty
+ * bitmap, with no SQL in between — "the SQL transformation phase is
+ * removed". After a successful commit the provider enables data
+ * deduplication: the entity's fields are redirected to the persisted
+ * copy and the DRAM values can be reclaimed; subsequent writes go
+ * through copy-on-write shadow fields (§5).
+ */
+
+#ifndef ESPRESSO_ORM_PJO_PROVIDER_HH
+#define ESPRESSO_ORM_PJO_PROVIDER_HH
+
+#include "orm/entity_manager.hh"
+
+namespace espresso {
+namespace orm {
+
+/** Direct DBPersistable data movement. */
+class PjoProvider : public Provider
+{
+  public:
+    /** @param enable_dedup turn on §5 data deduplication. */
+    explicit PjoProvider(bool enable_dedup = true)
+        : dedup_(enable_dedup)
+    {}
+
+    const char *name() const override { return "H2-PJO"; }
+
+    void writeEntity(db::Database &database, Entity &entity,
+                     bool is_new, PhaseTimer *timer) override;
+
+    std::unique_ptr<Entity> readEntity(db::Database &database,
+                                       const EntityDescriptor &desc,
+                                       std::int64_t pk,
+                                       PhaseTimer *timer) override;
+
+    void removeEntity(db::Database &database,
+                      const EntityDescriptor &desc, std::int64_t pk,
+                      PhaseTimer *timer) override;
+
+    void postCommit(db::Database &database, Entity &entity) override;
+
+  private:
+    bool dedup_;
+};
+
+} // namespace orm
+} // namespace espresso
+
+#endif // ESPRESSO_ORM_PJO_PROVIDER_HH

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * StateManager — the per-instance control object the enhancer
+ * attaches to every managed entity (paper Fig. 14a): lifecycle
+ * state, the field-level dirty bitmap (§5 "field-level tracking"),
+ * and the data-deduplication read-through hook (§5, Fig. 14d).
+ */
+
+#ifndef ESPRESSO_ORM_STATE_MANAGER_HH
+#define ESPRESSO_ORM_STATE_MANAGER_HH
+
+#include <cstdint>
+#include <functional>
+
+#include "db/value_codec.hh"
+
+namespace espresso {
+namespace orm {
+
+/** Entity lifecycle. */
+enum class EntityState
+{
+    kTransient, ///< created, not yet persisted
+    kManaged,   ///< tracked by an EntityManager
+    kRemoved,   ///< scheduled for deletion at commit
+};
+
+/** Per-entity management state. */
+class StateManager
+{
+  public:
+    EntityState state() const { return state_; }
+    void setState(EntityState s) { state_ = s; }
+
+    /** @name Field-level dirty tracking */
+    /// @{
+    std::uint64_t dirtyMask() const { return dirtyMask_; }
+    void markDirty(std::size_t field) { dirtyMask_ |= 1ull << field; }
+    bool isDirty(std::size_t field) const
+    {
+        return dirtyMask_ & (1ull << field);
+    }
+    bool anyDirty() const { return dirtyMask_ != 0; }
+    void clearDirty() { dirtyMask_ = 0; }
+
+    bool collectionsDirty() const { return collectionsDirty_; }
+    void markCollectionsDirty() { collectionsDirty_ = true; }
+    void clearCollectionsDirty() { collectionsDirty_ = false; }
+    /// @}
+
+    /** @name Data deduplication (§5) */
+    /// @{
+    bool deduplicated() const { return static_cast<bool>(readThrough_); }
+
+    /** Install the backend read hook; local copies may be dropped. */
+    void
+    enableDeduplication(
+        std::function<db::DbValue(std::size_t)> read_through)
+    {
+        readThrough_ = std::move(read_through);
+    }
+
+    db::DbValue
+    readThrough(std::size_t field) const
+    {
+        return readThrough_(field);
+    }
+
+    void disableDeduplication() { readThrough_ = nullptr; }
+    /// @}
+
+  private:
+    EntityState state_ = EntityState::kTransient;
+    std::uint64_t dirtyMask_ = 0;
+    bool collectionsDirty_ = false;
+    std::function<db::DbValue(std::size_t)> readThrough_;
+};
+
+} // namespace orm
+} // namespace espresso
+
+#endif // ESPRESSO_ORM_STATE_MANAGER_HH

@@ -1,0 +1,295 @@
+#include "pcj/pcj_collections.hh"
+
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace espresso {
+namespace pcj {
+
+namespace {
+
+std::uint64_t
+mixKey(std::int64_t key)
+{
+    std::uint64_t z = static_cast<std::uint64_t>(key) +
+                      0x9e3779b97f4a7c15ull;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+} // namespace
+
+// --------------------------- PersistentLong --------------------------
+
+PersistentLong
+PersistentLong::create(PcjRuntime *rt, std::int64_t value)
+{
+    return PersistentLong(
+        rt, rt->createObject("PersistentLong", 1, 0, 0, &value, 8));
+}
+
+std::int64_t
+PersistentLong::longValue() const
+{
+    return static_cast<std::int64_t>(rt_->getWord(ref_, 0));
+}
+
+void
+PersistentLong::set(std::int64_t value)
+{
+    rt_->setWord(ref_, 0, static_cast<std::uint64_t>(value));
+}
+
+// -------------------------- PersistentString -------------------------
+
+PersistentString
+PersistentString::create(PcjRuntime *rt, const std::string &value)
+{
+    std::uint64_t words = (value.size() + 8 + 7) / 8; // length + chars
+    std::string payload(8, '\0');
+    std::uint64_t len = value.size();
+    std::memcpy(payload.data(), &len, 8);
+    payload += value;
+    return PersistentString(
+        rt, rt->createObject("PersistentString", words, 2, 0,
+                             payload.data(), payload.size()));
+}
+
+std::string
+PersistentString::toString() const
+{
+    std::uint64_t len = 0;
+    rt_->readBytes(ref_, 0, &len, 8);
+    std::string out(len, '\0');
+    if (len)
+        rt_->readBytes(ref_, 8, out.data(), len);
+    return out;
+}
+
+// --------------------------- PersistentTuple -------------------------
+
+PersistentTuple
+PersistentTuple::create(PcjRuntime *rt)
+{
+    return PersistentTuple(
+        rt, rt->createObject("PersistentTuple", kArity, 0, 0b111));
+}
+
+PcjRef
+PersistentTuple::get(std::size_t index) const
+{
+    if (index >= kArity)
+        panic("PersistentTuple: index out of range");
+    return rt_->getRef(ref_, index);
+}
+
+void
+PersistentTuple::set(std::size_t index, PcjRef value)
+{
+    if (index >= kArity)
+        panic("PersistentTuple: index out of range");
+    rt_->setRef(ref_, index, value);
+}
+
+// ------------------------ PersistentGenericArray ---------------------
+
+PersistentGenericArray
+PersistentGenericArray::create(PcjRuntime *rt, std::uint64_t length)
+{
+    return PersistentGenericArray(
+        rt, rt->createObject("PersistentGenericArray", length, 1, 0));
+}
+
+std::uint64_t
+PersistentGenericArray::length() const
+{
+    return rt_->payloadWordsOf(ref_);
+}
+
+PcjRef
+PersistentGenericArray::get(std::uint64_t index) const
+{
+    return rt_->getRef(ref_, index);
+}
+
+void
+PersistentGenericArray::set(std::uint64_t index, PcjRef value)
+{
+    rt_->setRef(ref_, index, value);
+}
+
+// ------------------------- PersistentArrayList -----------------------
+
+namespace {
+constexpr std::uint64_t kListSizeSlot = 0;
+constexpr std::uint64_t kListDataSlot = 1;
+} // namespace
+
+PersistentArrayList
+PersistentArrayList::create(PcjRuntime *rt,
+                            std::uint64_t initial_capacity)
+{
+    if (initial_capacity == 0)
+        initial_capacity = 1;
+    PcjRef ref = rt->createObject("PersistentArrayList", 2, 0, 0b10);
+    PcjRef data =
+        PersistentGenericArray::create(rt, initial_capacity).ref();
+    rt->setRef(ref, kListDataSlot, data);
+    rt->decRef(data); // the list's slot now owns it
+    return PersistentArrayList(rt, ref);
+}
+
+std::uint64_t
+PersistentArrayList::size() const
+{
+    return rt_->getWord(ref_, kListSizeSlot);
+}
+
+PcjRef
+PersistentArrayList::get(std::uint64_t index) const
+{
+    if (index >= size())
+        panic("PersistentArrayList: index out of range");
+    return rt_->getRef(rt_->getRef(ref_, kListDataSlot), index);
+}
+
+void
+PersistentArrayList::set(std::uint64_t index, PcjRef value)
+{
+    if (index >= size())
+        panic("PersistentArrayList: index out of range");
+    rt_->setRef(rt_->getRef(ref_, kListDataSlot), index, value);
+}
+
+void
+PersistentArrayList::add(PcjRef value)
+{
+    std::uint64_t n = size();
+    PcjRef data = rt_->getRef(ref_, kListDataSlot);
+    std::uint64_t cap = rt_->payloadWordsOf(data);
+    if (n == cap) {
+        PersistentGenericArray bigger =
+            PersistentGenericArray::create(rt_, cap * 2);
+        for (std::uint64_t i = 0; i < n; ++i)
+            bigger.set(i, rt_->getRef(data, i));
+        rt_->setRef(ref_, kListDataSlot, bigger.ref());
+        rt_->decRef(bigger.ref());
+        data = bigger.ref();
+    }
+    rt_->setRef(data, n, value);
+    rt_->setWord(ref_, kListSizeSlot, n + 1);
+}
+
+// -------------------------- PersistentHashmap ------------------------
+
+namespace {
+constexpr std::uint64_t kMapSizeSlot = 0;
+constexpr std::uint64_t kMapBucketsSlot = 1;
+constexpr std::uint64_t kEntryKeySlot = 0;
+constexpr std::uint64_t kEntryValueSlot = 1;
+constexpr std::uint64_t kEntryNextSlot = 2;
+} // namespace
+
+PersistentHashmap
+PersistentHashmap::create(PcjRuntime *rt, std::uint64_t buckets)
+{
+    if (buckets == 0)
+        buckets = 1;
+    PcjRef ref = rt->createObject("PersistentHashmap", 2, 0, 0b10);
+    PcjRef arr = PersistentGenericArray::create(rt, buckets).ref();
+    rt->setRef(ref, kMapBucketsSlot, arr);
+    rt->decRef(arr);
+    return PersistentHashmap(rt, ref);
+}
+
+std::uint64_t
+PersistentHashmap::size() const
+{
+    return rt_->getWord(ref_, kMapSizeSlot);
+}
+
+std::uint64_t
+PersistentHashmap::bucketIndex(std::int64_t key) const
+{
+    PcjRef buckets = rt_->getRef(ref_, kMapBucketsSlot);
+    return mixKey(key) % rt_->payloadWordsOf(buckets);
+}
+
+PcjRef
+PersistentHashmap::findEntry(std::int64_t key, PcjRef *bucket_head) const
+{
+    PcjRef buckets = rt_->getRef(ref_, kMapBucketsSlot);
+    std::uint64_t b = bucketIndex(key);
+    PcjRef e = rt_->getRef(buckets, b);
+    if (bucket_head)
+        *bucket_head = e;
+    while (e != kPcjNull) {
+        if (static_cast<std::int64_t>(
+                rt_->getWord(e, kEntryKeySlot)) == key)
+            return e;
+        e = rt_->getRef(e, kEntryNextSlot);
+    }
+    return kPcjNull;
+}
+
+PcjRef
+PersistentHashmap::get(std::int64_t key) const
+{
+    PcjRef e = findEntry(key);
+    return e == kPcjNull ? kPcjNull : rt_->getRef(e, kEntryValueSlot);
+}
+
+bool
+PersistentHashmap::contains(std::int64_t key) const
+{
+    return findEntry(key) != kPcjNull;
+}
+
+void
+PersistentHashmap::put(std::int64_t key, PcjRef value)
+{
+    PcjRef existing = findEntry(key);
+    if (existing != kPcjNull) {
+        rt_->setRef(existing, kEntryValueSlot, value);
+        return;
+    }
+    PcjRef buckets = rt_->getRef(ref_, kMapBucketsSlot);
+    std::uint64_t b = bucketIndex(key);
+    PcjRef entry = rt_->createObject("PersistentHashEntry", 3, 0, 0b110);
+    rt_->setWord(entry, kEntryKeySlot,
+                 static_cast<std::uint64_t>(key));
+    rt_->setRef(entry, kEntryValueSlot, value);
+    rt_->setRef(entry, kEntryNextSlot, rt_->getRef(buckets, b));
+    rt_->setRef(buckets, b, entry);
+    rt_->decRef(entry); // the bucket slot owns it now
+    rt_->setWord(ref_, kMapSizeSlot, size() + 1);
+}
+
+bool
+PersistentHashmap::remove(std::int64_t key)
+{
+    PcjRef buckets = rt_->getRef(ref_, kMapBucketsSlot);
+    std::uint64_t b = bucketIndex(key);
+    PcjRef prev = kPcjNull;
+    PcjRef e = rt_->getRef(buckets, b);
+    while (e != kPcjNull) {
+        if (static_cast<std::int64_t>(
+                rt_->getWord(e, kEntryKeySlot)) == key) {
+            PcjRef next = rt_->getRef(e, kEntryNextSlot);
+            if (prev == kPcjNull)
+                rt_->setRef(buckets, b, next);
+            else
+                rt_->setRef(prev, kEntryNextSlot, next);
+            rt_->setWord(ref_, kMapSizeSlot, size() - 1);
+            return true;
+        }
+        prev = e;
+        e = rt_->getRef(e, kEntryNextSlot);
+    }
+    return false;
+}
+
+} // namespace pcj
+} // namespace espresso

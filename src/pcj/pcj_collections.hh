@@ -1,0 +1,181 @@
+/**
+ * @file
+ * The PCJ collection types the paper benchmarks against (§2.2, §6.2):
+ * PersistentLong, PersistentString, PersistentTuple,
+ * PersistentGenericArray, PersistentArrayList, PersistentHashmap.
+ *
+ * Note the type-system property the paper criticizes: everything must
+ * live inside PCJ's own world — elements are PcjRefs to other PCJ
+ * objects, and plain application classes cannot participate.
+ */
+
+#ifndef ESPRESSO_PCJ_PCJ_COLLECTIONS_HH
+#define ESPRESSO_PCJ_PCJ_COLLECTIONS_HH
+
+#include <string>
+
+#include "pcj/pcj_runtime.hh"
+
+namespace espresso {
+namespace pcj {
+
+/** Common handle: a runtime plus an object reference. */
+class PersistentObject
+{
+  public:
+    PcjRef ref() const { return ref_; }
+    bool isNull() const { return ref_ == kPcjNull; }
+
+  protected:
+    PersistentObject() = default;
+    PersistentObject(PcjRuntime *rt, PcjRef ref) : rt_(rt), ref_(ref) {}
+
+    PcjRuntime *rt_ = nullptr;
+    PcjRef ref_ = kPcjNull;
+};
+
+/** Boxed 64-bit value. */
+class PersistentLong : public PersistentObject
+{
+  public:
+    PersistentLong() = default;
+    static PersistentLong create(PcjRuntime *rt, std::int64_t value);
+    static PersistentLong
+    at(PcjRuntime *rt, PcjRef ref)
+    {
+        return PersistentLong(rt, ref);
+    }
+
+    std::int64_t longValue() const;
+    void set(std::int64_t value);
+
+  private:
+    PersistentLong(PcjRuntime *rt, PcjRef ref)
+        : PersistentObject(rt, ref)
+    {}
+};
+
+/** Immutable byte-payload string. */
+class PersistentString : public PersistentObject
+{
+  public:
+    PersistentString() = default;
+    static PersistentString create(PcjRuntime *rt,
+                                   const std::string &value);
+    static PersistentString
+    at(PcjRuntime *rt, PcjRef ref)
+    {
+        return PersistentString(rt, ref);
+    }
+
+    std::string toString() const;
+
+  private:
+    PersistentString(PcjRuntime *rt, PcjRef ref)
+        : PersistentObject(rt, ref)
+    {}
+};
+
+/** 3-tuple of references. */
+class PersistentTuple : public PersistentObject
+{
+  public:
+    static constexpr std::size_t kArity = 3;
+
+    PersistentTuple() = default;
+    static PersistentTuple create(PcjRuntime *rt);
+    static PersistentTuple
+    at(PcjRuntime *rt, PcjRef ref)
+    {
+        return PersistentTuple(rt, ref);
+    }
+
+    PcjRef get(std::size_t index) const;
+    void set(std::size_t index, PcjRef value);
+
+  private:
+    PersistentTuple(PcjRuntime *rt, PcjRef ref)
+        : PersistentObject(rt, ref)
+    {}
+};
+
+/** Fixed-length reference array. */
+class PersistentGenericArray : public PersistentObject
+{
+  public:
+    PersistentGenericArray() = default;
+    static PersistentGenericArray create(PcjRuntime *rt,
+                                         std::uint64_t length);
+    static PersistentGenericArray
+    at(PcjRuntime *rt, PcjRef ref)
+    {
+        return PersistentGenericArray(rt, ref);
+    }
+
+    std::uint64_t length() const;
+    PcjRef get(std::uint64_t index) const;
+    void set(std::uint64_t index, PcjRef value);
+
+  private:
+    PersistentGenericArray(PcjRuntime *rt, PcjRef ref)
+        : PersistentObject(rt, ref)
+    {}
+};
+
+/** Growable reference list. */
+class PersistentArrayList : public PersistentObject
+{
+  public:
+    PersistentArrayList() = default;
+    static PersistentArrayList create(PcjRuntime *rt,
+                                      std::uint64_t initial_capacity = 8);
+    static PersistentArrayList
+    at(PcjRuntime *rt, PcjRef ref)
+    {
+        return PersistentArrayList(rt, ref);
+    }
+
+    std::uint64_t size() const;
+    PcjRef get(std::uint64_t index) const;
+    void set(std::uint64_t index, PcjRef value);
+    void add(PcjRef value);
+
+  private:
+    PersistentArrayList(PcjRuntime *rt, PcjRef ref)
+        : PersistentObject(rt, ref)
+    {}
+};
+
+/** Chained hash map from 64-bit keys to references. */
+class PersistentHashmap : public PersistentObject
+{
+  public:
+    PersistentHashmap() = default;
+    static PersistentHashmap create(PcjRuntime *rt,
+                                    std::uint64_t buckets = 64);
+    static PersistentHashmap
+    at(PcjRuntime *rt, PcjRef ref)
+    {
+        return PersistentHashmap(rt, ref);
+    }
+
+    std::uint64_t size() const;
+    PcjRef get(std::int64_t key) const;
+    bool contains(std::int64_t key) const;
+    void put(std::int64_t key, PcjRef value);
+    bool remove(std::int64_t key);
+
+  private:
+    PersistentHashmap(PcjRuntime *rt, PcjRef ref)
+        : PersistentObject(rt, ref)
+    {}
+
+    PcjRef findEntry(std::int64_t key, PcjRef *bucket_head = nullptr)
+        const;
+    std::uint64_t bucketIndex(std::int64_t key) const;
+};
+
+} // namespace pcj
+} // namespace espresso
+
+#endif // ESPRESSO_PCJ_PCJ_COLLECTIONS_HH

@@ -1,0 +1,578 @@
+#include "pcj/pcj_runtime.hh"
+
+#include <cstring>
+#include <vector>
+
+#include "pcj/pcj_transaction.hh"
+#include "util/logging.hh"
+#include "util/spin.hh"
+
+namespace espresso {
+namespace pcj {
+
+namespace {
+
+/** Per-object layout: header | 64-byte type memo | payload. */
+constexpr std::size_t kTypeMemoBytes = 64;
+constexpr std::size_t kObjectOverhead =
+    sizeof(PcjObjectHeader) + kTypeMemoBytes;
+
+/** Free-chunk record reusing freed object space. */
+struct FreeChunk
+{
+    std::uint64_t next;
+    std::uint64_t bytes;
+};
+
+std::uint64_t
+hashString(const std::string &s)
+{
+    std::uint64_t h = 1469598103934665603ull;
+    for (char c : s) {
+        h ^= static_cast<std::uint8_t>(c);
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+} // namespace
+
+PcjRuntime::PcjRuntime(const PcjConfig &cfg, NvmConfig nvm_cfg) : cfg_(cfg)
+{
+    std::size_t off = alignUp(sizeof(PoolHeader), kCacheLineSize);
+    std::size_t type_off = off;
+    off += cfg.typeTableCapacity * sizeof(PcjTypeEntry);
+    off = alignUp(off, kCacheLineSize);
+    std::size_t root_off = off;
+    off += cfg.rootTableCapacity * 128;
+    std::size_t registry_off = off;
+    off += cfg.registryCapacity * 8;
+    off = alignUp(off, kCacheLineSize);
+    std::size_t undo_off = off;
+    off += alignUp(cfg.undoLogSize, kCacheLineSize);
+    std::size_t data_off = off;
+    off += alignUp(cfg.dataSize, kCacheLineSize);
+
+    dev_ = std::make_unique<NvmDevice>(off, nvm_cfg);
+    PoolHeader *h = header();
+    h->magic = PoolHeader::kMagic;
+    h->topOffset = 0;
+    h->freeListHead = PoolHeader::kFreeListEnd;
+    h->liveObjects = 0;
+    h->typeTableOff = type_off;
+    h->typeTableCap = cfg.typeTableCapacity;
+    h->rootTableOff = root_off;
+    h->rootTableCap = cfg.rootTableCapacity;
+    h->registryOff = registry_off;
+    h->registryCap = cfg.registryCapacity;
+    h->undoOff = undo_off;
+    h->undoSize = alignUp(cfg.undoLogSize, kCacheLineSize);
+    h->dataOff = data_off;
+    h->dataSize = alignUp(cfg.dataSize, kCacheLineSize);
+    dev_->persist(reinterpret_cast<Addr>(h), sizeof(PoolHeader));
+}
+
+PcjRuntime::~PcjRuntime() = default;
+
+PoolHeader *
+PcjRuntime::header() const
+{
+    return reinterpret_cast<PoolHeader *>(
+        const_cast<std::uint8_t *>(dev_->base()));
+}
+
+PcjObjectHeader *
+PcjRuntime::objectAt(PcjRef obj) const
+{
+    if (obj == kPcjNull)
+        panic("PCJ: null reference dereference");
+    return reinterpret_cast<PcjObjectHeader *>(dev_->base() + obj);
+}
+
+Addr
+PcjRuntime::payloadAddr(PcjRef obj, std::uint64_t slot) const
+{
+    return reinterpret_cast<Addr>(dev_->base()) + obj + kObjectOverhead +
+           slot * 8;
+}
+
+void
+PcjRuntime::nativeCall() const
+{
+    spinForNs(cfg_.nativeCallNs);
+}
+
+void
+PcjRuntime::nativeRead() const
+{
+    spinForNs(cfg_.nativeReadNs);
+}
+
+void
+PcjRuntime::txWrite(Addr addr, std::uint64_t value)
+{
+    if (!activeTx_)
+        panic("PCJ: txWrite outside a transaction");
+    nativeCall();
+    activeTx_->logAndWrite(addr, value);
+}
+
+const PcjTypeEntry *
+PcjRuntime::typeOf(PcjRef obj) const
+{
+    return reinterpret_cast<const PcjTypeEntry *>(
+        dev_->base() + objectAt(obj)->typeInfoOff);
+}
+
+std::uint64_t
+PcjRuntime::ensureType(const std::string &type_name,
+                       std::uint64_t field_count, std::uint64_t kind,
+                       std::uint64_t ref_mask)
+{
+    if (type_name.size() > PcjTypeEntry::kMaxName)
+        fatal("PCJ: type name too long: " + type_name);
+    PoolHeader *h = header();
+    auto *table = reinterpret_cast<PcjTypeEntry *>(dev_->base() +
+                                                   h->typeTableOff);
+    std::uint64_t start = hashString(type_name) % h->typeTableCap;
+    for (std::uint64_t i = 0; i < h->typeTableCap; ++i) {
+        PcjTypeEntry &e = table[(start + i) % h->typeTableCap];
+        if (e.state == 1) {
+            if (std::strncmp(e.name, type_name.c_str(),
+                             PcjTypeEntry::kMaxName) == 0) {
+                return h->typeTableOff +
+                       ((start + i) % h->typeTableCap) *
+                           sizeof(PcjTypeEntry);
+            }
+            continue;
+        }
+        // First use: persist the type descriptor.
+        e.kind = kind;
+        e.fieldCount = field_count;
+        e.refMask = ref_mask;
+        std::memset(e.name, 0, sizeof(e.name));
+        std::memcpy(e.name, type_name.c_str(), type_name.size());
+        dev_->persist(reinterpret_cast<Addr>(&e), sizeof(PcjTypeEntry));
+        e.state = 1;
+        dev_->persist(reinterpret_cast<Addr>(&e.state), 8);
+        return h->typeTableOff +
+               ((start + i) % h->typeTableCap) * sizeof(PcjTypeEntry);
+    }
+    fatal("PCJ: type table full");
+}
+
+std::uint64_t
+PcjRuntime::allocateChunk(std::uint64_t bytes)
+{
+    PoolHeader *h = header();
+    Addr base = reinterpret_cast<Addr>(dev_->base());
+
+    // First-fit over the persistent free list.
+    std::uint64_t prev_slot_addr =
+        reinterpret_cast<Addr>(&h->freeListHead);
+    std::uint64_t cur = h->freeListHead;
+    int probes = 0;
+    while (cur != PoolHeader::kFreeListEnd && probes < 64) {
+        auto *chunk =
+            reinterpret_cast<FreeChunk *>(base + h->dataOff + cur);
+        if (chunk->bytes >= bytes && chunk->bytes < bytes + 64) {
+            txWrite(prev_slot_addr, chunk->next);
+            return cur;
+        }
+        prev_slot_addr = reinterpret_cast<Addr>(&chunk->next);
+        cur = chunk->next;
+        ++probes;
+    }
+
+    if (h->topOffset + bytes > h->dataSize)
+        fatal("PCJ: pool out of memory");
+    std::uint64_t off = h->topOffset;
+    txWrite(reinterpret_cast<Addr>(&h->topOffset), off + bytes);
+    return off;
+}
+
+void
+PcjRuntime::freeChunk(std::uint64_t off, std::uint64_t bytes)
+{
+    PoolHeader *h = header();
+    Addr base = reinterpret_cast<Addr>(dev_->base());
+    auto *chunk = reinterpret_cast<FreeChunk *>(base + h->dataOff + off);
+    txWrite(reinterpret_cast<Addr>(&chunk->next), h->freeListHead);
+    txWrite(reinterpret_cast<Addr>(&chunk->bytes), bytes);
+    txWrite(reinterpret_cast<Addr>(&h->freeListHead), off);
+}
+
+void
+PcjRuntime::registryInsert(PcjRef obj)
+{
+    PoolHeader *h = header();
+    auto *registry =
+        reinterpret_cast<std::uint64_t *>(dev_->base() + h->registryOff);
+    std::uint64_t start = obj % h->registryCap;
+    for (std::uint64_t i = 0; i < h->registryCap; ++i) {
+        std::uint64_t slot = (start + i) % h->registryCap;
+        if (registry[slot] == 0) {
+            txWrite(reinterpret_cast<Addr>(&registry[slot]), obj);
+            // Back-pointer and counter are reconstructible stats; a
+            // plain persisted write suffices.
+            objectAt(obj)->registrySlot = slot;
+            dev_->flush(
+                reinterpret_cast<Addr>(&objectAt(obj)->registrySlot), 8);
+            h->liveObjects += 1;
+            dev_->flush(reinterpret_cast<Addr>(&h->liveObjects), 8);
+            return;
+        }
+    }
+    fatal("PCJ: object registry full");
+}
+
+void
+PcjRuntime::registryRemove(PcjRef obj)
+{
+    PoolHeader *h = header();
+    auto *registry =
+        reinterpret_cast<std::uint64_t *>(dev_->base() + h->registryOff);
+    std::uint64_t slot = objectAt(obj)->registrySlot;
+    txWrite(reinterpret_cast<Addr>(&registry[slot]), 0);
+    h->liveObjects -= 1;
+    dev_->flush(reinterpret_cast<Addr>(&h->liveObjects), 8);
+}
+
+PcjRef
+PcjRuntime::createObject(const std::string &type_name,
+                         std::uint64_t payload_words, std::uint64_t kind,
+                         std::uint64_t ref_mask, const void *init_data,
+                         std::size_t init_len)
+{
+    PcjTransaction tx(*this);
+    PoolHeader *h = header();
+    Addr base = reinterpret_cast<Addr>(dev_->base());
+
+    std::uint64_t bytes =
+        alignUp(kObjectOverhead + payload_words * 8, 16);
+
+    std::uint64_t data_off;
+    {
+        PhaseScope scope(timer_, "allocation");
+        data_off = allocateChunk(bytes);
+    }
+    PcjRef obj = h->dataOff + data_off;
+    PcjObjectHeader *oh = objectAt(obj);
+
+    {
+        // "Type information memorization": resolve/persist the type
+        // entry, point the object at it, and memorize the type name
+        // in the object itself (PCJ keeps per-object type metadata
+        // off-heap; a Java heap would store a single Klass pointer).
+        PhaseScope scope(timer_, "metadata");
+        nativeCall(); // type-handle resolution crosses into NVML
+        std::uint64_t type_off =
+            ensureType(type_name, payload_words, kind, ref_mask);
+        txWrite(reinterpret_cast<Addr>(&oh->typeInfoOff), type_off);
+        txWrite(reinterpret_cast<Addr>(&oh->payloadWords), payload_words);
+        nativeCall(); // the memo write is its own native section
+        Addr memo = base + obj + sizeof(PcjObjectHeader);
+        std::memset(reinterpret_cast<void *>(memo), 0, kTypeMemoBytes);
+        std::memcpy(reinterpret_cast<void *>(memo), type_name.c_str(),
+                    type_name.size());
+        dev_->flush(memo, kTypeMemoBytes);
+        dev_->fence();
+    }
+
+    {
+        // GC bookkeeping: reference-count init plus the registry
+        // entry recovery scans would walk.
+        PhaseScope scope(timer_, "gc");
+        oh->refCount = 1;
+        dev_->flush(reinterpret_cast<Addr>(&oh->refCount), 8);
+        dev_->fence();
+        registryInsert(obj);
+    }
+
+    {
+        // The real user data: zero fill plus any initial payload.
+        // Durability rides on the commit fence.
+        PhaseScope scope(timer_, "data");
+        std::memset(reinterpret_cast<void *>(payloadAddr(obj, 0)), 0,
+                    payload_words * 8);
+        if (init_data) {
+            if (init_len > payload_words * 8)
+                panic("PCJ: initial payload overflow");
+            std::memcpy(reinterpret_cast<void *>(payloadAddr(obj, 0)),
+                        init_data, init_len);
+        }
+        dev_->flush(payloadAddr(obj, 0), payload_words * 8);
+    }
+
+    {
+        PhaseScope scope(timer_, "transaction");
+        tx.commit();
+    }
+    return obj;
+}
+
+void
+PcjRuntime::incRef(PcjRef obj)
+{
+    PcjTransaction tx(*this);
+    PcjObjectHeader *oh = objectAt(obj);
+    txWrite(reinterpret_cast<Addr>(&oh->refCount), oh->refCount + 1);
+    tx.commit();
+}
+
+void
+PcjRuntime::decRef(PcjRef obj)
+{
+    PcjTransaction tx(*this);
+    PcjObjectHeader *oh = objectAt(obj);
+    if (oh->refCount == 0)
+        panic("PCJ: refcount underflow");
+    txWrite(reinterpret_cast<Addr>(&oh->refCount), oh->refCount - 1);
+    if (oh->refCount == 0)
+        freeObject(obj);
+    tx.commit();
+}
+
+void
+PcjRuntime::freeObject(PcjRef obj)
+{
+    // Iterative recursive free: dropping the last reference to a
+    // structure reclaims everything it exclusively owns.
+    std::vector<PcjRef> stack{obj};
+    while (!stack.empty()) {
+        PcjRef cur = stack.back();
+        stack.pop_back();
+        PcjObjectHeader *oh = objectAt(cur);
+        const PcjTypeEntry *type = typeOf(cur);
+
+        auto drop_child = [&](PcjRef child) {
+            if (child == kPcjNull)
+                return;
+            PcjObjectHeader *ch = objectAt(child);
+            txWrite(reinterpret_cast<Addr>(&ch->refCount),
+                    ch->refCount - 1);
+            if (ch->refCount == 0)
+                stack.push_back(child);
+        };
+
+        if (type->kind == 1) { // ref array
+            for (std::uint64_t i = 0; i < oh->payloadWords; ++i)
+                drop_child(getRef(cur, i));
+        } else if (type->kind == 0) {
+            for (std::uint64_t i = 0; i < oh->payloadWords && i < 64;
+                 ++i) {
+                if (type->refMask & (1ull << i))
+                    drop_child(getRef(cur, i));
+            }
+        }
+
+        registryRemove(cur);
+        std::uint64_t bytes =
+            alignUp(kObjectOverhead + oh->payloadWords * 8, 16);
+        freeChunk(cur - header()->dataOff, bytes);
+    }
+}
+
+std::uint64_t
+PcjRuntime::refCountOf(PcjRef obj) const
+{
+    return objectAt(obj)->refCount;
+}
+
+std::uint64_t
+PcjRuntime::payloadWordsOf(PcjRef obj) const
+{
+    return objectAt(obj)->payloadWords;
+}
+
+std::string
+PcjRuntime::typeNameOf(PcjRef obj) const
+{
+    return typeOf(obj)->name;
+}
+
+std::uint64_t
+PcjRuntime::getWord(PcjRef obj, std::uint64_t slot) const
+{
+    // PCJ reads go through the native layout: header fetch, type
+    // fetch, bounds check, then the payload load.
+    nativeRead();
+    PcjObjectHeader *oh = objectAt(obj);
+    if (slot >= oh->payloadWords)
+        panic("PCJ: payload slot out of range");
+    const PcjTypeEntry *type = typeOf(obj);
+    if (type->state != 1)
+        panic("PCJ: corrupted type entry");
+    return *reinterpret_cast<std::uint64_t *>(payloadAddr(obj, slot));
+}
+
+void
+PcjRuntime::setWord(PcjRef obj, std::uint64_t slot, std::uint64_t value)
+{
+    PcjTransaction tx(*this);
+    {
+        PhaseScope scope(timer_, "data");
+        if (slot >= objectAt(obj)->payloadWords)
+            panic("PCJ: payload slot out of range");
+        txWrite(payloadAddr(obj, slot), value);
+    }
+    {
+        PhaseScope scope(timer_, "transaction");
+        tx.commit();
+    }
+}
+
+PcjRef
+PcjRuntime::getRef(PcjRef obj, std::uint64_t slot) const
+{
+    return getWord(obj, slot);
+}
+
+void
+PcjRuntime::setRef(PcjRef obj, std::uint64_t slot, PcjRef value)
+{
+    PcjTransaction tx(*this);
+    PcjRef old = getRef(obj, slot);
+    {
+        PhaseScope scope(timer_, "gc");
+        if (value != kPcjNull) {
+            PcjObjectHeader *vh = objectAt(value);
+            txWrite(reinterpret_cast<Addr>(&vh->refCount),
+                    vh->refCount + 1);
+        }
+        if (old != kPcjNull) {
+            PcjObjectHeader *ph = objectAt(old);
+            txWrite(reinterpret_cast<Addr>(&ph->refCount),
+                    ph->refCount - 1);
+            if (ph->refCount == 0)
+                freeObject(old);
+        }
+    }
+    {
+        PhaseScope scope(timer_, "data");
+        txWrite(payloadAddr(obj, slot), value);
+    }
+    {
+        PhaseScope scope(timer_, "transaction");
+        tx.commit();
+    }
+}
+
+void
+PcjRuntime::writeBytes(PcjRef obj, std::uint64_t byte_off,
+                       const void *src, std::size_t len)
+{
+    PcjTransaction tx(*this);
+    Addr dst = payloadAddr(obj, 0) + byte_off;
+    if (byte_off + len > objectAt(obj)->payloadWords * 8)
+        panic("PCJ: byte write out of range");
+    activeTx_->logRange(dst, len);
+    std::memcpy(reinterpret_cast<void *>(dst), src, len);
+    tx.commit();
+}
+
+void
+PcjRuntime::readBytes(PcjRef obj, std::uint64_t byte_off, void *dst,
+                      std::size_t len) const
+{
+    if (byte_off + len > objectAt(obj)->payloadWords * 8)
+        panic("PCJ: byte read out of range");
+    std::memcpy(dst,
+                reinterpret_cast<const void *>(payloadAddr(obj, 0) +
+                                               byte_off),
+                len);
+}
+
+void
+PcjRuntime::putRoot(const std::string &name, PcjRef obj)
+{
+    if (name.size() > 63)
+        fatal("PCJ: root name too long");
+    PoolHeader *h = header();
+    Addr base = reinterpret_cast<Addr>(dev_->base());
+    struct RootEntry
+    {
+        std::uint64_t state;
+        std::uint64_t value;
+        char name[112];
+    };
+    auto *table = reinterpret_cast<RootEntry *>(base + h->rootTableOff);
+
+    PcjTransaction tx(*this);
+    std::uint64_t start = hashString(name) % h->rootTableCap;
+    for (std::uint64_t i = 0; i < h->rootTableCap; ++i) {
+        RootEntry &e = table[(start + i) % h->rootTableCap];
+        if (e.state == 1 &&
+            std::strncmp(e.name, name.c_str(), sizeof(e.name)) == 0) {
+            PcjRef old = e.value;
+            if (obj != kPcjNull)
+                txWrite(reinterpret_cast<Addr>(&objectAt(obj)->refCount),
+                        objectAt(obj)->refCount + 1);
+            txWrite(reinterpret_cast<Addr>(&e.value), obj);
+            if (old != kPcjNull) {
+                PcjObjectHeader *ph = objectAt(old);
+                txWrite(reinterpret_cast<Addr>(&ph->refCount),
+                        ph->refCount - 1);
+                if (ph->refCount == 0)
+                    freeObject(old);
+            }
+            tx.commit();
+            return;
+        }
+        if (e.state == 0) {
+            std::memset(e.name, 0, sizeof(e.name));
+            std::memcpy(e.name, name.c_str(), name.size());
+            if (obj != kPcjNull)
+                txWrite(reinterpret_cast<Addr>(&objectAt(obj)->refCount),
+                        objectAt(obj)->refCount + 1);
+            txWrite(reinterpret_cast<Addr>(&e.value), obj);
+            dev_->flush(reinterpret_cast<Addr>(&e), sizeof(RootEntry));
+            dev_->fence();
+            txWrite(reinterpret_cast<Addr>(&e.state), 1);
+            tx.commit();
+            return;
+        }
+    }
+    fatal("PCJ: root table full");
+}
+
+PcjRef
+PcjRuntime::getRoot(const std::string &name) const
+{
+    PoolHeader *h = header();
+    Addr base = reinterpret_cast<Addr>(dev_->base());
+    struct RootEntry
+    {
+        std::uint64_t state;
+        std::uint64_t value;
+        char name[112];
+    };
+    auto *table = reinterpret_cast<RootEntry *>(base + h->rootTableOff);
+    std::uint64_t start = hashString(name) % h->rootTableCap;
+    for (std::uint64_t i = 0; i < h->rootTableCap; ++i) {
+        const RootEntry &e = table[(start + i) % h->rootTableCap];
+        if (e.state == 0)
+            return kPcjNull;
+        if (e.state == 1 &&
+            std::strncmp(e.name, name.c_str(), sizeof(e.name)) == 0)
+            return e.value;
+    }
+    return kPcjNull;
+}
+
+void
+PcjRuntime::crash(CrashMode mode, std::uint64_t seed)
+{
+    activeTx_ = nullptr;
+    dev_->crash(mode, seed);
+    recoverIfNeeded();
+}
+
+void
+PcjRuntime::recoverIfNeeded()
+{
+    PcjTransaction::recover(*this);
+}
+
+} // namespace pcj
+} // namespace espresso

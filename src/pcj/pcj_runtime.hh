@@ -1,0 +1,222 @@
+/**
+ * @file
+ * PCJ baseline — Persistent Collections for Java, reproduced as the
+ * paper evaluates it (§2.2, §6.2).
+ *
+ * PCJ stores persistent data as native off-heap objects managed by an
+ * NVML(libpmemobj)-style pool: every object carries its own type
+ * metadata and reference count, every mutation runs inside an
+ * undo-logged transaction, and reclamation is reference counting
+ * performed eagerly on pointer updates. Those four design choices
+ * are exactly the overhead sources the paper's Fig. 6 breaks down
+ * (transaction / GC / metadata / allocation / data), so each is
+ * implemented with its own persistence traffic and is attributable
+ * via an optional PhaseTimer:
+ *
+ *  - metadata: type-table probe (string hash + compare) plus the
+ *    per-object type record the pool memorizes on every create;
+ *  - gc: reference-count initialization and the persistent object
+ *    registry entry used for recovery scans;
+ *  - transaction: undo-log records and their flush/fence traffic;
+ *  - allocation: persistent free-list/top updates;
+ *  - data: the user payload write itself.
+ *
+ * References between PCJ objects are pool offsets (PcjRef), not
+ * virtual addresses — the off-heap design the paper contrasts with
+ * PJH's on-heap objects.
+ */
+
+#ifndef ESPRESSO_PCJ_PCJ_RUNTIME_HH
+#define ESPRESSO_PCJ_PCJ_RUNTIME_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "nvm/nvm_device.hh"
+#include "util/phase_timer.hh"
+
+namespace espresso {
+namespace pcj {
+
+/** A pool-offset reference; 0 is null. */
+using PcjRef = std::uint64_t;
+constexpr PcjRef kPcjNull = 0;
+
+/** Pool sizing and cost model. */
+struct PcjConfig
+{
+    std::size_t dataSize = 64u << 20;
+    std::size_t typeTableCapacity = 256;
+    std::size_t rootTableCapacity = 256;
+    std::size_t registryCapacity = 1u << 20; ///< live-object bound
+    std::size_t undoLogSize = 1u << 20;
+
+    /**
+     * Modeled JNI/native boundary cost paid by each native section a
+     * PCJ mutator executes (transaction bracket, logged write, type
+     * memorization). PCJ runs in Java but stores data through native
+     * NVML calls; these crossings — absent in PJH, where objects are
+     * ordinary heap objects — are a large part of why the paper
+     * measures PCJ orders of magnitude slower (§2.2, §6.2). Set to 0
+     * for functional testing.
+     */
+    std::uint64_t nativeCallNs = 0;
+
+    /** Modeled crossing cost for reads (paper: gets are only ~6-27x
+     * slower, so the read path is much lighter). */
+    std::uint64_t nativeReadNs = 0;
+};
+
+/** Persistent pool header (device offset 0). */
+struct PoolHeader
+{
+    static constexpr std::uint64_t kMagic = 0x50434a504f4f4cull;
+
+    /** Free-list terminator (offset 0 is a valid chunk). */
+    static constexpr std::uint64_t kFreeListEnd = ~std::uint64_t(0);
+
+    std::uint64_t magic;
+    std::uint64_t topOffset;    ///< data bump pointer
+    std::uint64_t freeListHead; ///< first free chunk or kFreeListEnd
+    std::uint64_t liveObjects;
+    std::uint64_t typeTableOff, typeTableCap;
+    std::uint64_t rootTableOff, rootTableCap;
+    std::uint64_t registryOff, registryCap;
+    std::uint64_t undoOff, undoSize;
+    std::uint64_t dataOff, dataSize;
+};
+
+/** Persistent object header preceding every payload. */
+struct PcjObjectHeader
+{
+    std::uint64_t typeInfoOff; ///< type-table entry offset
+    std::uint64_t refCount;
+    std::uint64_t payloadWords;
+    std::uint64_t registrySlot; ///< back-pointer into the registry
+};
+
+/** One type-table entry ("type information memorization"). */
+struct PcjTypeEntry
+{
+    static constexpr std::size_t kMaxName = 63;
+
+    std::uint64_t state; ///< 0 empty, 1 valid
+    std::uint64_t kind;  ///< 0 fixed shape, 1 ref-array, 2 byte-array
+    std::uint64_t fieldCount;
+    std::uint64_t refMask; ///< bit i set => field i is a reference
+    char name[kMaxName + 1];
+    std::uint64_t reserved[7];
+};
+
+static_assert(sizeof(PcjTypeEntry) == 152, "check PcjTypeEntry layout");
+
+class PcjTransaction;
+
+/** The PCJ pool runtime. */
+class PcjRuntime
+{
+  public:
+    explicit PcjRuntime(const PcjConfig &cfg = {},
+                        NvmConfig nvm_cfg = {});
+    ~PcjRuntime();
+
+    PcjRuntime(const PcjRuntime &) = delete;
+    PcjRuntime &operator=(const PcjRuntime &) = delete;
+
+    /** Attribute subsequent work to @p timer's buckets (or null). */
+    void setPhaseTimer(PhaseTimer *timer) { timer_ = timer; }
+
+    /** @name Object lifecycle */
+    /// @{
+    /**
+     * Create an object of type @p type_name with @p payload_words
+     * payload slots; runs the full PCJ create pipeline (transaction,
+     * allocation, type memorization, GC init). Initial refcount 1.
+     * @param kind 0 fixed shape, 1 ref array, 2 byte array.
+     * @param ref_mask reference-field bitmap for fixed shapes.
+     * @param init_data optional initial payload bytes (scalar data
+     *        only — reference slots must be stored via setRef).
+     */
+    PcjRef createObject(const std::string &type_name,
+                        std::uint64_t payload_words,
+                        std::uint64_t kind, std::uint64_t ref_mask,
+                        const void *init_data = nullptr,
+                        std::size_t init_len = 0);
+
+    void incRef(PcjRef obj);
+
+    /** Decrement; frees (recursively) at zero. */
+    void decRef(PcjRef obj);
+
+    std::uint64_t refCountOf(PcjRef obj) const;
+    std::uint64_t payloadWordsOf(PcjRef obj) const;
+    std::string typeNameOf(PcjRef obj) const;
+    /// @}
+
+    /** @name Payload access (slot = payload word index) */
+    /// @{
+    std::uint64_t getWord(PcjRef obj, std::uint64_t slot) const;
+
+    /** Transactional scalar store. */
+    void setWord(PcjRef obj, std::uint64_t slot, std::uint64_t value);
+
+    PcjRef getRef(PcjRef obj, std::uint64_t slot) const;
+
+    /** Transactional reference store with refcount maintenance. */
+    void setRef(PcjRef obj, std::uint64_t slot, PcjRef value);
+
+    /** Raw byte access for byte-array payloads. */
+    void writeBytes(PcjRef obj, std::uint64_t byte_off,
+                    const void *src, std::size_t len);
+    void readBytes(PcjRef obj, std::uint64_t byte_off, void *dst,
+                   std::size_t len) const;
+    /// @}
+
+    /** @name Roots (ObjectDirectory analog) */
+    /// @{
+    void putRoot(const std::string &name, PcjRef obj);
+    PcjRef getRoot(const std::string &name) const;
+    /// @}
+
+    /** Simulate a power failure; open transactions roll back. */
+    void crash(CrashMode mode = CrashMode::kDiscardUnflushed,
+               std::uint64_t seed = 1);
+
+    std::uint64_t liveObjects() const { return header()->liveObjects; }
+    std::size_t dataUsed() const { return header()->topOffset; }
+    NvmDevice &device() { return *dev_; }
+
+  private:
+    friend class PcjTransaction;
+
+    /** One JNI/native crossing (cost model). */
+    void nativeCall() const;
+    void nativeRead() const;
+
+    PoolHeader *header() const;
+    PcjObjectHeader *objectAt(PcjRef obj) const;
+    Addr payloadAddr(PcjRef obj, std::uint64_t slot) const;
+    std::uint64_t ensureType(const std::string &type_name,
+                             std::uint64_t field_count,
+                             std::uint64_t kind,
+                             std::uint64_t ref_mask);
+    const PcjTypeEntry *typeOf(PcjRef obj) const;
+    std::uint64_t allocateChunk(std::uint64_t bytes);
+    void freeChunk(std::uint64_t off, std::uint64_t bytes);
+    void freeObject(PcjRef obj);
+    void registryInsert(PcjRef obj);
+    void registryRemove(PcjRef obj);
+    void txWrite(Addr addr, std::uint64_t value);
+    void recoverIfNeeded();
+
+    PcjConfig cfg_;
+    std::unique_ptr<NvmDevice> dev_;
+    PhaseTimer *timer_ = nullptr;
+    PcjTransaction *activeTx_ = nullptr;
+};
+
+} // namespace pcj
+} // namespace espresso
+
+#endif // ESPRESSO_PCJ_PCJ_RUNTIME_HH

@@ -1,0 +1,166 @@
+#include "pcj/pcj_transaction.hh"
+
+#include <cstring>
+#include <vector>
+
+#include "nvm/nvm_device.hh"
+#include "pcj/pcj_runtime.hh"
+#include "util/logging.hh"
+
+namespace espresso {
+namespace pcj {
+
+PcjTransaction::TxHeader *
+PcjTransaction::txHeader(PcjRuntime &rt)
+{
+    return reinterpret_cast<TxHeader *>(rt.device().base() +
+                                        rt.header()->undoOff);
+}
+
+PcjTransaction::PcjTransaction(PcjRuntime &rt) : rt_(rt)
+{
+    if (rt_.activeTx_) {
+        // PCJ supports nesting by flattening into the outer tx.
+        nested_ = true;
+        done_ = true;
+        return;
+    }
+    rt_.nativeCall();
+    TxHeader *h = txHeader(rt_);
+    NvmDevice &dev = rt_.device();
+    h->count = 0;
+    h->used = 0;
+    dev.flush(reinterpret_cast<Addr>(h), sizeof(TxHeader));
+    h->active = 1;
+    dev.persist(reinterpret_cast<Addr>(&h->active), 8);
+    rt_.activeTx_ = this;
+}
+
+PcjTransaction::~PcjTransaction()
+{
+    if (!done_)
+        abort();
+}
+
+void
+PcjTransaction::logRange(Addr addr, std::size_t len)
+{
+    PcjTransaction *tx = rt_.activeTx_;
+    if (!tx)
+        panic("PcjTransaction::logRange outside a transaction");
+    TxHeader *h = txHeader(rt_);
+    NvmDevice &dev = rt_.device();
+    std::size_t entry_bytes = sizeof(TxEntry) + alignUp(len, 8);
+    Addr area = reinterpret_cast<Addr>(dev.base()) +
+                rt_.header()->undoOff;
+    std::size_t cap = rt_.header()->undoSize;
+    if (kCacheLineSize + h->used + entry_bytes > cap)
+        fatal("PCJ: transaction log full");
+    Addr entry_addr = area + kCacheLineSize + h->used;
+    auto *entry = reinterpret_cast<TxEntry *>(entry_addr);
+    entry->poolOffset = addr - reinterpret_cast<Addr>(dev.base());
+    entry->length = len;
+    std::memcpy(entry + 1, reinterpret_cast<const void *>(addr), len);
+    dev.flush(entry_addr, entry_bytes);
+    dev.fence();
+    h->used += entry_bytes;
+    h->count += 1;
+    dev.persist(reinterpret_cast<Addr>(h), sizeof(TxHeader));
+}
+
+void
+PcjTransaction::logAndWrite(Addr addr, std::uint64_t value)
+{
+    logRange(addr, 8);
+    *reinterpret_cast<std::uint64_t *>(addr) = value;
+}
+
+void
+PcjTransaction::commit()
+{
+    if (nested_ || done_)
+        return;
+    if (rt_.activeTx_ != this) {
+        // The pool crashed under us; the transaction already rolled
+        // back during recovery.
+        done_ = true;
+        return;
+    }
+    rt_.nativeCall();
+    TxHeader *h = txHeader(rt_);
+    NvmDevice &dev = rt_.device();
+    Addr area = reinterpret_cast<Addr>(dev.base()) +
+                rt_.header()->undoOff + kCacheLineSize;
+    Addr base = reinterpret_cast<Addr>(dev.base());
+    Addr cursor = area;
+    for (std::uint64_t i = 0; i < h->count; ++i) {
+        auto *entry = reinterpret_cast<TxEntry *>(cursor);
+        dev.flush(base + entry->poolOffset, entry->length);
+        cursor += sizeof(TxEntry) + alignUp(entry->length, 8);
+    }
+    dev.fence();
+    retire(rt_);
+    rt_.activeTx_ = nullptr;
+    done_ = true;
+}
+
+void
+PcjTransaction::abort()
+{
+    if (nested_ || done_) {
+        done_ = true;
+        return;
+    }
+    if (rt_.activeTx_ != this) {
+        done_ = true;
+        return;
+    }
+    rollback(rt_);
+    retire(rt_);
+    rt_.activeTx_ = nullptr;
+    done_ = true;
+}
+
+void
+PcjTransaction::rollback(PcjRuntime &rt)
+{
+    TxHeader *h = txHeader(rt);
+    NvmDevice &dev = rt.device();
+    Addr base = reinterpret_cast<Addr>(dev.base());
+    Addr area = base + rt.header()->undoOff + kCacheLineSize;
+
+    std::vector<TxEntry *> entries;
+    Addr cursor = area;
+    for (std::uint64_t i = 0; i < h->count; ++i) {
+        auto *entry = reinterpret_cast<TxEntry *>(cursor);
+        entries.push_back(entry);
+        cursor += sizeof(TxEntry) + alignUp(entry->length, 8);
+    }
+    for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
+        std::memcpy(reinterpret_cast<void *>(base + (*it)->poolOffset),
+                    *it + 1, (*it)->length);
+        dev.flush(base + (*it)->poolOffset, (*it)->length);
+    }
+    dev.fence();
+}
+
+void
+PcjTransaction::retire(PcjRuntime &rt)
+{
+    TxHeader *h = txHeader(rt);
+    h->active = 0;
+    rt.device().persist(reinterpret_cast<Addr>(&h->active), 8);
+}
+
+void
+PcjTransaction::recover(PcjRuntime &rt)
+{
+    TxHeader *h = txHeader(rt);
+    if (h->active) {
+        rollback(rt);
+        retire(rt);
+    }
+}
+
+} // namespace pcj
+} // namespace espresso

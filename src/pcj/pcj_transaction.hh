@@ -1,0 +1,75 @@
+/**
+ * @file
+ * NVML-style undo-log transactions for the PCJ pool.
+ *
+ * Every PCJ mutation runs inside one of these: the old value of each
+ * touched word is persisted to the pool's undo area before the write
+ * lands, and commit persists the new values before retiring the log.
+ * Reopening a crashed pool rolls back the in-flight transaction.
+ */
+
+#ifndef ESPRESSO_PCJ_PCJ_TRANSACTION_HH
+#define ESPRESSO_PCJ_PCJ_TRANSACTION_HH
+
+#include <cstdint>
+
+#include "util/common.hh"
+
+namespace espresso {
+
+class NvmDevice;
+
+namespace pcj {
+
+class PcjRuntime;
+
+/** One pool transaction (RAII: aborts unless committed). */
+class PcjTransaction
+{
+  public:
+    explicit PcjTransaction(PcjRuntime &runtime);
+    ~PcjTransaction();
+
+    PcjTransaction(const PcjTransaction &) = delete;
+    PcjTransaction &operator=(const PcjTransaction &) = delete;
+
+    /** Log the old 8-byte value at @p addr, then store @p value. */
+    void logAndWrite(Addr addr, std::uint64_t value);
+
+    /** Log @p len old bytes at @p addr (caller writes afterwards). */
+    void logRange(Addr addr, std::size_t len);
+
+    void commit();
+    void abort();
+
+    /** Attach-time recovery entry point. */
+    static void recover(PcjRuntime &runtime);
+
+  private:
+    struct TxHeader
+    {
+        std::uint64_t active;
+        std::uint64_t count;
+        std::uint64_t used;
+    };
+
+    struct TxEntry
+    {
+        std::uint64_t poolOffset;
+        std::uint64_t length;
+        // old bytes follow, word aligned
+    };
+
+    static void rollback(PcjRuntime &runtime);
+    static void retire(PcjRuntime &runtime);
+    static TxHeader *txHeader(PcjRuntime &runtime);
+
+    PcjRuntime &rt_;
+    bool done_ = false;
+    bool nested_ = false;
+};
+
+} // namespace pcj
+} // namespace espresso
+
+#endif // ESPRESSO_PCJ_PCJ_TRANSACTION_HH

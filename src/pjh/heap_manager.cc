@@ -1,0 +1,146 @@
+#include "pjh/heap_manager.hh"
+
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace espresso {
+
+HeapManager::HeapManager(KlassRegistry *registry,
+                         VolatileHeap *volatile_heap, NvmConfig nvm_cfg)
+    : registry_(registry), volatileHeap_(volatile_heap), nvmCfg_(nvm_cfg)
+{}
+
+HeapManager::~HeapManager()
+{
+    for (auto &kv : heaps_)
+        unwireHeap(kv.second.get());
+}
+
+void
+HeapManager::wireHeap(const std::string &name, PjhHeap *heap)
+{
+    if (volatileHeap_) {
+        volatileHeap_->addExternalSpace(heap);
+        VolatileHeap *vh = volatileHeap_;
+        heap->setGcTrigger([heap, vh]() { heap->collect(vh); });
+        // Persistent roots keep DRAM referents alive: the volatile
+        // collectors already see them through the external space.
+    } else {
+        heap->setGcTrigger([heap]() { heap->collect(nullptr); });
+    }
+    (void)name;
+}
+
+void
+HeapManager::unwireHeap(PjhHeap *heap)
+{
+    if (volatileHeap_)
+        volatileHeap_->removeExternalSpace(heap);
+}
+
+PjhHeap *
+HeapManager::createHeap(const std::string &name, std::size_t data_size)
+{
+    PjhConfig cfg;
+    cfg.dataSize = data_size;
+    return createHeap(name, cfg);
+}
+
+PjhHeap *
+HeapManager::createHeap(const std::string &name, const PjhConfig &cfg)
+{
+    if (existsHeap(name))
+        fatal("createHeap: heap '" + name + "' already exists");
+    PjhMetadata scratch{};
+    std::size_t total = computeLayout(cfg, scratch);
+    auto device = std::make_unique<NvmDevice>(total, nvmCfg_);
+    auto heap = PjhHeap::create(device.get(), cfg, registry_);
+    PjhHeap *raw = heap.get();
+    wireHeap(name, raw);
+    devices_[name] = std::move(device);
+    heaps_[name] = std::move(heap);
+    return raw;
+}
+
+PjhHeap *
+HeapManager::loadHeap(const std::string &name, SafetyLevel safety)
+{
+    auto hit = heaps_.find(name);
+    if (hit != heaps_.end())
+        return hit->second.get();
+    auto dit = devices_.find(name);
+    if (dit == devices_.end())
+        fatal("loadHeap: no heap named '" + name + "'");
+    auto heap = PjhHeap::attach(dit->second.get(), registry_, safety);
+    PjhHeap *raw = heap.get();
+    wireHeap(name, raw);
+    heaps_[name] = std::move(heap);
+    return raw;
+}
+
+bool
+HeapManager::existsHeap(const std::string &name) const
+{
+    return devices_.count(name) != 0;
+}
+
+PjhHeap *
+HeapManager::heap(const std::string &name) const
+{
+    auto it = heaps_.find(name);
+    return it == heaps_.end() ? nullptr : it->second.get();
+}
+
+void
+HeapManager::detachHeap(const std::string &name)
+{
+    auto it = heaps_.find(name);
+    if (it == heaps_.end())
+        fatal("detachHeap: heap '" + name + "' is not loaded");
+    it->second->detach();
+    unwireHeap(it->second.get());
+    heaps_.erase(it);
+}
+
+void
+HeapManager::crashHeap(const std::string &name, CrashMode mode,
+                       std::uint64_t seed)
+{
+    auto dit = devices_.find(name);
+    if (dit == devices_.end())
+        fatal("crashHeap: no heap named '" + name + "'");
+    auto hit = heaps_.find(name);
+    if (hit != heaps_.end()) {
+        unwireHeap(hit->second.get());
+        heaps_.erase(hit);
+    }
+    dit->second->crash(mode, seed);
+}
+
+void
+HeapManager::migrateHeap(const std::string &name)
+{
+    auto dit = devices_.find(name);
+    if (dit == devices_.end())
+        fatal("migrateHeap: no heap named '" + name + "'");
+    if (heaps_.count(name))
+        fatal("migrateHeap: detach or crash '" + name + "' first");
+
+    NvmDevice &old_dev = *dit->second;
+    auto fresh = std::make_unique<NvmDevice>(old_dev.size(), nvmCfg_);
+    // Move the durable image byte-for-byte onto the new device (same
+    // DIMM contents, different virtual mapping).
+    std::memcpy(fresh->base(), old_dev.base(), old_dev.size());
+    fresh->shutdownClean();
+    dit->second = std::move(fresh);
+}
+
+NvmDevice *
+HeapManager::deviceOf(const std::string &name) const
+{
+    auto it = devices_.find(name);
+    return it == devices_.end() ? nullptr : it->second.get();
+}
+
+} // namespace espresso

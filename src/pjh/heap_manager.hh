@@ -1,0 +1,98 @@
+/**
+ * @file
+ * The external name manager of §3.3 plus the Table-1 API surface.
+ *
+ * Maps heap names to NVM devices (the NVDIMM inventory), attaches and
+ * detaches PjhHeap instances, wires attached heaps into the volatile
+ * collectors, and — for tests and the crash-recovery example —
+ * simulates power failures and reboots, including the "mapped at a
+ * different address" reboot that exercises the rebase scan.
+ */
+
+#ifndef ESPRESSO_PJH_HEAP_MANAGER_HH
+#define ESPRESSO_PJH_HEAP_MANAGER_HH
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "heap/volatile_heap.hh"
+#include "nvm/nvm_device.hh"
+#include "pjh/pjh_heap.hh"
+#include "runtime/klass_registry.hh"
+
+namespace espresso {
+
+/** Owns all named PJH instances of one runtime. */
+class HeapManager
+{
+  public:
+    /**
+     * @param registry runtime class directory.
+     * @param volatile_heap DRAM heap for cross-heap GC wiring (may be
+     *        null for standalone persistent heaps).
+     * @param nvm_cfg latency/behaviour knobs applied to new devices.
+     */
+    HeapManager(KlassRegistry *registry, VolatileHeap *volatile_heap,
+                NvmConfig nvm_cfg = {});
+    ~HeapManager();
+
+    HeapManager(const HeapManager &) = delete;
+    HeapManager &operator=(const HeapManager &) = delete;
+
+    /** @name Table 1 */
+    /// @{
+    /** Create a PJH instance with @p data_size bytes of object space. */
+    PjhHeap *createHeap(const std::string &name, std::size_t data_size);
+
+    /** Create with full sizing control. */
+    PjhHeap *createHeap(const std::string &name, const PjhConfig &cfg);
+
+    /** Load (attach) a pre-existing instance into the runtime. */
+    PjhHeap *loadHeap(const std::string &name,
+                      SafetyLevel safety = SafetyLevel::kUserGuaranteed);
+
+    /** True if a PJH instance with this name exists (loaded or not). */
+    bool existsHeap(const std::string &name) const;
+    /// @}
+
+    /** The loaded heap, or nullptr. */
+    PjhHeap *heap(const std::string &name) const;
+
+    /** Cleanly detach a loaded heap (clean shutdown semantics). */
+    void detachHeap(const std::string &name);
+
+    /**
+     * Simulate a power failure on @p name: all volatile state is
+     * dropped and the device reverts to its durable image.
+     */
+    void crashHeap(const std::string &name,
+                   CrashMode mode = CrashMode::kDiscardUnflushed,
+                   std::uint64_t seed = 1);
+
+    /**
+     * Simulate a reboot in which the OS cannot map the heap at its
+     * address hint: the durable image is migrated to a fresh device
+     * (new virtual addresses), forcing the rebase scan on next load.
+     */
+    void migrateHeap(const std::string &name);
+
+    /** Device backing @p name (for fault injection), or nullptr. */
+    NvmDevice *deviceOf(const std::string &name) const;
+
+    KlassRegistry &registry() { return *registry_; }
+
+  private:
+    void wireHeap(const std::string &name, PjhHeap *heap);
+    void unwireHeap(PjhHeap *heap);
+
+    KlassRegistry *registry_;
+    VolatileHeap *volatileHeap_;
+    NvmConfig nvmCfg_;
+    std::map<std::string, std::unique_ptr<NvmDevice>> devices_;
+    std::map<std::string, std::unique_ptr<PjhHeap>> heaps_;
+};
+
+} // namespace espresso
+
+#endif // ESPRESSO_PJH_HEAP_MANAGER_HH

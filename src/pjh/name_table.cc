@@ -1,0 +1,102 @@
+#include "pjh/name_table.hh"
+
+#include <cstring>
+
+#include "nvm/nvm_device.hh"
+#include "util/logging.hh"
+
+namespace espresso {
+
+NameTable::NameTable(NvmDevice *device, Addr base, std::size_t capacity)
+    : device_(device), base_(base), capacity_(capacity)
+{}
+
+std::size_t
+NameTable::hashName(const std::string &name)
+{
+    // FNV-1a.
+    std::uint64_t h = 1469598103934665603ull;
+    for (char c : name) {
+        h ^= static_cast<std::uint8_t>(c);
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+NameEntry *
+NameTable::find(const std::string &name, NameKind kind) const
+{
+    if (name.size() > NameEntry::kMaxName)
+        fatal("name table: name too long: " + name);
+    std::size_t start = hashName(name) % capacity_;
+    for (std::size_t i = 0; i < capacity_; ++i) {
+        NameEntry &e = entries()[(start + i) % capacity_];
+        if (e.state == NameEntry::kEmpty)
+            return nullptr;
+        if (e.state == NameEntry::kValid &&
+            e.kind == static_cast<Word>(kind) &&
+            std::strncmp(e.name, name.c_str(), NameEntry::kMaxName) == 0) {
+            return &e;
+        }
+    }
+    return nullptr;
+}
+
+void
+NameTable::insert(const std::string &name, NameKind kind, Word value)
+{
+    if (name.empty())
+        fatal("name table: empty name");
+    if (name.size() > NameEntry::kMaxName)
+        fatal("name table: name too long: " + name);
+    if (find(name, kind))
+        fatal("name table: duplicate name: " + name);
+
+    std::size_t start = hashName(name) % capacity_;
+    for (std::size_t i = 0; i < capacity_; ++i) {
+        NameEntry &e = entries()[(start + i) % capacity_];
+        if (e.state != NameEntry::kEmpty)
+            continue;
+
+        // Crash-consistent publication: payload first, then the
+        // state word; a crash in between leaves an ignorable slot.
+        e.kind = static_cast<Word>(kind);
+        e.value = value;
+        e.reserved = 0;
+        std::memset(e.name, 0, sizeof(e.name));
+        std::memcpy(e.name, name.c_str(), name.size());
+        device_->persist(reinterpret_cast<Addr>(&e), sizeof(NameEntry));
+
+        e.state = NameEntry::kValid;
+        device_->persist(reinterpret_cast<Addr>(&e.state), sizeof(Word));
+        return;
+    }
+    fatal("name table: full (capacity " + std::to_string(capacity_) + ")");
+}
+
+void
+NameTable::updateValue(NameEntry *entry, Word value)
+{
+    entry->value = value;
+    device_->persist(reinterpret_cast<Addr>(&entry->value), sizeof(Word));
+}
+
+void
+NameTable::forEach(const std::function<void(NameEntry &)> &fn) const
+{
+    for (std::size_t i = 0; i < capacity_; ++i) {
+        NameEntry &e = entries()[i];
+        if (e.state == NameEntry::kValid)
+            fn(e);
+    }
+}
+
+std::size_t
+NameTable::count() const
+{
+    std::size_t n = 0;
+    forEach([&n](NameEntry &) { ++n; });
+    return n;
+}
+
+} // namespace espresso

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * The PJH name table (paper §3.1).
+ *
+ * Maps string constants to two kinds of entries:
+ *  - Klass entries: the Klass-segment offset of a KlassImage, written
+ *    by the JVM when an object of a new class is first pnew'ed;
+ *  - root entries: the absolute address of a root object, managed by
+ *    the user through setRoot/getRoot — the only entry points into
+ *    the data heap after a reboot.
+ *
+ * Open-addressed, fixed 128-byte entries in NVM. Crash-consistent
+ * insertion: the payload (kind, name, value) is persisted before the
+ * state word flips to valid, so a torn insert reads as an empty slot.
+ */
+
+#ifndef ESPRESSO_PJH_NAME_TABLE_HH
+#define ESPRESSO_PJH_NAME_TABLE_HH
+
+#include <functional>
+#include <string>
+
+#include "util/common.hh"
+
+namespace espresso {
+
+class NvmDevice;
+
+/** Entry kinds. */
+enum class NameKind : Word
+{
+    kKlass = 0,
+    kRoot = 1,
+};
+
+/** One persistent name-table slot. */
+struct NameEntry
+{
+    static constexpr std::size_t kMaxName = 95;
+
+    Word state; ///< 0 empty, 1 valid
+    Word kind;
+    Word value;
+    Word reserved;
+    char name[kMaxName + 1];
+
+    static constexpr Word kEmpty = 0;
+    static constexpr Word kValid = 1;
+};
+
+static_assert(sizeof(NameEntry) == 128, "NameEntry must stay 128 bytes");
+
+/** View over the persistent name-table area. */
+class NameTable
+{
+  public:
+    NameTable() = default;
+
+    /**
+     * @param device owning device (for persistence calls).
+     * @param base working-image address of the table.
+     * @param capacity number of entries.
+     */
+    NameTable(NvmDevice *device, Addr base, std::size_t capacity);
+
+    /**
+     * Insert a (name, kind, value) binding crash-consistently.
+     * Fails fatally when the name already exists with this kind or
+     * the table is full.
+     */
+    void insert(const std::string &name, NameKind kind, Word value);
+
+    /** Find an entry; nullptr when absent. */
+    NameEntry *find(const std::string &name, NameKind kind) const;
+
+    /**
+     * Atomically (8-byte) update an existing entry's value and
+     * persist it.
+     */
+    void updateValue(NameEntry *entry, Word value);
+
+    /** Visit every valid entry. */
+    void forEach(const std::function<void(NameEntry &)> &fn) const;
+
+    /** Number of valid entries. */
+    std::size_t count() const;
+
+    std::size_t capacity() const { return capacity_; }
+
+    /** Slot index of @p entry (for the root journal). */
+    std::size_t
+    indexOf(const NameEntry *entry) const
+    {
+        return entry - entries();
+    }
+
+    NameEntry *
+    entryAt(std::size_t idx) const
+    {
+        return entries() + idx;
+    }
+
+  private:
+    NameEntry *
+    entries() const
+    {
+        return reinterpret_cast<NameEntry *>(base_);
+    }
+
+    static std::size_t hashName(const std::string &name);
+
+    NvmDevice *device_ = nullptr;
+    Addr base_ = 0;
+    std::size_t capacity_ = 0;
+};
+
+} // namespace espresso
+
+#endif // ESPRESSO_PJH_NAME_TABLE_HH

@@ -1,0 +1,386 @@
+#include "pjh/pjh_gc.hh"
+
+#include <cstring>
+
+#include "pjh/klass_segment.hh"
+#include "util/logging.hh"
+
+namespace espresso {
+
+namespace {
+
+/** One root-redo-journal record. */
+struct RootJournalEntry
+{
+    Word slotIndex;  ///< name-table slot
+    Word destOffset; ///< new value, as a data-heap offset
+};
+
+} // namespace
+
+// ---------------------------------------------------------------------
+// PjhCompactor
+// ---------------------------------------------------------------------
+
+PjhCompactor::PjhCompactor(PjhHeap &heap, std::ptrdiff_t delta)
+    : h_(heap), dev_(heap.device()), delta_(delta),
+      dataPhys_(heap.dataBase_),
+      dataStored_(heap.dataBase_ - static_cast<Addr>(delta)),
+      regions_(heap.dataBase_, heap.meta_->dataSize,
+               heap.meta_->regionSize),
+      stamp_(static_cast<std::uint16_t>(heap.meta_->globalTimestamp))
+{}
+
+void
+PjhCompactor::buildSummary()
+{
+    regions_.buildSummary(h_.marks_, dataPhys_);
+}
+
+Addr
+PjhCompactor::forwardStored(Addr stored) const
+{
+    Addr phys = stored + static_cast<Addr>(delta_);
+    return regions_.forwardee(phys, h_.marks_) - dataPhys_ + dataStored_;
+}
+
+Addr
+PjhCompactor::newTopPhys() const
+{
+    return regions_.newTop();
+}
+
+void
+PjhCompactor::writeRootJournal()
+{
+    PjhMetadata *meta = h_.meta_;
+    auto *journal = reinterpret_cast<RootJournalEntry *>(
+        reinterpret_cast<Addr>(dev_.base()) + meta->rootJournalOff);
+    Word count = 0;
+    h_.names_.forEach([&](NameEntry &e) {
+        if (e.kind != static_cast<Word>(NameKind::kRoot) ||
+            e.value == kNullAddr) {
+            return;
+        }
+        Addr stored = e.value;
+        Addr phys = stored + static_cast<Addr>(delta_);
+        if (!h_.containsData(phys))
+            return;
+        if (count >= meta->rootJournalCapacity)
+            panic("PJH GC: root journal overflow");
+        journal[count].slotIndex = h_.names_.indexOf(&e);
+        journal[count].destOffset =
+            (regions_.forwardee(phys, h_.marks_)) - dataPhys_;
+        ++count;
+    });
+    dev_.flush(reinterpret_cast<Addr>(journal),
+               count * sizeof(RootJournalEntry));
+    meta->rootJournalCount = count;
+    dev_.flush(reinterpret_cast<Addr>(&meta->rootJournalCount),
+               sizeof(Word));
+    dev_.fence();
+}
+
+void
+PjhCompactor::applyRootJournal()
+{
+    PjhMetadata *meta = h_.meta_;
+    auto *journal = reinterpret_cast<RootJournalEntry *>(
+        reinterpret_cast<Addr>(dev_.base()) + meta->rootJournalOff);
+    bool dirty = false;
+    for (Word i = 0; i < meta->rootJournalCount; ++i) {
+        NameEntry *e = h_.names_.entryAt(journal[i].slotIndex);
+        Word new_value = dataStored_ + journal[i].destOffset;
+        if (e->value != new_value) {
+            e->value = new_value;
+            dev_.flush(reinterpret_cast<Addr>(&e->value), sizeof(Word));
+            dirty = true;
+        }
+    }
+    if (dirty)
+        dev_.fence();
+}
+
+void
+PjhCompactor::copyWithFixups(Addr src_phys, Addr dest_phys,
+                             std::size_t size)
+{
+    if (dest_phys != src_phys) {
+        std::memmove(reinterpret_cast<void *>(dest_phys),
+                     reinterpret_cast<const void *>(src_phys), size);
+    }
+    // Rewrite data-heap references through the summary; the klass
+    // ref is segment-relative and does not move.
+    Oop moved(dest_phys);
+    Word kraw = moved.klassRefRaw();
+    auto *img = reinterpret_cast<const KlassImage *>(
+        static_cast<Addr>((kraw & ~Oop::kKlassPersistentTag) +
+                          static_cast<Addr>(delta_)));
+    auto fix = [&](Addr slot) {
+        Addr v = loadWord(slot);
+        if (v == kNullAddr)
+            return;
+        Addr phys = v + static_cast<Addr>(delta_);
+        if (h_.containsData(phys))
+            storeWord(slot, forwardStored(v));
+    };
+    if (img->isArray()) {
+        if (img->elemType() == FieldType::kRef) {
+            std::uint64_t n = moved.arrayLength();
+            for (std::uint64_t i = 0; i < n; ++i)
+                fix(moved.elemAddr(i, kWordSize));
+        }
+    } else {
+        const FieldImage *fields = img->fields();
+        for (Word i = 0; i < img->fieldCount; ++i) {
+            if (static_cast<FieldType>(fields[i].type) == FieldType::kRef)
+                fix(moved.addr() + fields[i].offset);
+        }
+    }
+}
+
+void
+PjhCompactor::processObject(Addr src_phys, std::size_t size)
+{
+    PjhMetadata *meta = h_.meta_;
+    Addr dest_phys = regions_.forwardee(src_phys, h_.marks_);
+    Oop dest(dest_phys);
+    Oop src(src_phys);
+    Word src_off = src_phys - dataPhys_;
+
+    bool overlap =
+        dest_phys < src_phys + size && src_phys < dest_phys + size;
+
+    if (!overlap) {
+        // Plain evacuation: the intact source is the undo log. Note:
+        // unlike the paper's region evacuation, sliding compaction
+        // may later reuse this source address as another object's
+        // destination, so the source header must NOT be stamped —
+        // only the copied header carries the current timestamp.
+        copyWithFixups(src_phys, dest_phys, size);
+        dev_.flush(dest_phys, size);
+        dev_.fence();
+        dest.setGcTimestamp(stamp_);
+        dev_.persist(dest_phys, kWordSize);
+        (void)src;
+        return;
+    }
+
+    if (dest_phys == src_phys) {
+        // In place. If no reference actually changes, content is
+        // already correct — only the timestamp needs to move.
+        bool changed = false;
+        pjhRawForEachRefSlotWithDelta(src, delta_, [&](Addr slot) {
+            Addr v = loadWord(slot);
+            if (v == kNullAddr)
+                return;
+            Addr phys = v + static_cast<Addr>(delta_);
+            if (h_.containsData(phys) && forwardStored(v) != v)
+                changed = true;
+        });
+        if (!changed) {
+            dest.setGcTimestamp(stamp_);
+            dev_.persist(dest_phys, kWordSize);
+            return;
+        }
+    }
+
+    // Overlapping (or in-place-with-changes) move: stage the source
+    // in the bounce buffer so recovery keeps an intact undo copy.
+    Addr bounce = reinterpret_cast<Addr>(dev_.base()) + meta->bounceOff;
+    if (size > meta->bounceSize)
+        panic("PJH GC: object exceeds bounce buffer");
+    std::memcpy(reinterpret_cast<void *>(bounce),
+                reinterpret_cast<const void *>(src_phys), size);
+    dev_.flush(bounce, size);
+    dev_.fence();
+    meta->bounceOwnerOffset = src_off;
+    dev_.persist(reinterpret_cast<Addr>(&meta->bounceOwnerOffset),
+                 sizeof(Word));
+
+    std::memmove(reinterpret_cast<void *>(dest_phys),
+                 reinterpret_cast<const void *>(bounce), size);
+    copyWithFixups(dest_phys, dest_phys, size);
+    dev_.flush(dest_phys, size);
+    dev_.fence();
+    dest.setGcTimestamp(stamp_);
+    dev_.persist(dest_phys, kWordSize);
+}
+
+void
+PjhCompactor::compact(bool resume)
+{
+    PjhMetadata *meta = h_.meta_;
+    Addr limit = dataPhys_ + meta->topOffset;
+    std::size_t num_regions = meta->dataSize / meta->regionSize;
+
+    for (std::size_t r = 0; r < num_regions; ++r) {
+        Addr rbase = dataPhys_ + r * meta->regionSize;
+        if (rbase >= limit)
+            break;
+        if (resume && h_.regionBits_.test(r))
+            continue;
+        Addr rend = rbase + meta->regionSize;
+        Addr scan = rbase;
+        bool any = false;
+        while (true) {
+            Addr src = h_.marks_.nextMarkedObject(
+                scan, rend < limit ? rend : limit);
+            if (src == kNullAddr)
+                break;
+            any = true;
+            std::size_t size = h_.marks_.liveSizeAt(src);
+            bool done = false;
+            if (resume) {
+                Addr dest_phys = regions_.forwardee(src, h_.marks_);
+                // Recovery redo check: a destination header already
+                // carrying the current stamp means this object's
+                // protocol completed before the crash. If the bounce
+                // buffer owns this source, the staged copy is the
+                // authoritative source.
+                if (Oop(dest_phys).gcTimestamp() == stamp_)
+                    done = true;
+                else if (meta->bounceOwnerOffset == src - dataPhys_) {
+                    // Redo from the bounce copy: the source bytes may
+                    // be half-overwritten by the crashed move.
+                    Addr bounce =
+                        reinterpret_cast<Addr>(dev_.base()) +
+                        meta->bounceOff;
+                    std::memcpy(reinterpret_cast<void *>(src),
+                                reinterpret_cast<const void *>(bounce),
+                                size);
+                }
+            }
+            if (!done)
+                processObject(src, size);
+            scan = src + size;
+        }
+        // Mark the region fully processed so recovery can skip it.
+        if (any) {
+            h_.regionBits_.set(r);
+            dev_.flush(reinterpret_cast<Addr>(
+                           h_.regionBits_.data() + r / 64),
+                       sizeof(Word));
+            dev_.fence();
+        }
+    }
+}
+
+void
+PjhCompactor::finish()
+{
+    PjhMetadata *meta = h_.meta_;
+    Word new_top_off = regions_.newTop() - dataPhys_;
+    meta->topOffset = new_top_off;
+    dev_.persist(reinterpret_cast<Addr>(&meta->topOffset), sizeof(Word));
+    meta->gcInProgress = 0;
+    dev_.persist(reinterpret_cast<Addr>(&meta->gcInProgress),
+                 sizeof(Word));
+    h_.top_ = dataPhys_ + new_top_off;
+}
+
+// ---------------------------------------------------------------------
+// PjhGc
+// ---------------------------------------------------------------------
+
+PjhGc::PjhGc(PjhHeap &heap, VolatileHeap *volatile_heap)
+    : h_(heap), vh_(volatile_heap)
+{}
+
+void
+PjhGc::markRef(Addr ref)
+{
+    if (ref == kNullAddr || !h_.containsData(ref))
+        return;
+    if (h_.marks_.isMarked(ref))
+        return;
+    Oop obj(ref);
+    h_.marks_.markObject(ref, pjhRawObjectSize(obj));
+    ++markedCount_;
+    markStack_.push_back(ref);
+}
+
+void
+PjhGc::visitDramSlots(const SlotVisitor &visitor)
+{
+    if (!vh_)
+        return;
+    vh_->handles().forEachSlot(visitor);
+    vh_->forEachObject([&](Oop o) { o.forEachRefSlot(visitor); });
+}
+
+void
+PjhGc::markPhase()
+{
+    h_.marks_.clearAll();
+    h_.regionBits_.clearAll();
+    markedCount_ = 0;
+
+    auto root_visitor = [this](Addr slot) { markRef(loadWord(slot)); };
+
+    h_.names_.forEach([&](NameEntry &e) {
+        if (e.kind == static_cast<Word>(NameKind::kRoot))
+            markRef(e.value);
+    });
+    visitDramSlots(root_visitor);
+
+    while (!markStack_.empty()) {
+        Oop obj(markStack_.back());
+        markStack_.pop_back();
+        pjhRawForEachRefSlot(obj, root_visitor);
+    }
+}
+
+void
+PjhGc::fixVolatileSide(const PjhCompactor &compactor)
+{
+    auto fixer = [&](Addr slot) {
+        Addr ref = loadWord(slot);
+        if (ref != kNullAddr && h_.containsData(ref))
+            storeWord(slot, compactor.forwardStored(ref));
+    };
+    visitDramSlots(fixer);
+}
+
+void
+PjhGc::collect()
+{
+    NvmDevice &dev = h_.device();
+    PjhMetadata *meta = h_.meta_;
+
+    // --- Mark, then persist the heap sketch. -------------------------
+    markPhase();
+    Addr base = reinterpret_cast<Addr>(dev.base());
+    dev.flush(base + meta->markStartOff, meta->markBytes);
+    dev.flush(base + meta->markLiveOff, meta->markBytes);
+    dev.flush(base + meta->regionBitmapOff, meta->regionBitmapBytes);
+    dev.fence();
+
+    // --- Stale every object (bump + persist the global stamp). ------
+    meta->globalTimestamp += 1;
+    meta->bounceOwnerOffset = kNoneWord;
+    dev.flush(reinterpret_cast<Addr>(&meta->globalTimestamp),
+              sizeof(Word));
+    dev.flush(reinterpret_cast<Addr>(&meta->bounceOwnerOffset),
+              sizeof(Word));
+    dev.fence();
+
+    // --- Summary (idempotent) + root journal, then arm recovery. ----
+    PjhCompactor compactor(h_, 0);
+    compactor.buildSummary();
+    compactor.writeRootJournal();
+    meta->gcInProgress = 1;
+    dev.persist(reinterpret_cast<Addr>(&meta->gcInProgress),
+                sizeof(Word));
+
+    // --- Compact. -----------------------------------------------------
+    compactor.applyRootJournal();
+    compactor.compact(/*resume=*/false);
+    compactor.finish();
+
+    // --- Volatile side is recomputable; repair it last. --------------
+    fixVolatileSide(compactor);
+    h_.mutableStats().lastGcMarked = markedCount_;
+}
+
+} // namespace espresso

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Crash-consistent collection of the persistent space (paper §4.2).
+ *
+ * The algorithm is PSGC's old GC (mark / summary / compact) with the
+ * persistence protocol layered on:
+ *
+ *  1. Mark into the NVM-resident bitmaps; persist them, then the
+ *     incremented global timestamp (staling every object), then the
+ *     root redo journal (new values for every root-table entry,
+ *     computed from the idempotent summary), and finally the
+ *     in-collection flag.
+ *  2. Apply the journal (idempotent), then slide live objects down
+ *     in ascending address order. Each object is copied, its
+ *     references rewritten through the summary's pure forwardee
+ *     function, its content persisted, and only then its header
+ *     timestamp set to the global stamp and persisted — the
+ *     timestamp is the "processed" marker recovery inspects.
+ *     Self-overlapping moves stage the source in the persistent
+ *     bounce buffer (owner tag persisted before the destination is
+ *     touched), preserving the undo-by-source property. Fully
+ *     evacuated regions are recorded in the region bitmap.
+ *  3. Persist the new top, clear the in-collection flag, then repair
+ *     the volatile side (handles, DRAM objects) — all recomputable.
+ *
+ * PjhCompactor holds the shared machinery; PjhRecovery (§4.3) drives
+ * the same compactor in resume mode with a remap delta.
+ */
+
+#ifndef ESPRESSO_PJH_PJH_GC_HH
+#define ESPRESSO_PJH_PJH_GC_HH
+
+#include <cstdint>
+
+#include "heap/region_table.hh"
+#include "pjh/pjh_heap.hh"
+
+namespace espresso {
+
+/** Summary + crash-consistent compaction shared by GC and recovery.
+ *
+ * All persistent state (slot values, root entries) is expressed in
+ * the heap's *stored* address space; @p delta translates stored to
+ * physical addresses and is zero during online collection.
+ */
+class PjhCompactor
+{
+  public:
+    PjhCompactor(PjhHeap &heap, std::ptrdiff_t delta);
+
+    /** Rebuild the region indices from the (persisted) mark bitmap. */
+    void buildSummary();
+
+    /** Write the root redo journal (new value per root entry). */
+    void writeRootJournal();
+
+    /** (Re)apply the journal to the root-table entries. Idempotent. */
+    void applyRootJournal();
+
+    /**
+     * Process every marked object in ascending order.
+     * @param resume skip regions recorded in the region bitmap and
+     *        objects whose destination already carries the current
+     *        timestamp.
+     */
+    void compact(bool resume);
+
+    /** Persist the new top and clear the in-collection flag. */
+    void finish();
+
+    /** Post-compaction destination of stored-space address @p v. */
+    Addr forwardStored(Addr stored) const;
+
+    Addr newTopPhys() const;
+
+  private:
+    void processObject(Addr src_phys, std::size_t size);
+    void copyWithFixups(Addr src_phys, Addr dest_phys, std::size_t size);
+
+    PjhHeap &h_;
+    NvmDevice &dev_;
+    std::ptrdiff_t delta_; ///< physical = stored + delta
+    Addr dataPhys_;
+    Addr dataStored_;
+    RegionTable regions_;
+    std::uint16_t stamp_;
+};
+
+/** One online persistent-space collection. */
+class PjhGc
+{
+  public:
+    PjhGc(PjhHeap &heap, VolatileHeap *volatile_heap);
+
+    void collect();
+
+  private:
+    void markPhase();
+    void markRef(Addr ref);
+    void visitDramSlots(const SlotVisitor &visitor);
+    void fixVolatileSide(const PjhCompactor &compactor);
+
+    PjhHeap &h_;
+    VolatileHeap *vh_;
+    std::vector<Addr> markStack_;
+    std::uint64_t markedCount_ = 0;
+};
+
+} // namespace espresso
+
+#endif // ESPRESSO_PJH_PJH_GC_HH

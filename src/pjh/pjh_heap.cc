@@ -1,0 +1,513 @@
+#include "pjh/pjh_heap.hh"
+
+#include <chrono>
+#include <cstring>
+
+#include "pjh/pjh_gc.hh"
+#include "pjh/pjh_recovery.hh"
+#include "util/logging.hh"
+
+namespace espresso {
+
+namespace {
+
+/** Zero-field class used to plug sub-array-sized allocation holes. */
+constexpr const char *kFillerClassName = "espresso.Filler";
+
+std::uint64_t
+nowNs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+} // namespace
+
+PjhHeap::PjhHeap(NvmDevice *device, KlassRegistry *registry)
+    : dev_(device), registry_(registry)
+{}
+
+PjhHeap::~PjhHeap() = default;
+
+void
+PjhHeap::setupViews()
+{
+    Addr base = reinterpret_cast<Addr>(dev_->base());
+    meta_ = reinterpret_cast<PjhMetadata *>(base);
+    names_ = NameTable(dev_, base + meta_->nameTableOff,
+                       meta_->nameTableCapacity);
+    klasses_ = KlassSegment(dev_, base + meta_->klassSegOff,
+                            meta_->klassSegSize, meta_, &names_);
+    dataBase_ = base + meta_->dataOff;
+    top_ = dataBase_ + meta_->topOffset;
+    marks_ = MarkBitmap(
+        dataBase_, meta_->dataSize,
+        reinterpret_cast<Word *>(base + meta_->markStartOff),
+        reinterpret_cast<Word *>(base + meta_->markLiveOff));
+    regionBits_ = BitmapView(
+        reinterpret_cast<Word *>(base + meta_->regionBitmapOff),
+        meta_->dataSize / meta_->regionSize);
+    undoLog_ = UndoLog(dev_, base + meta_->undoLogOff,
+                       meta_->undoLogSize, dataBase_);
+}
+
+std::unique_ptr<PjhHeap>
+PjhHeap::create(NvmDevice *device, const PjhConfig &cfg,
+                KlassRegistry *registry)
+{
+    PjhMetadata scratch{};
+    std::size_t total = computeLayout(cfg, scratch);
+    if (device->size() < total)
+        fatal(strCat("PJH create: device too small (", device->size(),
+                     " < ", total, " bytes)"));
+
+    auto heap = std::unique_ptr<PjhHeap>(new PjhHeap(device, registry));
+    auto *meta = reinterpret_cast<PjhMetadata *>(device->base());
+    std::memset(meta, 0, sizeof(PjhMetadata));
+    *meta = scratch;
+    meta->magic = PjhMetadata::kMagic;
+    meta->version = PjhMetadata::kVersion;
+    meta->heapSize = device->size();
+    meta->cleanShutdown = 0;
+    meta->topOffset = 0;
+    meta->klassSegTopOffset = 0;
+    meta->globalTimestamp = 1;
+    meta->gcInProgress = 0;
+    meta->bounceOwnerOffset = kNoneWord;
+    meta->rootJournalCount = 0;
+
+    heap->setupViews();
+    meta->addressHint = heap->dataBase_;
+    device->persist(reinterpret_cast<Addr>(meta), sizeof(PjhMetadata));
+
+    // Pre-publish the filler Klasses used for tail repair so a
+    // recovery never needs to create metadata.
+    registry->define(KlassDef{kFillerClassName, "", {}, false});
+    heap->klasses_.ensureImage(
+        registry->resolve(kFillerClassName, MemKind::kPersistent),
+        *registry);
+    heap->klasses_.ensureImage(
+        registry->arrayOf(FieldType::kI64, MemKind::kPersistent),
+        *registry);
+    return heap;
+}
+
+std::unique_ptr<PjhHeap>
+PjhHeap::attach(NvmDevice *device, KlassRegistry *registry,
+                SafetyLevel safety)
+{
+    std::uint64_t t0 = nowNs();
+    auto heap = std::unique_ptr<PjhHeap>(new PjhHeap(device, registry));
+    auto *meta = reinterpret_cast<PjhMetadata *>(device->base());
+    if (meta->magic != PjhMetadata::kMagic)
+        fatal("PJH attach: no heap on this device (bad magic)");
+    if (meta->version != PjhMetadata::kVersion)
+        fatal("PJH attach: version mismatch");
+    if (meta->heapSize != device->size())
+        fatal("PJH attach: device size changed");
+
+    heap->safety_ = safety;
+    heap->setupViews();
+
+    // The remap delta: stored addresses + delta = current addresses.
+    std::ptrdiff_t delta =
+        static_cast<std::ptrdiff_t>(heap->dataBase_) -
+        static_cast<std::ptrdiff_t>(meta->addressHint);
+    if (delta % static_cast<std::ptrdiff_t>(kWordSize) != 0)
+        panic("PJH attach: misaligned remap delta");
+
+    if (meta->gcInProgress) {
+        PjhRecovery recovery(*heap, delta);
+        recovery.run();
+        ++heap->stats_.recoveries;
+    }
+    // Application-level rollback happens while pointer values are
+    // still expressed in the stored address space.
+    heap->undoLog_.recover();
+    if (!meta->cleanShutdown) {
+        heap->repairAllocationTail(delta);
+    }
+    if (delta != 0) {
+        heap->rebase(delta);
+        ++heap->stats_.rebases;
+    }
+
+    std::uint64_t t_bind = nowNs();
+    heap->klasses_.bindAll(*registry);
+    heap->stats_.lastLoadBindNs = nowNs() - t_bind;
+
+    std::uint64_t t_safety = nowNs();
+    if (safety == SafetyLevel::kZeroing)
+        heap->zeroingScan();
+    heap->stats_.lastLoadSafetyNs = nowNs() - t_safety;
+
+    meta->cleanShutdown = 0;
+    device->persist(reinterpret_cast<Addr>(&meta->cleanShutdown),
+                    sizeof(Word));
+    heap->stats_.lastLoadNs = nowNs() - t0;
+    return heap;
+}
+
+void
+PjhHeap::detach()
+{
+    meta_->cleanShutdown = 1;
+    // An orderly power-down drains the caches (ADR); model it as a
+    // device-level clean shutdown.
+    dev_->shutdownClean();
+}
+
+void
+PjhHeap::setGcTrigger(std::function<void()> trigger)
+{
+    gcTrigger_ = std::move(trigger);
+}
+
+std::size_t
+PjhHeap::rawSizeWithDelta(Oop o, std::ptrdiff_t delta) const
+{
+    Word kraw = o.klassRefRaw();
+    auto *img = reinterpret_cast<const KlassImage *>(
+        static_cast<Addr>((kraw & ~Oop::kKlassPersistentTag) + delta));
+    if (img->isArray()) {
+        return alignUp(ObjectLayout::kArrayHeaderSize +
+                           o.arrayLength() * elementSize(img->elemType()),
+                       kWordSize);
+    }
+    return alignUp(img->instanceSize, kWordSize);
+}
+
+Oop
+PjhHeap::allocRaw(const Klass *k, std::uint64_t length)
+{
+    // Phase 1 (§4.1): resolve the Klass / Klass image.
+    const Klass *pk = registry_->physicalFor(k, MemKind::kPersistent);
+    Addr image = klasses_.ensureImage(pk, *registry_);
+
+    std::size_t size = Oop::sizeFor(pk, length);
+    if (size > meta_->bounceSize)
+        fatal(strCat("PJH: object of ", size,
+                     " bytes exceeds the bounce-buffer bound (",
+                     meta_->bounceSize, ")"));
+
+    if (top_ + size > dataBase_ + meta_->dataSize) {
+        if (gcTrigger_)
+            gcTrigger_();
+        if (top_ + size > dataBase_ + meta_->dataSize)
+            fatal("PJH: out of persistent memory");
+    }
+
+    // Phase 2: bump the top and persist its replica before anything
+    // references the new space.
+    Addr a = top_;
+    top_ += size;
+    meta_->topOffset = top_ - dataBase_;
+    dev_->flush(reinterpret_cast<Addr>(&meta_->topOffset), sizeof(Word));
+
+    // Durably zero the body so a crash can never leave garbage
+    // reference bits behind the published header.
+    std::memset(reinterpret_cast<void *>(a), 0, size);
+    dev_->flush(a, size);
+    dev_->fence(); // commits the top replica and the zero fill
+
+    // Phase 3: initialize and persist the header; the Klass-pointer
+    // persist is the publication point.
+    Oop o(a);
+    o.setGcTimestamp(static_cast<std::uint16_t>(meta_->globalTimestamp));
+    o.setKlassImage(image);
+    std::size_t header = ObjectLayout::kHeaderSize;
+    if (pk->isArray()) {
+        o.setArrayLength(length);
+        header = ObjectLayout::kArrayHeaderSize;
+    }
+    dev_->persist(a, header);
+
+    ++stats_.allocations;
+    stats_.bytesAllocated += size;
+    return o;
+}
+
+Oop
+PjhHeap::allocInstance(const Klass *k)
+{
+    if (!k || k->isArray())
+        panic("PJH allocInstance: not an instance klass");
+    return allocRaw(k, 0);
+}
+
+Oop
+PjhHeap::allocArray(const Klass *k, std::uint64_t length)
+{
+    if (!k || !k->isArray())
+        panic("PJH allocArray: not an array klass");
+    return allocRaw(k, length);
+}
+
+void
+PjhHeap::setRoot(const std::string &name, Oop obj)
+{
+    if (obj && !containsData(obj.addr()))
+        fatal("setRoot: object is not in this persistent heap");
+    if (NameEntry *e = names_.find(name, NameKind::kRoot)) {
+        names_.updateValue(e, obj.addr());
+        return;
+    }
+    names_.insert(name, NameKind::kRoot, obj.addr());
+}
+
+Oop
+PjhHeap::getRoot(const std::string &name) const
+{
+    NameEntry *e = names_.find(name, NameKind::kRoot);
+    return e ? Oop(e->value) : Oop();
+}
+
+bool
+PjhHeap::hasRoot(const std::string &name) const
+{
+    return names_.find(name, NameKind::kRoot) != nullptr;
+}
+
+void
+PjhHeap::flushField(Oop obj, std::uint32_t offset)
+{
+    // Work set is bounded to 8 bytes to preserve atomicity (§3.5).
+    dev_->persist(obj.addr() + offset, kWordSize);
+}
+
+void
+PjhHeap::flushArrayElement(Oop obj, std::uint64_t index)
+{
+    const Klass *k = obj.klass();
+    std::size_t esz = elementSize(k->elemType());
+    dev_->persist(obj.elemAddr(index, esz), esz);
+}
+
+void
+PjhHeap::flushObject(Oop obj)
+{
+    // All fields, one trailing fence (§3.5 coarse-grained flush).
+    dev_->flush(obj.addr(), obj.sizeInBytes());
+    dev_->fence();
+}
+
+void
+PjhHeap::checkRefStore(Oop obj, Oop value) const
+{
+    if (!value)
+        return;
+    const Klass *k = obj.klass();
+    bool restricted =
+        k->persistentOnly() || safety_ == SafetyLevel::kTypeBased;
+    if (restricted && !containsData(value.addr())) {
+        throw MemorySafetyError(
+            strCat("type-based safety: storing a non-persistent "
+                   "reference into ",
+                   k->name()));
+    }
+}
+
+void
+PjhHeap::storeRef(Oop obj, std::uint32_t offset, Oop value)
+{
+    checkRefStore(obj, value);
+    obj.setRef(offset, value);
+}
+
+void
+PjhHeap::storeRefElement(Oop obj, std::uint64_t index, Oop value)
+{
+    checkRefStore(obj, value);
+    obj.setRefElem(index, value.addr());
+}
+
+void
+PjhHeap::forEachObject(const std::function<void(Oop)> &fn) const
+{
+    Addr a = dataBase_;
+    while (a < top_) {
+        Oop o(a);
+        if (!pjhRawHeaderValid(o, klasses_.base(), klasses_.size()))
+            panic("PJH walk: unparseable object (missing tail repair?)");
+        fn(o);
+        a += pjhRawObjectSize(o);
+    }
+}
+
+void
+PjhHeap::forEachRefSlot(const std::function<void(Addr)> &fn) const
+{
+    forEachObject([&fn](Oop o) { pjhRawForEachRefSlot(o, fn); });
+}
+
+void
+PjhHeap::forEachOutRefSlot(const SlotVisitor &visitor)
+{
+    forEachRefSlot([this, &visitor](Addr slot) {
+        Addr ref = loadWord(slot);
+        if (ref != kNullAddr && !dev_->contains(ref))
+            visitor(slot);
+    });
+}
+
+void
+PjhHeap::repairAllocationTail(std::ptrdiff_t delta)
+{
+    Addr seg_base_stored =
+        reinterpret_cast<Addr>(dev_->base()) + meta_->klassSegOff -
+        static_cast<Addr>(delta);
+    Addr a = dataBase_;
+    Addr junk = kNullAddr;
+    while (a < top_) {
+        Oop o(a);
+        Word kraw = o.klassRefRaw();
+        bool valid = (kraw & Oop::kKlassPersistentTag) &&
+                     (kraw & ~Oop::kKlassPersistentTag) >= seg_base_stored &&
+                     (kraw & ~Oop::kKlassPersistentTag) <
+                         seg_base_stored + meta_->klassSegSize;
+        if (valid) {
+            auto *img = reinterpret_cast<const KlassImage *>(
+                static_cast<Addr>((kraw & ~Oop::kKlassPersistentTag) +
+                                  delta));
+            valid = img->pkr.magic == PersistentKlassRef::kMagic;
+        }
+        std::size_t size = valid ? rawSizeWithDelta(o, delta) : 0;
+        if (!valid || a + size > top_) {
+            junk = a;
+            break;
+        }
+        a += size;
+    }
+    if (junk == kNullAddr)
+        return;
+
+    // A torn allocation leaves junk only as a suffix below the
+    // persisted top; overwrite it with a filler object.
+    std::size_t gap = top_ - junk;
+    Oop filler(junk);
+    const char *klass_name;
+    if (gap >= ObjectLayout::kArrayHeaderSize) {
+        klass_name = "[J";
+    } else {
+        klass_name = kFillerClassName;
+    }
+    NameEntry *e = names_.find(klass_name, NameKind::kKlass);
+    if (!e)
+        panic("tail repair: filler Klass image missing");
+    Addr image_phys = reinterpret_cast<Addr>(dev_->base()) +
+                      meta_->klassSegOff + e->value;
+    // The heap is still expressed in stored addresses at this point.
+    Addr image_stored = image_phys - static_cast<Addr>(delta);
+    filler.setMarkWord(0);
+    filler.setGcTimestamp(
+        static_cast<std::uint16_t>(meta_->globalTimestamp));
+    filler.setKlassImage(image_stored);
+    if (gap >= ObjectLayout::kArrayHeaderSize) {
+        filler.setArrayLength(
+            (gap - ObjectLayout::kArrayHeaderSize) / kWordSize);
+        dev_->persist(junk, ObjectLayout::kArrayHeaderSize);
+    } else {
+        dev_->persist(junk, ObjectLayout::kHeaderSize);
+    }
+    ++stats_.tailRepairs;
+}
+
+void
+PjhHeap::rebase(std::ptrdiff_t delta)
+{
+    Addr dev_base = reinterpret_cast<Addr>(dev_->base());
+    Addr stored_dev_base = dev_base - static_cast<Addr>(delta);
+    std::size_t dev_size = dev_->size();
+    auto in_stored_device = [&](Addr v) {
+        return v >= stored_dev_base && v < stored_dev_base + dev_size;
+    };
+
+    Addr a = dataBase_;
+    while (a < top_) {
+        Oop o(a);
+        Word kraw = o.klassRefRaw();
+        std::size_t size = rawSizeWithDelta(o, delta);
+        auto *img = reinterpret_cast<const KlassImage *>(
+            static_cast<Addr>((kraw & ~Oop::kKlassPersistentTag) + delta));
+        if (img->pkr.magic != PersistentKlassRef::kMagic)
+            panic("rebase: unparseable heap");
+
+        o.setKlassRefRaw(kraw + static_cast<Word>(delta));
+
+        auto fix = [&](Addr slot) {
+            Addr v = loadWord(slot);
+            if (v != kNullAddr && in_stored_device(v))
+                storeWord(slot, v + static_cast<Addr>(delta));
+        };
+        if (img->isArray()) {
+            if (img->elemType() == FieldType::kRef) {
+                std::uint64_t n = o.arrayLength();
+                for (std::uint64_t i = 0; i < n; ++i)
+                    fix(o.elemAddr(i, kWordSize));
+            }
+        } else {
+            const FieldImage *fields = img->fields();
+            for (Word i = 0; i < img->fieldCount; ++i) {
+                if (static_cast<FieldType>(fields[i].type) ==
+                    FieldType::kRef) {
+                    fix(o.addr() + fields[i].offset);
+                }
+            }
+        }
+        a += size;
+    }
+
+    // Root entries hold absolute data-heap addresses.
+    names_.forEach([&](NameEntry &e) {
+        if (e.kind == static_cast<Word>(NameKind::kRoot) &&
+            e.value != kNullAddr && in_stored_device(e.value)) {
+            e.value += static_cast<Word>(delta);
+        }
+    });
+
+    meta_->addressHint = dataBase_;
+    // The scan touched pointers all over the heap; make the new
+    // expression durable in one sweep.
+    dev_->flush(dev_base, dev_size);
+    dev_->fence();
+}
+
+void
+PjhHeap::zeroingScan()
+{
+    bool dirty = false;
+    forEachObject([&](Oop o) {
+        pjhRawForEachRefSlot(o, [&](Addr slot) {
+            Addr v = loadWord(slot);
+            if (v != kNullAddr && !containsData(v)) {
+                storeWord(slot, kNullAddr);
+                dev_->flush(slot, kWordSize);
+                dirty = true;
+            }
+        });
+    });
+    names_.forEach([&](NameEntry &e) {
+        if (e.kind == static_cast<Word>(NameKind::kRoot) &&
+            e.value != kNullAddr && !containsData(e.value)) {
+            e.value = kNullAddr;
+            dev_->flush(reinterpret_cast<Addr>(&e.value), kWordSize);
+            dirty = true;
+        }
+    });
+    if (dirty)
+        dev_->fence();
+}
+
+void
+PjhHeap::collect(VolatileHeap *volatile_heap)
+{
+    std::uint64_t t0 = nowNs();
+    PjhGc gc(*this, volatile_heap);
+    gc.collect();
+    ++stats_.collections;
+    stats_.lastGcPauseNs = nowNs() - t0;
+}
+
+} // namespace espresso

@@ -1,0 +1,224 @@
+/**
+ * @file
+ * Persistent Java Heap — the paper's core contribution (§3, §4).
+ *
+ * A PjhHeap lives inside one NvmDevice and provides:
+ *  - pnew-style allocation of managed objects in NVM with the
+ *    crash-consistent protocol of §4.1 (top replica persisted before
+ *    the header, header persisted before the object is usable);
+ *  - the name table (setRoot/getRoot) and Klass segment;
+ *  - field/array/object flush APIs (§3.5);
+ *  - the three loadable memory-safety levels (§3.4);
+ *  - attach-time recovery, allocation-tail repair, and the
+ *    remap rebase scan (§3.3) when the heap cannot be mapped at its
+ *    address hint;
+ *  - root scanning glue so the volatile collectors see NVM→DRAM
+ *    references (flexible cross-heap pointers, §3.2).
+ *
+ * Garbage collection lives in PjhGc; crash recovery in PjhRecovery.
+ */
+
+#ifndef ESPRESSO_PJH_PJH_HEAP_HH
+#define ESPRESSO_PJH_PJH_HEAP_HH
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "heap/mark_bitmap.hh"
+#include "heap/volatile_heap.hh"
+#include "nvm/nvm_device.hh"
+#include "pjh/klass_segment.hh"
+#include "pjh/name_table.hh"
+#include "pjh/pjh_layout.hh"
+#include "pjh/undo_log.hh"
+#include "runtime/klass_registry.hh"
+#include "runtime/oop.hh"
+
+namespace espresso {
+
+/** Memory-safety level applied when a heap is loaded (§3.4). */
+enum class SafetyLevel
+{
+    /** Volatile out-pointers are the user's problem; O(#Klasses)
+     * loading. */
+    kUserGuaranteed,
+
+    /** Loading scans the whole heap and nullifies out-pointers;
+     * stale accesses become null dereferences. O(#objects). */
+    kZeroing,
+
+    /** Stores of non-persistent references into persistentOnly
+     * classes are refused by the write barrier. */
+    kTypeBased,
+};
+
+/** Thrown by the type-based write barrier. */
+class MemorySafetyError : public std::runtime_error
+{
+  public:
+    explicit MemorySafetyError(const std::string &msg)
+        : std::runtime_error(msg)
+    {}
+};
+
+/** Counters and load-phase timings. */
+struct PjhStats
+{
+    std::uint64_t allocations = 0;
+    std::uint64_t bytesAllocated = 0;
+    std::uint64_t collections = 0;
+    std::uint64_t recoveries = 0;
+    std::uint64_t tailRepairs = 0;
+    std::uint64_t rebases = 0;
+    std::uint64_t lastLoadNs = 0;
+    std::uint64_t lastLoadBindNs = 0;
+    std::uint64_t lastLoadSafetyNs = 0;
+    std::uint64_t lastGcPauseNs = 0;
+    std::uint64_t lastGcMarked = 0;
+};
+
+/** One attached PJH instance. */
+class PjhHeap : public ExternalSpace
+{
+  public:
+    /**
+     * Format @p device as a fresh PJH and attach it.
+     * @param device backing NVM (must be at least computeLayout()'s
+     *        total for @p cfg).
+     * @param cfg creation-time sizing.
+     * @param registry the runtime's class directory.
+     */
+    static std::unique_ptr<PjhHeap> create(NvmDevice *device,
+                                           const PjhConfig &cfg,
+                                           KlassRegistry *registry);
+
+    /**
+     * Attach an existing PJH (the loadHeap analog): run recovery if
+     * a collection was interrupted, repair the allocation tail after
+     * an unclean shutdown, rebase if the mapping moved away from the
+     * address hint, reinitialize Klass images in place, and apply
+     * @p safety.
+     */
+    static std::unique_ptr<PjhHeap> attach(NvmDevice *device,
+                                           KlassRegistry *registry,
+                                           SafetyLevel safety);
+
+    ~PjhHeap() override;
+
+    /** Clean shutdown: everything durable, cleanShutdown flag set. */
+    void detach();
+
+    /** @name Allocation (the pnew bytecodes, §3.2 / §4.1) */
+    /// @{
+    Oop allocInstance(const Klass *k);
+    Oop allocArray(const Klass *k, std::uint64_t length);
+
+    /** Invoked when the data heap is full; should trigger a
+     * collection. Unset → allocation failure is fatal. */
+    void setGcTrigger(std::function<void()> trigger);
+    /// @}
+
+    /** @name Roots (Table 1) */
+    /// @{
+    void setRoot(const std::string &name, Oop obj);
+    Oop getRoot(const std::string &name) const;
+    bool hasRoot(const std::string &name) const;
+    /// @}
+
+    /** @name Persistence guarantee APIs (§3.5) */
+    /// @{
+    /** Persist one 8-byte field (Field.flush analog). */
+    void flushField(Oop obj, std::uint32_t offset);
+
+    /** Persist one array element (Array.flush analog). */
+    void flushArrayElement(Oop obj, std::uint64_t index);
+
+    /** Persist all data words of @p obj with a single fence. */
+    void flushObject(Oop obj);
+    /// @}
+
+    /**
+     * Reference store with the write barrier: enforces type-based
+     * safety and keeps the NVM→DRAM remembered behaviour observable.
+     */
+    void storeRef(Oop obj, std::uint32_t offset, Oop value);
+
+    /** Type-based-checked array-element store. */
+    void storeRefElement(Oop obj, std::uint64_t index, Oop value);
+
+    /** @name Geometry */
+    /// @{
+    bool
+    containsData(Addr a) const
+    {
+        return a >= dataBase_ && a < dataBase_ + meta_->dataSize;
+    }
+
+    Addr dataBase() const { return dataBase_; }
+    Addr dataTop() const { return top_; }
+    std::size_t dataUsed() const { return top_ - dataBase_; }
+    std::size_t dataCapacity() const { return meta_->dataSize; }
+    /// @}
+
+    /** Walk every object in allocation order. */
+    void forEachObject(const std::function<void(Oop)> &fn) const;
+
+    /** Walk every reference slot of every object. */
+    void forEachRefSlot(const std::function<void(Addr)> &fn) const;
+
+    /** ExternalSpace: slots referencing DRAM (for the volatile GC). */
+    void forEachOutRefSlot(const SlotVisitor &visitor) override;
+
+    /** Full persistent-space collection (System.gc() analog);
+     * @p volatile_heap supplies DRAM→NVM roots (may be null). */
+    void collect(VolatileHeap *volatile_heap);
+
+    NvmDevice &device() { return *dev_; }
+    PjhMetadata &meta() { return *meta_; }
+    UndoLog &undoLog() { return undoLog_; }
+    NameTable &names() { return names_; }
+    KlassSegment &klasses() { return klasses_; }
+    KlassRegistry &registry() { return *registry_; }
+    SafetyLevel safety() const { return safety_; }
+    const PjhStats &stats() const { return stats_; }
+    PjhStats &mutableStats() { return stats_; }
+
+  private:
+    friend class PjhGc;
+    friend class PjhCompactor;
+    friend class PjhRecovery;
+
+    PjhHeap(NvmDevice *device, KlassRegistry *registry);
+
+    void setupViews();
+    Oop allocRaw(const Klass *k, std::uint64_t length);
+    void repairAllocationTail(std::ptrdiff_t delta);
+    void rebase(std::ptrdiff_t delta);
+    void zeroingScan();
+    void checkRefStore(Oop obj, Oop value) const;
+
+    /** Object size via the Klass image, honoring a not-yet-rebased
+     * heap (@p delta = physical - stored address). */
+    std::size_t rawSizeWithDelta(Oop o, std::ptrdiff_t delta) const;
+
+    NvmDevice *dev_;
+    KlassRegistry *registry_;
+    PjhMetadata *meta_ = nullptr;
+    NameTable names_;
+    KlassSegment klasses_;
+    Addr dataBase_ = 0;
+    Addr top_ = 0;
+    MarkBitmap marks_;
+    BitmapView regionBits_;
+    UndoLog undoLog_;
+    SafetyLevel safety_ = SafetyLevel::kUserGuaranteed;
+    std::function<void()> gcTrigger_;
+    PjhStats stats_;
+};
+
+} // namespace espresso
+
+#endif // ESPRESSO_PJH_PJH_HEAP_HH

@@ -1,0 +1,70 @@
+#include "pjh/pjh_layout.hh"
+
+#include "heap/mark_bitmap.hh"
+#include "util/logging.hh"
+
+namespace espresso {
+
+namespace {
+
+/** 128-byte name-table entries (see NameTable). */
+constexpr std::size_t kNameEntryBytes = 128;
+
+/** 16-byte root-journal entries (slot index, new value). */
+constexpr std::size_t kJournalEntryBytes = 16;
+
+} // namespace
+
+std::size_t
+computeLayout(const PjhConfig &cfg, PjhMetadata &meta)
+{
+    std::size_t data_size = alignUp(cfg.dataSize, cfg.regionSize);
+    std::size_t mark_bytes =
+        alignUp(MarkBitmap::storageBytesFor(data_size), kCacheLineSize);
+    std::size_t num_regions = data_size / cfg.regionSize;
+    std::size_t region_bitmap_bytes =
+        alignUp(BitmapView::bytesFor(num_regions), kCacheLineSize);
+
+    std::size_t off = alignUp(sizeof(PjhMetadata), kCacheLineSize);
+
+    meta.nameTableOff = off;
+    meta.nameTableCapacity = cfg.nameTableCapacity;
+    off += cfg.nameTableCapacity * kNameEntryBytes;
+
+    meta.klassSegOff = off;
+    meta.klassSegSize = alignUp(cfg.klassSegSize, kCacheLineSize);
+    off += meta.klassSegSize;
+
+    meta.rootJournalOff = off;
+    meta.rootJournalCapacity = cfg.nameTableCapacity;
+    off += cfg.nameTableCapacity * kJournalEntryBytes;
+    off = alignUp(off, kCacheLineSize);
+
+    meta.markStartOff = off;
+    off += mark_bytes;
+    meta.markLiveOff = off;
+    off += mark_bytes;
+    meta.markBytes = mark_bytes;
+
+    meta.regionBitmapOff = off;
+    meta.regionBitmapBytes = region_bitmap_bytes;
+    meta.regionSize = cfg.regionSize;
+    off += region_bitmap_bytes;
+
+    meta.bounceOff = off;
+    meta.bounceSize = alignUp(cfg.bounceSize, kCacheLineSize);
+    off += meta.bounceSize;
+
+    meta.undoLogOff = off;
+    meta.undoLogSize = alignUp(cfg.undoLogSize, kCacheLineSize);
+    off += meta.undoLogSize;
+
+    off = alignUp(off, kCacheLineSize);
+    meta.dataOff = off;
+    meta.dataSize = data_size;
+    off += data_size;
+
+    return off;
+}
+
+} // namespace espresso

@@ -1,0 +1,132 @@
+/**
+ * @file
+ * On-NVM layout of a Persistent Java Heap instance.
+ *
+ * A PJH occupies one NvmDevice (paper Fig. 7/8):
+ *
+ *   [metadata area][name table][Klass segment][root journal]
+ *   [mark bitmap: start bits][mark bitmap: live bits]
+ *   [region bitmap][bounce buffer][data heap]
+ *
+ * The metadata area holds the address hint, heap size, the persisted
+ * replica of the allocation top, the global GC timestamp, the
+ * in-collection flag, and the offsets of every other component —
+ * everything needed to reload or recover the heap (paper §3.1, Fig 8).
+ *
+ * All cross-restart state is stored as device offsets except object
+ * data itself: object klass refs and reference fields hold absolute
+ * virtual addresses, which is why a reload at a different base
+ * address needs the thorough rebase scan of §3.3.
+ */
+
+#ifndef ESPRESSO_PJH_PJH_LAYOUT_HH
+#define ESPRESSO_PJH_PJH_LAYOUT_HH
+
+#include <cstdint>
+
+#include "util/common.hh"
+
+namespace espresso {
+
+/** Marker for "no value" offsets. */
+constexpr Word kNoneWord = ~Word(0);
+
+/** Creation-time sizing of a PJH instance. */
+struct PjhConfig
+{
+    /** Data-heap capacity in bytes (rounded to a region multiple). */
+    std::size_t dataSize = 16u << 20;
+
+    /** Name table capacity (entries). */
+    std::size_t nameTableCapacity = 1024;
+
+    /** Klass segment capacity in bytes. */
+    std::size_t klassSegSize = 256u << 10;
+
+    /** GC region granularity. */
+    std::size_t regionSize = 64u << 10;
+
+    /**
+     * Bounce buffer capacity; also the maximum single-object size the
+     * heap accepts, since the crash-consistent GC stages overlapping
+     * moves through the bounce buffer.
+     */
+    std::size_t bounceSize = 1u << 20;
+
+    /** Application undo-log capacity (ACID helper, §6.2). */
+    std::size_t undoLogSize = 256u << 10;
+};
+
+/** The persistent metadata area (device offset 0). */
+struct PjhMetadata
+{
+    static constexpr Word kMagic = 0x455350524a480001ull; // "ESPRJH",v1
+    static constexpr Word kVersion = 1;
+
+    Word magic;
+    Word version;
+
+    /** Virtual address of the data heap at last save (paper: address
+     * hint, used to remap the heap to the same place). */
+    Word addressHint;
+
+    /** Total device size in bytes (paper: heap size). */
+    Word heapSize;
+
+    /** 1 when the heap was detached cleanly; 0 while attached. An
+     * unclean attach repairs the allocation tail before use. */
+    Word cleanShutdown;
+
+    /** Persisted replica of the allocation top (data-heap offset). */
+    Word topOffset;
+
+    /** Persisted allocation top of the Klass segment. */
+    Word klassSegTopOffset;
+
+    /** Current GC epoch (paper §4.2 timestamp). */
+    Word globalTimestamp;
+
+    /** 1 between the start of a compaction and its completion. */
+    Word gcInProgress;
+
+    /** Data-heap offset of the object staged in the bounce buffer,
+     * or kNoneWord. */
+    Word bounceOwnerOffset;
+
+    /** Number of valid entries in the root redo journal. */
+    Word rootJournalCount;
+
+    /** @name Component placement (device offsets / element counts) */
+    /// @{
+    Word nameTableOff;
+    Word nameTableCapacity;
+    Word klassSegOff;
+    Word klassSegSize;
+    Word rootJournalOff;
+    Word rootJournalCapacity;
+    Word markStartOff;
+    Word markLiveOff;
+    Word markBytes;
+    Word regionBitmapOff;
+    Word regionBitmapBytes;
+    Word regionSize;
+    Word bounceOff;
+    Word bounceSize;
+    Word undoLogOff;
+    Word undoLogSize;
+    Word dataOff;
+    Word dataSize;
+    /// @}
+};
+
+/**
+ * Compute component offsets for @p cfg.
+ *
+ * @return total device bytes required; fills @p meta's placement
+ * fields (identity fields are left untouched).
+ */
+std::size_t computeLayout(const PjhConfig &cfg, PjhMetadata &meta);
+
+} // namespace espresso
+
+#endif // ESPRESSO_PJH_PJH_LAYOUT_HH

@@ -1,0 +1,28 @@
+#include "pjh/pjh_recovery.hh"
+
+#include "pjh/pjh_gc.hh"
+#include "util/logging.hh"
+
+namespace espresso {
+
+PjhRecovery::PjhRecovery(PjhHeap &heap, std::ptrdiff_t delta)
+    : h_(heap), delta_(delta)
+{}
+
+void
+PjhRecovery::run()
+{
+    if (!h_.meta().gcInProgress)
+        panic("PjhRecovery::run without an interrupted collection");
+
+    PjhCompactor compactor(h_, delta_);
+    // Step 1 is implicit: the mark bitmap is read in place from NVM.
+    // Step 2: regenerate the volatile summary from it.
+    compactor.buildSummary();
+    // Step 3: finish the collection with the same algorithm.
+    compactor.applyRootJournal();
+    compactor.compact(/*resume=*/true);
+    compactor.finish();
+}
+
+} // namespace espresso

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Crash recovery for an interrupted persistent-space collection
+ * (paper §4.3).
+ *
+ * Activated by attach/loadHeap when the metadata area says a
+ * collection was in flight. The three steps mirror the paper:
+ *  1. fetch the persisted mark bitmap (the marking phase's result);
+ *  2. redo the summary phase, regenerating the volatile region
+ *     indices from the bitmap (idempotent);
+ *  3. use the region bitmap to skip fully processed regions and the
+ *     per-object timestamps to skip completed objects, then finish
+ *     the compaction with the identical protocol — sourcing from the
+ *     bounce buffer when it owns the object being redone.
+ *
+ * Runs before the rebase scan, so all persistent pointer values are
+ * still expressed in the stored address space; the compactor's delta
+ * translates stored to physical addresses.
+ */
+
+#ifndef ESPRESSO_PJH_PJH_RECOVERY_HH
+#define ESPRESSO_PJH_PJH_RECOVERY_HH
+
+#include <cstddef>
+
+#include "pjh/pjh_heap.hh"
+
+namespace espresso {
+
+/** Completes an interrupted PJH collection. */
+class PjhRecovery
+{
+  public:
+    /**
+     * @param heap the heap being attached (views set up, not bound).
+     * @param delta physical minus stored base address.
+     */
+    PjhRecovery(PjhHeap &heap, std::ptrdiff_t delta);
+
+    /** Run recovery; clears the in-collection flag on success. */
+    void run();
+
+  private:
+    PjhHeap &h_;
+    std::ptrdiff_t delta_;
+};
+
+} // namespace espresso
+
+#endif // ESPRESSO_PJH_PJH_RECOVERY_HH

@@ -1,0 +1,167 @@
+#include "pjh/undo_log.hh"
+
+#include <cstring>
+#include <vector>
+
+#include "nvm/nvm_device.hh"
+#include "util/logging.hh"
+
+namespace espresso {
+
+UndoLog::UndoLog(NvmDevice *device, Addr base, std::size_t size,
+                 Addr data_base)
+    : device_(device), base_(base), size_(size), dataBase_(data_base)
+{}
+
+bool
+UndoLog::active() const
+{
+    return open_ || header()->active != 0;
+}
+
+Word
+UndoLog::entryChecksum(const LogEntry &entry, const Word *bytes,
+                       std::size_t words)
+{
+    Word h = 0x9e3779b97f4a7c15ull;
+    auto mix = [&h](Word v) {
+        h ^= v;
+        h *= 0xbf58476d1ce4e5b9ull;
+        h ^= h >> 29;
+    };
+    mix(entry.offset);
+    mix(entry.length);
+    mix(entry.seq);
+    for (std::size_t i = 0; i < words; ++i)
+        mix(bytes[i]);
+    return h;
+}
+
+void
+UndoLog::begin()
+{
+    if (open_)
+        panic("UndoLog::begin: transaction already open");
+    // Lazy activation: the header becomes durable with the first
+    // record. A crash before any record leaves the previous retired
+    // header durable — correct, nothing was overwritten yet.
+    LogHeader *h = header();
+    h->count = 0;
+    h->used = 0;
+    h->seq += 1;
+    h->active = 1;
+    open_ = true;
+}
+
+void
+UndoLog::record(Addr addr, std::size_t len)
+{
+    if (!open_)
+        panic("UndoLog::record outside a transaction");
+    LogHeader *h = header();
+    std::size_t padded = alignUp(len, kWordSize);
+    std::size_t entry_bytes = sizeof(LogEntry) + padded;
+    if (kCacheLineSize + h->used + entry_bytes > size_)
+        fatal("UndoLog: log area full");
+
+    Addr entry_addr = payloadBase() + h->used;
+    auto *entry = reinterpret_cast<LogEntry *>(entry_addr);
+    entry->offset = addr - dataBase_;
+    entry->length = len;
+    entry->seq = h->seq;
+    auto *old_bytes = reinterpret_cast<Word *>(entry + 1);
+    old_bytes[padded / kWordSize - 1] = 0;
+    std::memcpy(old_bytes, reinterpret_cast<const void *>(addr), len);
+    entry->checksum =
+        entryChecksum(*entry, old_bytes, padded / kWordSize);
+
+    h->used += entry_bytes;
+    h->count += 1;
+    // One fence covers entry and header. An eviction may publish the
+    // header ahead of the entry, but the seq+checksum let rollback
+    // discard such torn tails (whose guarded overwrites also never
+    // became durable, since they happen after this fence).
+    device_->flush(entry_addr, entry_bytes);
+    device_->flush(reinterpret_cast<Addr>(h), sizeof(LogHeader));
+    device_->fence();
+}
+
+void
+UndoLog::commit()
+{
+    if (!open_)
+        panic("UndoLog::commit outside a transaction");
+    // Persist the new values at every logged location, then retire.
+    LogHeader *h = header();
+    Addr cursor = payloadBase();
+    for (Word i = 0; i < h->count; ++i) {
+        auto *entry = reinterpret_cast<LogEntry *>(cursor);
+        device_->flush(dataBase_ + entry->offset, entry->length);
+        cursor += sizeof(LogEntry) + alignUp(entry->length, kWordSize);
+    }
+    device_->fence();
+    retire();
+}
+
+void
+UndoLog::abort()
+{
+    if (!open_)
+        panic("UndoLog::abort outside a transaction");
+    rollback();
+    retire();
+}
+
+void
+UndoLog::recover()
+{
+    if (header()->active) {
+        rollback();
+        retire();
+    }
+}
+
+void
+UndoLog::rollback()
+{
+    LogHeader *h = header();
+    // Collect the valid prefix: entries of this transaction with an
+    // intact checksum.
+    std::vector<LogEntry *> entries;
+    Addr cursor = payloadBase();
+    for (Word i = 0; i < h->count; ++i) {
+        if (cursor + sizeof(LogEntry) > base_ + size_)
+            break;
+        auto *entry = reinterpret_cast<LogEntry *>(cursor);
+        std::size_t padded = alignUp(entry->length, kWordSize);
+        if (entry->seq != h->seq ||
+            cursor + sizeof(LogEntry) + padded > base_ + size_ ||
+            entry->checksum !=
+                entryChecksum(*entry,
+                              reinterpret_cast<const Word *>(entry + 1),
+                              padded / kWordSize)) {
+            break; // torn tail: its overwrite never became durable
+        }
+        entries.push_back(entry);
+        cursor += sizeof(LogEntry) + padded;
+    }
+    // Newest-first so overlapping records restore the oldest state.
+    for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
+        LogEntry *entry = *it;
+        std::memcpy(reinterpret_cast<void *>(dataBase_ + entry->offset),
+                    entry + 1, entry->length);
+        device_->flush(dataBase_ + entry->offset, entry->length);
+    }
+    device_->fence();
+}
+
+void
+UndoLog::retire()
+{
+    LogHeader *h = header();
+    h->active = 0;
+    device_->persist(reinterpret_cast<Addr>(&h->active), sizeof(Word));
+    open_ = false;
+}
+
+} // namespace espresso

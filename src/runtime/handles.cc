@@ -1,0 +1,61 @@
+#include "runtime/handles.hh"
+
+#include "util/logging.hh"
+
+namespace espresso {
+
+Oop
+Handle::get() const
+{
+    if (!registry_)
+        panic("Handle::get on an invalid handle");
+    return Oop(registry_->slots_[index_]);
+}
+
+void
+Handle::set(Oop o)
+{
+    if (!registry_)
+        panic("Handle::set on an invalid handle");
+    registry_->slots_[index_] = o.addr();
+}
+
+Handle
+HandleRegistry::create(Oop o)
+{
+    std::size_t idx;
+    if (!freeList_.empty()) {
+        idx = freeList_.back();
+        freeList_.pop_back();
+        slots_[idx] = o.addr();
+        live_[idx] = true;
+    } else {
+        idx = slots_.size();
+        slots_.push_back(o.addr());
+        live_.push_back(true);
+    }
+    return Handle(this, idx);
+}
+
+void
+HandleRegistry::release(Handle h)
+{
+    if (h.registry_ != this)
+        panic("HandleRegistry::release: foreign handle");
+    if (!live_[h.index_])
+        panic("HandleRegistry::release: double release");
+    live_[h.index_] = false;
+    slots_[h.index_] = kNullAddr;
+    freeList_.push_back(h.index_);
+}
+
+std::size_t
+HandleRegistry::liveCount() const
+{
+    std::size_t n = 0;
+    for (bool b : live_)
+        n += b ? 1 : 0;
+    return n;
+}
+
+} // namespace espresso

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * GC-visible root handles.
+ *
+ * The collectors move objects, so code that holds references across a
+ * possible GC must hold them in handles: slots the GC can find and
+ * update. This plays the role of HotSpot's handle area + VM roots.
+ */
+
+#ifndef ESPRESSO_RUNTIME_HANDLES_HH
+#define ESPRESSO_RUNTIME_HANDLES_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "runtime/oop.hh"
+#include "util/common.hh"
+
+namespace espresso {
+
+class HandleRegistry;
+
+/** A GC-updated root slot. Valid while its registry lives. */
+class Handle
+{
+  public:
+    Handle() : registry_(nullptr), index_(0) {}
+
+    Oop get() const;
+    void set(Oop o);
+    bool valid() const { return registry_ != nullptr; }
+
+  private:
+    friend class HandleRegistry;
+    Handle(HandleRegistry *r, std::size_t i) : registry_(r), index_(i) {}
+
+    HandleRegistry *registry_;
+    std::size_t index_;
+};
+
+/** Owns all root slots for one runtime instance. */
+class HandleRegistry
+{
+  public:
+    /** Create a root holding @p o. */
+    Handle create(Oop o = Oop());
+
+    /** Drop a root (its slot is recycled). */
+    void release(Handle h);
+
+    /** Visit the address of every live root slot. */
+    template <typename Visitor>
+    void
+    forEachSlot(Visitor &&visitor)
+    {
+        for (std::size_t i = 0; i < slots_.size(); ++i) {
+            if (live_[i])
+                visitor(reinterpret_cast<Addr>(&slots_[i]));
+        }
+    }
+
+    std::size_t liveCount() const;
+
+  private:
+    friend class Handle;
+
+    std::vector<Addr> slots_;
+    std::vector<bool> live_;
+    std::vector<std::size_t> freeList_;
+};
+
+} // namespace espresso
+
+#endif // ESPRESSO_RUNTIME_HANDLES_HH

@@ -1,0 +1,38 @@
+#include "runtime/klass.hh"
+
+#include "util/logging.hh"
+
+namespace espresso {
+
+bool
+Klass::isSubtypeOf(const Klass *other) const
+{
+    if (!other)
+        return false;
+    for (const Klass *k = this; k; k = k->super_) {
+        if (k->sameLogical(other))
+            return true;
+    }
+    return false;
+}
+
+std::uint32_t
+Klass::fieldOffset(const std::string &field_name) const
+{
+    const FieldDesc *f = findField(field_name);
+    if (!f)
+        panic("Klass " + name_ + " has no field '" + field_name + "'");
+    return f->offset;
+}
+
+const FieldDesc *
+Klass::findField(const std::string &field_name) const
+{
+    for (const FieldDesc &f : fields_) {
+        if (f.name == field_name)
+            return &f;
+    }
+    return nullptr;
+}
+
+} // namespace espresso

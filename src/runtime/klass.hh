@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Runtime class metadata (the OpenJDK "Klass" analog).
+ *
+ * A Klass describes the layout of instances: flattened field table
+ * (including superclass fields), instance size, and the oop map (the
+ * offsets of reference fields) that the collectors and safety checks
+ * walk. Array Klasses carry an element type and, for object arrays,
+ * an element Klass.
+ *
+ * Alias Klasses (paper §3.2): because objects of one logical class can
+ * live in both DRAM and NVM, there can be two physical Klasses for the
+ * same logical class — one in the Meta Space, one (an image) in a
+ * PJH Klass segment. Physical Klasses sharing a logical id are
+ * aliases; type checks compare logical ids, never physical pointers.
+ */
+
+#ifndef ESPRESSO_RUNTIME_KLASS_HH
+#define ESPRESSO_RUNTIME_KLASS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/value.hh"
+#include "util/common.hh"
+
+namespace espresso {
+
+/** Which memory kind a physical Klass serves. */
+enum class MemKind : std::uint8_t
+{
+    kVolatile = 0,  ///< DRAM (the normal Java heap)
+    kPersistent = 1 ///< NVM (a PJH instance)
+};
+
+/** One declared field. */
+struct FieldDesc
+{
+    std::string name;
+    FieldType type;
+    std::uint32_t offset; ///< byte offset from object start
+};
+
+/** Object header geometry (shared by all spaces). */
+struct ObjectLayout
+{
+    static constexpr std::uint32_t kMarkOffset = 0;
+    static constexpr std::uint32_t kKlassOffset = 8;
+    static constexpr std::uint32_t kHeaderSize = 16;
+    static constexpr std::uint32_t kArrayLengthOffset = 16;
+    static constexpr std::uint32_t kArrayHeaderSize = 24;
+};
+
+class Klass;
+
+/** Declarative description used to define a logical class. */
+struct KlassDef
+{
+    std::string name;
+    std::string superName; ///< empty for none
+    std::vector<std::pair<std::string, FieldType>> fields;
+    /** Type-based safety (§3.4): instances may only reference
+     * persistent objects. */
+    bool persistentOnly = false;
+};
+
+/** Runtime class metadata. */
+class Klass
+{
+  public:
+    /** @name Identity */
+    /// @{
+    std::uint32_t logicalId() const { return logicalId_; }
+    const std::string &name() const { return name_; }
+    MemKind memKind() const { return memKind_; }
+    const Klass *super() const { return super_; }
+
+    /** True if @p other is this class or a superclass of it. */
+    bool isSubtypeOf(const Klass *other) const;
+
+    /** True if the two physical Klasses denote one logical class. */
+    bool
+    sameLogical(const Klass *other) const
+    {
+        return other && logicalId_ == other->logicalId();
+    }
+    /// @}
+
+    /** @name Instance shape */
+    /// @{
+    bool isArray() const { return isArray_; }
+    FieldType elemType() const { return elemType_; }
+    const Klass *elemKlass() const { return elemKlass_; }
+    std::uint32_t instanceSize() const { return instanceSize_; }
+    bool persistentOnly() const { return persistentOnly_; }
+
+    /** Flattened fields, superclass fields first. */
+    const std::vector<FieldDesc> &fields() const { return fields_; }
+
+    /** Offsets of reference fields (the oop map). */
+    const std::vector<std::uint32_t> &refOffsets() const
+    {
+        return refOffsets_;
+    }
+
+    /** Byte offset of field @p field_name; panics when absent. */
+    std::uint32_t fieldOffset(const std::string &field_name) const;
+
+    /** Field descriptor by name, or nullptr. */
+    const FieldDesc *findField(const std::string &field_name) const;
+    /// @}
+
+  private:
+    friend class KlassRegistry;
+
+    Klass() = default;
+
+    std::uint32_t logicalId_ = 0;
+    std::string name_;
+    MemKind memKind_ = MemKind::kVolatile;
+    const Klass *super_ = nullptr;
+    std::vector<FieldDesc> fields_;
+    std::vector<std::uint32_t> refOffsets_;
+    std::uint32_t instanceSize_ = ObjectLayout::kHeaderSize;
+    bool isArray_ = false;
+    FieldType elemType_ = FieldType::kRef;
+    const Klass *elemKlass_ = nullptr;
+    bool persistentOnly_ = false;
+};
+
+} // namespace espresso
+
+#endif // ESPRESSO_RUNTIME_KLASS_HH

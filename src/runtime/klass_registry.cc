@@ -1,0 +1,250 @@
+#include "runtime/klass_registry.hh"
+
+#include "util/logging.hh"
+
+namespace espresso {
+
+KlassRegistry::KlassRegistry() = default;
+KlassRegistry::~KlassRegistry() = default;
+
+KlassRegistry::LogicalClass *
+KlassRegistry::logicalOf(const std::string &name)
+{
+    auto it = logical_.find(name);
+    return it == logical_.end() ? nullptr : it->second.get();
+}
+
+Klass *
+KlassRegistry::define(const KlassDef &def)
+{
+    if (LogicalClass *existing = logicalOf(def.name)) {
+        Klass *k = existing->physical[0];
+        if (!shapeMatches(k, def))
+            fatal("class " + def.name + " redefined with a different shape");
+        return k;
+    }
+
+    const Klass *super = nullptr;
+    if (!def.superName.empty()) {
+        super = find(def.superName);
+        if (!super)
+            fatal("superclass " + def.superName + " of " + def.name +
+                  " is not defined");
+        if (super->isArray())
+            fatal("cannot extend array class " + def.superName);
+    }
+
+    auto lc = std::make_unique<LogicalClass>();
+    lc->def = def;
+    LogicalClass *lcp = lc.get();
+    logical_[def.name] = std::move(lc);
+    return newPhysical(*lcp, MemKind::kVolatile);
+}
+
+Klass *
+KlassRegistry::newPhysical(LogicalClass &lc, MemKind kind)
+{
+    auto owned = std::unique_ptr<Klass>(new Klass());
+    Klass *k = owned.get();
+    allKlasses_.push_back(std::move(owned));
+
+    const KlassDef &def = lc.def;
+    k->name_ = def.name;
+    k->memKind_ = kind;
+    k->persistentOnly_ = def.persistentOnly;
+
+    const Klass *super = nullptr;
+    if (!def.superName.empty()) {
+        // The superclass alias of the same kind keeps subtype walks
+        // within one memory kind, matching the Klass-segment layout.
+        super = physicalFor(find(def.superName), kind);
+    }
+    k->super_ = super;
+
+    std::uint32_t offset = ObjectLayout::kHeaderSize;
+    if (super) {
+        k->fields_ = super->fields_;
+        k->refOffsets_ = super->refOffsets_;
+        offset = super->instanceSize_;
+    }
+    for (const auto &[fname, ftype] : def.fields) {
+        // Every instance field occupies one 8-byte slot; this keeps
+        // oop maps and accessors uniform (documented in DESIGN.md).
+        k->fields_.push_back(FieldDesc{fname, ftype, offset});
+        if (ftype == FieldType::kRef)
+            k->refOffsets_.push_back(offset);
+        offset += kWordSize;
+    }
+    k->instanceSize_ = offset;
+
+    // Allocate a stable logical id shared by all aliases.
+    if (lc.physical[0] == nullptr && lc.physical[1] == nullptr)
+        k->logicalId_ = nextLogicalId_++;
+    else
+        k->logicalId_ = (lc.physical[0] ? lc.physical[0] : lc.physical[1])
+                            ->logicalId();
+
+    lc.physical[static_cast<int>(kind)] = k;
+    return k;
+}
+
+Klass *
+KlassRegistry::find(const std::string &name) const
+{
+    auto it = logical_.find(name);
+    if (it == logical_.end())
+        return nullptr;
+    return it->second->physical[0] ? it->second->physical[0]
+                                   : it->second->physical[1];
+}
+
+Klass *
+KlassRegistry::resolve(const std::string &name, MemKind kind)
+{
+    LogicalClass *lc = logicalOf(name);
+    if (!lc)
+        fatal("resolve: class " + name + " is not defined");
+    Klass *k = lc->physical[static_cast<int>(kind)];
+    if (!k)
+        k = newPhysical(*lc, kind);
+    // The single constant-pool slot: last resolution wins.
+    lc->resolvedSlot = k;
+    return k;
+}
+
+Klass *
+KlassRegistry::physicalFor(const Klass *k, MemKind kind)
+{
+    if (!k)
+        panic("physicalFor: null klass");
+    if (k->memKind() == kind)
+        return const_cast<Klass *>(k);
+    LogicalClass *lc = logicalOf(k->name());
+    if (!lc)
+        panic("physicalFor: unregistered klass " + k->name());
+    Klass *alias = lc->physical[static_cast<int>(kind)];
+    return alias ? alias : newPhysical(*lc, kind);
+}
+
+Klass *
+KlassRegistry::makeArrayKlass(const std::string &name, FieldType elem,
+                              const Klass *elem_klass, MemKind kind)
+{
+    LogicalClass *lc = logicalOf(name);
+    if (!lc) {
+        auto owned = std::make_unique<LogicalClass>();
+        owned->def.name = name;
+        lc = owned.get();
+        logical_[name] = std::move(owned);
+    }
+    if (Klass *k = lc->physical[static_cast<int>(kind)])
+        return k;
+
+    auto owned = std::unique_ptr<Klass>(new Klass());
+    Klass *k = owned.get();
+    allKlasses_.push_back(std::move(owned));
+    k->name_ = name;
+    k->memKind_ = kind;
+    k->isArray_ = true;
+    k->elemType_ = elem;
+    k->elemKlass_ = elem_klass;
+    k->instanceSize_ = ObjectLayout::kArrayHeaderSize;
+    if (lc->physical[0] == nullptr && lc->physical[1] == nullptr)
+        k->logicalId_ = nextLogicalId_++;
+    else
+        k->logicalId_ = (lc->physical[0] ? lc->physical[0] : lc->physical[1])
+                            ->logicalId();
+    lc->physical[static_cast<int>(kind)] = k;
+    lc->resolvedSlot = k;
+    return k;
+}
+
+Klass *
+KlassRegistry::arrayOf(FieldType elem, MemKind kind)
+{
+    if (elem == FieldType::kRef)
+        panic("arrayOf(kRef): use arrayOfRefs");
+    std::string name = std::string("[") + fieldTypeCode(elem);
+    return makeArrayKlass(name, elem, nullptr, kind);
+}
+
+Klass *
+KlassRegistry::arrayOfRefs(const Klass *elem, MemKind kind)
+{
+    if (!elem)
+        panic("arrayOfRefs: null element class");
+    std::string name = "[L" + elem->name() + ";";
+    return makeArrayKlass(name, FieldType::kRef, elem, kind);
+}
+
+void
+KlassRegistry::checkCast(const Klass *obj_klass,
+                         const std::string &target_name)
+{
+    LogicalClass *lc = logicalOf(target_name);
+    if (!lc)
+        fatal("checkCast: class " + target_name + " is not defined");
+
+    if (strict_) {
+        // Stock-JVM behaviour (Fig. 10): compare the physical Klass
+        // chain against the constant pool's resolved slot.
+        const Klass *slot = lc->resolvedSlot;
+        for (const Klass *k = obj_klass; k; k = k->super()) {
+            if (k == slot)
+                return;
+        }
+        throw ClassCastException(
+            strCat("cannot cast ", obj_klass ? obj_klass->name() : "null",
+                   " (physical Klass mismatch) to ", target_name));
+    }
+
+    if (!instanceOf(obj_klass, target_name))
+        throw ClassCastException(
+            strCat("cannot cast ", obj_klass ? obj_klass->name() : "null",
+                   " to ", target_name));
+}
+
+bool
+KlassRegistry::instanceOf(const Klass *obj_klass,
+                          const std::string &target_name)
+{
+    if (!obj_klass)
+        return false;
+    LogicalClass *lc = logicalOf(target_name);
+    if (!lc)
+        return false;
+    const Klass *target =
+        lc->physical[0] ? lc->physical[0] : lc->physical[1];
+    return obj_klass->isSubtypeOf(target);
+}
+
+KlassDef
+KlassRegistry::defOf(const Klass *k) const
+{
+    if (!k || k->isArray())
+        panic("defOf: not an instance klass");
+    auto it = logical_.find(k->name());
+    if (it == logical_.end())
+        panic("defOf: unregistered klass " + k->name());
+    return it->second->def;
+}
+
+bool
+KlassRegistry::shapeMatches(const Klass *k, const KlassDef &def)
+{
+    if (!k)
+        return false;
+    std::size_t inherited =
+        k->super() ? k->super()->fields().size() : 0;
+    if (k->fields().size() - inherited != def.fields.size())
+        return false;
+    for (std::size_t i = 0; i < def.fields.size(); ++i) {
+        const FieldDesc &f = k->fields()[inherited + i];
+        if (f.name != def.fields[i].first || f.type != def.fields[i].second)
+            return false;
+    }
+    std::string super_name = k->super() ? k->super()->name() : "";
+    return super_name == def.superName;
+}
+
+} // namespace espresso

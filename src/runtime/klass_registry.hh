@@ -1,0 +1,122 @@
+/**
+ * @file
+ * The class directory: logical classes, physical (per-memory-kind)
+ * Klasses, array Klasses, and constant-pool-style symbol resolution.
+ *
+ * OpenJDK keeps one slot per class symbol in each constant pool; after
+ * resolution the slot holds a Klass address. The paper's Fig. 10 shows
+ * how this breaks when one logical class materializes as two physical
+ * Klasses (DRAM + NVM): the slot flips to whichever was resolved last
+ * and an unrelated-looking ClassCastException surfaces. The registry
+ * reproduces that single-slot behaviour and implements the fix —
+ * alias-aware type checks on logical ids. `setStrictPhysicalTypeCheck`
+ * re-enables the broken stock behaviour so tests can demonstrate the
+ * failure.
+ */
+
+#ifndef ESPRESSO_RUNTIME_KLASS_REGISTRY_HH
+#define ESPRESSO_RUNTIME_KLASS_REGISTRY_HH
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "runtime/klass.hh"
+
+namespace espresso {
+
+/** The analog of java.lang.ClassCastException. */
+class ClassCastException : public std::runtime_error
+{
+  public:
+    explicit ClassCastException(const std::string &msg)
+        : std::runtime_error(msg)
+    {}
+};
+
+/** Owns all Klass metadata for one runtime instance. */
+class KlassRegistry
+{
+  public:
+    KlassRegistry();
+    KlassRegistry(const KlassRegistry &) = delete;
+    KlassRegistry &operator=(const KlassRegistry &) = delete;
+    ~KlassRegistry();
+
+    /**
+     * Define a logical class; returns its volatile physical Klass.
+     * The superclass, if named, must already be defined. Redefining
+     * an existing name with an identical shape returns the existing
+     * Klass; a different shape is fatal.
+     */
+    Klass *define(const KlassDef &def);
+
+    /** Volatile physical Klass by name, or nullptr. */
+    Klass *find(const std::string &name) const;
+
+    /**
+     * Constant-pool resolution: fetch the physical Klass of @p name
+     * for memory kind @p kind, creating the alias on first use, and
+     * record it in the class's single resolved slot.
+     */
+    Klass *resolve(const std::string &name, MemKind kind);
+
+    /** The alias of @p k for @p kind (may be @p k itself). */
+    Klass *physicalFor(const Klass *k, MemKind kind);
+
+    /** Primitive array class, e.g. arrayOf(kI64) is "[J". */
+    Klass *arrayOf(FieldType elem, MemKind kind = MemKind::kVolatile);
+
+    /** Object array class "[L<name>;". */
+    Klass *arrayOfRefs(const Klass *elem, MemKind kind = MemKind::kVolatile);
+
+    /**
+     * checkcast: verify an object of physical class @p obj_klass can
+     * be cast to @p target_name; throws ClassCastException otherwise.
+     * Honors the strict/alias mode.
+     */
+    void checkCast(const Klass *obj_klass, const std::string &target_name);
+
+    /** instanceof with alias-aware semantics (never throws). */
+    bool instanceOf(const Klass *obj_klass, const std::string &target_name);
+
+    /**
+     * Reproduce the stock-JVM bug of Fig. 10: type checks compare the
+     * physical Klass against the constant pool's resolved slot.
+     */
+    void setStrictPhysicalTypeCheck(bool strict) { strict_ = strict; }
+    bool strictPhysicalTypeCheck() const { return strict_; }
+
+    /** Reconstruct a KlassDef from a defined class (for Klass images). */
+    KlassDef defOf(const Klass *k) const;
+
+    /** True if @p k matches @p def field-for-field. */
+    static bool shapeMatches(const Klass *k, const KlassDef &def);
+
+    std::size_t numLogical() const { return logical_.size(); }
+
+  private:
+    struct LogicalClass
+    {
+        KlassDef def;
+        Klass *physical[2] = {nullptr, nullptr}; // by MemKind
+        Klass *resolvedSlot = nullptr;           // constant-pool slot
+    };
+
+    Klass *newPhysical(LogicalClass &lc, MemKind kind);
+    LogicalClass *logicalOf(const std::string &name);
+    Klass *makeArrayKlass(const std::string &name, FieldType elem,
+                          const Klass *elem_klass, MemKind kind);
+
+    std::map<std::string, std::unique_ptr<LogicalClass>> logical_;
+    std::vector<std::unique_ptr<Klass>> allKlasses_;
+    std::uint32_t nextLogicalId_ = 1;
+    bool strict_ = false;
+};
+
+} // namespace espresso
+
+#endif // ESPRESSO_RUNTIME_KLASS_REGISTRY_HH

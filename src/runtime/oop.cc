@@ -1,0 +1,43 @@
+#include "runtime/oop.hh"
+
+#include "util/logging.hh"
+
+namespace espresso {
+
+const Klass *
+Oop::klass() const
+{
+    Word ref = klassRefRaw();
+    if (ref == 0)
+        panic("Oop::klass: object has a null klass ref");
+    if (ref & kKlassPersistentTag) {
+        auto *pkr = reinterpret_cast<const PersistentKlassRef *>(
+            ref & ~kKlassPersistentTag);
+        if (pkr->magic != PersistentKlassRef::kMagic)
+            panic("Oop::klass: corrupted KlassImage magic");
+        if (!pkr->runtimeKlass)
+            panic("Oop::klass: KlassImage not reinitialized "
+                  "(missing loadHeap?)");
+        return pkr->runtimeKlass;
+    }
+    return reinterpret_cast<const Klass *>(ref);
+}
+
+std::size_t
+Oop::sizeInBytes() const
+{
+    return sizeFor(klass(), klass()->isArray() ? arrayLength() : 0);
+}
+
+std::size_t
+Oop::sizeFor(const Klass *k, std::uint64_t array_len)
+{
+    if (k->isArray()) {
+        std::size_t esz = elementSize(k->elemType());
+        return alignUp(ObjectLayout::kArrayHeaderSize + array_len * esz,
+                       kWordSize);
+    }
+    return alignUp(k->instanceSize(), kWordSize);
+}
+
+} // namespace espresso

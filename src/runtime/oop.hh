@@ -1,0 +1,278 @@
+/**
+ * @file
+ * Ordinary object pointer: typed access to a managed object.
+ *
+ * Object layout (all spaces, volatile and persistent):
+ *
+ *   instance:  [mark word 8B][klass ref 8B][field slots ...]
+ *   array:     [mark word 8B][klass ref 8B][length 8B][elements ...]
+ *
+ * Mark word bits:
+ *   bit  0      forwarded flag (young GC); when set the whole word is
+ *               the forwarding address with bit 0 set
+ *   bits 1..7   tenuring age
+ *   bits 48..63 PJH GC timestamp (paper §4.2: reserved PSGC header
+ *               bits reused once the object leaves the young space)
+ *
+ * Klass ref: volatile objects store the Klass* directly; persistent
+ * objects store the address of their KlassImage in the PJH Klass
+ * segment, tagged with bit 0 (both are 8-byte aligned). The image
+ * begins with a PersistentKlassRef whose runtimeKlass slot is
+ * reinitialized in place at loadHeap — which is exactly why heap
+ * loading is O(#Klasses), not O(#objects) (paper §3.3, Fig. 18).
+ */
+
+#ifndef ESPRESSO_RUNTIME_OOP_HH
+#define ESPRESSO_RUNTIME_OOP_HH
+
+#include <cstdint>
+#include <cstring>
+
+#include "runtime/klass.hh"
+#include "util/common.hh"
+
+namespace espresso {
+
+/** The volatile-bound prefix of a persistent KlassImage. */
+struct PersistentKlassRef
+{
+    static constexpr Word kMagic = 0x4b4c415353494d47ull; // "KLASSIMG"
+
+    Word magic;
+    /** In-place binding to the live Klass; rewritten at every
+     * loadHeap, garbage after a crash until then. */
+    Klass *runtimeKlass;
+};
+
+/** Raw word load/store helpers. */
+inline Word
+loadWord(Addr a)
+{
+    return *reinterpret_cast<const Word *>(a);
+}
+
+inline void
+storeWord(Addr a, Word v)
+{
+    *reinterpret_cast<Word *>(a) = v;
+}
+
+/** A (possibly null) reference to a managed object. */
+class Oop
+{
+  public:
+    static constexpr Word kForwardedBit = 1;
+    static constexpr unsigned kAgeShift = 1;
+    static constexpr Word kAgeMask = Word(0x7f) << kAgeShift;
+    static constexpr unsigned kTimestampShift = 48;
+    static constexpr Word kKlassPersistentTag = 1;
+
+    Oop() : addr_(kNullAddr) {}
+    explicit Oop(Addr a) : addr_(a) {}
+
+    Addr addr() const { return addr_; }
+    bool isNull() const { return addr_ == kNullAddr; }
+    explicit operator bool() const { return !isNull(); }
+    bool operator==(const Oop &o) const { return addr_ == o.addr_; }
+
+    /** @name Header access */
+    /// @{
+    Word markWord() const { return loadWord(addr_); }
+    void setMarkWord(Word w) { storeWord(addr_, w); }
+
+    Word
+    klassRefRaw() const
+    {
+        return loadWord(addr_ + ObjectLayout::kKlassOffset);
+    }
+
+    void
+    setKlassRefRaw(Word v)
+    {
+        storeWord(addr_ + ObjectLayout::kKlassOffset, v);
+    }
+
+    void
+    setKlass(const Klass *k)
+    {
+        setKlassRefRaw(reinterpret_cast<Word>(k));
+    }
+
+    /** Point the header at a persistent KlassImage (tagged). */
+    void
+    setKlassImage(Addr image)
+    {
+        setKlassRefRaw(image | kKlassPersistentTag);
+    }
+
+    bool
+    hasKlassImage() const
+    {
+        return klassRefRaw() & kKlassPersistentTag;
+    }
+
+    /** The KlassImage address, when hasKlassImage(). */
+    Addr
+    klassImage() const
+    {
+        return klassRefRaw() & ~kKlassPersistentTag;
+    }
+
+    /** Resolve the runtime Klass (through the image when persistent). */
+    const Klass *klass() const;
+    /// @}
+
+    /** @name Young-GC forwarding */
+    /// @{
+    bool isForwarded() const { return markWord() & kForwardedBit; }
+
+    Addr
+    forwardee() const
+    {
+        return static_cast<Addr>(markWord() & ~kForwardedBit);
+    }
+
+    void forwardTo(Addr dest) { setMarkWord(Word(dest) | kForwardedBit); }
+
+    unsigned
+    age() const
+    {
+        return static_cast<unsigned>((markWord() & kAgeMask) >> kAgeShift);
+    }
+
+    void
+    setAge(unsigned a)
+    {
+        setMarkWord((markWord() & ~kAgeMask) |
+                    ((Word(a) << kAgeShift) & kAgeMask));
+    }
+    /// @}
+
+    /** @name PJH GC timestamp (paper §4.2) */
+    /// @{
+    std::uint16_t
+    gcTimestamp() const
+    {
+        return static_cast<std::uint16_t>(markWord() >> kTimestampShift);
+    }
+
+    void
+    setGcTimestamp(std::uint16_t ts)
+    {
+        Word w = markWord() & ((Word(1) << kTimestampShift) - 1);
+        setMarkWord(w | (Word(ts) << kTimestampShift));
+    }
+    /// @}
+
+    /** @name Field access (byte offsets from object start) */
+    /// @{
+    Addr getRef(std::uint32_t off) const { return loadWord(addr_ + off); }
+    void setRef(std::uint32_t off, Addr v) { storeWord(addr_ + off, v); }
+    void setRef(std::uint32_t off, Oop v) { setRef(off, v.addr()); }
+
+    std::int64_t
+    getI64(std::uint32_t off) const
+    {
+        return static_cast<std::int64_t>(loadWord(addr_ + off));
+    }
+
+    void
+    setI64(std::uint32_t off, std::int64_t v)
+    {
+        storeWord(addr_ + off, static_cast<Word>(v));
+    }
+
+    double
+    getF64(std::uint32_t off) const
+    {
+        double d;
+        std::memcpy(&d, reinterpret_cast<void *>(addr_ + off), sizeof(d));
+        return d;
+    }
+
+    void
+    setF64(std::uint32_t off, double v)
+    {
+        std::memcpy(reinterpret_cast<void *>(addr_ + off), &v, sizeof(v));
+    }
+
+    std::int32_t
+    getI32(std::uint32_t off) const
+    {
+        return static_cast<std::int32_t>(getI64(off));
+    }
+
+    void setI32(std::uint32_t off, std::int32_t v) { setI64(off, v); }
+
+    bool getBool(std::uint32_t off) const { return getI64(off) != 0; }
+    void setBool(std::uint32_t off, bool v) { setI64(off, v ? 1 : 0); }
+    /// @}
+
+    /** @name Arrays */
+    /// @{
+    std::uint64_t
+    arrayLength() const
+    {
+        return loadWord(addr_ + ObjectLayout::kArrayLengthOffset);
+    }
+
+    void
+    setArrayLength(std::uint64_t n)
+    {
+        storeWord(addr_ + ObjectLayout::kArrayLengthOffset, n);
+    }
+
+    /** Address of element @p idx given element size @p esz. */
+    Addr
+    elemAddr(std::uint64_t idx, std::size_t esz) const
+    {
+        return addr_ + ObjectLayout::kArrayHeaderSize + idx * esz;
+    }
+
+    Addr
+    getRefElem(std::uint64_t idx) const
+    {
+        return loadWord(elemAddr(idx, kWordSize));
+    }
+
+    void
+    setRefElem(std::uint64_t idx, Addr v)
+    {
+        storeWord(elemAddr(idx, kWordSize), v);
+    }
+    /// @}
+
+    /** Total object footprint in bytes (word aligned). */
+    std::size_t sizeInBytes() const;
+
+    /** Size an object of @p k with @p array_len elements would have. */
+    static std::size_t sizeFor(const Klass *k, std::uint64_t array_len);
+
+    /**
+     * Invoke @p visitor(slot_address) for every reference slot in
+     * this object (instance ref fields or ref-array elements).
+     */
+    template <typename Visitor>
+    void
+    forEachRefSlot(Visitor &&visitor) const
+    {
+        const Klass *k = klass();
+        if (k->isArray()) {
+            if (k->elemType() != FieldType::kRef)
+                return;
+            std::uint64_t n = arrayLength();
+            for (std::uint64_t i = 0; i < n; ++i)
+                visitor(elemAddr(i, kWordSize));
+        } else {
+            for (std::uint32_t off : k->refOffsets())
+                visitor(addr_ + off);
+        }
+    }
+
+  private:
+    Addr addr_;
+};
+
+} // namespace espresso
+
+#endif // ESPRESSO_RUNTIME_OOP_HH

@@ -1,0 +1,62 @@
+#include "runtime/value.hh"
+
+#include "util/logging.hh"
+
+namespace espresso {
+
+std::size_t
+elementSize(FieldType t)
+{
+    switch (t) {
+      case FieldType::kRef:
+      case FieldType::kI64:
+      case FieldType::kF64:
+        return 8;
+      case FieldType::kI32:
+      case FieldType::kF32:
+        return 4;
+      case FieldType::kI16:
+      case FieldType::kChar:
+        return 2;
+      case FieldType::kBool:
+      case FieldType::kI8:
+        return 1;
+    }
+    panic("unknown FieldType");
+}
+
+const char *
+fieldTypeName(FieldType t)
+{
+    switch (t) {
+      case FieldType::kRef: return "ref";
+      case FieldType::kBool: return "bool";
+      case FieldType::kI8: return "i8";
+      case FieldType::kI16: return "i16";
+      case FieldType::kI32: return "i32";
+      case FieldType::kI64: return "i64";
+      case FieldType::kF32: return "f32";
+      case FieldType::kF64: return "f64";
+      case FieldType::kChar: return "char";
+    }
+    panic("unknown FieldType");
+}
+
+char
+fieldTypeCode(FieldType t)
+{
+    switch (t) {
+      case FieldType::kRef: return 'L';
+      case FieldType::kBool: return 'Z';
+      case FieldType::kI8: return 'B';
+      case FieldType::kI16: return 'S';
+      case FieldType::kI32: return 'I';
+      case FieldType::kI64: return 'J';
+      case FieldType::kF32: return 'F';
+      case FieldType::kF64: return 'D';
+      case FieldType::kChar: return 'C';
+    }
+    panic("unknown FieldType");
+}
+
+} // namespace espresso

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Field type tags for the reflective object model.
+ *
+ * Espresso's GC and safety checks need full knowledge of object
+ * layout (HotSpot gets this from Klass oop maps). Every managed field
+ * is therefore described by a FieldType; reference fields are what
+ * the collectors trace and what zeroing safety nullifies.
+ */
+
+#ifndef ESPRESSO_RUNTIME_VALUE_HH
+#define ESPRESSO_RUNTIME_VALUE_HH
+
+#include <cstdint>
+#include <string>
+
+namespace espresso {
+
+/** The type of a managed field or array element. */
+enum class FieldType : std::uint8_t
+{
+    kRef = 0, ///< reference to another managed object
+    kBool,
+    kI8,
+    kI16,
+    kI32,
+    kI64,
+    kF32,
+    kF64,
+    kChar, ///< UTF-16 code unit (Java char)
+};
+
+/** Size in bytes of an array element of @p t. */
+std::size_t elementSize(FieldType t);
+
+/** Human-readable name ("ref", "i64", ...). */
+const char *fieldTypeName(FieldType t);
+
+/** JVM-descriptor-style one-letter code used in array class names. */
+char fieldTypeCode(FieldType t);
+
+} // namespace espresso
+
+#endif // ESPRESSO_RUNTIME_VALUE_HH

@@ -1,0 +1,66 @@
+#include "util/bitmap.hh"
+
+#include <bit>
+
+namespace espresso {
+
+void
+BitmapView::setRange(std::size_t begin, std::size_t end)
+{
+    for (std::size_t b = begin; b < end;) {
+        if (b % 64 == 0 && b + 64 <= end) {
+            data()[b / 64] = ~Word(0);
+            b += 64;
+        } else {
+            set(b);
+            ++b;
+        }
+    }
+}
+
+std::size_t
+BitmapView::popcount(std::size_t begin, std::size_t end) const
+{
+    std::size_t count = 0;
+    std::size_t b = begin;
+    while (b < end) {
+        if (b % 64 == 0 && b + 64 <= end) {
+            count += std::popcount(data()[b / 64]);
+            b += 64;
+        } else {
+            count += test(b) ? 1 : 0;
+            ++b;
+        }
+    }
+    return count;
+}
+
+std::size_t
+BitmapView::findNextSet(std::size_t from, std::size_t limit) const
+{
+    std::size_t b = from;
+    while (b < limit) {
+        if (b % 64 == 0) {
+            // Skip whole zero words quickly.
+            while (b + 64 <= limit && data()[b / 64] == 0)
+                b += 64;
+            if (b >= limit)
+                break;
+            if (b % 64 == 0) {
+                Word w = data()[b / 64];
+                if (w != 0) {
+                    std::size_t hit = b + std::countr_zero(w);
+                    return hit < limit ? hit : limit;
+                }
+                b += 64;
+                continue;
+            }
+        }
+        if (test(b))
+            return b;
+        ++b;
+    }
+    return limit;
+}
+
+} // namespace espresso

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Common scalar types and alignment helpers used across Espresso.
+ */
+
+#ifndef ESPRESSO_UTIL_COMMON_HH
+#define ESPRESSO_UTIL_COMMON_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace espresso {
+
+/** A machine word; all heap storage is word-granular. */
+using Word = std::uint64_t;
+
+/**
+ * An address inside a managed heap (volatile or persistent). Addresses
+ * are raw pointers into the owning space's backing buffer; the null
+ * reference is 0.
+ */
+using Addr = std::uintptr_t;
+
+/** The null managed reference. */
+constexpr Addr kNullAddr = 0;
+
+/** Bytes per machine word. Object sizes are multiples of this. */
+constexpr std::size_t kWordSize = sizeof(Word);
+
+/** Cache line size assumed by the persistence model (x86). */
+constexpr std::size_t kCacheLineSize = 64;
+
+/** Round @p v up to the next multiple of @p align (a power of two). */
+constexpr std::size_t
+alignUp(std::size_t v, std::size_t align)
+{
+    return (v + align - 1) & ~(align - 1);
+}
+
+/** Round @p v down to a multiple of @p align (a power of two). */
+constexpr std::size_t
+alignDown(std::size_t v, std::size_t align)
+{
+    return v & ~(align - 1);
+}
+
+/** True if @p v is a multiple of @p align (a power of two). */
+constexpr bool
+isAligned(std::size_t v, std::size_t align)
+{
+    return (v & (align - 1)) == 0;
+}
+
+} // namespace espresso
+
+#endif // ESPRESSO_UTIL_COMMON_HH

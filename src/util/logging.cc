@@ -1,0 +1,36 @@
+#include "util/logging.hh"
+
+#include <cstdio>
+
+namespace espresso {
+
+namespace {
+bool warningsEnabled = true;
+} // namespace
+
+void
+panic(const std::string &msg)
+{
+    throw PanicError("panic: " + msg);
+}
+
+void
+fatal(const std::string &msg)
+{
+    throw FatalError("fatal: " + msg);
+}
+
+void
+warn(const std::string &msg)
+{
+    if (warningsEnabled)
+        std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+void
+setWarningsEnabled(bool enabled)
+{
+    warningsEnabled = enabled;
+}
+
+} // namespace espresso

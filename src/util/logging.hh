@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Minimal logging / fatal-error facility, modeled on gem5's
+ * panic()/fatal()/warn() split: panic is an internal invariant
+ * violation, fatal is a user-correctable condition.
+ */
+
+#ifndef ESPRESSO_UTIL_LOGGING_HH
+#define ESPRESSO_UTIL_LOGGING_HH
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace espresso {
+
+/** Thrown by panic(): an internal invariant was violated. */
+class PanicError : public std::logic_error
+{
+  public:
+    explicit PanicError(const std::string &msg) : std::logic_error(msg) {}
+};
+
+/** Thrown by fatal(): the caller asked for something unsatisfiable. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+/** Report an internal bug; never returns. */
+[[noreturn]] void panic(const std::string &msg);
+
+/** Report a user/configuration error; never returns. */
+[[noreturn]] void fatal(const std::string &msg);
+
+/** Print a non-fatal warning to stderr. */
+void warn(const std::string &msg);
+
+/** Enable/disable warn() output (tests silence it). */
+void setWarningsEnabled(bool enabled);
+
+namespace detail {
+
+inline void formatInto(std::ostringstream &) {}
+
+template <typename T, typename... Rest>
+void
+formatInto(std::ostringstream &os, const T &v, const Rest &...rest)
+{
+    os << v;
+    formatInto(os, rest...);
+}
+
+} // namespace detail
+
+/** Build a message from stream-formattable pieces. */
+template <typename... Args>
+std::string
+strCat(const Args &...args)
+{
+    std::ostringstream os;
+    detail::formatInto(os, args...);
+    return os.str();
+}
+
+} // namespace espresso
+
+#endif // ESPRESSO_UTIL_LOGGING_HH

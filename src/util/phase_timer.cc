@@ -1,0 +1,20 @@
+#include "util/phase_timer.hh"
+
+namespace espresso {
+
+double
+PhaseTimer::share(const std::string &phase) const
+{
+    std::uint64_t sum = grandTotal();
+    if (sum == 0)
+        return 0.0;
+    return static_cast<double>(total(phase)) / static_cast<double>(sum);
+}
+
+std::vector<std::pair<std::string, std::uint64_t>>
+PhaseTimer::snapshot() const
+{
+    return {buckets_.begin(), buckets_.end()};
+}
+
+} // namespace espresso

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Named-bucket execution-time accounting.
+ *
+ * The paper's Figures 4, 6 and 17 are breakdowns of where time goes
+ * inside an operation (database vs transformation vs other, etc.).
+ * PhaseTimer lets instrumented code attribute wall-clock intervals to
+ * named buckets; the bench harnesses print the resulting shares.
+ */
+
+#ifndef ESPRESSO_UTIL_PHASE_TIMER_HH
+#define ESPRESSO_UTIL_PHASE_TIMER_HH
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace espresso {
+
+/** Accumulates nanoseconds into named phases. */
+class PhaseTimer
+{
+  public:
+    using Clock = std::chrono::steady_clock;
+
+    /** Add @p ns nanoseconds to bucket @p phase. */
+    void
+    add(const std::string &phase, std::uint64_t ns)
+    {
+        buckets_[phase] += ns;
+    }
+
+    /** Total nanoseconds accumulated in @p phase (0 if absent). */
+    std::uint64_t
+    total(const std::string &phase) const
+    {
+        auto it = buckets_.find(phase);
+        return it == buckets_.end() ? 0 : it->second;
+    }
+
+    /** Sum over all buckets. */
+    std::uint64_t
+    grandTotal() const
+    {
+        std::uint64_t sum = 0;
+        for (const auto &kv : buckets_)
+            sum += kv.second;
+        return sum;
+    }
+
+    /** Fraction of the grand total spent in @p phase, in [0, 1]. */
+    double share(const std::string &phase) const;
+
+    /** All buckets, sorted by name. */
+    std::vector<std::pair<std::string, std::uint64_t>> snapshot() const;
+
+    void clear() { buckets_.clear(); }
+
+  private:
+    std::map<std::string, std::uint64_t> buckets_;
+};
+
+/**
+ * RAII interval: attributes the enclosed scope's wall time to a bucket.
+ * A null timer makes the scope free, so instrumented library code can
+ * be used untimed.
+ */
+class PhaseScope
+{
+  public:
+    PhaseScope(PhaseTimer *timer, std::string phase)
+        : timer_(timer), phase_(std::move(phase)),
+          start_(timer ? PhaseTimer::Clock::now()
+                       : PhaseTimer::Clock::time_point())
+    {}
+
+    ~PhaseScope()
+    {
+        if (timer_) {
+            auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          PhaseTimer::Clock::now() - start_)
+                          .count();
+            timer_->add(phase_, static_cast<std::uint64_t>(ns));
+        }
+    }
+
+    PhaseScope(const PhaseScope &) = delete;
+    PhaseScope &operator=(const PhaseScope &) = delete;
+
+  private:
+    PhaseTimer *timer_;
+    std::string phase_;
+    PhaseTimer::Clock::time_point start_;
+};
+
+} // namespace espresso
+
+#endif // ESPRESSO_UTIL_PHASE_TIMER_HH

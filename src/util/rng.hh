@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Deterministic xorshift-based RNG for workloads and crash fuzzing.
+ * std::mt19937_64 would work, but a tiny local generator keeps
+ * benchmark inner loops cheap and reproducible across libstdc++s.
+ */
+
+#ifndef ESPRESSO_UTIL_RNG_HH
+#define ESPRESSO_UTIL_RNG_HH
+
+#include <cstdint>
+
+namespace espresso {
+
+/** xorshift128+ pseudo-random generator. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull)
+    {
+        // splitmix64 to spread the seed.
+        auto mix = [&seed]() {
+            seed += 0x9e3779b97f4a7c15ull;
+            std::uint64_t z = seed;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+            return z ^ (z >> 31);
+        };
+        s0_ = mix();
+        s1_ = mix();
+    }
+
+    std::uint64_t
+    next()
+    {
+        std::uint64_t x = s0_;
+        const std::uint64_t y = s1_;
+        s0_ = y;
+        x ^= x << 23;
+        s1_ = x ^ y ^ (x >> 17) ^ (y >> 26);
+        return s1_ + y;
+    }
+
+    /** Uniform value in [0, bound). @p bound must be nonzero. */
+    std::uint64_t nextBelow(std::uint64_t bound) { return next() % bound; }
+
+    /** Uniform double in [0, 1). */
+    double
+    nextDouble()
+    {
+        return static_cast<double>(next() >> 11) * (1.0 / (1ull << 53));
+    }
+
+    bool nextBool() { return next() & 1; }
+
+  private:
+    std::uint64_t s0_;
+    std::uint64_t s1_;
+};
+
+} // namespace espresso
+
+#endif // ESPRESSO_UTIL_RNG_HH

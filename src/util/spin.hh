@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Calibrated busy-wait used by latency models (NVM flush cost, PCJ's
+ * JNI/native-call overhead).
+ */
+
+#ifndef ESPRESSO_UTIL_SPIN_HH
+#define ESPRESSO_UTIL_SPIN_HH
+
+#include <chrono>
+#include <cstdint>
+
+namespace espresso {
+
+/** Busy-wait for @p ns nanoseconds; free when @p ns is zero. */
+inline void
+spinForNs(std::uint64_t ns)
+{
+    if (ns == 0)
+        return;
+    auto until = std::chrono::steady_clock::now() +
+                 std::chrono::nanoseconds(ns);
+    while (std::chrono::steady_clock::now() < until) {
+        // spin
+    }
+}
+
+} // namespace espresso
+
+#endif // ESPRESSO_UTIL_SPIN_HH

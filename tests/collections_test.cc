@@ -1,0 +1,227 @@
+/**
+ * @file
+ * Espresso persistent collections: functional behaviour, ACID abort
+ * semantics, persistence across reloads, and GC interaction.
+ */
+
+#include <gtest/gtest.h>
+
+#include "collections/parray_list.hh"
+#include "collections/pbox.hh"
+#include "collections/pgeneric_array.hh"
+#include "collections/phashmap.hh"
+#include "collections/ptuple.hh"
+#include "core/espresso.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace espresso {
+namespace {
+
+class CollectionsTest : public ::testing::Test
+{
+  protected:
+    CollectionsTest()
+    {
+        rt_ = std::make_unique<EspressoRuntime>();
+        h_ = rt_->heaps().createHeap("col", 8u << 20);
+    }
+
+    /** Crash + reload, returning the re-attached heap. */
+    PjhHeap *
+    reloadAfterCrash()
+    {
+        rt_->heaps().crashHeap("col");
+        return rt_->heaps().loadHeap("col");
+    }
+
+    std::unique_ptr<EspressoRuntime> rt_;
+    PjhHeap *h_ = nullptr;
+};
+
+TEST_F(CollectionsTest, BoxCreateGetSet)
+{
+    PBox box = PBox::create(h_, 42);
+    EXPECT_EQ(box.get(), 42);
+    box.set(-7);
+    EXPECT_EQ(box.get(), -7);
+}
+
+TEST_F(CollectionsTest, BoxSurvivesCrashAfterSet)
+{
+    PBox box = PBox::create(h_, 1);
+    h_->setRoot("box", box.oop());
+    box.set(99); // transactional => durable at commit
+    PjhHeap *h2 = reloadAfterCrash();
+    EXPECT_EQ(PBox::at(h2, h2->getRoot("box")).get(), 99);
+}
+
+TEST_F(CollectionsTest, TupleSetGetAndBounds)
+{
+    PTuple t = PTuple::create(h_);
+    PBox a = PBox::create(h_, 1);
+    PBox b = PBox::create(h_, 2);
+    t.set(0, a.oop());
+    t.set(2, b.oop());
+    EXPECT_EQ(PBox::at(h_, t.get(0)).get(), 1);
+    EXPECT_TRUE(t.get(1).isNull());
+    EXPECT_EQ(PBox::at(h_, t.get(2)).get(), 2);
+    EXPECT_THROW(t.get(3), PanicError);
+    EXPECT_THROW(t.set(3, a.oop()), PanicError);
+}
+
+TEST_F(CollectionsTest, GenericArrayRoundTrip)
+{
+    PGenericArray arr = PGenericArray::create(h_, 16);
+    EXPECT_EQ(arr.length(), 16u);
+    for (int i = 0; i < 16; ++i)
+        arr.set(i, PBox::create(h_, i * i).oop());
+    for (int i = 0; i < 16; ++i)
+        EXPECT_EQ(PBox::at(h_, arr.get(i)).get(), i * i);
+    EXPECT_THROW(arr.get(16), PanicError);
+}
+
+TEST_F(CollectionsTest, ArrayListGrowsAndPersists)
+{
+    PArrayList list = PArrayList::create(h_, 2);
+    h_->setRoot("list", list.oop());
+    const int kN = 100;
+    for (int i = 0; i < kN; ++i)
+        list.add(PBox::create(h_, i).oop());
+    EXPECT_EQ(list.size(), static_cast<std::uint64_t>(kN));
+    EXPECT_GE(list.capacity(), static_cast<std::uint64_t>(kN));
+
+    PjhHeap *h2 = reloadAfterCrash();
+    PArrayList list2 = PArrayList::at(h2, h2->getRoot("list"));
+    ASSERT_EQ(list2.size(), static_cast<std::uint64_t>(kN));
+    for (int i = 0; i < kN; ++i)
+        EXPECT_EQ(PBox::at(h2, list2.get(i)).get(), i);
+}
+
+TEST_F(CollectionsTest, ArrayListSetReplaces)
+{
+    PArrayList list = PArrayList::create(h_);
+    list.add(PBox::create(h_, 1).oop());
+    list.add(PBox::create(h_, 2).oop());
+    list.set(1, PBox::create(h_, 22).oop());
+    EXPECT_EQ(PBox::at(h_, list.get(1)).get(), 22);
+    EXPECT_THROW(list.set(2, Oop()), PanicError);
+}
+
+TEST_F(CollectionsTest, HashmapPutGetRemove)
+{
+    PHashmap map = PHashmap::create(h_, 8);
+    EXPECT_EQ(map.size(), 0u);
+    EXPECT_TRUE(map.get(5).isNull());
+
+    const int kN = 200; // force long chains over 8 buckets
+    for (int i = 0; i < kN; ++i)
+        map.put(i, PBox::create(h_, i * 10).oop());
+    EXPECT_EQ(map.size(), static_cast<std::uint64_t>(kN));
+    for (int i = 0; i < kN; ++i) {
+        ASSERT_TRUE(map.contains(i)) << i;
+        EXPECT_EQ(PBox::at(h_, map.get(i)).get(), i * 10);
+    }
+
+    // Replacement keeps size.
+    map.put(7, PBox::create(h_, 777).oop());
+    EXPECT_EQ(map.size(), static_cast<std::uint64_t>(kN));
+    EXPECT_EQ(PBox::at(h_, map.get(7)).get(), 777);
+
+    // Removal.
+    EXPECT_TRUE(map.remove(7));
+    EXPECT_FALSE(map.contains(7));
+    EXPECT_FALSE(map.remove(7));
+    EXPECT_EQ(map.size(), static_cast<std::uint64_t>(kN - 1));
+}
+
+TEST_F(CollectionsTest, HashmapPersistsAcrossCrash)
+{
+    PHashmap map = PHashmap::create(h_, 16);
+    h_->setRoot("map", map.oop());
+    for (int i = 0; i < 50; ++i)
+        map.put(i, PBox::create(h_, i).oop());
+    PjhHeap *h2 = reloadAfterCrash();
+    PHashmap map2 = PHashmap::at(h2, h2->getRoot("map"));
+    EXPECT_EQ(map2.size(), 50u);
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(PBox::at(h2, map2.get(i)).get(), i);
+}
+
+TEST_F(CollectionsTest, AbortedTransactionRestoresState)
+{
+    PBox box = PBox::create(h_, 5);
+    {
+        PjhTransaction tx(h_);
+        tx.write(box.oop().addr() + ObjectLayout::kHeaderSize, 500);
+        EXPECT_EQ(box.get(), 500);
+        tx.abort();
+    }
+    EXPECT_EQ(box.get(), 5);
+
+    // Destructor aborts when not committed.
+    {
+        PjhTransaction tx(h_);
+        tx.write(box.oop().addr() + ObjectLayout::kHeaderSize, 600);
+    }
+    EXPECT_EQ(box.get(), 5);
+}
+
+TEST_F(CollectionsTest, CollectionsSurviveGc)
+{
+    PArrayList list = PArrayList::create(h_, 4);
+    h_->setRoot("list", list.oop());
+    PHashmap map = PHashmap::create(h_, 8);
+    h_->setRoot("map", map.oop());
+    for (int i = 0; i < 30; ++i) {
+        list.add(PBox::create(h_, i).oop());
+        map.put(i, PBox::create(h_, -i).oop());
+        PBox::create(h_, 12345); // garbage
+    }
+    h_->collect(&rt_->heap());
+
+    PArrayList list2 = PArrayList::at(h_, h_->getRoot("list"));
+    PHashmap map2 = PHashmap::at(h_, h_->getRoot("map"));
+    ASSERT_EQ(list2.size(), 30u);
+    ASSERT_EQ(map2.size(), 30u);
+    for (int i = 0; i < 30; ++i) {
+        EXPECT_EQ(PBox::at(h_, list2.get(i)).get(), i);
+        EXPECT_EQ(PBox::at(h_, map2.get(i)).get(), -i);
+    }
+}
+
+TEST_F(CollectionsTest, RandomizedHashmapAgainstStdMap)
+{
+    // Property test: PHashmap behaves like std::map under a random
+    // op sequence (put/remove/get).
+    PHashmap map = PHashmap::create(h_, 32);
+    std::map<std::int64_t, std::int64_t> model;
+    Rng rng(99);
+    for (int op = 0; op < 3000; ++op) {
+        std::int64_t key = static_cast<std::int64_t>(rng.nextBelow(150));
+        switch (rng.nextBelow(3)) {
+          case 0: {
+            std::int64_t v = static_cast<std::int64_t>(rng.next() >> 8);
+            map.put(key, PBox::create(h_, v).oop());
+            model[key] = v;
+            break;
+          }
+          case 1:
+            EXPECT_EQ(map.remove(key), model.erase(key) > 0);
+            break;
+          default: {
+            auto it = model.find(key);
+            if (it == model.end()) {
+                EXPECT_TRUE(map.get(key).isNull());
+            } else {
+                ASSERT_FALSE(map.get(key).isNull());
+                EXPECT_EQ(PBox::at(h_, map.get(key)).get(), it->second);
+            }
+          }
+        }
+        EXPECT_EQ(map.size(), model.size());
+    }
+}
+
+} // namespace
+} // namespace espresso

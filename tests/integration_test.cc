@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Cross-module integration tests: volatile GC and persistent GC
+ * interacting over cross-heap pointers, full application lifecycles
+ * (populate -> GC -> detach -> migrate -> reload under every safety
+ * level), and an eviction-mode crash sweep of the undo log (which
+ * validates its torn-tail checksum protocol end to end).
+ */
+
+#include <gtest/gtest.h>
+
+#include "collections/pbox.hh"
+#include "collections/phashmap.hh"
+#include "core/espresso.hh"
+#include "nvm/crash_injector.hh"
+#include "util/rng.hh"
+
+namespace espresso {
+namespace {
+
+KlassDef
+nodeDef()
+{
+    return KlassDef{
+        "Node", "",
+        {{"value", FieldType::kI64}, {"next", FieldType::kRef}},
+        false};
+}
+
+TEST(IntegrationTest, BothCollectorsOverCrossHeapPointers)
+{
+    EspressoConfig cfg;
+    cfg.volatileHeap.edenSize = 128u << 10;
+    cfg.volatileHeap.survivorSize = 32u << 10;
+    cfg.volatileHeap.oldSize = 8u << 20;
+    EspressoRuntime rt(cfg);
+    rt.define(nodeDef());
+    std::uint32_t value_off = rt.fieldOffset("Node", "value");
+    std::uint32_t next_off = rt.fieldOffset("Node", "next");
+    PjhHeap *heap = rt.heaps().createHeap("x", 8u << 20);
+
+    // Alternate DRAM and NVM nodes in one chain; only the head is
+    // rooted (in NVM). Interleave garbage on both sides.
+    Oop head;
+    const int kLen = 400;
+    for (int i = kLen - 1; i >= 0; --i) {
+        Oop n = (i % 2 == 0) ? rt.pnewInstance(heap, "Node")
+                             : rt.newInstance("Node");
+        n.setI64(value_off, i);
+        n.setRef(next_off, head);
+        if (i % 2 == 0)
+            heap->flushObject(n);
+        head = n;
+        rt.pnewInstance(heap, "Node"); // NVM garbage
+        rt.newInstance("Node");        // DRAM garbage
+    }
+    ASSERT_TRUE(heap->containsData(head.addr()));
+    heap->setRoot("mixed", head);
+
+    auto checksum = [&]() {
+        std::int64_t sum = 0;
+        for (Oop cur = heap->getRoot("mixed"); !cur.isNull();
+             cur = Oop(cur.getRef(next_off)))
+            sum += cur.getI64(value_off);
+        return sum;
+    };
+    const std::int64_t expected = kLen * (kLen - 1) / 2;
+    EXPECT_EQ(checksum(), expected);
+
+    // Volatile collections (young + full) must keep NVM->DRAM edges.
+    rt.heap().collectYoung();
+    EXPECT_EQ(checksum(), expected);
+    rt.heap().collectFull();
+    EXPECT_EQ(checksum(), expected);
+
+    // Persistent collection must keep DRAM->NVM edges updated.
+    heap->collect(&rt.heap());
+    EXPECT_EQ(checksum(), expected);
+
+    // Interleave both repeatedly.
+    for (int i = 0; i < 3; ++i) {
+        rt.heap().collectFull();
+        heap->collect(&rt.heap());
+        EXPECT_EQ(checksum(), expected) << "round " << i;
+    }
+}
+
+class SafetyLevelLifecycleTest
+    : public ::testing::TestWithParam<SafetyLevel>
+{
+};
+
+TEST_P(SafetyLevelLifecycleTest, FullLifecycleUnderEverySafetyLevel)
+{
+    EspressoRuntime rt;
+    rt.define(nodeDef());
+    std::uint32_t value_off = rt.fieldOffset("Node", "value");
+    std::uint32_t next_off = rt.fieldOffset("Node", "next");
+    PjhHeap *heap = rt.heaps().createHeap("life", 8u << 20);
+
+    Oop head;
+    for (int i = 99; i >= 0; --i) {
+        Oop n = rt.pnewInstance(heap, "Node");
+        n.setI64(value_off, i);
+        n.setRef(next_off, head);
+        heap->flushObject(n);
+        head = n;
+        rt.pnewInstance(heap, "Node"); // garbage
+    }
+    heap->setRoot("head", head);
+    heap->collect(&rt.heap());
+
+    rt.heaps().detachHeap("life");
+    rt.heaps().migrateHeap("life"); // force the rebase path too
+    PjhHeap *h2 = rt.heaps().loadHeap("life", GetParam());
+
+    Oop cur = h2->getRoot("head");
+    for (int i = 0; i < 100; ++i) {
+        ASSERT_FALSE(cur.isNull());
+        EXPECT_EQ(cur.getI64(value_off), i);
+        cur = Oop(cur.getRef(next_off));
+    }
+    // The reloaded heap is fully operational.
+    Oop extra = rt.pnewInstance(h2, "Node");
+    extra.setI64(value_off, 1);
+    h2->flushObject(extra);
+    h2->setRoot("extra", extra);
+    h2->collect(&rt.heap());
+    EXPECT_EQ(h2->getRoot("extra").getI64(value_off), 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllLevels, SafetyLevelLifecycleTest,
+    ::testing::Values(SafetyLevel::kUserGuaranteed,
+                      SafetyLevel::kZeroing, SafetyLevel::kTypeBased),
+    [](const ::testing::TestParamInfo<SafetyLevel> &info) {
+        switch (info.param) {
+          case SafetyLevel::kUserGuaranteed: return "UserGuaranteed";
+          case SafetyLevel::kZeroing: return "Zeroing";
+          default: return "TypeBased";
+        }
+    });
+
+TEST(IntegrationTest, UndoLogEvictionCrashSweep)
+{
+    // Sweep a random-eviction crash across every persistence event of
+    // a transactional update burst. The committed prefix must always
+    // be intact and the in-flight transaction fully rolled back —
+    // this exercises the undo log's torn-tail checksum protocol.
+    for (std::uint64_t event = 1;; ++event) {
+        EspressoRuntime rt;
+        rt.define(nodeDef());
+        std::uint32_t value_off = rt.fieldOffset("Node", "value");
+        PjhHeap *heap = rt.heaps().createHeap("undo", 1u << 20);
+        NvmDevice *dev = rt.heaps().deviceOf("undo");
+
+        // Committed baseline.
+        Oop n = rt.pnewInstance(heap, "Node");
+        n.setI64(value_off, 100);
+        heap->flushObject(n);
+        heap->setRoot("n", n);
+
+        CrashInjector injector;
+        dev->setInjector(&injector);
+        injector.arm(event);
+        bool crashed = false;
+        std::int64_t last_committed = 100;
+        try {
+            for (int i = 1; i <= 5; ++i) {
+                UndoLog &log = heap->undoLog();
+                log.begin();
+                log.record(n.addr() + value_off, 8);
+                n.setI64(value_off, 100 + i);
+                log.commit();
+                last_committed = 100 + i;
+            }
+        } catch (const SimulatedCrash &) {
+            crashed = true;
+        }
+        injector.disarm();
+        if (!crashed)
+            break;
+
+        rt.heaps().crashHeap("undo", CrashMode::kEvictRandomLines,
+                             1234 + event);
+        PjhHeap *h2 = rt.heaps().loadHeap("undo");
+        std::int64_t v = h2->getRoot("n").getI64(value_off);
+        // Atomicity: the value is a committed one — either the last
+        // acknowledged commit, or the in-flight transaction's value
+        // when the crash hit after its commit became durable but
+        // before it was acknowledged. Never a torn intermediate.
+        EXPECT_TRUE(v == last_committed || v == last_committed + 1)
+            << "event " << event << " read " << v;
+        EXPECT_FALSE(h2->undoLog().active());
+    }
+}
+
+TEST(IntegrationTest, CollectionsOverReloadAndGcTorture)
+{
+    EspressoRuntime rt;
+    PjhHeap *heap = rt.heaps().createHeap("torture", 16u << 20);
+    PHashmap map = PHashmap::create(heap, 64);
+    heap->setRoot("map", map.oop());
+
+    Rng rng(5);
+    std::map<std::int64_t, std::int64_t> model;
+    for (int round = 0; round < 4; ++round) {
+        for (int i = 0; i < 300; ++i) {
+            std::int64_t key =
+                static_cast<std::int64_t>(rng.nextBelow(100));
+            if (rng.nextBelow(4) == 0) {
+                map.remove(key);
+                model.erase(key);
+            } else {
+                std::int64_t val = static_cast<std::int64_t>(
+                    rng.next() & 0xffffff);
+                map.put(key, PBox::create(heap, val).oop());
+                model[key] = val;
+            }
+        }
+        switch (round % 3) {
+          case 0:
+            heap->collect(&rt.heap());
+            break;
+          case 1:
+            rt.heaps().crashHeap("torture");
+            break;
+          default:
+            rt.heaps().detachHeap("torture");
+            rt.heaps().migrateHeap("torture");
+        }
+        heap = rt.heaps().heap("torture")
+                   ? rt.heaps().heap("torture")
+                   : rt.heaps().loadHeap("torture");
+        map = PHashmap::at(heap, heap->getRoot("map"));
+
+        ASSERT_EQ(map.size(), model.size()) << "round " << round;
+        for (const auto &[k, v] : model) {
+            ASSERT_FALSE(map.get(k).isNull());
+            EXPECT_EQ(PBox::at(heap, map.get(k)).get(), v);
+        }
+    }
+}
+
+} // namespace
+} // namespace espresso

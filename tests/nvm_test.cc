@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Unit tests for the NVM emulation: flush/fence durability, crash
+ * modes, fault injection, and file round-trips.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "nvm/nvm_device.hh"
+#include "util/logging.hh"
+
+namespace espresso {
+namespace {
+
+TEST(NvmDeviceTest, UnflushedWritesDieInACrash)
+{
+    NvmDevice dev(4096);
+    dev.base()[0] = 0xAB;
+    dev.crash();
+    EXPECT_EQ(dev.base()[0], 0);
+}
+
+TEST(NvmDeviceTest, FlushWithoutFenceIsNotDurable)
+{
+    NvmDevice dev(4096);
+    dev.base()[0] = 0xAB;
+    dev.flush(dev.toAddr(0), 1);
+    dev.crash();
+    EXPECT_EQ(dev.base()[0], 0);
+}
+
+TEST(NvmDeviceTest, FlushPlusFenceIsDurable)
+{
+    NvmDevice dev(4096);
+    dev.base()[0] = 0xAB;
+    dev.base()[100] = 0xCD;
+    dev.flush(dev.toAddr(0), 1);
+    dev.flush(dev.toAddr(100), 1);
+    dev.fence();
+    dev.base()[200] = 0xEF; // after the fence: lost
+    dev.crash();
+    EXPECT_EQ(dev.base()[0], 0xAB);
+    EXPECT_EQ(dev.base()[100], 0xCD);
+    EXPECT_EQ(dev.base()[200], 0);
+}
+
+TEST(NvmDeviceTest, FlushCoversWholeCacheLines)
+{
+    NvmDevice dev(4096);
+    dev.base()[10] = 1;
+    dev.base()[63] = 2; // same line as 10
+    dev.base()[64] = 3; // next line
+    dev.persist(dev.toAddr(10), 1);
+    dev.crash();
+    EXPECT_EQ(dev.base()[10], 1);
+    EXPECT_EQ(dev.base()[63], 2); // dragged in by line granularity
+    EXPECT_EQ(dev.base()[64], 0);
+}
+
+TEST(NvmDeviceTest, EvictionModeKeepsFencedDataAlways)
+{
+    for (std::uint64_t seed = 1; seed <= 32; ++seed) {
+        NvmDevice dev(4096);
+        dev.base()[0] = 0x11;
+        dev.persist(dev.toAddr(0), 1);
+        dev.base()[128] = 0x22; // unflushed: may or may not survive
+        dev.crash(CrashMode::kEvictRandomLines, seed);
+        EXPECT_EQ(dev.base()[0], 0x11) << "seed " << seed;
+        EXPECT_TRUE(dev.base()[128] == 0 || dev.base()[128] == 0x22);
+    }
+}
+
+TEST(NvmDeviceTest, EvictionModeEventuallyEvicts)
+{
+    // Over many seeds, at least one unflushed line must survive and
+    // at least one must die — otherwise the mode is degenerate.
+    int survived = 0, died = 0;
+    for (std::uint64_t seed = 1; seed <= 64; ++seed) {
+        NvmDevice dev(4096);
+        dev.base()[128] = 0x22;
+        dev.crash(CrashMode::kEvictRandomLines, seed);
+        (dev.base()[128] == 0x22 ? survived : died) += 1;
+    }
+    EXPECT_GT(survived, 0);
+    EXPECT_GT(died, 0);
+}
+
+TEST(NvmDeviceTest, ShutdownCleanPersistsEverything)
+{
+    NvmDevice dev(4096);
+    dev.base()[77] = 0x42;
+    dev.shutdownClean();
+    dev.crash();
+    EXPECT_EQ(dev.base()[77], 0x42);
+}
+
+TEST(NvmDeviceTest, StatsCountFlushesAndFences)
+{
+    NvmDevice dev(4096);
+    dev.flush(dev.toAddr(0), 200); // 4 lines (0..255 rounded)
+    dev.fence();
+    EXPECT_EQ(dev.stats().flushCalls, 1u);
+    EXPECT_EQ(dev.stats().linesFlushed, 4u);
+    EXPECT_EQ(dev.stats().fences, 1u);
+}
+
+TEST(NvmDeviceTest, PersistenceDisabledIsFreeAndVolatile)
+{
+    NvmConfig cfg;
+    cfg.persistenceEnabled = false;
+    NvmDevice dev(4096, cfg);
+    dev.base()[0] = 9;
+    dev.persist(dev.toAddr(0), 1);
+    EXPECT_EQ(dev.stats().linesFlushed, 0u);
+    dev.crash();
+    EXPECT_EQ(dev.base()[0], 0);
+}
+
+TEST(NvmDeviceTest, FileRoundTrip)
+{
+    std::string path = testing::TempDir() + "/nvm_image.bin";
+    {
+        NvmDevice dev(4096);
+        std::memcpy(dev.base(), "espresso", 8);
+        dev.persist(dev.toAddr(0), 8);
+        dev.saveDurable(path);
+    }
+    NvmDevice dev2(4096);
+    dev2.loadDurable(path);
+    EXPECT_EQ(std::memcmp(dev2.base(), "espresso", 8), 0);
+}
+
+TEST(CrashInjectorTest, FiresAtTheArmedEvent)
+{
+    NvmDevice dev(4096);
+    CrashInjector inj;
+    dev.setInjector(&inj);
+    inj.arm(3);
+    dev.flush(dev.toAddr(0), 1); // event 1
+    dev.fence();                 // event 2
+    EXPECT_THROW(dev.flush(dev.toAddr(0), 1), SimulatedCrash); // 3
+    inj.disarm();
+    dev.flush(dev.toAddr(0), 1); // counted, no fire
+    EXPECT_EQ(inj.eventCount(), 4u);
+}
+
+TEST(NvmDeviceTest, OutOfRangeFlushPanics)
+{
+    NvmDevice dev(4096);
+    EXPECT_THROW(dev.flush(dev.toAddr(4095), 16), PanicError);
+}
+
+} // namespace
+} // namespace espresso

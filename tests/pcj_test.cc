@@ -1,0 +1,235 @@
+/**
+ * @file
+ * PCJ baseline: pool lifecycle, reference counting (including
+ * recursive reclamation and the cycle-leak caveat), transactions and
+ * crash rollback, and all collection types.
+ */
+
+#include <gtest/gtest.h>
+
+#include "pcj/pcj_collections.hh"
+#include "pcj/pcj_transaction.hh"
+#include "util/logging.hh"
+#include "util/rng.hh"
+
+namespace espresso {
+namespace pcj {
+namespace {
+
+class PcjTest : public ::testing::Test
+{
+  protected:
+    PcjTest()
+    {
+        PcjConfig cfg;
+        cfg.dataSize = 8u << 20;
+        rt_ = std::make_unique<PcjRuntime>(cfg);
+    }
+
+    std::unique_ptr<PcjRuntime> rt_;
+};
+
+TEST_F(PcjTest, LongCreateGetSet)
+{
+    PersistentLong v = PersistentLong::create(rt_.get(), 42);
+    EXPECT_EQ(v.longValue(), 42);
+    v.set(-9);
+    EXPECT_EQ(v.longValue(), -9);
+    EXPECT_EQ(rt_->typeNameOf(v.ref()), "PersistentLong");
+    EXPECT_EQ(rt_->refCountOf(v.ref()), 1u);
+}
+
+TEST_F(PcjTest, StringRoundTrip)
+{
+    PersistentString s =
+        PersistentString::create(rt_.get(), "espresso brews NVM");
+    EXPECT_EQ(s.toString(), "espresso brews NVM");
+    PersistentString empty = PersistentString::create(rt_.get(), "");
+    EXPECT_EQ(empty.toString(), "");
+}
+
+TEST_F(PcjTest, RefCountingReclaims)
+{
+    std::uint64_t live0 = rt_->liveObjects();
+    PersistentLong v = PersistentLong::create(rt_.get(), 7);
+    EXPECT_EQ(rt_->liveObjects(), live0 + 1);
+    rt_->decRef(v.ref());
+    EXPECT_EQ(rt_->liveObjects(), live0);
+}
+
+TEST_F(PcjTest, RecursiveFreeThroughTuple)
+{
+    std::uint64_t live0 = rt_->liveObjects();
+    PersistentTuple t = PersistentTuple::create(rt_.get());
+    PersistentLong a = PersistentLong::create(rt_.get(), 1);
+    t.set(0, a.ref());
+    rt_->decRef(a.ref()); // tuple now sole owner
+    EXPECT_EQ(rt_->liveObjects(), live0 + 2);
+    rt_->decRef(t.ref()); // frees tuple AND the boxed long
+    EXPECT_EQ(rt_->liveObjects(), live0);
+}
+
+TEST_F(PcjTest, SetRefMaintainsCounts)
+{
+    PersistentTuple t = PersistentTuple::create(rt_.get());
+    PersistentLong a = PersistentLong::create(rt_.get(), 1);
+    PersistentLong b = PersistentLong::create(rt_.get(), 2);
+    t.set(0, a.ref());
+    EXPECT_EQ(rt_->refCountOf(a.ref()), 2u);
+    t.set(0, b.ref()); // replaces: a drops to 1, b rises to 2
+    EXPECT_EQ(rt_->refCountOf(a.ref()), 1u);
+    EXPECT_EQ(rt_->refCountOf(b.ref()), 2u);
+}
+
+TEST_F(PcjTest, CyclesLeakUnderRefCounting)
+{
+    // The known limitation the paper cites ([40]): reference counting
+    // cannot reclaim cycles.
+    std::uint64_t live0 = rt_->liveObjects();
+    PersistentTuple a = PersistentTuple::create(rt_.get());
+    PersistentTuple b = PersistentTuple::create(rt_.get());
+    a.set(0, b.ref());
+    b.set(0, a.ref());
+    rt_->decRef(a.ref());
+    rt_->decRef(b.ref());
+    // Both unreachable, both still "live": the leak.
+    EXPECT_EQ(rt_->liveObjects(), live0 + 2);
+}
+
+TEST_F(PcjTest, FreedSpaceIsReused)
+{
+    PersistentLong v = PersistentLong::create(rt_.get(), 1);
+    std::size_t used = rt_->dataUsed();
+    PcjRef old_ref = v.ref();
+    rt_->decRef(v.ref());
+    PersistentLong w = PersistentLong::create(rt_.get(), 2);
+    EXPECT_EQ(w.ref(), old_ref); // first-fit reuses the freed chunk
+    EXPECT_EQ(rt_->dataUsed(), used);
+}
+
+TEST_F(PcjTest, RootsPinAndRelease)
+{
+    std::uint64_t live0 = rt_->liveObjects();
+    PersistentLong v = PersistentLong::create(rt_.get(), 5);
+    rt_->putRoot("answer", v.ref());
+    EXPECT_EQ(rt_->getRoot("answer"), v.ref());
+    rt_->decRef(v.ref()); // root still pins it
+    EXPECT_EQ(rt_->liveObjects(), live0 + 1);
+    rt_->putRoot("answer", kPcjNull); // unpin => freed
+    EXPECT_EQ(rt_->liveObjects(), live0);
+    EXPECT_EQ(rt_->getRoot("missing"), kPcjNull);
+}
+
+TEST_F(PcjTest, CommittedDataSurvivesCrash)
+{
+    PersistentLong v = PersistentLong::create(rt_.get(), 10);
+    rt_->putRoot("v", v.ref());
+    v.set(20);
+    rt_->crash();
+    PersistentLong v2 =
+        PersistentLong::at(rt_.get(), rt_->getRoot("v"));
+    EXPECT_EQ(v2.longValue(), 20);
+}
+
+TEST_F(PcjTest, OpenTransactionRollsBackOnCrash)
+{
+    PersistentLong v = PersistentLong::create(rt_.get(), 10);
+    rt_->putRoot("v", v.ref());
+    {
+        PcjTransaction tx(*rt_);
+        tx.logAndWrite(
+            reinterpret_cast<Addr>(rt_->device().base()) + v.ref() +
+                sizeof(PcjObjectHeader) + 64,
+            999);
+        // No commit: crash with the transaction open.
+        rt_->crash();
+        // The destructor must not touch the reset pool.
+        tx.commit();
+    }
+    PersistentLong v2 =
+        PersistentLong::at(rt_.get(), rt_->getRoot("v"));
+    EXPECT_EQ(v2.longValue(), 10);
+}
+
+TEST_F(PcjTest, GenericArrayAndBounds)
+{
+    PersistentGenericArray arr =
+        PersistentGenericArray::create(rt_.get(), 8);
+    EXPECT_EQ(arr.length(), 8u);
+    PersistentLong v = PersistentLong::create(rt_.get(), 3);
+    arr.set(5, v.ref());
+    EXPECT_EQ(arr.get(5), v.ref());
+    EXPECT_EQ(arr.get(0), kPcjNull);
+    EXPECT_THROW(arr.get(8), PanicError);
+}
+
+TEST_F(PcjTest, ArrayListGrowth)
+{
+    PersistentArrayList list =
+        PersistentArrayList::create(rt_.get(), 2);
+    for (int i = 0; i < 40; ++i)
+        list.add(PersistentLong::create(rt_.get(), i).ref());
+    ASSERT_EQ(list.size(), 40u);
+    for (int i = 0; i < 40; ++i) {
+        EXPECT_EQ(PersistentLong::at(rt_.get(), list.get(i)).longValue(),
+                  i);
+    }
+}
+
+TEST_F(PcjTest, HashmapMatchesModel)
+{
+    PersistentHashmap map = PersistentHashmap::create(rt_.get(), 16);
+    std::map<std::int64_t, std::int64_t> model;
+    Rng rng(31337);
+    for (int op = 0; op < 1500; ++op) {
+        std::int64_t key = static_cast<std::int64_t>(rng.nextBelow(80));
+        switch (rng.nextBelow(3)) {
+          case 0: {
+            std::int64_t val = static_cast<std::int64_t>(op);
+            map.put(key,
+                    PersistentLong::create(rt_.get(), val).ref());
+            model[key] = val;
+            break;
+          }
+          case 1:
+            EXPECT_EQ(map.remove(key), model.erase(key) > 0);
+            break;
+          default:
+            if (model.count(key)) {
+                EXPECT_EQ(PersistentLong::at(rt_.get(), map.get(key))
+                              .longValue(),
+                          model[key]);
+            } else {
+                EXPECT_EQ(map.get(key), kPcjNull);
+            }
+        }
+        EXPECT_EQ(map.size(), model.size());
+    }
+}
+
+TEST_F(PcjTest, TypeTableDeduplicates)
+{
+    PersistentLong a = PersistentLong::create(rt_.get(), 1);
+    PersistentLong b = PersistentLong::create(rt_.get(), 2);
+    // Same type entry offset for both objects.
+    EXPECT_EQ(rt_->typeNameOf(a.ref()), rt_->typeNameOf(b.ref()));
+}
+
+TEST_F(PcjTest, PoolExhaustionIsFatal)
+{
+    PcjConfig tiny;
+    tiny.dataSize = 64u << 10;
+    PcjRuntime small(tiny);
+    EXPECT_THROW(
+        {
+            std::vector<PcjRef> keep;
+            for (int i = 0; i < 10000; ++i)
+                keep.push_back(
+                    PersistentLong::create(&small, i).ref());
+        },
+        FatalError);
+}
+
+} // namespace
+} // namespace pcj
+} // namespace espresso

@@ -1,0 +1,247 @@
+/**
+ * @file
+ * Direct unit tests for PJH components that are otherwise covered
+ * only through the heap: layout computation, the name table's
+ * crash-consistent insertion and probing, the Klass segment's image
+ * format and raw readers, and region-size parameterized GC sweeps.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/espresso.hh"
+#include "nvm/crash_injector.hh"
+#include "pjh/klass_segment.hh"
+#include "pjh/name_table.hh"
+#include "pjh/pjh_layout.hh"
+#include "util/logging.hh"
+
+namespace espresso {
+namespace {
+
+TEST(PjhLayoutTest, ComponentsAreOrderedAlignedAndDisjoint)
+{
+    PjhConfig cfg;
+    cfg.dataSize = 8u << 20;
+    PjhMetadata meta{};
+    std::size_t total = computeLayout(cfg, meta);
+
+    std::vector<std::pair<Word, Word>> spans = {
+        {meta.nameTableOff, meta.nameTableCapacity * 128},
+        {meta.klassSegOff, meta.klassSegSize},
+        {meta.rootJournalOff, meta.rootJournalCapacity * 16},
+        {meta.markStartOff, meta.markBytes},
+        {meta.markLiveOff, meta.markBytes},
+        {meta.regionBitmapOff, meta.regionBitmapBytes},
+        {meta.bounceOff, meta.bounceSize},
+        {meta.undoLogOff, meta.undoLogSize},
+        {meta.dataOff, meta.dataSize},
+    };
+    Word prev_end = sizeof(PjhMetadata);
+    for (auto [off, size] : spans) {
+        EXPECT_GE(off, prev_end);
+        EXPECT_TRUE(isAligned(off, kCacheLineSize) ||
+                    off % kCacheLineSize == 0);
+        prev_end = off + size;
+    }
+    EXPECT_LE(prev_end, total);
+    EXPECT_TRUE(isAligned(meta.dataSize, cfg.regionSize));
+    // The mark bitmaps must cover the whole data heap.
+    EXPECT_GE(meta.markBytes * 8 * MarkBitmap::kGranule, meta.dataSize);
+}
+
+class NameTableTest : public ::testing::Test
+{
+  protected:
+    NameTableTest() : dev_(1u << 20)
+    {
+        table_ = NameTable(&dev_, dev_.toAddr(0), 64);
+    }
+
+    NvmDevice dev_;
+    NameTable table_;
+};
+
+TEST_F(NameTableTest, InsertFindUpdate)
+{
+    EXPECT_EQ(table_.find("a", NameKind::kRoot), nullptr);
+    table_.insert("a", NameKind::kRoot, 0x1000);
+    table_.insert("b", NameKind::kKlass, 0x2000);
+    ASSERT_NE(table_.find("a", NameKind::kRoot), nullptr);
+    EXPECT_EQ(table_.find("a", NameKind::kRoot)->value, 0x1000u);
+    // Kinds are separate namespaces.
+    EXPECT_EQ(table_.find("a", NameKind::kKlass), nullptr);
+    table_.insert("a", NameKind::kKlass, 0x3000);
+    EXPECT_EQ(table_.find("a", NameKind::kKlass)->value, 0x3000u);
+    EXPECT_EQ(table_.count(), 3u);
+
+    table_.updateValue(table_.find("a", NameKind::kRoot), 0x4000);
+    EXPECT_EQ(table_.find("a", NameKind::kRoot)->value, 0x4000u);
+
+    EXPECT_THROW(table_.insert("a", NameKind::kRoot, 1), FatalError);
+    EXPECT_THROW(table_.insert("", NameKind::kRoot, 1), FatalError);
+    EXPECT_THROW(table_.insert(std::string(200, 'x'), NameKind::kRoot, 1),
+                 FatalError);
+}
+
+TEST_F(NameTableTest, FillsToCapacityThenFails)
+{
+    for (int i = 0; i < 64; ++i)
+        table_.insert("k" + std::to_string(i), NameKind::kRoot, i);
+    EXPECT_EQ(table_.count(), 64u);
+    for (int i = 0; i < 64; ++i) {
+        ASSERT_NE(table_.find("k" + std::to_string(i), NameKind::kRoot),
+                  nullptr);
+    }
+    EXPECT_THROW(table_.insert("overflow", NameKind::kRoot, 0),
+                 FatalError);
+}
+
+TEST_F(NameTableTest, TornInsertReadsAsAbsentAfterCrash)
+{
+    table_.insert("committed", NameKind::kRoot, 7);
+    // Sweep crashes across the insert's persistence events.
+    for (std::uint64_t event = 1;; ++event) {
+        NvmDevice dev(1u << 20);
+        NameTable t(&dev, dev.toAddr(0), 64);
+        t.insert("committed", NameKind::kRoot, 7);
+        CrashInjector inj;
+        dev.setInjector(&inj);
+        inj.arm(event);
+        bool crashed = false;
+        try {
+            t.insert("torn", NameKind::kRoot, 9);
+        } catch (const SimulatedCrash &) {
+            crashed = true;
+        }
+        dev.setInjector(nullptr);
+        if (!crashed)
+            break;
+        dev.crash();
+        NameTable t2(&dev, dev.toAddr(0), 64);
+        ASSERT_NE(t2.find("committed", NameKind::kRoot), nullptr);
+        EXPECT_EQ(t2.find("committed", NameKind::kRoot)->value, 7u);
+        // The torn entry is either fully there or fully absent, and
+        // the slot is reusable either way.
+        NameEntry *torn = t2.find("torn", NameKind::kRoot);
+        if (torn)
+            EXPECT_EQ(torn->value, 9u);
+        else
+            t2.insert("torn", NameKind::kRoot, 9);
+    }
+}
+
+TEST(KlassSegmentTest, ImagesAreSelfDescribing)
+{
+    EspressoRuntime rt;
+    rt.define({"Base", "", {{"x", FieldType::kI64}}, false});
+    rt.define({"Derived",
+               "Base",
+               {{"r", FieldType::kRef}, {"f", FieldType::kF64}},
+               true});
+    PjhHeap *heap = rt.heaps().createHeap("seg", 1u << 20);
+
+    Oop d = rt.pnewInstance(heap, "Derived");
+    ASSERT_TRUE(d.hasKlassImage());
+    auto *img = reinterpret_cast<const KlassImage *>(d.klassImage());
+    EXPECT_EQ(img->pkr.magic, PersistentKlassRef::kMagic);
+    EXPECT_STREQ(img->name, "Derived");
+    EXPECT_EQ(img->fieldCount, 3u); // flattened: x, r, f
+    EXPECT_FALSE(img->isArray());
+    EXPECT_TRUE(img->flags & KlassImage::kFlagPersistentOnly);
+    EXPECT_NE(img->superOff, kNoneWord);
+    EXPECT_STREQ(img->fields()[0].name, "x");
+    EXPECT_EQ(static_cast<FieldType>(img->fields()[1].type),
+              FieldType::kRef);
+
+    // Raw readers agree with the bound runtime view.
+    EXPECT_EQ(pjhRawObjectSize(d), d.sizeInBytes());
+    std::size_t raw_refs = 0;
+    pjhRawForEachRefSlot(d, [&](Addr) { ++raw_refs; });
+    EXPECT_EQ(raw_refs, d.klass()->refOffsets().size());
+
+    // Arrays carry their element type in flags.
+    Oop arr = rt.pnewI64Array(heap, 5);
+    auto *aimg = reinterpret_cast<const KlassImage *>(arr.klassImage());
+    EXPECT_TRUE(aimg->isArray());
+    EXPECT_EQ(aimg->elemType(), FieldType::kI64);
+    EXPECT_EQ(pjhRawObjectSize(arr), arr.sizeInBytes());
+
+    // One image per logical class, shared by all instances.
+    Oop d2 = rt.pnewInstance(heap, "Derived");
+    EXPECT_EQ(d2.klassImage(), d.klassImage());
+    EXPECT_EQ(heap->klasses().imageCount(),
+              heap->names().count() -
+                  0 /* all current entries are Klass entries */);
+}
+
+/** GC crash sweeps must hold for every region granularity. */
+class RegionSizeGcTest : public ::testing::TestWithParam<std::size_t>
+{
+};
+
+TEST_P(RegionSizeGcTest, CrashSweepAcrossRegionSizes)
+{
+    // Coarser sweep than pjh_crash_test (every 7th event) across
+    // region sizes that straddle the live-data span.
+    for (std::uint64_t event = 5;; event += 7) {
+        EspressoRuntime rt;
+        rt.define({"Node",
+                   "",
+                   {{"value", FieldType::kI64},
+                    {"next", FieldType::kRef}},
+                   false});
+        auto voff = rt.fieldOffset("Node", "value");
+        auto noff = rt.fieldOffset("Node", "next");
+        PjhConfig cfg;
+        cfg.dataSize = 2u << 20;
+        cfg.regionSize = GetParam();
+        PjhHeap *heap = rt.heaps().createHeap("rs", cfg);
+        NvmDevice *dev = rt.heaps().deviceOf("rs");
+
+        Oop head;
+        for (int i = 29; i >= 0; --i) {
+            Oop n = rt.pnewInstance(heap, "Node");
+            n.setI64(voff, i);
+            n.setRef(noff, head);
+            heap->flushObject(n);
+            head = n;
+            rt.pnewInstance(heap, "Node"); // garbage
+        }
+        heap->setRoot("head", head);
+
+        CrashInjector inj;
+        dev->setInjector(&inj);
+        inj.arm(event);
+        bool crashed = false;
+        try {
+            heap->collect(&rt.heap());
+        } catch (const SimulatedCrash &) {
+            crashed = true;
+        }
+        inj.disarm();
+        if (!crashed)
+            break;
+
+        rt.heaps().crashHeap("rs");
+        PjhHeap *h2 = rt.heaps().loadHeap("rs");
+        Oop cur = h2->getRoot("head");
+        for (int i = 0; i < 30; ++i) {
+            ASSERT_FALSE(cur.isNull())
+                << "region " << GetParam() << " event " << event;
+            EXPECT_EQ(cur.getI64(voff), i);
+            cur = Oop(cur.getRef(noff));
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Granularities, RegionSizeGcTest,
+                         ::testing::Values(16u << 10, 64u << 10,
+                                           512u << 10),
+                         [](const ::testing::TestParamInfo<std::size_t>
+                                &info) {
+                             return std::to_string(info.param >> 10) +
+                                    "KB";
+                         });
+
+} // namespace
+} // namespace espresso

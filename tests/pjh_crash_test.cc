@@ -1,0 +1,310 @@
+/**
+ * @file
+ * Crash-consistency sweeps (§4).
+ *
+ * The durable state of the device changes only at flush/fence events,
+ * so arming a simulated power failure at every such event enumerates
+ * every distinct crash state a workload can produce. For each crash
+ * point we revert the device to its durable image, re-attach the heap
+ * (running recovery), and check the §4 invariants:
+ *   - the heap is parseable and loadable,
+ *   - the root table points at well-formed objects,
+ *   - committed data (flushed before the crash point) is intact,
+ *   - an interrupted collection completes transparently: the live
+ *     graph reads back exactly as before the GC started.
+ *
+ * Sweeps run under both crash modes: conservative (only fenced lines
+ * survive) and random cache eviction (any dirty line may survive).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/espresso.hh"
+#include "nvm/crash_injector.hh"
+
+namespace espresso {
+namespace {
+
+constexpr const char *kHeapName = "crash";
+
+KlassDef
+nodeDef()
+{
+    return KlassDef{
+        "Node", "",
+        {{"value", FieldType::kI64}, {"next", FieldType::kRef}},
+        false};
+}
+
+/** One sweep iteration's environment. */
+struct CrashRig
+{
+    CrashRig()
+    {
+        rt = std::make_unique<EspressoRuntime>();
+        rt->define(nodeDef());
+        valueOff = rt->fieldOffset("Node", "value");
+        nextOff = rt->fieldOffset("Node", "next");
+        heap = rt->heaps().createHeap(kHeapName, 2u << 20);
+        device = rt->heaps().deviceOf(kHeapName);
+        device->setInjector(&injector);
+    }
+
+    Oop
+    pnode(std::int64_t v, Oop next = Oop())
+    {
+        Oop n = rt->pnewInstance(heap, "Node");
+        n.setI64(valueOff, v);
+        n.setRef(nextOff, next);
+        heap->flushObject(n);
+        return n;
+    }
+
+    std::int64_t
+    listSum(Oop head) const
+    {
+        std::int64_t sum = 0;
+        for (Oop cur = head; !cur.isNull(); cur = Oop(cur.getRef(nextOff)))
+            sum += cur.getI64(valueOff);
+        return sum;
+    }
+
+    std::unique_ptr<EspressoRuntime> rt;
+    PjhHeap *heap = nullptr;
+    NvmDevice *device = nullptr;
+    CrashInjector injector;
+    std::uint32_t valueOff = 0, nextOff = 0;
+};
+
+/**
+ * Sweep a workload: returns the number of persistence events it
+ * produces when run to completion. For every prefix length, run the
+ * workload until the injected crash, recover, and verify.
+ */
+template <typename Workload, typename Verify>
+void
+sweepCrashes(Workload &&workload, Verify &&verify, CrashMode mode,
+             std::uint64_t seed = 1)
+{
+    for (std::uint64_t event = 1;; ++event) {
+        CrashRig rig;
+        rig.injector.arm(event);
+        bool crashed = false;
+        try {
+            workload(rig);
+        } catch (const SimulatedCrash &) {
+            crashed = true;
+        }
+        rig.injector.disarm();
+        if (!crashed) {
+            // Event ordinal beyond the workload: sweep complete.
+            // Verify the no-crash run too, then stop.
+            rig.rt->heaps().detachHeap(kHeapName);
+            PjhHeap *h = rig.rt->heaps().loadHeap(kHeapName);
+            verify(rig, h, /*crash_event=*/0);
+            ASSERT_GT(event, 1u);
+            break;
+        }
+        rig.rt->heaps().crashHeap(kHeapName, mode, seed + event);
+        PjhHeap *h = rig.rt->heaps().loadHeap(kHeapName);
+        verify(rig, h, event);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Allocation sweeps (§4.1)
+// ---------------------------------------------------------------------
+
+void
+allocationWorkload(CrashRig &rig)
+{
+    // Each step durably publishes node i, then commits it as the
+    // "last" root; the value field is flushed before publication.
+    for (int i = 1; i <= 6; ++i) {
+        Oop n = rig.pnode(i);
+        rig.heap->setRoot("last", n);
+    }
+}
+
+void
+verifyAllocationInvariants(CrashRig &rig, PjhHeap *h,
+                           std::uint64_t crash_event)
+{
+    // Heap must be fully parseable (tail repaired if torn).
+    std::size_t objects = 0;
+    ASSERT_NO_THROW(h->forEachObject([&](Oop) { ++objects; }));
+
+    // The committed root is either absent (crash before the first
+    // commit) or a well-formed Node with a committed value.
+    Oop last = h->getRoot("last");
+    if (!last.isNull()) {
+        EXPECT_EQ(last.klass()->name(), "Node");
+        std::int64_t v = last.getI64(rig.valueOff);
+        EXPECT_GE(v, 1);
+        EXPECT_LE(v, 6);
+    } else {
+        // Only acceptable very early in the workload.
+        EXPECT_TRUE(crash_event != 0);
+    }
+
+    // The repaired heap accepts new allocations.
+    Oop extra = rig.rt->pnewInstance(h, "Node");
+    extra.setI64(rig.valueOff, 777);
+    h->flushObject(extra);
+    h->setRoot("extra", extra);
+    EXPECT_EQ(h->getRoot("extra").getI64(rig.valueOff), 777);
+}
+
+TEST(PjhCrashTest, AllocationSweepConservative)
+{
+    sweepCrashes(allocationWorkload, verifyAllocationInvariants,
+                 CrashMode::kDiscardUnflushed);
+}
+
+TEST(PjhCrashTest, AllocationSweepWithCacheEviction)
+{
+    for (std::uint64_t seed : {11u, 22u, 33u}) {
+        sweepCrashes(allocationWorkload, verifyAllocationInvariants,
+                     CrashMode::kEvictRandomLines, seed);
+    }
+}
+
+// ---------------------------------------------------------------------
+// GC sweeps (§4.2 / §4.3)
+// ---------------------------------------------------------------------
+
+constexpr int kGcListLen = 24;
+constexpr std::int64_t kGcListSum =
+    static_cast<std::int64_t>(kGcListLen) * (kGcListLen - 1) / 2;
+
+void
+gcWorkload(CrashRig &rig)
+{
+    // Build a committed list interleaved with garbage so compaction
+    // moves things, *without* injection (arm only around the GC).
+    std::uint64_t target = rig.injector.armedTarget();
+    rig.injector.disarm();
+    Oop head;
+    for (int i = kGcListLen - 1; i >= 0; --i) {
+        head = rig.pnode(i, head);
+        rig.pnode(-1000 - i); // garbage neighbour
+    }
+    rig.heap->setRoot("head", head);
+    // Another root sharing structure with the list (fixup coverage).
+    rig.heap->setRoot("second", Oop(head.getRef(rig.nextOff)));
+    rig.injector.arm(target); // resets the event counter
+
+    rig.heap->collect(&rig.rt->heap());
+}
+
+void
+verifyGcInvariants(CrashRig &rig, PjhHeap *h, std::uint64_t)
+{
+    // Recovery must have completed the collection.
+    EXPECT_EQ(h->meta().gcInProgress, 0u);
+
+    // The live graph is exactly what it was before the GC.
+    Oop cur = h->getRoot("head");
+    for (int i = 0; i < kGcListLen; ++i) {
+        ASSERT_FALSE(cur.isNull()) << "list truncated at " << i;
+        EXPECT_EQ(cur.getI64(rig.valueOff), i);
+        cur = Oop(cur.getRef(rig.nextOff));
+    }
+    EXPECT_TRUE(cur.isNull());
+    EXPECT_EQ(rig.listSum(h->getRoot("second")), kGcListSum - 0);
+
+    // The heap stays collectable and usable.
+    Oop extra = rig.rt->pnewInstance(h, "Node");
+    extra.setI64(rig.valueOff, 5);
+    h->flushObject(extra);
+    h->setRoot("extra", extra);
+    h->collect(nullptr);
+    EXPECT_EQ(h->getRoot("extra").getI64(rig.valueOff), 5);
+    EXPECT_EQ(rig.listSum(h->getRoot("head")), kGcListSum);
+}
+
+TEST(PjhCrashTest, GcSweepConservative)
+{
+    sweepCrashes(gcWorkload, verifyGcInvariants,
+                 CrashMode::kDiscardUnflushed);
+}
+
+TEST(PjhCrashTest, GcSweepWithCacheEviction)
+{
+    for (std::uint64_t seed : {5u, 17u}) {
+        sweepCrashes(gcWorkload, verifyGcInvariants,
+                     CrashMode::kEvictRandomLines, seed);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Crash during recovery (double failure)
+// ---------------------------------------------------------------------
+
+TEST(PjhCrashTest, CrashDuringRecoveryIsStillRecoverable)
+{
+    // Crash the GC at a mid-compaction event, then crash recovery at
+    // every one of its own events; the third attach must always
+    // succeed with the graph intact.
+    for (std::uint64_t gc_event = 20;; gc_event += 40) {
+        CrashRig rig;
+        rig.injector.arm(gc_event);
+        bool crashed = false;
+        try {
+            gcWorkload(rig);
+        } catch (const SimulatedCrash &) {
+            crashed = true;
+        }
+        rig.injector.disarm();
+        if (!crashed)
+            break; // past the end of the GC's event stream
+
+        rig.rt->heaps().crashHeap(kHeapName);
+
+        for (std::uint64_t rec_event = 1;; ++rec_event) {
+            rig.injector.arm(rec_event);
+            PjhHeap *h = nullptr;
+            try {
+                h = rig.rt->heaps().loadHeap(kHeapName);
+            } catch (const SimulatedCrash &) {
+                rig.injector.disarm();
+                rig.rt->heaps().crashHeap(kHeapName);
+                continue;
+            }
+            rig.injector.disarm();
+            verifyGcInvariants(rig, h, rec_event);
+            break;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Crash followed by a migrated (rebased) reload
+// ---------------------------------------------------------------------
+
+TEST(PjhCrashTest, GcCrashThenMigratedReload)
+{
+    // A GC crash whose recovery happens at a *different* mapping
+    // exercises the delta-aware recovery path.
+    for (std::uint64_t event = 10; event <= 130; event += 24) {
+        CrashRig rig;
+        rig.injector.arm(event);
+        bool crashed = false;
+        try {
+            gcWorkload(rig);
+        } catch (const SimulatedCrash &) {
+            crashed = true;
+        }
+        rig.injector.disarm();
+        if (!crashed)
+            break;
+        rig.rt->heaps().crashHeap(kHeapName);
+        rig.rt->heaps().migrateHeap(kHeapName);
+        PjhHeap *h = rig.rt->heaps().loadHeap(kHeapName);
+        EXPECT_EQ(h->stats().rebases, 1u);
+        verifyGcInvariants(rig, h, event);
+    }
+}
+
+} // namespace
+} // namespace espresso

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Unit tests for the object model: Klass layout, registry and alias
+ * Klasses (including the Fig. 10 ClassCastException scenario), oop
+ * header bits and accessors, handles.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/espresso.hh"
+#include "runtime/klass_registry.hh"
+#include "runtime/oop.hh"
+#include "util/logging.hh"
+
+namespace espresso {
+namespace {
+
+KlassDef
+personDef()
+{
+    return KlassDef{
+        "Person", "",
+        {{"id", FieldType::kI64}, {"name", FieldType::kRef}},
+        false};
+}
+
+TEST(KlassTest, LayoutAndOffsets)
+{
+    KlassRegistry reg;
+    Klass *p = reg.define(personDef());
+    EXPECT_EQ(p->name(), "Person");
+    EXPECT_EQ(p->fieldOffset("id"), ObjectLayout::kHeaderSize);
+    EXPECT_EQ(p->fieldOffset("name"), ObjectLayout::kHeaderSize + 8);
+    EXPECT_EQ(p->instanceSize(), ObjectLayout::kHeaderSize + 16);
+    ASSERT_EQ(p->refOffsets().size(), 1u);
+    EXPECT_EQ(p->refOffsets()[0], ObjectLayout::kHeaderSize + 8);
+    EXPECT_THROW(p->fieldOffset("missing"), PanicError);
+}
+
+TEST(KlassTest, InheritanceFlattensFields)
+{
+    KlassRegistry reg;
+    reg.define(personDef());
+    Klass *e = reg.define(
+        {"Employee", "Person", {{"salary", FieldType::kI64}}, false});
+    EXPECT_EQ(e->fields().size(), 3u);
+    EXPECT_EQ(e->fieldOffset("id"), ObjectLayout::kHeaderSize);
+    EXPECT_EQ(e->fieldOffset("salary"), ObjectLayout::kHeaderSize + 16);
+    EXPECT_TRUE(e->isSubtypeOf(reg.find("Person")));
+    EXPECT_FALSE(reg.find("Person")->isSubtypeOf(e));
+}
+
+TEST(KlassTest, RedefinitionChecksShape)
+{
+    KlassRegistry reg;
+    reg.define(personDef());
+    EXPECT_EQ(reg.define(personDef()), reg.find("Person"));
+    KlassDef other = personDef();
+    other.fields.emplace_back("extra", FieldType::kI32);
+    EXPECT_THROW(reg.define(other), FatalError);
+}
+
+TEST(KlassTest, ArrayKlasses)
+{
+    KlassRegistry reg;
+    Klass *longs = reg.arrayOf(FieldType::kI64);
+    EXPECT_TRUE(longs->isArray());
+    EXPECT_EQ(longs->name(), "[J");
+    Klass *p = reg.define(personDef());
+    Klass *people = reg.arrayOfRefs(p);
+    EXPECT_EQ(people->name(), "[LPerson;");
+    EXPECT_EQ(people->elemKlass(), p);
+    // Same-name array klasses are canonicalized.
+    EXPECT_EQ(reg.arrayOfRefs(p), people);
+}
+
+TEST(AliasKlassTest, ResolveCreatesAliasesSharingLogicalId)
+{
+    KlassRegistry reg;
+    reg.define(personDef());
+    Klass *kv = reg.resolve("Person", MemKind::kVolatile);
+    Klass *kp = reg.resolve("Person", MemKind::kPersistent);
+    EXPECT_NE(kv, kp);
+    EXPECT_EQ(kv->logicalId(), kp->logicalId());
+    EXPECT_TRUE(kv->sameLogical(kp));
+    EXPECT_EQ(reg.physicalFor(kv, MemKind::kPersistent), kp);
+    EXPECT_EQ(reg.physicalFor(kp, MemKind::kVolatile), kv);
+}
+
+TEST(AliasKlassTest, Figure10ScenarioThrowsOnlyInStrictMode)
+{
+    // Person a = new Person(); Person b = pnew Person();
+    // (Person) a  --> ClassCastException in the stock JVM.
+    EspressoRuntime rt;
+    rt.define(personDef());
+    PjhHeap *h = rt.heaps().createHeap("fig10", 1u << 20);
+
+    Oop a = rt.newInstance("Person");
+    Oop b = rt.pnewInstance(h, "Person");
+    ASSERT_FALSE(a.isNull());
+    ASSERT_FALSE(b.isNull());
+
+    // Alias-aware checks (Espresso): both casts succeed.
+    EXPECT_NO_THROW(rt.checkCast(a, "Person"));
+    EXPECT_NO_THROW(rt.checkCast(b, "Person"));
+
+    // Stock behaviour: the constant-pool slot now holds the
+    // persistent Klass (pnew resolved last), so casting the volatile
+    // object throws.
+    rt.registry().setStrictPhysicalTypeCheck(true);
+    EXPECT_THROW(rt.checkCast(a, "Person"), ClassCastException);
+    EXPECT_NO_THROW(rt.checkCast(b, "Person"));
+}
+
+TEST(AliasKlassTest, InstanceOfIsAliasAware)
+{
+    EspressoRuntime rt;
+    rt.define(personDef());
+    rt.define({"Employee", "Person", {{"salary", FieldType::kI64}}, false});
+    PjhHeap *h = rt.heaps().createHeap("inst", 1u << 20);
+    Oop e = rt.pnewInstance(h, "Employee");
+    EXPECT_TRUE(rt.registry().instanceOf(e.klass(), "Person"));
+    EXPECT_TRUE(rt.registry().instanceOf(e.klass(), "Employee"));
+    EXPECT_FALSE(rt.registry().instanceOf(e.klass(), "[J"));
+}
+
+TEST(OopTest, HeaderBits)
+{
+    alignas(8) Word buf[4] = {0, 0, 0, 0};
+    Oop o(reinterpret_cast<Addr>(buf));
+    o.setAge(5);
+    EXPECT_EQ(o.age(), 5u);
+    o.setGcTimestamp(0xBEEF);
+    EXPECT_EQ(o.gcTimestamp(), 0xBEEF);
+    EXPECT_EQ(o.age(), 5u); // independent bit fields
+    o.setAge(6);
+    EXPECT_EQ(o.gcTimestamp(), 0xBEEF);
+    EXPECT_FALSE(o.isForwarded());
+    o.forwardTo(0x1000);
+    EXPECT_TRUE(o.isForwarded());
+    EXPECT_EQ(o.forwardee(), 0x1000u);
+}
+
+TEST(OopTest, FieldAccessors)
+{
+    EspressoRuntime rt;
+    rt.define(personDef());
+    Oop p = rt.newInstance("Person");
+    std::uint32_t id_off = rt.fieldOffset("Person", "id");
+    std::uint32_t name_off = rt.fieldOffset("Person", "name");
+
+    p.setI64(id_off, -1234567890123ll);
+    EXPECT_EQ(p.getI64(id_off), -1234567890123ll);
+    Oop s = rt.newString("mingyu");
+    p.setRef(name_off, s);
+    EXPECT_EQ(Oop(p.getRef(name_off)), s);
+    EXPECT_EQ(EspressoRuntime::readString(Oop(p.getRef(name_off))),
+              "mingyu");
+
+    p.setF64(id_off, 2.5);
+    EXPECT_DOUBLE_EQ(p.getF64(id_off), 2.5);
+    p.setBool(id_off, true);
+    EXPECT_TRUE(p.getBool(id_off));
+}
+
+TEST(OopTest, SizeForInstancesAndArrays)
+{
+    KlassRegistry reg;
+    Klass *p = reg.define(personDef());
+    EXPECT_EQ(Oop::sizeFor(p, 0), 32u);
+    Klass *bytes = reg.arrayOf(FieldType::kI8);
+    EXPECT_EQ(Oop::sizeFor(bytes, 3),
+              alignUp(ObjectLayout::kArrayHeaderSize + 3, 8));
+    Klass *longs = reg.arrayOf(FieldType::kI64);
+    EXPECT_EQ(Oop::sizeFor(longs, 4),
+              ObjectLayout::kArrayHeaderSize + 32);
+}
+
+TEST(HandlesTest, CreateReleaseRecycle)
+{
+    HandleRegistry reg;
+    Handle a = reg.create(Oop(0x10));
+    Handle b = reg.create(Oop(0x20));
+    EXPECT_EQ(reg.liveCount(), 2u);
+    EXPECT_EQ(a.get().addr(), 0x10u);
+    a.set(Oop(0x30));
+    EXPECT_EQ(a.get().addr(), 0x30u);
+    reg.release(a);
+    EXPECT_EQ(reg.liveCount(), 1u);
+    Handle c = reg.create(Oop(0x40)); // recycles a's slot
+    EXPECT_EQ(reg.liveCount(), 2u);
+    EXPECT_EQ(c.get().addr(), 0x40u);
+    std::size_t visited = 0;
+    reg.forEachSlot([&](Addr) { ++visited; });
+    EXPECT_EQ(visited, 2u);
+    (void)b;
+}
+
+TEST(ValueTest, ElementSizesAndNames)
+{
+    EXPECT_EQ(elementSize(FieldType::kRef), 8u);
+    EXPECT_EQ(elementSize(FieldType::kI32), 4u);
+    EXPECT_EQ(elementSize(FieldType::kChar), 2u);
+    EXPECT_EQ(elementSize(FieldType::kBool), 1u);
+    EXPECT_STREQ(fieldTypeName(FieldType::kF64), "f64");
+    EXPECT_EQ(fieldTypeCode(FieldType::kI64), 'J');
+}
+
+} // namespace
+} // namespace espresso
