@@ -39,7 +39,7 @@ collectOnce(std::size_t region_size, std::uint64_t flush_ns,
     PjhHeap *heap = rt.heaps().createHeap("abl", pjh);
 
     std::uint32_t next_off = rt.fieldOffset("Blob", "next");
-    constexpr int kObjects = 300000;
+    const int kObjects = bench::opsFromEnv(300000);
     Oop kept;
     int keep_every =
         garbage_ratio >= 1.0

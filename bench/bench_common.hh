@@ -15,6 +15,7 @@
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -22,6 +23,23 @@
 
 namespace espresso {
 namespace bench {
+
+/**
+ * Per-figure work amount. ESPRESSO_BENCH_OPS overrides the default —
+ * the `bench-smoke` target sets it to a tiny count so CI can prove
+ * every figure binary still runs end to end without paying full
+ * benchmark time.
+ */
+inline int
+opsFromEnv(int default_ops)
+{
+    if (const char *s = std::getenv("ESPRESSO_BENCH_OPS")) {
+        int v = std::atoi(s);
+        if (v > 0)
+            return v;
+    }
+    return default_ops;
+}
 
 inline std::uint64_t
 nowNs()

@@ -42,7 +42,7 @@ main()
     PhaseTimer timer;
     em.setPhaseTimer(&timer);
 
-    constexpr int kN = 20000;
+    const int kN = bench::opsFromEnv(20000);
     std::uint64_t create_ns = bench::timeNs(
         [&] { runJpabOp(em, JpabModel::kBasic, JpabOp::kCreate, kN); });
     std::uint64_t retrieve_ns = bench::timeNs(

@@ -24,7 +24,7 @@ main()
         "creates).\nPaper shape: Data ~1.8%, Metadata ~36.8%, GC "
         "~14.8%, rest transaction/allocation/other.");
 
-    constexpr int kCreates = 200000;
+    const int kCreates = bench::opsFromEnv(200000);
 
     PcjConfig cfg;
     cfg.dataSize = static_cast<std::size_t>(kCreates) * 176 + (4u << 20);

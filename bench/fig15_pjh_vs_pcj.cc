@@ -23,7 +23,7 @@ using namespace espresso;
 
 namespace {
 
-constexpr int kOps = 10000;
+const int kOps = bench::opsFromEnv(10000);
 
 struct Cell
 {
@@ -112,11 +112,11 @@ main()
 
         std::uint64_t g1 = bench::timeNs([&] {
             for (int i = 0; i < kOps; ++i)
-                sink += pjh_boxes[i].get();
+                sink = sink + pjh_boxes[i].get();
         });
         std::uint64_t g2 = bench::timeNs([&] {
             for (int i = 0; i < kOps; ++i)
-                sink += pcj_boxes[i].longValue();
+                sink = sink + pcj_boxes[i].longValue();
         });
         add("Primitive", "Get", g1, g2);
     }
@@ -153,11 +153,11 @@ main()
 
         std::uint64_t g1 = bench::timeNs([&] {
             for (int i = 0; i < kOps; ++i)
-                sink += pjh_tuples[i].get(i % 3).addr();
+                sink = sink + pjh_tuples[i].get(i % 3).addr();
         });
         std::uint64_t g2 = bench::timeNs([&] {
             for (int i = 0; i < kOps; ++i)
-                sink += static_cast<std::int64_t>(
+                sink = sink + static_cast<std::int64_t>(
                     pcj_tuples[i].get(i % 3));
         });
         add("Tuple", "Get", g1, g2);
@@ -168,7 +168,7 @@ main()
         PBox pjh_val = PBox::create(heap, 7);
         pcj::PersistentLong pcj_val =
             pcj::PersistentLong::create(&prt, 7);
-        constexpr int kArrays = kOps / 64;
+        const int kArrays = kOps >= 64 ? kOps / 64 : 1;
 
         std::vector<PGenericArray> pjh_arrays;
         std::uint64_t c1 = bench::timeNs([&] {
@@ -195,11 +195,11 @@ main()
 
         std::uint64_t g1 = bench::timeNs([&] {
             for (int i = 0; i < kOps; ++i)
-                sink += pjh_arrays[i % kArrays].get(i % 64).addr();
+                sink = sink + pjh_arrays[i % kArrays].get(i % 64).addr();
         });
         std::uint64_t g2 = bench::timeNs([&] {
             for (int i = 0; i < kOps; ++i)
-                sink += static_cast<std::int64_t>(
+                sink = sink + static_cast<std::int64_t>(
                     pcj_arrays[i % kArrays].get(i % 64));
         });
         add("Generic", "Get", g1, g2);
@@ -236,11 +236,11 @@ main()
 
         std::uint64_t g1 = bench::timeNs([&] {
             for (int i = 0; i < kOps; ++i)
-                sink += pjh_list.get(i).addr();
+                sink = sink + pjh_list.get(i).addr();
         });
         std::uint64_t g2 = bench::timeNs([&] {
             for (int i = 0; i < kOps; ++i)
-                sink += static_cast<std::int64_t>(pcj_list.get(i));
+                sink = sink + static_cast<std::int64_t>(pcj_list.get(i));
         });
         add("ArrayList", "Get", g1, g2);
     }
@@ -276,11 +276,11 @@ main()
 
         std::uint64_t g1 = bench::timeNs([&] {
             for (int i = 0; i < kOps; ++i)
-                sink += pjh_map.get(i).addr();
+                sink = sink + pjh_map.get(i).addr();
         });
         std::uint64_t g2 = bench::timeNs([&] {
             for (int i = 0; i < kOps; ++i)
-                sink += static_cast<std::int64_t>(pcj_map.get(i));
+                sink = sink + static_cast<std::int64_t>(pcj_map.get(i));
         });
         add("Hashmap", "Get", g1, g2);
     }

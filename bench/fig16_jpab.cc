@@ -19,7 +19,7 @@ using namespace espresso::orm;
 
 namespace {
 
-constexpr int kEntities = 8000;
+const int kEntities = bench::opsFromEnv(8000);
 
 struct Rig
 {

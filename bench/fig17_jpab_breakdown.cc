@@ -19,7 +19,7 @@ using namespace espresso;
 using namespace espresso::orm;
 
 namespace {
-constexpr int kEntities = 12000;
+const int kEntities = bench::opsFromEnv(12000);
 } // namespace
 
 int

@@ -10,6 +10,8 @@
  * ~72.76 ms for zeroing — trivial next to JVM warm-up.
  */
 
+#include <algorithm>
+
 #include "bench/bench_common.hh"
 #include "core/espresso.hh"
 
@@ -30,8 +32,12 @@ main()
     std::printf("%12s %16s %16s\n", "objects", "UG load (ms)",
                 "Zeroing load (ms)");
 
+    // ESPRESSO_BENCH_OPS (bench-smoke) caps the per-point object count.
+    const std::size_t max_objects =
+        static_cast<std::size_t>(bench::opsFromEnv(2000000));
     for (int millions = 2; millions <= 20; millions += 3) {
-        std::size_t objects = millions * 100000ull;
+        std::size_t objects =
+            std::min<std::size_t>(millions * 100000ull, max_objects);
         EspressoRuntime rt;
         for (int k = 0; k < kKlasses; ++k) {
             rt.define({"Load" + std::to_string(k),

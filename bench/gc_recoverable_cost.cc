@@ -39,9 +39,11 @@ runOnce(bool flushes_enabled, std::uint64_t *flushed_lines)
     pjh.dataSize = 256u << 20;
     PjhHeap *heap = rt.heaps().createHeap("gcbench", pjh);
 
-    // ~192 MiB of 64-byte objects; every 4th chain is kept.
-    constexpr int kChains = 512;
+    // ~192 MiB of 64-byte objects; every 4th chain is kept. The env
+    // knob scales total allocations linearly via the chain count.
     constexpr int kPerChain = 6000;
+    const int kChains =
+        std::max(1, bench::opsFromEnv(512 * kPerChain) / kPerChain);
     std::uint32_t next_off = rt.fieldOffset("Blob", "next");
     for (int c = 0; c < kChains; ++c) {
         Oop head;

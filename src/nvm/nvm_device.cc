@@ -21,9 +21,9 @@ spinFor(std::uint64_t ns)
         // Sub-50ns delays are below the clock-read floor of a timed
         // spin; approximate with a calibrated arithmetic loop
         // (~1ns/iteration on current hardware).
-        for (volatile std::uint64_t i = 0; i < ns; ++i) {
-            // spin
-        }
+        volatile std::uint64_t sink = 0;
+        for (std::uint64_t i = 0; i < ns; ++i)
+            sink = sink + 1;
         return;
     }
     spinForNs(ns);

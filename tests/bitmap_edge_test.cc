@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Edge-case tests for util/bitmap and heap/mark_bitmap: exact
+ * 64-bit word boundaries for set/clear/range/scan, zero-length
+ * maps, and the live-bits size reconstruction the PJH recovery
+ * path depends on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "heap/mark_bitmap.hh"
+#include "util/bitmap.hh"
+#include "util/common.hh"
+
+namespace espresso {
+namespace {
+
+// ---------------------------------------------------------------------
+// BitmapView / OwnedBitmap
+// ---------------------------------------------------------------------
+
+TEST(BitmapEdgeTest, SizingAtWordBoundaries)
+{
+    EXPECT_EQ(BitmapView::wordsFor(0), 0u);
+    EXPECT_EQ(BitmapView::wordsFor(1), 1u);
+    EXPECT_EQ(BitmapView::wordsFor(64), 1u);
+    EXPECT_EQ(BitmapView::wordsFor(65), 2u);
+    EXPECT_EQ(BitmapView::wordsFor(128), 2u);
+    EXPECT_EQ(BitmapView::bytesFor(0), 0u);
+    EXPECT_EQ(BitmapView::bytesFor(64), 8u);
+    EXPECT_EQ(BitmapView::bytesFor(65), 16u);
+}
+
+TEST(BitmapEdgeTest, ZeroLengthMapIsInert)
+{
+    OwnedBitmap bm(0);
+    EXPECT_EQ(bm.numBits(), 0u);
+    EXPECT_EQ(bm.sizeBytes(), 0u);
+    EXPECT_EQ(bm.popcount(0, 0), 0u);
+    EXPECT_EQ(bm.findNextSet(0, 0), 0u);
+    bm.setRange(0, 0); // empty range on an empty map: no-op
+    bm.clearAll();
+}
+
+TEST(BitmapEdgeTest, EmptyRangesAreNoOps)
+{
+    OwnedBitmap bm(256);
+    bm.setRange(100, 100);
+    EXPECT_EQ(bm.popcount(0, 256), 0u);
+    bm.setRange(0, 256);
+    EXPECT_EQ(bm.popcount(64, 64), 0u);
+    EXPECT_EQ(bm.popcount(255, 255), 0u);
+}
+
+TEST(BitmapEdgeTest, SetClearAtEveryWordBoundaryBit)
+{
+    OwnedBitmap bm(256);
+    // The four interesting positions around each boundary.
+    for (std::size_t bit : {0u, 63u, 64u, 127u, 128u, 191u, 192u, 255u}) {
+        bm.set(bit);
+        EXPECT_TRUE(bm.test(bit)) << bit;
+    }
+    EXPECT_EQ(bm.popcount(0, 256), 8u);
+    // Neighbours of the set bits stay clear (no smear across words).
+    for (std::size_t bit : {1u, 62u, 65u, 126u, 129u, 190u, 193u, 254u})
+        EXPECT_FALSE(bm.test(bit)) << bit;
+    for (std::size_t bit : {63u, 64u, 191u, 192u})
+        bm.clear(bit);
+    EXPECT_EQ(bm.popcount(0, 256), 4u);
+}
+
+TEST(BitmapEdgeTest, SetRangeStraddlingWordBoundaries)
+{
+    // Ranges that start/end exactly on, one before, and one after a
+    // word boundary, including a full middle word.
+    struct Case
+    {
+        std::size_t begin, end;
+    };
+    for (const Case &c : std::vector<Case>{{63, 65},
+                                           {64, 128},
+                                           {63, 129},
+                                           {1, 64},
+                                           {0, 192},
+                                           {65, 191}}) {
+        OwnedBitmap bm(256);
+        bm.setRange(c.begin, c.end);
+        EXPECT_EQ(bm.popcount(0, 256), c.end - c.begin)
+            << c.begin << ".." << c.end;
+        EXPECT_EQ(bm.findNextSet(0, 256), c.begin);
+        if (c.begin > 0) {
+            EXPECT_FALSE(bm.test(c.begin - 1));
+        }
+        EXPECT_TRUE(bm.test(c.end - 1));
+        if (c.end < 256) {
+            EXPECT_FALSE(bm.test(c.end));
+        }
+    }
+}
+
+TEST(BitmapEdgeTest, PopcountSubrangesAcrossWords)
+{
+    OwnedBitmap bm(320);
+    bm.setRange(60, 260);
+    EXPECT_EQ(bm.popcount(60, 260), 200u);
+    EXPECT_EQ(bm.popcount(64, 256), 192u); // word-aligned interior
+    EXPECT_EQ(bm.popcount(63, 65), 2u);    // straddles one boundary
+    EXPECT_EQ(bm.popcount(0, 60), 0u);
+    EXPECT_EQ(bm.popcount(260, 320), 0u);
+    EXPECT_EQ(bm.popcount(128, 192), 64u); // one full word
+}
+
+TEST(BitmapEdgeTest, FindNextSetFromWordBoundaries)
+{
+    OwnedBitmap bm(256);
+    bm.set(64);
+    bm.set(128);
+    EXPECT_EQ(bm.findNextSet(0, 256), 64u);
+    EXPECT_EQ(bm.findNextSet(64, 256), 64u);  // from == the set bit
+    EXPECT_EQ(bm.findNextSet(65, 256), 128u); // skip a whole empty tail
+    EXPECT_EQ(bm.findNextSet(129, 256), 256u);
+    EXPECT_EQ(bm.findNextSet(0, 64), 64u);  // limit excludes the hit
+    EXPECT_EQ(bm.findNextSet(64, 64), 64u); // empty window
+}
+
+TEST(BitmapEdgeTest, LastBitOfLastPartialWord)
+{
+    OwnedBitmap bm(65); // one full word + a 1-bit tail
+    bm.set(64);
+    EXPECT_TRUE(bm.test(64));
+    EXPECT_EQ(bm.popcount(0, 65), 1u);
+    EXPECT_EQ(bm.findNextSet(0, 65), 64u);
+    bm.clear(64);
+    EXPECT_EQ(bm.popcount(0, 65), 0u);
+}
+
+// ---------------------------------------------------------------------
+// MarkBitmap
+// ---------------------------------------------------------------------
+
+/** A MarkBitmap over a fake address range with owned backing words. */
+struct MarkRig
+{
+    explicit MarkRig(std::size_t covered_bytes)
+        : start(BitmapView::wordsFor(MarkBitmap::bitsFor(covered_bytes)), 0),
+          live(start.size(), 0),
+          bm(kBase, covered_bytes, start.data(), live.data())
+    {}
+
+    static constexpr Addr kBase = 0x10000;
+
+    std::vector<Word> start, live;
+    MarkBitmap bm;
+};
+
+TEST(MarkBitmapEdgeTest, StorageSizing)
+{
+    EXPECT_EQ(MarkBitmap::bitsFor(0), 0u);
+    EXPECT_EQ(MarkBitmap::storageBytesFor(0), 0u);
+    // 512 covered bytes = 64 granules = exactly one backing word.
+    EXPECT_EQ(MarkBitmap::bitsFor(512), 64u);
+    EXPECT_EQ(MarkBitmap::storageBytesFor(512), 8u);
+    EXPECT_EQ(MarkBitmap::storageBytesFor(520), 16u);
+}
+
+TEST(MarkBitmapEdgeTest, MarkAndScanAtCoverageEdges)
+{
+    MarkRig rig(1024);
+    const Addr base = MarkRig::kBase;
+
+    // First granule, a middle object straddling the bit-word boundary
+    // (granules 62..65), and the very last granules of the range.
+    rig.bm.markObject(base, 16);
+    rig.bm.markObject(base + 62 * 8, 32);
+    rig.bm.markObject(base + 1024 - 8, 8);
+
+    EXPECT_TRUE(rig.bm.isMarked(base));
+    EXPECT_TRUE(rig.bm.isMarked(base + 62 * 8));
+    EXPECT_TRUE(rig.bm.isMarked(base + 1024 - 8));
+    EXPECT_FALSE(rig.bm.isMarked(base + 16));
+
+    EXPECT_EQ(rig.bm.nextMarkedObject(base, base + 1024), base);
+    EXPECT_EQ(rig.bm.nextMarkedObject(base + 8, base + 1024),
+              base + 62 * 8);
+    EXPECT_EQ(rig.bm.nextMarkedObject(base + 63 * 8, base + 1024),
+              base + 1024 - 8);
+    EXPECT_EQ(rig.bm.nextMarkedObject(base + 1024 - 8 + 8, base + 1024),
+              kNullAddr);
+}
+
+TEST(MarkBitmapEdgeTest, LiveSizeReconstruction)
+{
+    MarkRig rig(1024);
+    const Addr base = MarkRig::kBase;
+
+    // Adjacent objects: live bits are contiguous across them, so the
+    // size of each must stop at the next start bit, not at the first
+    // clear live bit.
+    rig.bm.markObject(base + 496, 16); // granules 62,63
+    rig.bm.markObject(base + 512, 24); // granules 64,65,66
+    EXPECT_EQ(rig.bm.liveSizeAt(base + 496), 16u);
+    EXPECT_EQ(rig.bm.liveSizeAt(base + 512), 24u);
+
+    // An isolated object's size ends at the first clear live bit.
+    rig.bm.markObject(base + 800, 40);
+    EXPECT_EQ(rig.bm.liveSizeAt(base + 800), 40u);
+
+    EXPECT_EQ(rig.bm.liveBytesInRange(base, base + 1024), 16u + 24u + 40u);
+    EXPECT_EQ(rig.bm.liveBytesInRange(base + 496, base + 536), 40u);
+}
+
+TEST(MarkBitmapEdgeTest, ClearAllResetsBothVectors)
+{
+    MarkRig rig(512);
+    rig.bm.markObject(MarkRig::kBase, 64);
+    EXPECT_TRUE(rig.bm.isMarked(MarkRig::kBase));
+    EXPECT_GT(rig.bm.liveBytesInRange(MarkRig::kBase, MarkRig::kBase + 512),
+              0u);
+    rig.bm.clearAll();
+    EXPECT_FALSE(rig.bm.isMarked(MarkRig::kBase));
+    EXPECT_EQ(rig.bm.liveBytesInRange(MarkRig::kBase, MarkRig::kBase + 512),
+              0u);
+    EXPECT_EQ(rig.bm.nextMarkedObject(MarkRig::kBase, MarkRig::kBase + 512),
+              kNullAddr);
+}
+
+} // namespace
+} // namespace espresso
