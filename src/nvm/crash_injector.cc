@@ -5,9 +5,9 @@ namespace espresso {
 void
 CrashInjector::arm(std::uint64_t fire_at_event)
 {
-    armed_ = true;
     target_ = fire_at_event;
     count_ = 0;
+    armed_ = true;
 }
 
 void
@@ -25,9 +25,11 @@ CrashInjector::resetCount()
 void
 CrashInjector::onEvent()
 {
-    ++count_;
-    if (armed_ && count_ == target_)
+    std::uint64_t n = count_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (armed_.load(std::memory_order_relaxed) &&
+        n >= target_.load(std::memory_order_relaxed)) {
         throw SimulatedCrash();
+    }
 }
 
 } // namespace espresso

@@ -14,6 +14,7 @@
 #ifndef ESPRESSO_NVM_CRASH_INJECTOR_HH
 #define ESPRESSO_NVM_CRASH_INJECTOR_HH
 
+#include <atomic>
 #include <cstdint>
 #include <exception>
 
@@ -46,19 +47,25 @@ class CrashInjector
     /** Reset the event counter without changing armed state. */
     void resetCount();
 
-    /** Record one persistence event; throws when the armed one hits. */
+    /**
+     * Record one persistence event; throws once the armed ordinal is
+     * reached. Thread-safe: concurrent events take unique ordinals,
+     * and every event at or past the target throws, so after one
+     * thread "loses power" every other thread dies at its own next
+     * persistence point instead of racing on.
+     */
     void onEvent();
 
-    std::uint64_t eventCount() const { return count_; }
-    bool armed() const { return armed_; }
+    std::uint64_t eventCount() const { return count_.load(); }
+    bool armed() const { return armed_.load(); }
 
     /** The most recently armed target (valid even after disarm). */
-    std::uint64_t armedTarget() const { return target_; }
+    std::uint64_t armedTarget() const { return target_.load(); }
 
   private:
-    std::uint64_t count_ = 0;
-    std::uint64_t target_ = 0;
-    bool armed_ = false;
+    std::atomic<std::uint64_t> count_{0};
+    std::atomic<std::uint64_t> target_{0};
+    std::atomic<bool> armed_{false};
 };
 
 } // namespace espresso

@@ -3,6 +3,7 @@
 #include <chrono>
 #include <cstring>
 #include <fstream>
+#include <unordered_map>
 
 #include "util/logging.hh"
 #include "util/rng.hh"
@@ -11,6 +12,8 @@
 namespace espresso {
 
 namespace {
+
+std::atomic<std::uint64_t> g_deviceSerial{1};
 
 void
 spinFor(std::uint64_t ns)
@@ -33,10 +36,36 @@ spinFor(std::uint64_t ns)
 
 NvmDevice::NvmDevice(std::size_t size, NvmConfig cfg)
     : size_(alignUp(size, kCacheLineSize)), cfg_(cfg),
-      working_(size_, 0), durable_(size_, 0)
+      working_(size_, 0), durable_(size_, 0),
+      serial_(g_deviceSerial.fetch_add(1, std::memory_order_relaxed))
 {
     if (size == 0)
         fatal("NvmDevice: zero-sized device");
+}
+
+NvmDevice::StagingShard &
+NvmDevice::localShard()
+{
+    // Per-thread cache: device serial -> this thread's shard.
+    // Serials are never reused, so stale entries for destroyed
+    // devices are dead weight, never dangling lookups.
+    thread_local std::unordered_map<std::uint64_t, StagingShard *> cache;
+    StagingShard *&slot = cache[serial_];
+    if (!slot) {
+        auto shard = std::make_unique<StagingShard>();
+        slot = shard.get();
+        std::lock_guard<std::mutex> g(shardMu_);
+        shards_.push_back(std::move(shard));
+    }
+    return *slot;
+}
+
+void
+NvmDevice::clearAllShards()
+{
+    std::lock_guard<std::mutex> g(shardMu_);
+    for (auto &shard : shards_)
+        shard->staged.clear();
 }
 
 void
@@ -53,13 +82,14 @@ NvmDevice::flush(Addr addr, std::size_t len)
     if (off >= size_ || off + len > size_)
         panic("NvmDevice::flush out of range");
 
+    std::vector<std::size_t> &staged = localShard().staged;
     std::size_t first = alignDown(off, kCacheLineSize);
     std::size_t last = alignUp(off + len, kCacheLineSize);
-    ++stats_.flushCalls;
+    stats_.flushCalls.fetch_add(1, std::memory_order_relaxed);
     for (std::size_t line = first; line < last; line += kCacheLineSize) {
-        if (staged_.empty() || staged_.back() != line)
-            staged_.push_back(line);
-        ++stats_.linesFlushed;
+        if (staged.empty() || staged.back() != line)
+            staged.push_back(line);
+        stats_.linesFlushed.fetch_add(1, std::memory_order_relaxed);
         spinFor(cfg_.flushLatencyNs);
     }
 }
@@ -71,10 +101,17 @@ NvmDevice::fence()
         return;
     if (injector_)
         injector_->onEvent();
-    ++stats_.fences;
-    for (std::size_t line : staged_)
-        commitLine(line);
-    staged_.clear();
+    stats_.fences.fetch_add(1, std::memory_order_relaxed);
+    std::vector<std::size_t> &staged = localShard().staged;
+    if (!staged.empty()) {
+        // Two threads may stage the same line (adjacent metadata
+        // words); serialize the line copies so the durable image
+        // never sees a half-merged line.
+        std::lock_guard<std::mutex> g(commitMu_);
+        for (std::size_t line : staged)
+            commitLine(line);
+    }
+    staged.clear();
     spinFor(cfg_.fenceLatencyNs);
 }
 
@@ -88,7 +125,7 @@ NvmDevice::commitLine(std::size_t line_off)
 void
 NvmDevice::crash(CrashMode mode, std::uint64_t seed)
 {
-    staged_.clear();
+    clearAllShards();
     if (mode == CrashMode::kEvictRandomLines) {
         // Each dirty-but-unfenced line may have been evicted to the
         // DIMM before power was lost.
@@ -107,7 +144,7 @@ NvmDevice::crash(CrashMode mode, std::uint64_t seed)
 void
 NvmDevice::shutdownClean()
 {
-    staged_.clear();
+    clearAllShards();
     std::memcpy(durable_.data(), working_.data(), size_);
 }
 
@@ -133,7 +170,7 @@ NvmDevice::loadDurable(const std::string &path)
             static_cast<std::streamsize>(size_));
     if (in.gcount() != static_cast<std::streamsize>(size_))
         fatal("NvmDevice: short read from " + path);
-    staged_.clear();
+    clearAllShards();
     std::memcpy(working_.data(), durable_.data(), size_);
 }
 

@@ -22,8 +22,10 @@
 #ifndef ESPRESSO_NVM_NVM_DEVICE_HH
 #define ESPRESSO_NVM_NVM_DEVICE_HH
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -63,12 +65,13 @@ enum class CrashMode
     kEvictRandomLines,
 };
 
-/** Persistence-event statistics. */
+/** Persistence-event statistics (atomic: flush/fence run
+ * concurrently from allocating threads). */
 struct NvmStats
 {
-    std::uint64_t flushCalls = 0;
-    std::uint64_t linesFlushed = 0;
-    std::uint64_t fences = 0;
+    std::atomic<std::uint64_t> flushCalls{0};
+    std::atomic<std::uint64_t> linesFlushed{0};
+    std::atomic<std::uint64_t> fences{0};
 };
 
 /** An emulated NVM DIMM. */
@@ -116,11 +119,14 @@ class NvmDevice
 
     /**
      * Stage the cache lines covering [addr, addr+len) for durability
-     * (clwb). Durable only after the next fence().
+     * (clwb). Durable only after the next fence(). Staging is
+     * per-thread (as clwb/sfence order a single core's stores), so
+     * concurrent flushes never contend.
      */
     void flush(Addr addr, std::size_t len);
 
-    /** Commit all staged lines to the durable image (sfence). */
+    /** Commit the calling thread's staged lines to the durable image
+     * (sfence). */
     void fence();
 
     /** flush + fence convenience for a single datum. */
@@ -146,22 +152,51 @@ class NvmDevice
     void loadDurable(const std::string &path);
 
     const NvmStats &stats() const { return stats_; }
-    void resetStats() { stats_ = NvmStats(); }
+
+    void
+    resetStats()
+    {
+        stats_.flushCalls = 0;
+        stats_.linesFlushed = 0;
+        stats_.fences = 0;
+    }
 
     /** Fault injection hook; null disables injection. */
     void setInjector(CrashInjector *injector) { injector_ = injector; }
     CrashInjector *injector() { return injector_; }
 
   private:
+    /** One thread's staged line offsets; duplicates are harmless
+     * (the commit is an idempotent copy), so a vector beats a hash
+     * set here. */
+    struct StagingShard
+    {
+        std::vector<std::size_t> staged;
+    };
+
     void commitLine(std::size_t line_off);
+
+    /** The calling thread's shard for this device (registered on
+     * first use). */
+    StagingShard &localShard();
+
+    /** Drop every thread's staged lines (crash / clean shutdown /
+     * image load — callers are quiesced by contract). */
+    void clearAllShards();
 
     std::size_t size_;
     NvmConfig cfg_;
     std::vector<std::uint8_t> working_;
     std::vector<std::uint8_t> durable_;
-    /** Staged line offsets; duplicates are harmless (the commit is
-     * an idempotent copy), so a vector beats a hash set here. */
-    std::vector<std::size_t> staged_;
+    /** Device identity for the thread-local shard cache; never
+     * reused across devices. */
+    std::uint64_t serial_;
+    /** All shards ever handed out, one per touching thread. */
+    std::vector<std::unique_ptr<StagingShard>> shards_;
+    std::mutex shardMu_;
+    /** Serializes durable-image commits: two threads may legally
+     * fence lines from the same metadata cache line. */
+    std::mutex commitMu_;
     NvmStats stats_;
     CrashInjector *injector_ = nullptr;
 };

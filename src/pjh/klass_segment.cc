@@ -80,6 +80,7 @@ KlassSegment::KlassSegment(NvmDevice *device, Addr base, std::size_t size,
 Addr
 KlassSegment::imageFor(const Klass *k) const
 {
+    std::lock_guard<std::recursive_mutex> g(*mu_);
     auto it = imageByLogicalId_.find(k->logicalId());
     return it == imageByLogicalId_.end() ? kNullAddr : it->second;
 }
@@ -98,6 +99,7 @@ KlassSegment::imageCount() const
 Addr
 KlassSegment::ensureImage(const Klass *k, KlassRegistry &registry)
 {
+    std::lock_guard<std::recursive_mutex> g(*mu_);
     if (Addr cached = imageFor(k))
         return cached;
 
@@ -202,8 +204,14 @@ KlassSegment::bindImage(Addr image_addr, KlassRegistry &registry)
             }
             persistent_k =
                 registry.arrayOfRefs(elem, MemKind::kPersistent);
-        } else {
+        } else if (name == std::string("[") + fieldTypeCode(et)) {
             persistent_k = registry.arrayOf(et, MemKind::kPersistent);
+        } else {
+            // A non-canonically named primitive array (the PJH's
+            // filler-array class): bind it to its own logical id so
+            // it never shadows the canonical class's image.
+            persistent_k =
+                registry.arrayOfNamed(name, et, MemKind::kPersistent);
         }
     } else {
         // Rebuild the class definition from the image; inherited
@@ -238,6 +246,7 @@ KlassSegment::bindImage(Addr image_addr, KlassRegistry &registry)
 void
 KlassSegment::bindAll(KlassRegistry &registry)
 {
+    std::lock_guard<std::recursive_mutex> g(*mu_);
     names_->forEach([this, &registry](NameEntry &e) {
         if (e.kind == static_cast<Word>(NameKind::kKlass))
             bindImage(base_ + e.value, registry);

@@ -23,6 +23,8 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 
 #include "pjh/name_table.hh"
@@ -141,7 +143,8 @@ class KlassSegment
     /**
      * Return the image address for logical class @p k, writing and
      * publishing a new image (crash-consistently) on first use.
-     * @p k may be any physical alias.
+     * @p k may be any physical alias. Thread-safe: concurrent calls
+     * for the same class publish exactly one image.
      */
     Addr ensureImage(const Klass *k, KlassRegistry &registry);
 
@@ -178,6 +181,11 @@ class KlassSegment
     PjhMetadata *meta_ = nullptr;
     NameTable *names_ = nullptr;
     std::map<std::uint32_t, Addr> imageByLogicalId_;
+    /** Serializes image creation/binding and the cache map; writeImage
+     * recurses into supers, hence recursive. unique_ptr keeps the
+     * segment move-assignable (setupViews rebuilds it). */
+    std::unique_ptr<std::recursive_mutex> mu_ =
+        std::make_unique<std::recursive_mutex>();
 };
 
 } // namespace espresso

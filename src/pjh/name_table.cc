@@ -7,8 +7,27 @@
 
 namespace espresso {
 
+namespace {
+
+inline Word
+loadState(const NameEntry &e)
+{
+    return std::atomic_ref<Word>(const_cast<Word &>(e.state))
+        .load(std::memory_order_acquire);
+}
+
+inline void
+publishState(NameEntry &e, Word state)
+{
+    std::atomic_ref<Word>(e.state).store(state,
+                                         std::memory_order_release);
+}
+
+} // namespace
+
 NameTable::NameTable(NvmDevice *device, Addr base, std::size_t capacity)
-    : device_(device), base_(base), capacity_(capacity)
+    : device_(device), base_(base), capacity_(capacity),
+      locks_(std::make_unique<SpinLock[]>(kStripes))
 {}
 
 std::size_t
@@ -27,19 +46,66 @@ NameEntry *
 NameTable::find(const std::string &name, NameKind kind) const
 {
     if (name.size() > NameEntry::kMaxName)
-        fatal("name table: name too long: " + name);
+        return nullptr; // cannot be stored, so cannot be present
     std::size_t start = hashName(name) % capacity_;
     for (std::size_t i = 0; i < capacity_; ++i) {
         NameEntry &e = entries()[(start + i) % capacity_];
-        if (e.state == NameEntry::kEmpty)
+        Word state = loadState(e);
+        if (state == NameEntry::kEmpty)
             return nullptr;
-        if (e.state == NameEntry::kValid &&
+        if (state == NameEntry::kValid &&
             e.kind == static_cast<Word>(kind) &&
             std::strncmp(e.name, name.c_str(), NameEntry::kMaxName) == 0) {
             return &e;
         }
     }
     return nullptr;
+}
+
+bool
+NameTable::probeAndClaim(const std::string &name, NameKind kind,
+                         Word value, bool update_existing)
+{
+    std::size_t start = hashName(name) % capacity_;
+    for (std::size_t i = 0; i < capacity_; ++i) {
+        std::size_t idx = (start + i) % capacity_;
+        NameEntry &e = entries()[idx];
+        Word state = loadState(e);
+        if (state == NameEntry::kValid) {
+            if (e.kind == static_cast<Word>(kind) &&
+                std::strncmp(e.name, name.c_str(),
+                             NameEntry::kMaxName) == 0) {
+                if (!update_existing)
+                    return false;
+                updateValue(&e, value);
+                return true;
+            }
+            continue;
+        }
+        // Empty under the acquire load: claim it under its stripe
+        // lock. A racing claimer may beat us — re-examine the same
+        // bucket as valid in that case (no empty bucket is ever
+        // skipped, which is what makes duplicate detection sound).
+        SpinGuard g(stripeFor(idx));
+        if (loadState(e) != NameEntry::kEmpty) {
+            --i;
+            continue;
+        }
+        // Crash-consistent publication: payload first, then the
+        // state word; a crash in between leaves an ignorable slot.
+        e.kind = static_cast<Word>(kind);
+        std::atomic_ref<Word>(e.value).store(value,
+                                             std::memory_order_relaxed);
+        e.reserved = 0;
+        std::memset(e.name, 0, sizeof(e.name));
+        std::memcpy(e.name, name.c_str(), name.size());
+        device_->persist(reinterpret_cast<Addr>(&e), sizeof(NameEntry));
+
+        publishState(e, NameEntry::kValid);
+        device_->persist(reinterpret_cast<Addr>(&e.state), sizeof(Word));
+        return true;
+    }
+    fatal("name table: full (capacity " + std::to_string(capacity_) + ")");
 }
 
 void
@@ -49,35 +115,25 @@ NameTable::insert(const std::string &name, NameKind kind, Word value)
         fatal("name table: empty name");
     if (name.size() > NameEntry::kMaxName)
         fatal("name table: name too long: " + name);
-    if (find(name, kind))
+    if (!probeAndClaim(name, kind, value, /*update_existing=*/false))
         fatal("name table: duplicate name: " + name);
+}
 
-    std::size_t start = hashName(name) % capacity_;
-    for (std::size_t i = 0; i < capacity_; ++i) {
-        NameEntry &e = entries()[(start + i) % capacity_];
-        if (e.state != NameEntry::kEmpty)
-            continue;
-
-        // Crash-consistent publication: payload first, then the
-        // state word; a crash in between leaves an ignorable slot.
-        e.kind = static_cast<Word>(kind);
-        e.value = value;
-        e.reserved = 0;
-        std::memset(e.name, 0, sizeof(e.name));
-        std::memcpy(e.name, name.c_str(), name.size());
-        device_->persist(reinterpret_cast<Addr>(&e), sizeof(NameEntry));
-
-        e.state = NameEntry::kValid;
-        device_->persist(reinterpret_cast<Addr>(&e.state), sizeof(Word));
-        return;
-    }
-    fatal("name table: full (capacity " + std::to_string(capacity_) + ")");
+void
+NameTable::upsert(const std::string &name, NameKind kind, Word value)
+{
+    if (name.empty())
+        fatal("name table: empty name");
+    if (name.size() > NameEntry::kMaxName)
+        fatal("name table: name too long: " + name);
+    probeAndClaim(name, kind, value, /*update_existing=*/true);
 }
 
 void
 NameTable::updateValue(NameEntry *entry, Word value)
 {
-    entry->value = value;
+    std::atomic_ref<Word>(entry->value).store(value,
+                                              std::memory_order_release);
     device_->persist(reinterpret_cast<Addr>(&entry->value), sizeof(Word));
 }
 
@@ -86,7 +142,7 @@ NameTable::forEach(const std::function<void(NameEntry &)> &fn) const
 {
     for (std::size_t i = 0; i < capacity_; ++i) {
         NameEntry &e = entries()[i];
-        if (e.state == NameEntry::kValid)
+        if (loadState(e) == NameEntry::kValid)
             fn(e);
     }
 }

@@ -12,15 +12,27 @@
  * Open-addressed, fixed 128-byte entries in NVM. Crash-consistent
  * insertion: the payload (kind, name, value) is persisted before the
  * state word flips to valid, so a torn insert reads as an empty slot.
+ *
+ * Concurrency: entries only ever transition empty -> valid (there is
+ * no deletion), which makes lookups lock-free — `find` probes with
+ * acquire loads of the state word and the release store in the
+ * publishing insert orders the payload before it. Mutation (claiming
+ * a bucket, updating a root value) is serialized per bucket range by
+ * a small array of striped spinlocks; a probe holds at most one
+ * stripe lock at a time, so stripes never deadlock even when a probe
+ * wraps around the table.
  */
 
 #ifndef ESPRESSO_PJH_NAME_TABLE_HH
 #define ESPRESSO_PJH_NAME_TABLE_HH
 
+#include <atomic>
 #include <functional>
+#include <memory>
 #include <string>
 
 #include "util/common.hh"
+#include "util/spin.hh"
 
 namespace espresso {
 
@@ -54,6 +66,9 @@ static_assert(sizeof(NameEntry) == 128, "NameEntry must stay 128 bytes");
 class NameTable
 {
   public:
+    /** Bucket-range stripes serializing mutation. */
+    static constexpr std::size_t kStripes = 16;
+
     NameTable() = default;
 
     /**
@@ -63,14 +78,32 @@ class NameTable
      */
     NameTable(NvmDevice *device, Addr base, std::size_t capacity);
 
+    NameTable(NameTable &&) = default;
+    NameTable &operator=(NameTable &&) = default;
+    NameTable(const NameTable &) = delete;
+    NameTable &operator=(const NameTable &) = delete;
+
     /**
      * Insert a (name, kind, value) binding crash-consistently.
      * Fails fatally when the name already exists with this kind or
-     * the table is full.
+     * the table is full. Safe against concurrent inserts/upserts.
      */
     void insert(const std::string &name, NameKind kind, Word value);
 
-    /** Find an entry; nullptr when absent. */
+    /**
+     * Atomically insert-or-update: bind @p name to @p value, updating
+     * the existing entry's value in place when the (name, kind) pair
+     * is already present. This is the concurrent setRoot entry point;
+     * two racing upserts of the same name leave exactly one entry.
+     */
+    void upsert(const std::string &name, NameKind kind, Word value);
+
+    /**
+     * Find an entry; nullptr when absent. Lock-free; names longer
+     * than NameEntry::kMaxName can never be stored, so they simply
+     * miss (they are not an error — lookups must be safe on
+     * untrusted input).
+     */
     NameEntry *find(const std::string &name, NameKind kind) const;
 
     /**
@@ -78,6 +111,14 @@ class NameTable
      * persist it.
      */
     void updateValue(NameEntry *entry, Word value);
+
+    /** Atomic read of an entry's value. */
+    static Word
+    readValue(const NameEntry *entry)
+    {
+        return std::atomic_ref<Word>(const_cast<Word &>(entry->value))
+            .load(std::memory_order_acquire);
+    }
 
     /** Visit every valid entry. */
     void forEach(const std::function<void(NameEntry &)> &fn) const;
@@ -107,11 +148,24 @@ class NameTable
         return reinterpret_cast<NameEntry *>(base_);
     }
 
+    SpinLock &
+    stripeFor(std::size_t bucket) const
+    {
+        return locks_[bucket * kStripes / capacity_];
+    }
+
     static std::size_t hashName(const std::string &name);
+
+    /** Shared probe for insert/upsert; @p update_existing selects the
+     * duplicate policy. Returns false on a duplicate that was not
+     * updated. */
+    bool probeAndClaim(const std::string &name, NameKind kind, Word value,
+                       bool update_existing);
 
     NvmDevice *device_ = nullptr;
     Addr base_ = 0;
     std::size_t capacity_ = 0;
+    std::unique_ptr<SpinLock[]> locks_;
 };
 
 } // namespace espresso

@@ -277,6 +277,11 @@ PjhCompactor::finish()
     dev_.persist(reinterpret_cast<Addr>(&meta->gcInProgress),
                  sizeof(Word));
     h_.top_ = dataPhys_ + new_top_off;
+    // Compaction rewrote the heap under every active TLAB: retire
+    // the registered chunks and invalidate the per-thread windows so
+    // the next allocation of each thread carves afresh.
+    h_.clearTlabSlots();
+    h_.tlabEpoch_.fetch_add(1, std::memory_order_release);
 }
 
 // ---------------------------------------------------------------------

@@ -1,7 +1,11 @@
 #include "pjh/pjh_heap.hh"
 
+#include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <cstring>
+#include <unordered_map>
+#include <vector>
 
 #include "pjh/pjh_gc.hh"
 #include "pjh/pjh_recovery.hh"
@@ -14,6 +18,22 @@ namespace {
 /** Zero-field class used to plug sub-array-sized allocation holes. */
 constexpr const char *kFillerClassName = "espresso.Filler";
 
+/** Variable-length filler covering TLAB tails and repaired gaps.
+ * Deliberately non-canonical so heap walks can tell it apart from
+ * user "[J" arrays. */
+constexpr const char *kFillerArrayClassName = "espresso.Filler[]";
+
+// Every allocation covers at least an instance header, which is what
+// lets tail repair assume any gap it must plug can hold a filler
+// header (see plugFillerGap).
+static_assert(ObjectLayout::kHeaderSize >= 2 * kWordSize,
+              "filler headers need mark + klass words");
+static_assert(ObjectLayout::kArrayHeaderSize ==
+                  ObjectLayout::kHeaderSize + kWordSize,
+              "gap classification below assumes one length word");
+
+std::atomic<std::uint64_t> g_heapSerial{1};
+
 std::uint64_t
 nowNs()
 {
@@ -23,10 +43,22 @@ nowNs()
             .count());
 }
 
+std::size_t
+tlabBytesFromEnv(std::size_t stored)
+{
+    if (const char *s = std::getenv("ESPRESSO_TLAB_BYTES")) {
+        long v = std::atol(s);
+        if (v > 0)
+            return alignUp(static_cast<std::size_t>(v), kWordSize);
+    }
+    return stored;
+}
+
 } // namespace
 
 PjhHeap::PjhHeap(NvmDevice *device, KlassRegistry *registry)
-    : dev_(device), registry_(registry)
+    : dev_(device), registry_(registry),
+      serial_(g_heapSerial.fetch_add(1, std::memory_order_relaxed))
 {}
 
 PjhHeap::~PjhHeap() = default;
@@ -51,6 +83,21 @@ PjhHeap::setupViews()
         meta_->dataSize / meta_->regionSize);
     undoLog_ = UndoLog(dev_, base + meta_->undoLogOff,
                        meta_->undoLogSize, dataBase_);
+    tlabBytes_ = tlabBytesFromEnv(meta_->tlabBytes);
+    if (tlabBytes_ < ObjectLayout::kArrayHeaderSize)
+        tlabBytes_ = PjhConfig().tlabSize;
+}
+
+void
+PjhHeap::cacheFillerImages()
+{
+    NameEntry *inst = names_.find(kFillerClassName, NameKind::kKlass);
+    NameEntry *arr = names_.find(kFillerArrayClassName, NameKind::kKlass);
+    if (!inst || !arr)
+        panic("PJH: filler Klass images missing");
+    Addr seg = reinterpret_cast<Addr>(dev_->base()) + meta_->klassSegOff;
+    fillerInstanceImage_ = seg + inst->value;
+    fillerArrayImage_ = seg + arr->value;
 }
 
 std::unique_ptr<PjhHeap>
@@ -77,20 +124,26 @@ PjhHeap::create(NvmDevice *device, const PjhConfig &cfg,
     meta->gcInProgress = 0;
     meta->bounceOwnerOffset = kNoneWord;
     meta->rootJournalCount = 0;
+    meta->tlabBytes = alignUp(
+        std::max(cfg.tlabSize,
+                 static_cast<std::size_t>(ObjectLayout::kArrayHeaderSize)),
+        kWordSize);
 
     heap->setupViews();
     meta->addressHint = heap->dataBase_;
     device->persist(reinterpret_cast<Addr>(meta), sizeof(PjhMetadata));
 
-    // Pre-publish the filler Klasses used for tail repair so a
-    // recovery never needs to create metadata.
+    // Pre-publish the filler Klasses used for TLAB tails and tail
+    // repair so a recovery never needs to create metadata.
     registry->define(KlassDef{kFillerClassName, "", {}, false});
     heap->klasses_.ensureImage(
         registry->resolve(kFillerClassName, MemKind::kPersistent),
         *registry);
     heap->klasses_.ensureImage(
-        registry->arrayOf(FieldType::kI64, MemKind::kPersistent),
+        registry->arrayOfNamed(kFillerArrayClassName, FieldType::kI64,
+                               MemKind::kPersistent),
         *registry);
+    heap->cacheFillerImages();
     return heap;
 }
 
@@ -110,6 +163,7 @@ PjhHeap::attach(NvmDevice *device, KlassRegistry *registry,
 
     heap->safety_ = safety;
     heap->setupViews();
+    heap->cacheFillerImages();
 
     // The remap delta: stored addresses + delta = current addresses.
     std::ptrdiff_t delta =
@@ -133,6 +187,9 @@ PjhHeap::attach(NvmDevice *device, KlassRegistry *registry,
         heap->rebase(delta);
         ++heap->stats_.rebases;
     }
+    // The chunks described by the slot table belong to the previous
+    // attach; they are fully parseable now, so retire them all.
+    heap->clearTlabSlots();
 
     std::uint64_t t_bind = nowNs();
     heap->klasses_.bindAll(*registry);
@@ -179,12 +236,201 @@ PjhHeap::rawSizeWithDelta(Oop o, std::ptrdiff_t delta) const
     return alignUp(img->instanceSize, kWordSize);
 }
 
+// ---------------------------------------------------------------------
+// Allocation: per-thread TLABs over a locked shared top (§4.1)
+// ---------------------------------------------------------------------
+
+PjhHeap::ThreadTlab &
+PjhHeap::threadTlab() const
+{
+    // Keyed by heap serial: serials are never reused, so entries of
+    // destroyed heaps can never alias a live one.
+    thread_local std::unordered_map<std::uint64_t, ThreadTlab> tlabs;
+    return tlabs[serial_];
+}
+
+void
+PjhHeap::writeFillerHeader(Addr a, std::size_t gap, Addr instance_image,
+                           Addr array_image)
+{
+    // Unreachable by construction: every allocation and chunk
+    // remainder is at least kHeaderSize (see the static_asserts at
+    // the top of this file and the fit rules in tlabReserve /
+    // carveChunk), and repair only plugs allocation boundaries.
+    if (gap < ObjectLayout::kHeaderSize)
+        panic("PJH: filler gap below the minimum allocation size");
+    if (instance_image == 0) {
+        instance_image = fillerInstanceImage_;
+        array_image = fillerArrayImage_;
+    }
+    Oop f(a);
+    f.setMarkWord(0);
+    f.setGcTimestamp(static_cast<std::uint16_t>(meta_->globalTimestamp));
+    if (gap >= ObjectLayout::kArrayHeaderSize) {
+        f.setKlassImage(array_image);
+        f.setArrayLength(
+            (gap - ObjectLayout::kArrayHeaderSize) / kWordSize);
+    } else {
+        // gap == kHeaderSize: the zero-field filler instance.
+        f.setKlassImage(instance_image);
+    }
+}
+
+bool
+PjhHeap::carveChunk(ThreadTlab &t, std::size_t min_size)
+{
+    std::size_t want = alignUp(std::max(min_size, tlabBytes_), kWordSize);
+    // The first allocation must leave a coverable remainder (0 or at
+    // least a filler header).
+    if (want - min_size == kWordSize)
+        want += kWordSize;
+
+    for (int attempt = 0;; ++attempt) {
+        {
+            std::lock_guard<std::mutex> g(topMu_);
+            Addr a = top_.load(std::memory_order_relaxed);
+            std::size_t avail = dataBase_ + meta_->dataSize - a;
+            std::size_t chunk = std::min(want, avail);
+            if (chunk >= min_size && chunk - min_size == kWordSize)
+                chunk -= kWordSize; // keep the remainder coverable
+            if (chunk >= min_size) {
+                if (t.slot == kSlotUnassigned) {
+                    std::uint32_t s = nextTlabSlot_.fetch_add(
+                        1, std::memory_order_relaxed);
+                    t.slot = s < PjhMetadata::kMaxTlabSlots
+                                 ? static_cast<int>(s)
+                                 : kSlotless;
+                }
+                if (t.slot == kSlotless)
+                    return false;
+
+                // Crash-consistent handoff: the whole chunk becomes
+                // one durable filler before the top replica (and
+                // then the slot registration) publishes it, so the
+                // heap parses end to end at every step.
+                std::memset(reinterpret_cast<void *>(a), 0, chunk);
+                writeFillerHeader(a, chunk);
+                dev_->flush(a, chunk);
+                dev_->fence();
+
+                meta_->topOffset = a + chunk - dataBase_;
+                dev_->persist(reinterpret_cast<Addr>(&meta_->topOffset),
+                              sizeof(Word));
+                top_.store(a + chunk, std::memory_order_release);
+
+                meta_->setTlabSlot(static_cast<std::size_t>(t.slot),
+                                   a - dataBase_,
+                                   a + chunk - dataBase_);
+                dev_->persist(
+                    reinterpret_cast<Addr>(
+                        &meta_->tlabSlots[static_cast<std::size_t>(
+                                              t.slot) *
+                                          PjhMetadata::kTlabSlotWords]),
+                    2 * kWordSize);
+
+                t.bump = a;
+                t.end = a + chunk;
+                t.epoch = tlabEpoch_.load(std::memory_order_relaxed);
+                return true;
+            }
+        }
+        if (!gcTrigger_ || attempt > 0)
+            fatal("PJH: out of persistent memory");
+        gcTrigger_();
+    }
+}
+
+Addr
+PjhHeap::tlabReserve(ThreadTlab &t, std::size_t size)
+{
+    for (;;) {
+        if (t.bump != 0 &&
+            t.epoch == tlabEpoch_.load(std::memory_order_relaxed)) {
+            std::size_t avail = t.end - t.bump;
+            if (avail >= size) {
+                std::size_t rem = avail - size;
+                if (rem == 0 || rem >= ObjectLayout::kHeaderSize) {
+                    Addr a = t.bump;
+                    if (rem > 0) {
+                        // Re-establish the trailing filler before
+                        // the object can be published: a crash
+                        // between the two persists parses as the
+                        // old, larger filler still covering [a,
+                        // end).
+                        writeFillerHeader(a + size, rem);
+                        dev_->persist(
+                            a + size,
+                            std::min(rem, static_cast<std::size_t>(
+                                              ObjectLayout::
+                                                  kArrayHeaderSize)));
+                    }
+                    t.bump = a + size;
+                    return a;
+                }
+            }
+        }
+        // Unusable chunk (none yet, stale epoch, too small, or an
+        // uncoverable 8-byte tail would remain): abandon it — its
+        // trailing filler is already durable — and carve afresh.
+        t.bump = t.end = 0;
+        if (!carveChunk(t, size))
+            return kNullAddr;
+    }
+}
+
+Oop
+PjhHeap::allocSlotless(const Klass *pk, Addr image, std::uint64_t length,
+                       std::size_t size)
+{
+    // Threads beyond the slot table allocate under the heap lock and
+    // publish everything before releasing it: any torn state is then
+    // provably the global allocation tail (no later carve can start),
+    // which repairAllocationTail plugs without a slot registration.
+    for (int attempt = 0;; ++attempt) {
+        {
+            std::lock_guard<std::mutex> g(topMu_);
+            Addr a = top_.load(std::memory_order_relaxed);
+            if (a + size <= dataBase_ + meta_->dataSize) {
+                std::memset(reinterpret_cast<void *>(a), 0, size);
+                Oop o(a);
+                o.setGcTimestamp(
+                    static_cast<std::uint16_t>(meta_->globalTimestamp));
+                o.setKlassImage(image);
+                if (pk->isArray())
+                    o.setArrayLength(length);
+                dev_->flush(a, size);
+                meta_->topOffset = a + size - dataBase_;
+                dev_->flush(reinterpret_cast<Addr>(&meta_->topOffset),
+                            sizeof(Word));
+                dev_->fence();
+                top_.store(a + size, std::memory_order_release);
+                return o;
+            }
+        }
+        if (!gcTrigger_ || attempt > 0)
+            fatal("PJH: out of persistent memory");
+        gcTrigger_();
+    }
+}
+
 Oop
 PjhHeap::allocRaw(const Klass *k, std::uint64_t length)
 {
+    ThreadTlab &t = threadTlab();
+
     // Phase 1 (§4.1): resolve the Klass / Klass image.
-    const Klass *pk = registry_->physicalFor(k, MemKind::kPersistent);
-    Addr image = klasses_.ensureImage(pk, *registry_);
+    const Klass *pk;
+    Addr image;
+    if (t.cachedKlass == k) {
+        pk = t.cachedPk;
+        image = t.cachedImage;
+    } else {
+        pk = registry_->physicalFor(k, MemKind::kPersistent);
+        image = klasses_.ensureImage(pk, *registry_);
+        t.cachedKlass = k;
+        t.cachedPk = pk;
+        t.cachedImage = image;
+    }
 
     std::size_t size = Oop::sizeFor(pk, length);
     if (size > meta_->bounceSize)
@@ -192,40 +438,37 @@ PjhHeap::allocRaw(const Klass *k, std::uint64_t length)
                      " bytes exceeds the bounce-buffer bound (",
                      meta_->bounceSize, ")"));
 
-    if (top_ + size > dataBase_ + meta_->dataSize) {
-        if (gcTrigger_)
-            gcTrigger_();
-        if (top_ + size > dataBase_ + meta_->dataSize)
-            fatal("PJH: out of persistent memory");
+    // Phase 2: reserve TLAB space; the chunk's trailing filler is
+    // durably re-established past the reservation first.
+    Addr a = tlabReserve(t, size);
+    if (a == kNullAddr) {
+        Oop o = allocSlotless(pk, image, length, size);
+        stats_.allocations.fetch_add(1, std::memory_order_relaxed);
+        stats_.bytesAllocated.fetch_add(size, std::memory_order_relaxed);
+        return o;
     }
 
-    // Phase 2: bump the top and persist its replica before anything
-    // references the new space.
-    Addr a = top_;
-    top_ += size;
-    meta_->topOffset = top_ - dataBase_;
-    dev_->flush(reinterpret_cast<Addr>(&meta_->topOffset), sizeof(Word));
-
-    // Durably zero the body so a crash can never leave garbage
-    // reference bits behind the published header.
-    std::memset(reinterpret_cast<void *>(a), 0, size);
-    dev_->flush(a, size);
-    dev_->fence(); // commits the top replica and the zero fill
-
-    // Phase 3: initialize and persist the header; the Klass-pointer
-    // persist is the publication point.
+    // Phase 3: initialize and persist the header over the old filler
+    // header; the Klass-pointer persist is the publication point.
+    // Bytes beyond the old filler header are durably zero from the
+    // carve-time fill.
     Oop o(a);
+    o.setMarkWord(0);
     o.setGcTimestamp(static_cast<std::uint16_t>(meta_->globalTimestamp));
     o.setKlassImage(image);
     std::size_t header = ObjectLayout::kHeaderSize;
     if (pk->isArray()) {
         o.setArrayLength(length);
         header = ObjectLayout::kArrayHeaderSize;
+    } else if (size > ObjectLayout::kHeaderSize) {
+        // Clear the old filler's length word, now the first field.
+        storeWord(a + ObjectLayout::kHeaderSize, 0);
+        header = ObjectLayout::kArrayHeaderSize;
     }
     dev_->persist(a, header);
 
-    ++stats_.allocations;
-    stats_.bytesAllocated += size;
+    stats_.allocations.fetch_add(1, std::memory_order_relaxed);
+    stats_.bytesAllocated.fetch_add(size, std::memory_order_relaxed);
     return o;
 }
 
@@ -250,18 +493,14 @@ PjhHeap::setRoot(const std::string &name, Oop obj)
 {
     if (obj && !containsData(obj.addr()))
         fatal("setRoot: object is not in this persistent heap");
-    if (NameEntry *e = names_.find(name, NameKind::kRoot)) {
-        names_.updateValue(e, obj.addr());
-        return;
-    }
-    names_.insert(name, NameKind::kRoot, obj.addr());
+    names_.upsert(name, NameKind::kRoot, obj.addr());
 }
 
 Oop
 PjhHeap::getRoot(const std::string &name) const
 {
     NameEntry *e = names_.find(name, NameKind::kRoot);
-    return e ? Oop(e->value) : Oop();
+    return e ? Oop(NameTable::readValue(e)) : Oop();
 }
 
 bool
@@ -327,11 +566,14 @@ void
 PjhHeap::forEachObject(const std::function<void(Oop)> &fn) const
 {
     Addr a = dataBase_;
-    while (a < top_) {
+    Addr top = dataTop();
+    while (a < top) {
         Oop o(a);
         if (!pjhRawHeaderValid(o, klasses_.base(), klasses_.size()))
             panic("PJH walk: unparseable object (missing tail repair?)");
-        fn(o);
+        Addr img = o.klassImage();
+        if (img != fillerInstanceImage_ && img != fillerArrayImage_)
+            fn(o);
         a += pjhRawObjectSize(o);
     }
 }
@@ -352,15 +594,92 @@ PjhHeap::forEachOutRefSlot(const SlotVisitor &visitor)
     });
 }
 
+// ---------------------------------------------------------------------
+// Recovery: tail repair with at most one torn tail per TLAB
+// ---------------------------------------------------------------------
+
+void
+PjhHeap::plugFillerGap(Addr junk, Addr end, std::ptrdiff_t delta)
+{
+    std::size_t gap = end - junk;
+    // The heap is still expressed in stored addresses at this point.
+    writeFillerHeader(junk, gap,
+                      fillerInstanceImage_ - static_cast<Addr>(delta),
+                      fillerArrayImage_ - static_cast<Addr>(delta));
+    dev_->persist(junk, gap >= ObjectLayout::kArrayHeaderSize
+                            ? ObjectLayout::kArrayHeaderSize
+                            : ObjectLayout::kHeaderSize);
+    ++stats_.tailRepairs;
+}
+
+void
+PjhHeap::clearTlabSlots()
+{
+    bool dirty = false;
+    for (std::size_t i = 0; i < PjhMetadata::kMaxTlabSlots; ++i) {
+        if (meta_->tlabSlotStart(i) != 0 || meta_->tlabSlotEnd(i) != 0) {
+            meta_->setTlabSlot(i, 0, 0);
+            dev_->flush(
+                reinterpret_cast<Addr>(
+                    &meta_->tlabSlots[i * PjhMetadata::kTlabSlotWords]),
+                2 * kWordSize);
+            dirty = true;
+        }
+    }
+    if (dirty)
+        dev_->fence();
+}
+
 void
 PjhHeap::repairAllocationTail(std::ptrdiff_t delta)
 {
     Addr seg_base_stored =
         reinterpret_cast<Addr>(dev_->base()) + meta_->klassSegOff -
         static_cast<Addr>(delta);
+
+    // Registered TLAB chunks bound how far a torn allocation can
+    // reach: junk inside a chunk is plugged to the chunk's end, and
+    // parsing resumes there. Slot words are persisted as one cache
+    // line, so a slot is either a real chunk or all-zero — but be
+    // defensive about garbage anyway.
+    struct ChunkBound
+    {
+        Addr start;
+        Addr end;
+    };
+    std::vector<ChunkBound> chunks;
+    for (std::size_t i = 0; i < PjhMetadata::kMaxTlabSlots; ++i) {
+        Word s = meta_->tlabSlotStart(i);
+        Word e = meta_->tlabSlotEnd(i);
+        if (s == 0 && e == 0)
+            continue;
+        if (s >= e || e > meta_->dataSize ||
+            !isAligned(s, kWordSize) || !isAligned(e, kWordSize)) {
+            continue;
+        }
+        chunks.push_back({dataBase_ + s, dataBase_ + e});
+    }
+    std::sort(chunks.begin(), chunks.end(),
+              [](const ChunkBound &a, const ChunkBound &b) {
+                  return a.start < b.start;
+              });
+    auto chunkContaining = [&](Addr a) -> const ChunkBound * {
+        for (const ChunkBound &c : chunks) {
+            if (a >= c.start && a < c.end)
+                return &c;
+            if (c.start > a)
+                break;
+        }
+        return nullptr;
+    };
+
+    Addr top = top_.load(std::memory_order_relaxed);
     Addr a = dataBase_;
-    Addr junk = kNullAddr;
-    while (a < top_) {
+    while (a < top) {
+        const ChunkBound *c = chunkContaining(a);
+        // Objects never span a registered chunk's end.
+        Addr limit = c ? c->end : top;
+
         Oop o(a);
         Word kraw = o.klassRefRaw();
         bool valid = (kraw & Oop::kKlassPersistentTag) &&
@@ -374,44 +693,19 @@ PjhHeap::repairAllocationTail(std::ptrdiff_t delta)
             valid = img->pkr.magic == PersistentKlassRef::kMagic;
         }
         std::size_t size = valid ? rawSizeWithDelta(o, delta) : 0;
-        if (!valid || a + size > top_) {
-            junk = a;
-            break;
+        if (valid && a + size <= limit) {
+            a += size;
+            continue;
         }
-        a += size;
-    }
-    if (junk == kNullAddr)
-        return;
 
-    // A torn allocation leaves junk only as a suffix below the
-    // persisted top; overwrite it with a filler object.
-    std::size_t gap = top_ - junk;
-    Oop filler(junk);
-    const char *klass_name;
-    if (gap >= ObjectLayout::kArrayHeaderSize) {
-        klass_name = "[J";
-    } else {
-        klass_name = kFillerClassName;
+        // A torn allocation: plug the gap up to the owning chunk's
+        // end, or — outside any registered chunk — up to the top,
+        // which is then provably the final carve.
+        plugFillerGap(a, limit, delta);
+        if (!c)
+            return;
+        a = limit;
     }
-    NameEntry *e = names_.find(klass_name, NameKind::kKlass);
-    if (!e)
-        panic("tail repair: filler Klass image missing");
-    Addr image_phys = reinterpret_cast<Addr>(dev_->base()) +
-                      meta_->klassSegOff + e->value;
-    // The heap is still expressed in stored addresses at this point.
-    Addr image_stored = image_phys - static_cast<Addr>(delta);
-    filler.setMarkWord(0);
-    filler.setGcTimestamp(
-        static_cast<std::uint16_t>(meta_->globalTimestamp));
-    filler.setKlassImage(image_stored);
-    if (gap >= ObjectLayout::kArrayHeaderSize) {
-        filler.setArrayLength(
-            (gap - ObjectLayout::kArrayHeaderSize) / kWordSize);
-        dev_->persist(junk, ObjectLayout::kArrayHeaderSize);
-    } else {
-        dev_->persist(junk, ObjectLayout::kHeaderSize);
-    }
-    ++stats_.tailRepairs;
 }
 
 void
@@ -425,7 +719,8 @@ PjhHeap::rebase(std::ptrdiff_t delta)
     };
 
     Addr a = dataBase_;
-    while (a < top_) {
+    Addr top = top_.load(std::memory_order_relaxed);
+    while (a < top) {
         Oop o(a);
         Word kraw = o.klassRefRaw();
         std::size_t size = rawSizeWithDelta(o, delta);

@@ -21,9 +21,11 @@
 #ifndef ESPRESSO_PJH_PJH_HEAP_HH
 #define ESPRESSO_PJH_PJH_HEAP_HH
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <stdexcept>
 #include <string>
 
@@ -64,11 +66,13 @@ class MemorySafetyError : public std::runtime_error
     {}
 };
 
-/** Counters and load-phase timings. */
+/** Counters and load-phase timings. The allocation counters are
+ * atomic (pnew runs concurrently); the rest are written from
+ * single-threaded phases (attach, GC, recovery). */
 struct PjhStats
 {
-    std::uint64_t allocations = 0;
-    std::uint64_t bytesAllocated = 0;
+    std::atomic<std::uint64_t> allocations{0};
+    std::atomic<std::uint64_t> bytesAllocated{0};
     std::uint64_t collections = 0;
     std::uint64_t recoveries = 0;
     std::uint64_t tailRepairs = 0;
@@ -111,7 +115,20 @@ class PjhHeap : public ExternalSpace
     /** Clean shutdown: everything durable, cleanShutdown flag set. */
     void detach();
 
-    /** @name Allocation (the pnew bytecodes, §3.2 / §4.1) */
+    /**
+     * @name Allocation (the pnew bytecodes, §3.2 / §4.1)
+     *
+     * Thread-safe: each thread bumps a private TLAB chunk carved
+     * from the shared top under the heap lock. Chunk handoff is
+     * crash-consistent — a chunk is formatted as one durable filler
+     * object before the top replica publishes it and is then
+     * registered in the metadata's TLAB slot table, and every
+     * allocation re-establishes a trailing filler over the chunk's
+     * unused tail before the object header is persisted. Recovery
+     * therefore repairs at most one torn tail per TLAB. Collections
+     * are stop-the-world: the caller must ensure no thread
+     * allocates during collect().
+     */
     /// @{
     Oop allocInstance(const Klass *k);
     Oop allocArray(const Klass *k, std::uint64_t length);
@@ -121,7 +138,14 @@ class PjhHeap : public ExternalSpace
     void setGcTrigger(std::function<void()> trigger);
     /// @}
 
-    /** @name Roots (Table 1) */
+    /**
+     * @name Roots (Table 1)
+     *
+     * Thread-safe: backed by the striped name table. Lookups are
+     * lock-free; publication takes one bucket-range spinlock.
+     * Over-long names are never stored, so lookups of them simply
+     * miss (setRoot of one is still fatal).
+     */
     /// @{
     void setRoot(const std::string &name, Oop obj);
     Oop getRoot(const std::string &name) const;
@@ -158,12 +182,17 @@ class PjhHeap : public ExternalSpace
     }
 
     Addr dataBase() const { return dataBase_; }
-    Addr dataTop() const { return top_; }
-    std::size_t dataUsed() const { return top_ - dataBase_; }
+    Addr dataTop() const { return top_.load(std::memory_order_acquire); }
+
+    /** Bytes below the shared top, including carved-but-unused TLAB
+     * chunk tails (they are reclaimed by the next collection). */
+    std::size_t dataUsed() const { return dataTop() - dataBase_; }
+
     std::size_t dataCapacity() const { return meta_->dataSize; }
     /// @}
 
-    /** Walk every object in allocation order. */
+    /** Walk every live-or-dead user object in allocation order.
+     * Filler objects (TLAB tails, repaired gaps) are skipped. */
     void forEachObject(const std::function<void(Oop)> &fn) const;
 
     /** Walk every reference slot of every object. */
@@ -193,9 +222,70 @@ class PjhHeap : public ExternalSpace
 
     PjhHeap(NvmDevice *device, KlassRegistry *registry);
 
+    static constexpr int kSlotUnassigned = -1;
+    /** No slot available: fall back to fully locked allocation. */
+    static constexpr int kSlotless = -2;
+
+    /** One thread's private allocation window into this heap. */
+    struct ThreadTlab
+    {
+        Addr bump = 0;              ///< next free byte
+        Addr end = 0;               ///< chunk end (exclusive)
+        int slot = kSlotUnassigned; ///< metadata TLAB slot index
+        std::uint64_t epoch = 0;    ///< tlabEpoch_ at carve time
+        /** One-entry pnew resolution cache (klass -> persistent
+         * alias + image); hit on ~every allocation of a hot class,
+         * skipping two mutexes on the fast path. */
+        const Klass *cachedKlass = nullptr;
+        const Klass *cachedPk = nullptr;
+        Addr cachedImage = 0;
+    };
+
     void setupViews();
+    void cacheFillerImages();
     Oop allocRaw(const Klass *k, std::uint64_t length);
+
+    /** This thread's TLAB for this heap instance. */
+    ThreadTlab &threadTlab() const;
+
+    /**
+     * Reserve @p size bytes in @p t's chunk, re-establishing the
+     * durable trailing filler first; carves a new chunk (possibly
+     * triggering a collection) when the current one cannot serve the
+     * request. Returns kNullAddr when the thread must use the
+     * slotless locked path. On return the caller owns [addr,
+     * addr+size): bytes past the old filler header are durably zero
+     * and the caller must write and persist the object header.
+     */
+    Addr tlabReserve(ThreadTlab &t, std::size_t size);
+
+    /** Carve and register a fresh chunk of at least @p min_size.
+     * False when the thread has no TLAB slot (slotless fallback). */
+    bool carveChunk(ThreadTlab &t, std::size_t min_size);
+
+    /** Fully locked, immediately durable allocation for threads
+     * beyond the TLAB slot table. */
+    Oop allocSlotless(const Klass *pk, Addr image, std::uint64_t length,
+                      std::size_t size);
+
+    /**
+     * Write a filler header covering [a, a+gap) (working image only;
+     * the caller persists). The image addresses default to the
+     * cached physical ones; repair passes them re-expressed in the
+     * stored address space.
+     */
+    void writeFillerHeader(Addr a, std::size_t gap,
+                           Addr instance_image = 0, Addr array_image = 0);
+
     void repairAllocationTail(std::ptrdiff_t delta);
+
+    /** Overwrite [junk, end) with a filler parseable in the stored
+     * address space (repair helper). */
+    void plugFillerGap(Addr junk, Addr end, std::ptrdiff_t delta);
+
+    /** Clear and persist every TLAB slot (attach / post-GC). */
+    void clearTlabSlots();
+
     void rebase(std::ptrdiff_t delta);
     void zeroingScan();
     void checkRefStore(Oop obj, Oop value) const;
@@ -210,13 +300,27 @@ class PjhHeap : public ExternalSpace
     NameTable names_;
     KlassSegment klasses_;
     Addr dataBase_ = 0;
-    Addr top_ = 0;
+    std::atomic<Addr> top_{0};
     MarkBitmap marks_;
     BitmapView regionBits_;
     UndoLog undoLog_;
     SafetyLevel safety_ = SafetyLevel::kUserGuaranteed;
     std::function<void()> gcTrigger_;
     PjhStats stats_;
+
+    /** Serializes chunk carving and the shared-top publication. */
+    std::mutex topMu_;
+    /** Heap identity for the thread-local TLAB map; never reused. */
+    std::uint64_t serial_;
+    /** Bumped whenever a collection invalidates every TLAB. */
+    std::atomic<std::uint64_t> tlabEpoch_{1};
+    /** Next free metadata TLAB slot. */
+    std::atomic<std::uint32_t> nextTlabSlot_{0};
+    /** Chunk size (bytes); meta_->tlabBytes, or ESPRESSO_TLAB_BYTES. */
+    std::size_t tlabBytes_ = 0;
+    /** Cached filler KlassImage addresses for walk skipping. */
+    Addr fillerInstanceImage_ = 0;
+    Addr fillerArrayImage_ = 0;
 };
 
 } // namespace espresso

@@ -55,13 +55,32 @@ struct PjhConfig
 
     /** Application undo-log capacity (ACID helper, §6.2). */
     std::size_t undoLogSize = 256u << 10;
+
+    /**
+     * Per-thread TLAB chunk size (bytes). Each allocating thread
+     * carves private chunks of this size from the shared top under
+     * the heap lock and bumps inside them lock-free; larger chunks
+     * amortize the carve lock better but waste more tail space on
+     * detach. Overridable at runtime with ESPRESSO_TLAB_BYTES.
+     */
+    std::size_t tlabSize = 64u << 10;
 };
 
 /** The persistent metadata area (device offset 0). */
 struct PjhMetadata
 {
     static constexpr Word kMagic = 0x455350524a480001ull; // "ESPRJH",v1
-    static constexpr Word kVersion = 1;
+    static constexpr Word kVersion = 2;
+
+    /** Maximum concurrently registered TLAB chunks. Threads beyond
+     * this fall back to fully locked, immediately durable
+     * allocation. */
+    static constexpr std::size_t kMaxTlabSlots = 64;
+
+    /** Words per TLAB slot: {startOffset, endOffset} plus padding to
+     * a full cache line so two threads never persist the same line
+     * when registering their chunks. */
+    static constexpr std::size_t kTlabSlotWords = 8;
 
     Word magic;
     Word version;
@@ -117,7 +136,50 @@ struct PjhMetadata
     Word dataOff;
     Word dataSize;
     /// @}
+
+    /** Persisted TLAB chunk size (bytes); 0 on pre-TLAB images. */
+    Word tlabBytes;
+
+    /** Pad so the TLAB slot table below starts cache-line aligned
+     * (the metadata area begins at device offset 0). */
+    Word tlabPad[10];
+
+    /**
+     * The active-TLAB registry (§4.1 extended for concurrency): slot
+     * i holds the data-heap offsets [start, end) of the chunk a
+     * thread is currently bumping into, or start == end == 0 when
+     * free. Chunks keep a filler object covering [bump, end) at all
+     * times, so recovery repairs at most one torn tail per slot —
+     * a torn allocation inside a registered chunk is plugged up to
+     * the chunk's end, never past it.
+     */
+    Word tlabSlots[kMaxTlabSlots * kTlabSlotWords];
+
+    Word
+    tlabSlotStart(std::size_t i) const
+    {
+        return tlabSlots[i * kTlabSlotWords];
+    }
+
+    Word
+    tlabSlotEnd(std::size_t i) const
+    {
+        return tlabSlots[i * kTlabSlotWords + 1];
+    }
+
+    void
+    setTlabSlot(std::size_t i, Word start, Word end)
+    {
+        tlabSlots[i * kTlabSlotWords] = start;
+        tlabSlots[i * kTlabSlotWords + 1] = end;
+    }
 };
+
+static_assert(offsetof(PjhMetadata, tlabSlots) % 64 == 0,
+              "each TLAB slot must own a whole cache line");
+static_assert(sizeof(PjhMetadata::tlabSlots) ==
+                  PjhMetadata::kMaxTlabSlots * 64,
+              "one cache line per TLAB slot");
 
 /**
  * Compute component offsets for @p cfg.

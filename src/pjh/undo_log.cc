@@ -58,6 +58,11 @@ UndoLog::record(Addr addr, std::size_t len)
 {
     if (!open_)
         panic("UndoLog::record outside a transaction");
+    // A zero-length record has nothing to restore; writing one would
+    // index old_bytes[-1] below and corrupt the previous entry's
+    // payload or checksum.
+    if (len == 0)
+        return;
     LogHeader *h = header();
     std::size_t padded = alignUp(len, kWordSize);
     std::size_t entry_bytes = sizeof(LogEntry) + padded;

@@ -17,6 +17,7 @@ KlassRegistry::logicalOf(const std::string &name)
 Klass *
 KlassRegistry::define(const KlassDef &def)
 {
+    std::lock_guard<std::recursive_mutex> g(mu_);
     if (LogicalClass *existing = logicalOf(def.name)) {
         Klass *k = existing->physical[0];
         if (!shapeMatches(k, def))
@@ -91,6 +92,7 @@ KlassRegistry::newPhysical(LogicalClass &lc, MemKind kind)
 Klass *
 KlassRegistry::find(const std::string &name) const
 {
+    std::lock_guard<std::recursive_mutex> g(mu_);
     auto it = logical_.find(name);
     if (it == logical_.end())
         return nullptr;
@@ -101,6 +103,7 @@ KlassRegistry::find(const std::string &name) const
 Klass *
 KlassRegistry::resolve(const std::string &name, MemKind kind)
 {
+    std::lock_guard<std::recursive_mutex> g(mu_);
     LogicalClass *lc = logicalOf(name);
     if (!lc)
         fatal("resolve: class " + name + " is not defined");
@@ -115,6 +118,7 @@ KlassRegistry::resolve(const std::string &name, MemKind kind)
 Klass *
 KlassRegistry::physicalFor(const Klass *k, MemKind kind)
 {
+    std::lock_guard<std::recursive_mutex> g(mu_);
     if (!k)
         panic("physicalFor: null klass");
     if (k->memKind() == kind)
@@ -162,6 +166,7 @@ KlassRegistry::makeArrayKlass(const std::string &name, FieldType elem,
 Klass *
 KlassRegistry::arrayOf(FieldType elem, MemKind kind)
 {
+    std::lock_guard<std::recursive_mutex> g(mu_);
     if (elem == FieldType::kRef)
         panic("arrayOf(kRef): use arrayOfRefs");
     std::string name = std::string("[") + fieldTypeCode(elem);
@@ -171,16 +176,28 @@ KlassRegistry::arrayOf(FieldType elem, MemKind kind)
 Klass *
 KlassRegistry::arrayOfRefs(const Klass *elem, MemKind kind)
 {
+    std::lock_guard<std::recursive_mutex> g(mu_);
     if (!elem)
         panic("arrayOfRefs: null element class");
     std::string name = "[L" + elem->name() + ";";
     return makeArrayKlass(name, FieldType::kRef, elem, kind);
 }
 
+Klass *
+KlassRegistry::arrayOfNamed(const std::string &name, FieldType elem,
+                            MemKind kind)
+{
+    std::lock_guard<std::recursive_mutex> g(mu_);
+    if (elem == FieldType::kRef)
+        panic("arrayOfNamed(kRef): use arrayOfRefs");
+    return makeArrayKlass(name, elem, nullptr, kind);
+}
+
 void
 KlassRegistry::checkCast(const Klass *obj_klass,
                          const std::string &target_name)
 {
+    std::lock_guard<std::recursive_mutex> g(mu_);
     LogicalClass *lc = logicalOf(target_name);
     if (!lc)
         fatal("checkCast: class " + target_name + " is not defined");
@@ -208,6 +225,7 @@ bool
 KlassRegistry::instanceOf(const Klass *obj_klass,
                           const std::string &target_name)
 {
+    std::lock_guard<std::recursive_mutex> g(mu_);
     if (!obj_klass)
         return false;
     LogicalClass *lc = logicalOf(target_name);
@@ -221,6 +239,7 @@ KlassRegistry::instanceOf(const Klass *obj_klass,
 KlassDef
 KlassRegistry::defOf(const Klass *k) const
 {
+    std::lock_guard<std::recursive_mutex> g(mu_);
     if (!k || k->isArray())
         panic("defOf: not an instance klass");
     auto it = logical_.find(k->name());

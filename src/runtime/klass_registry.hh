@@ -20,6 +20,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -74,6 +75,15 @@ class KlassRegistry
     Klass *arrayOfRefs(const Klass *elem, MemKind kind = MemKind::kVolatile);
 
     /**
+     * A primitive array class under a non-canonical name, with its
+     * own logical id. The PJH uses this for its filler-array class,
+     * which must be distinguishable from user "[J" arrays when heap
+     * walks skip dead filler space.
+     */
+    Klass *arrayOfNamed(const std::string &name, FieldType elem,
+                        MemKind kind = MemKind::kVolatile);
+
+    /**
      * checkcast: verify an object of physical class @p obj_klass can
      * be cast to @p target_name; throws ClassCastException otherwise.
      * Honors the strict/alias mode.
@@ -96,7 +106,12 @@ class KlassRegistry
     /** True if @p k matches @p def field-for-field. */
     static bool shapeMatches(const Klass *k, const KlassDef &def);
 
-    std::size_t numLogical() const { return logical_.size(); }
+    std::size_t
+    numLogical() const
+    {
+        std::lock_guard<std::recursive_mutex> g(mu_);
+        return logical_.size();
+    }
 
   private:
     struct LogicalClass
@@ -115,6 +130,10 @@ class KlassRegistry
     std::vector<std::unique_ptr<Klass>> allKlasses_;
     std::uint32_t nextLogicalId_ = 1;
     bool strict_ = false;
+    /** Guards the directory maps; pnew resolution runs concurrently
+     * with class definition. Recursive: define/resolve re-enter
+     * through find/physicalFor. */
+    mutable std::recursive_mutex mu_;
 };
 
 } // namespace espresso

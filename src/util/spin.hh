@@ -1,16 +1,64 @@
 /**
  * @file
  * Calibrated busy-wait used by latency models (NVM flush cost, PCJ's
- * JNI/native-call overhead).
+ * JNI/native-call overhead), plus the test-and-test-and-set spinlock
+ * used for short critical sections (striped name-table buckets).
  */
 
 #ifndef ESPRESSO_UTIL_SPIN_HH
 #define ESPRESSO_UTIL_SPIN_HH
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <mutex>
 
 namespace espresso {
+
+/**
+ * A tiny test-and-test-and-set spinlock. Meant for critical sections
+ * of a few dozen instructions (bucket claims, counter bumps) where a
+ * futex round-trip would dominate; anything that can block (I/O,
+ * allocation, a long scan) belongs under a std::mutex instead.
+ *
+ * Works with std::lock_guard / std::unique_lock (Lockable concept).
+ */
+class SpinLock
+{
+  public:
+    SpinLock() = default;
+    SpinLock(const SpinLock &) = delete;
+    SpinLock &operator=(const SpinLock &) = delete;
+
+    void
+    lock()
+    {
+        while (flag_.test_and_set(std::memory_order_acquire)) {
+            // Spin on a plain load so contended waiters don't
+            // ping-pong the cache line with RMW traffic.
+            while (flag_.test(std::memory_order_relaxed)) {
+            }
+        }
+    }
+
+    bool
+    try_lock()
+    {
+        return !flag_.test_and_set(std::memory_order_acquire);
+    }
+
+    void
+    unlock()
+    {
+        flag_.clear(std::memory_order_release);
+    }
+
+  private:
+    std::atomic_flag flag_ = ATOMIC_FLAG_INIT;
+};
+
+/** RAII guard for SpinLock. */
+using SpinGuard = std::lock_guard<SpinLock>;
 
 /** Busy-wait for @p ns nanoseconds; free when @p ns is zero. */
 inline void

@@ -24,14 +24,18 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <set>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/espresso.hh"
 #include "db/database.hh"
 #include "nvm/crash_injector.hh"
+#include "util/rng.hh"
 
 namespace espresso {
 namespace {
@@ -211,6 +215,179 @@ TEST(CrashMatrixTest, PjhSequencesWithCacheEviction)
     for (const auto &[name, seq] : sequences())
         for (std::uint64_t seed : {101u, 202u})
             sweepSequence(name, seq, CrashMode::kEvictRandomLines, seed);
+}
+
+// ---------------------------------------------------------------------
+// Multi-threaded PJH matrix: N allocator/root-mutator threads,
+// crashed at randomized persistence events
+// ---------------------------------------------------------------------
+
+/**
+ * Each worker allocates Nodes, stamps them with thread-unique
+ * values, durably flushes them, and periodically publishes the
+ * freshest one under a thread-private root name. A crash fires at a
+ * randomized persistence event; the injector then kills every other
+ * thread at its own next persistence point (power loss is global).
+ *
+ * Invariants after recovery (§4.1 extended with per-thread TLABs):
+ *  - the heap parses end to end (at most one torn tail per TLAB,
+ *    all plugged);
+ *  - every surviving root is a well-formed Node holding a value some
+ *    thread actually wrote — never torn or invented;
+ *  - the recovered heap accepts new allocations and publications
+ *    from multiple threads at once.
+ */
+struct MtRig
+{
+    static constexpr int kThreads = 4;
+    static constexpr int kOpsPerThread = 60;
+
+    MtRig()
+    {
+        rt = std::make_unique<EspressoRuntime>();
+        rt->define(nodeDef());
+        valueOff = rt->fieldOffset("Node", "value");
+        heap = rt->heaps().createHeap(kHeapName, 8u << 20);
+        rt->heaps().deviceOf(kHeapName)->setInjector(&injector);
+    }
+
+    /** Runs the workload; returns true when a crash fired. */
+    bool
+    run()
+    {
+        std::atomic<bool> crashed{false};
+        std::vector<std::thread> workers;
+        for (int w = 0; w < kThreads; ++w) {
+            workers.emplace_back([this, w, &crashed]() {
+                std::set<std::int64_t> written;
+                try {
+                    for (int i = 0; i < kOpsPerThread &&
+                                    !crashed.load(
+                                        std::memory_order_relaxed);
+                         ++i) {
+                        std::int64_t v = w * 1000000 + i;
+                        Oop node = rt->pnewInstance(heap, "Node");
+                        node.setI64(valueOff, v);
+                        written.insert(v);
+                        heap->flushObject(node);
+                        if (i % 3 == 0) {
+                            heap->setRoot("t" + std::to_string(w),
+                                          node);
+                        } else if (i % 3 == 1) {
+                            // In-place mutation of the latest node.
+                            std::int64_t v2 = v + 500000;
+                            node.setI64(valueOff, v2);
+                            written.insert(v2);
+                            heap->flushField(node, valueOff);
+                        }
+                    }
+                } catch (const SimulatedCrash &) {
+                    crashed.store(true, std::memory_order_relaxed);
+                }
+                std::lock_guard<std::mutex> g(writtenMu);
+                writtenValues.insert(written.begin(), written.end());
+            });
+        }
+        for (auto &t : workers)
+            t.join();
+        return crashed.load();
+    }
+
+    std::unique_ptr<EspressoRuntime> rt;
+    PjhHeap *heap = nullptr;
+    CrashInjector injector;
+    std::uint32_t valueOff = 0;
+    std::mutex writtenMu;
+    std::set<std::int64_t> writtenValues;
+};
+
+void
+verifyMtRecovered(MtRig &rig, PjhHeap *h, std::uint64_t event)
+{
+    // Invariant 1: the heap parses end to end.
+    std::size_t objects = 0;
+    ASSERT_NO_THROW(h->forEachObject([&](Oop) { ++objects; }))
+        << "mt event " << event;
+
+    // Invariant 2: surviving roots are well-formed and hold only
+    // values some thread durably wrote.
+    for (int w = 0; w < MtRig::kThreads; ++w) {
+        Oop root = h->getRoot("t" + std::to_string(w));
+        if (root.isNull())
+            continue;
+        ASSERT_EQ(root.klass()->name(), "Node")
+            << "mt event " << event << " thread " << w;
+        std::int64_t v = root.getI64(rig.valueOff);
+        EXPECT_TRUE(rig.writtenValues.count(v))
+            << "mt event " << event << " root t" << w
+            << " holds invented value " << v;
+    }
+
+    // Invariant 3: the recovered heap takes concurrent new work.
+    std::vector<std::thread> workers;
+    for (int w = 0; w < MtRig::kThreads; ++w) {
+        workers.emplace_back([&rig, h, w]() {
+            for (int i = 0; i < 8; ++i) {
+                Oop extra = rig.rt->pnewInstance(h, "Node");
+                extra.setI64(rig.valueOff, 777000 + w);
+                h->flushObject(extra);
+                h->setRoot("extra" + std::to_string(w), extra);
+            }
+        });
+    }
+    for (auto &t : workers)
+        t.join();
+    for (int w = 0; w < MtRig::kThreads; ++w) {
+        EXPECT_EQ(h->getRoot("extra" + std::to_string(w))
+                      .getI64(rig.valueOff),
+                  777000 + w)
+            << "mt event " << event;
+    }
+}
+
+void
+sweepMt(CrashMode mode, std::uint64_t seed, int iterations)
+{
+    // Size the random crash points against an uninterrupted run.
+    std::uint64_t max_events;
+    {
+        MtRig probe;
+        ASSERT_FALSE(probe.run());
+        max_events = probe.injector.eventCount();
+        ASSERT_GT(max_events, 0u);
+    }
+
+    Rng rng(seed);
+    for (int it = 0; it < iterations; ++it) {
+        std::uint64_t event = 1 + rng.nextBelow(max_events);
+        MtRig rig;
+        rig.injector.arm(event);
+        bool crashed = rig.run();
+        rig.injector.disarm();
+        if (testing::Test::HasFatalFailure())
+            return;
+        if (!crashed) {
+            // Thread interleaving reached fewer events this run;
+            // exercise the clean detach/reload path instead.
+            rig.rt->heaps().detachHeap(kHeapName);
+            PjhHeap *h = rig.rt->heaps().loadHeap(kHeapName);
+            verifyMtRecovered(rig, h, 0);
+            continue;
+        }
+        rig.rt->heaps().crashHeap(kHeapName, mode, seed + event);
+        PjhHeap *h = rig.rt->heaps().loadHeap(kHeapName);
+        verifyMtRecovered(rig, h, event);
+    }
+}
+
+TEST(CrashMatrixTest, MtAllocRootSweepConservative)
+{
+    sweepMt(CrashMode::kDiscardUnflushed, 31, 24);
+}
+
+TEST(CrashMatrixTest, MtAllocRootSweepWithCacheEviction)
+{
+    sweepMt(CrashMode::kEvictRandomLines, 57, 24);
 }
 
 // ---------------------------------------------------------------------

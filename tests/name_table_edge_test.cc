@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Edge-case suite for the striped name table and the undo log's
+ * record path — the crash-path bugfix regressions of the
+ * thread-safety PR:
+ *  - lookups of over-long names miss instead of aborting the process
+ *    (setRoot/hasRoot/getRoot must be safe on untrusted input);
+ *  - zero-length undo records are ignored instead of underflowing
+ *    into the previous entry's payload/checksum;
+ *  - full-table probe wraparound, duplicate kind-vs-name collisions,
+ *    and upsert semantics, single- and multi-threaded.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/espresso.hh"
+#include "nvm/nvm_device.hh"
+#include "pjh/name_table.hh"
+#include "pjh/undo_log.hh"
+#include "util/logging.hh"
+
+namespace espresso {
+namespace {
+
+// ---------------------------------------------------------------------
+// Over-long names: lookups miss, only insertion is fatal
+// ---------------------------------------------------------------------
+
+TEST(NameTableEdgeTest, OverLongLookupMissesInsteadOfAborting)
+{
+    NvmDevice dev(1u << 20);
+    NameTable t(&dev, dev.toAddr(0), 64);
+    t.insert("present", NameKind::kRoot, 1);
+
+    std::string long_name(NameEntry::kMaxName + 1, 'x');
+    EXPECT_EQ(t.find(long_name, NameKind::kRoot), nullptr);
+    EXPECT_EQ(t.find(std::string(4096, 'y'), NameKind::kKlass), nullptr);
+    // Storing one is still a caller error.
+    EXPECT_THROW(t.insert(long_name, NameKind::kRoot, 2), FatalError);
+    EXPECT_THROW(t.upsert(long_name, NameKind::kRoot, 2), FatalError);
+    // A name of exactly the limit round-trips.
+    std::string max_name(NameEntry::kMaxName, 'm');
+    t.insert(max_name, NameKind::kRoot, 3);
+    ASSERT_NE(t.find(max_name, NameKind::kRoot), nullptr);
+}
+
+TEST(NameTableEdgeTest, HeapRootLookupsAreSafeOnUntrustedNames)
+{
+    EspressoRuntime rt;
+    rt.define(KlassDef{"Node", "", {{"value", FieldType::kI64}}, false});
+    PjhHeap *heap = rt.heaps().createHeap("edge", 2u << 20);
+
+    std::string hostile(300, 'z');
+    EXPECT_FALSE(heap->hasRoot(hostile));
+    EXPECT_TRUE(heap->getRoot(hostile).isNull());
+
+    Oop n = rt.pnewInstance(heap, "Node");
+    heap->flushObject(n);
+    EXPECT_THROW(heap->setRoot(hostile, n), FatalError);
+    // The failed publication left the table usable.
+    heap->setRoot("ok", n);
+    EXPECT_FALSE(heap->getRoot("ok").isNull());
+}
+
+// ---------------------------------------------------------------------
+// Probe wraparound and collision behaviour
+// ---------------------------------------------------------------------
+
+TEST(NameTableEdgeTest, FullTableProbeWrapsAndTerminates)
+{
+    NvmDevice dev(1u << 20);
+    const std::size_t cap = 8;
+    NameTable t(&dev, dev.toAddr(0), cap);
+    // Fill every slot; later inserts must wrap past the hash bucket
+    // to find empties near the front of the table.
+    for (std::size_t i = 0; i < cap; ++i)
+        t.insert("w" + std::to_string(i), NameKind::kRoot, i);
+    EXPECT_EQ(t.count(), cap);
+    for (std::size_t i = 0; i < cap; ++i) {
+        NameEntry *e = t.find("w" + std::to_string(i), NameKind::kRoot);
+        ASSERT_NE(e, nullptr) << "w" << i;
+        EXPECT_EQ(e->value, i);
+    }
+    // With zero empty slots the probe must still terminate: a miss
+    // scans exactly one full round.
+    EXPECT_EQ(t.find("absent", NameKind::kRoot), nullptr);
+    EXPECT_THROW(t.insert("overflow", NameKind::kRoot, 0), FatalError);
+    // Updating in a full table still works (no insertion needed).
+    t.upsert("w3", NameKind::kRoot, 333);
+    EXPECT_EQ(t.find("w3", NameKind::kRoot)->value, 333u);
+}
+
+TEST(NameTableEdgeTest, SameNameDifferentKindsCoexist)
+{
+    NvmDevice dev(1u << 20);
+    NameTable t(&dev, dev.toAddr(0), 8);
+    t.insert("dup", NameKind::kRoot, 10);
+    t.insert("dup", NameKind::kKlass, 20);
+    ASSERT_NE(t.find("dup", NameKind::kRoot), nullptr);
+    ASSERT_NE(t.find("dup", NameKind::kKlass), nullptr);
+    EXPECT_EQ(t.find("dup", NameKind::kRoot)->value, 10u);
+    EXPECT_EQ(t.find("dup", NameKind::kKlass)->value, 20u);
+    // Same (name, kind) pair is the only duplicate.
+    EXPECT_THROW(t.insert("dup", NameKind::kRoot, 30), FatalError);
+    t.upsert("dup", NameKind::kRoot, 30);
+    EXPECT_EQ(t.find("dup", NameKind::kRoot)->value, 30u);
+    EXPECT_EQ(t.find("dup", NameKind::kKlass)->value, 20u);
+}
+
+TEST(NameTableEdgeTest, ConcurrentUpsertsConvergeToOneEntry)
+{
+    NvmDevice dev(4u << 20);
+    NameTable t(&dev, dev.toAddr(0), 256);
+    constexpr int kThreads = 4;
+    constexpr int kPerThread = 32;
+
+    std::vector<std::thread> workers;
+    for (int w = 0; w < kThreads; ++w) {
+        workers.emplace_back([&t, w]() {
+            for (int i = 0; i < kPerThread; ++i) {
+                // Every thread hammers one shared name and owns a
+                // private range.
+                t.upsert("shared", NameKind::kRoot,
+                         static_cast<Word>(w * 1000 + i));
+                t.upsert("t" + std::to_string(w) + "-" +
+                             std::to_string(i),
+                         NameKind::kRoot, static_cast<Word>(i));
+                t.find("shared", NameKind::kRoot);
+            }
+        });
+    }
+    for (auto &th : workers)
+        th.join();
+
+    // Exactly one "shared" entry survives, holding one of the
+    // written values; every private name is present.
+    std::size_t shared_entries = 0;
+    t.forEach([&](NameEntry &e) {
+        if (std::strcmp(e.name, "shared") == 0)
+            ++shared_entries;
+    });
+    EXPECT_EQ(shared_entries, 1u);
+    EXPECT_EQ(t.count(), 1u + kThreads * kPerThread);
+    for (int w = 0; w < kThreads; ++w) {
+        for (int i = 0; i < kPerThread; ++i) {
+            ASSERT_NE(t.find("t" + std::to_string(w) + "-" +
+                                 std::to_string(i),
+                             NameKind::kRoot),
+                      nullptr);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Undo log: zero-length records
+// ---------------------------------------------------------------------
+
+class UndoLogEdgeTest : public ::testing::Test
+{
+  protected:
+    static constexpr std::size_t kLogSize = 16u << 10;
+    static constexpr std::size_t kDataSize = 4096;
+
+    UndoLogEdgeTest() : dev_((kLogSize + kDataSize) * 2)
+    {
+        log_ = UndoLog(&dev_, dev_.toAddr(0), kLogSize,
+                       dev_.toAddr(kLogSize));
+        data_ = dev_.toAddr(kLogSize);
+    }
+
+    Word *
+    word(std::size_t i)
+    {
+        return reinterpret_cast<Word *>(data_) + i;
+    }
+
+    NvmDevice dev_;
+    UndoLog log_;
+    Addr data_ = 0;
+};
+
+TEST_F(UndoLogEdgeTest, ZeroLengthRecordDoesNotCorruptPreviousEntry)
+{
+    *word(0) = 0xAAAA;
+    *word(1) = 0xBBBB;
+    dev_.persist(data_, 2 * kWordSize);
+
+    log_.begin();
+    log_.record(reinterpret_cast<Addr>(word(0)), kWordSize);
+    // The regression: a zero-length record used to write
+    // old_bytes[-1], zeroing the previous entry's checksum word so
+    // rollback silently dropped it.
+    log_.record(reinterpret_cast<Addr>(word(1)), 0);
+    *word(0) = 0x1111;
+    *word(1) = 0x2222;
+    dev_.persist(data_, 2 * kWordSize);
+    log_.abort();
+
+    EXPECT_EQ(*word(0), 0xAAAAu) << "guarded overwrite must roll back";
+    // word(1) was recorded with zero length: nothing guarded,
+    // nothing restored.
+    EXPECT_EQ(*word(1), 0x2222u);
+}
+
+TEST_F(UndoLogEdgeTest, ZeroLengthOnlyTransactionCommitsAndAborts)
+{
+    log_.begin();
+    log_.record(data_, 0);
+    log_.commit();
+
+    log_.begin();
+    log_.record(data_, 0);
+    log_.abort();
+
+    // The log stays fully usable for real records.
+    *word(2) = 7;
+    dev_.persist(reinterpret_cast<Addr>(word(2)), kWordSize);
+    log_.begin();
+    log_.record(reinterpret_cast<Addr>(word(2)), kWordSize);
+    *word(2) = 8;
+    log_.abort();
+    EXPECT_EQ(*word(2), 7u);
+}
+
+} // namespace
+} // namespace espresso
