@@ -65,6 +65,25 @@ class MarkBitmap
     /** Record a live object at @p obj spanning @p size bytes. */
     void markObject(Addr obj, std::size_t size);
 
+    /**
+     * Atomically claim the object at @p obj: set its start bit with a
+     * word-level CAS and, when this call won the claim, set its live
+     * bits. Returns true exactly once per object across concurrent
+     * markers — the claim the parallel mark phase relies on to push
+     * each object onto exactly one worker's stack.
+     */
+    bool
+    tryMarkObject(Addr obj, std::size_t size)
+    {
+        std::size_t bit = bitIndex(obj);
+        if (startBits_.testAtomic(bit))
+            return false;
+        if (!startBits_.testAndSetAtomic(bit))
+            return false;
+        liveBits_.setRangeAtomic(bit, bitIndex(obj + size));
+        return true;
+    }
+
     bool
     isMarked(Addr obj) const
     {

@@ -23,6 +23,7 @@ RegionTable::buildSummary(const MarkBitmap &marks, Addr compact_base)
 {
     std::size_t blocks_per_region = regionSize_ / kBlockSize;
     Addr cursor = compact_base;
+    compactBase_ = compact_base;
     for (std::size_t r = 0; r < liveBytes_.size(); ++r) {
         Addr rbase = regionBase(r);
         std::size_t region_live = 0;
@@ -36,6 +37,34 @@ RegionTable::buildSummary(const MarkBitmap &marks, Addr compact_base)
         liveBytes_[r] = region_live;
         destBase_[r] = cursor;
         cursor += region_live;
+    }
+    newTop_ = cursor;
+}
+
+void
+RegionTable::buildSummary(const MarkBitmap &marks, Addr compact_base,
+                          const std::vector<std::size_t> &slice_begins)
+{
+    buildSummary(marks, compact_base);
+    applySlices(slice_begins);
+}
+
+void
+RegionTable::applySlices(const std::vector<std::size_t> &slice_begins)
+{
+    std::size_t next_slice = 0;
+    Addr cursor = compactBase_;
+    for (std::size_t r = 0; r < liveBytes_.size(); ++r) {
+        if (next_slice < slice_begins.size() &&
+            slice_begins[next_slice] == r) {
+            // A new compaction slice: its live data packs into its
+            // own span. cursor <= regionBase always holds (sliding),
+            // so this only ever moves the cursor up to the boundary.
+            cursor = regionBase(r);
+            ++next_slice;
+        }
+        destBase_[r] = cursor;
+        cursor += liveBytes_[r];
     }
     newTop_ = cursor;
 }

@@ -47,6 +47,39 @@ class RegionTable
      */
     void buildSummary(const MarkBitmap &marks, Addr compact_base);
 
+    /**
+     * Slice-aware summary for region-parallel compaction: the
+     * destination cursor additionally resets to the slice's own first
+     * region base at every region index in @p slice_begins (sorted,
+     * first element 0). Each slice therefore packs its live data into
+     * its own region span, making slices fully independent — no
+     * slice's destination range overlaps another slice's source
+     * range, so workers can compact slices concurrently. The
+     * inter-slice gaps left behind are plugged with filler objects by
+     * the compactor. With the single slice {0} this is exactly the
+     * classic global sliding summary.
+     */
+    void buildSummary(const MarkBitmap &marks, Addr compact_base,
+                      const std::vector<std::size_t> &slice_begins);
+
+    /**
+     * Re-derive the destinations for a new slice partition from the
+     * live counts of the last buildSummary — O(#regions), no bitmap
+     * pass. This is all slicing changes: per-region live bytes and
+     * block prefixes are partition-independent.
+     */
+    void applySlices(const std::vector<std::size_t> &slice_begins);
+
+    /** Packed end (one past the last live destination byte) of the
+     * region range [begin, end) — the filler-gap start for a slice. */
+    Addr
+    packedEnd(std::size_t begin, std::size_t end) const
+    {
+        if (end <= begin)
+            return regionBase(begin);
+        return destBase_[end - 1] + liveBytes_[end - 1];
+    }
+
     /** Post-compaction allocation top. */
     Addr newTop() const { return newTop_; }
 
@@ -80,6 +113,7 @@ class RegionTable
     Addr base_ = 0;
     std::size_t size_ = 0;
     std::size_t regionSize_ = 0;
+    Addr compactBase_ = 0; ///< from the last buildSummary
     Addr newTop_ = 0;
     std::vector<std::size_t> liveBytes_; ///< per region
     std::vector<Addr> destBase_;         ///< per region

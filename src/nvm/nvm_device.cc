@@ -105,11 +105,14 @@ NvmDevice::fence()
     std::vector<std::size_t> &staged = localShard().staged;
     if (!staged.empty()) {
         // Two threads may stage the same line (adjacent metadata
-        // words); serialize the line copies so the durable image
-        // never sees a half-merged line.
-        std::lock_guard<std::mutex> g(commitMu_);
-        for (std::size_t line : staged)
+        // words); serialize per line — via its stripe lock — so the
+        // durable image never sees a half-merged line, while fences
+        // of disjoint lines proceed in parallel.
+        for (std::size_t line : staged) {
+            SpinGuard g(commitLocks_[(line / kCacheLineSize) %
+                                     kCommitStripes]);
             commitLine(line);
+        }
     }
     staged.clear();
     spinFor(cfg_.fenceLatencyNs);

@@ -22,6 +22,7 @@
 #ifndef ESPRESSO_NVM_NVM_DEVICE_HH
 #define ESPRESSO_NVM_NVM_DEVICE_HH
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <memory>
@@ -31,6 +32,7 @@
 
 #include "nvm/crash_injector.hh"
 #include "util/common.hh"
+#include "util/spin.hh"
 
 namespace espresso {
 
@@ -194,9 +196,16 @@ class NvmDevice
     /** All shards ever handed out, one per touching thread. */
     std::vector<std::unique_ptr<StagingShard>> shards_;
     std::mutex shardMu_;
-    /** Serializes durable-image commits: two threads may legally
-     * fence lines from the same metadata cache line. */
-    std::mutex commitMu_;
+    /**
+     * Striped per-line commit locks: two threads may legally fence
+     * the same metadata cache line, so each line's durable copy must
+     * be exclusive — but lines hash to independent stripes, so
+     * concurrent fences of disjoint data (parallel GC slice workers,
+     * allocator TLAB traffic) commit without contending on one
+     * global mutex.
+     */
+    static constexpr std::size_t kCommitStripes = 64;
+    std::array<SpinLock, kCommitStripes> commitLocks_;
     NvmStats stats_;
     CrashInjector *injector_ = nullptr;
 };

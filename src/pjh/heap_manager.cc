@@ -18,8 +18,20 @@ HeapManager::~HeapManager()
 }
 
 void
+HeapManager::setGcThreads(unsigned n)
+{
+    gcThreads_ = n;
+    // n == 0 restores each heap's own default (PjhHeap::setGcThreads
+    // interprets 0 the same way).
+    for (auto &kv : heaps_)
+        kv.second->setGcThreads(n);
+}
+
+void
 HeapManager::wireHeap(const std::string &name, PjhHeap *heap)
 {
+    if (gcThreads_ != 0)
+        heap->setGcThreads(gcThreads_);
     if (volatileHeap_) {
         volatileHeap_->addExternalSpace(heap);
         VolatileHeap *vh = volatileHeap_;

@@ -80,6 +80,14 @@ class HeapManager
     /** Device backing @p name (for fault injection), or nullptr. */
     NvmDevice *deviceOf(const std::string &name) const;
 
+    /**
+     * GC worker threads for every heap this manager owns: applied to
+     * all currently loaded heaps and to every heap created or loaded
+     * afterwards. 0 restores each heap's own default
+     * (ESPRESSO_GC_THREADS or 1).
+     */
+    void setGcThreads(unsigned n);
+
     KlassRegistry &registry() { return *registry_; }
 
   private:
@@ -89,6 +97,8 @@ class HeapManager
     KlassRegistry *registry_;
     VolatileHeap *volatileHeap_;
     NvmConfig nvmCfg_;
+    /** Manager-wide GC thread override; 0 = per-heap default. */
+    unsigned gcThreads_ = 0;
     std::map<std::string, std::unique_ptr<NvmDevice>> devices_;
     std::map<std::string, std::unique_ptr<PjhHeap>> heaps_;
 };

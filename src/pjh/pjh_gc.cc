@@ -1,6 +1,10 @@
 #include "pjh/pjh_gc.hh"
 
+#include <algorithm>
+#include <chrono>
 #include <cstring>
+#include <exception>
+#include <thread>
 
 #include "pjh/klass_segment.hh"
 #include "util/logging.hh"
@@ -15,6 +19,24 @@ struct RootJournalEntry
     Word slotIndex;  ///< name-table slot
     Word destOffset; ///< new value, as a data-heap offset
 };
+
+/** One parallel-mark worker's claimed-object stack. Thieves lock the
+ * owner's mutex and take the coldest half from the bottom. */
+struct MarkWorker
+{
+    std::mutex mu;
+    std::vector<Addr> stack;
+    std::uint64_t marked = 0;
+};
+
+std::uint64_t
+gcNowNs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
 
 } // namespace
 
@@ -31,10 +53,125 @@ PjhCompactor::PjhCompactor(PjhHeap &heap, std::ptrdiff_t delta)
       stamp_(static_cast<std::uint16_t>(heap.meta_->globalTimestamp))
 {}
 
+std::size_t
+PjhCompactor::usedRegions() const
+{
+    const PjhMetadata *meta = h_.meta_;
+    return (meta->topOffset + meta->regionSize - 1) / meta->regionSize;
+}
+
+bool
+PjhCompactor::boundaryIsObjectAligned(std::size_t r) const
+{
+    // A slice boundary is only legal where no live object straddles
+    // it: the boundary granule must be dead, or be an object start.
+    // A straddler would otherwise be split between two independent
+    // destination cursors — its copied tail would collide with the
+    // inter-slice gap filler while the next slice's destinations
+    // leave a matching unparseable hole (and its source tail lies in
+    // another worker's slice).
+    Addr boundary = dataPhys_ + r * h_.meta_->regionSize;
+    std::size_t bit = (boundary - dataPhys_) / MarkBitmap::kGranule;
+    return !h_.marks_.liveBits().test(bit) ||
+           h_.marks_.startBits().test(bit);
+}
+
 void
 PjhCompactor::buildSummary()
 {
     regions_.buildSummary(h_.marks_, dataPhys_);
+}
+
+void
+PjhCompactor::planSlices(unsigned threads)
+{
+    PjhMetadata *meta = h_.meta_;
+    std::size_t used = usedRegions();
+    std::size_t want = std::max<std::size_t>(threads, 1);
+    want = std::min({want, PjhMetadata::kMaxGcSlices,
+                     std::max<std::size_t>(used, 1)});
+
+    struct Span
+    {
+        std::size_t begin, end;
+    };
+    std::vector<Span> slices;
+    if (used == 0) {
+        slices.push_back({0, 0});
+    } else {
+        std::size_t total_live = 0;
+        for (std::size_t r = 0; r < used; ++r)
+            total_live += regions_.liveBytesInRegion(r);
+        std::size_t target = std::max<std::size_t>(
+            (total_live + want - 1) / want, 1);
+        std::size_t begin = 0, acc = 0;
+        for (std::size_t r = 0; r < used; ++r) {
+            acc += regions_.liveBytesInRegion(r);
+            bool last_region = r + 1 == used;
+            if (last_region) {
+                slices.push_back({begin, used});
+            } else if (acc >= target && slices.size() + 1 < want &&
+                       boundaryIsObjectAligned(r + 1)) {
+                slices.push_back({begin, r + 1});
+                begin = r + 1;
+                acc = 0;
+            }
+        }
+        // A slice whose inter-slice gap would be exactly one word
+        // cannot be covered by a filler header: merge it into its
+        // successor (the last slice's gap lies above the final top
+        // and needs no filler).
+        auto slice_live = [&](const Span &s) {
+            std::size_t live = 0;
+            for (std::size_t r = s.begin; r < s.end; ++r)
+                live += regions_.liveBytesInRegion(r);
+            return live;
+        };
+        for (std::size_t i = 0; i + 1 < slices.size();) {
+            std::size_t span =
+                (slices[i].end - slices[i].begin) * meta->regionSize;
+            if (span - slice_live(slices[i]) == kWordSize) {
+                slices[i].end = slices[i + 1].end;
+                slices.erase(slices.begin() +
+                             static_cast<std::ptrdiff_t>(i) + 1);
+            } else {
+                ++i;
+            }
+        }
+    }
+
+    // Persist the plan before gcInProgress is raised: recovery must
+    // rebuild the *identical* slice-aware summary.
+    meta->gcSliceCount = slices.size();
+    for (std::size_t i = 0; i < slices.size(); ++i)
+        meta->setGcSlice(i, slices[i].begin, slices[i].end,
+                         slices[i].begin);
+    dev_.flush(reinterpret_cast<Addr>(&meta->gcSliceCount),
+               sizeof(Word));
+    dev_.flush(reinterpret_cast<Addr>(meta->gcSlices),
+               slices.size() * PjhMetadata::kGcSliceWords *
+                   sizeof(Word));
+    dev_.fence();
+
+    sliceBegins_.clear();
+    for (const Span &s : slices)
+        sliceBegins_.push_back(s.begin);
+    // Re-derive only the destinations: the per-region live counts
+    // from buildSummary() are partition-independent.
+    regions_.applySlices(sliceBegins_);
+}
+
+void
+PjhCompactor::loadSlices()
+{
+    const PjhMetadata *meta = h_.meta_;
+    std::size_t n = meta->gcSliceCount;
+    if (n == 0 || n > PjhMetadata::kMaxGcSlices)
+        panic("PJH recovery: corrupt compaction-slice table");
+    sliceBegins_.clear();
+    for (std::size_t i = 0; i < n; ++i)
+        sliceBegins_.push_back(meta->gcSliceBegin(i));
+    regions_.buildSummary(h_.marks_, dataPhys_, sliceBegins_);
 }
 
 Addr
@@ -187,6 +324,11 @@ PjhCompactor::processObject(Addr src_phys, std::size_t size)
 
     // Overlapping (or in-place-with-changes) move: stage the source
     // in the bounce buffer so recovery keeps an intact undo copy.
+    // The buffer is shared across slice workers; the lock keeps the
+    // owner-tag protocol single-owner, so a crash still finds at
+    // most one staged object, and its whole protocol (stage, tag,
+    // move, stamp) is durable before the next owner is tagged.
+    std::lock_guard<std::mutex> bounce_guard(bounceMu_);
     Addr bounce = reinterpret_cast<Addr>(dev_.base()) + meta->bounceOff;
     if (size > meta->bounceSize)
         panic("PJH GC: object exceeds bounce buffer");
@@ -208,62 +350,155 @@ PjhCompactor::processObject(Addr src_phys, std::size_t size)
 }
 
 void
-PjhCompactor::compact(bool resume)
+PjhCompactor::plugSliceGap(Addr gap, std::size_t bytes)
+{
+    // Recovery runs pre-rebase: express the filler's klass ref in
+    // the stored address space (delta_ == 0 online).
+    h_.writeFillerHeader(
+        gap, bytes,
+        h_.fillerInstanceImage_ - static_cast<Addr>(delta_),
+        h_.fillerArrayImage_ - static_cast<Addr>(delta_));
+    // Full persist (not just a staged flush): the filler must be
+    // durable before the slice cursor is even *written* — an
+    // unfenced dirty cursor line can survive a crash under random
+    // cache eviction, and "slice done" must always imply "gap
+    // parses".
+    dev_.persist(gap, bytes >= ObjectLayout::kArrayHeaderSize
+                          ? ObjectLayout::kArrayHeaderSize
+                          : ObjectLayout::kHeaderSize);
+}
+
+void
+PjhCompactor::processSlice(std::size_t s, bool resume,
+                           const std::atomic<bool> *abort)
 {
     PjhMetadata *meta = h_.meta_;
     Addr limit = dataPhys_ + meta->topOffset;
-    std::size_t num_regions = meta->dataSize / meta->regionSize;
+    std::size_t begin = meta->gcSliceBegin(s);
+    std::size_t end = meta->gcSliceEnd(s);
+    std::size_t start = begin;
+    if (resume)
+        start = std::max<std::size_t>(start, meta->gcSliceCursor(s));
 
-    for (std::size_t r = 0; r < num_regions; ++r) {
+    for (std::size_t r = start; r < end; ++r) {
+        if (abort && abort->load(std::memory_order_relaxed))
+            return;
         Addr rbase = dataPhys_ + r * meta->regionSize;
-        if (rbase >= limit)
-            break;
-        if (resume && h_.regionBits_.test(r))
-            continue;
-        Addr rend = rbase + meta->regionSize;
-        Addr scan = rbase;
         bool any = false;
-        while (true) {
-            Addr src = h_.marks_.nextMarkedObject(
-                scan, rend < limit ? rend : limit);
-            if (src == kNullAddr)
-                break;
-            any = true;
-            std::size_t size = h_.marks_.liveSizeAt(src);
-            bool done = false;
-            if (resume) {
-                Addr dest_phys = regions_.forwardee(src, h_.marks_);
-                // Recovery redo check: a destination header already
-                // carrying the current stamp means this object's
-                // protocol completed before the crash. If the bounce
-                // buffer owns this source, the staged copy is the
-                // authoritative source.
-                if (Oop(dest_phys).gcTimestamp() == stamp_)
-                    done = true;
-                else if (meta->bounceOwnerOffset == src - dataPhys_) {
-                    // Redo from the bounce copy: the source bytes may
-                    // be half-overwritten by the crashed move.
-                    Addr bounce =
-                        reinterpret_cast<Addr>(dev_.base()) +
-                        meta->bounceOff;
-                    std::memcpy(reinterpret_cast<void *>(src),
-                                reinterpret_cast<const void *>(bounce),
-                                size);
+        if (rbase < limit && !(resume && h_.regionBits_.test(r))) {
+            Addr rend = rbase + meta->regionSize;
+            Addr scan = rbase;
+            while (true) {
+                if (abort && abort->load(std::memory_order_relaxed))
+                    return;
+                Addr src = h_.marks_.nextMarkedObject(
+                    scan, rend < limit ? rend : limit);
+                if (src == kNullAddr)
+                    break;
+                any = true;
+                std::size_t size = h_.marks_.liveSizeAt(src);
+                bool done = false;
+                if (resume) {
+                    Addr dest_phys = regions_.forwardee(src, h_.marks_);
+                    // Recovery redo check: a destination header
+                    // already carrying the current stamp means this
+                    // object's protocol completed before the crash.
+                    // If the bounce buffer owns this source, the
+                    // staged copy is the authoritative source.
+                    if (Oop(dest_phys).gcTimestamp() == stamp_)
+                        done = true;
+                    else if (meta->bounceOwnerOffset ==
+                             src - dataPhys_) {
+                        // Redo from the bounce copy: the source bytes
+                        // may be half-overwritten by the crashed move.
+                        Addr bounce =
+                            reinterpret_cast<Addr>(dev_.base()) +
+                            meta->bounceOff;
+                        std::memcpy(reinterpret_cast<void *>(src),
+                                    reinterpret_cast<const void *>(
+                                        bounce),
+                                    size);
+                    }
                 }
+                if (!done)
+                    processObject(src, size);
+                scan = src + size;
             }
-            if (!done)
-                processObject(src, size);
-            scan = src + size;
         }
-        // Mark the region fully processed so recovery can skip it.
+        // Before the final cursor advance, plug the inter-slice gap
+        // so "slice done" durably implies "heap parses through it".
+        // The last slice's gap lies above the new top.
+        if (r + 1 == end && s + 1 < meta->gcSliceCount) {
+            Addr packed = regions_.packedEnd(begin, end);
+            Addr gap_end = dataPhys_ + end * meta->regionSize;
+            if (packed < gap_end)
+                plugSliceGap(packed, gap_end - packed);
+        }
+        // Durable progress: region bitmap bit (concurrent slices may
+        // share a bitmap word — set atomically) plus the slice's
+        // cursor, committed with one fence after the region's
+        // objects are durable.
         if (any) {
-            h_.regionBits_.set(r);
+            h_.regionBits_.setAtomic(r);
             dev_.flush(reinterpret_cast<Addr>(
                            h_.regionBits_.data() + r / 64),
                        sizeof(Word));
-            dev_.fence();
         }
+        meta->setGcSliceCursor(s, r + 1);
+        dev_.flush(
+            reinterpret_cast<Addr>(
+                &meta->gcSlices[s * PjhMetadata::kGcSliceWords]),
+            PjhMetadata::kGcSliceWords * sizeof(Word));
+        dev_.fence();
     }
+}
+
+void
+PjhCompactor::compact(bool resume, unsigned workers)
+{
+    PjhMetadata *meta = h_.meta_;
+    std::size_t num_slices = meta->gcSliceCount;
+    if (num_slices == 0 || num_slices > PjhMetadata::kMaxGcSlices)
+        panic("PJH GC: compact without a planned slice table");
+
+    unsigned effective =
+        static_cast<unsigned>(std::min<std::size_t>(
+            std::max(workers, 1u), num_slices));
+    if (effective <= 1) {
+        for (std::size_t s = 0; s < num_slices; ++s)
+            processSlice(s, resume, nullptr);
+        return;
+    }
+
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> abort{false};
+    std::mutex err_mu;
+    std::exception_ptr err;
+    auto body = [&]() {
+        try {
+            for (;;) {
+                std::size_t s =
+                    next.fetch_add(1, std::memory_order_relaxed);
+                if (s >= num_slices ||
+                    abort.load(std::memory_order_relaxed))
+                    return;
+                processSlice(s, resume, &abort);
+            }
+        } catch (...) {
+            {
+                std::lock_guard<std::mutex> g(err_mu);
+                if (!err)
+                    err = std::current_exception();
+            }
+            abort.store(true, std::memory_order_relaxed);
+        }
+    };
+
+    h_.gcPool_.run(effective, [&](unsigned) { body(); });
+    // A SimulatedCrash (or any worker failure) propagates to the
+    // caller once every worker has stopped touching the device.
+    if (err)
+        std::rethrow_exception(err);
 }
 
 void
@@ -273,14 +508,17 @@ PjhCompactor::finish()
     Word new_top_off = regions_.newTop() - dataPhys_;
     meta->topOffset = new_top_off;
     dev_.persist(reinterpret_cast<Addr>(&meta->topOffset), sizeof(Word));
+    // Compaction rewrote the heap under every registered TLAB chunk:
+    // retire the slot table *before* the in-collection flag drops,
+    // so an unclean reboot can never run tail repair against stale
+    // chunk bounds on a compacted heap.
+    h_.clearTlabSlots();
     meta->gcInProgress = 0;
     dev_.persist(reinterpret_cast<Addr>(&meta->gcInProgress),
                  sizeof(Word));
     h_.top_ = dataPhys_ + new_top_off;
-    // Compaction rewrote the heap under every active TLAB: retire
-    // the registered chunks and invalidate the per-thread windows so
-    // the next allocation of each thread carves afresh.
-    h_.clearTlabSlots();
+    // Invalidate the per-thread windows so the next allocation of
+    // each thread carves afresh.
     h_.tlabEpoch_.fetch_add(1, std::memory_order_release);
 }
 
@@ -292,12 +530,24 @@ PjhGc::PjhGc(PjhHeap &heap, VolatileHeap *volatile_heap)
     : h_(heap), vh_(volatile_heap)
 {}
 
+bool
+PjhGc::isFillerRef(Addr ref) const
+{
+    Addr img = Oop(ref).klassImage();
+    return img == h_.fillerInstanceImage_ || img == h_.fillerArrayImage_;
+}
+
 void
 PjhGc::markRef(Addr ref)
 {
     if (ref == kNullAddr || !h_.containsData(ref))
         return;
     if (h_.marks_.isMarked(ref))
+        return;
+    // Filler space (retired TLAB tails, repaired gaps) is never
+    // user-reachable; a stale volatile slot pointing at it must not
+    // resurrect it.
+    if (isFillerRef(ref))
         return;
     Oop obj(ref);
     h_.marks_.markObject(ref, pjhRawObjectSize(obj));
@@ -321,6 +571,12 @@ PjhGc::markPhase()
     h_.regionBits_.clearAll();
     markedCount_ = 0;
 
+    unsigned workers = h_.gcThreads();
+    if (workers > 1) {
+        parallelMark(workers);
+        return;
+    }
+
     auto root_visitor = [this](Addr slot) { markRef(loadWord(slot)); };
 
     h_.names_.forEach([&](NameEntry &e) {
@@ -337,12 +593,159 @@ PjhGc::markPhase()
 }
 
 void
+PjhGc::parallelMark(unsigned num_workers)
+{
+    // DRAM root slots are enumerated once (the volatile-side visitors
+    // are not range-addressable) and striped across workers, like the
+    // name-table index space.
+    std::vector<Addr> dram_slots;
+    visitDramSlots([&](Addr slot) { dram_slots.push_back(slot); });
+
+    std::vector<MarkWorker> workers(num_workers);
+    std::atomic<std::uint64_t> pending{0};
+    std::atomic<unsigned> roots_done{0};
+    std::atomic<bool> failed{false};
+
+    // Claim an object for worker @p me: the CAS on the start bit
+    // guarantees exactly one worker pushes it.
+    auto claim = [&](Addr ref, MarkWorker &me) {
+        if (ref == kNullAddr || !h_.containsData(ref))
+            return;
+        if (isFillerRef(ref))
+            return;
+        Oop obj(ref);
+        std::size_t size = pjhRawObjectSize(obj);
+        if (!h_.marks_.tryMarkObject(ref, size))
+            return;
+        ++me.marked;
+        pending.fetch_add(1, std::memory_order_acq_rel);
+        std::lock_guard<std::mutex> g(me.mu);
+        me.stack.push_back(ref);
+    };
+
+    std::size_t name_cap = h_.names_.capacity();
+    std::size_t n_dram = dram_slots.size();
+    std::mutex err_mu;
+    std::exception_ptr err;
+
+    auto body = [&](unsigned wi) {
+        MarkWorker &me = workers[wi];
+        // Root stripe 1: name-table slots [lo, hi).
+        std::size_t lo = name_cap * wi / num_workers;
+        std::size_t hi = name_cap * (wi + 1) / num_workers;
+        for (std::size_t i = lo; i < hi; ++i) {
+            NameEntry *e = h_.names_.entryAt(i);
+            if (e->state == NameEntry::kValid &&
+                e->kind == static_cast<Word>(NameKind::kRoot))
+                claim(e->value, me);
+        }
+        // Root stripe 2: pre-collected DRAM slots.
+        std::size_t dlo = n_dram * wi / num_workers;
+        std::size_t dhi = n_dram * (wi + 1) / num_workers;
+        for (std::size_t i = dlo; i < dhi; ++i)
+            claim(loadWord(dram_slots[i]), me);
+        roots_done.fetch_add(1, std::memory_order_acq_rel);
+
+        // Trace: drain the local stack, steal when empty. Workers
+        // may only exit once every root stripe is scanned and no
+        // claimed object is still unscanned (pending == 0).
+        for (;;) {
+            Addr obj = kNullAddr;
+            {
+                std::lock_guard<std::mutex> g(me.mu);
+                if (!me.stack.empty()) {
+                    obj = me.stack.back();
+                    me.stack.pop_back();
+                }
+            }
+            if (obj == kNullAddr) {
+                for (unsigned t = 1; t < num_workers && obj == kNullAddr;
+                     ++t) {
+                    MarkWorker &victim =
+                        workers[(wi + t) % num_workers];
+                    std::vector<Addr> loot;
+                    {
+                        std::lock_guard<std::mutex> g(victim.mu);
+                        if (!victim.stack.empty()) {
+                            std::size_t take =
+                                (victim.stack.size() + 1) / 2;
+                            loot.assign(victim.stack.begin(),
+                                        victim.stack.begin() +
+                                            static_cast<std::ptrdiff_t>(
+                                                take));
+                            victim.stack.erase(
+                                victim.stack.begin(),
+                                victim.stack.begin() +
+                                    static_cast<std::ptrdiff_t>(take));
+                        }
+                    }
+                    if (!loot.empty()) {
+                        obj = loot.back();
+                        loot.pop_back();
+                        if (!loot.empty()) {
+                            std::lock_guard<std::mutex> g(me.mu);
+                            me.stack.insert(me.stack.end(),
+                                            loot.begin(), loot.end());
+                        }
+                    }
+                }
+            }
+            if (obj != kNullAddr) {
+                pjhRawForEachRefSlot(Oop(obj), [&](Addr slot) {
+                    claim(loadWord(slot), me);
+                });
+                pending.fetch_sub(1, std::memory_order_acq_rel);
+                continue;
+            }
+            if (failed.load(std::memory_order_acquire))
+                break;
+            if (roots_done.load(std::memory_order_acquire) ==
+                    num_workers &&
+                pending.load(std::memory_order_acquire) == 0)
+                break;
+            std::this_thread::yield();
+        }
+    };
+
+    auto guarded = [&](unsigned wi) {
+        try {
+            body(wi);
+        } catch (...) {
+            {
+                std::lock_guard<std::mutex> g(err_mu);
+                if (!err)
+                    err = std::current_exception();
+            }
+            // Marking performs no persistence events, so failures
+            // here are programming errors (panic/fatal throw); the
+            // flag lets sibling workers exit without touching the
+            // pending counter, which they may still be decrementing.
+            failed.store(true, std::memory_order_release);
+        }
+    };
+
+    h_.gcPool_.run(num_workers, guarded);
+    if (err)
+        std::rethrow_exception(err);
+
+    for (const MarkWorker &w : workers)
+        markedCount_ += w.marked;
+}
+
+void
 PjhGc::fixVolatileSide(const PjhCompactor &compactor)
 {
     auto fixer = [&](Addr slot) {
         Addr ref = loadWord(slot);
-        if (ref != kNullAddr && h_.containsData(ref))
-            storeWord(slot, compactor.forwardStored(ref));
+        if (ref == kNullAddr || !h_.containsData(ref))
+            return;
+        // Only marked objects have meaningful forwardees: a stale
+        // volatile slot pointing at filler space (or anything else
+        // the mark phase did not reach) must not be forwarded into
+        // whatever garbage now occupies that destination.
+        if (!h_.marks_.isMarked(ref))
+            return;
+        storeWord(slot, compactor.forwardStored(ref));
     };
     visitDramSlots(fixer);
 }
@@ -352,14 +755,17 @@ PjhGc::collect()
 {
     NvmDevice &dev = h_.device();
     PjhMetadata *meta = h_.meta_;
+    unsigned workers = h_.gcThreads();
 
     // --- Mark, then persist the heap sketch. -------------------------
+    std::uint64_t t_mark = gcNowNs();
     markPhase();
     Addr base = reinterpret_cast<Addr>(dev.base());
     dev.flush(base + meta->markStartOff, meta->markBytes);
     dev.flush(base + meta->markLiveOff, meta->markBytes);
     dev.flush(base + meta->regionBitmapOff, meta->regionBitmapBytes);
     dev.fence();
+    h_.mutableStats().lastGcMarkNs = gcNowNs() - t_mark;
 
     // --- Stale every object (bump + persist the global stamp). ------
     meta->globalTimestamp += 1;
@@ -370,21 +776,34 @@ PjhGc::collect()
               sizeof(Word));
     dev.fence();
 
-    // --- Summary (idempotent) + root journal, then arm recovery. ----
+    // --- Summary + slice plan + root journal, then arm recovery. ----
     PjhCompactor compactor(h_, 0);
     compactor.buildSummary();
+    compactor.planSlices(workers);
     compactor.writeRootJournal();
     meta->gcInProgress = 1;
     dev.persist(reinterpret_cast<Addr>(&meta->gcInProgress),
                 sizeof(Word));
 
-    // --- Compact. -----------------------------------------------------
+    // --- Compact (slice-parallel). -----------------------------------
+    std::uint64_t t_compact = gcNowNs();
     compactor.applyRootJournal();
-    compactor.compact(/*resume=*/false);
+    compactor.compact(/*resume=*/false, workers);
     compactor.finish();
+    h_.mutableStats().lastGcCompactNs = gcNowNs() - t_compact;
 
     // --- Volatile side is recomputable; repair it last. --------------
     fixVolatileSide(compactor);
+
+    // Persist the GC stats with the same flush+fence discipline as
+    // the other metadata words, so a post-crash reader never sees
+    // stale values.
+    meta->gcLastMarked = markedCount_;
+    meta->gcCollections += 1;
+    dev.flush(reinterpret_cast<Addr>(&meta->gcLastMarked), sizeof(Word));
+    dev.flush(reinterpret_cast<Addr>(&meta->gcCollections),
+              sizeof(Word));
+    dev.fence();
     h_.mutableStats().lastGcMarked = markedCount_;
 }
 

@@ -7,9 +7,9 @@
  *
  *  1. Mark into the NVM-resident bitmaps; persist them, then the
  *     incremented global timestamp (staling every object), then the
- *     root redo journal (new values for every root-table entry,
- *     computed from the idempotent summary), and finally the
- *     in-collection flag.
+ *     compaction-slice plan, the root redo journal (new values for
+ *     every root-table entry, computed from the idempotent summary),
+ *     and finally the in-collection flag.
  *  2. Apply the journal (idempotent), then slide live objects down
  *     in ascending address order. Each object is copied, its
  *     references rewritten through the summary's pure forwardee
@@ -19,9 +19,36 @@
  *     Self-overlapping moves stage the source in the persistent
  *     bounce buffer (owner tag persisted before the destination is
  *     touched), preserving the undo-by-source property. Fully
- *     evacuated regions are recorded in the region bitmap.
- *  3. Persist the new top, clear the in-collection flag, then repair
- *     the volatile side (handles, DRAM objects) — all recomputable.
+ *     evacuated regions are recorded in the region bitmap and in the
+ *     owning slice's durable cursor.
+ *  3. Persist the new top, retire the TLAB slot table (compaction
+ *     subsumed every chunk), clear the in-collection flag, then
+ *     repair the volatile side (handles, DRAM objects) — all
+ *     recomputable.
+ *
+ * Both phases are region-parallel (the paper's §4.2 bitmap design
+ * permits region-granular compaction):
+ *
+ *  - **Mark** runs gcThreads workers with per-worker mark stacks and
+ *    work stealing. An object is claimed by an atomic CAS on its
+ *    start bit, so it is pushed onto exactly one worker's stack.
+ *    Roots are partitioned across workers: each scans a stripe of
+ *    name-table slots and a stripe of the pre-collected DRAM slots.
+ *  - **Compact** partitions the used regions into up to gcThreads
+ *    slices balanced by live bytes. Each slice packs its live data
+ *    into its own region span (see RegionTable::buildSummary's
+ *    slice-aware overload), making slices disjoint in both source
+ *    and destination, so workers compact them concurrently; sliding
+ *    within a slice stays sequential, preserving the torn-object
+ *    repair invariants. Inter-slice gaps are plugged with filler
+ *    objects (reclaimed by the next collection). The slice plan is
+ *    persisted in PjhMetadata before the in-collection flag, and
+ *    each slice durably advances a per-slice region cursor, so
+ *    compact(resume=true) recovery rebuilds the identical summary
+ *    and replays only unfinished slices.
+ *
+ * With gcThreads == 1 the plan is a single slice starting at the
+ * space base — exactly the classic global sliding compaction.
  *
  * PjhCompactor holds the shared machinery; PjhRecovery (§4.3) drives
  * the same compactor in resume mode with a remap delta.
@@ -30,7 +57,10 @@
 #ifndef ESPRESSO_PJH_PJH_GC_HH
 #define ESPRESSO_PJH_PJH_GC_HH
 
+#include <atomic>
 #include <cstdint>
+#include <mutex>
+#include <vector>
 
 #include "heap/region_table.hh"
 #include "pjh/pjh_heap.hh"
@@ -48,8 +78,24 @@ class PjhCompactor
   public:
     PjhCompactor(PjhHeap &heap, std::ptrdiff_t delta);
 
-    /** Rebuild the region indices from the (persisted) mark bitmap. */
+    /** Rebuild the region indices from the (persisted) mark bitmap,
+     * as one global sliding slice (pre-planning summary). */
     void buildSummary();
+
+    /**
+     * Partition the used regions into at most @p threads slices
+     * balanced by live bytes, persist the plan (count + per-slice
+     * {begin, end, cursor=begin}) into the metadata area, and
+     * rebuild the summary slice-aware. Slices whose inter-slice gap
+     * would be a single word (too small for a filler header) are
+     * merged with their successor. Must run after buildSummary() and
+     * before writeRootJournal().
+     */
+    void planSlices(unsigned threads);
+
+    /** Recovery path: adopt the persisted slice plan and rebuild the
+     * slice-aware summary from it. */
+    void loadSlices();
 
     /** Write the root redo journal (new value per root entry). */
     void writeRootJournal();
@@ -58,14 +104,16 @@ class PjhCompactor
     void applyRootJournal();
 
     /**
-     * Process every marked object in ascending order.
-     * @param resume skip regions recorded in the region bitmap and
-     *        objects whose destination already carries the current
-     *        timestamp.
+     * Process every marked object, slice by slice, with up to
+     * @p workers threads claiming whole slices.
+     * @param resume skip regions below each slice's durable cursor or
+     *        recorded in the region bitmap, and objects whose
+     *        destination already carries the current timestamp.
      */
-    void compact(bool resume);
+    void compact(bool resume, unsigned workers = 1);
 
-    /** Persist the new top and clear the in-collection flag. */
+    /** Persist the new top, retire the TLAB slots, and clear the
+     * in-collection flag. */
     void finish();
 
     /** Post-compaction destination of stored-space address @p v. */
@@ -74,8 +122,20 @@ class PjhCompactor
     Addr newTopPhys() const;
 
   private:
+    void processSlice(std::size_t s, bool resume,
+                      const std::atomic<bool> *abort);
     void processObject(Addr src_phys, std::size_t size);
     void copyWithFixups(Addr src_phys, Addr dest_phys, std::size_t size);
+
+    /** Cover an inter-slice gap with a durable filler object so the
+     * compacted heap parses end to end. */
+    void plugSliceGap(Addr gap, std::size_t bytes);
+
+    /** True when no live object straddles region @p r's base — the
+     * precondition for cutting a slice boundary there. */
+    bool boundaryIsObjectAligned(std::size_t r) const;
+
+    std::size_t usedRegions() const;
 
     PjhHeap &h_;
     NvmDevice &dev_;
@@ -84,6 +144,12 @@ class PjhCompactor
     Addr dataStored_;
     RegionTable regions_;
     std::uint16_t stamp_;
+    /** First region index of each planned slice (mirrors the
+     * persisted plan; drives the slice-aware summary). */
+    std::vector<std::size_t> sliceBegins_;
+    /** Serializes the shared bounce buffer across slice workers; the
+     * owner-tag protocol keeps single-owner semantics durable. */
+    std::mutex bounceMu_;
 };
 
 /** One online persistent-space collection. */
@@ -96,7 +162,9 @@ class PjhGc
 
   private:
     void markPhase();
+    void parallelMark(unsigned num_workers);
     void markRef(Addr ref);
+    bool isFillerRef(Addr ref) const;
     void visitDramSlots(const SlotVisitor &visitor);
     void fixVolatileSide(const PjhCompactor &compactor);
 

@@ -54,12 +54,83 @@ tlabBytesFromEnv(std::size_t stored)
     return stored;
 }
 
+unsigned
+gcThreadsFromEnv()
+{
+    if (const char *s = std::getenv("ESPRESSO_GC_THREADS")) {
+        long v = std::atol(s);
+        if (v > 0)
+            return static_cast<unsigned>(v);
+    }
+    return 1;
+}
+
+/** RAII allocation-epoch bracket (see allocGuardEnter). */
+struct AllocGuard
+{
+    explicit AllocGuard(PjhHeap &h) : h_(h) { h_.allocGuardEnter(); }
+    ~AllocGuard() { h_.allocGuardExit(); }
+    AllocGuard(const AllocGuard &) = delete;
+    AllocGuard &operator=(const AllocGuard &) = delete;
+
+    PjhHeap &h_;
+};
+
 } // namespace
 
 PjhHeap::PjhHeap(NvmDevice *device, KlassRegistry *registry)
     : dev_(device), registry_(registry),
       serial_(g_heapSerial.fetch_add(1, std::memory_order_relaxed))
-{}
+{
+    gcThreads_.store(gcThreadsFromEnv(), std::memory_order_relaxed);
+}
+
+void
+PjhHeap::setGcThreads(unsigned n)
+{
+    if (n == 0)
+        n = gcThreadsFromEnv(); // restore the default
+    if (n > PjhMetadata::kMaxGcSlices)
+        n = static_cast<unsigned>(PjhMetadata::kMaxGcSlices);
+    gcThreads_.store(n, std::memory_order_relaxed);
+}
+
+void
+PjhHeap::allocGuardEnter()
+{
+    allocsInFlight_.fetch_add(1, std::memory_order_seq_cst);
+    if (gcActive_.load(std::memory_order_seq_cst)) {
+#ifndef NDEBUG
+        allocsInFlight_.fetch_sub(1, std::memory_order_seq_cst);
+        panic("PJH: pnew raced collect(); collections are "
+              "stop-the-world and require quiesced mutators");
+#endif
+    }
+}
+
+void
+PjhHeap::allocGuardExit()
+{
+    allocsInFlight_.fetch_sub(1, std::memory_order_seq_cst);
+}
+
+void
+PjhHeap::triggerGcOutsideGuard()
+{
+    // Step outside the allocation-epoch bracket for the triggered
+    // collection: this thread is no longer mid-allocation, and
+    // collect() would otherwise count it as a racing mutator.
+    // Re-enter even when the collection throws (simulated crash,
+    // panic) — the caller's AllocGuard unwinds too.
+    allocGuardExit();
+    try {
+        gcTrigger_();
+    } catch (...) {
+        allocGuardEnter();
+        throw;
+    }
+    allocGuardEnter();
+}
 
 PjhHeap::~PjhHeap() = default;
 
@@ -203,6 +274,11 @@ PjhHeap::attach(NvmDevice *device, KlassRegistry *registry,
     meta->cleanShutdown = 0;
     device->persist(reinterpret_cast<Addr>(&meta->cleanShutdown),
                     sizeof(Word));
+    // GC statistics live in the metadata area (persisted with the
+    // usual flush+fence discipline at the end of every collection);
+    // seed the volatile mirror so post-crash readers see them.
+    heap->stats_.collections = meta->gcCollections;
+    heap->stats_.lastGcMarked = meta->gcLastMarked;
     heap->stats_.lastLoadNs = nowNs() - t0;
     return heap;
 }
@@ -336,7 +412,7 @@ PjhHeap::carveChunk(ThreadTlab &t, std::size_t min_size)
         }
         if (!gcTrigger_ || attempt > 0)
             fatal("PJH: out of persistent memory");
-        gcTrigger_();
+        triggerGcOutsideGuard();
     }
 }
 
@@ -409,13 +485,14 @@ PjhHeap::allocSlotless(const Klass *pk, Addr image, std::uint64_t length,
         }
         if (!gcTrigger_ || attempt > 0)
             fatal("PJH: out of persistent memory");
-        gcTrigger_();
+        triggerGcOutsideGuard();
     }
 }
 
 Oop
 PjhHeap::allocRaw(const Klass *k, std::uint64_t length)
 {
+    AllocGuard quiescence_guard(*this);
     ThreadTlab &t = threadTlab();
 
     // Phase 1 (§4.1): resolve the Klass / Klass image.
@@ -799,6 +876,22 @@ void
 PjhHeap::collect(VolatileHeap *volatile_heap)
 {
     std::uint64_t t0 = nowNs();
+    // Quiescence check (see the header contract): flag the
+    // collection, then look for in-flight allocations. seq_cst on
+    // both sides guarantees a racing allocator and this collector
+    // cannot both miss each other.
+    gcActive_.store(true, std::memory_order_seq_cst);
+    struct ActiveReset
+    {
+        std::atomic<bool> &flag;
+        ~ActiveReset() { flag.store(false, std::memory_order_seq_cst); }
+    } reset{gcActive_};
+    if (allocsInFlight_.load(std::memory_order_seq_cst) != 0) {
+#ifndef NDEBUG
+        panic("PJH collect(): an allocation is in flight; collections "
+              "are stop-the-world and require quiesced mutators");
+#endif
+    }
     PjhGc gc(*this, volatile_heap);
     gc.collect();
     ++stats_.collections;

@@ -38,6 +38,7 @@
 #include "pjh/undo_log.hh"
 #include "runtime/klass_registry.hh"
 #include "runtime/oop.hh"
+#include "util/worker_pool.hh"
 
 namespace espresso {
 
@@ -81,6 +82,8 @@ struct PjhStats
     std::uint64_t lastLoadBindNs = 0;
     std::uint64_t lastLoadSafetyNs = 0;
     std::uint64_t lastGcPauseNs = 0;
+    std::uint64_t lastGcMarkNs = 0;
+    std::uint64_t lastGcCompactNs = 0;
     std::uint64_t lastGcMarked = 0;
 };
 
@@ -201,9 +204,54 @@ class PjhHeap : public ExternalSpace
     /** ExternalSpace: slots referencing DRAM (for the volatile GC). */
     void forEachOutRefSlot(const SlotVisitor &visitor) override;
 
-    /** Full persistent-space collection (System.gc() analog);
-     * @p volatile_heap supplies DRAM→NVM roots (may be null). */
+    /**
+     * Full persistent-space collection (System.gc() analog);
+     * @p volatile_heap supplies DRAM→NVM roots (may be null).
+     *
+     * Precondition: mutators are quiesced — no thread may be inside
+     * an allocation (or start one) for the duration of the call. The
+     * allocation-epoch guard makes a racing allocator panic in debug
+     * builds; in release builds the precondition is the caller's
+     * responsibility (this documented contract).
+     */
     void collect(VolatileHeap *volatile_heap);
+
+    /**
+     * @name GC parallelism knob
+     *
+     * Worker threads used by the persistent mark and compact phases.
+     * 1 (the default) is the classic serial stop-the-world path;
+     * higher values fan mark work and compaction slices out across
+     * threads, bounded by PjhMetadata::kMaxGcSlices. Defaults to
+     * ESPRESSO_GC_THREADS when set; passing 0 restores that default.
+     */
+    /// @{
+    unsigned
+    gcThreads() const
+    {
+        return gcThreads_.load(std::memory_order_relaxed);
+    }
+
+    void setGcThreads(unsigned n);
+    /// @}
+
+    /**
+     * @name Allocation-epoch guard (collect() quiescence check)
+     *
+     * Every allocation brackets its heap-mutating window with
+     * enter/exit; collect() raises the GC-active flag and checks the
+     * in-flight count. Both sides use seq_cst so at least one of a
+     * racing (allocator, collector) pair observes the other — the
+     * race then fails loudly (debug panic) instead of silently
+     * corrupting the heap. In release builds the check compiles to
+     * nothing beyond the counter and the documented precondition on
+     * collect() stands. Public for the internal RAII bracket; not
+     * part of the user API.
+     */
+    /// @{
+    void allocGuardEnter();
+    void allocGuardExit();
+    /// @}
 
     NvmDevice &device() { return *dev_; }
     PjhMetadata &meta() { return *meta_; }
@@ -286,6 +334,10 @@ class PjhHeap : public ExternalSpace
     /** Clear and persist every TLAB slot (attach / post-GC). */
     void clearTlabSlots();
 
+    /** Invoke the GC trigger with the allocation-epoch guard
+     * released, restoring it even on an exception. */
+    void triggerGcOutsideGuard();
+
     void rebase(std::ptrdiff_t delta);
     void zeroingScan();
     void checkRefStore(Oop obj, Oop value) const;
@@ -318,6 +370,16 @@ class PjhHeap : public ExternalSpace
     std::atomic<std::uint32_t> nextTlabSlot_{0};
     /** Chunk size (bytes); meta_->tlabBytes, or ESPRESSO_TLAB_BYTES. */
     std::size_t tlabBytes_ = 0;
+    /** GC worker threads (mark + compact); see setGcThreads(). */
+    std::atomic<unsigned> gcThreads_{1};
+    /** Persistent worker team for the parallel GC phases: reusing
+     * threads across collections bounds the per-thread NVM staging
+     * shards the device registers and skips thread-start latency. */
+    WorkerPool gcPool_;
+    /** Allocations currently inside their heap-mutating window. */
+    std::atomic<std::uint32_t> allocsInFlight_{0};
+    /** True while collect() owns the heap. */
+    std::atomic<bool> gcActive_{false};
     /** Cached filler KlassImage addresses for walk skipping. */
     Addr fillerInstanceImage_ = 0;
     Addr fillerArrayImage_ = 0;

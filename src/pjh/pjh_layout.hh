@@ -70,7 +70,7 @@ struct PjhConfig
 struct PjhMetadata
 {
     static constexpr Word kMagic = 0x455350524a480001ull; // "ESPRJH",v1
-    static constexpr Word kVersion = 2;
+    static constexpr Word kVersion = 3;
 
     /** Maximum concurrently registered TLAB chunks. Threads beyond
      * this fall back to fully locked, immediately durable
@@ -81,6 +81,16 @@ struct PjhMetadata
      * a full cache line so two threads never persist the same line
      * when registering their chunks. */
     static constexpr std::size_t kTlabSlotWords = 8;
+
+    /** Maximum compaction slices of one collection (also the upper
+     * bound on useful gcThreads). */
+    static constexpr std::size_t kMaxGcSlices = 32;
+
+    /** Words per GC-slice slot: {beginRegion, endRegion,
+     * cursorRegion} plus padding to a full cache line so concurrent
+     * slice workers never persist the same line when advancing their
+     * cursors. */
+    static constexpr std::size_t kGcSliceWords = 8;
 
     Word magic;
     Word version;
@@ -173,6 +183,68 @@ struct PjhMetadata
         tlabSlots[i * kTlabSlotWords] = start;
         tlabSlots[i * kTlabSlotWords + 1] = end;
     }
+
+    /** @name Persistent GC statistics (§4.2 bookkeeping)
+     *
+     * Written with the same flush+fence discipline as the other
+     * metadata words at the end of every collection, so post-crash
+     * readers never see stale values. */
+    /// @{
+    Word gcLastMarked;  ///< objects marked by the last collection
+    Word gcCollections; ///< completed collections over the heap's life
+    /// @}
+
+    /** Number of compaction slices planned for the in-progress (or
+     * most recent) collection; persisted before gcInProgress is
+     * raised so recovery rebuilds the identical slice-aware summary. */
+    Word gcSliceCount;
+
+    /** Pad so the GC slice table below stays cache-line aligned. */
+    Word gcStatsPad[5];
+
+    /**
+     * The per-slice compaction progress table (§4.2 extended for
+     * region parallelism): slot i holds {beginRegion, endRegion,
+     * cursorRegion}. A slice's worker processes regions
+     * [beginRegion, endRegion) in ascending order and durably
+     * advances cursorRegion past each completed region, so
+     * compact(resume=true) recovery replays only the regions at or
+     * past each slice's cursor. One cache line per slot: concurrent
+     * workers never flush each other's lines.
+     */
+    Word gcSlices[kMaxGcSlices * kGcSliceWords];
+
+    Word
+    gcSliceBegin(std::size_t i) const
+    {
+        return gcSlices[i * kGcSliceWords];
+    }
+
+    Word
+    gcSliceEnd(std::size_t i) const
+    {
+        return gcSlices[i * kGcSliceWords + 1];
+    }
+
+    Word
+    gcSliceCursor(std::size_t i) const
+    {
+        return gcSlices[i * kGcSliceWords + 2];
+    }
+
+    void
+    setGcSlice(std::size_t i, Word begin, Word end, Word cursor)
+    {
+        gcSlices[i * kGcSliceWords] = begin;
+        gcSlices[i * kGcSliceWords + 1] = end;
+        gcSlices[i * kGcSliceWords + 2] = cursor;
+    }
+
+    void
+    setGcSliceCursor(std::size_t i, Word cursor)
+    {
+        gcSlices[i * kGcSliceWords + 2] = cursor;
+    }
 };
 
 static_assert(offsetof(PjhMetadata, tlabSlots) % 64 == 0,
@@ -180,6 +252,11 @@ static_assert(offsetof(PjhMetadata, tlabSlots) % 64 == 0,
 static_assert(sizeof(PjhMetadata::tlabSlots) ==
                   PjhMetadata::kMaxTlabSlots * 64,
               "one cache line per TLAB slot");
+static_assert(offsetof(PjhMetadata, gcSlices) % 64 == 0,
+              "each GC slice slot must own a whole cache line");
+static_assert(sizeof(PjhMetadata::gcSlices) ==
+                  PjhMetadata::kMaxGcSlices * 64,
+              "one cache line per GC slice slot");
 
 /**
  * Compute component offsets for @p cfg.

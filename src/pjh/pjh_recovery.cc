@@ -17,9 +17,14 @@ PjhRecovery::run()
 
     PjhCompactor compactor(h_, delta_);
     // Step 1 is implicit: the mark bitmap is read in place from NVM.
-    // Step 2: regenerate the volatile summary from it.
-    compactor.buildSummary();
-    // Step 3: finish the collection with the same algorithm.
+    // Step 2: regenerate the volatile summary from the persisted
+    // bitmap and the persisted compaction-slice plan — recovery must
+    // compute the exact forwardees the crashed collection used.
+    compactor.loadSlices();
+    // Step 3: finish the collection with the same algorithm. The
+    // per-slice durable cursors limit the replay to unfinished
+    // slices; replayed objects whose destination header already
+    // carries the current stamp are skipped, so nothing moves twice.
     compactor.applyRootJournal();
     compactor.compact(/*resume=*/true);
     compactor.finish();

@@ -18,6 +18,24 @@ BitmapView::setRange(std::size_t begin, std::size_t end)
     }
 }
 
+void
+BitmapView::setRangeAtomic(std::size_t begin, std::size_t end)
+{
+    for (std::size_t b = begin; b < end;) {
+        std::size_t word = b / 64;
+        std::size_t word_end = (word + 1) * 64;
+        std::size_t chunk_end = word_end < end ? word_end : end;
+        Word mask;
+        if (b % 64 == 0 && chunk_end == word_end)
+            mask = ~Word(0);
+        else // partial word: chunk_end - b < 64 here by construction
+            mask = ((Word(1) << (chunk_end - b)) - 1) << (b % 64);
+        std::atomic_ref<Word>(data()[word])
+            .fetch_or(mask, std::memory_order_relaxed);
+        b = chunk_end;
+    }
+}
+
 std::size_t
 BitmapView::popcount(std::size_t begin, std::size_t end) const
 {

@@ -12,6 +12,7 @@
 #ifndef ESPRESSO_UTIL_BITMAP_HH
 #define ESPRESSO_UTIL_BITMAP_HH
 
+#include <atomic>
 #include <cstddef>
 #include <cstring>
 #include <vector>
@@ -60,6 +61,44 @@ class BitmapView
     }
 
     void set(std::size_t bit) { words_[bit / 64] |= Word(1) << (bit % 64); }
+
+    /**
+     * Atomically set @p bit; safe against concurrent setters sharing
+     * the backing word. Returns true when this call flipped the bit
+     * (it was previously clear) — the CAS-claim primitive the
+     * parallel GC mark uses to push each object exactly once.
+     */
+    bool
+    testAndSetAtomic(std::size_t bit)
+    {
+        Word mask = Word(1) << (bit % 64);
+        Word old = std::atomic_ref<Word>(words_[bit / 64])
+                       .fetch_or(mask, std::memory_order_acq_rel);
+        return (old & mask) == 0;
+    }
+
+    /** Atomic read of @p bit (pre-claim fast path). */
+    bool
+    testAtomic(std::size_t bit) const
+    {
+        Word w = std::atomic_ref<Word>(
+                     const_cast<Word &>(words_[bit / 64]))
+                     .load(std::memory_order_relaxed);
+        return (w >> (bit % 64)) & 1;
+    }
+
+    /** Atomically set @p bit without reporting the old value. */
+    void
+    setAtomic(std::size_t bit)
+    {
+        std::atomic_ref<Word>(words_[bit / 64])
+            .fetch_or(Word(1) << (bit % 64), std::memory_order_relaxed);
+    }
+
+    /** Set all bits in [begin, end) with word-atomic ORs, safe
+     * against concurrent range-setters whose ranges share boundary
+     * words (adjacent live-bitmap objects). */
+    void setRangeAtomic(std::size_t begin, std::size_t end);
 
     void
     clear(std::size_t bit)

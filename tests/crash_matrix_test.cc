@@ -391,6 +391,238 @@ TEST(CrashMatrixTest, MtAllocRootSweepWithCacheEviction)
 }
 
 // ---------------------------------------------------------------------
+// GC matrix: crashes injected mid-collection (mark persists, slice
+// compaction, finish), single- and multi-slice, then recovered via
+// compact(resume=true)
+// ---------------------------------------------------------------------
+
+/**
+ * A heap of rooted lists interleaved with garbage, collected with a
+ * crash injected at a randomized persistence event of the collection
+ * itself. Recovery replays only unfinished compaction slices.
+ *
+ * Invariants after recovery (§4.2/§4.3 extended with slices):
+ *  - the heap parses end to end (inter-slice gaps plugged);
+ *  - every root resolves to its full list — exact length, exact
+ *    values, so no node was lost, invented, or moved twice (every
+ *    value is unique; a double-move would surface as a duplicated
+ *    or clobbered node);
+ *  - every surviving object is one the workload wrote;
+ *  - the recovered heap accepts new work and a follow-up clean
+ *    collection that drops all remaining garbage.
+ */
+/** 48-byte list node: deliberately does NOT divide the 64 KiB region
+ * size, so packed live objects straddle region boundaries and slice
+ * planning must route cuts around them. */
+KlassDef
+gcNodeDef()
+{
+    return KlassDef{"GcNode",
+                    "",
+                    {{"value", FieldType::kI64},
+                     {"next", FieldType::kRef},
+                     {"pad1", FieldType::kI64},
+                     {"pad2", FieldType::kI64}},
+                    false};
+}
+
+struct GcRig
+{
+    static constexpr int kRoots = 6;
+    static constexpr int kPerList = 400;
+    static constexpr int kGarbagePerLive = 3;
+
+    explicit GcRig(unsigned gc_threads)
+    {
+        rt = std::make_unique<EspressoRuntime>();
+        rt->define(gcNodeDef());
+        valueOff = rt->fieldOffset("GcNode", "value");
+        nextOff = rt->fieldOffset("GcNode", "next");
+        rt->heaps().setGcThreads(gc_threads);
+        heap = rt->heaps().createHeap(kHeapName, 16u << 20);
+
+        std::int64_t next_value = 1;
+        for (int r = 0; r < kRoots; ++r) {
+            Oop head;
+            for (int i = 0; i < kPerList; ++i) {
+                head = node(next_value, head);
+                liveValues.insert(next_value);
+                ++next_value;
+                for (int g = 0; g < kGarbagePerLive; ++g) {
+                    node(-next_value, Oop());
+                    writtenValues.insert(-next_value);
+                    ++next_value;
+                }
+            }
+            heap->setRoot("r" + std::to_string(r), head);
+        }
+        writtenValues.insert(liveValues.begin(), liveValues.end());
+        // Only the collection's own persistence events are swept.
+        rt->heaps().deviceOf(kHeapName)->setInjector(&injector);
+    }
+
+    Oop
+    node(std::int64_t v, Oop next)
+    {
+        Oop n = rt->pnewInstance(heap, "GcNode");
+        n.setI64(valueOff, v);
+        n.setRef(nextOff, next);
+        heap->flushObject(n);
+        return n;
+    }
+
+    std::unique_ptr<EspressoRuntime> rt;
+    PjhHeap *heap = nullptr;
+    CrashInjector injector;
+    std::uint32_t valueOff = 0, nextOff = 0;
+    std::set<std::int64_t> liveValues;
+    std::set<std::int64_t> writtenValues;
+};
+
+void
+verifyGcRecovered(GcRig &rig, PjhHeap *h, std::uint64_t event)
+{
+    // Invariant 1: the heap parses end to end, and every surviving
+    // object holds a value the workload wrote, at most once each (a
+    // node moved twice would appear twice or clobber a neighbour).
+    std::multiset<std::int64_t> seen;
+    ASSERT_NO_THROW(h->forEachObject([&](Oop o) {
+        ASSERT_EQ(o.klass()->name(), "GcNode") << "gc event " << event;
+        seen.insert(o.getI64(rig.valueOff));
+    })) << "gc event "
+        << event;
+    for (std::int64_t v : seen) {
+        EXPECT_TRUE(rig.writtenValues.count(v))
+            << "gc event " << event << " invented value " << v;
+        EXPECT_EQ(seen.count(v), 1u)
+            << "gc event " << event << " value " << v
+            << " duplicated (object moved twice?)";
+    }
+    // ... and no live node was lost.
+    for (std::int64_t v : rig.liveValues) {
+        ASSERT_EQ(seen.count(v), 1u)
+            << "gc event " << event << " live value " << v << " lost";
+    }
+
+    // Invariant 2: every root resolves to its full, exact list.
+    for (int r = 0; r < GcRig::kRoots; ++r) {
+        Oop cur = h->getRoot("r" + std::to_string(r));
+        int len = 0;
+        std::int64_t prev = 0;
+        while (!cur.isNull()) {
+            ASSERT_EQ(cur.klass()->name(), "GcNode")
+                << "gc event " << event << " root " << r;
+            std::int64_t v = cur.getI64(rig.valueOff);
+            ASSERT_TRUE(rig.liveValues.count(v))
+                << "gc event " << event << " root " << r
+                << " reaches non-live value " << v;
+            // Lists were built head-first with ascending values.
+            if (len > 0) {
+                ASSERT_LT(v, prev)
+                    << "gc event " << event << " root " << r;
+            }
+            prev = v;
+            cur = Oop(cur.getRef(rig.nextOff));
+            ASSERT_LE(++len, GcRig::kPerList)
+                << "gc event " << event << " root " << r;
+        }
+        ASSERT_EQ(len, GcRig::kPerList)
+            << "gc event " << event << " root " << r;
+    }
+
+    // Invariant 3: the recovered heap takes new work and a clean
+    // follow-up collection that drops every remaining garbage node.
+    Oop extra = rig.rt->pnewInstance(h, "GcNode");
+    extra.setI64(rig.valueOff, 987654);
+    h->flushObject(extra);
+    h->setRoot("extra", extra);
+    h->collect(nullptr);
+    EXPECT_EQ(h->getRoot("extra").getI64(rig.valueOff), 987654)
+        << "gc event " << event;
+    std::size_t live_after = 0;
+    h->forEachObject([&](Oop) { ++live_after; });
+    EXPECT_EQ(live_after,
+              static_cast<std::size_t>(GcRig::kRoots *
+                                       GcRig::kPerList) +
+                  1)
+        << "gc event " << event;
+}
+
+void
+sweepGc(CrashMode mode, std::uint64_t seed, int iterations,
+        unsigned gc_threads)
+{
+    // Size the random crash points against an uninterrupted
+    // collection (the injector only observes the GC: it is attached
+    // after the workload is built).
+    std::uint64_t max_events;
+    {
+        GcRig probe(gc_threads);
+        probe.heap->collect(nullptr);
+        max_events = probe.injector.eventCount();
+        ASSERT_GT(max_events, 0u);
+    }
+
+    Rng rng(seed);
+    bool saw_multi_slice_recovery = false;
+    for (int it = 0; it < iterations; ++it) {
+        GcRig rig(gc_threads);
+        std::uint64_t event = 1 + rng.nextBelow(max_events);
+        rig.injector.arm(event);
+        bool crashed = false;
+        try {
+            rig.heap->collect(nullptr);
+        } catch (const SimulatedCrash &) {
+            crashed = true;
+        }
+        rig.injector.disarm();
+        if (testing::Test::HasFatalFailure())
+            return;
+        if (!crashed) {
+            // Event landed past the collection (worker interleaving
+            // shifted the stream): verify the clean path instead.
+            rig.rt->heaps().detachHeap(kHeapName);
+            PjhHeap *h = rig.rt->heaps().loadHeap(kHeapName);
+            verifyGcRecovered(rig, h, 0);
+            continue;
+        }
+        rig.rt->heaps().crashHeap(kHeapName, mode, seed + event);
+        PjhHeap *h = rig.rt->heaps().loadHeap(kHeapName);
+        if (h->stats().recoveries > 0 && h->meta().gcSliceCount > 1)
+            saw_multi_slice_recovery = true;
+        verifyGcRecovered(rig, h, event);
+        if (testing::Test::HasFatalFailure())
+            return;
+    }
+    if (gc_threads > 1) {
+        // The sweep must actually exercise multi-slice resume, not
+        // just pre-compaction crashes.
+        EXPECT_TRUE(saw_multi_slice_recovery)
+            << "no iteration crashed inside a multi-slice compaction";
+    }
+}
+
+TEST(CrashMatrixTest, GcSweepSingleSliceConservative)
+{
+    sweepGc(CrashMode::kDiscardUnflushed, 11, 10, 1);
+}
+
+TEST(CrashMatrixTest, GcSweepSingleSliceWithCacheEviction)
+{
+    sweepGc(CrashMode::kEvictRandomLines, 23, 10, 1);
+}
+
+TEST(CrashMatrixTest, GcSweepMultiSliceConservative)
+{
+    sweepGc(CrashMode::kDiscardUnflushed, 37, 14, 4);
+}
+
+TEST(CrashMatrixTest, GcSweepMultiSliceWithCacheEviction)
+{
+    sweepGc(CrashMode::kEvictRandomLines, 53, 14, 4);
+}
+
+// ---------------------------------------------------------------------
 // WAL-side matrix: commit brackets of varying width
 // ---------------------------------------------------------------------
 

@@ -231,6 +231,158 @@ TEST_F(PjhGcTest, SurvivesCollectionThenReload)
     }
 }
 
+TEST_F(PjhGcTest, ParallelCollectionPreservesGraphsAndCounts)
+{
+    h_->setGcThreads(4);
+    const int kLists = 8, kLen = 150;
+    std::vector<std::int64_t> expected;
+    for (int l = 0; l < kLists; ++l) {
+        Oop head;
+        for (int i = 0; i < kLen; ++i)
+            head = pnode(l * 1000 + i, head);
+        h_->setRoot("list" + std::to_string(l), head);
+        expected.push_back(listSum(head));
+        for (int g = 0; g < 400; ++g)
+            pnode(-g); // interleaved garbage
+    }
+
+    h_->collect(&rt_->heap());
+
+    EXPECT_EQ(h_->stats().lastGcMarked,
+              static_cast<std::uint64_t>(kLists * kLen));
+    std::size_t count = 0;
+    h_->forEachObject([&](Oop o) {
+        ++count;
+        EXPECT_EQ(o.klass()->name(), "Node");
+    });
+    EXPECT_EQ(count, static_cast<std::size_t>(kLists * kLen));
+    for (int l = 0; l < kLists; ++l)
+        EXPECT_EQ(listSum(h_->getRoot("list" + std::to_string(l))),
+                  expected[l])
+            << "list " << l;
+
+    // Idempotence with slice-local packing: a second parallel
+    // collection of the stable graph keeps every list intact.
+    h_->collect(&rt_->heap());
+    for (int l = 0; l < kLists; ++l)
+        EXPECT_EQ(listSum(h_->getRoot("list" + std::to_string(l))),
+                  expected[l])
+            << "list " << l << " after second collection";
+}
+
+TEST_F(PjhGcTest, ParallelCollectionHandlesRegionStraddlers)
+{
+    // 48-byte objects do not divide the 64 KiB region size, so once
+    // packed contiguously, live objects straddle region boundaries.
+    // Slice planning must only cut where no object straddles —
+    // regression test for slice-split straddlers.
+    rt_->define({"Fat",
+                 "",
+                 {{"value", FieldType::kI64},
+                  {"next", FieldType::kRef},
+                  {"pad1", FieldType::kI64},
+                  {"pad2", FieldType::kI64}},
+                 false});
+    std::uint32_t v_off = rt_->fieldOffset("Fat", "value");
+    std::uint32_t n_off = rt_->fieldOffset("Fat", "next");
+    h_->setGcThreads(8);
+
+    // Aperiodic garbage interleaving: a periodic layout can make
+    // every live-balanced cut point land on an object boundary by
+    // coincidence, hiding the straddler case this test exists for.
+    Rng rng(42);
+    const int kLen = 8000; // ~375 KiB live, ~6 regions when packed
+    Oop head;
+    std::int64_t expected = 0;
+    for (int i = 0; i < kLen; ++i) {
+        Oop o = rt_->pnewInstance(h_, "Fat");
+        o.setI64(v_off, i);
+        o.setRef(n_off, head);
+        h_->flushObject(o);
+        head = o;
+        expected += i;
+        for (std::uint64_t g = rng.nextBelow(3); g > 0; --g)
+            pnode(-i);
+    }
+    h_->setRoot("fat", head);
+
+    auto fat_sum = [&]() {
+        std::int64_t sum = 0;
+        int len = 0;
+        for (Oop cur = h_->getRoot("fat"); !cur.isNull();
+             cur = Oop(cur.getRef(n_off))) {
+            sum += cur.getI64(v_off);
+            ++len;
+        }
+        EXPECT_EQ(len, kLen);
+        return sum;
+    };
+
+    // First collection packs the survivors contiguously; the second
+    // and third compact a heap whose region boundaries are straddled.
+    for (int pass = 0; pass < 3; ++pass) {
+        h_->collect(&rt_->heap());
+        ASSERT_EQ(fat_sum(), expected) << "pass " << pass;
+        std::size_t count = 0;
+        h_->forEachObject([&](Oop o) {
+            ++count;
+            EXPECT_EQ(o.klass()->name(), "Fat");
+        });
+        ASSERT_EQ(count, static_cast<std::size_t>(kLen))
+            << "pass " << pass;
+    }
+    // The packed heap still yields a multi-slice plan (48-byte
+    // packing aligns with a region boundary every 3 regions), so
+    // this test really exercises parallel slices over straddlers.
+    EXPECT_GT(h_->meta().gcSliceCount, 1u);
+}
+
+TEST_F(PjhGcTest, StaleVolatileSlotIntoFillerIsNotForwarded)
+{
+    // A DRAM object whose ref field points at the active TLAB's
+    // trailing filler — the stale-handle shape left behind by
+    // retired TLABs. The filler must be neither retained by the mark
+    // phase nor forwarded into whatever lands at its destination.
+    Oop keep = pnode(7);
+    h_->setRoot("keep", keep);
+    Addr filler = keep.addr() + 32; // Node is 32 bytes; tail follows
+    ASSERT_TRUE(h_->containsData(filler));
+    Oop dram = rt_->newInstance("Node");
+    dram.setRef(nextOff_, Oop(filler));
+    Handle hd = rt_->handles().create(dram);
+
+    h_->collect(&rt_->heap());
+
+    // The filler was not treated as live: only the rooted Node
+    // survives (a retained 64 KiB TLAB filler would dwarf it).
+    EXPECT_EQ(h_->stats().lastGcMarked, 1u);
+    EXPECT_LT(h_->dataUsed(), 1024u);
+    std::size_t count = 0;
+    h_->forEachObject([&](Oop) { ++count; });
+    EXPECT_EQ(count, 1u);
+    // The stale slot was left alone, not forwarded into garbage.
+    EXPECT_EQ(Oop(hd.get().getRef(nextOff_)).addr(), filler);
+    rt_->handles().release(hd);
+}
+
+TEST_F(PjhGcTest, GcStatsSurviveReload)
+{
+    Oop head;
+    for (int i = 0; i < 32; ++i)
+        head = pnode(i, head);
+    h_->setRoot("head", head);
+    for (int i = 0; i < 500; ++i)
+        pnode(-i);
+    h_->collect(&rt_->heap());
+    ASSERT_EQ(h_->stats().lastGcMarked, 32u);
+
+    rt_->heaps().detachHeap("gc");
+    PjhHeap *h2 = rt_->heaps().loadHeap("gc");
+    EXPECT_EQ(h2->stats().lastGcMarked, 32u);
+    EXPECT_EQ(h2->stats().collections, 1u);
+    EXPECT_EQ(h2->meta().gcCollections, 1u);
+}
+
 TEST_F(PjhGcTest, RandomSharedGraphsSurviveRepeatedCollections)
 {
     Rng rng(7);
