@@ -22,12 +22,20 @@ TableSchema::columnIndex(const std::string &column_name) const
 std::size_t
 TableSchema::rowBytes() const
 {
-    return 16 + columns.size() * kValueSlotBytes;
+    // Cache-line aligned so concurrent transactions on adjacent rows
+    // never share a line: the group-commit drain copies whole lines
+    // while other threads encode their own rows.
+    return alignUp(16 + columns.size() * kValueSlotBytes,
+                   kCacheLineSize);
 }
 
 Catalog::Catalog(NvmDevice *device, Addr base)
     : device_(device), base_(base)
-{}
+{
+    // Pin the schema storage: concurrent DML holds references into
+    // tables() while DDL appends (see the threading contract).
+    tables_.reserve(kMaxTables);
+}
 
 const TableSchema &
 Catalog::createTable(const TableSchema &schema)
@@ -78,6 +86,7 @@ void
 Catalog::reload()
 {
     tables_.clear();
+    tables_.reserve(kMaxTables);
     Word count = loadWord(base_);
     for (Word i = 0; i < count; ++i) {
         Addr rec = base_ + kCacheLineSize + i * kTableRecordBytes;

@@ -3,6 +3,12 @@
  * Schema catalog: table definitions, persisted in a fixed-format
  * region of the database device so a reopened database knows its own
  * schema.
+ *
+ * Threading contract: createTable()/reload() are DDL and must be
+ * serialized by the caller (Database holds its DDL mutex) and must
+ * not run concurrently with DML. Concurrent readers of tables() are
+ * safe across a createTable because the backing vector reserves
+ * kMaxTables up front — existing TableSchema references never move.
  */
 
 #ifndef ESPRESSO_DB_CATALOG_HH
@@ -44,7 +50,8 @@ struct TableSchema
     /** Index of @p column_name, or npos. */
     std::size_t columnIndex(const std::string &column_name) const;
 
-    /** Bytes per stored row (state+rowid header plus value slots). */
+    /** Bytes per stored row (state+rowid header plus value slots,
+     * cache-line aligned so concurrent rows never share a line). */
     std::size_t rowBytes() const;
 };
 

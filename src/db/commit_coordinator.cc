@@ -1,0 +1,193 @@
+#include "db/commit_coordinator.hh"
+
+#include <algorithm>
+#include <chrono>
+
+#include "db/wal.hh"
+#include "nvm/nvm_device.hh"
+
+namespace espresso {
+namespace db {
+
+CommitCoordinator::CommitCoordinator(NvmDevice *device,
+                                     std::uint64_t window_ns)
+    : device_(device), windowNs_(window_ns)
+{}
+
+void
+CommitCoordinator::bumpMaxBatch(std::uint64_t n)
+{
+    std::uint64_t cur = statMaxBatch_.load(std::memory_order_relaxed);
+    while (cur < n && !statMaxBatch_.compare_exchange_weak(
+                          cur, n, std::memory_order_relaxed)) {
+    }
+}
+
+void
+CommitCoordinator::drainBatch(const std::vector<Waiter *> &batch)
+{
+    if (batch.size() >= kParallelDrainMin) {
+        // Wide burst: fan the image staging out — each worker stages
+        // its slice of shards and fences them, in parallel. Pool
+        // bodies must not throw; a simulated crash is re-raised here.
+        unsigned n = std::min<unsigned>(
+            kDrainWorkers, static_cast<unsigned>(batch.size()));
+        std::vector<std::exception_ptr> errs(n);
+        pool_.run(n, [&](unsigned w) {
+            try {
+                for (std::size_t i = w; i < batch.size(); i += n)
+                    batch[i]->shard->stageCommit();
+                device_->fence();
+            } catch (...) {
+                errs[w] = std::current_exception();
+            }
+        });
+        for (const std::exception_ptr &e : errs)
+            if (e)
+                std::rethrow_exception(e);
+    } else {
+        for (Waiter *w : batch)
+            w->shard->stageCommit();
+        device_->fence();
+    }
+    for (Waiter *w : batch)
+        w->shard->stageRetire();
+    device_->fence();
+}
+
+void
+CommitCoordinator::commit(WalShard &shard)
+{
+    std::uint64_t window = windowNs_.load(std::memory_order_relaxed);
+    if (window == 0) {
+        shard.commitEager();
+        statBatches_.fetch_add(1, std::memory_order_relaxed);
+        statTxns_.fetch_add(1, std::memory_order_relaxed);
+        bumpMaxBatch(1);
+        return;
+    }
+
+    Waiter self;
+    self.shard = &shard;
+    std::unique_lock<std::mutex> lock(mu_);
+    pending_.push_back(&self);
+    cv_.notify_all();
+
+    // Follow until done, or claim leadership of the next batch.
+    for (;;) {
+        if (self.done) {
+            if (self.err)
+                std::rethrow_exception(self.err);
+            return;
+        }
+        if (!leaderActive_)
+            break;
+        cv_.wait(lock);
+    }
+
+    leaderActive_ = true;
+    leaderWaiting_.store(true, std::memory_order_release);
+    auto now = std::chrono::steady_clock::now();
+    auto deadline = now + std::chrono::nanoseconds(window);
+    // A straggler that lost the CPU shouldn't cost the batch the
+    // whole window: once arrivals go quiet, drain what we have.
+    auto quiet = std::chrono::nanoseconds(std::max<std::uint64_t>(
+        window / 4, 1000));
+    std::size_t last_size = pending_.size();
+    auto last_arrival = now;
+    for (;;) {
+        unsigned target = std::min(
+            kMaxBatch,
+            std::max(1u, inflight_.load(std::memory_order_relaxed)));
+        if (pending_.size() >= target)
+            break;
+        if (pending_.size() != last_size) {
+            last_size = pending_.size();
+            last_arrival = std::chrono::steady_clock::now();
+        }
+        auto slice = std::min(deadline, last_arrival + quiet);
+        if (cv_.wait_until(lock, slice) == std::cv_status::timeout) {
+            now = std::chrono::steady_clock::now();
+            if (now >= deadline) {
+                statWindowTimeouts_.fetch_add(
+                    1, std::memory_order_relaxed);
+                break;
+            }
+            if (pending_.size() == last_size)
+                break; // quiescent: no arrival for a quiet period
+        }
+    }
+    leaderWaiting_.store(false, std::memory_order_release);
+
+    std::vector<Waiter *> batch;
+    batch.swap(pending_);
+    lock.unlock();
+
+    std::exception_ptr err;
+    try {
+        if (batch.size() == 1) {
+            // Alone after the window: the eager path, on this thread
+            // — identical to a coordinator-less commit.
+            batch[0]->shard->commitEager();
+        } else {
+            drainBatch(batch);
+        }
+    } catch (...) {
+        err = std::current_exception();
+    }
+
+    lock.lock();
+    statBatches_.fetch_add(1, std::memory_order_relaxed);
+    statTxns_.fetch_add(batch.size(), std::memory_order_relaxed);
+    bumpMaxBatch(batch.size());
+    for (Waiter *w : batch) {
+        if (w != &self) {
+            w->err = err;
+            w->done = true;
+        }
+    }
+    leaderActive_ = false;
+    cv_.notify_all();
+    lock.unlock();
+
+    if (err)
+        std::rethrow_exception(err);
+}
+
+void
+CommitCoordinator::txnEnded()
+{
+    inflight_.fetch_sub(1, std::memory_order_relaxed);
+    // A leader waiting for "every in-flight txn" may be waiting for
+    // this one; wake it so it re-derives its shrunken target. The
+    // lock makes the wakeup race-free; it is only taken while a
+    // leader actually sits in its window.
+    if (leaderWaiting_.load(std::memory_order_acquire)) {
+        std::lock_guard<std::mutex> g(mu_);
+        cv_.notify_all();
+    }
+}
+
+void
+CommitCoordinator::resetAfterCrash()
+{
+    std::lock_guard<std::mutex> g(mu_);
+    pending_.clear();
+    leaderActive_ = false;
+    inflight_.store(0, std::memory_order_relaxed);
+}
+
+CommitCoordinator::Stats
+CommitCoordinator::stats() const
+{
+    Stats s;
+    s.batches = statBatches_.load(std::memory_order_relaxed);
+    s.txns = statTxns_.load(std::memory_order_relaxed);
+    s.maxBatch = statMaxBatch_.load(std::memory_order_relaxed);
+    s.windowTimeouts =
+        statWindowTimeouts_.load(std::memory_order_relaxed);
+    return s;
+}
+
+} // namespace db
+} // namespace espresso

@@ -1,0 +1,139 @@
+/**
+ * @file
+ * Group commit: batch the flush+fence drain of concurrently
+ * committing transactions into one cycle.
+ *
+ * Eager commit pays two fences per transaction (new images, then the
+ * commit record). With K transactions committing concurrently the
+ * coordinator elects the first arrival leader; the leader waits up
+ * to the batch window for the other in-flight transactions to arrive
+ * and then drains the whole batch — every shard's new images staged,
+ * one fence, every shard's commit record staged, one fence — so the
+ * per-batch fence cost is constant in K.
+ *
+ * Small batches drain inline on the leader thread (two fences per
+ * batch). Large batches fan the per-shard image staging out across
+ * the persistent WorkerPool — each worker stages its slice of shards
+ * and fences them in parallel — before the leader's single retire
+ * fence, so the serial drain depth stays constant no matter how wide
+ * a burst commits.
+ *
+ * A batch of one falls back to the eager path on the caller's own
+ * thread, so single-threaded behavior (and its crash sweep event
+ * stream) is identical to a database without a coordinator.
+ */
+
+#ifndef ESPRESSO_DB_COMMIT_COORDINATOR_HH
+#define ESPRESSO_DB_COMMIT_COORDINATOR_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <vector>
+
+#include "util/worker_pool.hh"
+
+namespace espresso {
+
+class NvmDevice;
+
+namespace db {
+
+class WalShard;
+
+/** Batches concurrent transaction commits into shared drain cycles. */
+class CommitCoordinator
+{
+  public:
+    /** Largest batch one drain cycle will absorb. */
+    static constexpr unsigned kMaxBatch = 64;
+
+    /** Batches at least this big stage through the WorkerPool. */
+    static constexpr unsigned kParallelDrainMin = 8;
+
+    /** Stage-fan-out width for pool drains. */
+    static constexpr unsigned kDrainWorkers = 4;
+
+    /** @param device the database device; @param window_ns how long
+     * a leader waits for stragglers (0 = always eager). */
+    CommitCoordinator(NvmDevice *device, std::uint64_t window_ns);
+
+    CommitCoordinator(const CommitCoordinator &) = delete;
+    CommitCoordinator &operator=(const CommitCoordinator &) = delete;
+
+    /** Commit @p shard's open transaction; returns (or throws) once
+     * its commit record is durable. */
+    void commit(WalShard &shard);
+
+    /** In-flight transaction accounting: a leader stops waiting as
+     * soon as every in-flight transaction has joined its batch. */
+    void txnBegan() { inflight_.fetch_add(1, std::memory_order_relaxed); }
+    void txnEnded();
+
+    void setWindowNs(std::uint64_t ns)
+    {
+        windowNs_.store(ns, std::memory_order_relaxed);
+    }
+
+    std::uint64_t windowNs() const
+    {
+        return windowNs_.load(std::memory_order_relaxed);
+    }
+
+    /** Drop volatile batching state after a simulated power failure
+     * (callers are quiesced by contract). */
+    void resetAfterCrash();
+
+    struct Stats
+    {
+        std::uint64_t batches = 0; ///< drain cycles (incl. eager)
+        std::uint64_t txns = 0;    ///< transactions committed
+        std::uint64_t maxBatch = 0;
+        /** Leader windows that expired before every in-flight txn
+         * joined — a high ratio means the window is too short or
+         * in-flight txns are long. */
+        std::uint64_t windowTimeouts = 0;
+    };
+
+    Stats stats() const;
+
+  private:
+    struct Waiter
+    {
+        WalShard *shard = nullptr;
+        bool done = false;
+        std::exception_ptr err;
+    };
+
+    /** Stage+fence the whole batch; runs on the drain thread. */
+    void drainBatch(const std::vector<Waiter *> &batch);
+
+    /** Racy-max update for the maxBatch gauge. */
+    void bumpMaxBatch(std::uint64_t n);
+
+    NvmDevice *device_;
+    std::atomic<std::uint64_t> windowNs_;
+    std::atomic<unsigned> inflight_{0};
+
+    std::mutex mu_;
+    std::condition_variable cv_;
+    std::vector<Waiter *> pending_;
+    bool leaderActive_ = false;
+    /** True while a leader sits in its batch window, so txnEnded()
+     * knows to wake it (its target may just have shrunk). */
+    std::atomic<bool> leaderWaiting_{false};
+
+    WorkerPool pool_;
+
+    std::atomic<std::uint64_t> statBatches_{0};
+    std::atomic<std::uint64_t> statTxns_{0};
+    std::atomic<std::uint64_t> statMaxBatch_{0};
+    std::atomic<std::uint64_t> statWindowTimeouts_{0};
+};
+
+} // namespace db
+} // namespace espresso
+
+#endif // ESPRESSO_DB_COMMIT_COORDINATOR_HH

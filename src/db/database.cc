@@ -1,36 +1,48 @@
 #include "db/database.hh"
 
+#include <cstdlib>
+
+#include "nvm/crash_injector.hh"
 #include "util/logging.hh"
 
 namespace espresso {
 namespace db {
 
-/** Opens a statement-scoped transaction unless one is active. */
-class Database::AutoTx
+namespace {
+
+std::atomic<std::uint64_t> g_dbSerial{1};
+
+/** Unique per thread lifetime, never recycled (unlike thread ids). */
+std::atomic<std::uint64_t> g_threadToken{1};
+
+std::uint64_t
+threadToken()
 {
-  public:
-    explicit AutoTx(Database &database) : db_(database)
-    {
-        if (!db_.explicitTx_) {
-            db_.wal_.begin();
-            own_ = true;
-        }
-    }
+    static thread_local std::uint64_t token =
+        g_threadToken.fetch_add(1, std::memory_order_relaxed);
+    return token;
+}
 
-    ~AutoTx()
-    {
-        if (own_ && db_.wal_.active())
-            db_.wal_.commit();
+std::uint64_t
+groupCommitWindowFromEnv()
+{
+    if (const char *s = std::getenv("ESPRESSO_DB_GROUP_COMMIT")) {
+        long long v = std::atoll(s);
+        if (v > 0)
+            return static_cast<std::uint64_t>(v);
     }
+    return 0;
+}
 
-  private:
-    Database &db_;
-    bool own_ = false;
-};
+} // namespace
 
 Database::Database(const DatabaseConfig &cfg, NvmConfig nvm_cfg)
-    : cfg_(cfg)
+    : cfg_(cfg),
+      serial_(g_dbSerial.fetch_add(1, std::memory_order_relaxed))
 {
+    if (cfg_.groupCommitWindowUs == DatabaseConfig::kWindowFromEnv)
+        cfg_.groupCommitWindowUs = groupCommitWindowFromEnv();
+
     std::size_t catalog_off = alignUp(64, kCacheLineSize);
     std::size_t wal_off =
         catalog_off + alignUp(Catalog::persistedBytes(), kCacheLineSize);
@@ -41,40 +53,186 @@ Database::Database(const DatabaseConfig &cfg, NvmConfig nvm_cfg)
     dev_ = std::make_unique<NvmDevice>(total, nvm_cfg);
     Addr base = reinterpret_cast<Addr>(dev_->base());
     catalog_ = Catalog(dev_.get(), base + catalog_off);
-    wal_ = Wal(dev_.get(), base + wal_off, cfg.walSize);
-    rows_ = RowStore(dev_.get(), base + rowsOff_, cfg.rowRegionSize,
-                     &catalog_, cfg.rowsPerTable);
+    wal_ = std::make_unique<Wal>(dev_.get(), base + wal_off,
+                                 cfg_.walSize, cfg_.walShards);
+    rows_ = std::make_unique<RowStore>(dev_.get(), base + rowsOff_,
+                                       cfg_.rowRegionSize, &catalog_,
+                                       cfg_.rowsPerTable);
+    coordinator_ = std::make_unique<CommitCoordinator>(
+        dev_.get(), cfg_.groupCommitWindowUs * 1000);
 }
 
 Database::~Database() = default;
 
+Database::TxContext &
+Database::txContext()
+{
+    struct Cache
+    {
+        std::uint64_t serial = 0;
+        std::uint64_t gen = 0;
+        TxContext *ctx = nullptr;
+    };
+    static thread_local Cache cache;
+    std::uint64_t gen = generation_.load(std::memory_order_acquire);
+    if (cache.serial == serial_ && cache.gen == gen)
+        return *cache.ctx;
+    SpinGuard g(ctxMu_);
+    auto &slot = ctxs_[threadToken()];
+    if (!slot) {
+        slot = std::make_unique<TxContext>();
+        slot->shardId = nextShard_.fetch_add(1, std::memory_order_relaxed) %
+                        wal_->shardCount();
+        slot->rowTx.token = slot->shardId + 1;
+    }
+    cache = Cache{serial_, gen, slot.get()};
+    return *slot;
+}
+
+Database::TxContext *
+Database::txContextIfAny() const
+{
+    SpinGuard g(ctxMu_);
+    auto it = ctxs_.find(threadToken());
+    return it == ctxs_.end() ? nullptr : it->second.get();
+}
+
+void
+Database::beginTx(TxContext &ctx)
+{
+    WalShard &shard = wal_->shard(ctx.shardId);
+    // One transaction per shard: extra threads mapped to the same
+    // shard queue here.
+    shard.acquireTx();
+    shard.begin();
+    coordinator_->txnBegan();
+}
+
+void
+Database::commitTx(TxContext &ctx)
+{
+    WalShard &shard = wal_->shard(ctx.shardId);
+    if (shard.entryCount() == 0)
+        shard.retireEmpty(); // nothing written: no fences, no batch
+    else
+        coordinator_->commit(shard);
+    rows_->finishCommit(ctx.rowTx);
+    shard.releaseTx();
+    coordinator_->txnEnded();
+    ctx.lastOutcome = TxOutcome::kCommitted;
+}
+
+void
+Database::rollbackTx(TxContext &ctx, TxOutcome outcome)
+{
+    WalShard &shard = wal_->shard(ctx.shardId);
+    shard.rollbackAndRetire([this](Addr addr, std::size_t len) {
+        rows_->reconcileRange(addr, len);
+    });
+    rows_->finishRollback(ctx.rowTx);
+    shard.releaseTx();
+    coordinator_->txnEnded();
+    ctx.lastOutcome = outcome;
+}
+
+template <typename Fn>
+ResultSet
+Database::mutate(Fn &&fn)
+{
+    TxContext &ctx = txContext();
+    bool own = !ctx.explicitTx;
+    if (own)
+        beginTx(ctx);
+    ResultSet rs;
+    try {
+        rs = fn(ctx);
+    } catch (const WalFullError &e) {
+        // Recoverable: undo what the transaction already wrote and
+        // surface the outcome; the database stays usable. Rethrown
+        // as WalFullError so callers can distinguish "transaction
+        // too big" from genuine engine failures by type.
+        rollbackTx(ctx, TxOutcome::kRolledBackWalFull);
+        if (!own) {
+            ctx.explicitTx = false;
+            ctx.aborted = true;
+        }
+        throw WalFullError(
+            strCat("db: transaction rolled back: ", e.what()));
+    } catch (const SimulatedCrash &) {
+        throw; // power failed mid-statement; recovery sorts it out
+    } catch (...) {
+        // The statement died before mutating rows (bad column, dup
+        // pk, full table): an auto-txn rolls back; an explicit txn
+        // stays open for the caller to decide.
+        if (own)
+            rollbackTx(ctx, TxOutcome::kRolledBack);
+        throw;
+    }
+    if (own)
+        commitTx(ctx);
+    return rs;
+}
+
 void
 Database::begin()
 {
-    if (explicitTx_)
+    TxContext &ctx = txContext();
+    if (ctx.explicitTx)
         fatal("db: nested transactions are not supported");
-    wal_.begin();
-    explicitTx_ = true;
+    ctx.aborted = false;
+    beginTx(ctx);
+    ctx.explicitTx = true;
 }
 
 void
 Database::commit()
 {
-    if (!explicitTx_)
+    TxContext &ctx = txContext();
+    if (!ctx.explicitTx) {
+        if (ctx.aborted) {
+            ctx.aborted = false;
+            fatal("db: transaction was already rolled back "
+                  "(undo log full)");
+        }
         fatal("db: commit without begin");
-    wal_.commit();
-    explicitTx_ = false;
+    }
+    ctx.explicitTx = false;
+    commitTx(ctx);
 }
 
 void
 Database::rollback()
 {
-    if (!explicitTx_)
+    TxContext &ctx = txContext();
+    if (!ctx.explicitTx) {
+        if (ctx.aborted) {
+            ctx.aborted = false; // already rolled back by the engine
+            return;
+        }
         fatal("db: rollback without begin");
-    wal_.rollbackAndRetire();
-    explicitTx_ = false;
-    // Volatile indexes may now disagree with the rows; rebuild.
-    rows_.syncWithCatalog();
+    }
+    ctx.explicitTx = false;
+    rollbackTx(ctx, TxOutcome::kRolledBack);
+}
+
+bool
+Database::inTransaction() const
+{
+    TxContext *ctx = txContextIfAny();
+    return ctx && ctx->explicitTx;
+}
+
+TxOutcome
+Database::lastTxOutcome() const
+{
+    TxContext *ctx = txContextIfAny();
+    return ctx ? ctx->lastOutcome : TxOutcome::kNone;
+}
+
+unsigned
+Database::currentTxShard()
+{
+    return txContext().shardId;
 }
 
 std::size_t
@@ -86,12 +244,20 @@ Database::tableIndexOrDie(const std::string &table)
     return idx;
 }
 
+ResultSet
+Database::executeCreateTable(const TableSchema &schema)
+{
+    std::lock_guard<std::mutex> g(ddlMu_);
+    catalog_.createTable(schema);
+    rows_->ensureRegions();
+    return ResultSet{};
+}
+
 void
 Database::createTable(const TableSchema &schema)
 {
     PhaseScope scope(timer_, "database");
-    catalog_.createTable(schema);
-    rows_.syncWithCatalog();
+    executeCreateTable(schema);
 }
 
 void
@@ -102,11 +268,15 @@ Database::persistRecord(const std::string &table, const DbRecord &record)
     const TableSchema &schema = catalog_.tables()[t];
     if (record.values.size() != schema.columns.size())
         fatal("db: record shape mismatch for " + table);
-    AutoTx tx(*this);
-    std::int64_t pk = record.values[schema.pkColumn].i;
-    if (!rows_.update(t, pk, record.values, record.dirtyMask, wal_))
-        if (!rows_.insert(t, record.values, wal_))
-            fatal("db: persistRecord failed for " + table);
+    mutate([&](TxContext &ctx) {
+        WalShard &shard = wal_->shard(ctx.shardId);
+        std::int64_t pk = record.values[schema.pkColumn].i;
+        if (!rows_->update(t, pk, record.values, record.dirtyMask,
+                           shard, ctx.rowTx))
+            if (!rows_->insert(t, record.values, shard, ctx.rowTx))
+                fatal("db: persistRecord failed for " + table);
+        return ResultSet{};
+    });
 }
 
 bool
@@ -115,7 +285,7 @@ Database::fetchRecord(const std::string &table, std::int64_t pk,
 {
     PhaseScope scope(timer_, "database");
     std::size_t t = tableIndexOrDie(table);
-    return rows_.fetch(t, pk, &out->values);
+    return rows_->fetch(t, pk, &out->values);
 }
 
 bool
@@ -123,8 +293,13 @@ Database::deleteRecord(const std::string &table, std::int64_t pk)
 {
     PhaseScope scope(timer_, "database");
     std::size_t t = tableIndexOrDie(table);
-    AutoTx tx(*this);
-    return rows_.erase(t, pk, wal_);
+    bool erased = false;
+    mutate([&](TxContext &ctx) {
+        erased = rows_->erase(t, pk, wal_->shard(ctx.shardId),
+                              ctx.rowTx);
+        return ResultSet{};
+    });
+    return erased;
 }
 
 void
@@ -138,13 +313,13 @@ Database::scanEq(const std::string &table, const std::string &column,
     std::size_t c = catalog_.tables()[t].columnIndex(column);
     if (c == static_cast<std::size_t>(-1))
         fatal("db: no such column " + column);
-    rows_.scanEq(t, c, v, fn);
+    rows_->scanEq(t, c, v, fn);
 }
 
 std::size_t
 Database::rowCount(const std::string &table)
 {
-    return rows_.rowCount(tableIndexOrDie(table));
+    return rows_->rowCount(tableIndexOrDie(table));
 }
 
 ResultSet
@@ -165,11 +340,8 @@ Database::execute(const SqlStatement &stmt)
 {
     ResultSet rs;
     switch (stmt.kind) {
-      case SqlStatement::Kind::kCreateTable: {
-        catalog_.createTable(stmt.schema);
-        rows_.syncWithCatalog();
-        return rs;
-      }
+      case SqlStatement::Kind::kCreateTable:
+        return executeCreateTable(stmt.schema);
       case SqlStatement::Kind::kInsert: {
         std::size_t t = tableIndexOrDie(stmt.table);
         const TableSchema &schema = catalog_.tables()[t];
@@ -180,12 +352,15 @@ Database::execute(const SqlStatement &stmt)
                 fatal("db: no such column " + stmt.insertColumns[i]);
             row[c] = stmt.insertValues[i];
         }
-        AutoTx tx(*this);
-        if (!rows_.insert(t, row, wal_))
-            fatal("db: duplicate primary key inserting into " +
-                  stmt.table);
-        rs.affected = 1;
-        return rs;
+        return mutate([&](TxContext &ctx) {
+            ResultSet out;
+            if (!rows_->insert(t, row, wal_->shard(ctx.shardId),
+                               ctx.rowTx))
+                fatal("db: duplicate primary key inserting into " +
+                      stmt.table);
+            out.affected = 1;
+            return out;
+        });
       }
       case SqlStatement::Kind::kSelect: {
         std::size_t t = tableIndexOrDie(stmt.table);
@@ -220,13 +395,13 @@ Database::execute(const SqlStatement &stmt)
             if (wc == schema.pkColumn &&
                 stmt.whereValue.type == DbType::kI64) {
                 std::vector<DbValue> row;
-                if (rows_.fetch(t, stmt.whereValue.i, &row))
+                if (rows_->fetch(t, stmt.whereValue.i, &row))
                     emit(row);
             } else {
-                rows_.scanEq(t, wc, stmt.whereValue, emit);
+                rows_->scanEq(t, wc, stmt.whereValue, emit);
             }
         } else {
-            rows_.scanAll(t, emit);
+            rows_->scanAll(t, emit);
         }
         return rs;
       }
@@ -244,31 +419,42 @@ Database::execute(const SqlStatement &stmt)
             row[c] = val;
             mask |= 1ull << c;
         }
-        AutoTx tx(*this);
-        rs.affected =
-            rows_.update(t, stmt.whereValue.i, row, mask, wal_) ? 1 : 0;
-        return rs;
+        return mutate([&](TxContext &ctx) {
+            ResultSet out;
+            out.affected = rows_->update(t, stmt.whereValue.i, row,
+                                         mask, wal_->shard(ctx.shardId),
+                                         ctx.rowTx)
+                               ? 1
+                               : 0;
+            return out;
+        });
       }
       case SqlStatement::Kind::kDelete: {
         std::size_t t = tableIndexOrDie(stmt.table);
         const TableSchema &schema = catalog_.tables()[t];
-        AutoTx tx(*this);
         std::size_t wc = schema.columnIndex(stmt.whereColumn);
-        if (wc == schema.pkColumn &&
-            stmt.whereValue.type == DbType::kI64) {
-            rs.affected =
-                rows_.erase(t, stmt.whereValue.i, wal_) ? 1 : 0;
-        } else {
-            // Non-pk delete: collect pks then erase.
-            std::vector<std::int64_t> pks;
-            rows_.scanEq(t, wc, stmt.whereValue,
-                         [&](const std::vector<DbValue> &row) {
-                             pks.push_back(row[schema.pkColumn].i);
-                         });
-            for (std::int64_t pk : pks)
-                rs.affected += rows_.erase(t, pk, wal_) ? 1 : 0;
-        }
-        return rs;
+        return mutate([&](TxContext &ctx) {
+            ResultSet out;
+            WalShard &shard = wal_->shard(ctx.shardId);
+            if (wc == schema.pkColumn &&
+                stmt.whereValue.type == DbType::kI64) {
+                out.affected = rows_->erase(t, stmt.whereValue.i, shard,
+                                            ctx.rowTx)
+                                   ? 1
+                                   : 0;
+            } else {
+                // Non-pk delete: collect pks then erase.
+                std::vector<std::int64_t> pks;
+                rows_->scanEq(t, wc, stmt.whereValue,
+                              [&](const std::vector<DbValue> &row) {
+                                  pks.push_back(row[schema.pkColumn].i);
+                              });
+                for (std::int64_t pk : pks)
+                    out.affected +=
+                        rows_->erase(t, pk, shard, ctx.rowTx) ? 1 : 0;
+            }
+            return out;
+        });
       }
     }
     panic("db: unhandled statement kind");
@@ -277,14 +463,19 @@ Database::execute(const SqlStatement &stmt)
 void
 Database::crash(CrashMode mode, std::uint64_t seed)
 {
-    explicitTx_ = false;
+    {
+        SpinGuard g(ctxMu_);
+        ctxs_.clear();
+        generation_.fetch_add(1, std::memory_order_release);
+    }
+    coordinator_->resetAfterCrash();
     dev_->crash(mode, seed);
-    wal_.recover();
+    wal_->recover();
     catalog_.reload();
-    rows_ = RowStore(dev_.get(),
-                     reinterpret_cast<Addr>(dev_->base()) + rowsOff_,
-                     cfg_.rowRegionSize, &catalog_, cfg_.rowsPerTable);
-    rows_.syncWithCatalog();
+    rows_ = std::make_unique<RowStore>(
+        dev_.get(), reinterpret_cast<Addr>(dev_->base()) + rowsOff_,
+        cfg_.rowRegionSize, &catalog_, cfg_.rowsPerTable);
+    rows_->syncWithCatalog();
 }
 
 } // namespace db

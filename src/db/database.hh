@@ -15,21 +15,42 @@
  * Both paths share the WAL, the row store, and the catalog; explicit
  * begin/commit brackets group statements, otherwise each call is
  * auto-committed.
+ *
+ * Concurrency (PR 4): transactions are per-thread. Each thread is
+ * bound to a TxContext owning one WAL shard and the transaction's
+ * row write-set; begin()/commit()/rollback()/inTransaction() operate
+ * on the calling thread's context, so N threads run N transactions
+ * concurrently. Commits drain through the group-commit coordinator
+ * (batch window: DatabaseConfig::groupCommitWindowUs, or the
+ * ESPRESSO_DB_GROUP_COMMIT env var in microseconds; 0 = eager).
+ * Caller contracts: DDL (createTable / CREATE TABLE) and crash()
+ * must not run concurrently with other statements. A writing
+ * statement blocks until every row it touches is free of other
+ * in-flight writers, and those write locks are held to
+ * commit/rollback with no deadlock detection — transactions that
+ * write multiple rows must acquire them in a consistent order
+ * (e.g. ascending pk), the classic latch discipline.
  */
 
 #ifndef ESPRESSO_DB_DATABASE_HH
 #define ESPRESSO_DB_DATABASE_HH
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "db/catalog.hh"
+#include "db/commit_coordinator.hh"
 #include "db/row_store.hh"
 #include "db/sql_parser.hh"
 #include "db/wal.hh"
 #include "nvm/nvm_device.hh"
 #include "util/phase_timer.hh"
+#include "util/spin.hh"
 
 namespace espresso {
 namespace db {
@@ -40,6 +61,26 @@ struct DatabaseConfig
     std::size_t rowRegionSize = 32u << 20;
     std::size_t walSize = 4u << 20;
     std::size_t rowsPerTable = 8192;
+
+    /** Undo-WAL shards: up to this many transactions log without
+     * blocking each other (extra threads queue on a shard). */
+    unsigned walShards = 8;
+
+    /** Resolve groupCommitWindowUs from ESPRESSO_DB_GROUP_COMMIT. */
+    static constexpr std::uint64_t kWindowFromEnv = ~0ull;
+
+    /** Group-commit batch window in microseconds; 0 commits eagerly
+     * (the seed behavior). Defaults to the env knob, else 0. */
+    std::uint64_t groupCommitWindowUs = kWindowFromEnv;
+};
+
+/** How the calling thread's last transaction ended. */
+enum class TxOutcome
+{
+    kNone,
+    kCommitted,
+    kRolledBack,
+    kRolledBackWalFull, ///< undo segment overflow forced a rollback
 };
 
 /** Query result. */
@@ -74,12 +115,15 @@ class Database
      * parsing to "transformation". */
     void setPhaseTimer(PhaseTimer *timer) { timer_ = timer; }
 
-    /** @name Transactions */
+    /** @name Transactions (calling thread's) */
     /// @{
     void begin();
     void commit();
     void rollback();
-    bool inTransaction() const { return explicitTx_; }
+    bool inTransaction() const;
+
+    /** Outcome of the calling thread's last finished transaction. */
+    TxOutcome lastTxOutcome() const;
     /// @}
 
     /** @name SQL (JDBC) path */
@@ -108,27 +152,79 @@ class Database
 
     std::size_t rowCount(const std::string &table);
 
-    /** Simulate a power failure and reopen (rolls back open txn). */
+    /** Simulate a power failure and reopen (rolls back every open
+     * txn). Callers must be quiesced. */
     void crash(CrashMode mode = CrashMode::kDiscardUnflushed,
                std::uint64_t seed = 1);
 
     NvmDevice &device() { return *dev_; }
     const Catalog &catalog() const { return catalog_; }
 
+    /** @name Introspection (tests, tools) */
+    /// @{
+    Wal &wal() { return *wal_; }
+    CommitCoordinator &commitCoordinator() { return *coordinator_; }
+
+    /** WAL shard bound to the calling thread. */
+    unsigned currentTxShard();
+    /// @}
+
   private:
-    class AutoTx;
+    /** Per-thread transaction state. */
+    struct TxContext
+    {
+        unsigned shardId = 0;
+        bool explicitTx = false;
+        /** Set when a log-full rollback killed an explicit txn; the
+         * next commit()/rollback() consumes it instead of fataling. */
+        bool aborted = false;
+        TxOutcome lastOutcome = TxOutcome::kNone;
+        RowTxState rowTx;
+    };
+
+    TxContext &txContext();
+    TxContext *txContextIfAny() const;
+
+    void beginTx(TxContext &ctx);
+    void commitTx(TxContext &ctx);
+    void rollbackTx(TxContext &ctx, TxOutcome outcome);
+
+    /** Run @p fn inside the calling thread's transaction, opening a
+     * statement-scoped one when none is active; a WAL-full error
+     * rolls the whole transaction back. */
+    template <typename Fn> ResultSet mutate(Fn &&fn);
 
     ResultSet execute(const SqlStatement &stmt);
     std::size_t tableIndexOrDie(const std::string &table);
+    ResultSet executeCreateTable(const TableSchema &schema);
 
     DatabaseConfig cfg_;
     std::size_t rowsOff_ = 0;
     std::unique_ptr<NvmDevice> dev_;
     Catalog catalog_;
-    Wal wal_;
-    RowStore rows_;
+    std::unique_ptr<Wal> wal_;
+    std::unique_ptr<RowStore> rows_;
+    std::unique_ptr<CommitCoordinator> coordinator_;
     PhaseTimer *timer_ = nullptr;
-    bool explicitTx_ = false;
+
+    /** DDL serialization (DDL vs DML concurrency is the caller's
+     * contract, matching the catalog's). */
+    std::mutex ddlMu_;
+
+    mutable SpinLock ctxMu_;
+    /** Keyed by a never-recycled per-thread token (std::thread::id
+     * values can be reused, which would hand a new thread a dead
+     * thread's transaction state). Entries are not reaped; growth is
+     * bounded by the number of threads that ever touch this
+     * database. */
+    std::unordered_map<std::uint64_t, std::unique_ptr<TxContext>>
+        ctxs_;
+    std::atomic<unsigned> nextShard_{0};
+
+    /** Identity for the thread-local context cache. */
+    std::uint64_t serial_;
+    /** Bumped by crash() so stale cached contexts revalidate. */
+    std::atomic<std::uint64_t> generation_{0};
 };
 
 } // namespace db

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <thread>
 
 #include "nvm/nvm_device.hh"
 #include "runtime/oop.hh"
@@ -14,6 +15,7 @@ namespace {
 constexpr Word kRowFree = 0;
 constexpr Word kRowLive = 1;
 constexpr std::size_t kRowHeader = 16;
+constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
 } // namespace
 
 RowStore::RowStore(NvmDevice *device, Addr base, std::size_t size,
@@ -23,24 +25,44 @@ RowStore::RowStore(NvmDevice *device, Addr base, std::size_t size,
 {}
 
 void
-RowStore::syncWithCatalog()
+RowStore::initRegion(TableRegion &region, std::size_t table)
+{
+    const TableSchema &schema = catalog_->tables()[table];
+    std::size_t need = schema.rowBytes() * rowsPerTable_;
+    if (allocated_ + need > size_)
+        fatal("db: row region exhausted creating " + schema.name);
+    region.base = base_ + allocated_;
+    region.capacity = rowsPerTable_;
+    allocated_ += alignUp(need, kCacheLineSize);
+    region.rowOwner =
+        std::make_unique<std::atomic<Word>[]>(region.capacity);
+    // Allocate low indexes first so scans stay short.
+    region.freeRows.reserve(region.capacity);
+    for (std::size_t i = region.capacity; i-- > 0;)
+        region.freeRows.push_back(i);
+    region.highWater = 0;
+}
+
+void
+RowStore::ensureRegions()
 {
     const auto &tables = catalog_->tables();
     for (std::size_t t = 0; t < tables.size(); ++t) {
         if (t < regions_.size() && regions_[t].base != 0)
             continue;
-        std::size_t row_bytes = tables[t].rowBytes();
-        std::size_t need = row_bytes * rowsPerTable_;
-        if (allocated_ + need > size_)
-            fatal("db: row region exhausted creating " + tables[t].name);
-        if (t >= regions_.size())
-            regions_.resize(t + 1);
-        regions_[t].base = base_ + allocated_;
-        regions_[t].capacity = rowsPerTable_;
-        allocated_ += alignUp(need, kCacheLineSize);
+        while (regions_.size() <= t)
+            regions_.emplace_back();
+        initRegion(regions_[t], t);
     }
+}
+
+void
+RowStore::syncWithCatalog()
+{
+    ensureRegions();
 
     // Rebuild volatile indexes from row state words.
+    const auto &tables = catalog_->tables();
     for (std::size_t t = 0; t < regions_.size(); ++t) {
         TableRegion &region = regions_[t];
         region.pkIndex.clear();
@@ -51,6 +73,7 @@ RowStore::syncWithCatalog()
         std::size_t pk_col = tables[t].pkColumn;
         std::size_t idx_col = tables[t].indexColumn;
         for (std::size_t i = 0; i < region.capacity; ++i) {
+            region.rowOwner[i].store(0, std::memory_order_relaxed);
             Addr row = rowAddr(region, i, row_bytes);
             if (loadWord(row) == kRowLive) {
                 DbValue pk = decodeValueSlot(
@@ -66,34 +89,7 @@ RowStore::syncWithCatalog()
                 region.freeRows.push_back(i);
             }
         }
-        // Allocate low indexes first so scans stay short.
         std::reverse(region.freeRows.begin(), region.freeRows.end());
-    }
-}
-
-void
-RowStore::writeRow(std::size_t table, TableRegion &region,
-                   std::size_t idx, const std::vector<DbValue> &row,
-                   std::uint64_t dirty_mask, Wal &wal, bool fresh)
-{
-    const TableSchema &schema = catalog_->tables()[table];
-    std::size_t row_bytes = schema.rowBytes();
-    Addr addr = rowAddr(region, idx, row_bytes);
-    if (!fresh)
-        wal.logRange(addr, row_bytes);
-    for (std::size_t c = 0; c < schema.columns.size(); ++c) {
-        if (!(dirty_mask & (1ull << c)))
-            continue;
-        encodeValueSlot(reinterpret_cast<std::uint8_t *>(
-                            addr + kRowHeader + c * kValueSlotBytes),
-                        row[c]);
-    }
-    device_->flush(addr, row_bytes);
-    device_->fence();
-    if (fresh) {
-        // Publish the row after its payload is durable.
-        storeWord(addr, kRowLive);
-        device_->persist(addr, kWordSize);
     }
 }
 
@@ -119,82 +115,279 @@ RowStore::eqIndexErase(TableRegion &region, std::int64_t key,
     }
 }
 
+void
+RowStore::eqIndexEraseAllFor(TableRegion &region, std::size_t idx)
+{
+    for (auto it = region.eqIndex.begin(); it != region.eqIndex.end();) {
+        if (it->second == idx)
+            it = region.eqIndex.erase(it);
+        else
+            ++it;
+    }
+}
+
+bool
+RowStore::acquireRow(std::size_t table, TableRegion &region,
+                     std::size_t idx, RowTxState &tx)
+{
+    std::atomic<Word> &owner = region.rowOwner[idx];
+    if (owner.load(std::memory_order_acquire) == tx.token)
+        return false; // already write-locked by this transaction
+    Word expect = 0;
+    std::uint32_t spins = 0;
+    while (!owner.compare_exchange_weak(expect, tx.token,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_relaxed)) {
+        expect = 0;
+        if (++spins >= 256) {
+            spins = 0;
+            // The holder may have died of a simulated power failure;
+            // die with it rather than spin on a lock nobody releases.
+            CrashInjector *inj = device_->injector();
+            if (inj && inj->tripped())
+                throw SimulatedCrash();
+            std::this_thread::yield();
+        }
+    }
+    tx.ownedRows.emplace_back(table, idx);
+    return true;
+}
+
+bool
+RowStore::tryAcquireRow(std::size_t table, TableRegion &region,
+                        std::size_t idx, RowTxState &tx)
+{
+    std::atomic<Word> &owner = region.rowOwner[idx];
+    if (owner.load(std::memory_order_acquire) == tx.token)
+        return true; // already write-locked by this transaction
+    Word expect = 0;
+    if (!owner.compare_exchange_strong(expect, tx.token,
+                                       std::memory_order_acq_rel,
+                                       std::memory_order_relaxed))
+        return false;
+    tx.ownedRows.emplace_back(table, idx);
+    return true;
+}
+
+void
+RowStore::undoAcquire(TableRegion &region, std::size_t idx,
+                      RowTxState &tx)
+{
+    region.rowOwner[idx].store(0, std::memory_order_release);
+    tx.ownedRows.pop_back();
+}
+
+std::size_t
+RowStore::lockRowForWrite(std::size_t table, TableRegion &region,
+                          std::int64_t pk, RowTxState &tx)
+{
+    for (;;) {
+        std::size_t idx;
+        {
+            SpinGuard g(region.indexMu);
+            auto it = region.pkIndex.find(pk);
+            if (it == region.pkIndex.end())
+                return kNpos;
+            idx = it->second;
+        }
+        bool newly = acquireRow(table, region, idx, tx);
+        {
+            SpinGuard g(region.indexMu);
+            auto it = region.pkIndex.find(pk);
+            if (it != region.pkIndex.end() && it->second == idx)
+                return idx;
+        }
+        // The slot was recycled while we waited for its owner.
+        if (newly)
+            undoAcquire(region, idx, tx);
+    }
+}
+
 bool
 RowStore::insert(std::size_t table, const std::vector<DbValue> &row,
-                 Wal &wal)
+                 WalShard &wal, RowTxState &tx)
 {
     const TableSchema &schema = catalog_->tables()[table];
     if (row.size() != schema.columns.size())
         fatal("db: column count mismatch inserting into " + schema.name);
     TableRegion &region = regions_[table];
+    std::size_t row_bytes = schema.rowBytes();
     std::int64_t pk = row[schema.pkColumn].i;
-    if (region.pkIndex.count(pk))
-        return false;
+    std::size_t icol = schema.indexColumn;
 
     std::size_t idx;
-    if (!region.freeRows.empty()) {
-        idx = region.freeRows.back();
-        region.freeRows.pop_back();
-    } else {
-        fatal("db: table " + schema.name + " is full");
+    std::size_t prev_idx = kNpos;
+    for (;;) {
+        bool claimed = false;
+        {
+            SpinGuard g(region.indexMu);
+            prev_idx = kNpos;
+            auto it = region.pkIndex.find(pk);
+            if (it != region.pkIndex.end()) {
+                // The pk is taken — unless this very transaction
+                // deleted it (owner is ours and the header reads
+                // free), in which case the re-insert takes a fresh
+                // slot and the deferred index erase will see the
+                // moved mapping and skip.
+                prev_idx = it->second;
+                bool mine_deleted =
+                    region.rowOwner[prev_idx].load(
+                        std::memory_order_acquire) == tx.token &&
+                    loadWord(rowAddr(region, prev_idx, row_bytes)) !=
+                        kRowLive;
+                if (!mine_deleted)
+                    return false;
+            }
+            if (region.freeRows.empty())
+                fatal("db: table " + schema.name + " is full");
+            idx = region.freeRows.back();
+            region.freeRows.pop_back();
+            // Claim the owner before the mapping is visible, so no
+            // other transaction can write-lock the half-born row.
+            // The claim must not spin under indexMu: a racing
+            // lockRowForWrite can transiently own a just-free-listed
+            // slot (its stale claim is undone after a recheck that
+            // itself needs indexMu), so a failed claim puts the slot
+            // back and retries outside the lock.
+            if (tryAcquireRow(table, region, idx, tx)) {
+                claimed = true;
+                region.pkIndex[pk] = idx;
+                if (icol != TableSchema::kNoIndex)
+                    region.eqIndex.emplace(row[icol].i, idx);
+                if (idx >= region.highWater)
+                    region.highWater = idx + 1;
+            } else {
+                region.freeRows.push_back(idx);
+            }
+        }
+        if (claimed)
+            break;
+        {
+            CrashInjector *inj = device_->injector();
+            if (inj && inj->tripped())
+                throw SimulatedCrash();
+        }
+        std::this_thread::yield();
     }
-    // Log the (free) header word so rollback un-publishes the row.
-    Addr addr = rowAddr(region, idx, schema.rowBytes());
-    wal.logRange(addr, kWordSize);
-    writeRow(table, region, idx, row, ~0ull, wal, /*fresh=*/true);
-    region.pkIndex[pk] = idx;
-    if (schema.indexColumn != TableSchema::kNoIndex)
-        region.eqIndex.emplace(row[schema.indexColumn].i, idx);
-    if (idx >= region.highWater)
-        region.highWater = idx + 1;
+
+    Addr addr = rowAddr(region, idx, row_bytes);
+    try {
+        // Log the (free) header word so rollback un-publishes the row.
+        wal.logRange(addr, kWordSize);
+    } catch (const WalFullError &) {
+        // Nothing persistent changed; take back the reservation — or
+        // restore the pk reservation of this transaction's own
+        // uncommitted delete, which must hold until rollback. The
+        // slot stays owned; finishRollback returns it to the free
+        // list after the owner drops.
+        SpinGuard g(region.indexMu);
+        if (prev_idx != kNpos)
+            region.pkIndex[pk] = prev_idx;
+        else
+            region.pkIndex.erase(pk);
+        if (icol != TableSchema::kNoIndex)
+            eqIndexErase(region, row[icol].i, idx);
+        throw;
+    }
+    {
+        SpinGuard rl(rowLatch(region, idx));
+        for (std::size_t c = 0; c < schema.columns.size(); ++c) {
+            encodeValueSlot(reinterpret_cast<std::uint8_t *>(
+                                addr + kRowHeader + c * kValueSlotBytes),
+                            row[c]);
+        }
+    }
+    device_->flush(addr, row_bytes);
+    // Payload durable before the row can appear live.
+    device_->fence();
+    {
+        SpinGuard rl(rowLatch(region, idx));
+        storeWord(addr, kRowLive);
+    }
+    // The live bit rides the commit drain's fence: its line is part
+    // of the logged header-word range re-flushed by stageCommit.
+    device_->flush(addr, kWordSize);
     return true;
 }
 
 bool
 RowStore::update(std::size_t table, std::int64_t pk,
                  const std::vector<DbValue> &row,
-                 std::uint64_t dirty_mask, Wal &wal)
+                 std::uint64_t dirty_mask, WalShard &wal, RowTxState &tx)
 {
     TableRegion &region = regions_[table];
-    auto it = region.pkIndex.find(pk);
-    if (it == region.pkIndex.end())
-        return false;
     const TableSchema &schema = catalog_->tables()[table];
+    std::size_t row_bytes = schema.rowBytes();
+    std::size_t idx = lockRowForWrite(table, region, pk, tx);
+    if (idx == kNpos)
+        return false;
     dirty_mask &= ~(1ull << schema.pkColumn);
+    Addr addr = rowAddr(region, idx, row_bytes);
+    // A non-live owned row is this transaction's own uncommitted
+    // delete: the pk is reserved but the row is gone.
+    if (loadWord(addr) != kRowLive)
+        return false;
+    // Owner is held: the bytes are stable, so the old image can be
+    // logged (and fenced) without blocking readers.
+    wal.logRange(addr, row_bytes);
+
     std::size_t icol = schema.indexColumn;
-    if (icol != TableSchema::kNoIndex && (dirty_mask & (1ull << icol))) {
-        eqIndexErase(region,
-                     cellAt(region, it->second, schema.rowBytes(), icol)
-                         .i,
-                     it->second);
-        region.eqIndex.emplace(row[icol].i, it->second);
+    bool eq_dirty =
+        icol != TableSchema::kNoIndex && (dirty_mask & (1ull << icol));
+    std::int64_t old_eq = 0;
+    {
+        SpinGuard rl(rowLatch(region, idx));
+        if (eq_dirty)
+            old_eq = cellAt(region, idx, row_bytes, icol).i;
+        for (std::size_t c = 0; c < schema.columns.size(); ++c) {
+            if (!(dirty_mask & (1ull << c)))
+                continue;
+            encodeValueSlot(reinterpret_cast<std::uint8_t *>(
+                                addr + kRowHeader + c * kValueSlotBytes),
+                            row[c]);
+        }
     }
-    writeRow(table, region, it->second, row, dirty_mask, wal,
-             /*fresh=*/false);
+    // New images become durable at the commit drain's fence.
+    device_->flush(addr, row_bytes);
+    if (eq_dirty && old_eq != row[icol].i) {
+        SpinGuard g(region.indexMu);
+        eqIndexErase(region, old_eq, idx);
+        region.eqIndex.emplace(row[icol].i, idx);
+    }
     return true;
 }
 
 bool
-RowStore::erase(std::size_t table, std::int64_t pk, Wal &wal)
+RowStore::erase(std::size_t table, std::int64_t pk, WalShard &wal,
+                RowTxState &tx)
 {
     TableRegion &region = regions_[table];
-    auto it = region.pkIndex.find(pk);
-    if (it == region.pkIndex.end())
-        return false;
     const TableSchema &schema = catalog_->tables()[table];
-    Addr addr = rowAddr(region, it->second, schema.rowBytes());
+    std::size_t row_bytes = schema.rowBytes();
+    std::size_t idx = lockRowForWrite(table, region, pk, tx);
+    if (idx == kNpos)
+        return false;
+    Addr addr = rowAddr(region, idx, row_bytes);
+    if (loadWord(addr) != kRowLive)
+        return false; // already deleted by this transaction
     wal.logRange(addr, kWordSize);
-    storeWord(addr, kRowFree);
-    device_->persist(addr, kWordSize);
-    if (schema.indexColumn != TableSchema::kNoIndex) {
-        eqIndexErase(region,
-                     cellAt(region, it->second, schema.rowBytes(),
-                            schema.indexColumn)
-                         .i,
-                     it->second);
+    std::size_t icol = schema.indexColumn;
+    std::int64_t eq_val = 0;
+    {
+        SpinGuard rl(rowLatch(region, idx));
+        if (icol != TableSchema::kNoIndex)
+            eq_val = cellAt(region, idx, row_bytes, icol).i;
+        storeWord(addr, kRowFree);
     }
-    region.freeRows.push_back(it->second);
-    region.pkIndex.erase(it);
+    // Durable at the commit drain (the undo entry covers a crash).
+    device_->flush(addr, kWordSize);
+    // Slot free AND index removals wait for commit: the pk stays
+    // reserved (a concurrent same-pk insert reports duplicate) so a
+    // rollback can resurrect the row without colliding with anyone.
+    tx.deferredFree.emplace_back(table, idx);
+    tx.deferredPkErase.emplace_back(table, pk, idx);
+    if (icol != TableSchema::kNoIndex)
+        tx.deferredEqErase.emplace_back(table, eq_val, idx);
     return true;
 }
 
@@ -203,18 +396,33 @@ RowStore::fetch(std::size_t table, std::int64_t pk,
                 std::vector<DbValue> *out) const
 {
     const TableRegion &region = regions_[table];
-    auto it = region.pkIndex.find(pk);
-    if (it == region.pkIndex.end())
-        return false;
     const TableSchema &schema = catalog_->tables()[table];
-    Addr addr = rowAddr(region, it->second, schema.rowBytes());
-    out->clear();
-    for (std::size_t c = 0; c < schema.columns.size(); ++c) {
-        out->push_back(decodeValueSlot(
-            reinterpret_cast<const std::uint8_t *>(
-                addr + kRowHeader + c * kValueSlotBytes)));
+    std::size_t row_bytes = schema.rowBytes();
+    for (int attempt = 0; attempt < 3; ++attempt) {
+        std::size_t idx;
+        {
+            SpinGuard g(region.indexMu);
+            auto it = region.pkIndex.find(pk);
+            if (it == region.pkIndex.end())
+                return false;
+            idx = it->second;
+        }
+        Addr addr = rowAddr(region, idx, row_bytes);
+        SpinGuard rl(rowLatch(region, idx));
+        if (loadWord(addr) != kRowLive)
+            continue; // in-flight insert or recycled slot; retry
+        DbValue pk_cell = cellAt(region, idx, row_bytes, schema.pkColumn);
+        if (pk_cell.type != DbType::kI64 || pk_cell.i != pk)
+            continue; // slot recycled under us; retry
+        out->clear();
+        for (std::size_t c = 0; c < schema.columns.size(); ++c) {
+            out->push_back(decodeValueSlot(
+                reinterpret_cast<const std::uint8_t *>(
+                    addr + kRowHeader + c * kValueSlotBytes)));
+        }
+        return true;
     }
-    return true;
+    return false;
 }
 
 void
@@ -227,34 +435,50 @@ RowStore::scanEq(
     std::size_t row_bytes = schema.rowBytes();
     std::vector<DbValue> row;
 
-    auto emit_row = [&](std::size_t i) {
+    // Copy one live matching row under its latch; emit outside.
+    auto copy_if_match = [&](std::size_t i) {
         Addr addr = rowAddr(region, i, row_bytes);
+        SpinGuard rl(rowLatch(region, i));
+        if (loadWord(addr) != kRowLive)
+            return false;
+        DbValue cell = decodeValueSlot(
+            reinterpret_cast<const std::uint8_t *>(
+                addr + kRowHeader + col * kValueSlotBytes));
+        if (!(cell == v))
+            return false;
         row.clear();
         for (std::size_t c = 0; c < schema.columns.size(); ++c) {
             row.push_back(decodeValueSlot(
                 reinterpret_cast<const std::uint8_t *>(
                     addr + kRowHeader + c * kValueSlotBytes)));
         }
-        fn(row);
+        return true;
     };
 
     // Use the secondary index when it covers this predicate.
     if (col == schema.indexColumn && v.type == DbType::kI64) {
-        auto [lo, hi] = region.eqIndex.equal_range(v.i);
-        for (auto it = lo; it != hi; ++it)
-            emit_row(it->second);
+        std::vector<std::size_t> hits;
+        {
+            SpinGuard g(region.indexMu);
+            auto [lo, hi] = region.eqIndex.equal_range(v.i);
+            for (auto it = lo; it != hi; ++it)
+                hits.push_back(it->second);
+        }
+        for (std::size_t i : hits) {
+            if (copy_if_match(i))
+                fn(row);
+        }
         return;
     }
 
-    for (std::size_t i = 0; i < region.highWater; ++i) {
-        Addr addr = rowAddr(region, i, row_bytes);
-        if (loadWord(addr) != kRowLive)
-            continue;
-        DbValue cell = decodeValueSlot(
-            reinterpret_cast<const std::uint8_t *>(
-                addr + kRowHeader + col * kValueSlotBytes));
-        if (cell == v)
-            emit_row(i);
+    std::size_t hw;
+    {
+        SpinGuard g(region.indexMu);
+        hw = region.highWater;
+    }
+    for (std::size_t i = 0; i < hw; ++i) {
+        if (copy_if_match(i))
+            fn(row);
     }
 }
 
@@ -267,24 +491,159 @@ RowStore::scanAll(
     const TableSchema &schema = catalog_->tables()[table];
     std::size_t row_bytes = schema.rowBytes();
     std::vector<DbValue> row;
-    for (std::size_t i = 0; i < region.highWater; ++i) {
+    std::size_t hw;
+    {
+        SpinGuard g(region.indexMu);
+        hw = region.highWater;
+    }
+    for (std::size_t i = 0; i < hw; ++i) {
         Addr addr = rowAddr(region, i, row_bytes);
-        if (loadWord(addr) != kRowLive)
-            continue;
-        row.clear();
-        for (std::size_t c = 0; c < schema.columns.size(); ++c) {
-            row.push_back(decodeValueSlot(
-                reinterpret_cast<const std::uint8_t *>(
-                    addr + kRowHeader + c * kValueSlotBytes)));
+        bool live = false;
+        {
+            SpinGuard rl(rowLatch(region, i));
+            if (loadWord(addr) == kRowLive) {
+                live = true;
+                row.clear();
+                for (std::size_t c = 0; c < schema.columns.size(); ++c) {
+                    row.push_back(decodeValueSlot(
+                        reinterpret_cast<const std::uint8_t *>(
+                            addr + kRowHeader + c * kValueSlotBytes)));
+                }
+            }
         }
-        fn(row);
+        if (live)
+            fn(row);
     }
 }
 
 std::size_t
 RowStore::rowCount(std::size_t table) const
 {
-    return regions_[table].pkIndex.size();
+    const TableRegion &region = regions_[table];
+    SpinGuard g(region.indexMu);
+    return region.pkIndex.size();
+}
+
+void
+RowStore::finishCommit(RowTxState &tx)
+{
+    for (const auto &[t, pk, idx] : tx.deferredPkErase) {
+        TableRegion &region = regions_[t];
+        SpinGuard g(region.indexMu);
+        auto it = region.pkIndex.find(pk);
+        // Skip when this transaction re-inserted the pk elsewhere.
+        if (it != region.pkIndex.end() && it->second == idx)
+            region.pkIndex.erase(it);
+    }
+    for (const auto &[t, key, idx] : tx.deferredEqErase) {
+        TableRegion &region = regions_[t];
+        SpinGuard g(region.indexMu);
+        eqIndexErase(region, key, idx);
+    }
+    // Owners release before the slots hit the free list: a slot
+    // visible in freeRows is therefore always unowned, so insert's
+    // in-lock owner claim cannot spin on a committing delete (which
+    // would deadlock against its remaining indexMu acquisitions).
+    // The freed rows are unreachable either way — their pk mappings
+    // died above.
+    for (const auto &[t, idx] : tx.ownedRows)
+        regions_[t].rowOwner[idx].store(0, std::memory_order_release);
+    for (const auto &[t, idx] : tx.deferredFree) {
+        TableRegion &region = regions_[t];
+        SpinGuard g(region.indexMu);
+        region.freeRows.push_back(idx);
+    }
+    tx.deferredPkErase.clear();
+    tx.deferredEqErase.clear();
+    tx.deferredFree.clear();
+    tx.ownedRows.clear();
+}
+
+void
+RowStore::finishRollback(RowTxState &tx)
+{
+    // Deferred frees and index erases belong to rolled-back deletes:
+    // the undo restore re-published those rows, so their slots stay
+    // allocated and their index entries stand.
+    tx.deferredPkErase.clear();
+    tx.deferredEqErase.clear();
+    tx.deferredFree.clear();
+    // Rows that end the rollback unpublished are this transaction's
+    // own (rolled-back or wal-full) inserts; their slots return to
+    // the free list. Liveness is read while the owner is still held
+    // (bytes stable), owners drop, and only then do the slots become
+    // visible — freeRows never holds an owned slot.
+    std::vector<std::pair<std::size_t, std::size_t>> to_free;
+    for (const auto &[t, idx] : tx.ownedRows) {
+        const TableSchema &schema = catalog_->tables()[t];
+        if (loadWord(rowAddr(regions_[t], idx, schema.rowBytes())) !=
+            kRowLive)
+            to_free.emplace_back(t, idx);
+    }
+    for (const auto &[t, idx] : tx.ownedRows)
+        regions_[t].rowOwner[idx].store(0, std::memory_order_release);
+    tx.ownedRows.clear();
+    for (const auto &[t, idx] : to_free) {
+        TableRegion &region = regions_[t];
+        SpinGuard g(region.indexMu);
+        if (std::find(region.freeRows.begin(), region.freeRows.end(),
+                      idx) == region.freeRows.end())
+            region.freeRows.push_back(idx);
+    }
+}
+
+void
+RowStore::reconcileRange(Addr addr, std::size_t len)
+{
+    (void)len;
+    const auto &tables = catalog_->tables();
+    for (std::size_t t = 0; t < regions_.size(); ++t) {
+        TableRegion &region = regions_[t];
+        if (region.base == 0)
+            continue;
+        std::size_t row_bytes = tables[t].rowBytes();
+        Addr end = region.base + region.capacity * row_bytes;
+        if (addr < region.base || addr >= end)
+            continue;
+        std::size_t idx = (addr - region.base) / row_bytes;
+        std::size_t icol = tables[t].indexColumn;
+        Addr row = rowAddr(region, idx, row_bytes);
+        bool live;
+        std::int64_t pk_val, eq_val = 0;
+        {
+            SpinGuard rl(rowLatch(region, idx));
+            live = loadWord(row) == kRowLive;
+            pk_val = cellAt(region, idx, row_bytes, tables[t].pkColumn).i;
+            if (icol != TableSchema::kNoIndex)
+                eq_val = cellAt(region, idx, row_bytes, icol).i;
+        }
+        SpinGuard g(region.indexMu);
+        // Full multimap scan: the stale eq key is unknowable from
+        // the restored bytes. Rollback-only cost, O(index) per
+        // undone row of an indexed table.
+        eqIndexEraseAllFor(region, idx);
+        if (live) {
+            region.pkIndex[pk_val] = idx;
+            if (icol != TableSchema::kNoIndex)
+                region.eqIndex.emplace(eq_val, idx);
+            if (idx >= region.highWater)
+                region.highWater = idx + 1;
+            auto free_it = std::find(region.freeRows.begin(),
+                                     region.freeRows.end(), idx);
+            if (free_it != region.freeRows.end())
+                region.freeRows.erase(free_it);
+        } else {
+            auto it = region.pkIndex.find(pk_val);
+            if (it != region.pkIndex.end() && it->second == idx)
+                region.pkIndex.erase(it);
+            // The slot stays off the free list until finishRollback
+            // drops its owner — freeRows never holds an owned slot
+            // (an insert spinning on it inside indexMu would
+            // deadlock against this very rollback's next
+            // reconcileRange).
+        }
+        return;
+    }
 }
 
 } // namespace db

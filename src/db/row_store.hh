@@ -4,27 +4,73 @@
  * volatile primary-key hash index per table (rebuilt on open, the
  * way H2 rebuilds/loads in-memory indexes).
  *
- * Every mutation logs the old row image through the caller's Wal
- * before touching it, so statement atomicity and crash rollback come
- * for free.
+ * Every mutation logs the old row image through the caller's WAL
+ * shard before touching it, so statement atomicity and crash
+ * rollback come for free.
+ *
+ * Concurrency (PR 4): many transactions mutate one table at once.
+ *  - The volatile indexes (pkIndex/eqIndex/freeRows/highWater) sit
+ *    behind one short per-table spinlock (`indexMu`).
+ *  - Row bytes are copied under striped per-row latches, so readers
+ *    never observe a torn row.
+ *  - A writing transaction additionally claims the row's owner word
+ *    and keeps it until commit/rollback (strict two-phase on
+ *    writes): two in-flight transactions can never both hold undo
+ *    images of one row, which is what makes undo-rollback of one
+ *    transaction unable to clobber another's committed write.
+ *    Transactions that touch multiple rows must order them
+ *    consistently (latch discipline is the caller's contract).
+ *  - Reads are read-uncommitted: they may see in-flight row images,
+ *    but never torn ones.
+ *  - erase() defers both the slot's return to the free list and the
+ *    pk/eq index removals until commit, so a rolled-back delete
+ *    never races a reuse of its slot or its primary key; the
+ *    deleting transaction itself may still re-insert the pk.
  */
 
 #ifndef ESPRESSO_DB_ROW_STORE_HH
 #define ESPRESSO_DB_ROW_STORE_HH
 
+#include <array>
+#include <atomic>
 #include <cstdint>
+#include <deque>
 #include <functional>
+#include <memory>
+#include <tuple>
 #include <unordered_map>
 #include <vector>
 
 #include "db/catalog.hh"
 #include "db/wal.hh"
+#include "util/spin.hh"
 
 namespace espresso {
 
 class NvmDevice;
 
 namespace db {
+
+/**
+ * Per-transaction row-store write state: the rows this transaction
+ * has write-locked, and slot frees deferred to commit. Owned by the
+ * engine's TxContext; token is unique among in-flight transactions.
+ */
+struct RowTxState
+{
+    Word token = 0;
+    std::vector<std::pair<std::size_t, std::size_t>> ownedRows;
+    std::vector<std::pair<std::size_t, std::size_t>> deferredFree;
+    /** Index removals deferred to commit — (table, pk, idx): an
+     * uncommitted delete keeps its pk reserved, so a concurrent
+     * same-pk insert can't slip in only to be resurrected over by
+     * the delete's rollback. */
+    std::vector<std::tuple<std::size_t, std::int64_t, std::size_t>>
+        deferredPkErase;
+    /** (table, eqKey, idx), for the secondary index. */
+    std::vector<std::tuple<std::size_t, std::int64_t, std::size_t>>
+        deferredEqErase;
+};
 
 /** All tables' row regions. */
 class RowStore
@@ -42,9 +88,12 @@ class RowStore
     RowStore(NvmDevice *device, Addr base, std::size_t size,
              Catalog *catalog, std::size_t rows_per_table);
 
+    RowStore(const RowStore &) = delete;
+    RowStore &operator=(const RowStore &) = delete;
+
     /** Insert; false when the primary key already exists. */
     bool insert(std::size_t table, const std::vector<DbValue> &row,
-                Wal &wal);
+                WalShard &wal, RowTxState &tx);
 
     /**
      * Update columns selected by @p dirty_mask (bit per column; the
@@ -52,10 +101,11 @@ class RowStore
      */
     bool update(std::size_t table, std::int64_t pk,
                 const std::vector<DbValue> &row, std::uint64_t dirty_mask,
-                Wal &wal);
+                WalShard &wal, RowTxState &tx);
 
     /** Delete by pk; false when absent. */
-    bool erase(std::size_t table, std::int64_t pk, Wal &wal);
+    bool erase(std::size_t table, std::int64_t pk, WalShard &wal,
+               RowTxState &tx);
 
     /** Point lookup by pk. */
     bool fetch(std::size_t table, std::int64_t pk,
@@ -74,13 +124,36 @@ class RowStore
     /** Number of live rows. */
     std::size_t rowCount(std::size_t table) const;
 
-    /** Ensure a region exists for every cataloged table (DDL hook),
-     * and rebuild the volatile pk indexes (open hook). */
+    /** Apply deferred frees and release write locks (durable commit
+     * already happened). */
+    void finishCommit(RowTxState &tx);
+
+    /** Discard deferred frees/erases, release write locks (the undo
+     * restore + reconcileRange already repaired the indexes), and
+     * return this transaction's unpublished insert slots to the
+     * free list. */
+    void finishRollback(RowTxState &tx);
+
+    /**
+     * Repair the volatile indexes for the row containing the undone
+     * range [addr, addr+len): re-derive its pk/eq entries and free
+     * state from the (now restored) persistent bytes.
+     */
+    void reconcileRange(Addr addr, std::size_t len);
+
+    /** Create regions for newly cataloged tables (DDL hook); never
+     * touches existing tables' indexes. */
+    void ensureRegions();
+
+    /** ensureRegions plus a full rebuild of every volatile index
+     * from row state words (open/recovery hook; callers quiesced). */
     void syncWithCatalog();
 
   private:
     struct TableRegion
     {
+        static constexpr std::size_t kRowLatchStripes = 64;
+
         Addr base = 0;
         std::size_t capacity = 0;
         std::unordered_map<std::int64_t, std::size_t> pkIndex;
@@ -88,10 +161,19 @@ class RowStore
         std::unordered_multimap<std::int64_t, std::size_t> eqIndex;
         std::vector<std::size_t> freeRows;
         std::size_t highWater = 0;
+
+        /** Guards the five volatile members above. */
+        mutable SpinLock indexMu;
+        /** Striped row-byte latches (torn-read protection). */
+        mutable std::array<SpinLock, kRowLatchStripes> rowLatches;
+        /** Per-row write-owner tokens (0 = unowned). */
+        std::unique_ptr<std::atomic<Word>[]> rowOwner;
     };
 
+    void initRegion(TableRegion &region, std::size_t table);
     void eqIndexErase(TableRegion &region, std::int64_t key,
                       std::size_t idx);
+    void eqIndexEraseAllFor(TableRegion &region, std::size_t idx);
     db::DbValue cellAt(const TableRegion &region, std::size_t idx,
                        std::size_t row_bytes, std::size_t col) const;
 
@@ -101,9 +183,28 @@ class RowStore
         return region.base + idx * row_bytes;
     }
 
-    void writeRow(std::size_t table, TableRegion &region,
-                  std::size_t idx, const std::vector<DbValue> &row,
-                  std::uint64_t dirty_mask, Wal &wal, bool fresh);
+    SpinLock &
+    rowLatch(const TableRegion &region, std::size_t idx) const
+    {
+        return region.rowLatches[idx % TableRegion::kRowLatchStripes];
+    }
+
+    /** Claim the row's owner word for @p tx (blocks on a conflicting
+     * writer); true when newly acquired by this call. */
+    bool acquireRow(std::size_t table, TableRegion &region,
+                    std::size_t idx, RowTxState &tx);
+
+    /** One-shot claim; false when another transaction holds the row.
+     * Safe to call while holding indexMu (never spins). */
+    bool tryAcquireRow(std::size_t table, TableRegion &region,
+                       std::size_t idx, RowTxState &tx);
+    void undoAcquire(TableRegion &region, std::size_t idx,
+                     RowTxState &tx);
+
+    /** Resolve pk -> owned row index, rechecking the mapping after
+     * the owner claim; returns npos when the pk is absent. */
+    std::size_t lockRowForWrite(std::size_t table, TableRegion &region,
+                                std::int64_t pk, RowTxState &tx);
 
     NvmDevice *device_ = nullptr;
     Addr base_ = 0;
@@ -111,7 +212,9 @@ class RowStore
     Catalog *catalog_ = nullptr;
     std::size_t rowsPerTable_ = 0;
     std::size_t allocated_ = 0;
-    std::vector<TableRegion> regions_;
+    /** deque: growth never relocates (TableRegion is pinned by its
+     * latches and concurrent readers). */
+    std::deque<TableRegion> regions_;
 };
 
 } // namespace db

@@ -1,63 +1,112 @@
 #include "db/wal.hh"
 
 #include <cstring>
-#include <vector>
+#include <thread>
 
 #include "nvm/nvm_device.hh"
-#include "util/logging.hh"
 
 namespace espresso {
 namespace db {
 
-Wal::Wal(NvmDevice *device, Addr base, std::size_t size)
-    : device_(device), base_(base), size_(size)
+namespace {
+
+/** Entries per segment are bounded so epochSeq can pack both. */
+constexpr Word kSeqBits = 20;
+constexpr Word kMaxEntries = Word(1) << kSeqBits;
+
+Word
+makeEpochSeq(Word epoch, Word seq)
+{
+    return (epoch << kSeqBits) | (seq & (kMaxEntries - 1));
+}
+
+} // namespace
+
+WalShard::WalShard(NvmDevice *device, Addr base, std::size_t size,
+                   unsigned id)
+    : device_(device), base_(base), size_(size), id_(id)
 {}
 
 bool
-Wal::active() const
+WalShard::active() const
 {
     return header()->active != 0;
 }
 
 void
-Wal::begin()
+WalShard::begin()
 {
     if (active())
-        panic("db wal: transaction already open");
+        panic(strCat("db wal: shard ", id_,
+                     ": transaction already open"));
     Header *h = header();
     h->count = 0;
     h->used = 0;
-    device_->flush(base_, sizeof(Header));
+    h->epoch += 1;
     h->active = 1;
-    device_->persist(reinterpret_cast<Addr>(&h->active), kWordSize);
+    device_->flush(base_, sizeof(Header));
+    // No fence: the first logRange's fence publishes the header
+    // together with the first entry; an empty transaction has
+    // nothing to roll back either way.
+    logged_.clear();
+}
+
+Word
+WalShard::checksum(const Entry *entry)
+{
+    // FNV-1a over the identifying fields and the payload.
+    Word h = 1469598103934665603ull;
+    auto mix = [&h](const void *data, std::size_t n) {
+        const auto *p = static_cast<const std::uint8_t *>(data);
+        for (std::size_t i = 0; i < n; ++i) {
+            h ^= p[i];
+            h *= 1099511628211ull;
+        }
+    };
+    mix(&entry->deviceOffset, sizeof(Word));
+    mix(&entry->length, sizeof(Word));
+    mix(&entry->epochSeq, sizeof(Word));
+    mix(entry + 1, entry->length);
+    return h;
 }
 
 void
-Wal::logRange(Addr addr, std::size_t len)
+WalShard::logRange(Addr addr, std::size_t len)
 {
     if (!active())
-        panic("db wal: logRange outside a transaction");
+        panic(strCat("db wal: shard ", id_,
+                     ": logRange outside a transaction"));
+    auto it = logged_.find(addr);
+    if (it != logged_.end() && it->second >= len)
+        return; // old image already durable for this range
     Header *h = header();
     std::size_t entry_bytes = sizeof(Entry) + alignUp(len, kWordSize);
-    if (kCacheLineSize + h->used + entry_bytes > size_)
-        fatal("db wal: log full");
+    if (h->used + entry_bytes > capacity() || h->count + 1 >= kMaxEntries)
+        throw WalFullError(strCat(
+            "db wal: shard ", id_, ": undo segment full (used ",
+            h->used, " of ", capacity(), " bytes, entry needs ",
+            entry_bytes, ")"));
     Addr entry_addr = payload() + h->used;
     auto *entry = reinterpret_cast<Entry *>(entry_addr);
     entry->deviceOffset = device_->toOffset(addr);
     entry->length = len;
+    entry->epochSeq = makeEpochSeq(h->epoch, h->count);
     std::memcpy(entry + 1, reinterpret_cast<const void *>(addr), len);
+    entry->check = checksum(entry);
     device_->flush(entry_addr, entry_bytes);
-    device_->fence();
     h->used += entry_bytes;
     h->count += 1;
-    device_->persist(base_, sizeof(Header));
+    device_->flush(base_, sizeof(Header));
+    // One fence publishes entry + header (+ the begin's active bit).
+    // At most the tail entry can be torn by a power failure, and its
+    // target row has not been overwritten yet.
+    device_->fence();
+    logged_[addr] = std::max(it != logged_.end() ? it->second : 0, len);
 }
 
 void
-Wal::commit()
+WalShard::stageCommit()
 {
-    if (!active())
-        panic("db wal: commit outside a transaction");
     Header *h = header();
     Addr cursor = payload();
     for (Word i = 0; i < h->count; ++i) {
@@ -66,21 +115,34 @@ Wal::commit()
                        entry->length);
         cursor += sizeof(Entry) + alignUp(entry->length, kWordSize);
     }
-    device_->fence();
-    retire();
 }
 
 void
-Wal::rollback()
+WalShard::stageRetire()
 {
     Header *h = header();
-    std::vector<Entry *> entries;
-    Addr cursor = payload();
-    for (Word i = 0; i < h->count; ++i) {
-        auto *entry = reinterpret_cast<Entry *>(cursor);
-        entries.push_back(entry);
-        cursor += sizeof(Entry) + alignUp(entry->length, kWordSize);
-    }
+    h->active = 0;
+    h->committed += 1;
+    device_->flush(base_, sizeof(Header));
+    logged_.clear();
+}
+
+void
+WalShard::commitEager()
+{
+    if (!active())
+        panic(strCat("db wal: shard ", id_,
+                     ": commit outside a transaction"));
+    stageCommit();
+    device_->fence();
+    stageRetire();
+    device_->fence();
+}
+
+void
+WalShard::rollback(const std::vector<Entry *> &entries,
+                   const UndoFn &on_undone)
+{
     for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
         Addr dst = device_->toAddr((*it)->deviceOffset);
         std::memcpy(reinterpret_cast<void *>(dst), *it + 1,
@@ -88,32 +150,162 @@ Wal::rollback()
         device_->flush(dst, (*it)->length);
     }
     device_->fence();
+    if (on_undone) {
+        for (auto it = entries.rbegin(); it != entries.rend(); ++it)
+            on_undone(device_->toAddr((*it)->deviceOffset),
+                      (*it)->length);
+    }
 }
 
 void
-Wal::rollbackAndRetire()
+WalShard::rollbackAndRetire(const UndoFn &on_undone)
 {
     if (!active())
-        panic("db wal: rollback outside a transaction");
-    rollback();
+        panic(strCat("db wal: shard ", id_,
+                     ": rollback outside a transaction"));
+    rollback(walkValidEntries(), on_undone);
     retire();
 }
 
 void
-Wal::retire()
+WalShard::retire()
 {
     Header *h = header();
     h->active = 0;
-    device_->persist(reinterpret_cast<Addr>(&h->active), kWordSize);
+    device_->persist(base_, sizeof(Header));
+    logged_.clear();
+}
+
+void
+WalShard::retireEmpty()
+{
+    if (!active())
+        panic(strCat("db wal: shard ", id_,
+                     ": commit outside a transaction"));
+    if (header()->count != 0)
+        panic(strCat("db wal: shard ", id_,
+                     ": retireEmpty with logged entries"));
+    // Nothing was written, so nothing needs a fence: whether or not
+    // the cleared active bit (or the begin's set bit) ever becomes
+    // durable, recovery finds zero entries to roll back.
+    Header *h = header();
+    h->active = 0;
+    h->committed += 1;
+    device_->flush(base_, sizeof(Header));
+    logged_.clear();
+}
+
+bool
+WalShard::headerSane() const
+{
+    const Header *h = header();
+    return h->active == 1 && h->used <= capacity() &&
+           h->used % kWordSize == 0 && h->count < kMaxEntries &&
+           h->count * sizeof(Entry) <= h->used;
+}
+
+std::vector<WalShard::Entry *>
+WalShard::walkValidEntries() const
+{
+    const Header *h = header();
+    std::vector<Entry *> out;
+    Addr cursor = payload();
+    Addr end = payload() + std::min<std::size_t>(h->used, capacity());
+    for (Word i = 0; i < h->count; ++i) {
+        if (cursor + sizeof(Entry) > end)
+            break;
+        auto *entry = reinterpret_cast<Entry *>(cursor);
+        std::size_t len = entry->length;
+        if (len == 0 || len > capacity())
+            break;
+        std::size_t entry_bytes = sizeof(Entry) + alignUp(len, kWordSize);
+        if (cursor + entry_bytes > end)
+            break;
+        if (entry->epochSeq != makeEpochSeq(h->epoch, i))
+            break;
+        if (entry->deviceOffset + len > device_->size())
+            break;
+        if (checksum(entry) != entry->check)
+            break;
+        out.push_back(entry);
+        cursor += entry_bytes;
+    }
+    return out;
+}
+
+void
+WalShard::recover()
+{
+    busy_.store(0, std::memory_order_release);
+    logged_.clear();
+    Header *h = header();
+    if (h->active == 0)
+        return;
+    if (!headerSane()) {
+        warn(strCat("db wal: shard ", id_,
+                    ": corrupt undo segment header (active=",
+                    h->active, " count=", h->count, " used=", h->used,
+                    "); discarding segment"));
+        h->active = 0;
+        h->count = 0;
+        h->used = 0;
+        device_->persist(base_, sizeof(Header));
+        return;
+    }
+    std::vector<Entry *> entries = walkValidEntries();
+    if (entries.size() != h->count) {
+        warn(strCat("db wal: shard ", id_, ": torn tail — rolling back ",
+                    entries.size(), " of ", h->count, " entries"));
+    }
+    rollback(entries, {});
+    retire();
+}
+
+bool
+WalShard::tryAcquireTx()
+{
+    Word expect = 0;
+    return busy_.compare_exchange_strong(expect, 1,
+                                         std::memory_order_acquire,
+                                         std::memory_order_relaxed);
+}
+
+void
+WalShard::acquireTx()
+{
+    while (!tryAcquireTx()) {
+        // Die with a simulated power failure instead of spinning on
+        // a shard whose owner was killed by it.
+        CrashInjector *inj = device_->injector();
+        if (inj && inj->tripped())
+            throw SimulatedCrash();
+        std::this_thread::yield();
+    }
+}
+
+void
+WalShard::releaseTx()
+{
+    busy_.store(0, std::memory_order_release);
+}
+
+Wal::Wal(NvmDevice *device, Addr base, std::size_t size, unsigned shards)
+{
+    if (shards == 0)
+        shards = 1;
+    std::size_t seg = alignDown(size / shards, kCacheLineSize);
+    if (seg < kCacheLineSize + 256)
+        fatal(strCat("db wal: region too small for ", shards,
+                     " shards (", size, " bytes)"));
+    for (unsigned i = 0; i < shards; ++i)
+        shards_.emplace_back(device, base + i * seg, seg, i);
 }
 
 void
 Wal::recover()
 {
-    if (active()) {
-        rollback();
-        retire();
-    }
+    for (WalShard &shard : shards_)
+        shard.recover();
 }
 
 } // namespace db

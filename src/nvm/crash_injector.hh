@@ -59,6 +59,19 @@ class CrashInjector
     std::uint64_t eventCount() const { return count_.load(); }
     bool armed() const { return armed_.load(); }
 
+    /**
+     * True once the armed ordinal has been reached: power is gone.
+     * Passive (does not count an event) — spin/wait loops that
+     * perform no persistence poll this so a thread blocked on a
+     * dead thread's lock still dies instead of hanging the sweep.
+     */
+    bool
+    tripped() const
+    {
+        return armed_.load() && target_.load() > 0 &&
+               count_.load() >= target_.load();
+    }
+
     /** The most recently armed target (valid even after disarm). */
     std::uint64_t armedTarget() const { return target_.load(); }
 

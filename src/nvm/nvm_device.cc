@@ -3,6 +3,7 @@
 #include <chrono>
 #include <cstring>
 #include <fstream>
+#include <thread>
 #include <unordered_map>
 
 #include "util/logging.hh"
@@ -14,6 +15,17 @@ namespace espresso {
 namespace {
 
 std::atomic<std::uint64_t> g_deviceSerial{1};
+
+void
+yieldFor(std::uint64_t ns)
+{
+    if (ns == 0)
+        return;
+    auto until = std::chrono::steady_clock::now() +
+                 std::chrono::nanoseconds(ns);
+    while (std::chrono::steady_clock::now() < until)
+        std::this_thread::yield();
+}
 
 void
 spinFor(std::uint64_t ns)
@@ -115,7 +127,10 @@ NvmDevice::fence()
         }
     }
     staged.clear();
-    spinFor(cfg_.fenceLatencyNs);
+    if (cfg_.fenceWaitYields)
+        yieldFor(cfg_.fenceLatencyNs);
+    else
+        spinFor(cfg_.fenceLatencyNs);
 }
 
 void

@@ -46,6 +46,16 @@ struct NvmConfig
     std::uint64_t fenceLatencyNs = 0;
 
     /**
+     * When true, the fence-latency wait yields the host CPU instead
+     * of busy-spinning. A real sfence stalls only the issuing core;
+     * on a container with fewer host cores than modeled threads a
+     * busy-wait would serialize stalls that real hardware overlaps,
+     * so throughput benchmarks (ycsb_lite) enable this to let
+     * sibling threads run during a fence drain.
+     */
+    bool fenceWaitYields = false;
+
+    /**
      * When false, flush/fence perform no latency and no staging and a
      * crash loses everything since the last clean shutdown. Used as
      * the "remove all clflush" baseline of §6.4.

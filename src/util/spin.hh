@@ -12,6 +12,7 @@
 #include <chrono>
 #include <cstdint>
 #include <mutex>
+#include <thread>
 
 namespace espresso {
 
@@ -35,8 +36,16 @@ class SpinLock
     {
         while (flag_.test_and_set(std::memory_order_acquire)) {
             // Spin on a plain load so contended waiters don't
-            // ping-pong the cache line with RMW traffic.
+            // ping-pong the cache line with RMW traffic. On an
+            // oversubscribed host a preempted holder would otherwise
+            // cost every waiter a scheduler quantum, so yield after a
+            // bounded spin.
+            std::uint32_t spins = 0;
             while (flag_.test(std::memory_order_relaxed)) {
+                if (++spins == 4096) {
+                    spins = 0;
+                    std::this_thread::yield();
+                }
             }
         }
     }

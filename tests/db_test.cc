@@ -7,9 +7,13 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+
 #include "db/database.hh"
 #include "db/sql_lexer.hh"
 #include "db/sql_parser.hh"
+#include "runtime/oop.hh"
 #include "util/logging.hh"
 
 namespace espresso {
@@ -202,6 +206,360 @@ TEST_F(DatabaseTest, OpenTransactionRollsBackAcrossCrash)
     ResultSet rs = db_->executeSql("SELECT AGE FROM PERSON WHERE ID = 1");
     ASSERT_EQ(rs.rows.size(), 1u);
     EXPECT_EQ(rs.rows[0][0].i, 30);
+}
+
+TEST_F(DatabaseTest, WalDedupSkipsRepeatedRanges)
+{
+    db_->executeSql(
+        "INSERT INTO PERSON (ID, NAME, AGE) VALUES (1, 'Ann', 30)");
+    db_->begin();
+    db_->executeSql("UPDATE PERSON SET AGE = 1 WHERE ID = 1");
+    WalShard &shard = db_->wal().shard(db_->currentTxShard());
+    std::size_t used_after_first = shard.bytesUsed();
+    std::size_t count_after_first = shard.entryCount();
+    ASSERT_GT(used_after_first, 0u);
+    for (int i = 2; i <= 50; ++i) {
+        db_->executeSql("UPDATE PERSON SET AGE = " + std::to_string(i) +
+                        " WHERE ID = 1");
+    }
+    // Hot-row rewrites must not re-log the same old image.
+    EXPECT_EQ(shard.bytesUsed(), used_after_first);
+    EXPECT_EQ(shard.entryCount(), count_after_first);
+    db_->commit();
+    ResultSet rs = db_->executeSql("SELECT AGE FROM PERSON WHERE ID = 1");
+    EXPECT_EQ(rs.rows[0][0].i, 50);
+
+    // ... and rollback restores the pre-transaction image, not an
+    // intermediate one.
+    db_->begin();
+    db_->executeSql("UPDATE PERSON SET AGE = 98 WHERE ID = 1");
+    db_->executeSql("UPDATE PERSON SET AGE = 99 WHERE ID = 1");
+    db_->rollback();
+    rs = db_->executeSql("SELECT AGE FROM PERSON WHERE ID = 1");
+    EXPECT_EQ(rs.rows[0][0].i, 50);
+}
+
+TEST(WalRecoveryTest, LogFullRollsBackRecoverably)
+{
+    DatabaseConfig cfg;
+    cfg.rowRegionSize = 2u << 20;
+    cfg.rowsPerTable = 128;
+    cfg.walSize = 4096; // tiny: a few row images fill a segment
+    cfg.walShards = 1;
+    Database db(cfg);
+    db.executeSql("CREATE TABLE T (ID BIGINT PRIMARY KEY, V BIGINT)");
+    for (int i = 0; i < 64; ++i)
+        db.executeSql("INSERT INTO T (ID, V) VALUES (" +
+                      std::to_string(i) + ", 0)");
+
+    // A transaction touching more rows than the segment holds must
+    // roll back — and the process (and database) must survive.
+    db.begin();
+    bool full = false;
+    for (int i = 0; i < 64 && !full; ++i) {
+        try {
+            db.executeSql("UPDATE T SET V = 1 WHERE ID = " +
+                          std::to_string(i));
+        } catch (const FatalError &) {
+            full = true;
+        }
+    }
+    ASSERT_TRUE(full);
+    EXPECT_EQ(db.lastTxOutcome(), TxOutcome::kRolledBackWalFull);
+    EXPECT_FALSE(db.inTransaction());
+    // rollback() after the engine's own rollback is a quiet no-op;
+    // commit() of the dead transaction reports the outcome.
+    db.rollback();
+    EXPECT_THROW(
+        {
+            db.begin();
+            db.executeSql("UPDATE T SET V = 2 WHERE ID = 0");
+            // Refill the segment to force another mid-txn abort.
+            for (int i = 1; i < 64; ++i)
+                db.executeSql("UPDATE T SET V = 2 WHERE ID = " +
+                              std::to_string(i));
+            db.commit();
+        },
+        FatalError);
+
+    // Every update the failed transactions made was undone.
+    ResultSet rs = db.executeSql("SELECT * FROM T");
+    ASSERT_EQ(rs.rows.size(), 64u);
+    for (const auto &row : rs.rows)
+        EXPECT_EQ(row[1].i, 0) << "row " << row[0].i;
+
+    // The database stays fully usable.
+    db.executeSql("INSERT INTO T (ID, V) VALUES (1000, 7)");
+    EXPECT_EQ(db.rowCount("T"), 65u);
+    db.begin();
+    db.executeSql("UPDATE T SET V = 3 WHERE ID = 0");
+    db.commit();
+    rs = db.executeSql("SELECT V FROM T WHERE ID = 0");
+    EXPECT_EQ(rs.rows[0][0].i, 3);
+}
+
+TEST(WalRecoveryTest, CorruptHeaderIsDiscardedNotWalked)
+{
+    setWarningsEnabled(false);
+    NvmDevice dev(1u << 20);
+    Addr data = dev.toAddr(512 * 1024);
+    for (int i = 0; i < 64; ++i)
+        *reinterpret_cast<std::uint8_t *>(data + i) = 0xAA;
+    dev.persist(data, 64);
+
+    Wal wal(&dev, dev.toAddr(0), 64 * 1024, 4);
+    WalShard &shard = wal.shard(0);
+    shard.begin();
+    shard.logRange(data, 64);
+    for (int i = 0; i < 64; ++i)
+        *reinterpret_cast<std::uint8_t *>(data + i) = 0xBB;
+    dev.persist(data, 64);
+
+    // Scribble garbage over the segment header's count/used words
+    // (a torn header line) and persist the damage.
+    Addr hb = shard.segmentBase();
+    storeWord(hb + 8, ~0ull);  // count
+    storeWord(hb + 16, ~0ull); // used
+    dev.persist(hb, 64);
+
+    // Recovery must neither crash nor walk the garbage...
+    wal.recover();
+    EXPECT_FALSE(shard.active());
+    // ...and must not have "restored" anything from a bogus walk.
+    EXPECT_EQ(*reinterpret_cast<std::uint8_t *>(data), 0xBB);
+
+    // The discarded segment is reusable.
+    shard.begin();
+    shard.logRange(data, 64);
+    shard.commitEager();
+    EXPECT_FALSE(shard.active());
+    setWarningsEnabled(true);
+}
+
+TEST(WalRecoveryTest, TornTailEntryIsSkippedValidPrefixRollsBack)
+{
+    setWarningsEnabled(false);
+    NvmDevice dev(1u << 20);
+    Addr r1 = dev.toAddr(512 * 1024);
+    Addr r2 = dev.toAddr(512 * 1024 + 4096);
+    for (int i = 0; i < 64; ++i) {
+        *reinterpret_cast<std::uint8_t *>(r1 + i) = 0x11;
+        *reinterpret_cast<std::uint8_t *>(r2 + i) = 0x22;
+    }
+    dev.persist(r1, 64);
+    dev.persist(r2, 64);
+
+    Wal wal(&dev, dev.toAddr(0), 64 * 1024, 1);
+    WalShard &shard = wal.shard(0);
+    shard.begin();
+    shard.logRange(r1, 64);
+    shard.logRange(r2, 64);
+    for (int i = 0; i < 64; ++i) {
+        *reinterpret_cast<std::uint8_t *>(r1 + i) = 0x33;
+        *reinterpret_cast<std::uint8_t *>(r2 + i) = 0x44;
+    }
+    dev.persist(r1, 64);
+    dev.persist(r2, 64);
+
+    // Corrupt the tail entry's payload (entry layout: 32-byte fields
+    // + 64-byte image; the second entry starts at +96).
+    Addr tail_payload = shard.segmentBase() + kCacheLineSize + 96 + 32;
+    *reinterpret_cast<std::uint8_t *>(tail_payload + 5) ^= 0xFF;
+    dev.persist(tail_payload, 64);
+
+    wal.recover();
+    EXPECT_FALSE(shard.active());
+    // The valid prefix rolled back; the torn tail was skipped.
+    EXPECT_EQ(*reinterpret_cast<std::uint8_t *>(r1), 0x11);
+    EXPECT_EQ(*reinterpret_cast<std::uint8_t *>(r2), 0x44);
+    setWarningsEnabled(true);
+}
+
+TEST_F(DatabaseTest, UncommittedDeleteKeepsPkReserved)
+{
+    db_->executeSql(
+        "INSERT INTO PERSON (ID, NAME, AGE) VALUES (1, 'Ann', 30)");
+    db_->begin();
+    EXPECT_TRUE(db_->deleteRecord("PERSON", 1));
+    DbRecord out;
+    EXPECT_FALSE(db_->fetchRecord("PERSON", 1, &out));
+
+    // Another thread's insert of the reserved pk must be refused
+    // while the delete is uncommitted — otherwise this rollback
+    // would resurrect the old row on top of it.
+    std::thread intruder([&]() {
+        EXPECT_THROW(db_->executeSql("INSERT INTO PERSON (ID, NAME, "
+                                     "AGE) VALUES (1, 'Zoe', 1)"),
+                     FatalError);
+    });
+    intruder.join();
+
+    db_->rollback();
+    ASSERT_TRUE(db_->fetchRecord("PERSON", 1, &out));
+    EXPECT_EQ(out.values[1].s, "Ann");
+    EXPECT_EQ(db_->rowCount("PERSON"), 1u);
+}
+
+TEST_F(DatabaseTest, DeleteThenReinsertSamePkInOneTransaction)
+{
+    db_->executeSql(
+        "INSERT INTO PERSON (ID, NAME, AGE) VALUES (1, 'Ann', 30)");
+
+    db_->begin();
+    EXPECT_TRUE(db_->deleteRecord("PERSON", 1));
+    DbRecord rec;
+    rec.values = {DbValue::ofI64(1), DbValue::ofStr("Ann2"),
+                  DbValue::ofI64(31)};
+    db_->persistRecord("PERSON", rec);
+    db_->commit();
+
+    DbRecord out;
+    ASSERT_TRUE(db_->fetchRecord("PERSON", 1, &out));
+    EXPECT_EQ(out.values[1].s, "Ann2");
+    EXPECT_EQ(db_->rowCount("PERSON"), 1u);
+
+    // The rolled-back variant restores the original row.
+    db_->begin();
+    EXPECT_TRUE(db_->deleteRecord("PERSON", 1));
+    rec.values[1] = DbValue::ofStr("Ann3");
+    db_->persistRecord("PERSON", rec);
+    db_->rollback();
+    ASSERT_TRUE(db_->fetchRecord("PERSON", 1, &out));
+    EXPECT_EQ(out.values[1].s, "Ann2");
+    EXPECT_EQ(db_->rowCount("PERSON"), 1u);
+
+    // Durable too.
+    db_->crash();
+    ASSERT_TRUE(db_->fetchRecord("PERSON", 1, &out));
+    EXPECT_EQ(out.values[1].s, "Ann2");
+}
+
+TEST(SamePkContentionTest, ConcurrentWritersOnOneKeyStayConsistent)
+{
+    DatabaseConfig cfg;
+    cfg.rowRegionSize = 2u << 20;
+    cfg.rowsPerTable = 64;
+    cfg.walShards = 8;
+    Database db(cfg);
+    db.executeSql("CREATE TABLE T (ID BIGINT PRIMARY KEY, V BIGINT)");
+    db.executeSql("INSERT INTO T (ID, V) VALUES (7, 0)");
+
+    constexpr int kThreads = 4;
+    constexpr int kIters = 60;
+    std::atomic<bool> go{false};
+    std::atomic<int> failures{0};
+    std::vector<std::thread> workers;
+    for (int t = 0; t < kThreads; ++t) {
+        workers.emplace_back([&, t]() {
+            while (!go.load(std::memory_order_acquire))
+                std::this_thread::yield();
+            for (int i = 0; i < kIters; ++i) {
+                try {
+                    db.begin();
+                    if ((t + i) % 3 == 0) {
+                        // delete + re-insert the hot key
+                        if (db.deleteRecord("T", 7)) {
+                            DbRecord rec;
+                            rec.values = {DbValue::ofI64(7),
+                                          DbValue::ofI64(t * 1000 + i)};
+                            db.persistRecord("T", rec);
+                        }
+                        db.commit();
+                    } else if ((t + i) % 3 == 1) {
+                        DbRecord rec;
+                        rec.values = {DbValue::ofI64(7),
+                                      DbValue::ofI64(t * 1000 + i)};
+                        rec.dirtyMask = 1ull << 1;
+                        db.persistRecord("T", rec);
+                        db.commit();
+                    } else {
+                        DbRecord rec;
+                        rec.values = {DbValue::ofI64(7),
+                                      DbValue::ofI64(-1)};
+                        rec.dirtyMask = 1ull << 1;
+                        db.persistRecord("T", rec);
+                        db.rollback();
+                    }
+                } catch (const FatalError &) {
+                    // A racing delete may briefly reserve the pk;
+                    // the transaction was rolled back for us or the
+                    // statement refused — both leave the db intact.
+                    if (db.inTransaction())
+                        db.rollback();
+                    failures.fetch_add(1);
+                }
+            }
+        });
+    }
+    go.store(true, std::memory_order_release);
+    for (auto &w : workers)
+        w.join();
+
+    // Exactly one live row with pk 7, holding one writer's committed
+    // value — never a duplicate, never a resurrected ghost.
+    EXPECT_EQ(db.rowCount("T"), 1u);
+    ResultSet rs = db.executeSql("SELECT * FROM T");
+    ASSERT_EQ(rs.rows.size(), 1u);
+    EXPECT_EQ(rs.rows[0][0].i, 7);
+    db.crash(CrashMode::kEvictRandomLines, 99);
+    EXPECT_EQ(db.rowCount("T"), 1u);
+    EXPECT_EQ(db.executeSql("SELECT * FROM T").rows.size(), 1u);
+}
+
+TEST(GroupCommitTest, ConcurrentCommittersShareOneDrain)
+{
+    DatabaseConfig cfg;
+    cfg.rowRegionSize = 2u << 20;
+    cfg.rowsPerTable = 256;
+    cfg.walShards = 8;
+    // Very generous: determinism first — the quiet period (window/4)
+    // must exceed any TSan/CI scheduling hiccup between commits.
+    cfg.groupCommitWindowUs = 4000000;
+    Database db(cfg);
+    db.executeSql("CREATE TABLE T (ID BIGINT PRIMARY KEY, V BIGINT)");
+
+    constexpr int kThreads = 4;
+    CommitCoordinator::Stats before = db.commitCoordinator().stats();
+    std::atomic<int> staged{0};
+    std::atomic<bool> go{false};
+    std::atomic<std::uint64_t> fences_at_barrier{0};
+    std::vector<std::thread> workers;
+    for (int t = 0; t < kThreads; ++t) {
+        workers.emplace_back([&, t]() {
+            db.begin();
+            DbRecord rec;
+            rec.values = {DbValue::ofI64(t), DbValue::ofI64(100 + t)};
+            db.persistRecord("T", rec);
+            staged.fetch_add(1);
+            while (!go.load(std::memory_order_acquire))
+                std::this_thread::yield();
+            db.commit();
+        });
+    }
+    while (staged.load() != kThreads)
+        std::this_thread::yield();
+    fences_at_barrier = db.device().stats().fences.load();
+    go.store(true, std::memory_order_release);
+    for (auto &w : workers)
+        w.join();
+
+    // All K transactions were in flight when the leader formed its
+    // batch, so the whole group drained in one cycle: two fences
+    // (images, then commit records), regardless of K.
+    CommitCoordinator::Stats after = db.commitCoordinator().stats();
+    EXPECT_EQ(after.batches - before.batches, 1u);
+    EXPECT_EQ(after.maxBatch, static_cast<std::uint64_t>(kThreads));
+    EXPECT_EQ(db.device().stats().fences.load() - fences_at_barrier,
+              2u);
+
+    // ... and all K transactions are durable.
+    db.crash(CrashMode::kDiscardUnflushed);
+    for (int t = 0; t < kThreads; ++t) {
+        ResultSet rs = db.executeSql("SELECT V FROM T WHERE ID = " +
+                                     std::to_string(t));
+        ASSERT_EQ(rs.rows.size(), 1u) << "txn " << t << " lost";
+        EXPECT_EQ(rs.rows[0][0].i, 100 + t);
+    }
 }
 
 TEST_F(DatabaseTest, TableCapacityIsEnforced)
