@@ -1,0 +1,196 @@
+/**
+ * @file
+ * shard_scaling: HeapFabric and ShardedDatabase throughput vs member
+ * count — the horizontal-scaling figure of the sharded runtime.
+ *
+ * The NVM model runs with a serialized per-device fence drain
+ * (NvmConfig::fenceDrainSerialized): every fence holds its device's
+ * write-queue token for the modeled drain latency, so one device's
+ * bandwidth bounds everything funneled through it — exactly the
+ * single-PJH bottleneck the fabric shards away. Drains sleep, so
+ * drains on different member devices overlap regardless of host core
+ * count, and the scaling column is meaningful even on a 1-core
+ * container.
+ *
+ *  - Part 1: T threads pnew+flush Nodes through a fabric, route keys
+ *    spread by the consistent-hash ring, members ∈ {1, 2, 4, 8}.
+ *  - Part 2: T threads run YCSB-A (50% read / 50% single-row update
+ *    transactions, uniform keys) over a pk-partitioned
+ *    ShardedDatabase, members ∈ {1, 2, 4, 8}.
+ *
+ * Expected shape: ≥2.5x at 4 members over the 1-member baseline in
+ * both parts (ideal is 4x; routing skew, the shared volatile side,
+ * and scheduler noise eat some of it).
+ */
+
+#include <atomic>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.hh"
+#include "core/espresso.hh"
+#include "db/sharded_database.hh"
+#include "util/rng.hh"
+
+using namespace espresso;
+
+namespace {
+
+constexpr int kThreads = 8;
+constexpr std::uint64_t kDrainNs = 20000; // one modeled DIMM drain
+
+NvmConfig
+drainBoundNvm()
+{
+    NvmConfig nvm;
+    nvm.fenceLatencyNs = kDrainNs;
+    nvm.fenceDrainSerialized = true;
+    return nvm;
+}
+
+double
+runPnew(unsigned shards, int ops_per_thread)
+{
+    EspressoConfig cfg;
+    cfg.nvm = drainBoundNvm();
+    EspressoRuntime rt(cfg);
+    rt.define({"Node",
+               "",
+               {{"value", FieldType::kI64}, {"next", FieldType::kRef}},
+               false});
+    std::uint32_t value_off = rt.fieldOffset("Node", "value");
+
+    PjhConfig shard_cfg;
+    shard_cfg.dataSize = 8u << 20;
+    HeapFabric *fabric =
+        rt.heaps().createFabric("fab", shard_cfg, shards);
+
+    std::atomic<int> ready{0};
+    std::atomic<bool> go{false};
+    std::vector<std::thread> workers;
+    for (int w = 0; w < kThreads; ++w) {
+        workers.emplace_back([&, w]() {
+            ready.fetch_add(1);
+            while (!go.load(std::memory_order_acquire)) {
+            }
+            for (int i = 0; i < ops_per_thread; ++i) {
+                std::string key =
+                    "t" + std::to_string(w) + "." + std::to_string(i);
+                Oop node = rt.pnewInstance(fabric, key, "Node");
+                node.setI64(value_off, w * 1000000 + i);
+                fabric->shardFor(key)->flushObject(node);
+            }
+        });
+    }
+    while (ready.load() != kThreads) {
+    }
+    std::uint64_t t0 = bench::nowNs();
+    go.store(true, std::memory_order_release);
+    for (auto &t : workers)
+        t.join();
+    std::uint64_t wall = bench::nowNs() - t0;
+    return static_cast<double>(kThreads) * ops_per_thread /
+           (static_cast<double>(wall) / 1e9);
+}
+
+double
+runYcsbA(unsigned shards, int ops_per_thread)
+{
+    const std::int64_t records = 2048;
+    db::ShardedDatabaseConfig cfg;
+    cfg.shards = shards;
+    cfg.shard.rowRegionSize = 4u << 20;
+    cfg.shard.rowsPerTable = records;
+    cfg.shard.walShards = 16;
+    cfg.shard.groupCommitWindowUs = 0;
+    db::ShardedDatabase database(cfg, drainBoundNvm());
+
+    db::TableSchema schema;
+    schema.name = "USERTABLE";
+    schema.columns = {{"K", db::DbType::kI64},
+                      {"F0", db::DbType::kStr},
+                      {"F1", db::DbType::kI64}};
+    database.createTable(schema);
+    for (std::int64_t k = 0; k < records; ++k) {
+        db::DbRecord rec;
+        rec.values = {db::DbValue::ofI64(k), db::DbValue::ofStr("init"),
+                      db::DbValue::ofI64(0)};
+        database.persistRecord("USERTABLE", rec);
+    }
+
+    std::atomic<int> ready{0};
+    std::atomic<bool> go{false};
+    std::vector<std::thread> workers;
+    for (int w = 0; w < kThreads; ++w) {
+        workers.emplace_back([&, w]() {
+            Rng rng(0xABCDEFull + 7919 * w);
+            ready.fetch_add(1);
+            while (!go.load(std::memory_order_acquire)) {
+            }
+            db::DbRecord out;
+            for (int i = 0; i < ops_per_thread; ++i) {
+                std::int64_t key = static_cast<std::int64_t>(
+                    rng.nextBelow(records));
+                if (rng.nextBool()) {
+                    database.fetchRecord("USERTABLE", key, &out);
+                } else {
+                    db::DbRecord up;
+                    up.values = {db::DbValue::ofI64(key),
+                                 db::DbValue::null(),
+                                 db::DbValue::ofI64(w * 1000000 + i)};
+                    up.dirtyMask = 1ull << 2; // F1 only
+                    database.persistRecord("USERTABLE", up);
+                }
+            }
+        });
+    }
+    while (ready.load() != kThreads) {
+    }
+    std::uint64_t t0 = bench::nowNs();
+    go.store(true, std::memory_order_release);
+    for (auto &t : workers)
+        t.join();
+    std::uint64_t wall = bench::nowNs() - t0;
+    return static_cast<double>(kThreads) * ops_per_thread /
+           (static_cast<double>(wall) / 1e9) / 1e3;
+}
+
+} // namespace
+
+int
+main()
+{
+    int ops = bench::opsFromEnv(600);
+    bench::printHeader(
+        "shard_scaling — fabric throughput vs member count",
+        "Per-device serialized fence drains (" +
+            std::to_string(kDrainNs / 1000) +
+            " us); " + std::to_string(kThreads) +
+            " threads; route keys spread by the consistent-hash "
+            "ring. Expect >=2.5x at 4 members.");
+
+    std::printf("-- pnew + flushObject through a HeapFabric --\n");
+    std::printf("%8s %12s %12s\n", "members", "pnew/s", "vs 1");
+    double base = 0;
+    for (unsigned shards : {1u, 2u, 4u, 8u}) {
+        double rate = runPnew(shards, ops);
+        if (shards == 1)
+            base = rate;
+        std::printf("%8u %12.0f %11.2fx\n", shards, rate,
+                    base > 0 ? rate / base : 0.0);
+    }
+
+    std::printf("\n-- YCSB-A over a pk-partitioned ShardedDatabase --\n");
+    std::printf("%8s %12s %12s\n", "members", "ktxn/s", "vs 1");
+    base = 0;
+    for (unsigned shards : {1u, 2u, 4u, 8u}) {
+        double rate = runYcsbA(shards, ops);
+        if (shards == 1)
+            base = rate;
+        std::printf("%8u %12.1f %11.2fx\n", shards, rate,
+                    base > 0 ? rate / base : 0.0);
+    }
+    return 0;
+}

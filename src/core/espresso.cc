@@ -109,6 +109,47 @@ EspressoRuntime::pnewString(PjhHeap *heap, const std::string &s)
     return arr;
 }
 
+Oop
+EspressoRuntime::pnewInstance(HeapFabric *fabric,
+                              const std::string &route_key,
+                              const std::string &klass_name)
+{
+    return pnewInstance(fabric->shardFor(route_key), klass_name);
+}
+
+Oop
+EspressoRuntime::pnewI64Array(HeapFabric *fabric,
+                              const std::string &route_key,
+                              std::uint64_t length)
+{
+    return pnewI64Array(fabric->shardFor(route_key), length);
+}
+
+Oop
+EspressoRuntime::pnewCharArray(HeapFabric *fabric,
+                               const std::string &route_key,
+                               std::uint64_t length)
+{
+    return pnewCharArray(fabric->shardFor(route_key), length);
+}
+
+Oop
+EspressoRuntime::pnewRefArray(HeapFabric *fabric,
+                              const std::string &route_key,
+                              const std::string &elem_klass,
+                              std::uint64_t length)
+{
+    return pnewRefArray(fabric->shardFor(route_key), elem_klass, length);
+}
+
+Oop
+EspressoRuntime::pnewString(HeapFabric *fabric,
+                            const std::string &route_key,
+                            const std::string &s)
+{
+    return pnewString(fabric->shardFor(route_key), s);
+}
+
 std::string
 EspressoRuntime::readString(Oop char_array)
 {

@@ -28,6 +28,7 @@
 
 #include "heap/volatile_heap.hh"
 #include "nvm/nvm_device.hh"
+#include "pjh/heap_fabric.hh"
 #include "pjh/heap_manager.hh"
 #include "pjh/pjh_heap.hh"
 #include "runtime/klass_registry.hh"
@@ -84,6 +85,34 @@ class EspressoRuntime
 
     /** Allocate a persistent char-array holding @p s. */
     Oop pnewString(PjhHeap *heap, const std::string &s);
+    /// @}
+
+    /**
+     * @name pnew, fabric-routed
+     *
+     * Sharded variants: @p route_key picks the shard through the
+     * fabric's consistent-hash ring, so allocations with the same key
+     * land on the same PJH instance (and on the shard
+     * `fabric->setRoot(route_key, ...)` routes to, keeping the
+     * common allocate-then-publish pattern single-shard). The
+     * single-heap overloads above are exactly these calls on a
+     * 1-shard fabric.
+     */
+    /// @{
+    Oop pnewInstance(HeapFabric *fabric, const std::string &route_key,
+                     const std::string &klass_name);
+    Oop pnewI64Array(HeapFabric *fabric, const std::string &route_key,
+                     std::uint64_t length);
+    Oop pnewCharArray(HeapFabric *fabric, const std::string &route_key,
+                      std::uint64_t length);
+    Oop pnewRefArray(HeapFabric *fabric, const std::string &route_key,
+                     const std::string &elem_klass,
+                     std::uint64_t length);
+
+    /** Allocate a persistent char-array holding @p s on the shard
+     * @p route_key routes to. */
+    Oop pnewString(HeapFabric *fabric, const std::string &route_key,
+                   const std::string &s);
     /// @}
 
     /** Decode a char-array back into a std::string. */

@@ -1,0 +1,231 @@
+#include "db/sharded_database.hh"
+
+#include <unordered_map>
+
+#include "db/wal.hh"
+#include "util/env.hh"
+#include "util/logging.hh"
+
+namespace espresso {
+namespace db {
+
+namespace {
+
+std::atomic<std::uint64_t> g_shardedSerial{1};
+
+} // namespace
+
+ShardedDatabase::ShardedDatabase(const ShardedDatabaseConfig &cfg,
+                                 NvmConfig nvm_cfg)
+    : cfg_(cfg),
+      serial_(g_shardedSerial.fetch_add(1, std::memory_order_relaxed))
+{
+    unsigned shards =
+        cfg.shards ? cfg.shards : envUnsigned("ESPRESSO_SHARDS", 1);
+    unsigned vnodes = cfg.vnodes
+                          ? cfg.vnodes
+                          : envUnsigned("ESPRESSO_SHARD_VNODES",
+                                        ShardRouter::kDefaultVnodes);
+    router_ = ShardRouter(shards, vnodes);
+    shards_.reserve(shards);
+    for (unsigned i = 0; i < shards; ++i)
+        shards_.push_back(
+            std::make_unique<Database>(cfg.shard, nvm_cfg));
+}
+
+ShardedDatabase::~ShardedDatabase() = default;
+
+ShardedDatabase::TxState &
+ShardedDatabase::txState() const
+{
+    static thread_local std::unordered_map<std::uint64_t, TxState> map;
+    TxState &st = map[serial_];
+    std::uint64_t gen = generation_.load(std::memory_order_acquire);
+    if (st.gen != gen) {
+        st = TxState{};
+        st.gen = gen;
+    }
+    if (st.begun.size() != shards_.size())
+        st.begun.assign(shards_.size(), 0);
+    return st;
+}
+
+void
+ShardedDatabase::joinShard(TxState &st, unsigned idx)
+{
+    if (!st.open || st.begun[idx])
+        return;
+    shards_[idx]->begin();
+    st.begun[idx] = 1;
+}
+
+void
+ShardedDatabase::abortBracket(TxState &st)
+{
+    // Database::rollback also consumes a member the engine already
+    // rolled back on WAL-full (the aborted flag), so one loop covers
+    // both the explicit-rollback and the WAL-full-abort paths.
+    for (unsigned i = 0; i < shards_.size(); ++i) {
+        if (st.begun[i])
+            shards_[i]->rollback();
+        st.begun[i] = 0;
+    }
+    st.open = false;
+}
+
+void
+ShardedDatabase::begin()
+{
+    TxState &st = txState();
+    if (st.open)
+        fatal("sharded db: nested transactions are not supported");
+    st.aborted = false;
+    st.open = true;
+}
+
+void
+ShardedDatabase::commit()
+{
+    TxState &st = txState();
+    if (!st.open) {
+        if (st.aborted) {
+            st.aborted = false;
+            fatal("sharded db: transaction was already rolled back "
+                  "(undo log full)");
+        }
+        fatal("sharded db: commit without begin");
+    }
+    // Ascending shard order: deterministic, so concurrent brackets
+    // retiring overlapping member sets never deadlock in the
+    // members' commit paths.
+    for (unsigned i = 0; i < shards_.size(); ++i) {
+        if (st.begun[i])
+            shards_[i]->commit();
+        st.begun[i] = 0;
+    }
+    st.open = false;
+}
+
+void
+ShardedDatabase::rollback()
+{
+    TxState &st = txState();
+    if (!st.open) {
+        if (st.aborted) {
+            st.aborted = false; // already rolled back by the engine
+            return;
+        }
+        fatal("sharded db: rollback without begin");
+    }
+    abortBracket(st);
+}
+
+bool
+ShardedDatabase::inTransaction() const
+{
+    return txState().open;
+}
+
+void
+ShardedDatabase::createTable(const TableSchema &schema)
+{
+    for (auto &s : shards_)
+        s->createTable(schema);
+}
+
+std::int64_t
+ShardedDatabase::pkOf(const std::string &table, const DbRecord &record)
+{
+    const TableSchema *schema = shards_[0]->catalog().find(table);
+    if (!schema)
+        fatal("sharded db: no such table " + table);
+    if (record.values.size() != schema->columns.size())
+        fatal("sharded db: record shape mismatch for " + table);
+    return record.values[schema->pkColumn].i;
+}
+
+void
+ShardedDatabase::persistRecord(const std::string &table,
+                               const DbRecord &record)
+{
+    unsigned idx = shardIndexForPk(pkOf(table, record));
+    TxState &st = txState();
+    joinShard(st, idx);
+    try {
+        shards_[idx]->persistRecord(table, record);
+    } catch (const WalFullError &) {
+        // The member already rolled its sub-transaction back (and
+        // flagged its context aborted — the rollback in
+        // abortBracket consumes that flag); a cross-shard bracket
+        // cannot outlive a half-aborted member.
+        if (st.open) {
+            abortBracket(st);
+            st.aborted = true;
+        }
+        throw;
+    }
+}
+
+bool
+ShardedDatabase::fetchRecord(const std::string &table, std::int64_t pk,
+                             DbRecord *out)
+{
+    return shardForPk(pk).fetchRecord(table, pk, out);
+}
+
+bool
+ShardedDatabase::deleteRecord(const std::string &table, std::int64_t pk)
+{
+    unsigned idx = shardIndexForPk(pk);
+    TxState &st = txState();
+    joinShard(st, idx);
+    try {
+        return shards_[idx]->deleteRecord(table, pk);
+    } catch (const WalFullError &) {
+        if (st.open) {
+            abortBracket(st);
+            st.aborted = true;
+        }
+        throw;
+    }
+}
+
+void
+ShardedDatabase::scanEq(
+    const std::string &table, const std::string &column,
+    const DbValue &v,
+    const std::function<void(const std::vector<DbValue> &)> &fn)
+{
+    for (auto &s : shards_)
+        s->scanEq(table, column, v, fn);
+}
+
+std::size_t
+ShardedDatabase::rowCount(const std::string &table)
+{
+    std::size_t n = 0;
+    for (auto &s : shards_)
+        n += s->rowCount(table);
+    return n;
+}
+
+void
+ShardedDatabase::crashShard(unsigned i, CrashMode mode,
+                            std::uint64_t seed)
+{
+    if (i >= shards_.size())
+        fatal("sharded db: no such shard");
+    generation_.fetch_add(1, std::memory_order_release);
+    shards_[i]->crash(mode, seed);
+}
+
+void
+ShardedDatabase::crash(CrashMode mode, std::uint64_t seed)
+{
+    generation_.fetch_add(1, std::memory_order_release);
+    for (std::size_t i = 0; i < shards_.size(); ++i)
+        shards_[i]->crash(mode, seed + i);
+}
+
+} // namespace db
+} // namespace espresso

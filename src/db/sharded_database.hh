@@ -1,0 +1,194 @@
+/**
+ * @file
+ * ShardedDatabase — the embedded database over a consistent-hash
+ * shard fabric.
+ *
+ * Partitions every table horizontally by primary key: pk → shard via
+ * the same ShardRouter the heap fabric uses, one full Database engine
+ * (catalog + row store + sharded undo WAL + group-commit coordinator)
+ * per shard, each on its own NvmDevice. DDL broadcasts; the direct
+ * (DBPersistable) record path routes point operations by pk and fans
+ * scans out across members in shard order. Because every member owns
+ * its WAL, crash recovery is per-shard-local and independent — one
+ * member's power failure never blocks or corrupts the others.
+ *
+ * Transactions are per-thread, like Database's. An explicit
+ * begin()/commit() bracket may touch several shards: the bracket
+ * lazily opens the calling thread's transaction on each shard it
+ * first writes, and commit()/rollback() retires them in ascending
+ * shard order. Atomicity is **per shard**: each member's sub-
+ * transaction is atomic under crashes via its own WAL, but a crash
+ * between two member commits can durably keep one shard's half of a
+ * cross-shard transaction without the other (there is no cross-shard
+ * 2PC — the classic partitioned-store contract; route co-committed
+ * rows to one shard by pk design when that matters). A WAL-full on
+ * any member aborts the whole bracket: every touched shard rolls
+ * back and the WalFullError propagates.
+ *
+ * Single-row auto-committed operations (the YCSB pattern) involve
+ * exactly one shard and keep Database's full atomicity story.
+ *
+ * Caller contracts (same as Database): DDL and crash()/crashShard()
+ * must not run concurrently with other statements; writers touching
+ * multiple rows acquire them in a consistent order. The SQL ingress
+ * path is not routed (use a per-shard Database for SQL); the record
+ * path is the sharded surface.
+ */
+
+#ifndef ESPRESSO_DB_SHARDED_DATABASE_HH
+#define ESPRESSO_DB_SHARDED_DATABASE_HH
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "db/database.hh"
+#include "pjh/shard_router.hh"
+
+namespace espresso {
+namespace db {
+
+/** Sizing for a ShardedDatabase. */
+struct ShardedDatabaseConfig
+{
+    /** Per-member engine sizing. */
+    DatabaseConfig shard;
+
+    /** Member count; 0 resolves ESPRESSO_SHARDS, then 1. */
+    unsigned shards = 0;
+
+    /** Ring points per member; 0 resolves ESPRESSO_SHARD_VNODES,
+     * then ShardRouter::kDefaultVnodes. */
+    unsigned vnodes = 0;
+};
+
+/** One pk-partitioned database fabric. */
+class ShardedDatabase
+{
+  public:
+    explicit ShardedDatabase(const ShardedDatabaseConfig &cfg = {},
+                             NvmConfig nvm_cfg = {});
+    ~ShardedDatabase();
+
+    ShardedDatabase(const ShardedDatabase &) = delete;
+    ShardedDatabase &operator=(const ShardedDatabase &) = delete;
+
+    /** @name Geometry */
+    /// @{
+    unsigned
+    shardCount() const
+    {
+        return static_cast<unsigned>(shards_.size());
+    }
+
+    Database &shard(unsigned i) { return *shards_[i]; }
+    const ShardRouter &router() const { return router_; }
+
+    unsigned
+    shardIndexForPk(std::int64_t pk) const
+    {
+        return router_.shardForKey(static_cast<std::uint64_t>(pk));
+    }
+
+    Database &
+    shardForPk(std::int64_t pk)
+    {
+        return *shards_[shardIndexForPk(pk)];
+    }
+    /// @}
+
+    /** @name Transactions (calling thread's; see the atomicity
+     * contract above) */
+    /// @{
+    void begin();
+    void commit();
+    void rollback();
+    bool inTransaction() const;
+    /// @}
+
+    /** @name Direct (DBPersistable) path, pk-routed */
+    /// @{
+    /** Broadcast DDL: every member carries every table's schema. */
+    void createTable(const TableSchema &schema);
+
+    void persistRecord(const std::string &table, const DbRecord &record);
+    bool fetchRecord(const std::string &table, std::int64_t pk,
+                     DbRecord *out);
+    bool deleteRecord(const std::string &table, std::int64_t pk);
+
+    /** Fan-out scan in ascending shard order. */
+    void scanEq(const std::string &table, const std::string &column,
+                const DbValue &v,
+                const std::function<void(const std::vector<DbValue> &)>
+                    &fn);
+
+    /** Sum over members. */
+    std::size_t rowCount(const std::string &table);
+    /// @}
+
+    /** @name Failure simulation */
+    /// @{
+    /**
+     * Power-fail member @p i only; it recovers from its own WAL
+     * while the other members keep serving *reads and new
+     * auto-committed work*. Every thread's bracket state is
+     * generation-invalidated, so callers must be quiesced with no
+     * open begin()/commit() bracket anywhere (same contract as
+     * Database::crash): a bracket left open across the crash would
+     * keep its surviving members' sub-transactions — and their row
+     * write-owners — alive with no one to retire them.
+     */
+    void crashShard(unsigned i,
+                    CrashMode mode = CrashMode::kDiscardUnflushed,
+                    std::uint64_t seed = 1);
+
+    /** Power-fail every member. Callers must be quiesced with no
+     * open brackets. */
+    void crash(CrashMode mode = CrashMode::kDiscardUnflushed,
+               std::uint64_t seed = 1);
+    /// @}
+
+  private:
+    /** Per-thread cross-shard bracket state. */
+    struct TxState
+    {
+        std::uint64_t gen = 0;
+        bool open = false;
+        /** Set when a WAL-full killed the bracket; the next
+         * commit()/rollback() consumes it instead of fataling
+         * (mirrors Database's aborted-flag contract). */
+        bool aborted = false;
+        std::vector<std::uint8_t> begun; ///< per-shard: sub-txn open
+    };
+
+    /** The calling thread's bracket for this instance. Entries live
+     * in a thread_local map keyed by a never-reused serial and are
+     * not reaped on destruction — growth is bounded by the number
+     * of ShardedDatabase instances a thread ever touches (the same
+     * documented trade-off as Database::ctxs_). */
+    TxState &txState() const;
+
+    /** Open the bracket's sub-transaction on @p idx if needed. */
+    void joinShard(TxState &st, unsigned idx);
+
+    /** Roll back every begun member (WAL-full / rollback path). */
+    void abortBracket(TxState &st);
+
+    /** pk column of @p table (members share one catalog shape). */
+    std::int64_t pkOf(const std::string &table, const DbRecord &record);
+
+    ShardedDatabaseConfig cfg_;
+    ShardRouter router_;
+    std::vector<std::unique_ptr<Database>> shards_;
+
+    /** Identity for the thread-local bracket cache. */
+    std::uint64_t serial_;
+    /** Bumped by crash()/crashShard() so stale brackets revalidate. */
+    std::atomic<std::uint64_t> generation_{0};
+};
+
+} // namespace db
+} // namespace espresso
+
+#endif // ESPRESSO_DB_SHARDED_DATABASE_HH

@@ -133,12 +133,14 @@ VolatileHeap::allocInOld(std::size_t size)
 void
 VolatileHeap::addExternalSpace(ExternalSpace *space)
 {
+    std::lock_guard<std::mutex> g(externalMu_);
     externalSpaces_.push_back(space);
 }
 
 void
 VolatileHeap::removeExternalSpace(ExternalSpace *space)
 {
+    std::lock_guard<std::mutex> g(externalMu_);
     std::erase(externalSpaces_, space);
 }
 
@@ -155,7 +157,16 @@ VolatileHeap::visitAllRootSlots(const SlotVisitor &visitor)
     handles_.forEachSlot(visitor);
     for (auto &provider : rootProviders_)
         provider(visitor);
-    for (ExternalSpace *space : externalSpaces_)
+    // Snapshot under the lock: a concurrent fabric create may be
+    // wiring new shards while a collection walks the list (the new
+    // space is empty until the wiring returns, so either view is
+    // consistent).
+    std::vector<ExternalSpace *> spaces;
+    {
+        std::lock_guard<std::mutex> g(externalMu_);
+        spaces = externalSpaces_;
+    }
+    for (ExternalSpace *space : spaces)
         space->forEachOutRefSlot(visitor);
 }
 

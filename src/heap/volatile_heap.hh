@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "runtime/handles.hh"
@@ -142,6 +143,10 @@ class VolatileHeap
     Addr oldBase_, oldTop_, oldLimit_;
 
     HandleRegistry handles_;
+    /** Guards externalSpaces_: fabric/heap creation may wire shards
+     * from several threads while a volatile collection walks the
+     * list. */
+    mutable std::mutex externalMu_;
     std::vector<ExternalSpace *> externalSpaces_;
     std::vector<std::function<void(const SlotVisitor &)>> rootProviders_;
     GcStats stats_;

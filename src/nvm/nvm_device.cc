@@ -28,6 +28,14 @@ yieldFor(std::uint64_t ns)
 }
 
 void
+sleepFor(std::uint64_t ns)
+{
+    if (ns == 0)
+        return;
+    std::this_thread::sleep_for(std::chrono::nanoseconds(ns));
+}
+
+void
 spinFor(std::uint64_t ns)
 {
     if (ns == 0)
@@ -127,10 +135,17 @@ NvmDevice::fence()
         }
     }
     staged.clear();
-    if (cfg_.fenceWaitYields)
+    if (cfg_.fenceDrainSerialized) {
+        // One drain at a time per device (per-DIMM bandwidth bound);
+        // a sleeping drain frees the host CPU, so drains on sibling
+        // devices overlap even on a single-core host.
+        std::lock_guard<std::mutex> g(drainMu_);
+        sleepFor(cfg_.fenceLatencyNs);
+    } else if (cfg_.fenceWaitYields) {
         yieldFor(cfg_.fenceLatencyNs);
-    else
+    } else {
         spinFor(cfg_.fenceLatencyNs);
+    }
 }
 
 void

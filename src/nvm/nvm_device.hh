@@ -56,6 +56,18 @@ struct NvmConfig
     bool fenceWaitYields = false;
 
     /**
+     * When true, the modeled fence drain holds this device's write
+     * queue: concurrent fences on one device serialize their latency
+     * waits, modeling a per-DIMM write-bandwidth bound (the paper's
+     * one-PJH-per-device Table 1 inventory is exactly what a fabric
+     * shards against). The wait sleeps rather than spins, so drains
+     * on *different* devices overlap regardless of host core count.
+     * Off by default: the per-core stall model above stays the
+     * behavior every existing benchmark calibrated against.
+     */
+    bool fenceDrainSerialized = false;
+
+    /**
      * When false, flush/fence perform no latency and no staging and a
      * crash loses everything since the last clean shutdown. Used as
      * the "remove all clflush" baseline of §6.4.
@@ -216,6 +228,8 @@ class NvmDevice
      */
     static constexpr std::size_t kCommitStripes = 64;
     std::array<SpinLock, kCommitStripes> commitLocks_;
+    /** Write-queue token for fenceDrainSerialized. */
+    std::mutex drainMu_;
     NvmStats stats_;
     CrashInjector *injector_ = nullptr;
 };

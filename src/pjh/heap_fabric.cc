@@ -1,0 +1,435 @@
+#include "pjh/heap_fabric.hh"
+
+#include <atomic>
+#include <cstring>
+#include <exception>
+#include <mutex>
+
+#include "util/env.hh"
+#include "util/logging.hh"
+
+namespace espresso {
+
+unsigned
+HeapFabric::shardsFromEnv()
+{
+    return envUnsigned("ESPRESSO_SHARDS", 1);
+}
+
+HeapFabric::HeapFabric(KlassRegistry *registry,
+                       VolatileHeap *volatile_heap, NvmConfig nvm_cfg)
+    : registry_(registry), volatileHeap_(volatile_heap),
+      nvmCfg_(nvm_cfg)
+{}
+
+HeapFabric::~HeapFabric()
+{
+    for (auto &h : heaps_)
+        if (h)
+            unwireShard(h.get());
+}
+
+void
+HeapFabric::wireShard(PjhHeap *heap)
+{
+    if (gcThreads_ != 0)
+        heap->setGcThreads(gcThreads_);
+    if (volatileHeap_) {
+        volatileHeap_->addExternalSpace(heap);
+        VolatileHeap *vh = volatileHeap_;
+        heap->setGcTrigger([heap, vh]() { heap->collect(vh); });
+    } else {
+        heap->setGcTrigger([heap]() { heap->collect(nullptr); });
+    }
+}
+
+void
+HeapFabric::unwireShard(PjhHeap *heap)
+{
+    if (volatileHeap_)
+        volatileHeap_->removeExternalSpace(heap);
+}
+
+void
+HeapFabric::formatShard(unsigned k, const PjhConfig &cfg)
+{
+    if (devices_.size() <= k)
+        devices_.resize(k + 1);
+    if (!devices_[k]) {
+        PjhMetadata scratch{};
+        std::size_t total = computeLayout(cfg, scratch);
+        devices_[k] = std::make_unique<NvmDevice>(total, nvmCfg_);
+    } else {
+        // Re-formatting a member whose create crashed part-way
+        // (recovery roll-forward): wipe the device first — the
+        // partial format may have left durable name-table or klass
+        // state behind (PjhHeap::create only rewrites the metadata
+        // area), and under random-eviction crashes even torn lines
+        // can read as valid.
+        std::memset(devices_[k]->base(), 0, devices_[k]->size());
+        devices_[k]->shutdownClean();
+    }
+    auto heap = PjhHeap::create(devices_[k].get(), cfg, registry_);
+    wireShard(heap.get());
+    if (heaps_.size() <= k)
+        heaps_.resize(k + 1);
+    heaps_[k] = std::move(heap);
+}
+
+void
+HeapFabric::create(const FabricConfig &cfg)
+{
+    if (exists())
+        fatal("HeapFabric::create: fabric already exists");
+    unsigned shards = cfg.shards ? cfg.shards : shardsFromEnv();
+    unsigned vnodes = cfg.vnodes
+                          ? cfg.vnodes
+                          : envUnsigned("ESPRESSO_SHARD_VNODES",
+                                        ShardRouter::kDefaultVnodes);
+    if (shards > RingManifestData::kMaxShards)
+        fatal("HeapFabric::create: shard count exceeds manifest "
+              "capacity");
+
+    manifestDev_ = std::make_unique<NvmDevice>(
+        alignUp(RingManifest::persistedBytes(), kCacheLineSize),
+        nvmCfg_);
+    if (manifestInjector_)
+        manifestDev_->setInjector(manifestInjector_);
+    manifest_ = RingManifest(manifestDev_.get());
+    // The declaration fence is the atomic creation point; everything
+    // after it is rolled forward by recover() if power fails.
+    manifest_.declare(shards, vnodes, cfg.shard);
+    for (unsigned k = 0; k < shards; ++k) {
+        formatShard(k, cfg.shard);
+        manifest_.markFormatted(k);
+    }
+    manifest_.commit(shards);
+    router_ = ShardRouter(shards, vnodes);
+}
+
+void
+HeapFabric::recover(SafetyLevel safety)
+{
+    if (!exists())
+        fatal("HeapFabric::recover: fabric was never created");
+    // A crashed create may leave partially attached members behind;
+    // recovery always starts from volatile zero.
+    for (auto &h : heaps_)
+        if (h)
+            unwireShard(h.get());
+    heaps_.clear();
+
+    manifest_ = RingManifest(manifestDev_.get());
+    if (!manifest_.declared())
+        fatal("HeapFabric::recover: manifest was never durably "
+              "declared");
+    const RingManifestData &d = manifest_.data();
+    unsigned target = static_cast<unsigned>(d.targetShardCount);
+    PjhConfig shard_cfg = manifest_.shardConfig();
+
+    devices_.resize(target);
+    heaps_.resize(target);
+    for (unsigned k = 0; k < target; ++k) {
+        if (d.memberState[k] == RingManifestData::kMemberFormatted &&
+            devices_[k]) {
+            // Committed or rolled-forward member: per-shard recovery
+            // (tail repair, interrupted compaction, rebase) happens
+            // inside attach.
+            auto heap = PjhHeap::attach(devices_[k].get(), registry_,
+                                        safety);
+            wireShard(heap.get());
+            heaps_[k] = std::move(heap);
+        } else {
+            // The create crashed before this member's format was
+            // durably flagged: its device holds garbage (or was
+            // never made). Re-format from the manifest's sizing.
+            formatShard(k, shard_cfg);
+            manifest_.markFormatted(k);
+        }
+    }
+    if (d.shardCount != target)
+        manifest_.commit(target);
+    router_ = ShardRouter(target,
+                          static_cast<unsigned>(d.vnodes));
+}
+
+void
+HeapFabric::ensureAttached(SafetyLevel safety)
+{
+    if (!attached()) {
+        recover(safety);
+        return;
+    }
+    for (unsigned i = 0; i < shardCount(); ++i)
+        if (devices_[i] && !heaps_[i])
+            reattachShard(i, safety);
+}
+
+void
+HeapFabric::detach()
+{
+    if (!attached())
+        fatal("HeapFabric::detach: fabric is not attached");
+    for (auto &h : heaps_) {
+        if (!h)
+            continue;
+        h->detach();
+        unwireShard(h.get());
+    }
+    heaps_.clear();
+    manifestDev_->shutdownClean();
+}
+
+std::uint64_t
+HeapFabric::epoch() const
+{
+    return manifest_.declared() ? manifest_.data().epoch : 0;
+}
+
+PjhHeap *
+HeapFabric::shard(unsigned i) const
+{
+    return i < heaps_.size() ? heaps_[i].get() : nullptr;
+}
+
+NvmDevice *
+HeapFabric::shardDevice(unsigned i) const
+{
+    return i < devices_.size() ? devices_[i].get() : nullptr;
+}
+
+PjhHeap *
+HeapFabric::shardFor(const std::string &route_key) const
+{
+    PjhHeap *h = shard(router_.shardForName(route_key));
+    if (!h)
+        fatal("HeapFabric: route '" + route_key +
+              "' targets a detached shard");
+    return h;
+}
+
+PjhHeap *
+HeapFabric::shardForKey(std::uint64_t key) const
+{
+    PjhHeap *h = shard(router_.shardForKey(key));
+    if (!h)
+        fatal("HeapFabric: key routes to a detached shard");
+    return h;
+}
+
+PjhHeap *
+HeapFabric::homeOf(Oop obj) const
+{
+    if (obj.isNull())
+        return nullptr;
+    for (const auto &h : heaps_)
+        if (h && h->containsData(obj.addr()))
+            return h.get();
+    return nullptr;
+}
+
+void
+HeapFabric::setRoot(const std::string &name, Oop obj)
+{
+    PjhHeap *home = homeOf(obj);
+    if (obj && !home)
+        fatal("HeapFabric::setRoot: object is not in any shard");
+    // The ring shard only matters for a null publish; a non-null
+    // object goes to its live home shard even while the name's ring
+    // shard is crashed (failures must stay shard-local). A null
+    // publish (unpublish) with the ring member down degrades to the
+    // stale-entry sweep alone: every live binding is nulled, and the
+    // crashed member's own entry — if it is the home — falls under
+    // the membership quiescence contract until reattach.
+    PjhHeap *target =
+        home ? home : shard(router_.shardForName(name));
+    // One name, one writer at a time: without this, two racing
+    // republications could each null the other's fresh binding.
+    SpinGuard g(rootLocks_[ShardRouter::hashName(name) % kRootStripes]);
+    if (target)
+        target->setRoot(name, obj);
+    // Republication may move a name's home shard; null out stale
+    // entries elsewhere so lookups do not resurrect the old binding
+    // (the name table has no deletion, but a null value reads as a
+    // miss at the fabric level). Not crash-atomic — see the header
+    // contract: a crash inside this sweep leaves the previous,
+    // still-valid binding visible.
+    for (const auto &h : heaps_) {
+        if (!h || h.get() == target)
+            continue;
+        if (!h->getRoot(name).isNull())
+            h->setRoot(name, Oop());
+    }
+}
+
+Oop
+HeapFabric::getRoot(const std::string &name) const
+{
+    PjhHeap *ring = shard(router_.shardForName(name));
+    if (ring) {
+        Oop o = ring->getRoot(name);
+        if (!o.isNull())
+            return o;
+    }
+    for (const auto &h : heaps_) {
+        if (!h || h.get() == ring)
+            continue;
+        Oop o = h->getRoot(name);
+        if (!o.isNull())
+            return o;
+    }
+    return Oop();
+}
+
+bool
+HeapFabric::hasRoot(const std::string &name) const
+{
+    if (!getRoot(name).isNull())
+        return true;
+    PjhHeap *ring = shard(router_.shardForName(name));
+    return ring && ring->hasRoot(name);
+}
+
+void
+HeapFabric::collectShard(unsigned i)
+{
+    PjhHeap *h = shard(i);
+    if (!h)
+        fatal("HeapFabric::collectShard: shard is not attached");
+    h->collect(volatileHeap_);
+}
+
+void
+HeapFabric::collectAll()
+{
+    std::vector<unsigned> live;
+    for (unsigned i = 0; i < shardCount(); ++i)
+        if (shard(i))
+            live.push_back(i);
+    if (live.empty())
+        return;
+
+    unsigned workers = gcWorkers_
+                           ? gcWorkers_
+                           : envUnsigned("ESPRESSO_FABRIC_GC_WORKERS",
+                                         static_cast<unsigned>(
+                                             live.size()));
+    workers = std::min<unsigned>(
+        std::max(workers, 1u), static_cast<unsigned>(live.size()));
+    if (workers <= 1) {
+        for (unsigned i : live)
+            collectShard(i);
+        return;
+    }
+
+    std::atomic<std::size_t> next{0};
+    std::mutex err_mu;
+    std::exception_ptr err;
+    gcPool_.run(workers, [&](unsigned) {
+        try {
+            for (;;) {
+                std::size_t n =
+                    next.fetch_add(1, std::memory_order_relaxed);
+                if (n >= live.size())
+                    return;
+                collectShard(live[n]);
+            }
+        } catch (...) {
+            std::lock_guard<std::mutex> g(err_mu);
+            if (!err)
+                err = std::current_exception();
+        }
+    });
+    if (err)
+        std::rethrow_exception(err);
+}
+
+void
+HeapFabric::setGcWorkers(unsigned n)
+{
+    gcWorkers_ = n;
+}
+
+void
+HeapFabric::setGcThreads(unsigned n)
+{
+    gcThreads_ = n;
+    for (auto &h : heaps_)
+        if (h)
+            h->setGcThreads(n);
+}
+
+void
+HeapFabric::dropShardHeap(unsigned i)
+{
+    if (i < heaps_.size() && heaps_[i]) {
+        unwireShard(heaps_[i].get());
+        heaps_[i].reset();
+    }
+}
+
+void
+HeapFabric::crashShard(unsigned i, CrashMode mode, std::uint64_t seed)
+{
+    if (i >= devices_.size() || !devices_[i])
+        fatal("HeapFabric::crashShard: no such shard");
+    dropShardHeap(i);
+    devices_[i]->crash(mode, seed);
+}
+
+PjhHeap *
+HeapFabric::reattachShard(unsigned i, SafetyLevel safety)
+{
+    if (!attached())
+        fatal("HeapFabric::reattachShard: fabric is not attached");
+    if (i >= devices_.size() || !devices_[i])
+        fatal("HeapFabric::reattachShard: no such shard");
+    if (heaps_[i])
+        return heaps_[i].get();
+    auto heap = PjhHeap::attach(devices_[i].get(), registry_, safety);
+    wireShard(heap.get());
+    heaps_[i] = std::move(heap);
+    return heaps_[i].get();
+}
+
+void
+HeapFabric::crashAll(CrashMode mode, std::uint64_t seed)
+{
+    for (unsigned i = 0; i < heaps_.size(); ++i)
+        dropShardHeap(i);
+    heaps_.clear();
+    for (std::size_t i = 0; i < devices_.size(); ++i)
+        if (devices_[i])
+            devices_[i]->crash(mode, seed + i);
+    if (manifestDev_)
+        manifestDev_->crash(mode, seed + 0x4d414e49ull);
+}
+
+void
+HeapFabric::setManifestInjector(CrashInjector *injector)
+{
+    manifestInjector_ = injector;
+    if (manifestDev_)
+        manifestDev_->setInjector(injector);
+}
+
+void
+HeapFabric::migrate()
+{
+    if (attached())
+        fatal("HeapFabric::migrate: detach or crash the fabric first");
+    auto remap = [this](std::unique_ptr<NvmDevice> &dev) {
+        if (!dev)
+            return;
+        auto fresh = std::make_unique<NvmDevice>(dev->size(), nvmCfg_);
+        std::memcpy(fresh->base(), dev->base(), dev->size());
+        fresh->shutdownClean();
+        dev = std::move(fresh);
+    };
+    for (auto &dev : devices_)
+        remap(dev);
+    remap(manifestDev_);
+    manifest_ = RingManifest(manifestDev_.get());
+}
+
+} // namespace espresso

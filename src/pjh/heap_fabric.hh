@@ -1,0 +1,296 @@
+/**
+ * @file
+ * HeapFabric — many PJH instances behind one API (the sharded
+ * runtime).
+ *
+ * The paper's heap manager (§3.3, Table 1) names one PJH per device;
+ * a fabric scales that horizontally: N PjhHeap shards, each on its
+ * own NvmDevice, behind a consistent-hash ring (ShardRouter) that
+ * routes root names and allocation keys to shards. Membership is
+ * durable in a RingManifest on the fabric's own small manifest
+ * device, so a reboot (or a crash mid-create) re-attaches every
+ * member shard deterministically.
+ *
+ * Contracts:
+ *  - Routing: a route key (root name, database pk) picks exactly one
+ *    shard via the ring; a 1-shard fabric behaves exactly like the
+ *    classic single PjhHeap.
+ *  - Roots: setRoot(name, obj) registers the root in the name table
+ *    of the shard that *owns* obj (its home shard), even when the
+ *    ring routes the name elsewhere — that keeps cross-shard
+ *    references legal: the home shard's GC pins the object through
+ *    its own name table and rewrites the entry when compaction moves
+ *    it, while every other shard's GC ignores out-of-heap values.
+ *    getRoot(name) probes the ring shard first and falls back to the
+ *    other members, so lookups stay O(1) for ring-local roots (the
+ *    common case: pnew routed by the same key) and stay correct for
+ *    remote-shard roots.
+ *  - GC: collectShard(i) stops the world of shard i only —
+ *    allocation and roots on every other shard proceed (the
+ *    quiescence scope is the shard, not the process). collectAll()
+ *    fans independent per-shard collections across a fabric-level
+ *    worker pool (ESPRESSO_FABRIC_GC_WORKERS, default: one worker
+ *    per shard).
+ *  - Recovery: recover() re-attaches members from the manifest;
+ *    members flagged formatted but not yet committed (a crash
+ *    between shard create and manifest commit) are rolled forward,
+ *    members that never reached the formatted flag are re-formatted
+ *    from the manifest's stored sizing, then the membership is
+ *    re-committed. Per-shard crash recovery (torn tails, interrupted
+ *    compactions) is PjhHeap::attach's job and stays per-shard.
+ *
+ * Membership operations (create, recover, detach, crashShard,
+ * crashAll, reattachShard, migrate) are not thread-safe against each
+ * other, against traffic on the affected shard, or against
+ * fabric-level root operations (setRoot/getRoot/hasRoot and homeOf
+ * scan every member slot, so they must be quiesced across a
+ * membership change even when their name routes elsewhere).
+ * HeapManager serializes the named-fabric registry, and per-shard
+ * quiescence is the caller's contract (same as collect()).
+ */
+
+#ifndef ESPRESSO_PJH_HEAP_FABRIC_HH
+#define ESPRESSO_PJH_HEAP_FABRIC_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "heap/volatile_heap.hh"
+#include "nvm/nvm_device.hh"
+#include "pjh/pjh_heap.hh"
+#include "pjh/shard_router.hh"
+#include "runtime/klass_registry.hh"
+#include "util/spin.hh"
+#include "util/worker_pool.hh"
+
+namespace espresso {
+
+/** Creation-time shape of a fabric. */
+struct FabricConfig
+{
+    /** Sizing applied to every shard. */
+    PjhConfig shard;
+
+    /** Member count; 0 resolves ESPRESSO_SHARDS, then 1. */
+    unsigned shards = 0;
+
+    /** Ring points per shard; 0 resolves ESPRESSO_SHARD_VNODES, then
+     * ShardRouter::kDefaultVnodes. */
+    unsigned vnodes = 0;
+};
+
+/** One consistent-hash fabric of PJH shards. */
+class HeapFabric
+{
+  public:
+    /**
+     * @param registry runtime class directory.
+     * @param volatile_heap DRAM heap for cross-heap GC wiring (may
+     *        be null for standalone fabrics).
+     * @param nvm_cfg knobs applied to every device this fabric
+     *        creates (shards and manifest).
+     */
+    HeapFabric(KlassRegistry *registry, VolatileHeap *volatile_heap,
+               NvmConfig nvm_cfg = {});
+    ~HeapFabric();
+
+    HeapFabric(const HeapFabric &) = delete;
+    HeapFabric &operator=(const HeapFabric &) = delete;
+
+    /** Resolve a shard count of 0 (ESPRESSO_SHARDS, then 1). */
+    static unsigned shardsFromEnv();
+
+    /** @name Lifecycle */
+    /// @{
+    /** Format the manifest and every shard (crash-tolerant; see
+     * RingManifest). The fabric ends attached. */
+    void create(const FabricConfig &cfg);
+
+    /** Attach (or crash-recover) a fabric from its durable manifest
+     * and shard devices. */
+    void recover(SafetyLevel safety = SafetyLevel::kUserGuaranteed);
+
+    /** Make every member live: full recover() when the fabric is
+     * down, per-member reattach for individually crashed shards
+     * (the loadHeap path must never hand back a null member). */
+    void ensureAttached(SafetyLevel safety =
+                            SafetyLevel::kUserGuaranteed);
+
+    /** Clean shutdown of every attached shard + the manifest. */
+    void detach();
+
+    /** True while the fabric's shards are attached (individual
+     * members may still be down after crashShard). */
+    bool attached() const { return !heaps_.empty(); }
+
+    /** True when create() ever committed durable state (exists on
+     * devices, attached or not). */
+    bool
+    exists() const
+    {
+        return manifestDev_ != nullptr;
+    }
+    /// @}
+
+    /** @name Geometry */
+    /// @{
+    unsigned
+    shardCount() const
+    {
+        return static_cast<unsigned>(devices_.size());
+    }
+
+    /** Committed membership epoch. */
+    std::uint64_t epoch() const;
+
+    /** Shard @p i, or nullptr while that member is crashed. */
+    PjhHeap *shard(unsigned i) const;
+
+    NvmDevice *shardDevice(unsigned i) const;
+    NvmDevice *manifestDevice() const { return manifestDev_.get(); }
+    const ShardRouter &router() const { return router_; }
+    /// @}
+
+    /** @name Routing */
+    /// @{
+    unsigned
+    shardIndexFor(const std::string &route_key) const
+    {
+        return router_.shardForName(route_key);
+    }
+
+    /** Ring shard for a name/route key (must be attached). */
+    PjhHeap *shardFor(const std::string &route_key) const;
+
+    /** Ring shard for an integer key (database pks). */
+    PjhHeap *shardForKey(std::uint64_t key) const;
+
+    /** Attached shard whose data heap owns @p obj, or nullptr. */
+    PjhHeap *homeOf(Oop obj) const;
+    /// @}
+
+    /**
+     * @name Fabric-routed roots (Table 1, sharded)
+     *
+     * setRoot publishes on the object's home shard, then nulls any
+     * stale binding other shards still carry; racing setRoots of the
+     * same name are serialized by a per-name stripe lock, so the
+     * last writer wins (same guarantee as the single-heap upsert).
+     * Two contracts are weaker than the single-heap API:
+     *  - Republication across shards is not crash-atomic (no
+     *    cross-shard 2PC): a crash between the new publication and
+     *    the stale-entry sweep can durably leave the *previous*
+     *    binding visible. The old object is still live and valid
+     *    (its entry pins it) — a torn republication reads as the
+     *    last fully-swept publication, never as garbage.
+     *  - Root operations whose name has (or may have) an entry on a
+     *    shard currently inside collect() fall under that shard's
+     *    stop-the-world contract, exactly like any mutator access
+     *    to a collecting heap. Ring-homed names (the key-routed
+     *    pnew-then-publish pattern) only ever touch their own
+     *    shard, so they proceed freely during other shards'
+     *    collections.
+     */
+    /// @{
+    void setRoot(const std::string &name, Oop obj);
+    Oop getRoot(const std::string &name) const;
+    bool hasRoot(const std::string &name) const;
+    /// @}
+
+    /** @name GC coordinator */
+    /// @{
+    /** Collect shard @p i only; other shards keep allocating. */
+    void collectShard(unsigned i);
+
+    /** Independent per-shard collections, fanned across the
+     * fabric-level worker pool. */
+    void collectAll();
+
+    /** Concurrent collectAll() workers (ESPRESSO_FABRIC_GC_WORKERS;
+     * default one per shard). */
+    unsigned gcWorkers() const { return gcWorkers_; }
+    void setGcWorkers(unsigned n);
+
+    /** Per-shard parallel mark/compact knob, applied to every
+     * member (current and future). 0 restores the per-heap default. */
+    void setGcThreads(unsigned n);
+    /// @}
+
+    /** @name Failure simulation (tests, crash sweeps) */
+    /// @{
+    /** Power-fail member @p i only: its volatile state drops, its
+     * device reverts to the durable image; other members keep
+     * serving. */
+    void crashShard(unsigned i, CrashMode mode = CrashMode::kDiscardUnflushed,
+                    std::uint64_t seed = 1);
+
+    /** Re-attach a crashed member (per-shard recovery). */
+    PjhHeap *reattachShard(unsigned i,
+                           SafetyLevel safety = SafetyLevel::kUserGuaranteed);
+
+    /** Power-fail the whole fabric (all shards + manifest). */
+    void crashAll(CrashMode mode = CrashMode::kDiscardUnflushed,
+                  std::uint64_t seed = 1);
+
+    /** Migrate every device to a fresh mapping (forces the rebase
+     * scan on the next recover()). Fabric must not be attached. */
+    void migrate();
+
+    /** Install a crash injector on the manifest device (applied at
+     * create() if the device does not exist yet), so crash sweeps
+     * can fire between a shard's format and the manifest commit. */
+    void setManifestInjector(CrashInjector *injector);
+
+    /** True when the manifest's durable declaration fence completed
+     * (creation's atomic point; false means the fabric never
+     * existed and recover() would refuse). */
+    bool
+    manifestDeclared() const
+    {
+        return manifest_.declared();
+    }
+    /// @}
+
+  private:
+    void wireShard(PjhHeap *heap);
+    void unwireShard(PjhHeap *heap);
+    void dropShardHeap(unsigned i);
+
+    /** Format shard @p k on a fresh device sized for @p cfg. */
+    void formatShard(unsigned k, const PjhConfig &cfg);
+
+    KlassRegistry *registry_;
+    VolatileHeap *volatileHeap_;
+    NvmConfig nvmCfg_;
+
+    std::unique_ptr<NvmDevice> manifestDev_;
+    RingManifest manifest_;
+    std::vector<std::unique_ptr<NvmDevice>> devices_;
+    /** One slot per member; a crashed member's slot is null until
+     * reattachShard(). Empty vector = fabric not attached. */
+    std::vector<std::unique_ptr<PjhHeap>> heaps_;
+    ShardRouter router_;
+
+    /** Fabric-level GC coordinator pool (distinct from each heap's
+     * own mark/compact pool). */
+    WorkerPool gcPool_;
+    unsigned gcWorkers_ = 0;
+
+    /** Fabric-wide per-shard GC thread override; 0 = heap default. */
+    unsigned gcThreads_ = 0;
+
+    /** Pending manifest injector until create() makes the device. */
+    CrashInjector *manifestInjector_ = nullptr;
+
+    /** Serializes racing fabric setRoots of one name, so a publish
+     * and its stale-entry sweep are atomic against each other (two
+     * concurrent republications can otherwise null each other's
+     * fresh binding). */
+    static constexpr std::size_t kRootStripes = 16;
+    mutable SpinLock rootLocks_[kRootStripes];
+};
+
+} // namespace espresso
+
+#endif // ESPRESSO_PJH_HEAP_FABRIC_HH

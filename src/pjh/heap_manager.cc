@@ -1,7 +1,5 @@
 #include "pjh/heap_manager.hh"
 
-#include <cstring>
-
 #include "util/logging.hh"
 
 namespace espresso {
@@ -11,44 +9,28 @@ HeapManager::HeapManager(KlassRegistry *registry,
     : registry_(registry), volatileHeap_(volatile_heap), nvmCfg_(nvm_cfg)
 {}
 
-HeapManager::~HeapManager()
+HeapManager::~HeapManager() = default;
+
+HeapFabric *
+HeapManager::findFabric(const std::string &name) const
 {
-    for (auto &kv : heaps_)
-        unwireHeap(kv.second.get());
+    // A reserved-but-unbuilt entry (mid-createFabric) reads as
+    // absent: racing a lookup against an in-flight create of the
+    // same name is the caller's coordination problem, and a null
+    // here keeps every accessor's not-found path honest.
+    auto it = fabrics_.find(name);
+    return it == fabrics_.end() ? nullptr : it->second.get();
 }
 
 void
 HeapManager::setGcThreads(unsigned n)
 {
+    std::lock_guard<std::mutex> g(mu_);
     gcThreads_ = n;
     // n == 0 restores each heap's own default (PjhHeap::setGcThreads
     // interprets 0 the same way).
-    for (auto &kv : heaps_)
+    for (auto &kv : fabrics_)
         kv.second->setGcThreads(n);
-}
-
-void
-HeapManager::wireHeap(const std::string &name, PjhHeap *heap)
-{
-    if (gcThreads_ != 0)
-        heap->setGcThreads(gcThreads_);
-    if (volatileHeap_) {
-        volatileHeap_->addExternalSpace(heap);
-        VolatileHeap *vh = volatileHeap_;
-        heap->setGcTrigger([heap, vh]() { heap->collect(vh); });
-        // Persistent roots keep DRAM referents alive: the volatile
-        // collectors already see them through the external space.
-    } else {
-        heap->setGcTrigger([heap]() { heap->collect(nullptr); });
-    }
-    (void)name;
-}
-
-void
-HeapManager::unwireHeap(PjhHeap *heap)
-{
-    if (volatileHeap_)
-        volatileHeap_->removeExternalSpace(heap);
 }
 
 PjhHeap *
@@ -62,97 +44,137 @@ HeapManager::createHeap(const std::string &name, std::size_t data_size)
 PjhHeap *
 HeapManager::createHeap(const std::string &name, const PjhConfig &cfg)
 {
-    if (existsHeap(name))
-        fatal("createHeap: heap '" + name + "' already exists");
-    PjhMetadata scratch{};
-    std::size_t total = computeLayout(cfg, scratch);
-    auto device = std::make_unique<NvmDevice>(total, nvmCfg_);
-    auto heap = PjhHeap::create(device.get(), cfg, registry_);
-    PjhHeap *raw = heap.get();
-    wireHeap(name, raw);
-    devices_[name] = std::move(device);
-    heaps_[name] = std::move(heap);
+    // The classic single-heap surface is exactly a 1-shard fabric.
+    return createFabric(name, cfg, 1)->shard(0);
+}
+
+HeapFabric *
+HeapManager::createFabric(const std::string &name,
+                          const PjhConfig &shard_cfg, unsigned shards,
+                          unsigned vnodes)
+{
+    unsigned gc_threads;
+    {
+        // Reserve the name only; the multi-device format below must
+        // not stall unrelated registry lookups. A reserved-but-
+        // unbuilt entry reads as "exists" to duplicate creates and
+        // as "not found" to lookups until it is published.
+        std::lock_guard<std::mutex> g(mu_);
+        if (fabrics_.count(name))
+            fatal("createHeap: heap '" + name + "' already exists");
+        fabrics_[name] = nullptr;
+        gc_threads = gcThreads_;
+    }
+
+    auto fabric = std::make_unique<HeapFabric>(registry_, volatileHeap_,
+                                               nvmCfg_);
+    if (gc_threads != 0)
+        fabric->setGcThreads(gc_threads);
+    FabricConfig fcfg;
+    fcfg.shard = shard_cfg;
+    fcfg.shards = shards;
+    fcfg.vnodes = vnodes;
+    try {
+        // A simulated power failure mid-create propagates with the
+        // reservation released; the crash sweeps re-run creation
+        // against a standalone HeapFabric instead, which keeps its
+        // devices.
+        fabric->create(fcfg);
+    } catch (...) {
+        std::lock_guard<std::mutex> g(mu_);
+        fabrics_.erase(name);
+        throw;
+    }
+
+    HeapFabric *raw = fabric.get();
+    std::lock_guard<std::mutex> g(mu_);
+    fabrics_[name] = std::move(fabric);
     return raw;
 }
 
 PjhHeap *
 HeapManager::loadHeap(const std::string &name, SafetyLevel safety)
 {
-    auto hit = heaps_.find(name);
-    if (hit != heaps_.end())
-        return hit->second.get();
-    auto dit = devices_.find(name);
-    if (dit == devices_.end())
+    return loadFabric(name, safety)->shard(0);
+}
+
+HeapFabric *
+HeapManager::loadFabric(const std::string &name, SafetyLevel safety)
+{
+    std::lock_guard<std::mutex> g(mu_);
+    HeapFabric *fabric = findFabric(name);
+    if (!fabric)
         fatal("loadHeap: no heap named '" + name + "'");
-    auto heap = PjhHeap::attach(dit->second.get(), registry_, safety);
-    PjhHeap *raw = heap.get();
-    wireHeap(name, raw);
-    heaps_[name] = std::move(heap);
-    return raw;
+    // Full recovery when the fabric is down, per-member reattach
+    // when only some shards were crashed — loadHeap must never
+    // return a null member.
+    fabric->ensureAttached(safety);
+    return fabric;
 }
 
 bool
 HeapManager::existsHeap(const std::string &name) const
 {
-    return devices_.count(name) != 0;
+    // Count reservations too: a name mid-create already "exists"
+    // (a duplicate createHeap of it fails), matching that check.
+    std::lock_guard<std::mutex> g(mu_);
+    return fabrics_.count(name) != 0;
+}
+
+HeapFabric *
+HeapManager::fabric(const std::string &name) const
+{
+    std::lock_guard<std::mutex> g(mu_);
+    return findFabric(name);
 }
 
 PjhHeap *
 HeapManager::heap(const std::string &name) const
 {
-    auto it = heaps_.find(name);
-    return it == heaps_.end() ? nullptr : it->second.get();
+    std::lock_guard<std::mutex> g(mu_);
+    HeapFabric *fabric = findFabric(name);
+    return fabric && fabric->attached() ? fabric->shard(0) : nullptr;
 }
 
 void
 HeapManager::detachHeap(const std::string &name)
 {
-    auto it = heaps_.find(name);
-    if (it == heaps_.end())
+    std::lock_guard<std::mutex> g(mu_);
+    HeapFabric *fabric = findFabric(name);
+    if (!fabric || !fabric->attached())
         fatal("detachHeap: heap '" + name + "' is not loaded");
-    it->second->detach();
-    unwireHeap(it->second.get());
-    heaps_.erase(it);
+    fabric->detach();
 }
 
 void
 HeapManager::crashHeap(const std::string &name, CrashMode mode,
                        std::uint64_t seed)
 {
-    auto dit = devices_.find(name);
-    if (dit == devices_.end())
+    std::lock_guard<std::mutex> g(mu_);
+    HeapFabric *fabric = findFabric(name);
+    if (!fabric)
         fatal("crashHeap: no heap named '" + name + "'");
-    auto hit = heaps_.find(name);
-    if (hit != heaps_.end()) {
-        unwireHeap(hit->second.get());
-        heaps_.erase(hit);
-    }
-    dit->second->crash(mode, seed);
+    fabric->crashAll(mode, seed);
 }
 
 void
 HeapManager::migrateHeap(const std::string &name)
 {
-    auto dit = devices_.find(name);
-    if (dit == devices_.end())
+    std::lock_guard<std::mutex> g(mu_);
+    HeapFabric *fabric = findFabric(name);
+    if (!fabric)
         fatal("migrateHeap: no heap named '" + name + "'");
-    if (heaps_.count(name))
+    if (fabric->attached())
         fatal("migrateHeap: detach or crash '" + name + "' first");
-
-    NvmDevice &old_dev = *dit->second;
-    auto fresh = std::make_unique<NvmDevice>(old_dev.size(), nvmCfg_);
-    // Move the durable image byte-for-byte onto the new device (same
-    // DIMM contents, different virtual mapping).
-    std::memcpy(fresh->base(), old_dev.base(), old_dev.size());
-    fresh->shutdownClean();
-    dit->second = std::move(fresh);
+    fabric->migrate();
 }
 
 NvmDevice *
 HeapManager::deviceOf(const std::string &name) const
 {
-    auto it = devices_.find(name);
-    return it == devices_.end() ? nullptr : it->second.get();
+    std::lock_guard<std::mutex> g(mu_);
+    HeapFabric *fabric = findFabric(name);
+    return fabric ? fabric->shardDevice(0) : nullptr;
 }
 
 } // namespace espresso

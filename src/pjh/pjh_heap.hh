@@ -251,6 +251,15 @@ class PjhHeap : public ExternalSpace
     /// @{
     void allocGuardEnter();
     void allocGuardExit();
+
+    /** True while a collect() owns this heap — lets a fabric
+     * coordinator (or a test) observe a shard-local pause without
+     * racing on the persistent in-collection flag. */
+    bool
+    collecting() const
+    {
+        return gcActive_.load(std::memory_order_acquire);
+    }
     /// @}
 
     NvmDevice &device() { return *dev_; }

@@ -25,6 +25,7 @@
 #ifndef ESPRESSO_RUNTIME_OOP_HH
 #define ESPRESSO_RUNTIME_OOP_HH
 
+#include <atomic>
 #include <cstdint>
 #include <cstring>
 
@@ -44,17 +45,28 @@ struct PersistentKlassRef
     Klass *runtimeKlass;
 };
 
-/** Raw word load/store helpers. */
+/**
+ * Raw word load/store helpers.
+ *
+ * Relaxed-atomic (plain movs on x86-64): independent shard GCs of a
+ * HeapFabric may concurrently scan the same DRAM root-slot set — each
+ * collector only rewrites slots pointing into its own heap, so two
+ * never store to one slot, but one may load a word another is
+ * storing. Word-atomicity makes that read see either value, never a
+ * torn mix.
+ */
 inline Word
 loadWord(Addr a)
 {
-    return *reinterpret_cast<const Word *>(a);
+    return std::atomic_ref<Word>(*reinterpret_cast<Word *>(a))
+        .load(std::memory_order_relaxed);
 }
 
 inline void
 storeWord(Addr a, Word v)
 {
-    *reinterpret_cast<Word *>(a) = v;
+    std::atomic_ref<Word>(*reinterpret_cast<Word *>(a))
+        .store(v, std::memory_order_relaxed);
 }
 
 /** A (possibly null) reference to a managed object. */

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Environment-variable knob parsing shared by the sharded layers.
+ */
+
+#ifndef ESPRESSO_UTIL_ENV_HH
+#define ESPRESSO_UTIL_ENV_HH
+
+#include <cstdlib>
+
+namespace espresso {
+
+/** Parse @p name as a positive unsigned; @p fallback when unset,
+ * non-numeric, or non-positive. */
+inline unsigned
+envUnsigned(const char *name, unsigned fallback)
+{
+    if (const char *s = std::getenv(name)) {
+        long v = std::atol(s);
+        if (v > 0)
+            return static_cast<unsigned>(v);
+    }
+    return fallback;
+}
+
+} // namespace espresso
+
+#endif // ESPRESSO_UTIL_ENV_HH

@@ -737,5 +737,309 @@ TEST(CrashMatrixTest, WalCommitWithCacheEviction)
         sweepWal(sc, CrashMode::kEvictRandomLines, 7);
 }
 
+// ---------------------------------------------------------------------
+// Fabric matrix: crash one shard (mid-pnew or mid-GC) while the other
+// members keep serving; ring-manifest recovery from a crash between a
+// shard's create and the manifest commit
+// ---------------------------------------------------------------------
+
+/**
+ * A 4-member fabric with one victim shard. The injector is attached
+ * to the victim's device only — a power failure in a fabric-per-shard
+ * deployment takes out one device, not the machine — so the sweep
+ * asserts the failure *stays* shard-local: the surviving members
+ * serve routed pnew + roots while the victim is down, and per-shard
+ * recovery (tail repair mid-pnew, compaction replay mid-GC) restores
+ * the victim without touching the others.
+ */
+struct FabricRig
+{
+    static constexpr unsigned kShards = 4;
+    static constexpr unsigned kVictim = 2;
+
+    FabricRig()
+    {
+        rt = std::make_unique<EspressoRuntime>();
+        rt->define(nodeDef());
+        valueOff = rt->fieldOffset("Node", "value");
+        PjhConfig cfg;
+        cfg.dataSize = 4u << 20;
+        fabric = rt->heaps().createFabric("fabmatrix", cfg, kShards);
+        for (int i = 0; victimKeys.size() < 64; ++i) {
+            std::string key = "vk" + std::to_string(i);
+            if (fabric->shardIndexFor(key) == kVictim)
+                victimKeys.push_back(key);
+        }
+        for (int i = 0; otherKeys.size() < 16; ++i) {
+            std::string key = "ok" + std::to_string(i);
+            if (fabric->shardIndexFor(key) != kVictim)
+                otherKeys.push_back(key);
+        }
+        fabric->shardDevice(kVictim)->setInjector(&injector);
+    }
+
+    /** pnew+flush+publish on the victim until the crash fires;
+     * returns true when it did. */
+    bool
+    runVictimPnew()
+    {
+        try {
+            for (std::size_t i = 0; i < victimKeys.size(); ++i) {
+                std::int64_t v = static_cast<std::int64_t>(i) + 1;
+                Oop node = rt->pnewInstance(fabric, victimKeys[i],
+                                            "Node");
+                node.setI64(valueOff, v);
+                writtenValues.insert(v);
+                fabric->shard(kVictim)->flushObject(node);
+                if (i % 2 == 0)
+                    fabric->setRoot(victimKeys[i], node);
+            }
+        } catch (const SimulatedCrash &) {
+            return true;
+        }
+        return false;
+    }
+
+    /** The surviving members must serve while the victim is down. */
+    void
+    assertOthersServe()
+    {
+        for (const std::string &key : otherKeys) {
+            Oop node = rt->pnewInstance(fabric, key, "Node");
+            node.setI64(valueOff, 31337);
+            fabric->shardFor(key)->flushObject(node);
+            fabric->setRoot(key, node);
+            ASSERT_EQ(fabric->getRoot(key).getI64(valueOff), 31337)
+                << key;
+        }
+    }
+
+    /** Victim invariants after per-shard recovery. */
+    void
+    verifyVictimRecovered(std::uint64_t event)
+    {
+        PjhHeap *h = fabric->shard(kVictim);
+        ASSERT_NE(h, nullptr);
+        std::size_t objects = 0;
+        ASSERT_NO_THROW(h->forEachObject([&](Oop) { ++objects; }))
+            << "fabric event " << event;
+        for (const std::string &key : victimKeys) {
+            Oop root = fabric->getRoot(key);
+            if (root.isNull())
+                continue;
+            ASSERT_EQ(root.klass()->name(), "Node")
+                << "fabric event " << event << " " << key;
+            EXPECT_TRUE(
+                writtenValues.count(root.getI64(valueOff)))
+                << "fabric event " << event << " " << key
+                << " holds invented value";
+        }
+        // The whole fabric accepts new routed work.
+        Oop extra =
+            rt->pnewInstance(fabric, victimKeys[0], "Node");
+        extra.setI64(valueOff, 424242);
+        h->flushObject(extra);
+        fabric->setRoot("extra", extra);
+        EXPECT_EQ(fabric->getRoot("extra").getI64(valueOff), 424242)
+            << "fabric event " << event;
+    }
+
+    std::unique_ptr<EspressoRuntime> rt;
+    HeapFabric *fabric = nullptr;
+    CrashInjector injector;
+    std::uint32_t valueOff = 0;
+    std::vector<std::string> victimKeys;
+    std::vector<std::string> otherKeys;
+    std::set<std::int64_t> writtenValues;
+};
+
+void
+sweepFabricPnew(CrashMode mode, std::uint64_t seed, int iterations)
+{
+    std::uint64_t max_events;
+    {
+        FabricRig probe;
+        ASSERT_FALSE(probe.runVictimPnew());
+        max_events = probe.injector.eventCount();
+        ASSERT_GT(max_events, 0u);
+    }
+
+    Rng rng(seed);
+    for (int it = 0; it < iterations; ++it) {
+        FabricRig rig;
+        std::uint64_t event = 1 + rng.nextBelow(max_events);
+        rig.injector.arm(event);
+        bool crashed = rig.runVictimPnew();
+        rig.injector.disarm();
+        if (testing::Test::HasFatalFailure())
+            return;
+        if (!crashed)
+            continue;
+        // Victim is down, not yet recovered: the other members keep
+        // serving through the ring.
+        rig.assertOthersServe();
+        if (testing::Test::HasFatalFailure())
+            return;
+        rig.fabric->crashShard(FabricRig::kVictim, mode, seed + event);
+        rig.fabric->reattachShard(FabricRig::kVictim);
+        rig.verifyVictimRecovered(event);
+        if (testing::Test::HasFatalFailure())
+            return;
+    }
+}
+
+void
+sweepFabricGc(CrashMode mode, std::uint64_t seed, int iterations)
+{
+    auto fillVictim = [](FabricRig &rig) {
+        // Live roots interleaved with garbage on the victim.
+        for (std::size_t i = 0; i < rig.victimKeys.size(); ++i) {
+            std::int64_t v = static_cast<std::int64_t>(i) + 1;
+            Oop node = rig.rt->pnewInstance(
+                rig.fabric, rig.victimKeys[i], "Node");
+            node.setI64(rig.valueOff, v);
+            rig.writtenValues.insert(v);
+            rig.fabric->shard(FabricRig::kVictim)->flushObject(node);
+            if (i % 2 == 0)
+                rig.fabric->setRoot(rig.victimKeys[i], node);
+        }
+    };
+
+    std::uint64_t max_events;
+    {
+        FabricRig probe;
+        probe.injector.disarm();
+        fillVictim(probe);
+        probe.injector.resetCount();
+        probe.fabric->collectShard(FabricRig::kVictim);
+        max_events = probe.injector.eventCount();
+        ASSERT_GT(max_events, 0u);
+    }
+
+    Rng rng(seed);
+    for (int it = 0; it < iterations; ++it) {
+        FabricRig rig;
+        fillVictim(rig);
+        std::uint64_t event = 1 + rng.nextBelow(max_events);
+        rig.injector.resetCount();
+        rig.injector.arm(event);
+        bool crashed = false;
+        try {
+            rig.fabric->collectShard(FabricRig::kVictim);
+        } catch (const SimulatedCrash &) {
+            crashed = true;
+        }
+        rig.injector.disarm();
+        if (testing::Test::HasFatalFailure())
+            return;
+        if (!crashed)
+            continue;
+        rig.assertOthersServe();
+        if (testing::Test::HasFatalFailure())
+            return;
+        // Per-shard recovery replays the interrupted collection.
+        rig.fabric->crashShard(FabricRig::kVictim, mode, seed + event);
+        rig.fabric->reattachShard(FabricRig::kVictim);
+        rig.verifyVictimRecovered(event);
+        if (testing::Test::HasFatalFailure())
+            return;
+        // A follow-up clean collection still works on the victim.
+        rig.fabric->collectShard(FabricRig::kVictim);
+        rig.verifyVictimRecovered(event);
+        if (testing::Test::HasFatalFailure())
+            return;
+    }
+}
+
+/**
+ * Sweep a power failure across every manifest persistence event of
+ * fabric creation: declare, per-member format flags, final commit.
+ * Recovery must either find no durable declaration (a crash before
+ * the atomic creation point — the fabric never existed) or roll the
+ * membership forward to the declared target, re-formatting members
+ * that never reached their format flag.
+ */
+void
+sweepFabricManifest(CrashMode mode, std::uint64_t seed)
+{
+    EspressoRuntime rt;
+    rt.define(nodeDef());
+    std::uint32_t value_off = rt.fieldOffset("Node", "value");
+
+    for (std::uint64_t event = 1;; ++event) {
+        CrashInjector injector;
+        HeapFabric fabric(&rt.registry(), nullptr);
+        fabric.setManifestInjector(&injector);
+        injector.arm(event);
+        PjhConfig cfg;
+        cfg.dataSize = 1u << 20;
+        FabricConfig fcfg;
+        fcfg.shard = cfg;
+        fcfg.shards = 4;
+        bool crashed = false;
+        try {
+            fabric.create(fcfg);
+        } catch (const SimulatedCrash &) {
+            crashed = true;
+        }
+        injector.disarm();
+        if (!crashed) {
+            ASSERT_GT(event, 1u) << "creation produced no events";
+            break;
+        }
+
+        fabric.crashAll(mode, seed + event);
+        if (!fabric.manifestDeclared()) {
+            // Crashed before the declaration fence: the fabric never
+            // existed; nothing to recover.
+            continue;
+        }
+        fabric.recover();
+        ASSERT_EQ(fabric.shardCount(), 4u) << "event " << event;
+        EXPECT_GE(fabric.epoch(), 1u) << "event " << event;
+        for (unsigned s = 0; s < 4; ++s) {
+            PjhHeap *h = fabric.shard(s);
+            ASSERT_NE(h, nullptr) << "event " << event << " shard " << s;
+            Oop node = h->allocInstance(
+                rt.registry().resolve("Node", MemKind::kPersistent));
+            node.setI64(value_off, 7);
+            h->flushObject(node);
+            h->setRoot("probe", node);
+            EXPECT_EQ(h->getRoot("probe").getI64(value_off), 7)
+                << "event " << event << " shard " << s;
+        }
+    }
+}
+
+TEST(CrashMatrixTest, FabricShardPnewSweepConservative)
+{
+    sweepFabricPnew(CrashMode::kDiscardUnflushed, 61, 16);
+}
+
+TEST(CrashMatrixTest, FabricShardPnewSweepWithCacheEviction)
+{
+    sweepFabricPnew(CrashMode::kEvictRandomLines, 67, 16);
+}
+
+TEST(CrashMatrixTest, FabricShardGcSweepConservative)
+{
+    sweepFabricGc(CrashMode::kDiscardUnflushed, 71, 10);
+}
+
+TEST(CrashMatrixTest, FabricShardGcSweepWithCacheEviction)
+{
+    sweepFabricGc(CrashMode::kEvictRandomLines, 73, 10);
+}
+
+TEST(CrashMatrixTest, FabricManifestCreateSweepConservative)
+{
+    sweepFabricManifest(CrashMode::kDiscardUnflushed, 79);
+}
+
+TEST(CrashMatrixTest, FabricManifestCreateSweepWithCacheEviction)
+{
+    sweepFabricManifest(CrashMode::kEvictRandomLines, 83);
+}
+
 } // namespace
 } // namespace espresso

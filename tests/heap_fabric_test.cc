@@ -1,0 +1,453 @@
+/**
+ * @file
+ * HeapFabric unit suite: consistent-hash routing (determinism,
+ * balance, minimal remap on growth), the 1-shard-fabric equivalence
+ * of the classic Table-1 API, fabric-routed pnew and roots,
+ * cross-shard roots registered through the home shard's name table
+ * (and surviving that shard's compaction), shard-scoped GC
+ * quiescence (a remote shard's collect() never blocks allocation),
+ * the fabric GC coordinator, ring-manifest recovery from a crash
+ * mid-create, and the HeapManager registry under concurrent
+ * create/load (the former unsynchronized-std::map race).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/espresso.hh"
+#include "nvm/crash_injector.hh"
+
+namespace espresso {
+namespace {
+
+KlassDef
+nodeDef()
+{
+    return KlassDef{"Node",
+                    "",
+                    {{"value", FieldType::kI64}, {"next", FieldType::kRef}},
+                    false};
+}
+
+/** A route key the ring sends to shard @p want. */
+std::string
+keyForShard(const HeapFabric *fabric, unsigned want, const char *tag)
+{
+    for (int i = 0; i < 100000; ++i) {
+        std::string key = std::string(tag) + std::to_string(i);
+        if (fabric->shardIndexFor(key) == want)
+            return key;
+    }
+    ADD_FAILURE() << "no key routes to shard " << want;
+    return "";
+}
+
+TEST(ShardRouterTest, DeterministicAndBalanced)
+{
+    ShardRouter router(8, 64);
+    std::vector<std::size_t> hits(8, 0);
+    for (int i = 0; i < 10000; ++i) {
+        std::string key = "user." + std::to_string(i);
+        unsigned s = router.shardForName(key);
+        ASSERT_LT(s, 8u);
+        EXPECT_EQ(s, router.shardForName(key)); // deterministic
+        ++hits[s];
+    }
+    for (unsigned s = 0; s < 8; ++s) {
+        // Perfect balance is 1250; vnode placement keeps every shard
+        // within a loose band (no starved or doubly-loaded member).
+        EXPECT_GT(hits[s], 400u) << "shard " << s << " starved";
+        EXPECT_LT(hits[s], 2600u) << "shard " << s << " overloaded";
+    }
+
+    ShardRouter again(8, 64);
+    for (int i = 0; i < 256; ++i) {
+        std::string key = "k" + std::to_string(i);
+        EXPECT_EQ(router.shardForName(key), again.shardForName(key));
+        EXPECT_EQ(router.shardForKey(i), again.shardForKey(i));
+    }
+}
+
+TEST(ShardRouterTest, GrowthRemapsOnlyAFraction)
+{
+    ShardRouter four(4, 64);
+    ShardRouter five(5, 64);
+    int moved = 0;
+    const int kKeys = 10000;
+    for (int i = 0; i < kKeys; ++i) {
+        std::string key = "k" + std::to_string(i);
+        unsigned a = four.shardForName(key);
+        unsigned b = five.shardForName(key);
+        if (a != b) {
+            ++moved;
+            // Consistent hashing: a key only ever moves *to* the new
+            // member, never between surviving ones.
+            EXPECT_EQ(b, 4u) << key;
+        }
+    }
+    // Ideal is 1/5 of the keys; allow generous vnode noise but stay
+    // far below the ~4/5 a mod-N rehash would move.
+    EXPECT_GT(moved, kKeys / 20);
+    EXPECT_LT(moved, kKeys * 2 / 5);
+}
+
+TEST(HeapFabricTest, SingleHeapApiIsAOneShardFabric)
+{
+    EspressoRuntime rt;
+    rt.define(nodeDef());
+    std::uint32_t off = rt.fieldOffset("Node", "value");
+
+    PjhHeap *heap = rt.heaps().createHeap("solo", 2u << 20);
+    HeapFabric *fabric = rt.heaps().fabric("solo");
+    ASSERT_NE(fabric, nullptr);
+    EXPECT_EQ(fabric->shardCount(), 1u);
+    EXPECT_EQ(fabric->shard(0), heap);
+    EXPECT_EQ(rt.heaps().heap("solo"), heap);
+    EXPECT_EQ(rt.heaps().deviceOf("solo"), fabric->shardDevice(0));
+
+    Oop node = rt.pnewInstance(heap, "Node");
+    node.setI64(off, 41);
+    heap->flushObject(node);
+    heap->setRoot("r", node);
+
+    rt.heaps().crashHeap("solo");
+    EXPECT_EQ(rt.heaps().heap("solo"), nullptr);
+    heap = rt.heaps().loadHeap("solo");
+    EXPECT_EQ(heap->getRoot("r").getI64(off), 41);
+
+    // Every route key lands on the only shard.
+    EXPECT_EQ(fabric->shardFor("anything"), heap);
+    EXPECT_EQ(fabric->shardForKey(12345), heap);
+}
+
+TEST(HeapFabricTest, RoutedPnewLandsOnTheRingShard)
+{
+    EspressoRuntime rt;
+    rt.define(nodeDef());
+    std::uint32_t off = rt.fieldOffset("Node", "value");
+
+    PjhConfig cfg;
+    cfg.dataSize = 2u << 20;
+    HeapFabric *fabric = rt.heaps().createFabric("fab", cfg, 4);
+    ASSERT_EQ(fabric->shardCount(), 4u);
+    EXPECT_GE(fabric->epoch(), 1u);
+
+    std::set<unsigned> used;
+    for (int i = 0; i < 64; ++i) {
+        std::string key = "acct." + std::to_string(i);
+        unsigned idx = fabric->shardIndexFor(key);
+        used.insert(idx);
+        Oop node = rt.pnewInstance(fabric, key, "Node");
+        node.setI64(off, i);
+        PjhHeap *home = fabric->shardFor(key);
+        EXPECT_TRUE(home->containsData(node.addr()));
+        EXPECT_EQ(fabric->homeOf(node), home);
+        home->flushObject(node);
+        fabric->setRoot(key, node);
+    }
+    // 64 keys over 4 shards: the ring must actually spread them.
+    EXPECT_EQ(used.size(), 4u);
+
+    for (int i = 0; i < 64; ++i) {
+        std::string key = "acct." + std::to_string(i);
+        Oop got = fabric->getRoot(key);
+        ASSERT_FALSE(got.isNull()) << key;
+        EXPECT_EQ(got.getI64(off), i) << key;
+        EXPECT_TRUE(fabric->hasRoot(key));
+    }
+    EXPECT_FALSE(fabric->hasRoot("never-set"));
+}
+
+TEST(HeapFabricTest, CrossShardRootIsRegisteredOnTheHomeShard)
+{
+    EspressoRuntime rt;
+    rt.define(nodeDef());
+    std::uint32_t off = rt.fieldOffset("Node", "value");
+
+    PjhConfig cfg;
+    cfg.dataSize = 2u << 20;
+    HeapFabric *fabric = rt.heaps().createFabric("xfab", cfg, 4);
+
+    // Allocate on shard 2, publish under a name the ring routes to a
+    // different shard.
+    std::string home_key = keyForShard(fabric, 2, "home.");
+    Oop node = rt.pnewInstance(fabric, home_key, "Node");
+    node.setI64(off, 777);
+    fabric->shard(2)->flushObject(node);
+
+    std::string remote_name = keyForShard(fabric, 0, "remote.");
+    fabric->setRoot(remote_name, node);
+
+    // The entry lives in the home shard's name table (its GC must
+    // pin and forward it), not on the ring shard.
+    EXPECT_TRUE(fabric->shard(2)->hasRoot(remote_name));
+    EXPECT_TRUE(fabric->shard(0)->getRoot(remote_name).isNull());
+    EXPECT_EQ(fabric->getRoot(remote_name).getI64(off), 777);
+
+    // Pile garbage in front of the object and compact the home
+    // shard: the root entry must follow the moved object.
+    for (int i = 0; i < 50; ++i)
+        rt.pnewInstance(fabric, home_key, "Node");
+    fabric->collectShard(2);
+    Oop moved = fabric->getRoot(remote_name);
+    ASSERT_FALSE(moved.isNull());
+    EXPECT_EQ(moved.getI64(off), 777);
+
+    // Republication to an object on another shard nulls the stale
+    // home entry so the old binding can never resurface.
+    std::string other_key = keyForShard(fabric, 1, "other.");
+    Oop other = rt.pnewInstance(fabric, other_key, "Node");
+    other.setI64(off, 888);
+    fabric->shard(1)->flushObject(other);
+    fabric->setRoot(remote_name, other);
+    EXPECT_EQ(fabric->getRoot(remote_name).getI64(off), 888);
+    EXPECT_TRUE(fabric->shard(2)->getRoot(remote_name).isNull());
+}
+
+TEST(HeapFabricTest, RemoteShardCollectDoesNotBlockAllocation)
+{
+    EspressoRuntime rt;
+    rt.define(nodeDef());
+    std::uint32_t off = rt.fieldOffset("Node", "value");
+
+    PjhConfig cfg;
+    cfg.dataSize = 2u << 20;
+    HeapFabric *fabric = rt.heaps().createFabric("gcfab", cfg, 2);
+
+    // Populate shard 0 (fast), then slow its device down so its
+    // collection holds gcInProgress for a long, observable window.
+    std::string k0 = keyForShard(fabric, 0, "s0.");
+    std::string k1 = keyForShard(fabric, 1, "s1.");
+    Oop live = rt.pnewInstance(fabric, k0, "Node");
+    live.setI64(off, 4242);
+    fabric->shard(0)->flushObject(live);
+    fabric->setRoot(k0, live);
+    for (int i = 0; i < 200; ++i) {
+        Oop keep = rt.pnewInstance(fabric, k0, "Node");
+        keep.setI64(off, i);
+        fabric->shard(0)->flushObject(keep);
+        fabric->shard(0)->setRoot("keep" + std::to_string(i), keep);
+    }
+    NvmConfig &dev_cfg = fabric->shardDevice(0)->config();
+    dev_cfg.fenceLatencyNs = 200000; // 200 us per fence
+    dev_cfg.fenceWaitYields = true;  // free the (possibly single) core
+
+    std::atomic<bool> done{false};
+    std::thread collector([&]() {
+        fabric->collectShard(0);
+        done.store(true, std::memory_order_release);
+    });
+
+    // Wait until shard 0's collection provably owns that shard, then
+    // allocate on shard 1 — per-shard quiescence means these must
+    // complete while the remote collect still runs.
+    while (!fabric->shard(0)->collecting() &&
+           !done.load(std::memory_order_acquire)) {
+        std::this_thread::yield();
+    }
+    bool observed_during_gc = false;
+    for (int i = 0; i < 100; ++i) {
+        Oop node = rt.pnewInstance(fabric, k1, "Node");
+        node.setI64(off, 9000 + i);
+        fabric->shard(1)->flushObject(node);
+        if (!done.load(std::memory_order_acquire))
+            observed_during_gc = true;
+    }
+    EXPECT_TRUE(observed_during_gc)
+        << "shard-1 allocations never overlapped shard-0's collect";
+    collector.join();
+    dev_cfg.fenceLatencyNs = 0;
+
+    // Both shards intact afterwards.
+    EXPECT_EQ(fabric->getRoot(k0).getI64(off), 4242);
+    Oop fresh = rt.pnewInstance(fabric, k1, "Node");
+    fresh.setI64(off, 1);
+    fabric->shard(1)->flushObject(fresh);
+}
+
+TEST(HeapFabricTest, CollectAllRunsEveryMemberIndependently)
+{
+    EspressoRuntime rt;
+    rt.define(nodeDef());
+    std::uint32_t off = rt.fieldOffset("Node", "value");
+
+    PjhConfig cfg;
+    cfg.dataSize = 2u << 20;
+    HeapFabric *fabric = rt.heaps().createFabric("allfab", cfg, 4);
+
+    std::vector<std::string> keys;
+    for (unsigned s = 0; s < 4; ++s) {
+        std::string key =
+            keyForShard(fabric, s, ("s" + std::to_string(s) + ".").c_str());
+        keys.push_back(key);
+        Oop live = rt.pnewInstance(fabric, key, "Node");
+        live.setI64(off, 100 + static_cast<int>(s));
+        fabric->shard(s)->flushObject(live);
+        fabric->setRoot(key, live);
+        for (int i = 0; i < 32; ++i)
+            rt.pnewInstance(fabric, key, "Node"); // garbage
+    }
+
+    std::vector<std::size_t> used_before;
+    for (unsigned s = 0; s < 4; ++s)
+        used_before.push_back(fabric->shard(s)->dataUsed());
+
+    fabric->collectAll();
+
+    for (unsigned s = 0; s < 4; ++s) {
+        EXPECT_EQ(fabric->shard(s)->meta().gcCollections, 1u)
+            << "shard " << s;
+        EXPECT_LT(fabric->shard(s)->dataUsed(), used_before[s])
+            << "shard " << s << " reclaimed nothing";
+        EXPECT_EQ(fabric->getRoot(keys[s]).getI64(off),
+                  100 + static_cast<int>(s));
+    }
+}
+
+TEST(HeapFabricTest, ManifestRecoversFromACrashMidCreate)
+{
+    EspressoRuntime rt;
+    rt.define(nodeDef());
+    std::uint32_t off = rt.fieldOffset("Node", "value");
+
+    // Fire between the second shard's format and the manifest
+    // commit: the declare costs 1 flush + 1 fence, each
+    // markFormatted 1 flush + 1 fence, so event 6 lands after
+    // member 1's format flag.
+    CrashInjector injector;
+    HeapFabric fabric(&rt.registry(), nullptr);
+    fabric.setManifestInjector(&injector);
+    injector.arm(6);
+    PjhConfig cfg;
+    cfg.dataSize = 1u << 20;
+    FabricConfig fcfg;
+    fcfg.shard = cfg;
+    fcfg.shards = 4;
+    bool crashed = false;
+    try {
+        fabric.create(fcfg);
+    } catch (const SimulatedCrash &) {
+        crashed = true;
+    }
+    ASSERT_TRUE(crashed);
+    injector.disarm();
+
+    fabric.crashAll();
+    ASSERT_TRUE(fabric.manifestDeclared());
+    fabric.recover();
+    EXPECT_EQ(fabric.shardCount(), 4u);
+    EXPECT_EQ(fabric.manifestDeclared(), true);
+    for (unsigned s = 0; s < 4; ++s) {
+        ASSERT_NE(fabric.shard(s), nullptr);
+        std::string key =
+            keyForShard(&fabric, s, ("k" + std::to_string(s) + ".").c_str());
+        Oop node = fabric.shard(s)->allocInstance(
+            rt.registry().resolve("Node", MemKind::kPersistent));
+        node.setI64(off, 5);
+        fabric.shard(s)->flushObject(node);
+        fabric.setRoot(key, node);
+        EXPECT_EQ(fabric.getRoot(key).getI64(off), 5);
+    }
+}
+
+TEST(HeapFabricTest, SurvivorsServeRootsWhileAMemberIsDown)
+{
+    EspressoRuntime rt;
+    rt.define(nodeDef());
+    std::uint32_t off = rt.fieldOffset("Node", "value");
+
+    PjhConfig cfg;
+    cfg.dataSize = 1u << 20;
+    HeapFabric *fabric = rt.heaps().createFabric("downfab", cfg, 4);
+
+    fabric->crashShard(2);
+    ASSERT_EQ(fabric->shard(2), nullptr);
+
+    // Publishing an object living on a healthy shard must work even
+    // when the *name* ring-routes to the crashed member (failures
+    // stay shard-local; the home shard owns the entry anyway).
+    std::string victim_name = keyForShard(fabric, 2, "victimname.");
+    std::string home_key = keyForShard(fabric, 1, "homekey.");
+    Oop node = rt.pnewInstance(fabric, home_key, "Node");
+    node.setI64(off, 55);
+    fabric->shard(1)->flushObject(node);
+    fabric->setRoot(victim_name, node);
+    EXPECT_EQ(fabric->getRoot(victim_name).getI64(off), 55);
+
+    fabric->reattachShard(2);
+    ASSERT_NE(fabric->shard(2), nullptr);
+    EXPECT_EQ(fabric->getRoot(victim_name).getI64(off), 55);
+}
+
+TEST(HeapFabricTest, LoadFabricReattachesCrashedMembers)
+{
+    EspressoRuntime rt;
+    rt.define(nodeDef());
+    std::uint32_t off = rt.fieldOffset("Node", "value");
+
+    PjhConfig cfg;
+    cfg.dataSize = 1u << 20;
+    HeapFabric *fabric = rt.heaps().createFabric("reload", cfg, 2);
+    std::string key = keyForShard(fabric, 1, "rk.");
+    Oop node = rt.pnewInstance(fabric, key, "Node");
+    node.setI64(off, 321);
+    fabric->shard(1)->flushObject(node);
+    fabric->setRoot(key, node);
+
+    // A member-level crash must be repaired by the load path, never
+    // handed back as a null shard.
+    fabric->crashShard(1);
+    ASSERT_EQ(fabric->shard(1), nullptr);
+    HeapFabric *loaded = rt.heaps().loadFabric("reload");
+    ASSERT_EQ(loaded, fabric);
+    ASSERT_NE(fabric->shard(1), nullptr);
+    EXPECT_EQ(fabric->getRoot(key).getI64(off), 321);
+
+    // Same through the single-heap surface on a 1-shard fabric.
+    rt.heaps().createHeap("solo2", 1u << 20);
+    rt.heaps().fabric("solo2")->crashShard(0);
+    EXPECT_NE(rt.heaps().loadHeap("solo2"), nullptr);
+}
+
+TEST(HeapManagerTest, RegistrySurvivesConcurrentCreateAndLoad)
+{
+    EspressoRuntime rt;
+    rt.define(nodeDef());
+    rt.heaps().createHeap("shared", 1u << 20);
+
+    constexpr int kThreads = 8;
+    std::atomic<int> failures{0};
+    std::vector<std::thread> workers;
+    for (int w = 0; w < kThreads; ++w) {
+        workers.emplace_back([&, w]() {
+            std::string mine = "own" + std::to_string(w);
+            PjhHeap *h =
+                rt.heaps().createHeap(mine, 1u << 20);
+            if (!h)
+                failures.fetch_add(1);
+            for (int i = 0; i < 200; ++i) {
+                if (!rt.heaps().existsHeap("shared") ||
+                    rt.heaps().heap("shared") == nullptr ||
+                    rt.heaps().loadHeap("shared") == nullptr ||
+                    rt.heaps().fabric(mine) == nullptr ||
+                    rt.heaps().deviceOf(mine) == nullptr) {
+                    failures.fetch_add(1);
+                    return;
+                }
+            }
+        });
+    }
+    for (auto &t : workers)
+        t.join();
+    EXPECT_EQ(failures.load(), 0);
+    for (int w = 0; w < kThreads; ++w)
+        EXPECT_NE(rt.heaps().heap("own" + std::to_string(w)), nullptr);
+}
+
+} // namespace
+} // namespace espresso
