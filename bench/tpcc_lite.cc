@@ -22,9 +22,16 @@
  * district < customer < stock ascending pk < fresh inserts), so
  * concurrent mixes never deadlock. Runs over a ShardedDatabase
  * (ESPRESSO_SHARDS members, default 1, pk-partitioned through the
- * consistent-hash router); cross-shard transactions commit member by
- * member. Reports txn/s and p99 NewOrder commit latency per thread
- * count, eager vs group commit.
+ * consistent-hash router); cross-shard transactions commit through
+ * the two-phase coordinator (per-member prepare fences + one durable
+ * decision record), single-member ones keep the eager/group path.
+ *
+ * ESPRESSO_TPCC_REMOTE_PCT (default 0): percent of NewOrder stock
+ * lines supplied by a *remote* warehouse (TPC-C's remote-order-line
+ * knob, classically 1%). With several shards a nonzero value makes
+ * that fraction of NewOrders cross-shard, exercising 2PC. Reports
+ * txn/s, p99 NewOrder commit latency, and fences/txn (the 2PC fence
+ * cost vs the single-member eager/group paths) per thread count.
  */
 
 #include <algorithm>
@@ -37,6 +44,7 @@
 
 #include "bench/bench_common.hh"
 #include "db/sharded_database.hh"
+#include "util/env.hh"
 #include "util/logging.hh"
 #include "util/rng.hh"
 
@@ -92,8 +100,9 @@ stockPk(std::int64_t w, std::int64_t i)
 
 struct RunResult
 {
-    double txns = 0;  ///< transactions per second
-    double p99Us = 0; ///< p99 NewOrder latency, microseconds
+    double txns = 0;        ///< transactions per second
+    double p99Us = 0;       ///< p99 NewOrder latency, microseconds
+    double fencesPerTxn = 0; ///< persist fences per transaction
 };
 
 void
@@ -156,19 +165,46 @@ orderPk(int thread, std::int64_t next_o_id)
 }
 
 void
-newOrder(ShardedDatabase &db, RmwLocks &locks, Rng &rng, int thread)
+newOrder(ShardedDatabase &db, RmwLocks &locks, Rng &rng, int thread,
+         unsigned remote_pct)
 {
     std::int64_t w = static_cast<std::int64_t>(
         rng.nextBelow(kWarehouses));
     std::int64_t d = static_cast<std::int64_t>(
         rng.nextBelow(kDistrictsPerW));
     int lines = 5 + static_cast<int>(rng.nextBelow(6));
-    std::vector<std::int64_t> items;
-    for (int l = 0; l < lines; ++l)
-        items.push_back(
-            static_cast<std::int64_t>(rng.nextBelow(kItems)));
-    std::sort(items.begin(), items.end());
-    items.erase(std::unique(items.begin(), items.end()), items.end());
+    // Each line: item + supplying warehouse (home, or remote with
+    // probability remote_pct% — the TPC-C remote-order-line knob
+    // that makes the transaction cross-shard under pk partitioning).
+    struct Line
+    {
+        std::int64_t stockPk;
+        std::int64_t item;
+    };
+    std::vector<Line> items;
+    for (int l = 0; l < lines; ++l) {
+        std::int64_t i =
+            static_cast<std::int64_t>(rng.nextBelow(kItems));
+        std::int64_t sw = w;
+        if (kWarehouses > 1 && rng.nextBelow(100) < remote_pct) {
+            sw = static_cast<std::int64_t>(
+                rng.nextBelow(kWarehouses - 1));
+            if (sw >= w)
+                ++sw;
+        }
+        items.push_back({stockPk(sw, i), i});
+    }
+    // Ascending stock pk (the engine's lock-order contract spans
+    // warehouses now that lines can be remote).
+    std::sort(items.begin(), items.end(),
+              [](const Line &a, const Line &b) {
+                  return a.stockPk < b.stockPk;
+              });
+    items.erase(std::unique(items.begin(), items.end(),
+                            [](const Line &a, const Line &b) {
+                                return a.stockPk == b.stockPk;
+                            }),
+                items.end());
 
     db.begin();
     // District first (lock order), bumping the order counter — the
@@ -193,17 +229,17 @@ newOrder(ShardedDatabase &db, RmwLocks &locks, Rng &rng, int thread)
     // the restock branch keeps them positive. TPC-C tolerates this
     // for throughput runs; o_id uniqueness above is what matters.)
     std::int64_t total = 0;
-    for (std::int64_t i : items) {
+    for (const Line &line : items) {
         DbRecord item;
-        if (!db.fetchRecord("ITEM", i, &item))
+        if (!db.fetchRecord("ITEM", line.item, &item))
             fatal("tpcc: missing item");
         DbRecord stock;
-        if (!db.fetchRecord("STOCK", stockPk(w, i), &stock))
+        if (!db.fetchRecord("STOCK", line.stockPk, &stock))
             fatal("tpcc: missing stock");
         std::int64_t qty = stock.values[1].i;
         qty = qty > 10 ? qty - 1 : qty + 91;
         DbRecord restock;
-        restock.values = {DbValue::ofI64(stockPk(w, i)),
+        restock.values = {DbValue::ofI64(line.stockPk),
                           DbValue::ofI64(qty)};
         restock.dirtyMask = 1ull << 1;
         db.persistRecord("STOCK", restock);
@@ -213,12 +249,12 @@ newOrder(ShardedDatabase &db, RmwLocks &locks, Rng &rng, int thread)
     // Fresh inserts last (no contention on new pks).
     std::int64_t o_pk = orderPk(thread, o_id + 1000 * districtPk(w, d));
     for (std::size_t l = 0; l < items.size(); ++l) {
-        DbRecord line;
-        line.values = {
+        DbRecord ol;
+        ol.values = {
             DbValue::ofI64(o_pk * 16 + static_cast<std::int64_t>(l)),
-            DbValue::ofI64(items[l]), DbValue::ofI64(1),
+            DbValue::ofI64(items[l].item), DbValue::ofI64(1),
             DbValue::ofI64(total)};
-        db.persistRecord("ORDER_LINE", line);
+        db.persistRecord("ORDER_LINE", ol);
     }
     DbRecord order;
     order.values = {DbValue::ofI64(o_pk),
@@ -286,7 +322,8 @@ payment(ShardedDatabase &db, RmwLocks &locks, Rng &rng)
 }
 
 RunResult
-runOnce(int threads, std::uint64_t window_us, int ops)
+runOnce(int threads, std::uint64_t window_us, int ops,
+        unsigned remote_pct)
 {
     ShardedDatabaseConfig cfg;
     cfg.shard.rowRegionSize = 32u << 20;
@@ -300,6 +337,17 @@ runOnce(int threads, std::uint64_t window_us, int ops)
     loadTables(database);
     RmwLocks locks;
 
+    // Fence cost across the whole fabric: every member device plus
+    // the 2PC coordinator's decision-log device.
+    auto fenceCount = [&database]() {
+        std::uint64_t f =
+            database.coordinatorDevice().stats().fences.load();
+        for (unsigned i = 0; i < database.shardCount(); ++i)
+            f += database.shard(i).device().stats().fences.load();
+        return f;
+    };
+    std::uint64_t fences0 = fenceCount();
+
     std::atomic<int> ready{0};
     std::atomic<bool> go{false};
     std::vector<std::vector<std::uint64_t>> lat(threads);
@@ -312,12 +360,28 @@ runOnce(int threads, std::uint64_t window_us, int ops)
             while (!go.load(std::memory_order_acquire)) {
             }
             for (int i = 0; i < ops; ++i) {
+                // A deadlock victim or snapshot conflict rolls the
+                // whole bracket back; the driver retries, as TPC-C
+                // clients do. begin() resets the aborted state.
                 if (rng.nextBool()) {
                     std::uint64_t t0 = bench::nowNs();
-                    newOrder(database, locks, rng, w);
+                    for (;;) {
+                        try {
+                            newOrder(database, locks, rng, w,
+                                     remote_pct);
+                            break;
+                        } catch (const TxnAbortError &) {
+                        }
+                    }
                     lat[w].push_back(bench::nowNs() - t0);
                 } else {
-                    payment(database, locks, rng);
+                    for (;;) {
+                        try {
+                            payment(database, locks, rng);
+                            break;
+                        } catch (const TxnAbortError &) {
+                        }
+                    }
                 }
             }
         });
@@ -333,6 +397,8 @@ runOnce(int threads, std::uint64_t window_us, int ops)
     RunResult r;
     r.txns = static_cast<double>(threads) * ops /
              (static_cast<double>(wall) / 1e9);
+    r.fencesPerTxn = static_cast<double>(fenceCount() - fences0) /
+                     (static_cast<double>(threads) * ops);
     std::vector<std::uint64_t> all;
     for (auto &v : lat)
         all.insert(all.end(), v.begin(), v.end());
@@ -349,6 +415,7 @@ int
 main()
 {
     int ops = bench::opsFromEnv(400);
+    unsigned remote_pct = envUnsigned("ESPRESSO_TPCC_REMOTE_PCT", 0);
     bench::printHeader(
         "tpcc_lite — NewOrder/Payment mix over the transaction engine",
         "50/50 NewOrder (5-10 lines: district bump, stock updates, "
@@ -356,15 +423,19 @@ main()
         "transactions; " +
             std::to_string(kWarehouses) + " warehouses x " +
             std::to_string(kDistrictsPerW) +
-            " districts; ESPRESSO_SHARDS members (default 1)");
+            " districts; ESPRESSO_SHARDS members (default 1); " +
+            std::to_string(remote_pct) +
+            "% remote stock lines (ESPRESSO_TPCC_REMOTE_PCT; "
+            "cross-shard NewOrders commit via 2PC)");
 
-    std::printf("%8s %7s %10s %14s\n", "threads", "commit", "txn/s",
-                "p99 NewOrder(us)");
+    std::printf("%8s %7s %10s %16s %11s\n", "threads", "commit",
+                "txn/s", "p99 NewOrder(us)", "fences/txn");
     for (int threads : {1, 2, 4}) {
         for (std::uint64_t window : {0ull, 100ull}) {
-            RunResult r = runOnce(threads, window, ops);
-            std::printf("%8d %7s %10.0f %14.1f\n", threads,
-                        window ? "group" : "eager", r.txns, r.p99Us);
+            RunResult r = runOnce(threads, window, ops, remote_pct);
+            std::printf("%8d %7s %10.0f %16.1f %11.1f\n", threads,
+                        window ? "group" : "eager", r.txns, r.p99Us,
+                        r.fencesPerTxn);
         }
     }
     return 0;

@@ -36,7 +36,8 @@ groupCommitWindowFromEnv()
 
 } // namespace
 
-Database::Database(const DatabaseConfig &cfg, NvmConfig nvm_cfg)
+Database::Database(const DatabaseConfig &cfg, NvmConfig nvm_cfg,
+                   SnapshotClock *shared_clock)
     : cfg_(cfg),
       serial_(g_dbSerial.fetch_add(1, std::memory_order_relaxed))
 {
@@ -55,9 +56,16 @@ Database::Database(const DatabaseConfig &cfg, NvmConfig nvm_cfg)
     catalog_ = Catalog(dev_.get(), base + catalog_off);
     wal_ = std::make_unique<Wal>(dev_.get(), base + wal_off,
                                  cfg_.walSize, cfg_.walShards);
-    rows_ = std::make_unique<RowStore>(dev_.get(), base + rowsOff_,
-                                       cfg_.rowRegionSize, &catalog_,
-                                       cfg_.rowsPerTable);
+    if (shared_clock != nullptr) {
+        clock_ = shared_clock;
+    } else {
+        ownedClock_ = std::make_unique<SnapshotClock>();
+        clock_ = ownedClock_.get();
+    }
+    ctrls_ = std::make_unique<TxnCtrl[]>(wal_->shardCount());
+    rows_ = std::make_unique<RowStore>(
+        dev_.get(), base + rowsOff_, cfg_.rowRegionSize, &catalog_,
+        cfg_.rowsPerTable, ctrls_.get(), wal_->shardCount(), clock_);
     coordinator_ = std::make_unique<CommitCoordinator>(
         dev_.get(), cfg_.groupCommitWindowUs * 1000);
 }
@@ -98,14 +106,77 @@ Database::txContextIfAny() const
 }
 
 void
-Database::beginTx(TxContext &ctx)
+Database::beginTx(TxContext &ctx, Isolation iso, Word bracket_snapshot)
 {
     WalShard &shard = wal_->shard(ctx.shardId);
     // One transaction per shard: extra threads mapped to the same
     // shard queue here.
     shard.acquireTx();
+
+    ctx.isolation = iso;
+    if (iso == Isolation::kSnapshot) {
+        if (bracket_snapshot != kNoSnapshot) {
+            // A sharded bracket registered one snapshot for every
+            // member; re-registering here would read a different
+            // clock value.
+            ctx.snapshot = bracket_snapshot;
+            ctx.ownsSnapshot = false;
+        } else {
+            ctx.snapshot = clock_->beginSnapshot();
+            ctx.ownsSnapshot = true;
+        }
+    } else {
+        ctx.snapshot = kNoSnapshot;
+        ctx.ownsSnapshot = false;
+    }
+    ctx.rowTx.saveImages = clock_->enterWriter();
+    ctx.rowTx.snapshot = ctx.snapshot;
+
+    // Fresh control-block state before any marker can reference it.
+    TxnCtrl &c = ctrls_[ctx.shardId];
+    std::uint64_t seq =
+        txnSeqCounter_.fetch_add(1, std::memory_order_relaxed);
+    ctx.txnSeq = seq;
+    c.commitTs.store(0, std::memory_order_relaxed);
+    c.waitingFor.store(0, std::memory_order_relaxed);
+    c.seq.store(seq, std::memory_order_release);
+
     shard.begin();
     coordinator_->txnBegan();
+}
+
+void
+Database::finishCommitLocal(TxContext &ctx)
+{
+    Word ts = 0;
+    if (ctx.rowTx.saveImages) {
+        // Allocate + publish the commit timestamp in one clock
+        // critical section: a snapshot begun before sees none of
+        // this transaction, one begun after sees all of it.
+        SpinGuard g(clock_->mu);
+        ts = ++clock_->clock;
+        ctrls_[ctx.shardId].commitTs.store(ts,
+                                           std::memory_order_release);
+    }
+    rows_->finishCommit(ctx.rowTx, ts);
+    endTxCommon(ctx);
+}
+
+void
+Database::endTxCommon(TxContext &ctx)
+{
+    clock_->exitWriter(ctx.rowTx.saveImages);
+    ctx.rowTx.saveImages = false;
+    ctx.rowTx.snapshot = kNoSnapshot;
+    if (ctx.ownsSnapshot)
+        clock_->endSnapshot(ctx.snapshot);
+    ctx.snapshot = kNoSnapshot;
+    ctx.ownsSnapshot = false;
+    // Shard release comes after row stamping (finishCommit /
+    // finishRollback): no new transaction reuses this token while
+    // its markers are still being resolved away.
+    wal_->shard(ctx.shardId).releaseTx();
+    coordinator_->txnEnded();
 }
 
 void
@@ -116,9 +187,7 @@ Database::commitTx(TxContext &ctx)
         shard.retireEmpty(); // nothing written: no fences, no batch
     else
         coordinator_->commit(shard);
-    rows_->finishCommit(ctx.rowTx);
-    shard.releaseTx();
-    coordinator_->txnEnded();
+    finishCommitLocal(ctx);
     ctx.lastOutcome = TxOutcome::kCommitted;
 }
 
@@ -126,12 +195,20 @@ void
 Database::rollbackTx(TxContext &ctx, TxOutcome outcome)
 {
     WalShard &shard = wal_->shard(ctx.shardId);
-    shard.rollbackAndRetire([this](Addr addr, std::size_t len) {
-        rows_->reconcileRange(addr, len);
-    });
+    shard.rollbackAndRetire(
+        [this](Addr addr, std::size_t len) {
+            rows_->reconcileRange(addr, len);
+        },
+        [this](Addr dst, const std::uint8_t *src, std::size_t len) {
+            rows_->restoreRange(dst, src, len);
+        });
+    // Invalidate the control block: a marker that somehow survived
+    // the restore is stale and resolves through the version chain.
+    ctrls_[ctx.shardId].seq.store(
+        txnSeqCounter_.fetch_add(1, std::memory_order_relaxed),
+        std::memory_order_release);
     rows_->finishRollback(ctx.rowTx);
-    shard.releaseTx();
-    coordinator_->txnEnded();
+    endTxCommon(ctx);
     ctx.lastOutcome = outcome;
 }
 
@@ -155,9 +232,23 @@ Database::mutate(Fn &&fn)
         if (!own) {
             ctx.explicitTx = false;
             ctx.aborted = true;
+            ctx.abortCode = StatusCode::kWalFull;
         }
         throw WalFullError(
             strCat("db: transaction rolled back: ", e.what()));
+    } catch (const TxnAbortError &e) {
+        // Deadlock victim or snapshot write conflict: the whole
+        // transaction rolls back (auto and explicit alike — the
+        // write locks must drop to break the cycle).
+        rollbackTx(ctx, e.code() == StatusCode::kDeadlock
+                            ? TxOutcome::kRolledBackDeadlock
+                            : TxOutcome::kRolledBackConflict);
+        if (!own) {
+            ctx.explicitTx = false;
+            ctx.aborted = true;
+            ctx.abortCode = e.code();
+        }
+        throw;
     } catch (const SimulatedCrash &) {
         throw; // power failed mid-statement; recovery sorts it out
     } catch (...) {
@@ -173,6 +264,123 @@ Database::mutate(Fn &&fn)
     return rs;
 }
 
+Txn
+Database::beginTxn(const TxnOptions &opts)
+{
+    TxContext &ctx = txContext();
+    if (ctx.explicitTx)
+        fatal("db: nested transactions are not supported");
+    ctx.aborted = false;
+    ctx.abortCode = StatusCode::kOk;
+    beginTx(ctx, opts.isolation);
+    ctx.explicitTx = true;
+    return Txn(this, nullptr, ctx.txnSeq, ctx.snapshot);
+}
+
+Status
+Database::commitHandle(std::uint64_t seq)
+{
+    TxContext *ctx = txContextIfAny();
+    if (ctx == nullptr || ctx->txnSeq != seq)
+        return Status::make(StatusCode::kMisuse,
+                            "db: commit on a foreign or stale "
+                            "transaction handle");
+    if (!ctx->explicitTx) {
+        if (ctx->aborted) {
+            // The engine already rolled this transaction back
+            // mid-statement; report why.
+            ctx->aborted = false;
+            StatusCode code = ctx->abortCode == StatusCode::kOk
+                                  ? StatusCode::kAborted
+                                  : ctx->abortCode;
+            return Status::make(
+                code, "db: transaction was rolled back by the engine");
+        }
+        return Status::make(StatusCode::kMisuse,
+                            "db: transaction already finished");
+    }
+    ctx->explicitTx = false;
+    commitTx(*ctx);
+    return Status::ok();
+}
+
+Status
+Database::rollbackHandle(std::uint64_t seq)
+{
+    TxContext *ctx = txContextIfAny();
+    if (ctx == nullptr || ctx->txnSeq != seq)
+        return Status::make(StatusCode::kMisuse,
+                            "db: rollback on a foreign or stale "
+                            "transaction handle");
+    if (!ctx->explicitTx) {
+        if (ctx->aborted) {
+            ctx->aborted = false;
+            return Status::ok(); // already rolled back, as requested
+        }
+        return Status::make(StatusCode::kMisuse,
+                            "db: transaction already finished");
+    }
+    ctx->explicitTx = false;
+    rollbackTx(*ctx, TxOutcome::kRolledBack);
+    return Status::ok();
+}
+
+bool
+Database::handleActive(std::uint64_t seq) const
+{
+    TxContext *ctx = txContextIfAny();
+    return ctx != nullptr && ctx->explicitTx && ctx->txnSeq == seq;
+}
+
+void
+Database::beginWith(Isolation iso, Word bracket_snapshot)
+{
+    TxContext &ctx = txContext();
+    if (ctx.explicitTx)
+        fatal("db: nested transactions are not supported");
+    ctx.aborted = false;
+    ctx.abortCode = StatusCode::kOk;
+    beginTx(ctx, iso, bracket_snapshot);
+    ctx.explicitTx = true;
+}
+
+bool
+Database::prepareTx2pc(Word txn_id)
+{
+    TxContext &ctx = txContext();
+    if (!ctx.explicitTx)
+        fatal("db: prepare without an open transaction");
+    WalShard &shard = wal_->shard(ctx.shardId);
+    if (shard.entryCount() == 0)
+        return false; // nothing logged: yes-vote, no prepared state
+    shard.prepare(txn_id);
+    return true;
+}
+
+void
+Database::publishCommitTsLocked(Word ts)
+{
+    TxContext &ctx = txContext();
+    ctrls_[ctx.shardId].commitTs.store(ts, std::memory_order_release);
+}
+
+void
+Database::finishPreparedTx(Word ts, bool prepared)
+{
+    TxContext &ctx = txContext();
+    if (!ctx.explicitTx)
+        fatal("db: finishPrepared without an open transaction");
+    ctx.explicitTx = false;
+    WalShard &shard = wal_->shard(ctx.shardId);
+    if (prepared)
+        shard.finishPrepared();
+    else
+        shard.retireEmpty();
+    rows_->finishCommit(ctx.rowTx, ctx.rowTx.saveImages ? ts : 0);
+    endTxCommon(ctx);
+    ctx.lastOutcome = TxOutcome::kCommitted;
+}
+
 void
 Database::begin()
 {
@@ -180,6 +388,7 @@ Database::begin()
     if (ctx.explicitTx)
         fatal("db: nested transactions are not supported");
     ctx.aborted = false;
+    ctx.abortCode = StatusCode::kOk;
     beginTx(ctx);
     ctx.explicitTx = true;
 }
@@ -235,6 +444,14 @@ Database::currentTxShard()
     return txContext().shardId;
 }
 
+Word
+Database::currentSnapshot() const
+{
+    TxContext *ctx = txContextIfAny();
+    return (ctx != nullptr && ctx->explicitTx) ? ctx->snapshot
+                                               : kNoSnapshot;
+}
+
 std::size_t
 Database::tableIndexOrDie(const std::string &table)
 {
@@ -285,7 +502,7 @@ Database::fetchRecord(const std::string &table, std::int64_t pk,
 {
     PhaseScope scope(timer_, "database");
     std::size_t t = tableIndexOrDie(table);
-    return rows_->fetch(t, pk, &out->values);
+    return rows_->fetch(t, pk, &out->values, currentSnapshot());
 }
 
 bool
@@ -313,7 +530,31 @@ Database::scanEq(const std::string &table, const std::string &column,
     std::size_t c = catalog_.tables()[t].columnIndex(column);
     if (c == static_cast<std::size_t>(-1))
         fatal("db: no such column " + column);
-    rows_->scanEq(t, c, v, fn);
+    rows_->scanEq(t, c, v, fn, currentSnapshot());
+}
+
+bool
+Database::fetchRecordAt(const std::string &table, std::int64_t pk,
+                        DbRecord *out, Word snapshot)
+{
+    PhaseScope scope(timer_, "database");
+    std::size_t t = tableIndexOrDie(table);
+    return rows_->fetch(t, pk, &out->values, snapshot);
+}
+
+void
+Database::scanEqAt(const std::string &table, const std::string &column,
+                   const DbValue &v,
+                   const std::function<void(const std::vector<DbValue> &)>
+                       &fn,
+                   Word snapshot)
+{
+    PhaseScope scope(timer_, "database");
+    std::size_t t = tableIndexOrDie(table);
+    std::size_t c = catalog_.tables()[t].columnIndex(column);
+    if (c == static_cast<std::size_t>(-1))
+        fatal("db: no such column " + column);
+    rows_->scanEq(t, c, v, fn, snapshot);
 }
 
 std::size_t
@@ -365,6 +606,7 @@ Database::execute(const SqlStatement &stmt)
       case SqlStatement::Kind::kSelect: {
         std::size_t t = tableIndexOrDie(stmt.table);
         const TableSchema &schema = catalog_.tables()[t];
+        Word snap = currentSnapshot();
         std::vector<std::size_t> cols;
         if (stmt.selectAll) {
             for (std::size_t c = 0; c < schema.columns.size(); ++c)
@@ -395,13 +637,13 @@ Database::execute(const SqlStatement &stmt)
             if (wc == schema.pkColumn &&
                 stmt.whereValue.type == DbType::kI64) {
                 std::vector<DbValue> row;
-                if (rows_->fetch(t, stmt.whereValue.i, &row))
+                if (rows_->fetch(t, stmt.whereValue.i, &row, snap))
                     emit(row);
             } else {
-                rows_->scanEq(t, wc, stmt.whereValue, emit);
+                rows_->scanEq(t, wc, stmt.whereValue, emit, snap);
             }
         } else {
-            rows_->scanAll(t, emit);
+            rows_->scanAll(t, emit, snap);
         }
         return rs;
       }
@@ -461,7 +703,8 @@ Database::execute(const SqlStatement &stmt)
 }
 
 void
-Database::crash(CrashMode mode, std::uint64_t seed)
+Database::crash(CrashMode mode, std::uint64_t seed,
+                const WalShard::ResolveFn &is_committed)
 {
     {
         SpinGuard g(ctxMu_);
@@ -469,12 +712,22 @@ Database::crash(CrashMode mode, std::uint64_t seed)
         generation_.fetch_add(1, std::memory_order_release);
     }
     coordinator_->resetAfterCrash();
+    // Shared clocks are reset once per member — idempotent, and the
+    // quiesced-caller contract makes the repeats harmless. The clock
+    // value itself ratchets back up from recovered row versions.
+    clock_->resetAfterCrash();
+    for (unsigned i = 0; i < wal_->shardCount(); ++i) {
+        ctrls_[i].seq.store(0, std::memory_order_relaxed);
+        ctrls_[i].commitTs.store(0, std::memory_order_relaxed);
+        ctrls_[i].waitingFor.store(0, std::memory_order_relaxed);
+    }
     dev_->crash(mode, seed);
-    wal_->recover();
+    wal_->recover(is_committed);
     catalog_.reload();
     rows_ = std::make_unique<RowStore>(
         dev_.get(), reinterpret_cast<Addr>(dev_->base()) + rowsOff_,
-        cfg_.rowRegionSize, &catalog_, cfg_.rowsPerTable);
+        cfg_.rowRegionSize, &catalog_, cfg_.rowsPerTable, ctrls_.get(),
+        wal_->shardCount(), clock_);
     rows_->syncWithCatalog();
 }
 

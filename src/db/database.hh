@@ -24,12 +24,17 @@
  * (batch window: DatabaseConfig::groupCommitWindowUs, or the
  * ESPRESSO_DB_GROUP_COMMIT env var in microseconds; 0 = eager).
  * Caller contracts: DDL (createTable / CREATE TABLE) and crash()
- * must not run concurrently with other statements. A writing
- * statement blocks until every row it touches is free of other
- * in-flight writers, and those write locks are held to
- * commit/rollback with no deadlock detection — transactions that
- * write multiple rows must acquire them in a consistent order
- * (e.g. ascending pk), the classic latch discipline.
+ * must not run concurrently with other statements.
+ *
+ * Transactions + isolation (PR 6): beginTxn(TxnOptions) returns an
+ * explicit RAII Txn handle whose commit() reports every failure mode
+ * as a db::Status; the per-thread begin()/commit()/rollback() +
+ * lastTxOutcome() shims remain. Write-write conflicts across rows no
+ * longer require a caller-side lock order: a wait that closes a
+ * cycle aborts its youngest transaction with StatusCode::kDeadlock.
+ * Isolation::kSnapshot gives latch-free consistent reads at the
+ * transaction's begin timestamp, with first-committer-wins write
+ * conflicts (StatusCode::kConflict) — see db/txn.hh.
  */
 
 #ifndef ESPRESSO_DB_DATABASE_HH
@@ -47,6 +52,8 @@
 #include "db/commit_coordinator.hh"
 #include "db/row_store.hh"
 #include "db/sql_parser.hh"
+#include "db/status.hh"
+#include "db/txn.hh"
 #include "db/wal.hh"
 #include "nvm/nvm_device.hh"
 #include "util/phase_timer.hh"
@@ -80,7 +87,9 @@ enum class TxOutcome
     kNone,
     kCommitted,
     kRolledBack,
-    kRolledBackWalFull, ///< undo segment overflow forced a rollback
+    kRolledBackWalFull,  ///< undo segment overflow forced a rollback
+    kRolledBackDeadlock, ///< chosen as a deadlock victim
+    kRolledBackConflict, ///< snapshot first-committer-wins conflict
 };
 
 /** Query result. */
@@ -104,8 +113,11 @@ struct DbRecord
 class Database
 {
   public:
+    /** @param shared_clock commit clock shared with other members of
+     * a sharded runtime (null: this instance owns its own). */
     explicit Database(const DatabaseConfig &cfg = {},
-                      NvmConfig nvm_cfg = {});
+                      NvmConfig nvm_cfg = {},
+                      SnapshotClock *shared_clock = nullptr);
     ~Database();
 
     Database(const Database &) = delete;
@@ -117,6 +129,10 @@ class Database
 
     /** @name Transactions (calling thread's) */
     /// @{
+    /** Open an explicit transaction on the calling thread and return
+     * its handle. */
+    Txn beginTxn(const TxnOptions &opts = {});
+
     void begin();
     void commit();
     void rollback();
@@ -150,12 +166,26 @@ class Database
                     &fn);
     /// @}
 
+    /** @name Reads at an explicit snapshot (sharded-bracket reads:
+     * the calling thread need not hold an open member transaction) */
+    /// @{
+    bool fetchRecordAt(const std::string &table, std::int64_t pk,
+                       DbRecord *out, Word snapshot);
+    void scanEqAt(const std::string &table, const std::string &column,
+                  const DbValue &v,
+                  const std::function<void(const std::vector<DbValue> &)>
+                      &fn,
+                  Word snapshot);
+    /// @}
+
     std::size_t rowCount(const std::string &table);
 
     /** Simulate a power failure and reopen (rolls back every open
-     * txn). Callers must be quiesced. */
+     * txn; @p is_committed resolves transactions that crashed
+     * between 2PC prepare and commit). Callers must be quiesced. */
     void crash(CrashMode mode = CrashMode::kDiscardUnflushed,
-               std::uint64_t seed = 1);
+               std::uint64_t seed = 1,
+               const WalShard::ResolveFn &is_committed = {});
 
     NvmDevice &device() { return *dev_; }
     const Catalog &catalog() const { return catalog_; }
@@ -164,34 +194,92 @@ class Database
     /// @{
     Wal &wal() { return *wal_; }
     CommitCoordinator &commitCoordinator() { return *coordinator_; }
+    SnapshotClock &snapshotClock() { return *clock_; }
 
     /** WAL shard bound to the calling thread. */
     unsigned currentTxShard();
     /// @}
 
   private:
+    friend class Txn;
+    friend class ShardedDatabase;
+
     /** Per-thread transaction state. */
     struct TxContext
     {
         unsigned shardId = 0;
         bool explicitTx = false;
-        /** Set when a log-full rollback killed an explicit txn; the
-         * next commit()/rollback() consumes it instead of fataling. */
+        /** Set when the engine rolled an explicit txn back
+         * mid-statement (log full, deadlock victim, snapshot
+         * conflict); the next commit()/rollback() consumes it
+         * instead of fataling. */
         bool aborted = false;
+        StatusCode abortCode = StatusCode::kOk;
         TxOutcome lastOutcome = TxOutcome::kNone;
+        Isolation isolation = Isolation::kReadUncommitted;
+        /** Snapshot timestamp (kNoSnapshot outside kSnapshot). */
+        Word snapshot = kNoSnapshot;
+        /** False when a sharded bracket registered the snapshot. */
+        bool ownsSnapshot = false;
+        /** Begin sequence of the open (or last) transaction; ties a
+         * Txn handle to the engine-side state. */
+        std::uint64_t txnSeq = 0;
         RowTxState rowTx;
     };
 
     TxContext &txContext();
     TxContext *txContextIfAny() const;
 
-    void beginTx(TxContext &ctx);
+    void beginTx(TxContext &ctx,
+                 Isolation iso = Isolation::kReadUncommitted,
+                 Word bracket_snapshot = kNoSnapshot);
     void commitTx(TxContext &ctx);
     void rollbackTx(TxContext &ctx, TxOutcome outcome);
 
+    /** Post-durable-commit bookkeeping: allocate + publish the
+     * commit timestamp, stamp rows, close the bracket. */
+    void finishCommitLocal(TxContext &ctx);
+
+    /** Shared tail of commit/rollback: writer exit, snapshot end,
+     * shard release. */
+    void endTxCommon(TxContext &ctx);
+
+    /** @name Txn-handle plumbing (thread-affine) */
+    /// @{
+    Status commitHandle(std::uint64_t seq);
+    Status rollbackHandle(std::uint64_t seq);
+    bool handleActive(std::uint64_t seq) const;
+    /// @}
+
+    /** @name 2PC member protocol (driven by ShardedDatabase) */
+    /// @{
+    /** Like begin(), for a sharded bracket: the bracket's isolation
+     * and (already registered) snapshot apply to the member txn. */
+    void beginWith(Isolation iso, Word bracket_snapshot);
+
+    /** Prepare the calling thread's open transaction under
+     * @p txn_id; false when it logged nothing (vote commit with no
+     * prepared state — finish retires it empty). */
+    bool prepareTx2pc(Word txn_id);
+
+    /** Publish @p ts as the open transaction's commit timestamp.
+     * Caller holds the shared SnapshotClock's mu. */
+    void publishCommitTsLocked(Word ts);
+
+    /** Complete the member commit after the coordinator's durable
+     * decision: retire the prepared segment (or the empty bracket),
+     * stamp rows with @p ts, close out. */
+    void finishPreparedTx(Word ts, bool prepared);
+    /// @}
+
+    /** Snapshot of the calling thread's open transaction (or
+     * kNoSnapshot). */
+    Word currentSnapshot() const;
+
     /** Run @p fn inside the calling thread's transaction, opening a
-     * statement-scoped one when none is active; a WAL-full error
-     * rolls the whole transaction back. */
+     * statement-scoped one when none is active; a WAL-full error,
+     * deadlock, or snapshot conflict rolls the whole transaction
+     * back. */
     template <typename Fn> ResultSet mutate(Fn &&fn);
 
     ResultSet execute(const SqlStatement &stmt);
@@ -206,6 +294,15 @@ class Database
     std::unique_ptr<RowStore> rows_;
     std::unique_ptr<CommitCoordinator> coordinator_;
     PhaseTimer *timer_ = nullptr;
+
+    /** In-flight transaction control blocks, indexed by token - 1
+     * (one per WAL shard). */
+    std::unique_ptr<TxnCtrl[]> ctrls_;
+    /** Owned clock when no shared one was passed in. */
+    std::unique_ptr<SnapshotClock> ownedClock_;
+    SnapshotClock *clock_ = nullptr;
+    /** Begin sequences for TxnCtrl::seq / Txn handles (never 0). */
+    std::atomic<std::uint64_t> txnSeqCounter_{1};
 
     /** DDL serialization (DDL vs DML concurrency is the caller's
      * contract, matching the catalog's). */

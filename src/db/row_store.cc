@@ -19,9 +19,12 @@ constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
 } // namespace
 
 RowStore::RowStore(NvmDevice *device, Addr base, std::size_t size,
-                   Catalog *catalog, std::size_t rows_per_table)
+                   Catalog *catalog, std::size_t rows_per_table,
+                   TxnCtrl *ctrls, unsigned ctrl_count,
+                   SnapshotClock *clock)
     : device_(device), base_(base), size_(size), catalog_(catalog),
-      rowsPerTable_(rows_per_table)
+      rowsPerTable_(rows_per_table), ctrls_(ctrls),
+      ctrlCount_(ctrl_count), clock_(clock)
 {}
 
 void
@@ -61,7 +64,13 @@ RowStore::syncWithCatalog()
 {
     ensureRegions();
 
-    // Rebuild volatile indexes from row state words.
+    // Rebuild volatile indexes from row state words. Dirty version
+    // markers belong to transactions that died with the crash (their
+    // effects were just rolled back, or rolled forward and left
+    // unstamped) — scrub them to "committed at time zero", and
+    // ratchet the commit clock past every surviving clean timestamp
+    // so new transactions stay in their future.
+    Word max_ts = 0;
     const auto &tables = catalog_->tables();
     for (std::size_t t = 0; t < regions_.size(); ++t) {
         TableRegion &region = regions_[t];
@@ -69,12 +78,22 @@ RowStore::syncWithCatalog()
         region.eqIndex.clear();
         region.freeRows.clear();
         region.highWater = 0;
+        region.graveyard.clear();
+        {
+            SpinGuard vg(region.versionMu);
+            region.versions.clear();
+        }
         std::size_t row_bytes = tables[t].rowBytes();
         std::size_t pk_col = tables[t].pkColumn;
         std::size_t idx_col = tables[t].indexColumn;
         for (std::size_t i = 0; i < region.capacity; ++i) {
             region.rowOwner[i].store(0, std::memory_order_relaxed);
             Addr row = rowAddr(region, i, row_bytes);
+            Word v = loadWord(row + kWordSize);
+            if (versionIsDirty(v))
+                storeWord(row + kWordSize, 0);
+            else if (v > max_ts)
+                max_ts = v;
             if (loadWord(row) == kRowLive) {
                 DbValue pk = decodeValueSlot(
                     reinterpret_cast<const std::uint8_t *>(
@@ -91,6 +110,8 @@ RowStore::syncWithCatalog()
         }
         std::reverse(region.freeRows.begin(), region.freeRows.end());
     }
+    if (clock_ != nullptr)
+        clock_->noteRecoveredVersion(max_ts);
 }
 
 DbValue
@@ -127,12 +148,57 @@ RowStore::eqIndexEraseAllFor(TableRegion &region, std::size_t idx)
 }
 
 bool
+RowStore::detectDeadlock(Word self) const
+{
+    // Walk the waits-for edges out of self; returning to self is a
+    // cycle. Edges carry the begin sequence of the transaction they
+    // point at (same packing as dirty version markers), so an edge
+    // recorded against a holder that has since finished — its token
+    // reused by a successor transaction on the same WAL shard —
+    // reads as stale and breaks the walk: token reuse cannot stitch
+    // a resolved wait into a phantom cycle. Only the youngest member
+    // (largest begin seq) aborts, so exactly one victim breaks each
+    // cycle and no one aborts for a wait that merely looks long.
+    std::vector<Word> path;
+    Word cur = self;
+    for (unsigned hop = 0; hop < ctrlCount_ + 1; ++hop) {
+        Word edge =
+            ctrls_[cur - 1].waitingFor.load(std::memory_order_acquire);
+        if (edge == 0)
+            return false;
+        Word next = dirtyVersionToken(edge);
+        if (next == 0 || next > ctrlCount_)
+            return false;
+        if ((ctrls_[next - 1].seq.load(std::memory_order_acquire) &
+             kVersionSeqMask) != dirtyVersionSeq(edge))
+            return false; // stale edge: that transaction finished
+        if (next == self) {
+            Word self_seq =
+                ctrls_[self - 1].seq.load(std::memory_order_acquire);
+            for (Word t : path) {
+                if (ctrls_[t - 1].seq.load(std::memory_order_acquire) >
+                    self_seq)
+                    return false; // a younger member will yield
+            }
+            return true;
+        }
+        path.push_back(next);
+        cur = next;
+    }
+    return false;
+}
+
+bool
 RowStore::acquireRow(std::size_t table, TableRegion &region,
                      std::size_t idx, RowTxState &tx)
 {
     std::atomic<Word> &owner = region.rowOwner[idx];
     if (owner.load(std::memory_order_acquire) == tx.token)
         return false; // already write-locked by this transaction
+    TxnCtrl *self = (ctrls_ != nullptr && tx.token >= 1 &&
+                     tx.token <= ctrlCount_)
+                        ? &ctrls_[tx.token - 1]
+                        : nullptr;
     Word expect = 0;
     std::uint32_t spins = 0;
     while (!owner.compare_exchange_weak(expect, tx.token,
@@ -144,11 +210,44 @@ RowStore::acquireRow(std::size_t table, TableRegion &region,
             // The holder may have died of a simulated power failure;
             // die with it rather than spin on a lock nobody releases.
             CrashInjector *inj = device_->injector();
-            if (inj && inj->tripped())
+            if (inj && inj->tripped()) {
+                if (self != nullptr)
+                    self->waitingFor.store(0, std::memory_order_release);
                 throw SimulatedCrash();
+            }
+            if (self != nullptr) {
+                Word holder = owner.load(std::memory_order_acquire);
+                if (holder == 0 || holder > ctrlCount_) {
+                    self->waitingFor.store(0,
+                                           std::memory_order_release);
+                } else {
+                    Word hseq = ctrls_[holder - 1].seq.load(
+                        std::memory_order_acquire);
+                    self->waitingFor.store(
+                        makeDirtyVersion(holder, hseq),
+                        std::memory_order_release);
+                    // Detect only while the sampled holder still owns
+                    // the row: a release between the owner and seq
+                    // reads could stamp the successor transaction's
+                    // seq onto a row it never held, and that edge
+                    // must not feed a cycle.
+                    if (owner.load(std::memory_order_acquire) ==
+                            holder &&
+                        detectDeadlock(tx.token)) {
+                        self->waitingFor.store(
+                            0, std::memory_order_release);
+                        throw TxnAbortError(
+                            StatusCode::kDeadlock,
+                            "db: deadlock detected; this transaction "
+                            "was chosen as the victim");
+                    }
+                }
+            }
             std::this_thread::yield();
         }
     }
+    if (self != nullptr)
+        self->waitingFor.store(0, std::memory_order_release);
     tx.ownedRows.emplace_back(table, idx);
     return true;
 }
@@ -203,6 +302,182 @@ RowStore::lockRowForWrite(std::size_t table, TableRegion &region,
     }
 }
 
+void
+RowStore::checkWriteConflict(Addr addr, RowTxState &tx) const
+{
+    if (tx.snapshot == kNoSnapshot)
+        return;
+    // The row is owned by tx, so its version word is stable: a dirty
+    // marker can only be tx's own. First committer wins — a clean
+    // timestamp past our snapshot means someone else got there first.
+    Word v = loadWord(addr + kWordSize);
+    if (!versionIsDirty(v) && v > tx.snapshot)
+        throw TxnAbortError(
+            StatusCode::kConflict,
+            "db: snapshot write conflict: row version is newer than "
+            "this transaction's snapshot");
+}
+
+void
+RowStore::markRowWrite(const TableRegion &region, std::size_t idx,
+                       Addr addr, std::size_t row_bytes, RowTxState &tx)
+{
+    if (!tx.saveImages)
+        return;
+    Word v = loadWord(addr + kWordSize);
+    if (versionIsDirty(v))
+        return; // tx owns the row, so the marker is already its own
+    {
+        SpinGuard vg(region.versionMu);
+        auto &chain = region.versions[idx];
+        RowVersion rv;
+        rv.version = v;
+        rv.image.assign(
+            reinterpret_cast<const std::uint8_t *>(addr),
+            reinterpret_cast<const std::uint8_t *>(addr) + row_bytes);
+        chain.push_back(std::move(rv));
+    }
+    Word seq = ctrls_[tx.token - 1].seq.load(std::memory_order_relaxed);
+    storeWord(addr + kWordSize, makeDirtyVersion(tx.token, seq));
+}
+
+bool
+RowStore::resolveRowLocked(const TableRegion &region, std::size_t idx,
+                           Addr addr, const TableSchema &schema,
+                           Word snapshot, std::int64_t want_pk,
+                           bool filter_pk,
+                           std::vector<DbValue> *out) const
+{
+    Word v = loadWord(addr + kWordSize);
+    bool use_current = false;
+    if (!versionIsDirty(v)) {
+        use_current = v <= snapshot;
+    } else {
+        // In-flight marker: the row is current for this snapshot iff
+        // its writer already committed (at or before the snapshot)
+        // but has not stamped the row yet. The writer's control
+        // block answers; a stale marker (seq mismatch) means the
+        // writer finished long ago and cannot be resolved here, so
+        // fall through to the chain.
+        Word token = dirtyVersionToken(v);
+        if (ctrls_ != nullptr && token >= 1 && token <= ctrlCount_) {
+            const TxnCtrl &c = ctrls_[token - 1];
+            if (c.seq.load(std::memory_order_acquire) ==
+                dirtyVersionSeq(v)) {
+                Word ts = c.commitTs.load(std::memory_order_acquire);
+                use_current = ts != 0 && ts <= snapshot;
+            }
+        }
+    }
+    auto decode = [&](const std::uint8_t *bytes) {
+        DbValue pk_cell = decodeValueSlot(
+            bytes + kRowHeader + schema.pkColumn * kValueSlotBytes);
+        if (filter_pk &&
+            (pk_cell.type != DbType::kI64 || pk_cell.i != want_pk))
+            return false; // slot recycled to a different key
+        out->clear();
+        for (std::size_t c = 0; c < schema.columns.size(); ++c) {
+            out->push_back(decodeValueSlot(
+                bytes + kRowHeader + c * kValueSlotBytes));
+        }
+        return true;
+    };
+    if (use_current) {
+        if (loadWord(addr) != kRowLive)
+            return false; // deleted at or before the snapshot
+        return decode(reinterpret_cast<const std::uint8_t *>(addr));
+    }
+    // The current bytes postdate the snapshot (or belong to a
+    // running writer): reconstruct from the newest chain image
+    // committed at or before it.
+    SpinGuard vg(region.versionMu);
+    auto it = region.versions.find(idx);
+    if (it == region.versions.end())
+        return false; // the row was born after the snapshot
+    const auto &chain = it->second;
+    for (auto e = chain.rbegin(); e != chain.rend(); ++e) {
+        if (e->version > snapshot)
+            continue;
+        const std::uint8_t *img = e->image.data();
+        Word state;
+        std::memcpy(&state, img, sizeof(Word));
+        if (state != kRowLive)
+            return false; // dead at the snapshot
+        return decode(img);
+    }
+    return false;
+}
+
+void
+RowStore::pruneChain(const TableRegion &region, std::size_t idx,
+                     Word min_active) const
+{
+    SpinGuard vg(region.versionMu);
+    auto it = region.versions.find(idx);
+    if (it == region.versions.end())
+        return;
+    if (min_active == SnapshotClock::kNoActiveSnapshots) {
+        region.versions.erase(it);
+        return;
+    }
+    auto &chain = it->second;
+    // Keep the newest entry at or before min_active (the oldest
+    // snapshot may still resolve to it) and everything newer.
+    std::size_t first_kept = 0;
+    for (std::size_t i = chain.size(); i-- > 0;) {
+        if (chain[i].version <= min_active) {
+            first_kept = i;
+            break;
+        }
+    }
+    if (first_kept > 0)
+        chain.erase(chain.begin(),
+                    chain.begin() +
+                        static_cast<std::ptrdiff_t>(first_kept));
+}
+
+bool
+RowStore::graveyardHolds(const TableRegion &region,
+                         std::size_t idx) const
+{
+    for (const Gravestone &g : region.graveyard) {
+        if (g.idx == idx)
+            return true;
+    }
+    return false;
+}
+
+void
+RowStore::pruneGraveyardLocked(TableRegion &region, std::size_t t,
+                               Word min_active)
+{
+    if (region.graveyard.empty())
+        return;
+    std::size_t row_bytes = catalog_->tables()[t].rowBytes();
+    auto keep = region.graveyard.begin();
+    for (auto it = region.graveyard.begin();
+         it != region.graveyard.end(); ++it) {
+        Addr addr = rowAddr(region, it->idx, row_bytes);
+        if (loadWord(addr) == kRowLive)
+            continue; // re-inserted in place; the entry is obsolete
+        if (min_active < it->ts) {
+            *keep++ = *it;
+            continue; // some snapshot still predates this delete
+        }
+        // Reap: the mapping, eq entries, chain, and slot go.
+        auto pit = region.pkIndex.find(it->pk);
+        if (pit != region.pkIndex.end() && pit->second == it->idx)
+            region.pkIndex.erase(pit);
+        eqIndexEraseAllFor(region, it->idx);
+        {
+            SpinGuard vg(region.versionMu);
+            region.versions.erase(it->idx);
+        }
+        region.freeRows.push_back(it->idx);
+    }
+    region.graveyard.erase(keep, region.graveyard.end());
+}
+
 bool
 RowStore::insert(std::size_t table, const std::vector<DbValue> &row,
                  WalShard &wal, RowTxState &tx)
@@ -217,47 +492,75 @@ RowStore::insert(std::size_t table, const std::vector<DbValue> &row,
 
     std::size_t idx;
     std::size_t prev_idx = kNpos;
+    bool reused = false;
     for (;;) {
         bool claimed = false;
         {
             SpinGuard g(region.indexMu);
+            if (!region.graveyard.empty()) {
+                Word min_active =
+                    clock_ != nullptr
+                        ? clock_->minActive()
+                        : SnapshotClock::kNoActiveSnapshots;
+                pruneGraveyardLocked(region, table, min_active);
+            }
             prev_idx = kNpos;
+            reused = false;
             auto it = region.pkIndex.find(pk);
             if (it != region.pkIndex.end()) {
                 // The pk is taken — unless this very transaction
                 // deleted it (owner is ours and the header reads
                 // free), in which case the re-insert takes a fresh
                 // slot and the deferred index erase will see the
-                // moved mapping and skip.
+                // moved mapping and skip. A committed-dead slot kept
+                // for snapshots (gravestone) is re-inserted in
+                // place, so the slot's chain keeps the pk's history.
                 prev_idx = it->second;
+                Addr paddr = rowAddr(region, prev_idx, row_bytes);
                 bool mine_deleted =
                     region.rowOwner[prev_idx].load(
                         std::memory_order_acquire) == tx.token &&
-                    loadWord(rowAddr(region, prev_idx, row_bytes)) !=
-                        kRowLive;
-                if (!mine_deleted)
-                    return false;
+                    loadWord(paddr) != kRowLive;
+                if (!mine_deleted) {
+                    if (loadWord(paddr) != kRowLive &&
+                        graveyardHolds(region, prev_idx) &&
+                        tryAcquireRow(table, region, prev_idx, tx)) {
+                        idx = prev_idx;
+                        claimed = true;
+                        reused = true;
+                        eqIndexEraseAllFor(region, idx);
+                        if (icol != TableSchema::kNoIndex)
+                            region.eqIndex.emplace(row[icol].i, idx);
+                        if (idx >= region.highWater)
+                            region.highWater = idx + 1;
+                    } else {
+                        return false;
+                    }
+                }
             }
-            if (region.freeRows.empty())
-                fatal("db: table " + schema.name + " is full");
-            idx = region.freeRows.back();
-            region.freeRows.pop_back();
-            // Claim the owner before the mapping is visible, so no
-            // other transaction can write-lock the half-born row.
-            // The claim must not spin under indexMu: a racing
-            // lockRowForWrite can transiently own a just-free-listed
-            // slot (its stale claim is undone after a recheck that
-            // itself needs indexMu), so a failed claim puts the slot
-            // back and retries outside the lock.
-            if (tryAcquireRow(table, region, idx, tx)) {
-                claimed = true;
-                region.pkIndex[pk] = idx;
-                if (icol != TableSchema::kNoIndex)
-                    region.eqIndex.emplace(row[icol].i, idx);
-                if (idx >= region.highWater)
-                    region.highWater = idx + 1;
-            } else {
-                region.freeRows.push_back(idx);
+            if (!claimed && !reused) {
+                if (region.freeRows.empty())
+                    fatal("db: table " + schema.name + " is full");
+                idx = region.freeRows.back();
+                region.freeRows.pop_back();
+                // Claim the owner before the mapping is visible, so
+                // no other transaction can write-lock the half-born
+                // row. The claim must not spin under indexMu: a
+                // racing lockRowForWrite can transiently own a
+                // just-free-listed slot (its stale claim is undone
+                // after a recheck that itself needs indexMu), so a
+                // failed claim puts the slot back and retries
+                // outside the lock.
+                if (tryAcquireRow(table, region, idx, tx)) {
+                    claimed = true;
+                    region.pkIndex[pk] = idx;
+                    if (icol != TableSchema::kNoIndex)
+                        region.eqIndex.emplace(row[icol].i, idx);
+                    if (idx >= region.highWater)
+                        region.highWater = idx + 1;
+                } else {
+                    region.freeRows.push_back(idx);
+                }
             }
         }
         if (claimed)
@@ -271,15 +574,18 @@ RowStore::insert(std::size_t table, const std::vector<DbValue> &row,
     }
 
     Addr addr = rowAddr(region, idx, row_bytes);
+    if (reused)
+        checkWriteConflict(addr, tx);
     try {
-        // Log the (free) header word so rollback un-publishes the row.
-        wal.logRange(addr, kWordSize);
+        // Log the full header (state + version words) so rollback
+        // both un-publishes the row and restores its version.
+        wal.logRange(addr, kRowHeader);
     } catch (const WalFullError &) {
         // Nothing persistent changed; take back the reservation — or
         // restore the pk reservation of this transaction's own
-        // uncommitted delete, which must hold until rollback. The
-        // slot stays owned; finishRollback returns it to the free
-        // list after the owner drops.
+        // uncommitted delete (or of the gravestone), which must hold
+        // until rollback. The slot stays owned; finishRollback
+        // returns it to the free list after the owner drops.
         SpinGuard g(region.indexMu);
         if (prev_idx != kNpos)
             region.pkIndex[pk] = prev_idx;
@@ -291,6 +597,7 @@ RowStore::insert(std::size_t table, const std::vector<DbValue> &row,
     }
     {
         SpinGuard rl(rowLatch(region, idx));
+        markRowWrite(region, idx, addr, row_bytes, tx);
         for (std::size_t c = 0; c < schema.columns.size(); ++c) {
             encodeValueSlot(reinterpret_cast<std::uint8_t *>(
                                 addr + kRowHeader + c * kValueSlotBytes),
@@ -327,6 +634,7 @@ RowStore::update(std::size_t table, std::int64_t pk,
     // delete: the pk is reserved but the row is gone.
     if (loadWord(addr) != kRowLive)
         return false;
+    checkWriteConflict(addr, tx);
     // Owner is held: the bytes are stable, so the old image can be
     // logged (and fenced) without blocking readers.
     wal.logRange(addr, row_bytes);
@@ -337,6 +645,7 @@ RowStore::update(std::size_t table, std::int64_t pk,
     std::int64_t old_eq = 0;
     {
         SpinGuard rl(rowLatch(region, idx));
+        markRowWrite(region, idx, addr, row_bytes, tx);
         if (eq_dirty)
             old_eq = cellAt(region, idx, row_bytes, icol).i;
         for (std::size_t c = 0; c < schema.columns.size(); ++c) {
@@ -370,11 +679,14 @@ RowStore::erase(std::size_t table, std::int64_t pk, WalShard &wal,
     Addr addr = rowAddr(region, idx, row_bytes);
     if (loadWord(addr) != kRowLive)
         return false; // already deleted by this transaction
-    wal.logRange(addr, kWordSize);
+    checkWriteConflict(addr, tx);
+    // Log the full header so rollback restores the version word too.
+    wal.logRange(addr, kRowHeader);
     std::size_t icol = schema.indexColumn;
     std::int64_t eq_val = 0;
     {
         SpinGuard rl(rowLatch(region, idx));
+        markRowWrite(region, idx, addr, row_bytes, tx);
         if (icol != TableSchema::kNoIndex)
             eq_val = cellAt(region, idx, row_bytes, icol).i;
         storeWord(addr, kRowFree);
@@ -393,11 +705,25 @@ RowStore::erase(std::size_t table, std::int64_t pk, WalShard &wal,
 
 bool
 RowStore::fetch(std::size_t table, std::int64_t pk,
-                std::vector<DbValue> *out) const
+                std::vector<DbValue> *out, Word snapshot) const
 {
     const TableRegion &region = regions_[table];
     const TableSchema &schema = catalog_->tables()[table];
     std::size_t row_bytes = schema.rowBytes();
+    if (snapshot != kNoSnapshot) {
+        std::size_t idx;
+        {
+            SpinGuard g(region.indexMu);
+            auto it = region.pkIndex.find(pk);
+            if (it == region.pkIndex.end())
+                return false; // gravestones keep visible pks mapped
+            idx = it->second;
+        }
+        Addr addr = rowAddr(region, idx, row_bytes);
+        SpinGuard rl(rowLatch(region, idx));
+        return resolveRowLocked(region, idx, addr, schema, snapshot, pk,
+                                true, out);
+    }
     for (int attempt = 0; attempt < 3; ++attempt) {
         std::size_t idx;
         {
@@ -428,12 +754,37 @@ RowStore::fetch(std::size_t table, std::int64_t pk,
 void
 RowStore::scanEq(
     std::size_t table, std::size_t col, const DbValue &v,
-    const std::function<void(const std::vector<DbValue> &)> &fn) const
+    const std::function<void(const std::vector<DbValue> &)> &fn,
+    Word snapshot) const
 {
     const TableRegion &region = regions_[table];
     const TableSchema &schema = catalog_->tables()[table];
     std::size_t row_bytes = schema.rowBytes();
     std::vector<DbValue> row;
+
+    if (snapshot != kNoSnapshot) {
+        // Snapshot scans always walk the region: the eq index tracks
+        // current rows, not the snapshot's versions (a gravestoned
+        // or since-updated row may match at the snapshot and not
+        // now, or vice versa).
+        std::size_t hw;
+        {
+            SpinGuard g(region.indexMu);
+            hw = region.highWater;
+        }
+        for (std::size_t i = 0; i < hw; ++i) {
+            Addr addr = rowAddr(region, i, row_bytes);
+            bool vis;
+            {
+                SpinGuard rl(rowLatch(region, i));
+                vis = resolveRowLocked(region, i, addr, schema,
+                                       snapshot, 0, false, &row);
+            }
+            if (vis && row[col] == v)
+                fn(row);
+        }
+        return;
+    }
 
     // Copy one live matching row under its latch; emit outside.
     auto copy_if_match = [&](std::size_t i) {
@@ -485,7 +836,8 @@ RowStore::scanEq(
 void
 RowStore::scanAll(
     std::size_t table,
-    const std::function<void(const std::vector<DbValue> &)> &fn) const
+    const std::function<void(const std::vector<DbValue> &)> &fn,
+    Word snapshot) const
 {
     const TableRegion &region = regions_[table];
     const TableSchema &schema = catalog_->tables()[table];
@@ -501,7 +853,10 @@ RowStore::scanAll(
         bool live = false;
         {
             SpinGuard rl(rowLatch(region, i));
-            if (loadWord(addr) == kRowLive) {
+            if (snapshot != kNoSnapshot) {
+                live = resolveRowLocked(region, i, addr, schema,
+                                        snapshot, 0, false, &row);
+            } else if (loadWord(addr) == kRowLive) {
                 live = true;
                 row.clear();
                 for (std::size_t c = 0; c < schema.columns.size(); ++c) {
@@ -517,29 +872,74 @@ RowStore::scanAll(
 }
 
 std::size_t
-RowStore::rowCount(std::size_t table) const
+RowStore::rowCount(std::size_t table)
 {
-    const TableRegion &region = regions_[table];
+    TableRegion &region = regions_[table];
+    Word min_active = clock_ != nullptr
+                          ? clock_->minActive()
+                          : SnapshotClock::kNoActiveSnapshots;
     SpinGuard g(region.indexMu);
-    return region.pkIndex.size();
+    pruneGraveyardLocked(region, table, min_active);
+    // Gravestoned pks are committed-dead — mapped only for the sake
+    // of old snapshots.
+    return region.pkIndex.size() - region.graveyard.size();
 }
 
 void
-RowStore::finishCommit(RowTxState &tx)
+RowStore::finishCommit(RowTxState &tx, Word commit_ts)
 {
+    if (commit_ts != 0) {
+        // Stamp every row this transaction dirtied: the marker
+        // becomes a clean commit timestamp. Under the row latch so
+        // chain walks order against the stamp.
+        for (const auto &[t, idx] : tx.ownedRows) {
+            TableRegion &region = regions_[t];
+            std::size_t row_bytes = catalog_->tables()[t].rowBytes();
+            Addr addr = rowAddr(region, idx, row_bytes);
+            SpinGuard rl(rowLatch(region, idx));
+            Word v = loadWord(addr + kWordSize);
+            if (versionIsDirty(v) && dirtyVersionToken(v) == tx.token)
+                storeWord(addr + kWordSize, commit_ts);
+        }
+    }
+    Word min_active = clock_ != nullptr
+                          ? clock_->minActive()
+                          : SnapshotClock::kNoActiveSnapshots;
+    bool keep_dead = commit_ts != 0 && min_active < commit_ts;
+    std::vector<std::pair<std::size_t, std::size_t>> gravestoned;
     for (const auto &[t, pk, idx] : tx.deferredPkErase) {
         TableRegion &region = regions_[t];
         SpinGuard g(region.indexMu);
         auto it = region.pkIndex.find(pk);
         // Skip when this transaction re-inserted the pk elsewhere.
-        if (it != region.pkIndex.end() && it->second == idx)
+        if (it == region.pkIndex.end() || it->second != idx)
+            continue;
+        if (keep_dead) {
+            // Some active snapshot predates this delete: gravestone
+            // — the mapping, eq entries, chain, and slot stay until
+            // no snapshot needs them.
+            region.graveyard.push_back(Gravestone{pk, idx, commit_ts});
+            gravestoned.emplace_back(t, idx);
+        } else {
             region.pkIndex.erase(it);
+        }
     }
+    auto is_gravestoned = [&gravestoned](std::size_t t,
+                                         std::size_t idx) {
+        return std::find(gravestoned.begin(), gravestoned.end(),
+                         std::make_pair(t, idx)) != gravestoned.end();
+    };
     for (const auto &[t, key, idx] : tx.deferredEqErase) {
+        if (is_gravestoned(t, idx))
+            continue;
         TableRegion &region = regions_[t];
         SpinGuard g(region.indexMu);
         eqIndexErase(region, key, idx);
     }
+    // Chain upkeep for every written row, before owners drop (the
+    // chains are this transaction's pre-images plus older history).
+    for (const auto &[t, idx] : tx.ownedRows)
+        pruneChain(regions_[t], idx, min_active);
     // Owners release before the slots hit the free list: a slot
     // visible in freeRows is therefore always unowned, so insert's
     // in-lock owner claim cannot spin on a committing delete (which
@@ -549,6 +949,8 @@ RowStore::finishCommit(RowTxState &tx)
     for (const auto &[t, idx] : tx.ownedRows)
         regions_[t].rowOwner[idx].store(0, std::memory_order_release);
     for (const auto &[t, idx] : tx.deferredFree) {
+        if (is_gravestoned(t, idx))
+            continue;
         TableRegion &region = regions_[t];
         SpinGuard g(region.indexMu);
         region.freeRows.push_back(idx);
@@ -568,11 +970,21 @@ RowStore::finishRollback(RowTxState &tx)
     tx.deferredPkErase.clear();
     tx.deferredEqErase.clear();
     tx.deferredFree.clear();
+    // The rollback restored pre-images, so the chains' newest
+    // entries duplicate the current rows; prune what no snapshot
+    // needs.
+    Word min_active = clock_ != nullptr
+                          ? clock_->minActive()
+                          : SnapshotClock::kNoActiveSnapshots;
+    for (const auto &[t, idx] : tx.ownedRows)
+        pruneChain(regions_[t], idx, min_active);
     // Rows that end the rollback unpublished are this transaction's
     // own (rolled-back or wal-full) inserts; their slots return to
     // the free list. Liveness is read while the owner is still held
     // (bytes stable), owners drop, and only then do the slots become
-    // visible — freeRows never holds an owned slot.
+    // visible — freeRows never holds an owned slot. Gravestoned
+    // slots (a rolled-back in-place re-insert) stay allocated for
+    // their snapshots.
     std::vector<std::pair<std::size_t, std::size_t>> to_free;
     for (const auto &[t, idx] : tx.ownedRows) {
         const TableSchema &schema = catalog_->tables()[t];
@@ -586,10 +998,35 @@ RowStore::finishRollback(RowTxState &tx)
     for (const auto &[t, idx] : to_free) {
         TableRegion &region = regions_[t];
         SpinGuard g(region.indexMu);
+        if (graveyardHolds(region, idx))
+            continue;
         if (std::find(region.freeRows.begin(), region.freeRows.end(),
                       idx) == region.freeRows.end())
             region.freeRows.push_back(idx);
     }
+}
+
+void
+RowStore::restoreRange(Addr dst, const std::uint8_t *src,
+                       std::size_t len)
+{
+    const auto &tables = catalog_->tables();
+    for (std::size_t t = 0; t < regions_.size(); ++t) {
+        TableRegion &region = regions_[t];
+        if (region.base == 0)
+            continue;
+        std::size_t row_bytes = tables[t].rowBytes();
+        Addr end = region.base + region.capacity * row_bytes;
+        if (dst < region.base || dst >= end)
+            continue;
+        std::size_t idx = (dst - region.base) / row_bytes;
+        // Under the row latch: a snapshot reader never sees a
+        // half-restored row.
+        SpinGuard rl(rowLatch(region, idx));
+        std::memcpy(reinterpret_cast<void *>(dst), src, len);
+        return;
+    }
+    std::memcpy(reinterpret_cast<void *>(dst), src, len);
 }
 
 void
@@ -632,7 +1069,7 @@ RowStore::reconcileRange(Addr addr, std::size_t len)
                                      region.freeRows.end(), idx);
             if (free_it != region.freeRows.end())
                 region.freeRows.erase(free_it);
-        } else {
+        } else if (!graveyardHolds(region, idx)) {
             auto it = region.pkIndex.find(pk_val);
             if (it != region.pkIndex.end() && it->second == idx)
                 region.pkIndex.erase(it);
@@ -642,6 +1079,9 @@ RowStore::reconcileRange(Addr addr, std::size_t len)
             // deadlock against this very rollback's next
             // reconcileRange).
         }
+        // A gravestoned slot keeps its pk mapping: the rolled-back
+        // write was an in-place re-insert, and old snapshots still
+        // resolve the dead row's history through the mapping.
         return;
     }
 }

@@ -18,14 +18,26 @@
  *    writes): two in-flight transactions can never both hold undo
  *    images of one row, which is what makes undo-rollback of one
  *    transaction unable to clobber another's committed write.
- *    Transactions that touch multiple rows must order them
- *    consistently (latch discipline is the caller's contract).
- *  - Reads are read-uncommitted: they may see in-flight row images,
- *    but never torn ones.
+ *  - Writers that close a wait cycle are detected (waits-for walk
+ *    over the TxnCtrl blocks) and the youngest cycle member aborts
+ *    with StatusCode::kDeadlock instead of spinning forever.
  *  - erase() defers both the slot's return to the free list and the
  *    pk/eq index removals until commit, so a rolled-back delete
  *    never races a reuse of its slot or its primary key; the
  *    deleting transaction itself may still re-insert the pk.
+ *
+ * MVCC (PR 6): row header word 1 is the version word — the row's
+ * commit timestamp, or a dirty marker naming the in-flight writer.
+ * Once any snapshot has been taken (SnapshotClock::saveMode),
+ * writers push the pre-image of each row they touch onto a volatile
+ * per-slot version chain before dirtying it; snapshot readers
+ * resolve each row to the newest version committed at or before
+ * their snapshot, walking the chain when the current bytes are too
+ * new. Committed deletes whose timestamp is newer than the oldest
+ * active snapshot become gravestones: the slot, pk mapping, and
+ * chain stay put (readers still resolve the dead row's history)
+ * until no snapshot needs them, then a lazy sweep reaps them.
+ * Before the first snapshot ever, all of this is pass-through.
  */
 
 #ifndef ESPRESSO_DB_ROW_STORE_HH
@@ -42,6 +54,7 @@
 #include <vector>
 
 #include "db/catalog.hh"
+#include "db/txn.hh"
 #include "db/wal.hh"
 #include "util/spin.hh"
 
@@ -59,6 +72,10 @@ namespace db {
 struct RowTxState
 {
     Word token = 0;
+    /** Maintain version chains + dirty markers (clock save mode). */
+    bool saveImages = false;
+    /** Snapshot timestamp for SI write-conflict checks (0 = none). */
+    Word snapshot = kNoSnapshot;
     std::vector<std::pair<std::size_t, std::size_t>> ownedRows;
     std::vector<std::pair<std::size_t, std::size_t>> deferredFree;
     /** Index removals deferred to commit — (table, pk, idx): an
@@ -84,9 +101,16 @@ class RowStore
      * @param size region capacity in bytes.
      * @param catalog schema source.
      * @param rows_per_table fixed table capacity.
+     * @param ctrls in-flight transaction control blocks, indexed by
+     *        token - 1 (may be null: no MVCC, no deadlock checks).
+     * @param ctrl_count number of entries in @p ctrls.
+     * @param clock the commit clock / snapshot registry (may be
+     *        null alongside @p ctrls).
      */
     RowStore(NvmDevice *device, Addr base, std::size_t size,
-             Catalog *catalog, std::size_t rows_per_table);
+             Catalog *catalog, std::size_t rows_per_table,
+             TxnCtrl *ctrls = nullptr, unsigned ctrl_count = 0,
+             SnapshotClock *clock = nullptr);
 
     RowStore(const RowStore &) = delete;
     RowStore &operator=(const RowStore &) = delete;
@@ -98,35 +122,46 @@ class RowStore
     /**
      * Update columns selected by @p dirty_mask (bit per column; the
      * pk column is never rewritten); false when the pk is absent.
+     * @throws TxnAbortError(kConflict) when @p tx runs at snapshot
+     * isolation and the row committed after its snapshot.
      */
     bool update(std::size_t table, std::int64_t pk,
                 const std::vector<DbValue> &row, std::uint64_t dirty_mask,
                 WalShard &wal, RowTxState &tx);
 
-    /** Delete by pk; false when absent. */
+    /** Delete by pk; false when absent. Conflicts as update(). */
     bool erase(std::size_t table, std::int64_t pk, WalShard &wal,
                RowTxState &tx);
 
-    /** Point lookup by pk. */
+    /** Point lookup by pk. @p snapshot != kNoSnapshot resolves the
+     * row as of that snapshot (version chains included). */
     bool fetch(std::size_t table, std::int64_t pk,
-               std::vector<DbValue> *out) const;
+               std::vector<DbValue> *out,
+               Word snapshot = kNoSnapshot) const;
 
     /** Scan rows where column @p col equals @p v. */
     void scanEq(std::size_t table, std::size_t col, const DbValue &v,
                 const std::function<void(const std::vector<DbValue> &)>
-                    &fn) const;
+                    &fn,
+                Word snapshot = kNoSnapshot) const;
 
     /** Visit every live row. */
     void scanAll(std::size_t table,
                  const std::function<void(const std::vector<DbValue> &)>
-                     &fn) const;
+                     &fn,
+                 Word snapshot = kNoSnapshot) const;
 
-    /** Number of live rows. */
-    std::size_t rowCount(std::size_t table) const;
+    /** Number of live rows (reaps expired gravestones first). */
+    std::size_t rowCount(std::size_t table);
 
-    /** Apply deferred frees and release write locks (durable commit
-     * already happened). */
-    void finishCommit(RowTxState &tx);
+    /**
+     * Apply deferred frees and release write locks (durable commit
+     * already happened). @p commit_ts != 0 stamps every row this
+     * transaction wrote with its commit timestamp; deletes too new
+     * for the oldest active snapshot turn into gravestones instead
+     * of freeing their slot.
+     */
+    void finishCommit(RowTxState &tx, Word commit_ts = 0);
 
     /** Discard deferred frees/erases, release write locks (the undo
      * restore + reconcileRange already repaired the indexes), and
@@ -141,15 +176,41 @@ class RowStore
      */
     void reconcileRange(Addr addr, std::size_t len);
 
+    /**
+     * Undo-restore @p len bytes from a log image into the device,
+     * taking the row latch around the copy so snapshot readers never
+     * observe a half-restored row. Ranges outside every row region
+     * copy plain.
+     */
+    void restoreRange(Addr dst, const std::uint8_t *src,
+                      std::size_t len);
+
     /** Create regions for newly cataloged tables (DDL hook); never
      * touches existing tables' indexes. */
     void ensureRegions();
 
     /** ensureRegions plus a full rebuild of every volatile index
-     * from row state words (open/recovery hook; callers quiesced). */
+     * from row state words (open/recovery hook; callers quiesced).
+     * Scrubs dirty version markers left by dead transactions and
+     * ratchets the commit clock past every recovered timestamp. */
     void syncWithCatalog();
 
   private:
+    /** One saved pre-image on a slot's version chain. */
+    struct RowVersion
+    {
+        Word version; ///< the image's (clean) commit timestamp
+        std::vector<std::uint8_t> image; ///< full row bytes
+    };
+
+    /** A committed delete still visible to some snapshot. */
+    struct Gravestone
+    {
+        std::int64_t pk;
+        std::size_t idx;
+        Word ts; ///< the delete's commit timestamp
+    };
+
     struct TableRegion
     {
         static constexpr std::size_t kRowLatchStripes = 64;
@@ -161,13 +222,22 @@ class RowStore
         std::unordered_multimap<std::int64_t, std::size_t> eqIndex;
         std::vector<std::size_t> freeRows;
         std::size_t highWater = 0;
+        /** Committed deletes kept for active snapshots (indexMu). */
+        std::vector<Gravestone> graveyard;
 
-        /** Guards the five volatile members above. */
+        /** Guards the six volatile members above. */
         mutable SpinLock indexMu;
         /** Striped row-byte latches (torn-read protection). */
         mutable std::array<SpinLock, kRowLatchStripes> rowLatches;
         /** Per-row write-owner tokens (0 = unowned). */
         std::unique_ptr<std::atomic<Word>[]> rowOwner;
+
+        /** Guards versions (kept apart from indexMu: chain pushes
+         * happen under row latches, index ops must stay cheap). */
+        mutable SpinLock versionMu;
+        /** slot index -> pre-images, oldest first. */
+        mutable std::unordered_map<std::size_t, std::vector<RowVersion>>
+            versions;
     };
 
     void initRegion(TableRegion &region, std::size_t table);
@@ -190,7 +260,9 @@ class RowStore
     }
 
     /** Claim the row's owner word for @p tx (blocks on a conflicting
-     * writer); true when newly acquired by this call. */
+     * writer); true when newly acquired by this call.
+     * @throws TxnAbortError(kDeadlock) when the wait closes a cycle
+     * and @p tx is its youngest member. */
     bool acquireRow(std::size_t table, TableRegion &region,
                     std::size_t idx, RowTxState &tx);
 
@@ -206,12 +278,56 @@ class RowStore
     std::size_t lockRowForWrite(std::size_t table, TableRegion &region,
                                 std::int64_t pk, RowTxState &tx);
 
+    /** Waits-for cycle check for the spinning transaction holding
+     * token @p self (true = self is the youngest cycle member and
+     * should abort). */
+    bool detectDeadlock(Word self) const;
+
+    /** Abort @p tx when the (owned, clean) row at @p addr committed
+     * after tx.snapshot — snapshot isolation's first-committer-wins
+     * rule. Call before logging/dirtying the row. */
+    void checkWriteConflict(Addr addr, RowTxState &tx) const;
+
+    /** Under the row latch, before the first byte of @p tx's write
+     * lands: push the row's pre-image onto its version chain and
+     * replace the clean version word with @p tx's dirty marker.
+     * No-op when !tx.saveImages or the row is already ours-dirty. */
+    void markRowWrite(const TableRegion &region, std::size_t idx,
+                      Addr addr, std::size_t row_bytes,
+                      RowTxState &tx);
+
+    /** Under the row latch: resolve the row as of @p snapshot into
+     * @p out (current bytes or a chain image); false = not visible.
+     * @p want_pk pins the lookup to one pk (kNoPkFilter = any). */
+    bool resolveRowLocked(const TableRegion &region, std::size_t idx,
+                          Addr addr, const TableSchema &schema,
+                          Word snapshot, std::int64_t want_pk,
+                          bool filter_pk,
+                          std::vector<DbValue> *out) const;
+
+    /** Drop chain entries for @p idx no active snapshot can reach
+     * (all of them when no snapshot is active). */
+    void pruneChain(const TableRegion &region, std::size_t idx,
+                    Word min_active) const;
+
+    /** Under indexMu: reap gravestones whose delete every active
+     * snapshot postdates — erase the pk/eq entries, free the slot. */
+    void pruneGraveyardLocked(TableRegion &region, std::size_t t,
+                              Word min_active);
+
+    /** Under indexMu: is @p idx gravestoned? */
+    bool graveyardHolds(const TableRegion &region,
+                        std::size_t idx) const;
+
     NvmDevice *device_ = nullptr;
     Addr base_ = 0;
     std::size_t size_ = 0;
     Catalog *catalog_ = nullptr;
     std::size_t rowsPerTable_ = 0;
     std::size_t allocated_ = 0;
+    TxnCtrl *ctrls_ = nullptr;
+    unsigned ctrlCount_ = 0;
+    SnapshotClock *clock_ = nullptr;
     /** deque: growth never relocates (TableRegion is pinned by its
      * latches and concurrent readers). */
     std::deque<TableRegion> regions_;

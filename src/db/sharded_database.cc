@@ -1,8 +1,12 @@
 #include "db/sharded_database.hh"
 
+#include <bit>
+#include <thread>
 #include <unordered_map>
+#include <unordered_set>
 
 #include "db/wal.hh"
+#include "nvm/crash_injector.hh"
 #include "util/env.hh"
 #include "util/logging.hh"
 
@@ -27,10 +31,14 @@ ShardedDatabase::ShardedDatabase(const ShardedDatabaseConfig &cfg,
                           : envUnsigned("ESPRESSO_SHARD_VNODES",
                                         ShardRouter::kDefaultVnodes);
     router_ = ShardRouter(shards, vnodes);
+    coordDev_ = std::make_unique<NvmDevice>(
+        DecisionLog::bytesFor(kCoordSlots), nvm_cfg);
+    coordLog_ = DecisionLog(coordDev_.get(), 0, kCoordSlots);
+    coordLog_.format();
     shards_.reserve(shards);
     for (unsigned i = 0; i < shards; ++i)
         shards_.push_back(
-            std::make_unique<Database>(cfg.shard, nvm_cfg));
+            std::make_unique<Database>(cfg.shard, nvm_cfg, &clock_));
 }
 
 ShardedDatabase::~ShardedDatabase() = default;
@@ -55,7 +63,7 @@ ShardedDatabase::joinShard(TxState &st, unsigned idx)
 {
     if (!st.open || st.begun[idx])
         return;
-    shards_[idx]->begin();
+    shards_[idx]->beginWith(st.isolation, st.snapshot);
     st.begun[idx] = 1;
 }
 
@@ -63,24 +71,173 @@ void
 ShardedDatabase::abortBracket(TxState &st)
 {
     // Database::rollback also consumes a member the engine already
-    // rolled back on WAL-full (the aborted flag), so one loop covers
-    // both the explicit-rollback and the WAL-full-abort paths.
+    // rolled back (the aborted flag), so one loop covers both the
+    // explicit-rollback and the engine-abort paths.
     for (unsigned i = 0; i < shards_.size(); ++i) {
         if (st.begun[i])
             shards_[i]->rollback();
         st.begun[i] = 0;
     }
+    closeBracket(st);
+}
+
+void
+ShardedDatabase::closeBracket(TxState &st)
+{
+    if (st.snapshot != kNoSnapshot) {
+        clock_.endSnapshot(st.snapshot);
+        st.snapshot = kNoSnapshot;
+    }
     st.open = false;
 }
 
 void
-ShardedDatabase::begin()
+ShardedDatabase::noteMemberAbort(TxState &st, StatusCode code)
+{
+    // The throwing member already rolled its sub-transaction back
+    // (and flagged its context aborted — the rollback in
+    // abortBracket consumes that flag); a cross-shard bracket
+    // cannot outlive a half-aborted member.
+    if (st.open) {
+        abortBracket(st);
+        st.aborted = true;
+        st.abortCode = code;
+    }
+}
+
+unsigned
+ShardedDatabase::claimCoordSlot()
+{
+    CrashInjector *inj = coordDev_->injector();
+    for (;;) {
+        std::uint64_t bits =
+            coordSlotBitmap_.load(std::memory_order_relaxed);
+        if (~bits != 0) {
+            unsigned slot =
+                static_cast<unsigned>(std::countr_one(bits));
+            if (coordSlotBitmap_.compare_exchange_weak(
+                    bits, bits | (1ull << slot),
+                    std::memory_order_acq_rel,
+                    std::memory_order_relaxed))
+                return slot;
+            continue;
+        }
+        // All 64 decision slots in flight; a slot holder may have
+        // "lost power" mid-protocol, so honor the injector here too.
+        if (inj != nullptr && inj->tripped())
+            throw SimulatedCrash();
+        std::this_thread::yield();
+    }
+}
+
+void
+ShardedDatabase::releaseCoordSlot(unsigned slot)
+{
+    coordSlotBitmap_.fetch_and(~(1ull << slot),
+                               std::memory_order_release);
+}
+
+ShardedDatabase::TxState &
+ShardedDatabase::beginBracket(const TxnOptions &opts)
 {
     TxState &st = txState();
     if (st.open)
         fatal("sharded db: nested transactions are not supported");
     st.aborted = false;
+    st.abortCode = StatusCode::kOk;
+    st.isolation = opts.isolation;
+    st.snapshot = opts.isolation == Isolation::kSnapshot
+                      ? clock_.beginSnapshot()
+                      : kNoSnapshot;
+    st.seq = seqCounter_.fetch_add(1, std::memory_order_relaxed);
     st.open = true;
+    return st;
+}
+
+void
+ShardedDatabase::begin()
+{
+    (void)beginBracket(TxnOptions{});
+}
+
+Txn
+ShardedDatabase::beginTxn(const TxnOptions &opts)
+{
+    TxState &st = beginBracket(opts);
+    return Txn(nullptr, this, st.seq, st.snapshot);
+}
+
+Status
+ShardedDatabase::commitBracket(TxState &st)
+{
+    std::vector<unsigned> members;
+    for (unsigned i = 0; i < shards_.size(); ++i)
+        if (st.begun[i])
+            members.push_back(i);
+
+    if (members.size() <= 1) {
+        // Zero or one member: the member's own commit is already
+        // atomic and durable; no coordinator round trip.
+        for (unsigned i : members) {
+            shards_[i]->commit();
+            st.begun[i] = 0;
+        }
+        closeBracket(st);
+        return Status::ok();
+    }
+
+    // Cross-shard 2PC, ascending shard order throughout (so
+    // concurrent brackets over overlapping member sets never
+    // deadlock in the members' commit paths).
+    //
+    // Phase 1: every member stages its commit record and durably
+    // marks its undo segment prepared under one coordinator id.
+    Word txn_id;
+    {
+        SpinGuard g(coordMu_);
+        txn_id = coordLog_.reserveIdBlock(1);
+    }
+    std::vector<std::uint8_t> prepared(members.size(), 0);
+    bool any_prepared = false;
+    for (std::size_t k = 0; k < members.size(); ++k) {
+        prepared[k] =
+            shards_[members[k]]->prepareTx2pc(txn_id) ? 1 : 0;
+        any_prepared |= prepared[k] != 0;
+    }
+
+    // Phase 2: one fenced decision record — the commit point. A
+    // crash before it rolls every prepared member back (presumed
+    // abort); after it, recovery rolls them all forward. Brackets
+    // whose members all logged nothing have nothing to decide.
+    unsigned slot = kNoCoordSlot;
+    if (any_prepared) {
+        slot = claimCoordSlot();
+        coordLog_.publish(slot, DecisionLog::kKindTxnCommit, txn_id,
+                          0, nullptr, 0);
+    }
+
+    // Make the commit visible to snapshots atomically across all
+    // members: one timestamp, published into every member's control
+    // block inside a single clock critical section.
+    Word ts;
+    {
+        SpinGuard g(clock_.mu);
+        ts = ++clock_.clock;
+        for (unsigned i : members)
+            shards_[i]->publishCommitTsLocked(ts);
+    }
+
+    for (std::size_t k = 0; k < members.size(); ++k) {
+        shards_[members[k]]->finishPreparedTx(ts, prepared[k] != 0);
+        st.begun[members[k]] = 0;
+    }
+
+    if (slot != kNoCoordSlot) {
+        coordLog_.clear(slot);
+        releaseCoordSlot(slot);
+    }
+    closeBracket(st);
+    return Status::ok();
 }
 
 void
@@ -95,15 +252,7 @@ ShardedDatabase::commit()
         }
         fatal("sharded db: commit without begin");
     }
-    // Ascending shard order: deterministic, so concurrent brackets
-    // retiring overlapping member sets never deadlock in the
-    // members' commit paths.
-    for (unsigned i = 0; i < shards_.size(); ++i) {
-        if (st.begun[i])
-            shards_[i]->commit();
-        st.begun[i] = 0;
-    }
-    st.open = false;
+    (void)commitBracket(st);
 }
 
 void
@@ -124,6 +273,61 @@ bool
 ShardedDatabase::inTransaction() const
 {
     return txState().open;
+}
+
+Status
+ShardedDatabase::commitHandle(std::uint64_t seq)
+{
+    TxState &st = txState();
+    if (st.seq != seq)
+        return Status::make(StatusCode::kMisuse,
+                            "sharded db: commit on a foreign or "
+                            "stale transaction handle");
+    if (!st.open) {
+        if (st.aborted) {
+            // The engine already rolled this bracket back
+            // mid-statement; report why.
+            st.aborted = false;
+            StatusCode code = st.abortCode == StatusCode::kOk
+                                  ? StatusCode::kAborted
+                                  : st.abortCode;
+            return Status::make(code,
+                                "sharded db: transaction was rolled "
+                                "back by the engine");
+        }
+        return Status::make(StatusCode::kMisuse,
+                            "sharded db: transaction already "
+                            "finished");
+    }
+    return commitBracket(st);
+}
+
+Status
+ShardedDatabase::rollbackHandle(std::uint64_t seq)
+{
+    TxState &st = txState();
+    if (st.seq != seq)
+        return Status::make(StatusCode::kMisuse,
+                            "sharded db: rollback on a foreign or "
+                            "stale transaction handle");
+    if (!st.open) {
+        if (st.aborted) {
+            st.aborted = false;
+            return Status::ok(); // already rolled back, as requested
+        }
+        return Status::make(StatusCode::kMisuse,
+                            "sharded db: transaction already "
+                            "finished");
+    }
+    abortBracket(st);
+    return Status::ok();
+}
+
+bool
+ShardedDatabase::handleActive(std::uint64_t seq) const
+{
+    TxState &st = txState();
+    return st.open && st.seq == seq;
 }
 
 void
@@ -154,14 +358,10 @@ ShardedDatabase::persistRecord(const std::string &table,
     try {
         shards_[idx]->persistRecord(table, record);
     } catch (const WalFullError &) {
-        // The member already rolled its sub-transaction back (and
-        // flagged its context aborted — the rollback in
-        // abortBracket consumes that flag); a cross-shard bracket
-        // cannot outlive a half-aborted member.
-        if (st.open) {
-            abortBracket(st);
-            st.aborted = true;
-        }
+        noteMemberAbort(st, StatusCode::kWalFull);
+        throw;
+    } catch (const TxnAbortError &e) {
+        noteMemberAbort(st, e.code());
         throw;
     }
 }
@@ -170,6 +370,10 @@ bool
 ShardedDatabase::fetchRecord(const std::string &table, std::int64_t pk,
                              DbRecord *out)
 {
+    TxState &st = txState();
+    if (st.open && st.snapshot != kNoSnapshot)
+        return shardForPk(pk).fetchRecordAt(table, pk, out,
+                                            st.snapshot);
     return shardForPk(pk).fetchRecord(table, pk, out);
 }
 
@@ -182,10 +386,10 @@ ShardedDatabase::deleteRecord(const std::string &table, std::int64_t pk)
     try {
         return shards_[idx]->deleteRecord(table, pk);
     } catch (const WalFullError &) {
-        if (st.open) {
-            abortBracket(st);
-            st.aborted = true;
-        }
+        noteMemberAbort(st, StatusCode::kWalFull);
+        throw;
+    } catch (const TxnAbortError &e) {
+        noteMemberAbort(st, e.code());
         throw;
     }
 }
@@ -196,6 +400,12 @@ ShardedDatabase::scanEq(
     const DbValue &v,
     const std::function<void(const std::vector<DbValue> &)> &fn)
 {
+    TxState &st = txState();
+    if (st.open && st.snapshot != kNoSnapshot) {
+        for (auto &s : shards_)
+            s->scanEqAt(table, column, v, fn, st.snapshot);
+        return;
+    }
     for (auto &s : shards_)
         s->scanEq(table, column, v, fn);
 }
@@ -216,6 +426,8 @@ ShardedDatabase::crashShard(unsigned i, CrashMode mode,
     if (i >= shards_.size())
         fatal("sharded db: no such shard");
     generation_.fetch_add(1, std::memory_order_release);
+    // Quiesced-caller contract: no bracket is mid-2PC, so the member
+    // holds no prepared state and presumed abort is exact.
     shards_[i]->crash(mode, seed);
 }
 
@@ -223,8 +435,26 @@ void
 ShardedDatabase::crash(CrashMode mode, std::uint64_t seed)
 {
     generation_.fetch_add(1, std::memory_order_release);
+
+    // Coordinator first: the surviving decision records define which
+    // in-doubt (prepared) member transactions committed.
+    coordDev_->crash(mode, seed + 0x2b1);
+    std::vector<DecisionLog::Record> records = coordLog_.recover();
+    std::unordered_set<Word> committed;
+    for (const DecisionLog::Record &r : records)
+        if (r.kind == DecisionLog::kKindTxnCommit)
+            committed.insert(r.txnId);
+    WalShard::ResolveFn resolver = [&committed](Word txn_id) {
+        return committed.count(txn_id) != 0;
+    };
+
     for (std::size_t i = 0; i < shards_.size(); ++i)
-        shards_[i]->crash(mode, seed + i);
+        shards_[i]->crash(mode, seed + i, resolver);
+
+    // Every in-doubt transaction is resolved; retire the decisions.
+    for (const DecisionLog::Record &r : records)
+        coordLog_.clear(r.slot);
+    coordSlotBitmap_.store(0, std::memory_order_release);
 }
 
 } // namespace db

@@ -9,28 +9,44 @@
  * per shard, each on its own NvmDevice. DDL broadcasts; the direct
  * (DBPersistable) record path routes point operations by pk and fans
  * scans out across members in shard order. Because every member owns
- * its WAL, crash recovery is per-shard-local and independent — one
- * member's power failure never blocks or corrupts the others.
+ * its WAL, crash recovery is per-shard-local — one member's power
+ * failure never corrupts the others.
  *
- * Transactions are per-thread, like Database's. An explicit
- * begin()/commit() bracket may touch several shards: the bracket
- * lazily opens the calling thread's transaction on each shard it
- * first writes, and commit()/rollback() retires them in ascending
- * shard order. Atomicity is **per shard**: each member's sub-
- * transaction is atomic under crashes via its own WAL, but a crash
- * between two member commits can durably keep one shard's half of a
- * cross-shard transaction without the other (there is no cross-shard
- * 2PC — the classic partitioned-store contract; route co-committed
- * rows to one shard by pk design when that matters). A WAL-full on
+ * Transactions are per-thread, like Database's. An explicit bracket
+ * (beginTxn()/begin()) may touch several shards: it lazily opens the
+ * calling thread's transaction on each shard it first writes.
+ *
+ * Cross-shard atomicity (PR 6) is two-phase commit. A bracket that
+ * wrote N > 1 members commits by (1) preparing each member in
+ * ascending shard order — the member durably marks its staged undo
+ * segment "prepared" under a coordinator-issued transaction id —
+ * then (2) publishing the commit decision as one fenced record in
+ * the coordinator's DecisionLog (its own small NVM device), then
+ * (3) retiring every prepared member. The decision record is the
+ * commit point: crash() recovery reads the surviving decisions and
+ * rolls a member's prepared segment forward iff its transaction id
+ * has one, else back (presumed abort) — so a crash anywhere in the
+ * protocol leaves all members committed or all rolled back. Single-
+ * member brackets skip the coordinator entirely and keep the
+ * one-fence eager/group-commit path. Multi-member prepares fence
+ * eagerly, bypassing each member's group-commit batching (a 2PC
+ * commit is already a multi-fence protocol; batching the prepares
+ * would serialize unrelated brackets on each other's decisions).
+ *
+ * Isolation: members share one SnapshotClock, so a kSnapshot bracket
+ * takes a single fabric-wide timestamp and the 2PC decision flips
+ * visibility of all members' rows atomically (the commit timestamp
+ * is published into every member's control block inside one clock
+ * critical section). A WAL-full, deadlock, or snapshot conflict on
  * any member aborts the whole bracket: every touched shard rolls
- * back and the WalFullError propagates.
+ * back and the error propagates; a subsequent Txn::commit() reports
+ * it as a db::Status.
  *
  * Single-row auto-committed operations (the YCSB pattern) involve
  * exactly one shard and keep Database's full atomicity story.
  *
  * Caller contracts (same as Database): DDL and crash()/crashShard()
- * must not run concurrently with other statements; writers touching
- * multiple rows acquire them in a consistent order. The SQL ingress
+ * must not run concurrently with other statements. The SQL ingress
  * path is not routed (use a per-shard Database for SQL); the record
  * path is the sharded surface.
  */
@@ -44,6 +60,7 @@
 #include <vector>
 
 #include "db/database.hh"
+#include "nvm/decision_log.hh"
 #include "pjh/shard_router.hh"
 
 namespace espresso {
@@ -98,9 +115,12 @@ class ShardedDatabase
     }
     /// @}
 
-    /** @name Transactions (calling thread's; see the atomicity
-     * contract above) */
+    /** @name Transactions (calling thread's) */
     /// @{
+    /** Open an explicit cross-shard transaction on the calling
+     * thread and return its handle. */
+    Txn beginTxn(const TxnOptions &opts = {});
+
     void begin();
     void commit();
     void rollback();
@@ -135,30 +155,53 @@ class ShardedDatabase
      * auto-committed work*. Every thread's bracket state is
      * generation-invalidated, so callers must be quiesced with no
      * open begin()/commit() bracket anywhere (same contract as
-     * Database::crash): a bracket left open across the crash would
-     * keep its surviving members' sub-transactions — and their row
-     * write-owners — alive with no one to retire them.
+     * Database::crash); under that contract no member holds 2PC
+     * prepared state, so the member recovers presumed-abort.
      */
     void crashShard(unsigned i,
                     CrashMode mode = CrashMode::kDiscardUnflushed,
                     std::uint64_t seed = 1);
 
-    /** Power-fail every member. Callers must be quiesced with no
-     * open brackets. */
+    /** Power-fail every member *and the coordinator device*, then
+     * recover: surviving commit decisions roll their prepared
+     * members forward, everything else rolls back. Callers must be
+     * quiesced (brackets killed mid-2PC by a SimulatedCrash count
+     * as quiesced — their threads are dead). */
     void crash(CrashMode mode = CrashMode::kDiscardUnflushed,
                std::uint64_t seed = 1);
     /// @}
 
+    /** @name Introspection (tests, tools) */
+    /// @{
+    /** The 2PC coordinator's decision-log device (fault-injection
+     * point for crash sweeps). */
+    NvmDevice &coordinatorDevice() { return *coordDev_; }
+
+    SnapshotClock &snapshotClock() { return clock_; }
+    /// @}
+
   private:
+    friend class Txn;
+
+    static constexpr unsigned kCoordSlots = 64;
+    static constexpr unsigned kNoCoordSlot = ~0u;
+
     /** Per-thread cross-shard bracket state. */
     struct TxState
     {
         std::uint64_t gen = 0;
         bool open = false;
-        /** Set when a WAL-full killed the bracket; the next
+        /** Set when the engine killed the bracket mid-statement
+         * (WAL-full, deadlock victim, snapshot conflict); the next
          * commit()/rollback() consumes it instead of fataling
          * (mirrors Database's aborted-flag contract). */
         bool aborted = false;
+        StatusCode abortCode = StatusCode::kOk;
+        Isolation isolation = Isolation::kReadUncommitted;
+        /** Bracket-wide snapshot (kNoSnapshot outside kSnapshot). */
+        Word snapshot = kNoSnapshot;
+        /** Begin sequence tying a Txn handle to this bracket. */
+        std::uint64_t seq = 0;
         std::vector<std::uint8_t> begun; ///< per-shard: sub-txn open
     };
 
@@ -169,18 +212,60 @@ class ShardedDatabase
      * documented trade-off as Database::ctxs_). */
     TxState &txState() const;
 
+    TxState &beginBracket(const TxnOptions &opts);
+
+    /** Commit the bracket: direct member commit for ≤ 1 member,
+     * 2PC for more. */
+    Status commitBracket(TxState &st);
+
+    /** Roll back every begun member (abort / rollback path). */
+    void abortBracket(TxState &st);
+
+    /** Shared bracket epilogue: release the snapshot, mark closed. */
+    void closeBracket(TxState &st);
+
     /** Open the bracket's sub-transaction on @p idx if needed. */
     void joinShard(TxState &st, unsigned idx);
 
-    /** Roll back every begun member (WAL-full / rollback path). */
-    void abortBracket(TxState &st);
+    /** Kill the bracket after a member aborted mid-statement. */
+    void noteMemberAbort(TxState &st, StatusCode code);
+
+    /** @name Txn-handle plumbing (thread-affine) */
+    /// @{
+    Status commitHandle(std::uint64_t seq);
+    Status rollbackHandle(std::uint64_t seq);
+    bool handleActive(std::uint64_t seq) const;
+    /// @}
+
+    /** @name Coordinator decision-slot allocation */
+    /// @{
+    unsigned claimCoordSlot();
+    void releaseCoordSlot(unsigned slot);
+    /// @}
 
     /** pk column of @p table (members share one catalog shape). */
     std::int64_t pkOf(const std::string &table, const DbRecord &record);
 
     ShardedDatabaseConfig cfg_;
     ShardRouter router_;
+
+    /** One commit clock across all members: cross-shard commits get
+     * one timestamp, snapshots are fabric-wide. */
+    SnapshotClock clock_;
+
+    /** The coordinator's own durable home (decision records must
+     * survive crashes independently of any member). */
+    std::unique_ptr<NvmDevice> coordDev_;
+    DecisionLog coordLog_;
+    /** Serializes coordinator id reservation. */
+    SpinLock coordMu_;
+    /** Live decision slots (bit i = slot i claimed). */
+    std::atomic<std::uint64_t> coordSlotBitmap_{0};
+
     std::vector<std::unique_ptr<Database>> shards_;
+
+    /** Begin sequences for Txn handles (never 0). */
+    std::atomic<std::uint64_t> seqCounter_{1};
 
     /** Identity for the thread-local bracket cache. */
     std::uint64_t serial_;

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Unified transaction status codes for the database API surface.
+ *
+ * The engine historically mixed failure modes: WalFullError
+ * exceptions, fatal panics, bool returns and the per-thread
+ * TxOutcome side channel. The Txn handle API collapses all of them
+ * into one Status returned from Txn::commit(); WalFullError stays an
+ * exception only inside the WAL layer, and the handle layer converts
+ * it (and the new abort reasons) into codes.
+ */
+
+#ifndef ESPRESSO_DB_STATUS_HH
+#define ESPRESSO_DB_STATUS_HH
+
+#include <string>
+
+#include "util/logging.hh"
+
+namespace espresso {
+namespace db {
+
+/** Why a transaction (or statement) finished the way it did. */
+enum class StatusCode
+{
+    kOk = 0,
+
+    /** The transaction outgrew its undo segment and was rolled
+     * back. */
+    kWalFull,
+
+    /** The transaction was chosen as the deadlock victim and rolled
+     * back; retry it. */
+    kDeadlock,
+
+    /** First-committer-wins: a snapshot transaction tried to write a
+     * row committed after its snapshot was taken. Rolled back. */
+    kConflict,
+
+    /** API misuse (commit without begin, double rollback, use after
+     * abort). */
+    kMisuse,
+
+    /** A statement inside the transaction failed and the transaction
+     * was rolled back. */
+    kAborted,
+};
+
+/** Value-type result of Txn::commit() and friends. */
+class Status
+{
+  public:
+    Status() = default;
+
+    static Status
+    ok()
+    {
+        return Status();
+    }
+
+    static Status
+    make(StatusCode code, std::string msg)
+    {
+        Status s;
+        s.code_ = code;
+        s.message_ = std::move(msg);
+        return s;
+    }
+
+    bool isOk() const { return code_ == StatusCode::kOk; }
+    StatusCode code() const { return code_; }
+    const std::string &message() const { return message_; }
+
+    const char *
+    codeName() const
+    {
+        switch (code_) {
+        case StatusCode::kOk:
+            return "ok";
+        case StatusCode::kWalFull:
+            return "wal-full";
+        case StatusCode::kDeadlock:
+            return "deadlock";
+        case StatusCode::kConflict:
+            return "conflict";
+        case StatusCode::kMisuse:
+            return "misuse";
+        case StatusCode::kAborted:
+            return "aborted";
+        }
+        return "unknown";
+    }
+
+  private:
+    StatusCode code_ = StatusCode::kOk;
+    std::string message_;
+};
+
+/**
+ * Thrown by the row layer when a transaction must abort mid-flight
+ * (deadlock victim, snapshot write conflict). The engine catches it,
+ * rolls the transaction back, and surfaces it as a Status through
+ * Txn::commit() — it escapes to callers of the legacy implicit API
+ * so their catch(FatalError) paths keep working.
+ */
+class TxnAbortError : public FatalError
+{
+  public:
+    TxnAbortError(StatusCode code, const std::string &msg)
+        : FatalError(msg), code_(code)
+    {}
+
+    StatusCode code() const { return code_; }
+
+  private:
+    StatusCode code_;
+};
+
+} // namespace db
+} // namespace espresso
+
+#endif // ESPRESSO_DB_STATUS_HH

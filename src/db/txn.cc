@@ -1,0 +1,74 @@
+/**
+ * @file
+ * db::Txn handle plumbing (the engine lives in database.cc /
+ * sharded_database.cc; the handle just routes to the owner it was
+ * minted by).
+ */
+
+#include "db/txn.hh"
+
+#include "db/database.hh"
+#include "db/sharded_database.hh"
+
+namespace espresso {
+namespace db {
+
+Txn::~Txn()
+{
+    abandon();
+}
+
+bool
+Txn::active() const
+{
+    if (db_ != nullptr)
+        return db_->handleActive(seq_);
+    if (sdb_ != nullptr)
+        return sdb_->handleActive(seq_);
+    return false;
+}
+
+Status
+Txn::commit()
+{
+    Status s = Status::make(StatusCode::kMisuse,
+                            "db: commit on an empty transaction handle");
+    if (db_ != nullptr)
+        s = db_->commitHandle(seq_);
+    else if (sdb_ != nullptr)
+        s = sdb_->commitHandle(seq_);
+    db_ = nullptr;
+    sdb_ = nullptr;
+    return s;
+}
+
+Status
+Txn::rollback()
+{
+    Status s = Status::make(StatusCode::kMisuse,
+                            "db: rollback on an empty transaction "
+                            "handle");
+    if (db_ != nullptr)
+        s = db_->rollbackHandle(seq_);
+    else if (sdb_ != nullptr)
+        s = sdb_->rollbackHandle(seq_);
+    db_ = nullptr;
+    sdb_ = nullptr;
+    return s;
+}
+
+void
+Txn::abandon()
+{
+    // Consumes an engine-side abort too; a kMisuse result (handle
+    // already finished elsewhere) is fine to drop.
+    if (db_ != nullptr)
+        (void)db_->rollbackHandle(seq_);
+    else if (sdb_ != nullptr)
+        (void)sdb_->rollbackHandle(seq_);
+    db_ = nullptr;
+    sdb_ = nullptr;
+}
+
+} // namespace db
+} // namespace espresso

@@ -44,6 +44,7 @@ WalShard::begin()
     h->used = 0;
     h->epoch += 1;
     h->active = 1;
+    h->prepared = 0;
     device_->flush(base_, sizeof(Header));
     // No fence: the first logRange's fence publishes the header
     // together with the first entry; an empty transaction has
@@ -122,8 +123,41 @@ WalShard::stageRetire()
 {
     Header *h = header();
     h->active = 0;
+    h->prepared = 0;
     h->committed += 1;
     device_->flush(base_, sizeof(Header));
+    logged_.clear();
+}
+
+void
+WalShard::prepare(Word txn_id)
+{
+    if (!active())
+        panic(strCat("db wal: shard ", id_,
+                     ": prepare outside a transaction"));
+    if (txn_id == 0)
+        panic(strCat("db wal: shard ", id_, ": prepare with id 0"));
+    // Stage the new row images and the prepared mark, then one fence:
+    // after it, this member can be rolled forward by header state
+    // alone (nothing further needs to be copied in).
+    stageCommit();
+    Header *h = header();
+    h->prepared = txn_id;
+    device_->flush(base_, sizeof(Header));
+    device_->fence();
+}
+
+void
+WalShard::finishPrepared()
+{
+    Header *h = header();
+    if (!active() || h->prepared == 0)
+        panic(strCat("db wal: shard ", id_,
+                     ": finishPrepared without a prepared txn"));
+    h->active = 0;
+    h->prepared = 0;
+    h->committed += 1;
+    device_->persist(base_, sizeof(Header));
     logged_.clear();
 }
 
@@ -141,12 +175,17 @@ WalShard::commitEager()
 
 void
 WalShard::rollback(const std::vector<Entry *> &entries,
-                   const UndoFn &on_undone)
+                   const UndoFn &on_undone, const RestoreFn &restore)
 {
     for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
         Addr dst = device_->toAddr((*it)->deviceOffset);
-        std::memcpy(reinterpret_cast<void *>(dst), *it + 1,
-                    (*it)->length);
+        const auto *src = reinterpret_cast<const std::uint8_t *>(
+            *it + 1);
+        if (restore)
+            restore(dst, src, (*it)->length);
+        else
+            std::memcpy(reinterpret_cast<void *>(dst), src,
+                        (*it)->length);
         device_->flush(dst, (*it)->length);
     }
     device_->fence();
@@ -158,12 +197,13 @@ WalShard::rollback(const std::vector<Entry *> &entries,
 }
 
 void
-WalShard::rollbackAndRetire(const UndoFn &on_undone)
+WalShard::rollbackAndRetire(const UndoFn &on_undone,
+                            const RestoreFn &restore)
 {
     if (!active())
         panic(strCat("db wal: shard ", id_,
                      ": rollback outside a transaction"));
-    rollback(walkValidEntries(), on_undone);
+    rollback(walkValidEntries(), on_undone, restore);
     retire();
 }
 
@@ -172,6 +212,7 @@ WalShard::retire()
 {
     Header *h = header();
     h->active = 0;
+    h->prepared = 0;
     device_->persist(base_, sizeof(Header));
     logged_.clear();
 }
@@ -234,13 +275,20 @@ WalShard::walkValidEntries() const
 }
 
 void
-WalShard::recover()
+WalShard::recover(const ResolveFn &is_committed)
 {
     busy_.store(0, std::memory_order_release);
     logged_.clear();
     Header *h = header();
-    if (h->active == 0)
+    if (h->active == 0) {
+        if (h->prepared != 0) {
+            // Unreachable by protocol (retire clears both words in
+            // one line write), but scrub defensively.
+            h->prepared = 0;
+            device_->persist(base_, sizeof(Header));
+        }
         return;
+    }
     if (!headerSane()) {
         warn(strCat("db wal: shard ", id_,
                     ": corrupt undo segment header (active=",
@@ -249,9 +297,22 @@ WalShard::recover()
         h->active = 0;
         h->count = 0;
         h->used = 0;
+        h->prepared = 0;
         device_->persist(base_, sizeof(Header));
         return;
     }
+    if (h->prepared != 0 && is_committed && is_committed(h->prepared)) {
+        // Roll forward: the decision record is durable, and it was
+        // only written after every member's prepare fence — so this
+        // member's new images are already durable. Retire as a
+        // committed transaction.
+        h->active = 0;
+        h->prepared = 0;
+        h->committed += 1;
+        device_->persist(base_, sizeof(Header));
+        return;
+    }
+    // No durable decision: presumed abort.
     std::vector<Entry *> entries = walkValidEntries();
     if (entries.size() != h->count) {
         warn(strCat("db wal: shard ", id_, ": torn tail — rolling back ",
@@ -302,10 +363,10 @@ Wal::Wal(NvmDevice *device, Addr base, std::size_t size, unsigned shards)
 }
 
 void
-Wal::recover()
+Wal::recover(const WalShard::ResolveFn &is_committed)
 {
     for (WalShard &shard : shards_)
-        shard.recover();
+        shard.recover(is_committed);
 }
 
 } // namespace db

@@ -95,14 +95,48 @@ class WalShard
     /** Per-range notification after an undo restore (index repair). */
     using UndoFn = std::function<void(Addr, std::size_t)>;
 
+    /**
+     * Replacement for the raw undo memcpy: restore @p len bytes from
+     * the log image to the device address. Lets the row layer take
+     * the row latch around the copy so concurrent snapshot readers
+     * never observe a half-restored row.
+     */
+    using RestoreFn =
+        std::function<void(Addr, const std::uint8_t *, std::size_t)>;
+
     /** Roll the open transaction back and retire the segment.
      * @p on_undone runs after all images are restored and fenced. */
-    void rollbackAndRetire(const UndoFn &on_undone = {});
+    void rollbackAndRetire(const UndoFn &on_undone = {},
+                           const RestoreFn &restore = {});
     /// @}
 
-    /** Open-time recovery: validate the header, roll back a torn or
-     * in-flight transaction, tolerate a torn tail entry. */
-    void recover();
+    /** @name Two-phase commit member protocol
+     *
+     * prepare() makes the new row images durable and durably marks
+     * the segment as prepared under @p txn_id, all behind one fence —
+     * the member's yes-vote. The coordinator then writes its durable
+     * decision record; only after that may finishPrepared() retire
+     * the segment as committed. A crash in between leaves
+     * active=1/prepared=txn_id, and recover() asks the resolver
+     * whether the decision record exists: yes rolls the member
+     * forward (the images are already durable — retire as
+     * committed), no is presumed abort (undo rollback).
+     */
+    /// @{
+    void prepare(Word txn_id);
+    void finishPrepared();
+    Word preparedTxn() const { return header()->prepared; }
+
+    /** Coordinator lookup: was this transaction's commit decision
+     * durable? */
+    using ResolveFn = std::function<bool(Word)>;
+    /// @}
+
+    /** Open-time recovery: validate the header, resolve a prepared
+     * transaction through @p is_committed (absent resolver or absent
+     * decision => presumed abort), roll back a torn or in-flight
+     * transaction, tolerate a torn tail entry. */
+    void recover(const ResolveFn &is_committed = {});
 
     /** @name Volatile shard-exclusivity token */
     /// @{
@@ -130,6 +164,7 @@ class WalShard
         Word used;
         Word committed; ///< durable commit record: txns retired
         Word epoch;     ///< bumped at begin(), stamped into entries
+        Word prepared;  ///< 2PC: txn id of the prepared transaction
     };
 
     struct Entry
@@ -151,7 +186,8 @@ class WalShard
     std::vector<Entry *> walkValidEntries() const;
 
     void rollback(const std::vector<Entry *> &entries,
-                  const UndoFn &on_undone);
+                  const UndoFn &on_undone,
+                  const RestoreFn &restore = {});
 
     /** Clear the bracket after a rollback/recovery (not a commit). */
     void retire();
@@ -191,8 +227,9 @@ class Wal
     WalShard &shard(unsigned i) { return shards_[i]; }
     const WalShard &shard(unsigned i) const { return shards_[i]; }
 
-    /** Open-time recovery: every segment, every in-flight txn. */
-    void recover();
+    /** Open-time recovery: every segment, every in-flight txn.
+     * Prepared transactions resolve through @p is_committed. */
+    void recover(const WalShard::ResolveFn &is_committed = {});
 
   private:
     std::deque<WalShard> shards_;

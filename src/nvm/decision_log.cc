@@ -1,0 +1,176 @@
+#include "nvm/decision_log.hh"
+
+#include <cstring>
+
+#include "nvm/nvm_device.hh"
+#include "util/logging.hh"
+
+namespace espresso {
+
+namespace {
+
+/** Ids handed out per durable reservation. */
+constexpr Word kIdBlock = Word(1) << 16;
+
+Word
+fnv1a(Word seed, const void *data, std::size_t n)
+{
+    Word h = seed;
+    const auto *p = static_cast<const std::uint8_t *>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+        h ^= p[i];
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+constexpr Word kFnvBasis = 1469598103934665603ull;
+
+} // namespace
+
+DecisionLog::DecisionLog(NvmDevice *dev, std::size_t offset,
+                         unsigned slots)
+    : dev_(dev), off_(offset), slots_(slots)
+{
+    if (offset % kCacheLineSize != 0)
+        fatal("decision log: region offset not line-aligned");
+    if (offset + bytesFor(slots) > dev->size())
+        fatal("decision log: region exceeds device");
+}
+
+DecisionLog::HeaderData *
+DecisionLog::headerAt() const
+{
+    return reinterpret_cast<HeaderData *>(dev_->toAddr(off_));
+}
+
+DecisionLog::SlotData *
+DecisionLog::slotAt(unsigned slot) const
+{
+    return reinterpret_cast<SlotData *>(
+        dev_->toAddr(off_ + kCacheLineSize + slot * kSlotBytes));
+}
+
+Word
+DecisionLog::headerChecksum(const HeaderData *h)
+{
+    Word c = fnv1a(kFnvBasis, &h->magic, sizeof(Word));
+    return fnv1a(c, &h->idReserve, sizeof(Word));
+}
+
+Word
+DecisionLog::slotChecksum(const SlotData *s)
+{
+    Word c = fnv1a(kFnvBasis, &s->kind, 4 * sizeof(Word));
+    return fnv1a(c, s + 1, s->payloadLen);
+}
+
+void
+DecisionLog::format()
+{
+    HeaderData *h = headerAt();
+    h->magic = kMagic;
+    h->idReserve = kIdBlock;
+    h->check = headerChecksum(h);
+    for (unsigned i = 0; i < slots_; ++i) {
+        SlotData *s = slotAt(i);
+        std::memset(s, 0, kSlotBytes);
+        dev_->flush(reinterpret_cast<Addr>(s), kSlotBytes);
+    }
+    dev_->flush(reinterpret_cast<Addr>(h), sizeof(HeaderData));
+    dev_->fence();
+    nextId_ = 1;
+    idLimit_ = kIdBlock;
+}
+
+std::vector<DecisionLog::Record>
+DecisionLog::recover()
+{
+    HeaderData *h = headerAt();
+    if (h->magic != kMagic || h->check != headerChecksum(h)) {
+        format();
+        return {};
+    }
+    std::vector<Record> live;
+    for (unsigned i = 0; i < slots_; ++i) {
+        SlotData *s = slotAt(i);
+        if (s->state != 1)
+            continue;
+        if (s->payloadLen > kMaxPayload ||
+            s->check != slotChecksum(s)) {
+            // Torn record: the decision never became durable, so by
+            // the presumed-abort contract it does not exist. Scrub
+            // it so a later line eviction cannot resurrect it.
+            std::memset(s, 0, kSlotBytes);
+            dev_->flush(reinterpret_cast<Addr>(s), kSlotBytes);
+            continue;
+        }
+        Record r;
+        r.slot = i;
+        r.kind = s->kind;
+        r.txnId = s->txnId;
+        r.argA = s->argA;
+        r.payload.assign(reinterpret_cast<const char *>(s + 1),
+                         s->payloadLen);
+        live.push_back(std::move(r));
+    }
+    // Advance the id space past anything the previous incarnation
+    // could have used, durably, before handing out a single id.
+    nextId_ = h->idReserve;
+    idLimit_ = h->idReserve + kIdBlock;
+    h->idReserve = idLimit_;
+    h->check = headerChecksum(h);
+    dev_->persist(reinterpret_cast<Addr>(h), sizeof(HeaderData));
+    return live;
+}
+
+Word
+DecisionLog::reserveIdBlock(Word count)
+{
+    if (count == 0)
+        count = 1;
+    if (nextId_ == 0 || nextId_ + count > idLimit_) {
+        HeaderData *h = headerAt();
+        nextId_ = h->idReserve;
+        Word block = count > kIdBlock ? count : kIdBlock;
+        idLimit_ = h->idReserve + block;
+        h->idReserve = idLimit_;
+        h->check = headerChecksum(h);
+        dev_->persist(reinterpret_cast<Addr>(h), sizeof(HeaderData));
+    }
+    Word first = nextId_;
+    nextId_ += count;
+    return first;
+}
+
+void
+DecisionLog::publish(unsigned slot, Word kind, Word txn_id, Word arg_a,
+                     const void *payload, std::size_t payload_len)
+{
+    if (slot >= slots_)
+        fatal("decision log: slot out of range");
+    if (payload_len > kMaxPayload)
+        fatal("decision log: payload too large");
+    SlotData *s = slotAt(slot);
+    s->kind = kind;
+    s->txnId = txn_id;
+    s->argA = arg_a;
+    s->payloadLen = payload_len;
+    if (payload_len != 0)
+        std::memcpy(s + 1, payload, payload_len);
+    s->check = slotChecksum(s);
+    s->state = 1;
+    dev_->flush(reinterpret_cast<Addr>(s), kSlotBytes);
+    dev_->fence();
+}
+
+void
+DecisionLog::clear(unsigned slot)
+{
+    SlotData *s = slotAt(slot);
+    s->state = 0;
+    dev_->flush(reinterpret_cast<Addr>(s), sizeof(Word));
+    // No fence: see the file comment — replay is idempotent.
+}
+
+} // namespace espresso

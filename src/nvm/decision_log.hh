@@ -1,0 +1,145 @@
+/**
+ * @file
+ * A small durable intent/decision log over a region of an NvmDevice.
+ *
+ * Two-phase protocols need one durable word that marks the point of
+ * no return: the 2PC coordinator's commit decision, and the fabric's
+ * root-republication intent. Both are "write a record, fence, do the
+ * multi-home work, clear the record" — so they share this log.
+ *
+ * Layout: a one-cache-line header {magic, idReserve, checksum}
+ * followed by fixed-size 256-byte slots. A slot spans several cache
+ * lines and under random-eviction crashes each unfenced line survives
+ * independently, so every record carries a checksum over all fields
+ * and payload: a torn record validates as dead, which is exactly the
+ * presumed-abort contract (no durable decision => abort).
+ *
+ * publish() is flush + fence: the record is the commit point.
+ * clear() is flush without fence: replay of a cleared-but-resurfaced
+ * record must be idempotent, and both users are (a commit record for
+ * an already-retired transaction resolves against zero prepared
+ * members; a root intent replays to the state it already produced).
+ */
+
+#ifndef ESPRESSO_NVM_DECISION_LOG_HH
+#define ESPRESSO_NVM_DECISION_LOG_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/common.hh"
+
+namespace espresso {
+
+class NvmDevice;
+
+class DecisionLog
+{
+  public:
+    /** @name Record kinds */
+    /// @{
+    static constexpr Word kKindTxnCommit = 1;  ///< 2PC commit decision
+    static constexpr Word kKindRootIntent = 2; ///< root republication
+    /// @}
+
+    static constexpr std::size_t kSlotBytes = 256;
+
+    /** Fixed slot fields: state, kind, txnId, argA, payloadLen,
+     * checksum. */
+    static constexpr std::size_t kMaxPayload =
+        kSlotBytes - 6 * kWordSize;
+
+    /** A live record surfaced by recover(). */
+    struct Record
+    {
+        unsigned slot;
+        Word kind;
+        Word txnId;
+        Word argA;
+        std::string payload;
+    };
+
+    DecisionLog() = default;
+
+    /** View over [offset, offset + bytesFor(slots)) of @p dev. Call
+     * format() or recover() before use. */
+    DecisionLog(NvmDevice *dev, std::size_t offset, unsigned slots);
+
+    /** Region bytes needed for @p slots slots. */
+    static constexpr std::size_t
+    bytesFor(unsigned slots)
+    {
+        return kCacheLineSize + std::size_t(slots) * kSlotBytes;
+    }
+
+    bool valid() const { return dev_ != nullptr; }
+    unsigned slotCount() const { return slots_; }
+
+    static bool
+    payloadFits(std::size_t len)
+    {
+        return len <= kMaxPayload;
+    }
+
+    /** Format the region: all slots dead, id space reset. One
+     * fence. */
+    void format();
+
+    /** Open-time recovery: format if the header is invalid (never
+     * initialised or torn), then return every checksum-valid live
+     * record. Also advances the durable id reservation. */
+    std::vector<Record> recover();
+
+    /** Durably reserve @p count transaction ids; returns the first.
+     * Ids are unique across crashes (the reservation itself is
+     * fenced before any id is handed out). Never returns 0. */
+    Word reserveIdBlock(Word count);
+
+    /** Durably publish a record into @p slot (flush + fence). This
+     * is the commit point of whatever protocol uses it. */
+    void publish(unsigned slot, Word kind, Word txn_id, Word arg_a,
+                 const void *payload, std::size_t payload_len);
+
+    /** Mark @p slot dead (flush, deliberately no fence — see file
+     * comment on idempotent replay). */
+    void clear(unsigned slot);
+
+  private:
+    struct HeaderData
+    {
+        Word magic;
+        Word idReserve;
+        Word check;
+    };
+
+    struct SlotData
+    {
+        Word state; ///< 1 = live, 0 = dead
+        Word kind;
+        Word txnId;
+        Word argA;
+        Word payloadLen;
+        Word check;
+        // payload bytes follow, up to kMaxPayload
+    };
+
+    static constexpr Word kMagic = 0x4553505244454349ull; // "ESPRDECI"
+
+    HeaderData *headerAt() const;
+    SlotData *slotAt(unsigned slot) const;
+    static Word headerChecksum(const HeaderData *h);
+    static Word slotChecksum(const SlotData *s);
+
+    NvmDevice *dev_ = nullptr;
+    std::size_t off_ = 0;
+    unsigned slots_ = 0;
+
+    /** Volatile cursor into the durably reserved id block. */
+    Word nextId_ = 0;
+    Word idLimit_ = 0;
+};
+
+} // namespace espresso
+
+#endif // ESPRESSO_NVM_DECISION_LOG_HH

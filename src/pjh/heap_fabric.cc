@@ -91,7 +91,7 @@ HeapFabric::create(const FabricConfig &cfg)
               "capacity");
 
     manifestDev_ = std::make_unique<NvmDevice>(
-        alignUp(RingManifest::persistedBytes(), kCacheLineSize),
+        rootIntentsOff() + DecisionLog::bytesFor(kRootStripes),
         nvmCfg_);
     if (manifestInjector_)
         manifestDev_->setInjector(manifestInjector_);
@@ -104,6 +104,13 @@ HeapFabric::create(const FabricConfig &cfg)
         manifest_.markFormatted(k);
     }
     manifest_.commit(shards);
+    // The intent region formats after the membership commit: a crash
+    // anywhere before this point leaves an invalid intent header,
+    // which replayRootIntents()'s recover() reads as an empty log
+    // and re-formats.
+    rootIntents_ =
+        DecisionLog(manifestDev_.get(), rootIntentsOff(), kRootStripes);
+    rootIntents_.format();
     router_ = ShardRouter(shards, vnodes);
 }
 
@@ -151,6 +158,49 @@ HeapFabric::recover(SafetyLevel safety)
         manifest_.commit(target);
     router_ = ShardRouter(target,
                           static_cast<unsigned>(d.vnodes));
+    replayRootIntents();
+}
+
+std::size_t
+HeapFabric::rootIntentsOff()
+{
+    return alignUp(RingManifest::persistedBytes(), kCacheLineSize);
+}
+
+void
+HeapFabric::replayRootIntents()
+{
+    rootIntents_ =
+        DecisionLog(manifestDev_.get(), rootIntentsOff(), kRootStripes);
+    for (const DecisionLog::Record &r : rootIntents_.recover()) {
+        if (r.kind != DecisionLog::kKindRootIntent) {
+            rootIntents_.clear(r.slot);
+            continue;
+        }
+        const std::string &name = r.payload;
+        bool null_publish = r.txnId != 0;
+        PjhHeap *target =
+            r.argA < heaps_.size() ? heaps_[r.argA].get() : nullptr;
+        if (null_publish) {
+            // Unpublish replay is idempotent: null the binding
+            // everywhere, whether or not the original got that far.
+            for (const auto &h : heaps_)
+                if (h && !h->getRoot(name).isNull())
+                    h->setRoot(name, Oop());
+        } else if (target && !target->getRoot(name).isNull()) {
+            // The new home's binding durably landed: complete the
+            // stale-entry sweep (roll forward).
+            for (const auto &h : heaps_) {
+                if (!h || h.get() == target)
+                    continue;
+                if (!h->getRoot(name).isNull())
+                    h->setRoot(name, Oop());
+            }
+        }
+        // else: the publication never landed; the old fully-swept
+        // binding is still current (roll back = do nothing).
+        rootIntents_.clear(r.slot);
+    }
 }
 
 void
@@ -245,21 +295,41 @@ HeapFabric::setRoot(const std::string &name, Oop obj)
         home ? home : shard(router_.shardForName(name));
     // One name, one writer at a time: without this, two racing
     // republications could each null the other's fresh binding.
-    SpinGuard g(rootLocks_[ShardRouter::hashName(name) % kRootStripes]);
+    std::size_t stripe = ShardRouter::hashName(name) % kRootStripes;
+    SpinGuard g(rootLocks_[stripe]);
+    // Durable republication intent (slot = stripe: the stripe lock
+    // makes the slot exclusively ours). A crash anywhere between
+    // here and the clear below is rolled forward or back by
+    // replayRootIntents(), so the fabric recovers to exactly one
+    // complete publication. Single-shard fabrics have no sweep to
+    // tear, and over-long names fall back to the legacy contract.
+    bool intent = shardCount() > 1 && rootIntents_.valid() &&
+                  DecisionLog::payloadFits(name.size());
+    if (intent) {
+        unsigned target_idx = ~0u;
+        for (unsigned i = 0; i < heaps_.size(); ++i)
+            if (heaps_[i].get() == target)
+                target_idx = i;
+        rootIntents_.publish(static_cast<unsigned>(stripe),
+                             DecisionLog::kKindRootIntent,
+                             /*txn_id=*/obj.isNull() ? 1 : 0,
+                             /*arg_a=*/target_idx, name.data(),
+                             name.size());
+    }
     if (target)
         target->setRoot(name, obj);
     // Republication may move a name's home shard; null out stale
     // entries elsewhere so lookups do not resurrect the old binding
     // (the name table has no deletion, but a null value reads as a
-    // miss at the fabric level). Not crash-atomic — see the header
-    // contract: a crash inside this sweep leaves the previous,
-    // still-valid binding visible.
+    // miss at the fabric level).
     for (const auto &h : heaps_) {
         if (!h || h.get() == target)
             continue;
         if (!h->getRoot(name).isNull())
             h->setRoot(name, Oop());
     }
+    if (intent)
+        rootIntents_.clear(static_cast<unsigned>(stripe));
 }
 
 Oop

@@ -57,6 +57,7 @@
 #include <vector>
 
 #include "heap/volatile_heap.hh"
+#include "nvm/decision_log.hh"
 #include "nvm/nvm_device.hh"
 #include "pjh/pjh_heap.hh"
 #include "pjh/shard_router.hh"
@@ -177,13 +178,22 @@ class HeapFabric
      * stale binding other shards still carry; racing setRoots of the
      * same name are serialized by a per-name stripe lock, so the
      * last writer wins (same guarantee as the single-heap upsert).
-     * Two contracts are weaker than the single-heap API:
-     *  - Republication across shards is not crash-atomic (no
-     *    cross-shard 2PC): a crash between the new publication and
-     *    the stale-entry sweep can durably leave the *previous*
-     *    binding visible. The old object is still live and valid
-     *    (its entry pins it) — a torn republication reads as the
-     *    last fully-swept publication, never as garbage.
+     *
+     * Republication across shards is crash-atomic (PR 6): before the
+     * new publication, setRoot records a durable intent {name, home
+     * shard} in a DecisionLog region on the manifest device and
+     * clears it after the stale-entry sweep. recover() replays
+     * surviving intents: if the new home's binding durably landed,
+     * the sweep is completed (roll forward); if not, the old
+     * fully-swept binding is still current and stays (roll back) —
+     * either way the fabric reads one complete publication, never a
+     * mix. Two exceptions fall back to the pre-PR-6 contract (crash
+     * between publication and sweep leaves the previous, still-valid
+     * binding visible): single-shard fabrics skip intents (nothing
+     * to sweep), and names longer than the intent payload capacity
+     * (DecisionLog::kMaxPayload bytes).
+     *
+     * One contract stays weaker than the single-heap API:
      *  - Root operations whose name has (or may have) an entry on a
      *    shard currently inside collect() fall under that shard's
      *    stop-the-world contract, exactly like any mutator access
@@ -257,6 +267,14 @@ class HeapFabric
     void unwireShard(PjhHeap *heap);
     void dropShardHeap(unsigned i);
 
+    /** Byte offset of the root-intent DecisionLog region on the
+     * manifest device. */
+    static std::size_t rootIntentsOff();
+
+    /** Rebuild the intent-log view and roll surviving setRoot
+     * intents forward/back (end of recover(), heaps attached). */
+    void replayRootIntents();
+
     /** Format shard @p k on a fresh device sized for @p cfg. */
     void formatShard(unsigned k, const PjhConfig &cfg);
 
@@ -266,6 +284,9 @@ class HeapFabric
 
     std::unique_ptr<NvmDevice> manifestDev_;
     RingManifest manifest_;
+    /** Durable setRoot republication intents, one slot per name
+     * stripe (the stripe lock serializes its slot's writers). */
+    DecisionLog rootIntents_;
     std::vector<std::unique_ptr<NvmDevice>> devices_;
     /** One slot per member; a crashed member's slot is null until
      * reattachShard(). Empty vector = fabric not attached. */

@@ -3,7 +3,8 @@
  * Database crash sweeps: a power failure at every persistence event
  * of a multi-statement transaction must leave the database atomic —
  * either the whole transaction or none of it — under both crash
- * modes. Also sweeps DDL (catalog publication).
+ * modes. Also sweeps DDL (catalog publication) and the cross-shard
+ * two-phase commit protocol (prepare / decision / finish windows).
  */
 
 #include <gtest/gtest.h>
@@ -13,6 +14,7 @@
 #include <thread>
 
 #include "db/database.hh"
+#include "db/sharded_database.hh"
 #include "nvm/crash_injector.hh"
 #include "util/rng.hh"
 
@@ -279,6 +281,199 @@ TEST(DbCrashTest, MtTransactionSweepWithCacheEvictionEager)
 TEST(DbCrashTest, MtTransactionSweepWithCacheEvictionGroupCommit)
 {
     mt::mtSweep(CrashMode::kEvictRandomLines, 2000);
+}
+
+// ---------------------------------------------------------------------
+// Cross-shard 2PC crash sweep: every transaction writes one group of
+// keys spanning all three members, so its commit runs the full
+// prepare → decision-publish → finish protocol across the member
+// WALs and the coordinator's decision log. A power failure at a
+// randomized persistence event — including between a member's
+// prepare and the decision record, and between the decision and the
+// last member's finish — must recover to all members committed or
+// all rolled back, never a mix.
+// ---------------------------------------------------------------------
+
+namespace twopc {
+
+constexpr int kShards = 3;
+constexpr int kKeysPerShard = 5;
+constexpr int kRounds = 12;
+
+DbRecord
+kvRow(std::int64_t id, std::int64_t v)
+{
+    DbRecord rec;
+    rec.values = {DbValue::ofI64(id), DbValue::ofI64(v)};
+    return rec;
+}
+
+/** A deterministic key group that provably spans every member, so
+ * each transaction's commit is a genuine multi-member 2PC. */
+std::vector<std::int64_t>
+pickKeys(ShardedDatabase &db)
+{
+    std::vector<std::size_t> taken(db.shardCount(), 0);
+    std::vector<std::int64_t> keys;
+    for (std::int64_t pk = 0; pk < 4096; ++pk) {
+        unsigned s = db.shardIndexForPk(pk);
+        if (taken[s] < kKeysPerShard) {
+            ++taken[s];
+            keys.push_back(pk);
+        }
+    }
+    EXPECT_EQ(keys.size(),
+              static_cast<std::size_t>(kShards * kKeysPerShard));
+    return keys;
+}
+
+std::unique_ptr<ShardedDatabase>
+makeSdb(std::uint64_t window_us,
+        const std::vector<std::int64_t> &keys)
+{
+    ShardedDatabaseConfig cfg;
+    cfg.shards = kShards;
+    cfg.shard.rowRegionSize = 2u << 20;
+    cfg.shard.rowsPerTable = 256;
+    cfg.shard.walShards = 4;
+    cfg.shard.groupCommitWindowUs = window_us;
+    auto db = std::make_unique<ShardedDatabase>(cfg);
+    db->createTable(TableSchema{"KV",
+                                {{"ID", DbType::kI64},
+                                 {"V", DbType::kI64}},
+                                0,
+                                TableSchema::kNoIndex});
+    for (std::int64_t pk : keys)
+        db->persistRecord("KV", kvRow(pk, 0));
+    return db;
+}
+
+/** One shared injector across every member device and the
+ * coordinator: the event count covers the whole 2PC protocol. */
+void
+installInjector(ShardedDatabase &db, CrashInjector *inj)
+{
+    for (unsigned s = 0; s < db.shardCount(); ++s)
+        db.shard(s).device().setInjector(inj);
+    db.coordinatorDevice().setInjector(inj);
+}
+
+/** Runs the rounds; returns the last acknowledged commit. */
+int
+runRounds(ShardedDatabase &db, const std::vector<std::int64_t> &keys)
+{
+    int acked = 0;
+    try {
+        for (int i = 1; i <= kRounds; ++i) {
+            db.begin();
+            for (std::int64_t pk : keys) {
+                DbRecord rec = kvRow(pk, i);
+                rec.dirtyMask = 1ull << 1;
+                db.persistRecord("KV", rec);
+            }
+            db.commit();
+            acked = i;
+        }
+    } catch (const SimulatedCrash &) {
+        // Power is gone mid-protocol.
+    }
+    return acked;
+}
+
+void
+twopcSweep(CrashMode mode, std::uint64_t window_us)
+{
+    setWarningsEnabled(false);
+    // Dry run: count the workload's persistence events so crash
+    // points can be drawn from the real range.
+    CrashInjector probe;
+    std::uint64_t total_events;
+    std::vector<std::int64_t> keys;
+    {
+        auto db = makeSdb(window_us, {});
+        keys = pickKeys(*db);
+        for (std::int64_t pk : keys)
+            db->persistRecord("KV", kvRow(pk, 0));
+        // The key group must actually span every member, or the
+        // bracket degenerates to a single-shard commit.
+        for (unsigned s = 0; s < db->shardCount(); ++s)
+            ASSERT_GT(db->shard(s).rowCount("KV"), 0u) << s;
+        installInjector(*db, &probe);
+        probe.resetCount();
+        ASSERT_EQ(runRounds(*db, keys), kRounds);
+        installInjector(*db, nullptr);
+        total_events = probe.eventCount();
+    }
+    ASSERT_GT(total_events, 100u);
+
+    Rng rng(0x2BC57ull + static_cast<int>(mode) * 31 + window_us);
+    for (int trial = 0; trial < 10; ++trial) {
+        auto db = makeSdb(window_us, keys);
+        CrashInjector inj;
+        installInjector(*db, &inj);
+        std::uint64_t target = 1 + rng.nextBelow(total_events);
+        inj.arm(target);
+        int acked = runRounds(*db, keys);
+        inj.disarm();
+        installInjector(*db, nullptr);
+        if (inj.eventCount() < target)
+            continue; // target fell beyond this run
+
+        db->crash(mode, 4000 + trial * 131 + target);
+
+        // All-or-nothing across members: every key carries one
+        // round's value, and it is the acknowledged round or one
+        // more (decision durable but unacknowledged).
+        std::int64_t group_val = -1;
+        for (std::int64_t pk : keys) {
+            DbRecord out;
+            ASSERT_TRUE(db->fetchRecord("KV", pk, &out))
+                << "trial " << trial << " event " << target
+                << ": lost key " << pk;
+            std::int64_t v = out.values[1].i;
+            if (pk == keys.front())
+                group_val = v;
+            EXPECT_EQ(v, group_val)
+                << "trial " << trial << " event " << target
+                << ": torn cross-shard txn at key " << pk;
+        }
+        EXPECT_TRUE(group_val == acked || group_val == acked + 1)
+            << "trial " << trial << " event " << target
+            << ": expected " << acked << " or +1, got " << group_val;
+        EXPECT_EQ(db->rowCount("KV"), keys.size());
+
+        // The recovered fabric accepts new cross-shard brackets.
+        db->begin();
+        for (std::int64_t pk : keys)
+            db->persistRecord("KV", kvRow(pk, 99));
+        db->commit();
+        DbRecord out;
+        ASSERT_TRUE(db->fetchRecord("KV", keys.front(), &out));
+        EXPECT_EQ(out.values[1].i, 99);
+    }
+    setWarningsEnabled(true);
+}
+
+} // namespace twopc
+
+TEST(DbCrashTest, TwoPhaseCommitSweepConservativeEager)
+{
+    twopc::twopcSweep(CrashMode::kDiscardUnflushed, 0);
+}
+
+TEST(DbCrashTest, TwoPhaseCommitSweepConservativeGroupCommit)
+{
+    twopc::twopcSweep(CrashMode::kDiscardUnflushed, 2000);
+}
+
+TEST(DbCrashTest, TwoPhaseCommitSweepWithCacheEvictionEager)
+{
+    twopc::twopcSweep(CrashMode::kEvictRandomLines, 0);
+}
+
+TEST(DbCrashTest, TwoPhaseCommitSweepWithCacheEvictionGroupCommit)
+{
+    twopc::twopcSweep(CrashMode::kEvictRandomLines, 2000);
 }
 
 TEST(DbCrashTest, DdlSweep)

@@ -2,11 +2,15 @@
  * @file
  * Mini-H2 tests: value/slot/SQL-literal codecs, lexer and parser,
  * CRUD through both ingress paths, transactions, WAL crash recovery,
- * and catalog persistence.
+ * catalog persistence, and the PR 6 surface — explicit Txn handles
+ * with unified Status codes, snapshot isolation (single-engine and
+ * cross-shard), first-committer-wins conflicts, and deadlock
+ * detection.
  */
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <atomic>
 #include <thread>
 
@@ -758,6 +762,304 @@ TEST_F(ShardedDbTest, MemberCrashRecoveryIsShardLocal)
     DbRecord out;
     ASSERT_TRUE(database.fetchRecord("T", victim, &out));
     EXPECT_EQ(out.values[1].i, 11);
+}
+
+// ---------------------------------------------------------------------
+// PR 6: the explicit Txn handle API, unified Status codes, snapshot
+// isolation, and deadlock detection.
+// ---------------------------------------------------------------------
+
+class TxnApiTest : public ::testing::Test
+{
+  protected:
+    TxnApiTest()
+    {
+        DatabaseConfig cfg;
+        cfg.rowRegionSize = 8u << 20;
+        cfg.rowsPerTable = 512;
+        cfg.walShards = 4;
+        db_ = std::make_unique<Database>(cfg);
+        db_->createTable(TableSchema{"KV",
+                                     {{"ID", DbType::kI64},
+                                      {"V", DbType::kI64}},
+                                     0,
+                                     TableSchema::kNoIndex});
+        for (std::int64_t id = 0; id < 16; ++id)
+            put(id, 0);
+    }
+
+    void
+    put(std::int64_t id, std::int64_t v)
+    {
+        DbRecord rec;
+        rec.values = {DbValue::ofI64(id), DbValue::ofI64(v)};
+        db_->persistRecord("KV", rec);
+    }
+
+    std::int64_t
+    get(std::int64_t id)
+    {
+        DbRecord out;
+        EXPECT_TRUE(db_->fetchRecord("KV", id, &out)) << id;
+        return out.values[1].i;
+    }
+
+    std::unique_ptr<Database> db_;
+};
+
+TEST_F(TxnApiTest, HandleCommitRollbackAndMisuse)
+{
+    Txn t = db_->beginTxn();
+    EXPECT_TRUE(t.active());
+    EXPECT_EQ(t.snapshot(), kNoSnapshot);
+    put(1, 5);
+    Status s = t.commit();
+    EXPECT_TRUE(s.isOk()) << s.message();
+    EXPECT_FALSE(t.active());
+    EXPECT_EQ(get(1), 5);
+    // A finished handle reports misuse, never fatals.
+    EXPECT_EQ(t.commit().code(), StatusCode::kMisuse);
+    EXPECT_EQ(t.rollback().code(), StatusCode::kMisuse);
+    EXPECT_EQ(Txn().commit().code(), StatusCode::kMisuse);
+
+    Txn r = db_->beginTxn();
+    put(1, 9);
+    EXPECT_TRUE(r.rollback().isOk());
+    EXPECT_FALSE(r.active());
+    EXPECT_EQ(get(1), 5);
+}
+
+TEST_F(TxnApiTest, DestructorAndMoveSemantics)
+{
+    // Dropping an open handle rolls its transaction back.
+    {
+        Txn t = db_->beginTxn();
+        put(2, 7);
+    }
+    EXPECT_EQ(get(2), 0);
+
+    // Moving transfers ownership; the source goes inert.
+    Txn a = db_->beginTxn();
+    put(3, 4);
+    Txn b = std::move(a);
+    EXPECT_FALSE(a.active());
+    EXPECT_TRUE(b.active());
+    EXPECT_TRUE(b.commit().isOk());
+    EXPECT_EQ(get(3), 4);
+}
+
+TEST_F(TxnApiTest, CommitReportsWalFullAsStatus)
+{
+    DatabaseConfig cfg;
+    cfg.rowRegionSize = 8u << 20;
+    cfg.rowsPerTable = 512;
+    cfg.walSize = 4096;
+    cfg.walShards = 1;
+    Database small(cfg);
+    small.createTable(TableSchema{"KV",
+                                  {{"ID", DbType::kI64},
+                                   {"V", DbType::kI64}},
+                                  0,
+                                  TableSchema::kNoIndex});
+    auto rowOf = [](std::int64_t id, std::int64_t v) {
+        DbRecord rec;
+        rec.values = {DbValue::ofI64(id), DbValue::ofI64(v)};
+        return rec;
+    };
+    for (std::int64_t id = 0; id < 400; ++id)
+        small.persistRecord("KV", rowOf(id, 7));
+
+    Txn t = small.beginTxn();
+    bool overflowed = false;
+    try {
+        for (std::int64_t id = 0; id < 400; ++id)
+            small.persistRecord("KV", rowOf(id, 8));
+    } catch (const WalFullError &) {
+        overflowed = true; // legacy exception still escapes
+    }
+    ASSERT_TRUE(overflowed) << "undo segment never filled";
+    // ... but the handle reports the rollback as a Status.
+    EXPECT_EQ(t.commit().code(), StatusCode::kWalFull);
+    EXPECT_FALSE(t.active());
+    for (std::int64_t id = 0; id < 400; ++id) {
+        DbRecord out;
+        ASSERT_TRUE(small.fetchRecord("KV", id, &out));
+        EXPECT_EQ(out.values[1].i, 7) << "leak on id " << id;
+    }
+}
+
+TEST_F(TxnApiTest, SnapshotReaderSeesBeginTimeVersions)
+{
+    Txn r = db_->beginTxn({Isolation::kSnapshot});
+    ASSERT_NE(r.snapshot(), kNoSnapshot);
+    for (std::int64_t id = 0; id < 8; ++id)
+        EXPECT_EQ(get(id), 0);
+
+    // A writer overwrites every row in one transaction and commits
+    // mid-scan.
+    std::thread w([&]() {
+        db_->begin();
+        for (std::int64_t id = 0; id < 16; ++id)
+            put(id, 1);
+        db_->commit();
+    });
+    w.join();
+
+    // The rest of the scan still resolves to begin-time versions:
+    // the committed multi-row write is invisible in its entirety.
+    for (std::int64_t id = 8; id < 16; ++id)
+        EXPECT_EQ(get(id), 0) << "snapshot leak at id " << id;
+    EXPECT_TRUE(r.commit().isOk());
+
+    // Outside the snapshot the new versions are all there.
+    for (std::int64_t id = 0; id < 16; ++id)
+        EXPECT_EQ(get(id), 1);
+
+    // A fresh snapshot taken after the commit sees the new world.
+    Txn r2 = db_->beginTxn({Isolation::kSnapshot});
+    for (std::int64_t id = 0; id < 16; ++id)
+        EXPECT_EQ(get(id), 1);
+    EXPECT_TRUE(r2.commit().isOk());
+}
+
+TEST_F(TxnApiTest, FirstCommitterWinsReportsConflict)
+{
+    Txn r = db_->beginTxn({Isolation::kSnapshot});
+    EXPECT_EQ(get(5), 0);
+
+    // Another transaction commits row 5 after our snapshot.
+    std::thread w([&]() { put(5, 7); });
+    w.join();
+
+    bool aborted = false;
+    try {
+        put(5, 9);
+    } catch (const TxnAbortError &e) {
+        aborted = true;
+        EXPECT_EQ(e.code(), StatusCode::kConflict);
+    }
+    ASSERT_TRUE(aborted) << "stale write was admitted";
+    EXPECT_EQ(r.commit().code(), StatusCode::kConflict);
+    EXPECT_FALSE(r.active());
+    EXPECT_EQ(get(5), 7) << "first committer must stand";
+}
+
+TEST_F(TxnApiTest, DeadlockAbortsExactlyOneVictim)
+{
+    // Two transactions lock rows 1 and 2 in opposite orders and
+    // rendezvous in between: a guaranteed cycle. The engine must
+    // abort exactly one with kDeadlock; the survivor commits.
+    std::array<StatusCode, 2> codes{StatusCode::kOk, StatusCode::kOk};
+    std::atomic<int> at_barrier{0};
+    auto worker = [&](int me, std::int64_t first, std::int64_t second) {
+        Txn t = db_->beginTxn();
+        try {
+            put(first, 100 + me);
+            at_barrier.fetch_add(1);
+            while (at_barrier.load(std::memory_order_acquire) != 2)
+                std::this_thread::yield();
+            put(second, 100 + me);
+            codes[me] = t.commit().code();
+        } catch (const TxnAbortError &) {
+            codes[me] = t.commit().code();
+        }
+    };
+    std::thread a(worker, 0, 1, 2);
+    std::thread b(worker, 1, 2, 1);
+    a.join();
+    b.join();
+
+    int winners = (codes[0] == StatusCode::kOk) +
+                  (codes[1] == StatusCode::kOk);
+    ASSERT_EQ(winners, 1) << "codes: " << static_cast<int>(codes[0])
+                          << ", " << static_cast<int>(codes[1]);
+    int victim = codes[0] == StatusCode::kOk ? 1 : 0;
+    EXPECT_EQ(codes[victim], StatusCode::kDeadlock);
+    // The victim's partial write rolled back: both rows carry the
+    // survivor's value.
+    std::int64_t winner_val = 100 + (1 - victim);
+    EXPECT_EQ(get(1), winner_val);
+    EXPECT_EQ(get(2), winner_val);
+
+    // The database keeps serving transactions afterwards.
+    Txn t = db_->beginTxn();
+    put(1, 0);
+    put(2, 0);
+    EXPECT_TRUE(t.commit().isOk());
+}
+
+TEST_F(ShardedDbTest, TxnHandleDrivesCrossShardBracket)
+{
+    ShardedDatabase database(config(4));
+    database.createTable(schema());
+    for (std::int64_t id = 0; id < 32; ++id)
+        database.persistRecord("T", row(id, 0));
+
+    Txn t = database.beginTxn();
+    EXPECT_TRUE(t.active());
+    for (std::int64_t id = 0; id < 32; ++id)
+        database.persistRecord("T", row(id, 1));
+    EXPECT_TRUE(t.commit().isOk());
+    EXPECT_FALSE(t.active());
+    EXPECT_EQ(t.commit().code(), StatusCode::kMisuse);
+    for (std::int64_t id = 0; id < 32; ++id) {
+        DbRecord out;
+        ASSERT_TRUE(database.fetchRecord("T", id, &out));
+        EXPECT_EQ(out.values[1].i, 1);
+    }
+
+    // Dropping an open handle rolls the whole bracket back.
+    {
+        Txn u = database.beginTxn();
+        for (std::int64_t id = 0; id < 32; ++id)
+            database.persistRecord("T", row(id, 2));
+    }
+    for (std::int64_t id = 0; id < 32; ++id) {
+        DbRecord out;
+        ASSERT_TRUE(database.fetchRecord("T", id, &out));
+        EXPECT_EQ(out.values[1].i, 1) << "dtor leak on id " << id;
+    }
+}
+
+TEST_F(ShardedDbTest, SnapshotBracketSeesCrossShardCommitAtomically)
+{
+    ShardedDatabase database(config(4));
+    database.createTable(schema());
+    for (std::int64_t id = 0; id < 32; ++id)
+        database.persistRecord("T", row(id, 0));
+
+    Txn r = database.beginTxn({Isolation::kSnapshot});
+    ASSERT_NE(r.snapshot(), kNoSnapshot);
+    for (std::int64_t id = 0; id < 16; ++id) {
+        DbRecord out;
+        ASSERT_TRUE(database.fetchRecord("T", id, &out));
+        EXPECT_EQ(out.values[1].i, 0);
+    }
+
+    // A cross-shard 2PC commit lands mid-scan.
+    std::thread w([&]() {
+        database.begin();
+        for (std::int64_t id = 0; id < 32; ++id)
+            database.persistRecord("T", row(id, 1));
+        database.commit();
+    });
+    w.join();
+
+    // The snapshot still resolves every member's rows to begin-time
+    // versions — the fabric-wide commit is invisible as a whole.
+    for (std::int64_t id = 16; id < 32; ++id) {
+        DbRecord out;
+        ASSERT_TRUE(database.fetchRecord("T", id, &out));
+        EXPECT_EQ(out.values[1].i, 0)
+            << "snapshot saw a torn cross-shard commit at id " << id;
+    }
+    EXPECT_TRUE(r.commit().isOk());
+
+    for (std::int64_t id = 0; id < 32; ++id) {
+        DbRecord out;
+        ASSERT_TRUE(database.fetchRecord("T", id, &out));
+        EXPECT_EQ(out.values[1].i, 1);
+    }
 }
 
 } // namespace

@@ -7,7 +7,8 @@
  * (and surviving that shard's compaction), shard-scoped GC
  * quiescence (a remote shard's collect() never blocks allocation),
  * the fabric GC coordinator, ring-manifest recovery from a crash
- * mid-create, and the HeapManager registry under concurrent
+ * mid-create, crash-atomic cross-shard setRoot republication (the
+ * DecisionLog intent sweep), and the HeapManager registry under concurrent
  * create/load (the former unsynchronized-std::map race).
  */
 
@@ -412,6 +413,78 @@ TEST(HeapFabricTest, LoadFabricReattachesCrashedMembers)
     rt.heaps().createHeap("solo2", 1u << 20);
     rt.heaps().fabric("solo2")->crashShard(0);
     EXPECT_NE(rt.heaps().loadHeap("solo2"), nullptr);
+}
+
+// PR 6: cross-shard root republication is crash-atomic. Moving a
+// root from a shard-0 object to a shard-1 object is a multi-device
+// protocol (publish on the new home, sweep the stale entry on the
+// old). A power failure at every persistence event of that protocol
+// must recover — via the DecisionLog intent on the manifest device —
+// to exactly the old or the new binding, never a null or mixed view.
+TEST(HeapFabricTest, SetRootRepublicationCrashSweep)
+{
+    for (std::uint64_t event = 1;; ++event) {
+        EspressoRuntime rt;
+        rt.define(nodeDef());
+        std::uint32_t off = rt.fieldOffset("Node", "value");
+
+        HeapFabric fabric(&rt.registry(), nullptr);
+        PjhConfig cfg;
+        cfg.dataSize = 1u << 20;
+        FabricConfig fcfg;
+        fcfg.shard = cfg;
+        fcfg.shards = 2;
+        fabric.create(fcfg);
+
+        auto *k = rt.registry().resolve("Node", MemKind::kPersistent);
+        Oop old_obj = fabric.shard(0)->allocInstance(k);
+        old_obj.setI64(off, 111);
+        fabric.shard(0)->flushObject(old_obj);
+        fabric.setRoot("mover", old_obj); // clean first publication
+
+        Oop new_obj = fabric.shard(1)->allocInstance(k);
+        new_obj.setI64(off, 222);
+        fabric.shard(1)->flushObject(new_obj);
+
+        CrashInjector inj;
+        fabric.shardDevice(0)->setInjector(&inj);
+        fabric.shardDevice(1)->setInjector(&inj);
+        fabric.manifestDevice()->setInjector(&inj);
+        inj.arm(event);
+        bool crashed = false;
+        try {
+            fabric.setRoot("mover", new_obj);
+        } catch (const SimulatedCrash &) {
+            crashed = true;
+        }
+        inj.disarm();
+        fabric.shardDevice(0)->setInjector(nullptr);
+        fabric.shardDevice(1)->setInjector(nullptr);
+        fabric.manifestDevice()->setInjector(nullptr);
+        if (!crashed) {
+            // Past the protocol's last event: the republication
+            // completed; done sweeping.
+            EXPECT_EQ(fabric.getRoot("mover").getI64(off), 222);
+            break;
+        }
+
+        fabric.crashAll(CrashMode::kDiscardUnflushed, 900 + event);
+        fabric.recover();
+
+        Oop r = fabric.getRoot("mover");
+        ASSERT_FALSE(r.isNull())
+            << "event " << event << ": root lost mid-republication";
+        std::int64_t v = r.getI64(off);
+        EXPECT_TRUE(v == 111 || v == 222)
+            << "event " << event << ": torn republication, value " << v;
+
+        // The recovered fabric still republishes cleanly.
+        Oop again = fabric.shard(1)->allocInstance(k);
+        again.setI64(off, 333);
+        fabric.shard(1)->flushObject(again);
+        fabric.setRoot("mover", again);
+        EXPECT_EQ(fabric.getRoot("mover").getI64(off), 333);
+    }
 }
 
 TEST(HeapManagerTest, RegistrySurvivesConcurrentCreateAndLoad)
