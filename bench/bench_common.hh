@@ -67,6 +67,96 @@ printHeader(const std::string &figure, const std::string &caption)
 }
 
 /**
+ * Machine-readable sidecar next to the human tables: rows of
+ * key/value pairs, written as `BENCH_<name>.json` in the working
+ * directory. The `bench-smoke` CI step uploads these as artifacts,
+ * so every run leaves a parseable record of the numbers the tables
+ * print.
+ */
+class JsonReport
+{
+  public:
+    explicit JsonReport(std::string name) : name_(std::move(name)) {}
+
+    /** Start a new result row; field()s apply to it. */
+    JsonReport &
+    beginRow()
+    {
+        rows_.emplace_back();
+        return *this;
+    }
+
+    JsonReport &
+    field(const char *key, double v)
+    {
+        char buf[64];
+        std::snprintf(buf, sizeof buf, "%.6g", v);
+        return raw(key, buf);
+    }
+
+    JsonReport &
+    field(const char *key, std::uint64_t v)
+    {
+        char buf[32];
+        std::snprintf(buf, sizeof buf, "%llu",
+                      static_cast<unsigned long long>(v));
+        return raw(key, buf);
+    }
+
+    JsonReport &
+    field(const char *key, const std::string &v)
+    {
+        std::string quoted = "\"";
+        for (char c : v) {
+            if (c == '"' || c == '\\')
+                quoted.push_back('\\');
+            quoted.push_back(c);
+        }
+        quoted.push_back('"');
+        return raw(key, quoted);
+    }
+
+    /** Write BENCH_<name>.json (best effort; a failure only warns —
+     * the human tables are the primary output). */
+    void
+    write() const
+    {
+        std::string path = "BENCH_" + name_ + ".json";
+        std::FILE *f = std::fopen(path.c_str(), "w");
+        if (!f) {
+            std::fprintf(stderr, "bench: cannot write %s\n",
+                         path.c_str());
+            return;
+        }
+        std::fprintf(f, "{\"bench\":\"%s\",\"rows\":[",
+                     name_.c_str());
+        for (std::size_t i = 0; i < rows_.size(); ++i)
+            std::fprintf(f, "%s{%s}", i ? "," : "",
+                         rows_[i].c_str());
+        std::fprintf(f, "]}\n");
+        std::fclose(f);
+        std::printf("wrote %s\n", path.c_str());
+    }
+
+  private:
+    JsonReport &
+    raw(const char *key, const std::string &value)
+    {
+        std::string &row = rows_.back();
+        if (!row.empty())
+            row += ",";
+        row += "\"";
+        row += key;
+        row += "\":";
+        row += value;
+        return *this;
+    }
+
+    std::string name_;
+    std::vector<std::string> rows_;
+};
+
+/**
  * Print a normalized breakdown like the paper's stacked bars:
  * phases as percentages of @p total_ns, with the remainder reported
  * as "Other".

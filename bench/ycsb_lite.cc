@@ -165,6 +165,7 @@ main()
             "(hardware threads here: " +
             std::to_string(std::thread::hardware_concurrency()) + ")");
 
+    bench::JsonReport json("ycsb_lite");
     std::printf("%4s %8s %7s %10s %10s %9s %10s %12s\n", "mix",
                 "threads", "commit", "ktxn/s", "p99(us)", "maxbatch",
                 "fences/up", "vs 1T-eager");
@@ -175,15 +176,28 @@ main()
                 RunResult r = runOnce(mix, threads, window, ops);
                 if (threads == 1 && window == 0)
                     base = r.ktxns;
+                double vs = base > 0 ? r.ktxns / base : 0.0;
                 std::printf(
                     "%4s %8d %7s %10.1f %10.1f %9llu %10.2f %11.2fx\n",
                     mix.name, threads, window ? "group" : "eager",
                     r.ktxns, r.p99Us,
                     static_cast<unsigned long long>(r.maxBatch),
-                    r.fencesPerUpdate, base > 0 ? r.ktxns / base : 0.0);
+                    r.fencesPerUpdate, vs);
+                json.beginRow()
+                    .field("mix", std::string(mix.name))
+                    .field("threads",
+                           static_cast<std::uint64_t>(threads))
+                    .field("commit", std::string(window ? "group"
+                                                        : "eager"))
+                    .field("ktxn_per_s", r.ktxns)
+                    .field("p99_us", r.p99Us)
+                    .field("max_batch", r.maxBatch)
+                    .field("fences_per_update", r.fencesPerUpdate)
+                    .field("vs_1t_eager", vs);
             }
         }
         std::printf("\n");
     }
+    json.write();
     return 0;
 }

@@ -109,12 +109,15 @@ EspressoRuntime::pnewString(PjhHeap *heap, const std::string &s)
     return arr;
 }
 
+// Fabric-routed pnew goes through the write-epoch ring: during a
+// membership change new objects land on their post-change home shard
+// and need no migration; otherwise it equals the committed ring.
 Oop
 EspressoRuntime::pnewInstance(HeapFabric *fabric,
                               const std::string &route_key,
                               const std::string &klass_name)
 {
-    return pnewInstance(fabric->shardFor(route_key), klass_name);
+    return pnewInstance(fabric->shardForWrite(route_key), klass_name);
 }
 
 Oop
@@ -122,7 +125,7 @@ EspressoRuntime::pnewI64Array(HeapFabric *fabric,
                               const std::string &route_key,
                               std::uint64_t length)
 {
-    return pnewI64Array(fabric->shardFor(route_key), length);
+    return pnewI64Array(fabric->shardForWrite(route_key), length);
 }
 
 Oop
@@ -130,7 +133,7 @@ EspressoRuntime::pnewCharArray(HeapFabric *fabric,
                                const std::string &route_key,
                                std::uint64_t length)
 {
-    return pnewCharArray(fabric->shardFor(route_key), length);
+    return pnewCharArray(fabric->shardForWrite(route_key), length);
 }
 
 Oop
@@ -139,7 +142,7 @@ EspressoRuntime::pnewRefArray(HeapFabric *fabric,
                               const std::string &elem_klass,
                               std::uint64_t length)
 {
-    return pnewRefArray(fabric->shardFor(route_key), elem_klass, length);
+    return pnewRefArray(fabric->shardForWrite(route_key), elem_klass, length);
 }
 
 Oop
@@ -147,7 +150,7 @@ EspressoRuntime::pnewString(HeapFabric *fabric,
                             const std::string &route_key,
                             const std::string &s)
 {
-    return pnewString(fabric->shardFor(route_key), s);
+    return pnewString(fabric->shardForWrite(route_key), s);
 }
 
 std::string

@@ -497,12 +497,66 @@ Database::persistRecord(const std::string &table, const DbRecord &record)
 }
 
 bool
+Database::updateRecord(const std::string &table,
+                       const DbRecord &record)
+{
+    PhaseScope scope(timer_, "database");
+    std::size_t t = tableIndexOrDie(table);
+    const TableSchema &schema = catalog_.tables()[t];
+    if (record.values.size() != schema.columns.size())
+        fatal("db: record shape mismatch for " + table);
+    bool updated = false;
+    mutate([&](TxContext &ctx) {
+        std::int64_t pk = record.values[schema.pkColumn].i;
+        updated = rows_->update(t, pk, record.values,
+                                record.dirtyMask,
+                                wal_->shard(ctx.shardId), ctx.rowTx);
+        return ResultSet{};
+    });
+    return updated;
+}
+
+bool
 Database::fetchRecord(const std::string &table, std::int64_t pk,
                       DbRecord *out)
 {
     PhaseScope scope(timer_, "database");
     std::size_t t = tableIndexOrDie(table);
     return rows_->fetch(t, pk, &out->values, currentSnapshot());
+}
+
+bool
+Database::fetchForUpdate(const std::string &table, std::int64_t pk,
+                         DbRecord *out)
+{
+    PhaseScope scope(timer_, "database");
+    std::size_t t = tableIndexOrDie(table);
+    bool found = false;
+    mutate([&](TxContext &ctx) {
+        found = rows_->fetchOwned(t, pk, &out->values, ctx.rowTx);
+        return ResultSet{};
+    });
+    if (found)
+        out->dirtyMask = ~0ull;
+    return found;
+}
+
+void
+Database::forEachPk(const std::string &table,
+                    const std::function<void(std::int64_t)> &fn)
+{
+    PhaseScope scope(timer_, "database");
+    std::size_t t = tableIndexOrDie(table);
+    std::size_t pk_col = catalog_.tables()[t].pkColumn;
+    rows_->scanAll(t, [&](const std::vector<DbValue> &row) {
+        fn(row[pk_col].i);
+    });
+}
+
+std::size_t
+Database::versionChainDepth(const std::string &table, std::int64_t pk)
+{
+    return rows_->versionChainDepth(tableIndexOrDie(table), pk);
 }
 
 bool

@@ -154,10 +154,34 @@ class Database
     /** Insert or (masked) update by primary key. */
     void persistRecord(const std::string &table, const DbRecord &record);
 
+    /** Masked update ONLY — false when the pk is absent, never an
+     * insert. The sharded layer's epoch-pair writes need to probe
+     * "update wherever the row lives" without upsert resurrecting a
+     * row on the wrong member mid-repartition. */
+    bool updateRecord(const std::string &table, const DbRecord &record);
+
     bool fetchRecord(const std::string &table, std::int64_t pk,
                      DbRecord *out);
 
+    /** Write-locking read: claim the row (strict 2PL, held to the
+     * end of the current transaction) and return its committed
+     * values; false when absent. The repartition row mover reads
+     * the source row through this so the move serializes against
+     * concurrent updates. */
+    bool fetchForUpdate(const std::string &table, std::int64_t pk,
+                        DbRecord *out);
+
     bool deleteRecord(const std::string &table, std::int64_t pk);
+
+    /** Visit every live row's primary key (read-uncommitted; the
+     * repartition scanner's enumeration). */
+    void forEachPk(const std::string &table,
+                   const std::function<void(std::int64_t)> &fn);
+
+    /** Version-chain length behind @p pk (chain-trim regression
+     * hook). */
+    std::size_t versionChainDepth(const std::string &table,
+                                  std::int64_t pk);
 
     /** Scan by single-column equality (child tables, fk lookups). */
     void scanEq(const std::string &table, const std::string &column,

@@ -302,6 +302,48 @@ RowStore::lockRowForWrite(std::size_t table, TableRegion &region,
     }
 }
 
+bool
+RowStore::fetchOwned(std::size_t table, std::int64_t pk,
+                     std::vector<DbValue> *out, RowTxState &tx)
+{
+    TableRegion &region = regions_[table];
+    const TableSchema &schema = catalog_->tables()[table];
+    std::size_t row_bytes = schema.rowBytes();
+    std::size_t idx = lockRowForWrite(table, region, pk, tx);
+    if (idx == kNpos)
+        return false;
+    // SI first-committer-wins applies: claiming the row is the first
+    // step of writing it.
+    Addr addr = rowAddr(region, idx, row_bytes);
+    checkWriteConflict(addr, tx);
+    SpinGuard rl(rowLatch(region, idx));
+    if (loadWord(addr) != kRowLive)
+        return false; // committed-dead (gravestoned for snapshots)
+    out->clear();
+    for (std::size_t c = 0; c < schema.columns.size(); ++c)
+        out->push_back(decodeValueSlot(
+            reinterpret_cast<const std::uint8_t *>(
+                addr + kRowHeader + c * kValueSlotBytes)));
+    return true;
+}
+
+std::size_t
+RowStore::versionChainDepth(std::size_t table, std::int64_t pk) const
+{
+    const TableRegion &region = regions_[table];
+    std::size_t idx;
+    {
+        SpinGuard g(region.indexMu);
+        auto it = region.pkIndex.find(pk);
+        if (it == region.pkIndex.end())
+            return 0;
+        idx = it->second;
+    }
+    SpinGuard vg(region.versionMu);
+    auto it = region.versions.find(idx);
+    return it == region.versions.end() ? 0 : it->second.size();
+}
+
 void
 RowStore::checkWriteConflict(Addr addr, RowTxState &tx) const
 {
@@ -410,30 +452,45 @@ RowStore::resolveRowLocked(const TableRegion &region, std::size_t idx,
 
 void
 RowStore::pruneChain(const TableRegion &region, std::size_t idx,
-                     Word min_active) const
+                     const std::vector<Word> &active) const
 {
     SpinGuard vg(region.versionMu);
     auto it = region.versions.find(idx);
     if (it == region.versions.end())
         return;
-    if (min_active == SnapshotClock::kNoActiveSnapshots) {
+    if (active.empty()) {
         region.versions.erase(it);
         return;
     }
     auto &chain = it->second;
-    // Keep the newest entry at or before min_active (the oldest
-    // snapshot may still resolve to it) and everything newer.
-    std::size_t first_kept = 0;
-    for (std::size_t i = chain.size(); i-- > 0;) {
-        if (chain[i].version <= min_active) {
-            first_kept = i;
-            break;
+    // Each active snapshot can resolve to exactly one image: the
+    // newest at or below it. Everything else — images shadowed by a
+    // newer one that still fits the same snapshot, and images newer
+    // than the newest active snapshot (those readers use the current
+    // row bytes) — is unreachable and goes. Without this, a single
+    // long-lived snapshot pins every later update's pre-image and
+    // the chain grows without bound. Both lists are sorted
+    // ascending, so one merge pass finds the kept set.
+    std::vector<RowVersion> kept;
+    const std::size_t none = chain.size();
+    std::size_t best = none;
+    std::size_t last = none;
+    std::size_t ci = 0;
+    for (Word t : active) {
+        while (ci < chain.size() && chain[ci].version <= t) {
+            best = ci;
+            ++ci;
+        }
+        if (best != none && best != last) {
+            kept.push_back(std::move(chain[best]));
+            last = best;
         }
     }
-    if (first_kept > 0)
-        chain.erase(chain.begin(),
-                    chain.begin() +
-                        static_cast<std::ptrdiff_t>(first_kept));
+    if (kept.empty()) {
+        region.versions.erase(it);
+        return;
+    }
+    chain = std::move(kept);
 }
 
 bool
@@ -902,9 +959,12 @@ RowStore::finishCommit(RowTxState &tx, Word commit_ts)
                 storeWord(addr + kWordSize, commit_ts);
         }
     }
-    Word min_active = clock_ != nullptr
-                          ? clock_->minActive()
-                          : SnapshotClock::kNoActiveSnapshots;
+    std::vector<Word> active = clock_ != nullptr
+                                   ? clock_->activeSnapshots()
+                                   : std::vector<Word>{};
+    Word min_active = active.empty()
+                          ? SnapshotClock::kNoActiveSnapshots
+                          : active.front();
     bool keep_dead = commit_ts != 0 && min_active < commit_ts;
     std::vector<std::pair<std::size_t, std::size_t>> gravestoned;
     for (const auto &[t, pk, idx] : tx.deferredPkErase) {
@@ -939,7 +999,7 @@ RowStore::finishCommit(RowTxState &tx, Word commit_ts)
     // Chain upkeep for every written row, before owners drop (the
     // chains are this transaction's pre-images plus older history).
     for (const auto &[t, idx] : tx.ownedRows)
-        pruneChain(regions_[t], idx, min_active);
+        pruneChain(regions_[t], idx, active);
     // Owners release before the slots hit the free list: a slot
     // visible in freeRows is therefore always unowned, so insert's
     // in-lock owner claim cannot spin on a committing delete (which
@@ -973,11 +1033,11 @@ RowStore::finishRollback(RowTxState &tx)
     // The rollback restored pre-images, so the chains' newest
     // entries duplicate the current rows; prune what no snapshot
     // needs.
-    Word min_active = clock_ != nullptr
-                          ? clock_->minActive()
-                          : SnapshotClock::kNoActiveSnapshots;
+    std::vector<Word> active = clock_ != nullptr
+                                   ? clock_->activeSnapshots()
+                                   : std::vector<Word>{};
     for (const auto &[t, idx] : tx.ownedRows)
-        pruneChain(regions_[t], idx, min_active);
+        pruneChain(regions_[t], idx, active);
     // Rows that end the rollback unpublished are this transaction's
     // own (rolled-back or wal-full) inserts; their slots return to
     // the free list. Liveness is read while the owner is still held

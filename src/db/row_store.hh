@@ -139,6 +139,23 @@ class RowStore
                std::vector<DbValue> *out,
                Word snapshot = kNoSnapshot) const;
 
+    /**
+     * Write-locking read: resolve @p pk, claim the row's owner word
+     * for @p tx (strict 2PL — held to commit/rollback), and read the
+     * current committed bytes. False when the pk is absent or the
+     * row is committed-dead (gravestoned); an owner claimed on the
+     * way is released with the transaction. The shard-repartition
+     * row mover uses this so a row's move and concurrent updates of
+     * it serialize on the owner word.
+     */
+    bool fetchOwned(std::size_t table, std::int64_t pk,
+                    std::vector<DbValue> *out, RowTxState &tx);
+
+    /** Version-chain length behind @p pk's slot (0 when absent);
+     * regression hook for chain-trim bounds. */
+    std::size_t versionChainDepth(std::size_t table,
+                                  std::int64_t pk) const;
+
     /** Scan rows where column @p col equals @p v. */
     void scanEq(std::size_t table, std::size_t col, const DbValue &v,
                 const std::function<void(const std::vector<DbValue> &)>
@@ -305,10 +322,12 @@ class RowStore
                           bool filter_pk,
                           std::vector<DbValue> *out) const;
 
-    /** Drop chain entries for @p idx no active snapshot can reach
-     * (all of them when no snapshot is active). */
+    /** Drop chain entries for @p idx no active snapshot can reach:
+     * per active snapshot, keep only the newest image at or below
+     * it (all entries go when no snapshot is active). Bounds chain
+     * length by the active-snapshot count, not the update count. */
     void pruneChain(const TableRegion &region, std::size_t idx,
-                    Word min_active) const;
+                    const std::vector<Word> &active) const;
 
     /** Under indexMu: reap gravestones whose delete every active
      * snapshot postdates — erase the pk/eq entries, free the slot. */

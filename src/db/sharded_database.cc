@@ -21,27 +21,47 @@ std::atomic<std::uint64_t> g_shardedSerial{1};
 
 ShardedDatabase::ShardedDatabase(const ShardedDatabaseConfig &cfg,
                                  NvmConfig nvm_cfg)
-    : cfg_(cfg),
+    : cfg_(cfg), nvmCfg_(nvm_cfg),
       serial_(g_shardedSerial.fetch_add(1, std::memory_order_relaxed))
 {
     unsigned shards =
         cfg.shards ? cfg.shards : envUnsigned("ESPRESSO_SHARDS", 1);
-    unsigned vnodes = cfg.vnodes
-                          ? cfg.vnodes
-                          : envUnsigned("ESPRESSO_SHARD_VNODES",
-                                        ShardRouter::kDefaultVnodes);
-    router_ = ShardRouter(shards, vnodes);
+    vnodes_ = cfg.vnodes
+                  ? cfg.vnodes
+                  : envUnsigned("ESPRESSO_SHARD_VNODES",
+                                ShardRouter::kDefaultVnodes);
     coordDev_ = std::make_unique<NvmDevice>(
         DecisionLog::bytesFor(kCoordSlots), nvm_cfg);
     coordLog_ = DecisionLog(coordDev_.get(), 0, kCoordSlots);
     coordLog_.format();
-    shards_.reserve(shards);
+    // Reserved to the cap so grow()'s push_back never reallocates
+    // under concurrent indexed readers.
+    shards_.reserve(RingManifestData::kMaxShards);
     for (unsigned i = 0; i < shards; ++i)
         shards_.push_back(
             std::make_unique<Database>(cfg.shard, nvm_cfg, &clock_));
+    memberCount_.store(shards, std::memory_order_release);
+    publishRouting(ShardRouter(shards, vnodes_),
+                   ShardRouter(shards, vnodes_), false);
 }
 
 ShardedDatabase::~ShardedDatabase() = default;
+
+void
+ShardedDatabase::publishRouting(ShardRouter committed, ShardRouter next,
+                                bool migrating)
+{
+    auto r = std::make_unique<DbRouting>();
+    r->committed = std::move(committed);
+    r->next = std::move(next);
+    r->migrating = migrating;
+    const DbRouting *raw = r.get();
+    {
+        SpinGuard g(routingMu_);
+        routingHistory_.push_back(std::move(r));
+    }
+    routing_.store(raw, std::memory_order_release);
+}
 
 ShardedDatabase::TxState &
 ShardedDatabase::txState() const
@@ -53,8 +73,16 @@ ShardedDatabase::txState() const
         st = TxState{};
         st.gen = gen;
     }
-    if (st.begun.size() != shards_.size())
-        st.begun.assign(shards_.size(), 0);
+    // Size by the atomic listed-member count, not shards_.size()
+    // (push_back during grow would race the read). An open bracket
+    // keeps its begun flags when the membership grows under it.
+    unsigned n = memberCount_.load(std::memory_order_acquire);
+    if (st.open) {
+        if (st.begun.size() < n)
+            st.begun.resize(n, 0);
+    } else if (st.begun.size() != n) {
+        st.begun.assign(n, 0);
+    }
     return st;
 }
 
@@ -73,7 +101,7 @@ ShardedDatabase::abortBracket(TxState &st)
     // Database::rollback also consumes a member the engine already
     // rolled back (the aborted flag), so one loop covers both the
     // explicit-rollback and the engine-abort paths.
-    for (unsigned i = 0; i < shards_.size(); ++i) {
+    for (unsigned i = 0; i < st.begun.size(); ++i) {
         if (st.begun[i])
             shards_[i]->rollback();
         st.begun[i] = 0;
@@ -89,6 +117,21 @@ ShardedDatabase::closeBracket(TxState &st)
         st.snapshot = kNoSnapshot;
     }
     st.open = false;
+    activeBrackets_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+void
+ShardedDatabase::quiesceBrackets()
+{
+    bracketBarrier_.store(true, std::memory_order_release);
+    while (activeBrackets_.load(std::memory_order_acquire) != 0)
+        std::this_thread::yield();
+}
+
+void
+ShardedDatabase::releaseBrackets()
+{
+    bracketBarrier_.store(false, std::memory_order_release);
 }
 
 void
@@ -143,6 +186,18 @@ ShardedDatabase::beginBracket(const TxnOptions &opts)
     TxState &st = txState();
     if (st.open)
         fatal("sharded db: nested transactions are not supported");
+    // Bracket-drain fence: membership changes quiesce open brackets
+    // at the declare and commit points; park admission while the
+    // barrier is up, and back out of a raced admission so a quiesce
+    // that observed zero never sees a late bracket slip through.
+    for (;;) {
+        while (bracketBarrier_.load(std::memory_order_acquire))
+            std::this_thread::yield();
+        activeBrackets_.fetch_add(1, std::memory_order_acq_rel);
+        if (!bracketBarrier_.load(std::memory_order_acquire))
+            break;
+        activeBrackets_.fetch_sub(1, std::memory_order_acq_rel);
+    }
     st.aborted = false;
     st.abortCode = StatusCode::kOk;
     st.isolation = opts.isolation;
@@ -171,7 +226,7 @@ Status
 ShardedDatabase::commitBracket(TxState &st)
 {
     std::vector<unsigned> members;
-    for (unsigned i = 0; i < shards_.size(); ++i)
+    for (unsigned i = 0; i < st.begun.size(); ++i)
         if (st.begun[i])
             members.push_back(i);
 
@@ -333,8 +388,9 @@ ShardedDatabase::handleActive(std::uint64_t seq) const
 void
 ShardedDatabase::createTable(const TableSchema &schema)
 {
-    for (auto &s : shards_)
-        s->createTable(schema);
+    unsigned n = shardCount();
+    for (unsigned i = 0; i < n; ++i)
+        shards_[i]->createTable(schema);
 }
 
 std::int64_t
@@ -352,11 +408,35 @@ void
 ShardedDatabase::persistRecord(const std::string &table,
                                const DbRecord &record)
 {
-    unsigned idx = shardIndexForPk(pkOf(table, record));
+    std::int64_t pk = pkOf(table, record);
+    const DbRouting &rt = routingRef();
+    unsigned nidx =
+        rt.next.shardForKey(static_cast<std::uint64_t>(pk));
     TxState &st = txState();
-    joinShard(st, idx);
     try {
-        shards_[idx]->persistRecord(table, record);
+        if (rt.migrating) {
+            unsigned oidx = rt.committed.shardForKey(
+                static_cast<std::uint64_t>(pk));
+            if (oidx != nidx) {
+                // Mid-migration a remapped row lives at exactly one
+                // of its two homes (movers delete-source and insert-
+                // dest in one 2PC bracket): update it wherever it
+                // is. A miss at both probes means a fresh insert —
+                // or a row that moved between the probes, which the
+                // final new-home upsert catches via its own
+                // update-else-insert.
+                joinShard(st, nidx);
+                joinShard(st, oidx);
+                if (shards_[nidx]->updateRecord(table, record))
+                    return;
+                if (shards_[oidx]->updateRecord(table, record))
+                    return;
+                shards_[nidx]->persistRecord(table, record);
+                return;
+            }
+        }
+        joinShard(st, nidx);
+        shards_[nidx]->persistRecord(table, record);
     } catch (const WalFullError &) {
         noteMemberAbort(st, StatusCode::kWalFull);
         throw;
@@ -371,20 +451,58 @@ ShardedDatabase::fetchRecord(const std::string &table, std::int64_t pk,
                              DbRecord *out)
 {
     TxState &st = txState();
-    if (st.open && st.snapshot != kNoSnapshot)
-        return shardForPk(pk).fetchRecordAt(table, pk, out,
-                                            st.snapshot);
-    return shardForPk(pk).fetchRecord(table, pk, out);
+    Word snap = (st.open && st.snapshot != kNoSnapshot) ? st.snapshot
+                                                        : kNoSnapshot;
+    const DbRouting &rt = routingRef();
+    unsigned nidx =
+        rt.next.shardForKey(static_cast<std::uint64_t>(pk));
+    auto fetch_at = [&](unsigned i) {
+        return snap != kNoSnapshot
+                   ? shards_[i]->fetchRecordAt(table, pk, out, snap)
+                   : shards_[i]->fetchRecord(table, pk, out);
+    };
+    if (!rt.migrating)
+        return fetch_at(nidx);
+    unsigned oidx =
+        rt.committed.shardForKey(static_cast<std::uint64_t>(pk));
+    if (oidx == nidx)
+        return fetch_at(nidx);
+    if (fetch_at(nidx))
+        return true;
+    if (fetch_at(oidx))
+        return true;
+    // The row may have streamed old-home → new-home between the two
+    // probes; moves are one-way, so a second new-home probe is
+    // definitive.
+    return fetch_at(nidx);
 }
 
 bool
 ShardedDatabase::deleteRecord(const std::string &table, std::int64_t pk)
 {
-    unsigned idx = shardIndexForPk(pk);
+    const DbRouting &rt = routingRef();
+    unsigned nidx =
+        rt.next.shardForKey(static_cast<std::uint64_t>(pk));
     TxState &st = txState();
-    joinShard(st, idx);
     try {
-        return shards_[idx]->deleteRecord(table, pk);
+        if (rt.migrating) {
+            unsigned oidx = rt.committed.shardForKey(
+                static_cast<std::uint64_t>(pk));
+            if (oidx != nidx) {
+                // Same two-probe-plus-definitive-retry shape as
+                // fetchRecord, but locking: the delete serializes
+                // with a concurrent mover on the row lock.
+                joinShard(st, nidx);
+                joinShard(st, oidx);
+                if (shards_[nidx]->deleteRecord(table, pk))
+                    return true;
+                if (shards_[oidx]->deleteRecord(table, pk))
+                    return true;
+                return shards_[nidx]->deleteRecord(table, pk);
+            }
+        }
+        joinShard(st, nidx);
+        return shards_[nidx]->deleteRecord(table, pk);
     } catch (const WalFullError &) {
         noteMemberAbort(st, StatusCode::kWalFull);
         throw;
@@ -401,22 +519,181 @@ ShardedDatabase::scanEq(
     const std::function<void(const std::vector<DbValue> &)> &fn)
 {
     TxState &st = txState();
+    unsigned n = shardCount();
     if (st.open && st.snapshot != kNoSnapshot) {
-        for (auto &s : shards_)
-            s->scanEqAt(table, column, v, fn, st.snapshot);
+        for (unsigned i = 0; i < n; ++i)
+            shards_[i]->scanEqAt(table, column, v, fn, st.snapshot);
         return;
     }
-    for (auto &s : shards_)
-        s->scanEq(table, column, v, fn);
+    for (unsigned i = 0; i < n; ++i)
+        shards_[i]->scanEq(table, column, v, fn);
 }
 
 std::size_t
 ShardedDatabase::rowCount(const std::string &table)
 {
-    std::size_t n = 0;
-    for (auto &s : shards_)
-        n += s->rowCount(table);
-    return n;
+    std::size_t rows = 0;
+    unsigned n = shardCount();
+    for (unsigned i = 0; i < n; ++i)
+        rows += shards_[i]->rowCount(table);
+    return rows;
+}
+
+void
+ShardedDatabase::addMemberLocked()
+{
+    auto db =
+        std::make_unique<Database>(cfg_.shard, nvmCfg_, &clock_);
+    // Joiners replay the catalog before they are listed: every
+    // member carries every table's schema.
+    for (const TableSchema &t : shards_[0]->catalog().tables())
+        db->createTable(t);
+    shards_.push_back(std::move(db));
+}
+
+void
+ShardedDatabase::moveRow(const std::string &table, unsigned src,
+                         unsigned dst, std::int64_t pk)
+{
+    for (unsigned attempt = 0;; ++attempt) {
+        TxState &st = beginBracket(TxnOptions{});
+        try {
+            joinShard(st, src);
+            DbRecord rec;
+            if (!shards_[src]->fetchForUpdate(table, pk, &rec)) {
+                // Deleted, or already moved (idempotent resume).
+                abortBracket(st);
+                return;
+            }
+            joinShard(st, dst);
+            shards_[dst]->persistRecord(table, rec);
+            if (!shards_[src]->deleteRecord(table, pk))
+                fatal("sharded db: repartition lost a locked row");
+            (void)commitBracket(st);
+            return;
+        } catch (const WalFullError &) {
+            noteMemberAbort(st, StatusCode::kWalFull);
+        } catch (const TxnAbortError &) {
+            // Deadlock victim against a user bracket; back off and
+            // retry (noteMemberAbort already ran via persist/delete,
+            // or the bracket is still open after fetchForUpdate).
+            if (st.open)
+                abortBracket(st);
+        }
+        st.aborted = false; // the mover retries instead of reporting
+        if (attempt > 10000)
+            fatal("sharded db: repartition starved moving a row");
+        std::this_thread::yield();
+    }
+}
+
+void
+ShardedDatabase::repartition(unsigned from, unsigned target)
+{
+    ShardRouter new_ring(target, vnodes_);
+    // Grow remaps a slice of every old member; shrink drains the
+    // removed members entirely (the new ring never maps to them).
+    unsigned src_begin = target > from ? 0 : target;
+    std::vector<std::string> tables;
+    for (const TableSchema &t : shards_[0]->catalog().tables())
+        tables.push_back(t.name);
+    for (unsigned s = src_begin; s < from; ++s) {
+        for (const std::string &table : tables) {
+            std::vector<std::int64_t> movers;
+            shards_[s]->forEachPk(table, [&](std::int64_t pk) {
+                if (new_ring.shardForKey(
+                        static_cast<std::uint64_t>(pk)) != s)
+                    movers.push_back(pk);
+            });
+            for (std::int64_t pk : movers)
+                moveRow(table, s,
+                        new_ring.shardForKey(
+                            static_cast<std::uint64_t>(pk)),
+                        pk);
+        }
+    }
+}
+
+void
+ShardedDatabase::runMembershipChangeLocked(unsigned from,
+                                           unsigned target)
+{
+    // Declare: make sure every engine exists (idempotent across a
+    // resume), list the union of old and new memberships so scans
+    // cover joiners and leavers, and publish the epoch pair behind
+    // a bracket drain.
+    unsigned bound = from > target ? from : target;
+    while (shards_.size() < bound)
+        addMemberLocked();
+    quiesceBrackets();
+    memberCount_.store(bound, std::memory_order_release);
+    publishRouting(ShardRouter(from, vnodes_),
+                   ShardRouter(target, vnodes_), true);
+    releaseBrackets();
+
+    // Migrate: stream every remapped row to its new-ring home while
+    // traffic keeps probing both epochs.
+    repartition(from, target);
+
+    // Commit: drain brackets begun against the pair, then retire
+    // the old epoch.
+    quiesceBrackets();
+    publishRouting(ShardRouter(target, vnodes_),
+                   ShardRouter(target, vnodes_), false);
+    memberCount_.store(target, std::memory_order_release);
+    migrPending_ = false;
+    releaseBrackets();
+}
+
+void
+ShardedDatabase::grow(unsigned added)
+{
+    if (added == 0)
+        return;
+    SpinGuard g(membershipMu_);
+    if (migrPending_)
+        fatal("sharded db: membership change already in flight "
+              "(resumeMembershipChange after a crash)");
+    if (txState().open)
+        fatal("sharded db: grow inside a transaction bracket");
+    unsigned from = memberCount_.load(std::memory_order_acquire);
+    unsigned target = from + added;
+    if (target > RingManifestData::kMaxShards)
+        fatal("sharded db: grow past the member cap");
+    migrFrom_ = from;
+    migrTarget_ = target;
+    migrPending_ = true;
+    runMembershipChangeLocked(from, target);
+}
+
+void
+ShardedDatabase::shrink(unsigned removed)
+{
+    if (removed == 0)
+        return;
+    SpinGuard g(membershipMu_);
+    if (migrPending_)
+        fatal("sharded db: membership change already in flight "
+              "(resumeMembershipChange after a crash)");
+    if (txState().open)
+        fatal("sharded db: shrink inside a transaction bracket");
+    unsigned from = memberCount_.load(std::memory_order_acquire);
+    if (removed >= from)
+        fatal("sharded db: cannot shrink to zero members");
+    unsigned target = from - removed;
+    migrFrom_ = from;
+    migrTarget_ = target;
+    migrPending_ = true;
+    runMembershipChangeLocked(from, target);
+}
+
+void
+ShardedDatabase::resumeMembershipChange()
+{
+    SpinGuard g(membershipMu_);
+    if (!migrPending_)
+        return;
+    runMembershipChangeLocked(migrFrom_, migrTarget_);
 }
 
 void
@@ -435,6 +712,13 @@ void
 ShardedDatabase::crash(CrashMode mode, std::uint64_t seed)
 {
     generation_.fetch_add(1, std::memory_order_release);
+
+    // Counted brackets and a raised barrier belong to dead threads
+    // (quiesced-caller contract) — including a membership change
+    // killed mid-repartition, which resumeMembershipChange() rolls
+    // forward after recovery.
+    bracketBarrier_.store(false, std::memory_order_release);
+    activeBrackets_.store(0, std::memory_order_release);
 
     // Coordinator first: the surviving decision records define which
     // in-doubt (prepared) member transactions committed.

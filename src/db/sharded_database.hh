@@ -45,10 +45,30 @@
  * Single-row auto-committed operations (the YCSB pattern) involve
  * exactly one shard and keep Database's full atomicity story.
  *
- * Caller contracts (same as Database): DDL and crash()/crashShard()
- * must not run concurrently with other statements. The SQL ingress
- * path is not routed (use a per-shard Database for SQL); the record
- * path is the sharded surface.
+ * Elastic membership (PR 7): grow()/shrink() repartition every table
+ * over a new ring while point operations and brackets keep running.
+ * The change publishes an epoch *pair* {committed, next}: writes and
+ * inserts route by the next ring immediately; reads probe the new
+ * home first and fall back to the old one while rows stream over.
+ * Each remapped row moves in its own cross-shard 2PC bracket
+ * (write-lock source → upsert dest → delete source → commit), so a
+ * mover and a concurrent user write serialize on the row lock and a
+ * snapshot scan sees exactly one copy of every row. In-flight
+ * brackets drain at two fences — before the pair is published and
+ * before the new ring is committed — matching the heap fabric's
+ * declare → migrate → commit protocol. A crash mid-change is resumed
+ * by resumeMembershipChange() after crash(); the per-row move
+ * brackets are idempotent (absent source rows are skipped), so the
+ * repartition simply re-runs. Shrunk members are retained as
+ * unlisted zombies so member indices stay stable for the life of
+ * the instance.
+ *
+ * Caller contracts (same as Database): DDL, crash()/crashShard(),
+ * and grow()/shrink() must not run concurrently with other
+ * statements *on the calling thread*; other threads' traffic keeps
+ * flowing and is drained at the two fences. The SQL ingress path is
+ * not routed (use a per-shard Database for SQL); the record path is
+ * the sharded surface.
  */
 
 #ifndef ESPRESSO_DB_SHARDED_DATABASE_HH
@@ -93,19 +113,27 @@ class ShardedDatabase
 
     /** @name Geometry */
     /// @{
+    /** Listed member count: the committed membership, or the union
+     * of old and new memberships while a change is migrating (scans
+     * must cover joiners and leavers until the commit fence). */
     unsigned
     shardCount() const
     {
-        return static_cast<unsigned>(shards_.size());
+        return memberCount_.load(std::memory_order_acquire);
     }
 
     Database &shard(unsigned i) { return *shards_[i]; }
-    const ShardRouter &router() const { return router_; }
 
+    /** The committed ring (reads; the pre-change ring mid-change). */
+    const ShardRouter &router() const { return routingRef().committed; }
+
+    /** Routes by the *next* ring: where writes land, and where a
+     * remapped pk lives once its move bracket commits. */
     unsigned
     shardIndexForPk(std::int64_t pk) const
     {
-        return router_.shardForKey(static_cast<std::uint64_t>(pk));
+        return routingRef().next.shardForKey(
+            static_cast<std::uint64_t>(pk));
     }
 
     Database &
@@ -113,6 +141,32 @@ class ShardedDatabase
     {
         return *shards_[shardIndexForPk(pk)];
     }
+    /// @}
+
+    /** @name Elastic membership */
+    /// @{
+    /**
+     * Add @p added members and repartition every table over the
+     * grown ring while traffic keeps flowing (see the file comment
+     * for the fence protocol). Joiners replay the catalog before
+     * they are published. Serializes against other membership
+     * changes; the calling thread must hold no open bracket.
+     */
+    void grow(unsigned added);
+
+    /** Remove the top @p removed members, streaming every row they
+     * hold to its new home first. The shrunk members' engines are
+     * retained (unlisted) until destruction. */
+    void shrink(unsigned removed);
+
+    /** Re-run an interrupted membership change after crash(): the
+     * repartition's per-row move brackets are idempotent, so the
+     * change rolls forward to its commit fence. No-op when no
+     * change was in flight. */
+    void resumeMembershipChange();
+
+    /** True while a membership change is streaming rows. */
+    bool migrating() const { return routingRef().migrating; }
     /// @}
 
     /** @name Transactions (calling thread's) */
@@ -246,8 +300,83 @@ class ShardedDatabase
     /** pk column of @p table (members share one catalog shape). */
     std::int64_t pkOf(const std::string &table, const DbRecord &record);
 
+    /**
+     * The published routing epoch pair. While a membership change is
+     * migrating, writes route by @p next and reads probe next-then-
+     * committed; outside a change the two rings are identical.
+     * Instances are immutable once published and retained until
+     * destruction, so a lock-free reader's reference never dangles.
+     */
+    struct DbRouting
+    {
+        ShardRouter committed;
+        ShardRouter next;
+        bool migrating = false;
+    };
+
+    const DbRouting &
+    routingRef() const
+    {
+        return *routing_.load(std::memory_order_acquire);
+    }
+
+    void publishRouting(ShardRouter committed, ShardRouter next,
+                        bool migrating);
+
+    /** @name Membership-change machinery (membershipMu_ held) */
+    /// @{
+    /** Declare + migrate + commit for from → target members. */
+    void runMembershipChangeLocked(unsigned from, unsigned target);
+
+    /** Stream every remapped row to its new home, one idempotent
+     * 2PC bracket per row. */
+    void repartition(unsigned from, unsigned target);
+
+    /** Move one row: lock at @p src, upsert at @p dst, delete at
+     * @p src, commit — retrying when chosen as a deadlock victim. */
+    void moveRow(const std::string &table, unsigned src, unsigned dst,
+                 std::int64_t pk);
+
+    /** Construct one joiner engine and replay the catalog into it. */
+    void addMemberLocked();
+    /// @}
+
+    /** @name Bracket drain fence */
+    /// @{
+    /** Raise the barrier and wait for every counted bracket to
+     * close (new beginBracket calls park on the barrier). */
+    void quiesceBrackets();
+    void releaseBrackets();
+    /// @}
+
     ShardedDatabaseConfig cfg_;
-    ShardRouter router_;
+    /** Ring points per member (resolved once; rebuilt rings match). */
+    unsigned vnodes_ = ShardRouter::kDefaultVnodes;
+    /** Member engine sizing, kept for joiners. */
+    NvmConfig nvmCfg_;
+
+    /** Current routing epoch pair (see DbRouting). */
+    std::atomic<const DbRouting *> routing_{nullptr};
+    /** Every routing ever published (lock-free readers may still
+     * hold references; guarded by routingMu_). */
+    std::vector<std::unique_ptr<DbRouting>> routingHistory_;
+    SpinLock routingMu_;
+
+    /** Listed members (see shardCount()). */
+    std::atomic<unsigned> memberCount_{0};
+
+    /** Serializes membership changes. */
+    SpinLock membershipMu_;
+    /** In-flight change for resumeMembershipChange() (guarded by
+     * membershipMu_). */
+    bool migrPending_ = false;
+    unsigned migrFrom_ = 0;
+    unsigned migrTarget_ = 0;
+
+    /** Bracket drain fence: beginBracket parks while the barrier is
+     * up; quiesceBrackets waits for the count to hit zero. */
+    std::atomic<bool> bracketBarrier_{false};
+    std::atomic<unsigned> activeBrackets_{0};
 
     /** One commit clock across all members: cross-shard commits get
      * one timestamp, snapshots are fabric-wide. */
@@ -262,6 +391,10 @@ class ShardedDatabase
     /** Live decision slots (bit i = slot i claimed). */
     std::atomic<std::uint64_t> coordSlotBitmap_{0};
 
+    /** Member engines. Reserved to RingManifestData::kMaxShards up
+     * front so push_back never reallocates under indexed readers;
+     * shrunk members stay as unlisted zombies (indices are stable
+     * for the life of the instance). */
     std::vector<std::unique_ptr<Database>> shards_;
 
     /** Begin sequences for Txn handles (never 0). */

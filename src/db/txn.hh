@@ -37,6 +37,7 @@
 #include <cstdint>
 #include <set>
 #include <thread>
+#include <vector>
 
 #include "db/status.hh"
 #include "util/common.hh"
@@ -179,6 +180,16 @@ class SnapshotClock
     {
         SpinGuard g(mu);
         return active_.empty() ? kNoActiveSnapshots : *active_.begin();
+    }
+
+    /** Sorted copy of every active snapshot timestamp: the version
+     * chain trimmer keeps, per active snapshot, only the newest
+     * version at or below it. Empty = no active snapshots. */
+    std::vector<Word>
+    activeSnapshots()
+    {
+        SpinGuard g(mu);
+        return {active_.begin(), active_.end()};
     }
 
     /** Writer admission at begin: true = maintain version chains

@@ -39,20 +39,39 @@
  *    re-committed. Per-shard crash recovery (torn tails, interrupted
  *    compactions) is PjhHeap::attach's job and stays per-shard.
  *
- * Membership operations (create, recover, detach, crashShard,
- * crashAll, reattachShard, migrate) are not thread-safe against each
- * other, against traffic on the affected shard, or against
- * fabric-level root operations (setRoot/getRoot/hasRoot and homeOf
- * scan every member slot, so they must be quiesced across a
- * membership change even when their name routes elsewhere).
- * HeapManager serializes the named-fabric registry, and per-shard
- * quiescence is the caller's contract (same as collect()).
+ * Elastic membership (grow/shrink) is ONLINE: traffic keeps flowing
+ * while members join or leave. The durable protocol mirrors fabric
+ * creation — declareMigration() fences a checksummed intent record,
+ * per-member migrated flags persist incremental progress, and the
+ * membership commit() fence (epoch += 1, shardCount = target) is the
+ * atomic switch; recover() rolls a declared change forward and a
+ * torn declare reads as "nothing happened". While a change is in
+ * flight the fabric routes by an epoch PAIR: writes (pnew, null
+ * publishes) follow the next ring so new data lands on its
+ * post-change home, reads probe the next ring, then the committed
+ * ring — following forwarding stubs (NameKind::kForward) the
+ * migration leaves in the old home's name table — then every member.
+ * The commit fence retires the forwards.
+ *
+ * Lifecycle membership operations (create, recover, detach,
+ * crashShard, crashAll, reattachShard, migrate) are not thread-safe
+ * against each other or against traffic on the affected shard.
+ * grow/shrink are the exception by design: they serialize against
+ * each other on an internal mutex and run concurrently with
+ * allocation and root traffic — but not with collections of source
+ * members (object closures are streamed with plain reads, the same
+ * quiescence class as collect()). HeapManager serializes the
+ * named-fabric registry, and per-shard quiescence is the caller's
+ * contract (same as collect()).
  */
 
 #ifndef ESPRESSO_PJH_HEAP_FABRIC_HH
 #define ESPRESSO_PJH_HEAP_FABRIC_HH
 
+#include <array>
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -136,10 +155,12 @@ class HeapFabric
 
     /** @name Geometry */
     /// @{
+    /** Member slots in use (during a grow this already counts the
+     * joining members; individual slots may be crashed/null). */
     unsigned
     shardCount() const
     {
-        return static_cast<unsigned>(devices_.size());
+        return memberSlots_.load(std::memory_order_acquire);
     }
 
     /** Committed membership epoch. */
@@ -150,16 +171,17 @@ class HeapFabric
 
     NvmDevice *shardDevice(unsigned i) const;
     NvmDevice *manifestDevice() const { return manifestDev_.get(); }
-    const ShardRouter &router() const { return router_; }
+
+    /** The committed epoch's ring. */
+    const ShardRouter &router() const;
+
+    /** True while a membership change is streaming keys. */
+    bool migrating() const;
     /// @}
 
-    /** @name Routing */
+    /** @name Routing (read side: the committed epoch's ring) */
     /// @{
-    unsigned
-    shardIndexFor(const std::string &route_key) const
-    {
-        return router_.shardForName(route_key);
-    }
+    unsigned shardIndexFor(const std::string &route_key) const;
 
     /** Ring shard for a name/route key (must be attached). */
     PjhHeap *shardFor(const std::string &route_key) const;
@@ -167,8 +189,77 @@ class HeapFabric
     /** Ring shard for an integer key (database pks). */
     PjhHeap *shardForKey(std::uint64_t key) const;
 
+    /** @name Write-epoch routing
+     * During a membership change these follow the NEXT ring, so new
+     * allocations land on their post-change home and need no
+     * migration; with no change in flight they equal the committed
+     * ring. The runtime's pnew paths route through these. */
+    /// @{
+    unsigned shardIndexForWrite(const std::string &route_key) const;
+    PjhHeap *shardForWrite(const std::string &route_key) const;
+    PjhHeap *shardForKeyWrite(std::uint64_t key) const;
+    /// @}
+
     /** Attached shard whose data heap owns @p obj, or nullptr. */
     PjhHeap *homeOf(Oop obj) const;
+    /// @}
+
+    /**
+     * @name Elastic membership (online grow/shrink)
+     *
+     * Durable state machine, same checksummed-declare pattern as
+     * creation:
+     *
+     *   declareMigration(target)  -- fence; the change now durably
+     *                                exists and recovery rolls it
+     *                                forward
+     *   [format + markFormatted]  -- joining members, grow only
+     *   markMigrated(s)           -- after source member s's remapped
+     *                                roots are durably re-homed
+     *   commit                    -- epoch += 1, shardCount = target;
+     *                                the atomic membership switch
+     *   [retire forwards, drop leavers, clearMigration]
+     *
+     * Migration streams each remapped root's object closure to its
+     * new home shard, publishes the root there, leaves a
+     * NameKind::kForward stub (value = dest member + 1) in the old
+     * home's name table, then nulls the old binding — in that order,
+     * so a reader that misses the old binding is guaranteed (by the
+     * name table's release/acquire value discipline) to see the
+     * forward and the new binding. A crash replays the member's
+     * sweep idempotently: already-moved roots are skipped (their
+     * destination binding is non-null). After the commit fence the
+     * forwards are retired (value 0) and, on shrink, the evacuated
+     * members are torn down.
+     *
+     * Caller contract: one membership change at a time (internally
+     * serialized), every current member attached, and no concurrent
+     * collect() on source members while the change streams closures.
+     */
+    /// @{
+    /** Add @p added members and re-home ring-remapped keys. */
+    void grow(unsigned added);
+
+    /** Evacuate and remove the last @p removed members. */
+    void shrink(unsigned removed);
+
+    /** Per-member occupancy (live members only). */
+    struct Occupancy
+    {
+        unsigned shard;
+        std::size_t used;
+        std::size_t capacity;
+    };
+    std::vector<Occupancy> occupancy() const;
+
+    /**
+     * Fabric-aware load balancer, now a thin policy layer on the
+     * migration machinery: when any live member's data occupancy is
+     * at or above @p high_water (fraction of capacity), grow by
+     * @p add_shards so the ring spreads its keys. Returns true when
+     * a grow ran.
+     */
+    bool balance(double high_water, unsigned add_shards = 1);
     /// @}
 
     /**
@@ -263,9 +354,67 @@ class HeapFabric
     /// @}
 
   private:
+    /** One epoch pair of rings, published atomically so traffic
+     * threads read a consistent (committed, next, migrating) triple.
+     * Old instances stay alive until fabric destruction — a reader
+     * may still hold one. */
+    struct FabricRouting
+    {
+        ShardRouter committed;
+        ShardRouter next;
+        bool migrating = false;
+    };
+
     void wireShard(PjhHeap *heap);
     void unwireShard(PjhHeap *heap);
     void dropShardHeap(unsigned i);
+
+    const FabricRouting *
+    routingRef() const
+    {
+        return routing_.load(std::memory_order_acquire);
+    }
+
+    /** Publish a new routing epoch pair (membership contexts only). */
+    void publishRouting(ShardRouter committed, ShardRouter next,
+                        bool migrating);
+
+    /** Publish member @p k's heap pointer for lock-free readers and
+     * raise the slot high-water mark. */
+    void publishMember(unsigned k, PjhHeap *heap);
+
+    /** Validate + declare a change to @p target members, then drive
+     * it to completion (caller holds membershipMu_). */
+    void changeMembershipLocked(unsigned target);
+
+    /** Drive a declared migration record to completion: bring
+     * joiners up, stream each source member, commit, retire
+     * forwards, tear down leavers. Idempotent — also the crash
+     * roll-forward path recover() re-enters. */
+    void completeMembershipChangeLocked();
+
+    /** Stream member @p s's remapped roots to their new homes. */
+    void migrateMember(unsigned s, const ShardRouter &old_ring,
+                       const ShardRouter &new_ring, bool grow_dir);
+
+    /** Move one root: clone its closure, publish on the new home,
+     * leave a forward, null the old binding. */
+    void migrateRoot(PjhHeap *src, const std::string &name,
+                     unsigned dest_idx);
+
+    /** Deep-copy @p obj's intra-shard closure from @p src to @p dst
+     * (refs between closure members are remapped; refs out of the
+     * source shard are carried verbatim). */
+    Oop cloneClosure(PjhHeap *src, PjhHeap *dst, Oop obj) const;
+
+    /** Retire (zero) every kForward stub on member @p s. */
+    void retireForwards(unsigned s);
+
+    /** Post-commit cleanup: retire forwards on the change's source
+     * members, tear down evacuated members (shrink), durably clear
+     * the migration record. Idempotent; also the crash roll-forward
+     * path for a crash after the commit fence. */
+    void finishMigrationCleanupLocked();
 
     /** Byte offset of the root-intent DecisionLog region on the
      * manifest device. */
@@ -291,7 +440,22 @@ class HeapFabric
     /** One slot per member; a crashed member's slot is null until
      * reattachShard(). Empty vector = fabric not attached. */
     std::vector<std::unique_ptr<PjhHeap>> heaps_;
-    ShardRouter router_;
+
+    /** Lock-free mirror of heaps_ for traffic threads: grow/shrink
+     * resize the owning vectors while allocators route, so hot paths
+     * never touch the vectors themselves. */
+    std::array<std::atomic<PjhHeap *>, RingManifestData::kMaxShards>
+        live_{};
+    /** Member-slot high-water mark (shardCount()). */
+    std::atomic<unsigned> memberSlots_{0};
+
+    /** Current epoch pair; history keeps old pairs alive for
+     * readers that loaded them before a swap. */
+    std::atomic<const FabricRouting *> routing_{nullptr};
+    std::vector<std::unique_ptr<FabricRouting>> routingHistory_;
+
+    /** Serializes grow/shrink (and their crash-resume) runs. */
+    std::mutex membershipMu_;
 
     /** Fabric-level GC coordinator pool (distinct from each heap's
      * own mark/compact pool). */

@@ -43,6 +43,17 @@ enum class NameKind : Word
 {
     kKlass = 0,
     kRoot = 1,
+
+    /**
+     * Membership-change forwarding stub: the named root moved to
+     * another shard. value = destination member index + 1, or 0 once
+     * the move's commit fence retired the forward. The kind is part
+     * of a slot's identity, so a forward never overwrites the name's
+     * kRoot entry — readers probe kRoot first and follow the forward
+     * only on a miss, which with the table's release-publish /
+     * acquire-read value discipline makes the follow lock-free.
+     */
+    kForward = 2,
 };
 
 /** One persistent name-table slot. */

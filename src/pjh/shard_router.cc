@@ -36,11 +36,20 @@ ShardRouter::ShardRouter(unsigned shards, unsigned vnodes)
 {
     if (shards_ == 0)
         fatal("ShardRouter: zero shards");
+    // Domain-separate the vnode points from the key-hash domain.
+    // Integer keys route via mix(pk) directly, and mix is a
+    // bijection: deriving points as mix((s << 32) | v) made every
+    // pk < vnodes collide exactly with one of member 0's points, so
+    // small primary keys all piled onto member 0. A salted second
+    // mix round keeps the point set disjoint from the hash of any
+    // structured key.
+    constexpr std::uint64_t kPointSalt = 0xe5a7ca7e5a1ad5e5ull;
     ring_.reserve(static_cast<std::size_t>(shards_) * vnodes_);
     for (unsigned s = 0; s < shards_; ++s) {
         for (unsigned v = 0; v < vnodes_; ++v) {
             std::uint64_t point =
-                mix((static_cast<std::uint64_t>(s) << 32) | v);
+                mix(mix((static_cast<std::uint64_t>(s) << 32) | v) ^
+                    kPointSalt);
             ring_.push_back({point, s});
         }
     }
@@ -83,6 +92,21 @@ RingManifestData::computeDeclChecksum() const
     fold(bounceSize);
     fold(undoLogSize);
     fold(tlabSize);
+    return h;
+}
+
+Word
+RingManifestData::computeMigrChecksum() const
+{
+    Word h = 0xcbf29ce484222325ull;
+    auto fold = [&h](Word v) {
+        h = (h ^ v) * 0x100000001b3ull;
+        h = ShardRouter::mix(h);
+    };
+    fold(version);
+    fold(migrTarget);
+    fold(migrFrom);
+    fold(migrEpoch);
     return h;
 }
 
@@ -140,6 +164,91 @@ RingManifest::markFormatted(unsigned k)
     d_->memberState[k] = RingManifestData::kMemberFormatted;
     dev_->persist(reinterpret_cast<Addr>(&d_->memberState[k]),
                   sizeof(Word));
+}
+
+void
+RingManifest::clearMember(unsigned k)
+{
+    d_->memberState[k] = RingManifestData::kMemberEmpty;
+    dev_->persist(reinterpret_cast<Addr>(&d_->memberState[k]),
+                  sizeof(Word));
+}
+
+bool
+RingManifest::migrationDeclared() const
+{
+    return declared() && d_->migrTarget >= 1 &&
+           d_->migrTarget <= RingManifestData::kMaxShards &&
+           d_->migrCheck == d_->computeMigrChecksum() &&
+           d_->migrEpoch == d_->epoch;
+}
+
+bool
+RingManifest::migrationStale() const
+{
+    return declared() && d_->migrTarget >= 1 &&
+           d_->migrTarget <= RingManifestData::kMaxShards &&
+           d_->migrCheck == d_->computeMigrChecksum() &&
+           d_->migrEpoch != d_->epoch;
+}
+
+void
+RingManifest::declareMigration(unsigned target)
+{
+    if (target == 0 || target > RingManifestData::kMaxShards)
+        fatal("RingManifest: migration target out of range");
+    // Fence 1: retire any done flags left by a previous change. The
+    // header is written after its own fence so a crash between the
+    // two reads as "never declared" with clean flags — the header
+    // line and the flag lines would otherwise persist independently.
+    std::memset(d_->migrDone, 0, sizeof(d_->migrDone));
+    dev_->flush(reinterpret_cast<Addr>(d_->migrDone),
+                sizeof(d_->migrDone));
+    dev_->fence();
+    // Fence 2: the atomic declaration point. Header + checksum live
+    // on one cache line; a torn persist fails the checksum.
+    d_->migrTarget = target;
+    d_->migrFrom = d_->shardCount;
+    d_->migrEpoch = d_->epoch;
+    d_->migrCheck = d_->computeMigrChecksum();
+    dev_->flush(reinterpret_cast<Addr>(&d_->migrTarget),
+                4 * sizeof(Word));
+    dev_->fence();
+}
+
+void
+RingManifest::markMigrated(unsigned k)
+{
+    d_->migrDone[k] = 1;
+    dev_->persist(reinterpret_cast<Addr>(&d_->migrDone[k]),
+                  sizeof(Word));
+}
+
+bool
+RingManifest::memberMigrated(unsigned k) const
+{
+    return d_->migrDone[k] == 1;
+}
+
+void
+RingManifest::commitMembership()
+{
+    commit(static_cast<unsigned>(d_->migrTarget));
+}
+
+void
+RingManifest::clearMigration()
+{
+    d_->migrTarget = 0;
+    d_->migrFrom = 0;
+    d_->migrEpoch = 0;
+    d_->migrCheck = 0;
+    std::memset(d_->migrDone, 0, sizeof(d_->migrDone));
+    dev_->flush(reinterpret_cast<Addr>(&d_->migrTarget),
+                4 * sizeof(Word));
+    dev_->flush(reinterpret_cast<Addr>(d_->migrDone),
+                sizeof(d_->migrDone));
+    dev_->fence();
 }
 
 void

@@ -75,6 +75,14 @@ class ShardRouter
         return shardForHash(mix(key));
     }
 
+    /** Remap diff against another epoch's ring: true when @p hash
+     * routes to a different shard on @p next than on this ring. */
+    bool
+    remapped(const ShardRouter &next, std::uint64_t hash) const
+    {
+        return shardForHash(hash) != next.shardForHash(hash);
+    }
+
     /** FNV-1a with a finalizer; stable across processes. */
     static std::uint64_t hashName(const std::string &name);
 
@@ -152,11 +160,37 @@ struct RingManifestData
     /** 1 once member k's own device is durably formatted. */
     Word memberState[kMaxShards];
 
+    /**
+     * @name In-progress membership change (grow/shrink)
+     *
+     * A durable migration record, declared with the same
+     * checksummed-declare pattern as fabric creation: the header
+     * below occupies one cache line, and migrCheck folds the fields
+     * that define the change — so a torn declare reads back as "no
+     * change in progress" and the declare fence is the atomic point
+     * past which recovery rolls the change forward. migrEpoch pins
+     * the record to the epoch it was declared under: once commit()
+     * bumps the epoch the record is stale, and recovery only has
+     * post-commit cleanup (forward retirement, member teardown) left.
+     */
+    /// @{
+    Word migrTarget; ///< declared new member count (0 = none)
+    Word migrFrom;   ///< member count the change started from
+    Word migrEpoch;  ///< epoch the change was declared under
+    Word migrCheck;  ///< checksum over the three fields above
+    Word migrPad[4];
+    /** 1 once source member k's remapped roots are fully streamed. */
+    Word migrDone[kMaxShards];
+    /// @}
+
     static constexpr Word kMemberEmpty = 0;
     static constexpr Word kMemberFormatted = 1;
 
     /** The declaration checksum (FNV-mix over the declared fields). */
     Word computeDeclChecksum() const;
+
+    /** The migration-record checksum (FNV-mix over the header). */
+    Word computeMigrChecksum() const;
 };
 
 /** View over the manifest region of the fabric's manifest device. */
@@ -189,8 +223,45 @@ class RingManifest
     /** Durably flag member @p k as formatted. */
     void markFormatted(unsigned k);
 
+    /** Durably clear member @p k's formatted flag (shrink teardown). */
+    void clearMember(unsigned k);
+
     /** Commit the membership: shardCount = @p n, epoch += 1. */
     void commit(unsigned n);
+
+    /** @name Membership-change (grow/shrink) migration record */
+    /// @{
+
+    /** True when a declared migration is pending under the current
+     * epoch (the commit fence has not retired it yet). */
+    bool migrationDeclared() const;
+
+    /** True when the record survived its own commit fence: the epoch
+     * moved past migrEpoch, so only post-commit cleanup remains. */
+    bool migrationStale() const;
+
+    /**
+     * Durably declare a membership change to @p target members. Two
+     * fences: the first retires any stale per-member done flags, the
+     * second — the atomic declaration point — publishes the
+     * checksummed header. After it, recovery rolls the change
+     * forward; before it, nothing happened.
+     */
+    void declareMigration(unsigned target);
+
+    /** Durably flag source member @p k as fully migrated. */
+    void markMigrated(unsigned k);
+
+    bool memberMigrated(unsigned k) const;
+
+    /** The commit fence: shardCount = migrTarget, epoch += 1. The
+     * membership change is now durable; the record goes stale. */
+    void commitMembership();
+
+    /** Durably retire the migration record after cleanup. */
+    void clearMigration();
+
+    /// @}
 
     const RingManifestData &data() const { return *d_; }
 

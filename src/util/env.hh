@@ -6,21 +6,44 @@
 #ifndef ESPRESSO_UTIL_ENV_HH
 #define ESPRESSO_UTIL_ENV_HH
 
+#include <cctype>
+#include <cstdio>
 #include <cstdlib>
 
 namespace espresso {
 
-/** Parse @p name as a positive unsigned; @p fallback when unset,
- * non-numeric, or non-positive. */
+/**
+ * Parse @p name as a positive unsigned; @p fallback when unset,
+ * non-numeric, or non-positive. Strict: trailing garbage after the
+ * digits ("4x", "16 shards") is rejected with a one-line warning
+ * instead of being silently truncated to its numeric prefix —
+ * a mistyped ESPRESSO_SHARDS should not quietly resize the fabric.
+ * Trailing whitespace alone is tolerated.
+ */
 inline unsigned
 envUnsigned(const char *name, unsigned fallback)
 {
-    if (const char *s = std::getenv(name)) {
-        long v = std::atol(s);
-        if (v > 0)
-            return static_cast<unsigned>(v);
+    const char *s = std::getenv(name);
+    if (!s)
+        return fallback;
+    char *end = nullptr;
+    long v = std::strtol(s, &end, 10);
+    bool parsed = end != s;
+    while (parsed && *end != '\0') {
+        if (!std::isspace(static_cast<unsigned char>(*end))) {
+            parsed = false;
+            break;
+        }
+        ++end;
     }
-    return fallback;
+    if (!parsed || v <= 0) {
+        std::fprintf(stderr,
+                     "espresso: ignoring %s=\"%s\" (want a positive "
+                     "integer); using %u\n",
+                     name, s, fallback);
+        return fallback;
+    }
+    return static_cast<unsigned>(v);
 }
 
 } // namespace espresso

@@ -1031,6 +1031,145 @@ TEST(CrashMatrixTest, FabricShardGcSweepWithCacheEviction)
     sweepFabricGc(CrashMode::kEvictRandomLines, 73, 10);
 }
 
+/** Members binding @p name as a live kRoot, fabric-wide. */
+unsigned
+fabricRootBindings(HeapFabric &fabric, const std::string &name)
+{
+    unsigned n = 0;
+    for (unsigned s = 0; s < RingManifestData::kMaxShards; ++s) {
+        PjhHeap *h = fabric.shard(s);
+        if (!h)
+            continue;
+        NameEntry *e = h->names().find(name, NameKind::kRoot);
+        if (e && NameTable::readValue(e) != 0)
+            ++n;
+    }
+    return n;
+}
+
+/**
+ * Sweep a power failure across every persistence event of an online
+ * membership change — the declare fence, joiner formats, each
+ * streamed root move (clone, forward stub, old-binding retire,
+ * migrated flags), the commit fence, and post-commit cleanup.
+ * Recovery must land on exactly the old or the new membership with
+ * every root present exactly once, holding its written value: no
+ * lost, duplicated, or dangling root.
+ *
+ * The injector rides the manifest and every pre-change member
+ * device. On grow the joiners are created mid-change, so their
+ * writes cannot inject — the shrink sweep covers the destination
+ * side instead (its destinations are surviving members).
+ */
+void
+sweepFabricMigration(CrashMode mode, std::uint64_t seed, bool grow_dir)
+{
+    EspressoRuntime rt;
+    rt.define(nodeDef());
+    std::uint32_t value_off = rt.fieldOffset("Node", "value");
+    auto *klass = rt.registry().resolve("Node", MemKind::kPersistent);
+    const unsigned from = grow_dir ? 2 : 4;
+    const unsigned target = grow_dir ? 4 : 2;
+    constexpr int kRoots = 12;
+
+    for (std::uint64_t event = 1;; ++event) {
+        CrashInjector injector;
+        HeapFabric fabric(&rt.registry(), nullptr);
+        fabric.setManifestInjector(&injector);
+        PjhConfig cfg;
+        cfg.dataSize = 1u << 20;
+        FabricConfig fcfg;
+        fcfg.shard = cfg;
+        fcfg.shards = from;
+        fabric.create(fcfg);
+        for (int i = 0; i < kRoots; ++i) {
+            std::string key = "m" + std::to_string(i);
+            PjhHeap *h = fabric.shard(fabric.shardIndexFor(key));
+            Oop node = h->allocInstance(klass);
+            node.setI64(value_off, 600 + i);
+            h->flushObject(node);
+            fabric.setRoot(key, node);
+        }
+        for (unsigned s = 0; s < from; ++s)
+            fabric.shardDevice(s)->setInjector(&injector);
+        fabric.manifestDevice()->setInjector(&injector);
+        injector.resetCount();
+        injector.arm(event);
+        bool crashed = false;
+        try {
+            if (grow_dir)
+                fabric.grow(target - from);
+            else
+                fabric.shrink(from - target);
+        } catch (const SimulatedCrash &) {
+            crashed = true;
+        }
+        injector.disarm();
+
+        if (crashed) {
+            fabric.crashAll(mode, seed + event);
+            // The declare fence is the point of no return: recovery
+            // rolls a declared change forward to the target, and an
+            // undeclared one stays at the old membership.
+            fabric.recover();
+        }
+
+        unsigned count = fabric.shardCount();
+        ASSERT_TRUE(count == from || count == target)
+            << "event " << event << ": membership " << count
+            << " is neither old nor new";
+        ASSERT_FALSE(fabric.migrating()) << "event " << event;
+        for (int i = 0; i < kRoots; ++i) {
+            std::string key = "m" + std::to_string(i);
+            Oop r = fabric.getRoot(key);
+            ASSERT_FALSE(r.isNull())
+                << "event " << event << ": lost root " << key;
+            EXPECT_EQ(r.getI64(value_off), 600 + i)
+                << "event " << event << " " << key;
+            EXPECT_EQ(fabricRootBindings(fabric, key), 1u)
+                << "event " << event << " " << key;
+        }
+        // The fabric accepts new routed work post-recovery.
+        std::string probe = "probe" + std::to_string(event);
+        PjhHeap *h = fabric.shard(fabric.shardIndexFor(probe));
+        ASSERT_NE(h, nullptr) << "event " << event;
+        Oop extra = h->allocInstance(klass);
+        extra.setI64(value_off, 31337);
+        h->flushObject(extra);
+        fabric.setRoot(probe, extra);
+        EXPECT_EQ(fabric.getRoot(probe).getI64(value_off), 31337)
+            << "event " << event;
+        if (testing::Test::HasFatalFailure())
+            return;
+        if (!crashed) {
+            ASSERT_GT(event, 1u)
+                << "membership change produced no events";
+            ASSERT_EQ(count, target) << "clean run must commit";
+            break;
+        }
+    }
+}
+
+TEST(CrashMatrixTest, FabricGrowMigrationSweepConservative)
+{
+    sweepFabricMigration(CrashMode::kDiscardUnflushed, 97, true);
+}
+
+TEST(CrashMatrixTest, FabricGrowMigrationSweepWithCacheEviction)
+{
+    sweepFabricMigration(CrashMode::kEvictRandomLines, 101, true);
+}
+
+TEST(CrashMatrixTest, FabricShrinkMigrationSweepConservative)
+{
+    sweepFabricMigration(CrashMode::kDiscardUnflushed, 103, false);
+}
+
+TEST(CrashMatrixTest, FabricShrinkMigrationSweepWithCacheEviction)
+{
+    sweepFabricMigration(CrashMode::kEvictRandomLines, 107, false);
+}
+
 TEST(CrashMatrixTest, FabricManifestCreateSweepConservative)
 {
     sweepFabricManifest(CrashMode::kDiscardUnflushed, 79);

@@ -1062,6 +1062,100 @@ TEST_F(ShardedDbTest, SnapshotBracketSeesCrossShardCommitAtomically)
     }
 }
 
+TEST(VersionChainTest, TrimKeepsChainsBoundedUnderLongSnapshot)
+{
+    // Regression for the chain trimmer: a long-lived snapshot plus a
+    // write-hot key must not grow the key's version chain without
+    // bound — per active snapshot only the newest reachable
+    // pre-image is retained, and commit-time pruning drops the rest.
+    DatabaseConfig cfg;
+    cfg.rowRegionSize = 4u << 20;
+    cfg.rowsPerTable = 64;
+    Database db(cfg);
+    db.createTable(TableSchema{
+        "T", {{"ID", DbType::kI64}, {"V", DbType::kI64}}, 0,
+        TableSchema::kNoIndex});
+    DbRecord rec;
+    rec.values = {DbValue::ofI64(1), DbValue::ofI64(0)};
+    db.persistRecord("T", rec);
+
+    Word s = db.snapshotClock().beginSnapshot();
+    std::size_t max_depth = 0;
+    for (int i = 1; i <= 400; ++i) {
+        DbRecord up;
+        up.values = {DbValue::ofI64(1), DbValue::ofI64(i)};
+        up.dirtyMask = 1ull << 1; // V only
+        db.persistRecord("T", up);
+        max_depth = std::max(max_depth,
+                             db.versionChainDepth("T", 1));
+    }
+    // One active snapshot -> O(1) retained history, not O(updates).
+    EXPECT_LE(max_depth, 3u) << "chain grew with update count";
+
+    // The retained image still serves the old snapshot correctly.
+    DbRecord out;
+    ASSERT_TRUE(db.fetchRecordAt("T", 1, &out, s));
+    EXPECT_EQ(out.values[1].i, 0) << "snapshot lost its version";
+    ASSERT_TRUE(db.fetchRecord("T", 1, &out));
+    EXPECT_EQ(out.values[1].i, 400);
+
+    // Once the snapshot retires, the next commit drains the chain.
+    db.snapshotClock().endSnapshot(s);
+    DbRecord up;
+    up.values = {DbValue::ofI64(1), DbValue::ofI64(401)};
+    up.dirtyMask = 1ull << 1;
+    db.persistRecord("T", up);
+    EXPECT_LE(db.versionChainDepth("T", 1), 1u)
+        << "chain survived its last snapshot";
+}
+
+TEST_F(ShardedDbTest, GrowAndShrinkRepartitionRows)
+{
+    ShardedDatabase database(config(2));
+    database.createTable(schema());
+    constexpr std::int64_t kRows = 300;
+    for (std::int64_t id = 0; id < kRows; ++id)
+        database.persistRecord("T", row(id, id * 3));
+
+    database.grow(2);
+    EXPECT_EQ(database.shardCount(), 4u);
+    EXPECT_FALSE(database.migrating());
+    EXPECT_EQ(database.rowCount("T"), static_cast<std::size_t>(kRows));
+    std::size_t spread = 0;
+    for (unsigned s = 0; s < 4; ++s)
+        spread += database.shard(s).rowCount("T") > 0 ? 1 : 0;
+    EXPECT_EQ(spread, 4u) << "joiners received no rows";
+    for (std::int64_t id = 0; id < kRows; ++id) {
+        DbRecord out;
+        ASSERT_TRUE(database.fetchRecord("T", id, &out)) << id;
+        EXPECT_EQ(out.values[1].i, id * 3) << id;
+        // The row lives exactly where the new ring routes it.
+        EXPECT_TRUE(database.shardForPk(id).fetchRecord("T", id, &out))
+            << id;
+    }
+
+    // Writes and brackets keep flowing on the grown membership.
+    database.begin();
+    for (std::int64_t id = 0; id < 32; ++id)
+        database.persistRecord("T", row(id, -id));
+    database.commit();
+    for (std::int64_t id = 0; id < 32; ++id) {
+        DbRecord out;
+        ASSERT_TRUE(database.fetchRecord("T", id, &out));
+        EXPECT_EQ(out.values[1].i, -id);
+    }
+
+    database.shrink(2);
+    EXPECT_EQ(database.shardCount(), 2u);
+    EXPECT_FALSE(database.migrating());
+    EXPECT_EQ(database.rowCount("T"), static_cast<std::size_t>(kRows));
+    for (std::int64_t id = 0; id < kRows; ++id) {
+        DbRecord out;
+        ASSERT_TRUE(database.fetchRecord("T", id, &out)) << id;
+        EXPECT_EQ(out.values[1].i, id < 32 ? -id : id * 3) << id;
+    }
+}
+
 } // namespace
 } // namespace db
 } // namespace espresso

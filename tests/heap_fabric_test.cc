@@ -487,6 +487,361 @@ TEST(HeapFabricTest, SetRootRepublicationCrashSweep)
     }
 }
 
+TEST(ShardRouterTest, ShrinkRemapsMinimally)
+{
+    // Satellite: member removal must strand only the removed
+    // member's keys; everything else keeps its old mapping, so an
+    // old-epoch lookup of an unmoved key equals the new-epoch one.
+    ShardRouter five(5, 64);
+    ShardRouter four(4, 64);
+    int moved = 0;
+    const int kKeys = 10000;
+    for (int i = 0; i < kKeys; ++i) {
+        std::string key = "k" + std::to_string(i);
+        std::uint64_t h = ShardRouter::hashName(key);
+        unsigned a = five.shardForName(key);
+        unsigned b = four.shardForName(key);
+        EXPECT_EQ(five.remapped(four, h), a != b) << key;
+        if (a != b) {
+            ++moved;
+            // Only keys that lived on the removed member move, and
+            // they land on a surviving member.
+            EXPECT_EQ(a, 4u) << key;
+            EXPECT_LT(b, 4u) << key;
+        } else {
+            // Old/new-epoch lookup equivalence for unmoved keys.
+            EXPECT_EQ(five.shardForHash(h), four.shardForHash(h))
+                << key;
+        }
+    }
+    // Ideal is 1/5 of the keys; a mod-N rehash would move ~4/5.
+    EXPECT_GT(moved, kKeys / 20);
+    EXPECT_LT(moved, kKeys * 2 / 5);
+}
+
+/** Count the members binding @p name as a non-null kRoot. */
+unsigned
+rootBindings(HeapFabric &fabric, const std::string &name)
+{
+    unsigned n = 0;
+    for (unsigned s = 0; s < RingManifestData::kMaxShards; ++s) {
+        PjhHeap *h = fabric.shard(s);
+        if (!h)
+            continue;
+        NameEntry *e = h->names().find(name, NameKind::kRoot);
+        if (e && NameTable::readValue(e) != 0)
+            ++n;
+    }
+    return n;
+}
+
+/** True when any member still holds a live forwarding entry. */
+bool
+hasLiveForward(HeapFabric &fabric, const std::string &name)
+{
+    for (unsigned s = 0; s < RingManifestData::kMaxShards; ++s) {
+        PjhHeap *h = fabric.shard(s);
+        if (!h)
+            continue;
+        NameEntry *e = h->names().find(name, NameKind::kForward);
+        if (e && NameTable::readValue(e) != 0)
+            return true;
+    }
+    return false;
+}
+
+TEST(HeapFabricTest, GrowMigratesRemappedRootsToTheirNewHome)
+{
+    EspressoRuntime rt;
+    rt.define(nodeDef());
+    std::uint32_t off = rt.fieldOffset("Node", "value");
+    PjhConfig cfg;
+    cfg.dataSize = 2u << 20;
+    HeapFabric *fabric = rt.heaps().createFabric("grow", cfg, 2);
+    std::uint64_t epoch0 = fabric->epoch();
+
+    constexpr int kRoots = 48;
+    for (int i = 0; i < kRoots; ++i) {
+        std::string key = "g" + std::to_string(i);
+        Oop node = rt.pnewInstance(fabric, key, "Node");
+        node.setI64(off, 5000 + i);
+        fabric->shardFor(key)->flushObject(node);
+        fabric->setRoot(key, node);
+    }
+
+    ShardRouter old_ring(2, ShardRouter::kDefaultVnodes);
+    ShardRouter new_ring(4, ShardRouter::kDefaultVnodes);
+    fabric->grow(2);
+
+    EXPECT_EQ(fabric->shardCount(), 4u);
+    EXPECT_FALSE(fabric->migrating());
+    EXPECT_GT(fabric->epoch(), epoch0);
+    int moved = 0;
+    for (int i = 0; i < kRoots; ++i) {
+        std::string key = "g" + std::to_string(i);
+        Oop r = fabric->getRoot(key);
+        ASSERT_FALSE(r.isNull()) << key;
+        EXPECT_EQ(r.getI64(off), 5000 + i) << key;
+        // Exactly one binding fabric-wide, on the new ring's shard,
+        // with every forwarding entry retired.
+        EXPECT_EQ(rootBindings(*fabric, key), 1u) << key;
+        EXPECT_FALSE(hasLiveForward(*fabric, key)) << key;
+        unsigned home = new_ring.shardForName(key);
+        NameEntry *e =
+            fabric->shard(home)->names().find(key, NameKind::kRoot);
+        ASSERT_NE(e, nullptr) << key;
+        EXPECT_NE(NameTable::readValue(e), 0u) << key;
+        if (old_ring.shardForName(key) != home)
+            ++moved;
+    }
+    ASSERT_GT(moved, 0) << "ring produced no remapped roots";
+
+    // The grown fabric routes new work across all four members.
+    for (unsigned s = 0; s < 4; ++s) {
+        std::string key = keyForShard(fabric, s, "post");
+        Oop node = rt.pnewInstance(fabric, key, "Node");
+        node.setI64(off, 777);
+        fabric->shardFor(key)->flushObject(node);
+        fabric->setRoot(key, node);
+        EXPECT_EQ(fabric->getRoot(key).getI64(off), 777) << key;
+    }
+}
+
+TEST(HeapFabricTest, GrowDeepCopiesTheRootClosure)
+{
+    EspressoRuntime rt;
+    rt.define(nodeDef());
+    std::uint32_t value_off = rt.fieldOffset("Node", "value");
+    std::uint32_t next_off = rt.fieldOffset("Node", "next");
+    PjhConfig cfg;
+    cfg.dataSize = 2u << 20;
+    HeapFabric *fabric = rt.heaps().createFabric("closure", cfg, 2);
+
+    // Linked lists rooted under ring-routed names: migration must
+    // move the whole closure, not just the head.
+    constexpr int kLists = 16, kLen = 10;
+    for (int l = 0; l < kLists; ++l) {
+        std::string key = "list" + std::to_string(l);
+        unsigned home = fabric->shardIndexFor(key);
+        Oop head;
+        for (int i = 0; i < kLen; ++i) {
+            Oop n = rt.pnewInstance(fabric, key, "Node");
+            n.setI64(value_off, l * 100 + i);
+            n.setRef(next_off, head);
+            fabric->shard(home)->flushObject(n);
+            head = n;
+        }
+        fabric->setRoot(key, head);
+    }
+
+    ShardRouter old_ring(2, ShardRouter::kDefaultVnodes);
+    ShardRouter new_ring(4, ShardRouter::kDefaultVnodes);
+    fabric->grow(2);
+
+    int moved = 0;
+    for (int l = 0; l < kLists; ++l) {
+        std::string key = "list" + std::to_string(l);
+        unsigned home = new_ring.shardForName(key);
+        bool remapped = old_ring.shardForName(key) != home;
+        moved += remapped ? 1 : 0;
+        Oop cur = fabric->getRoot(key);
+        PjhHeap *dst = fabric->shard(home);
+        for (int i = kLen - 1; i >= 0; --i) {
+            ASSERT_FALSE(cur.isNull()) << key << " node " << i;
+            EXPECT_EQ(cur.getI64(value_off), l * 100 + i)
+                << key << " node " << i;
+            // A migrated closure lives wholly on the new home.
+            EXPECT_TRUE(dst->containsData(cur.addr()))
+                << key << " node " << i
+                << (remapped ? " dangles into the old member"
+                             : " left its home");
+            cur = Oop(cur.getRef(next_off));
+        }
+        EXPECT_TRUE(cur.isNull()) << key;
+    }
+    ASSERT_GT(moved, 0) << "ring produced no remapped lists";
+}
+
+TEST(HeapFabricTest, ShrinkEvacuatesRemovedMembers)
+{
+    EspressoRuntime rt;
+    rt.define(nodeDef());
+    std::uint32_t off = rt.fieldOffset("Node", "value");
+    PjhConfig cfg;
+    cfg.dataSize = 2u << 20;
+    HeapFabric *fabric = rt.heaps().createFabric("shrink", cfg, 4);
+
+    constexpr int kRoots = 48;
+    for (int i = 0; i < kRoots; ++i) {
+        std::string key = "s" + std::to_string(i);
+        Oop node = rt.pnewInstance(fabric, key, "Node");
+        node.setI64(off, 9000 + i);
+        fabric->shardFor(key)->flushObject(node);
+        fabric->setRoot(key, node);
+    }
+
+    fabric->shrink(2);
+
+    EXPECT_EQ(fabric->shardCount(), 2u);
+    EXPECT_FALSE(fabric->migrating());
+    EXPECT_EQ(fabric->shard(2), nullptr);
+    EXPECT_EQ(fabric->shard(3), nullptr);
+    ShardRouter new_ring(2, ShardRouter::kDefaultVnodes);
+    for (int i = 0; i < kRoots; ++i) {
+        std::string key = "s" + std::to_string(i);
+        Oop r = fabric->getRoot(key);
+        ASSERT_FALSE(r.isNull()) << key;
+        EXPECT_EQ(r.getI64(off), 9000 + i) << key;
+        EXPECT_EQ(rootBindings(*fabric, key), 1u) << key;
+        unsigned home = new_ring.shardForName(key);
+        EXPECT_TRUE(fabric->shard(home)->containsData(r.addr()))
+            << key;
+    }
+}
+
+TEST(HeapFabricTest, GrownMembershipSurvivesCrashAndRecover)
+{
+    // Regression: recover() must roll the membership forward from
+    // the durable manifest, not re-commit the creation-time count.
+    EspressoRuntime rt;
+    rt.define(nodeDef());
+    std::uint32_t off = rt.fieldOffset("Node", "value");
+
+    HeapFabric fabric(&rt.registry(), nullptr);
+    PjhConfig cfg;
+    cfg.dataSize = 1u << 20;
+    FabricConfig fcfg;
+    fcfg.shard = cfg;
+    fcfg.shards = 2;
+    fabric.create(fcfg);
+    auto *k = rt.registry().resolve("Node", MemKind::kPersistent);
+    for (int i = 0; i < 24; ++i) {
+        std::string key = "p" + std::to_string(i);
+        unsigned home = fabric.shardIndexFor(key);
+        Oop node = fabric.shard(home)->allocInstance(k);
+        node.setI64(off, 40 + i);
+        fabric.shard(home)->flushObject(node);
+        fabric.setRoot(key, node);
+    }
+    fabric.grow(2);
+    std::uint64_t epoch_after_grow = fabric.epoch();
+
+    fabric.crashAll(CrashMode::kDiscardUnflushed, 4242);
+    fabric.recover();
+
+    EXPECT_EQ(fabric.shardCount(), 4u);
+    EXPECT_EQ(fabric.epoch(), epoch_after_grow);
+    EXPECT_FALSE(fabric.migrating());
+    for (int i = 0; i < 24; ++i) {
+        std::string key = "p" + std::to_string(i);
+        Oop r = fabric.getRoot(key);
+        ASSERT_FALSE(r.isNull()) << key;
+        EXPECT_EQ(r.getI64(off), 40 + i) << key;
+        EXPECT_EQ(rootBindings(fabric, key), 1u) << key;
+    }
+}
+
+TEST(HeapFabricTest, GrowUnderConcurrentTraffic)
+{
+    EspressoRuntime rt;
+    rt.define(nodeDef());
+    std::uint32_t off = rt.fieldOffset("Node", "value");
+    PjhConfig cfg;
+    cfg.dataSize = 4u << 20;
+    HeapFabric *fabric = rt.heaps().createFabric("online", cfg, 2);
+
+    constexpr int kThreads = 4;
+    constexpr int kOps = 120;
+    std::atomic<bool> go{false};
+    std::atomic<int> published{0};
+    std::vector<std::thread> workers;
+    for (int w = 0; w < kThreads; ++w) {
+        workers.emplace_back([&, w]() {
+            while (!go.load(std::memory_order_acquire)) {
+            }
+            for (int i = 0; i < kOps; ++i) {
+                std::string key =
+                    "w" + std::to_string(w) + "." + std::to_string(i);
+                Oop node = rt.pnewInstance(fabric, key, "Node");
+                node.setI64(off, w * 1000 + i);
+                // homeOf: the write ring may flip mid-change, but
+                // the object stays where pnew landed it.
+                fabric->homeOf(node)->flushObject(node);
+                fabric->setRoot(key, node);
+                published.fetch_add(1, std::memory_order_relaxed);
+                // Read back a previously published key (possibly
+                // mid-move: the forward chain must hide the hop).
+                std::string probe =
+                    "w" + std::to_string(w) + "." +
+                    std::to_string(i / 2);
+                Oop r = fabric->getRoot(probe);
+                ASSERT_FALSE(r.isNull()) << probe;
+                ASSERT_EQ(r.getI64(off), w * 1000 + i / 2) << probe;
+            }
+        });
+    }
+    go.store(true, std::memory_order_release);
+    // Grow while the workers hammer; the membership change streams
+    // roots concurrently with allocation and publication.
+    while (published.load(std::memory_order_acquire) <
+           kThreads * kOps / 4)
+        std::this_thread::yield();
+    fabric->grow(2);
+    for (auto &t : workers)
+        t.join();
+
+    EXPECT_EQ(fabric->shardCount(), 4u);
+    EXPECT_FALSE(fabric->migrating());
+    for (int w = 0; w < kThreads; ++w) {
+        for (int i = 0; i < kOps; ++i) {
+            std::string key =
+                "w" + std::to_string(w) + "." + std::to_string(i);
+            Oop r = fabric->getRoot(key);
+            ASSERT_FALSE(r.isNull()) << key;
+            EXPECT_EQ(r.getI64(off), w * 1000 + i) << key;
+            EXPECT_EQ(rootBindings(*fabric, key), 1u) << key;
+        }
+    }
+}
+
+TEST(HeapFabricTest, BalancerGrowsOnOccupancyHighWater)
+{
+    EspressoRuntime rt;
+    rt.define(nodeDef());
+    std::uint32_t off = rt.fieldOffset("Node", "value");
+    PjhConfig cfg;
+    cfg.dataSize = 2u << 20;
+    HeapFabric *fabric = rt.heaps().createFabric("bal", cfg, 2);
+
+    // Cold fabric: nothing to balance.
+    EXPECT_FALSE(fabric->balance(0.99));
+    EXPECT_EQ(fabric->shardCount(), 2u);
+
+    for (int i = 0; i < 256; ++i) {
+        std::string key = "b" + std::to_string(i);
+        Oop node = rt.pnewInstance(fabric, key, "Node");
+        node.setI64(off, i);
+        fabric->shardFor(key)->flushObject(node);
+        if (i % 4 == 0)
+            fabric->setRoot(key, node);
+    }
+    std::vector<HeapFabric::Occupancy> occ = fabric->occupancy();
+    ASSERT_EQ(occ.size(), 2u);
+    for (const auto &o : occ)
+        EXPECT_GT(o.used, 0u) << "member " << o.shard;
+
+    // Any occupancy beats a zero high-water mark: the balancer adds
+    // members through the same epoch-versioned migration machinery.
+    EXPECT_TRUE(fabric->balance(0.0, 2));
+    EXPECT_EQ(fabric->shardCount(), 4u);
+    for (int i = 0; i < 256; i += 4) {
+        std::string key = "b" + std::to_string(i);
+        Oop r = fabric->getRoot(key);
+        ASSERT_FALSE(r.isNull()) << key;
+        EXPECT_EQ(r.getI64(off), i) << key;
+    }
+}
+
 TEST(HeapManagerTest, RegistrySurvivesConcurrentCreateAndLoad)
 {
     EspressoRuntime rt;

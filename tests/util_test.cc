@@ -7,6 +7,7 @@
 
 #include "util/bitmap.hh"
 #include "util/common.hh"
+#include "util/env.hh"
 #include "util/logging.hh"
 #include "util/phase_timer.hh"
 #include "util/rng.hh"
@@ -122,6 +123,43 @@ TEST(LoggingTest, PanicAndFatalThrow)
     EXPECT_THROW(panic("boom"), PanicError);
     EXPECT_THROW(fatal("bad config"), FatalError);
     EXPECT_EQ(strCat("a", 1, "-", 2.5), "a1-2.5");
+}
+
+TEST(EnvTest, UnsignedKnobParsesStrictly)
+{
+    const char *kName = "ESPRESSO_ENV_TEST_KNOB";
+
+    unsetenv(kName);
+    EXPECT_EQ(envUnsigned(kName, 3), 3u);
+
+    setenv(kName, "4", 1);
+    EXPECT_EQ(envUnsigned(kName, 3), 4u);
+    setenv(kName, "16", 1);
+    EXPECT_EQ(envUnsigned(kName, 3), 16u);
+    // Trailing whitespace alone is tolerated.
+    setenv(kName, "7 ", 1);
+    EXPECT_EQ(envUnsigned(kName, 3), 7u);
+
+    // Trailing garbage is rejected, not truncated to its prefix: a
+    // mistyped knob falls back instead of quietly resizing things.
+    setenv(kName, "4x", 1);
+    EXPECT_EQ(envUnsigned(kName, 3), 3u);
+    setenv(kName, "16 shards", 1);
+    EXPECT_EQ(envUnsigned(kName, 3), 3u);
+    setenv(kName, "0x8", 1);
+    EXPECT_EQ(envUnsigned(kName, 3), 3u);
+
+    // Non-numeric and non-positive values fall back too.
+    setenv(kName, "lots", 1);
+    EXPECT_EQ(envUnsigned(kName, 3), 3u);
+    setenv(kName, "", 1);
+    EXPECT_EQ(envUnsigned(kName, 3), 3u);
+    setenv(kName, "-2", 1);
+    EXPECT_EQ(envUnsigned(kName, 3), 3u);
+    setenv(kName, "0", 1);
+    EXPECT_EQ(envUnsigned(kName, 3), 3u);
+
+    unsetenv(kName);
 }
 
 } // namespace
