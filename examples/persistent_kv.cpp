@@ -89,6 +89,16 @@ main()
     kv.compact();
     std::printf("heap used after GC:  %.1f MiB\n",
                 kv.heap()->dataUsed() / 1048576.0);
+    // Per-cycle GC stats persist with the heap; in concurrent (SATB)
+    // mode the pause excludes marking, which runs alongside mutators.
+    const PjhStats &gs = kv.heap()->stats();
+    std::printf("gc cycle: %s, pause %.2f ms (conc-mark %.2f ms), "
+                "marked %llu, shaded+floating %llu\n",
+                kv.heap()->gcConcurrent() ? "concurrent" : "stop-the-world",
+                gs.lastGcPauseNs / 1e6, gs.lastGcConcMarkNs / 1e6,
+                static_cast<unsigned long long>(gs.lastGcMarked),
+                static_cast<unsigned long long>(gs.lastGcShaded +
+                                                gs.lastGcFloating));
 
     // Power failure + reopen: everything committed is still there.
     rt.heaps().crashHeap("kvstore");

@@ -90,6 +90,18 @@ class MarkBitmap
         return startBits_.test(bitIndex(obj));
     }
 
+    /** Atomic start-bit test. Concurrent markers and the mutator
+     * write barrier use it to skip already-marked objects *without*
+     * reading their headers — an object published during a concurrent
+     * cycle is always marked (born black or shaded on store) before
+     * the reference escapes, so an unmarked object is pre-snapshot
+     * and its header is safely readable. */
+    bool
+    isMarkedAtomic(Addr obj) const
+    {
+        return startBits_.testAtomic(bitIndex(obj));
+    }
+
     /** Live bytes in [from, to) (popcount of live bits). */
     std::size_t
     liveBytesInRange(Addr from, Addr to) const

@@ -25,6 +25,13 @@ VolatileHeap::VolatileHeap(const VolatileHeapConfig &cfg)
     toLimit_ = toBase_ + cfg.survivorSize;
     oldBase_ = oldTop_ = toLimit_;
     oldLimit_ = oldBase_ + cfg.oldSize;
+
+    // DRAM-side SATB deletion barrier: handle overwrites/releases
+    // report the dropped value to every external space, so a PJH
+    // shard in concurrent mark never loses its last snapshot path
+    // through a volatile root.
+    handles_.setOverwriteHook(
+        [this](Addr ref) { shadeExternalRef(ref); });
 }
 
 VolatileHeap::~VolatileHeap() = default;
@@ -142,6 +149,16 @@ VolatileHeap::removeExternalSpace(ExternalSpace *space)
 {
     std::lock_guard<std::mutex> g(externalMu_);
     std::erase(externalSpaces_, space);
+}
+
+void
+VolatileHeap::shadeExternalRef(Addr ref)
+{
+    if (ref == kNullAddr)
+        return;
+    std::lock_guard<std::mutex> g(externalMu_);
+    for (ExternalSpace *space : externalSpaces_)
+        space->shadeOverwrittenRef(ref);
 }
 
 void

@@ -40,6 +40,16 @@ class ExternalSpace
 
     /** Visit every slot that may hold a ref into the volatile heap. */
     virtual void forEachOutRefSlot(const SlotVisitor &visitor) = 0;
+
+    /**
+     * SATB deletion-barrier hook for the DRAM side: @p ref is the
+     * value a volatile root slot (a handle) is about to stop
+     * holding, and may point into this space. A space running a
+     * concurrent mark shades it into its SATB buffer; values outside
+     * the space — and spaces not marking — ignore the call.
+     * Default: no-op.
+     */
+    virtual void shadeOverwrittenRef(Addr ref) { (void)ref; }
 };
 
 /** Sizing knobs for the volatile heap. */
@@ -94,6 +104,11 @@ class VolatileHeap
 
     void addExternalSpace(ExternalSpace *space);
     void removeExternalSpace(ExternalSpace *space);
+
+    /** Fan a DRAM-side deletion-barrier event out to every external
+     * space (see ExternalSpace::shadeOverwrittenRef); wired into the
+     * handle registry's overwrite hook at construction. */
+    void shadeExternalRef(Addr ref);
 
     /** Extra root-slot provider (e.g. PJH root tables). */
     void addRootProvider(std::function<void(const SlotVisitor &)> provider);

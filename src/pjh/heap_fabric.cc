@@ -36,6 +36,8 @@ HeapFabric::wireShard(PjhHeap *heap)
 {
     if (gcThreads_ != 0)
         heap->setGcThreads(gcThreads_);
+    if (gcConcurrent_ >= 0)
+        heap->setGcConcurrent(gcConcurrent_ != 0);
     if (volatileHeap_) {
         volatileHeap_->addExternalSpace(heap);
         VolatileHeap *vh = volatileHeap_;
@@ -486,11 +488,14 @@ HeapFabric::getRoot(const std::string &name) const
         PjhHeap *h = shard(idx);
         if (!h)
             return Oop();
-        if (NameEntry *e = h->names().find(name, NameKind::kRoot)) {
-            Word v = NameTable::readValue(e);
-            if (v)
-                return Oop(v);
-        }
+        // kRoot reads go through the shard's guarded accessor: they
+        // wait out the shard's GC safepoints and load-shade the
+        // result under a concurrent mark (the PR 8 root-op
+        // contract). kForward stubs hold member indices, not heap
+        // refs, so the raw read stays.
+        Oop o = h->getRoot(name);
+        if (!o.isNull())
+            return o;
         if (follow) {
             NameEntry *f = h->names().find(name, NameKind::kForward);
             if (f) {
@@ -498,13 +503,10 @@ HeapFabric::getRoot(const std::string &name) const
                 if (fv) {
                     PjhHeap *d =
                         shard(static_cast<unsigned>(fv) - 1);
-                    NameEntry *e2 =
-                        d ? d->names().find(name, NameKind::kRoot)
-                          : nullptr;
-                    if (e2) {
-                        Word v2 = NameTable::readValue(e2);
-                        if (v2)
-                            return Oop(v2);
+                    if (d) {
+                        Oop o2 = d->getRoot(name);
+                        if (!o2.isNull())
+                            return o2;
                     }
                 }
             }
@@ -618,6 +620,15 @@ HeapFabric::setGcThreads(unsigned n)
     for (auto &h : heaps_)
         if (h)
             h->setGcThreads(n);
+}
+
+void
+HeapFabric::setGcConcurrent(bool on)
+{
+    gcConcurrent_ = on ? 1 : 0;
+    for (auto &h : heaps_)
+        if (h)
+            h->setGcConcurrent(on);
 }
 
 void

@@ -25,10 +25,13 @@
  *    other members, so lookups stay O(1) for ring-local roots (the
  *    common case: pnew routed by the same key) and stay correct for
  *    remote-shard roots.
- *  - GC: collectShard(i) stops the world of shard i only —
- *    allocation and roots on every other shard proceed (the
- *    quiescence scope is the shard, not the process). collectAll()
- *    fans independent per-shard collections across a fabric-level
+ *  - GC: collectShard(i) quiesces shard i only — allocation and
+ *    roots on every other shard proceed (the quiescence scope is
+ *    the shard, not the process). In concurrent mode
+ *    (setGcConcurrent / ESPRESSO_GC_CONCURRENT) even shard i's own
+ *    traffic overlaps the marking phase and blocks only for the
+ *    snapshot and remark+compact safepoints. collectAll() fans
+ *    independent per-shard collections across a fabric-level
  *    worker pool (ESPRESSO_FABRIC_GC_WORKERS, default: one worker
  *    per shard).
  *  - Recovery: recover() re-attaches members from the manifest;
@@ -284,14 +287,19 @@ class HeapFabric
      * to sweep), and names longer than the intent payload capacity
      * (DecisionLog::kMaxPayload bytes).
      *
-     * One contract stays weaker than the single-heap API:
-     *  - Root operations whose name has (or may have) an entry on a
-     *    shard currently inside collect() fall under that shard's
-     *    stop-the-world contract, exactly like any mutator access
-     *    to a collecting heap. Ring-homed names (the key-routed
-     *    pnew-then-publish pattern) only ever touch their own
-     *    shard, so they proceed freely during other shards'
-     *    collections.
+     * Root-op vs. GC contract (PR 8 retired the PR 5 limitation):
+     *  - Against a shard in *concurrent* collection (see
+     *    PjhHeap::setGcConcurrent) root operations proceed throughout
+     *    the marking overlap — every fabric probe routes through the
+     *    shard's guarded accessors, so reads and publishes are
+     *    barrier-shaded and block only for the shard's brief
+     *    safepoints (initial snapshot, remark+compact).
+     *  - Against a shard in *STW* collection the old contract stands:
+     *    root operations on that shard fall under its stop-the-world
+     *    contract, exactly like any mutator access to a collecting
+     *    heap. Ring-homed names (the key-routed pnew-then-publish
+     *    pattern) only ever touch their own shard, so they proceed
+     *    freely during other shards' collections either way.
      */
     /// @{
     void setRoot(const std::string &name, Oop obj);
@@ -316,6 +324,13 @@ class HeapFabric
     /** Per-shard parallel mark/compact knob, applied to every
      * member (current and future). 0 restores the per-heap default. */
     void setGcThreads(unsigned n);
+
+    /** Per-shard concurrent-marking knob (see
+     * PjhHeap::setGcConcurrent), applied to every member (current
+     * and future): collectShard/collectAll then pause each shard
+     * only for the snapshot and remark+compact safepoints instead of
+     * the whole cycle. */
+    void setGcConcurrent(bool on);
     /// @}
 
     /** @name Failure simulation (tests, crash sweeps) */
@@ -464,6 +479,10 @@ class HeapFabric
 
     /** Fabric-wide per-shard GC thread override; 0 = heap default. */
     unsigned gcThreads_ = 0;
+
+    /** Fabric-wide concurrent-marking override; -1 = heap default
+     * (ESPRESSO_GC_CONCURRENT), else forced 0/1 on every member. */
+    int gcConcurrent_ = -1;
 
     /** Pending manifest injector until create() makes the device. */
     CrashInjector *manifestInjector_ = nullptr;

@@ -767,6 +767,17 @@ PjhGc::collect()
     dev.fence();
     h_.mutableStats().lastGcMarkNs = gcNowNs() - t_mark;
 
+    h_.mutableStats().lastGcCompactNs =
+        commitAndCompact(workers, /*concurrent=*/false);
+    persistCycleStats(markedCount_, 0, 0, 0, 0);
+}
+
+std::uint64_t
+PjhGc::commitAndCompact(unsigned workers, bool concurrent)
+{
+    NvmDevice &dev = h_.device();
+    PjhMetadata *meta = h_.meta_;
+
     // --- Stale every object (bump + persist the global stamp). ------
     meta->globalTimestamp += 1;
     meta->bounceOwnerOffset = kNoneWord;
@@ -784,27 +795,357 @@ PjhGc::collect()
     meta->gcInProgress = 1;
     dev.persist(reinterpret_cast<Addr>(&meta->gcInProgress),
                 sizeof(Word));
+    if (concurrent) {
+        // The snapshot is committed: compaction owns recovery from
+        // here (gcInProgress wins over gcMarkingActive on attach), so
+        // the marking-epoch record retires. Strictly after the
+        // gcInProgress persist — the reverse order would leave a
+        // crash window where neither flag is set over a half-moved
+        // heap.
+        meta->gcMarkingActive = 0;
+        dev.persist(reinterpret_cast<Addr>(&meta->gcMarkingActive),
+                    sizeof(Word));
+    }
 
     // --- Compact (slice-parallel). -----------------------------------
     std::uint64_t t_compact = gcNowNs();
     compactor.applyRootJournal();
     compactor.compact(/*resume=*/false, workers);
     compactor.finish();
-    h_.mutableStats().lastGcCompactNs = gcNowNs() - t_compact;
+    std::uint64_t compact_ns = gcNowNs() - t_compact;
 
     // --- Volatile side is recomputable; repair it last. --------------
     fixVolatileSide(compactor);
+    return compact_ns;
+}
 
-    // Persist the GC stats with the same flush+fence discipline as
-    // the other metadata words, so a post-crash reader never sees
-    // stale values.
-    meta->gcLastMarked = markedCount_;
+void
+PjhGc::persistCycleStats(std::uint64_t marked, std::uint64_t conc_ns,
+                         std::uint64_t remark_ns, std::uint64_t shaded,
+                         std::uint64_t floating)
+{
+    NvmDevice &dev = h_.device();
+    PjhMetadata *meta = h_.meta_;
+    meta->gcLastMarked = marked;
     meta->gcCollections += 1;
-    dev.flush(reinterpret_cast<Addr>(&meta->gcLastMarked), sizeof(Word));
-    dev.flush(reinterpret_cast<Addr>(&meta->gcCollections),
-              sizeof(Word));
+    meta->gcLastConcMarkNs = conc_ns;
+    meta->gcLastRemarkNs = remark_ns;
+    meta->gcLastShaded = shaded;
+    meta->gcLastFloating = floating;
+    // One contiguous block (gcLastMarked .. gcLastFloating), flushed
+    // with the same discipline as the other metadata words so a
+    // post-crash reader never sees stale values.
+    dev.flush(reinterpret_cast<Addr>(&meta->gcLastMarked),
+              reinterpret_cast<Addr>(&meta->gcLastFloating) +
+                  sizeof(Word) -
+                  reinterpret_cast<Addr>(&meta->gcLastMarked));
     dev.fence();
-    h_.mutableStats().lastGcMarked = markedCount_;
+
+    PjhStats &st = h_.mutableStats();
+    st.lastGcMarked = marked;
+    st.lastGcConcMarkNs = conc_ns;
+    st.lastGcRemarkNs = remark_ns;
+    st.lastGcShaded = shaded;
+    st.lastGcFloating = floating;
+}
+
+// ---------------------------------------------------------------------
+// Concurrent SATB cycle
+// ---------------------------------------------------------------------
+
+void
+PjhGc::pauseMutators()
+{
+    h_.gcPhase_.store(static_cast<unsigned>(GcPhase::kPaused),
+                      std::memory_order_seq_cst);
+    while (h_.allocsInFlight_.load(std::memory_order_seq_cst) != 0 ||
+           h_.rootOpsInFlight_.load(std::memory_order_seq_cst) != 0) {
+        // Die as the simulated power cut rather than wait for a
+        // mutator the injector already killed mid-bracket.
+        CrashInjector *inj = h_.device().injector();
+        if (inj && inj->tripped())
+            throw SimulatedCrash();
+        std::this_thread::yield();
+    }
+}
+
+void
+PjhGc::traceConcurrent(unsigned num_workers)
+{
+    std::vector<MarkWorker> workers(num_workers);
+    std::atomic<std::uint64_t> pending{0};
+    std::atomic<unsigned> roots_done{0};
+    std::atomic<bool> failed{false};
+
+    // Claim for worker @p me. Unlike the STW claim, the atomic
+    // marked-test comes *before* the header read: refs loaded from
+    // slots mutators are actively writing may point at objects
+    // allocated during the cycle (born black / shaded on store),
+    // whose headers this thread has no happens-before edge to. An
+    // unmarked object is pre-snapshot and fully visible.
+    auto claim = [&](Addr ref, MarkWorker &me) {
+        if (ref == kNullAddr || !h_.containsData(ref))
+            return;
+        if (h_.marks_.isMarkedAtomic(ref))
+            return;
+        if (isFillerRef(ref))
+            return;
+        Oop obj(ref);
+        std::size_t size = pjhRawObjectSize(obj);
+        if (!h_.marks_.tryMarkObject(ref, size))
+            return;
+        ++me.marked;
+        pending.fetch_add(1, std::memory_order_acq_rel);
+        std::lock_guard<std::mutex> g(me.mu);
+        me.stack.push_back(ref);
+    };
+
+    std::size_t n_roots = snapshotRoots_.size();
+    std::mutex err_mu;
+    std::exception_ptr err;
+
+    auto body = [&](unsigned wi) {
+        MarkWorker &me = workers[wi];
+        // Root stripe: snapshot values captured at the initial
+        // safepoint (already filtered to non-null).
+        std::size_t lo = n_roots * wi / num_workers;
+        std::size_t hi = n_roots * (wi + 1) / num_workers;
+        for (std::size_t i = lo; i < hi; ++i)
+            claim(snapshotRoots_[i], me);
+        roots_done.fetch_add(1, std::memory_order_acq_rel);
+
+        // Trace: local stack, then steal-half, then drain the SATB
+        // buffer mutators are filling. Exiting with a non-empty SATB
+        // buffer is benign — the remark safepoint sweeps the residue;
+        // exiting with pending != 0 is not (a claimed object would
+        // never be scanned), hence the termination condition.
+        for (;;) {
+            Addr obj = kNullAddr;
+            {
+                std::lock_guard<std::mutex> g(me.mu);
+                if (!me.stack.empty()) {
+                    obj = me.stack.back();
+                    me.stack.pop_back();
+                }
+            }
+            if (obj == kNullAddr) {
+                for (unsigned t = 1; t < num_workers && obj == kNullAddr;
+                     ++t) {
+                    MarkWorker &victim =
+                        workers[(wi + t) % num_workers];
+                    std::vector<Addr> loot;
+                    {
+                        std::lock_guard<std::mutex> g(victim.mu);
+                        if (!victim.stack.empty()) {
+                            std::size_t take =
+                                (victim.stack.size() + 1) / 2;
+                            loot.assign(victim.stack.begin(),
+                                        victim.stack.begin() +
+                                            static_cast<std::ptrdiff_t>(
+                                                take));
+                            victim.stack.erase(
+                                victim.stack.begin(),
+                                victim.stack.begin() +
+                                    static_cast<std::ptrdiff_t>(take));
+                        }
+                    }
+                    if (!loot.empty()) {
+                        obj = loot.back();
+                        loot.pop_back();
+                        if (!loot.empty()) {
+                            std::lock_guard<std::mutex> g(me.mu);
+                            me.stack.insert(me.stack.end(),
+                                            loot.begin(), loot.end());
+                        }
+                    }
+                }
+            }
+            if (obj == kNullAddr) {
+                // SATB entries are already claimed (the barrier owns
+                // the CAS); only their children need scanning, so
+                // they enter the pending protocol here.
+                std::vector<Addr> satb;
+                {
+                    std::lock_guard<std::mutex> g(h_.satbMu_);
+                    satb.swap(h_.satbBuffer_);
+                }
+                if (!satb.empty()) {
+                    pending.fetch_add(satb.size(),
+                                      std::memory_order_acq_rel);
+                    obj = satb.back();
+                    satb.pop_back();
+                    if (!satb.empty()) {
+                        std::lock_guard<std::mutex> g(me.mu);
+                        me.stack.insert(me.stack.end(), satb.begin(),
+                                        satb.end());
+                    }
+                }
+            }
+            if (obj != kNullAddr) {
+                pjhRawForEachRefSlot(Oop(obj), [&](Addr slot) {
+                    claim(loadWord(slot), me);
+                });
+                pending.fetch_sub(1, std::memory_order_acq_rel);
+                continue;
+            }
+            if (failed.load(std::memory_order_acquire))
+                break;
+            if (roots_done.load(std::memory_order_acquire) ==
+                    num_workers &&
+                pending.load(std::memory_order_acquire) == 0)
+                break;
+            std::this_thread::yield();
+        }
+    };
+
+    auto guarded = [&](unsigned wi) {
+        try {
+            body(wi);
+        } catch (...) {
+            {
+                std::lock_guard<std::mutex> g(err_mu);
+                if (!err)
+                    err = std::current_exception();
+            }
+            failed.store(true, std::memory_order_release);
+        }
+    };
+
+    h_.gcPool_.run(num_workers, guarded);
+    if (err)
+        std::rethrow_exception(err);
+
+    for (const MarkWorker &w : workers)
+        markedCount_ += w.marked;
+}
+
+void
+PjhGc::remark()
+{
+    // Mutators are drained, so this runs single-threaded against a
+    // quiesced heap — the plain STW marking machinery applies.
+    //
+    // 1. SATB residue the markers never drained: entries are already
+    //    marked, only their children need scanning.
+    {
+        std::lock_guard<std::mutex> g(h_.satbMu_);
+        for (Addr ref : h_.satbBuffer_)
+            markStack_.push_back(ref);
+        h_.satbBuffer_.clear();
+    }
+    // 2. Current roots, re-enumerated fresh: name-table entries and
+    //    DRAM slots may have been written since the snapshot (new
+    //    values were insertion-shaded, but a slot filled from a
+    //    pre-snapshot local needs this rescan).
+    auto root_visitor = [this](Addr slot) { markRef(loadWord(slot)); };
+    h_.names_.forEach([&](NameEntry &e) {
+        if (e.kind == static_cast<Word>(NameKind::kRoot))
+            markRef(e.value);
+    });
+    visitDramSlots(root_visitor);
+    // 3. Fixpoint.
+    while (!markStack_.empty()) {
+        Oop obj(markStack_.back());
+        markStack_.pop_back();
+        pjhRawForEachRefSlot(obj, root_visitor);
+    }
+}
+
+void
+PjhGc::collectConcurrent()
+{
+    NvmDevice &dev = h_.device();
+    PjhMetadata *meta = h_.meta_;
+    unsigned workers = std::max(1u, h_.gcThreads());
+
+    // Lift the safepoint (and the ownership flag) on every exit path:
+    // a SimulatedCrash mid-cycle must not strand mutators spinning in
+    // waitWhilePaused on a phase nobody will ever clear.
+    struct PhaseReset
+    {
+        PjhHeap &h;
+        ~PhaseReset()
+        {
+            h.gcActive_.store(false, std::memory_order_seq_cst);
+            h.gcPhase_.store(static_cast<unsigned>(GcPhase::kIdle),
+                             std::memory_order_seq_cst);
+        }
+    } phase_reset{h_};
+
+    // --- Initial safepoint: arm the epoch record, snapshot roots. ---
+    std::uint64_t t0 = gcNowNs();
+    pauseMutators();
+    h_.gcActive_.store(true, std::memory_order_seq_cst);
+
+    h_.marks_.clearAll();
+    h_.regionBits_.clearAll();
+    markedCount_ = 0;
+    h_.shadeCount_.store(0, std::memory_order_relaxed);
+    h_.bornBlack_.store(0, std::memory_order_relaxed);
+    {
+        std::lock_guard<std::mutex> g(h_.satbMu_);
+        h_.satbBuffer_.clear();
+    }
+
+    // Durable marking-epoch record, armed before any bitmap line of
+    // this cycle can reach media: recovery finding it without
+    // gcInProgress knows the bitmaps may be torn and discards the
+    // cycle (see PjhMetadata::gcMarkingActive).
+    meta->gcMarkingActive = 1;
+    meta->gcMarkEpoch += 1;
+    dev.flush(reinterpret_cast<Addr>(&meta->gcMarkingActive),
+              2 * sizeof(Word));
+    dev.fence();
+
+    // Snapshot root *values*, not slot addresses: the volatile side
+    // keeps running under the concurrent trace, and its own GC may
+    // move the DRAM objects those slots live in.
+    snapshotRoots_.clear();
+    h_.names_.forEach([&](NameEntry &e) {
+        if (e.kind == static_cast<Word>(NameKind::kRoot) &&
+            e.value != kNullAddr)
+            snapshotRoots_.push_back(e.value);
+    });
+    visitDramSlots([&](Addr slot) {
+        Addr v = loadWord(slot);
+        if (v != kNullAddr)
+            snapshotRoots_.push_back(v);
+    });
+
+    // --- Concurrent trace: markers race mutators. -------------------
+    h_.gcPhase_.store(static_cast<unsigned>(GcPhase::kMarking),
+                      std::memory_order_seq_cst);
+    std::uint64_t initial_pause_ns = gcNowNs() - t0;
+    std::uint64_t t_conc = gcNowNs();
+    traceConcurrent(workers);
+    std::uint64_t conc_ns = gcNowNs() - t_conc;
+
+    // --- Final safepoint: remark to fixpoint, persist the sketch. ---
+    std::uint64_t t_remark = gcNowNs();
+    pauseMutators();
+    remark();
+    Addr base = reinterpret_cast<Addr>(dev.base());
+    dev.flush(base + meta->markStartOff, meta->markBytes);
+    dev.flush(base + meta->markLiveOff, meta->markBytes);
+    dev.flush(base + meta->regionBitmapOff, meta->regionBitmapBytes);
+    dev.fence();
+    std::uint64_t remark_ns = gcNowNs() - t_remark;
+    h_.mutableStats().lastGcMarkNs = conc_ns + remark_ns;
+
+    // --- Commit + compact: same tail as the STW cycle. --------------
+    h_.mutableStats().lastGcCompactNs =
+        commitAndCompact(workers, /*concurrent=*/true);
+
+    std::uint64_t shaded =
+        h_.shadeCount_.load(std::memory_order_relaxed);
+    std::uint64_t born = h_.bornBlack_.load(std::memory_order_relaxed);
+    persistCycleStats(markedCount_ + shaded + born, conc_ns, remark_ns,
+                      shaded, shaded + born);
+    // Mutator-visible stop time: initial pause plus remark-to-finish
+    // (mutators stay paused through compaction; PhaseReset lifts the
+    // safepoint when we return).
+    h_.mutableStats().lastGcPauseNs =
+        initial_pause_ns + (gcNowNs() - t_remark);
 }
 
 } // namespace espresso

@@ -158,19 +158,54 @@ class PjhGc
   public:
     PjhGc(PjhHeap &heap, VolatileHeap *volatile_heap);
 
+    /** Classic stop-the-world cycle (quiesced mutators). */
     void collect();
+
+    /**
+     * Concurrent SATB cycle (see PjhHeap::setGcConcurrent): initial
+     * safepoint snapshots the roots and arms the durable
+     * marking-epoch record; marking then overlaps mutators (write
+     * barrier shades into the SATB buffer, allocations are born
+     * black); a final safepoint remarks to fixpoint, commits the
+     * snapshot (bitmaps + slice plan + gcInProgress), and runs the
+     * same sliced compaction as the STW path. A crash before the
+     * commit point discards the cycle on attach; after it, recovery
+     * resumes the compaction exactly as for an STW crash.
+     */
+    void collectConcurrent();
 
   private:
     void markPhase();
     void parallelMark(unsigned num_workers);
+    /** Trace from the snapshot roots while mutators run, draining
+     * the heap's SATB buffer as it fills. */
+    void traceConcurrent(unsigned num_workers);
+    /** Safepoint fixpoint: rescan all roots + drain the SATB residue
+     * (mutators drained, so the fixpoint is exact). */
+    void remark();
+    /** Flip to kPaused and drain mutator brackets. */
+    void pauseMutators();
     void markRef(Addr ref);
     bool isFillerRef(Addr ref) const;
     void visitDramSlots(const SlotVisitor &visitor);
     void fixVolatileSide(const PjhCompactor &compactor);
+    /** Shared tail: stale stamp, summary/plan/journal, compact,
+     * finish, volatile fixup. Returns the compact-phase ns. */
+    std::uint64_t commitAndCompact(unsigned workers, bool concurrent);
+    /** Persist the per-cycle stats block (gcLastMarked through
+     * gcLastFloating, one flush range + fence) and mirror it into
+     * PjhStats. STW cycles pass zeros for the concurrent fields so a
+     * post-crash reader never sees a stale overlap figure. */
+    void persistCycleStats(std::uint64_t marked, std::uint64_t conc_ns,
+                           std::uint64_t remark_ns, std::uint64_t shaded,
+                           std::uint64_t floating);
 
     PjhHeap &h_;
     VolatileHeap *vh_;
     std::vector<Addr> markStack_;
+    /** Root *values* captured at the initial safepoint (slot
+     * addresses can go stale while the volatile side runs). */
+    std::vector<Addr> snapshotRoots_;
     std::uint64_t markedCount_ = 0;
 };
 

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -65,6 +66,14 @@ gcThreadsFromEnv()
     return 1;
 }
 
+bool
+gcConcurrentFromEnv()
+{
+    if (const char *s = std::getenv("ESPRESSO_GC_CONCURRENT"))
+        return s[0] != '\0' && s[0] != '0';
+    return false;
+}
+
 /** RAII allocation-epoch bracket (see allocGuardEnter). */
 struct AllocGuard
 {
@@ -76,6 +85,47 @@ struct AllocGuard
     PjhHeap &h_;
 };
 
+/**
+ * Per-thread re-entrancy depths for the allocation-epoch guard,
+ * keyed by heap. A thread already inside its own epoch (a
+ * MutatorSection, or a guarded op calling another) must not back out
+ * at a safepoint request: the collector's drain is waiting for *this*
+ * thread, so backing out and spinning would deadlock. A slot is live
+ * only while its depth is non-zero, so a destroyed heap can never be
+ * observed through a stale slot.
+ */
+struct GuardTls
+{
+    static constexpr int kSlots = 8;
+    const void *heap[kSlots] = {};
+    unsigned depth[kSlots] = {};
+};
+thread_local GuardTls t_guardTls;
+
+unsigned *
+guardDepthFind(const void *h)
+{
+    for (int i = 0; i < GuardTls::kSlots; ++i)
+        if (t_guardTls.heap[i] == h && t_guardTls.depth[i] > 0)
+            return &t_guardTls.depth[i];
+    return nullptr;
+}
+
+unsigned &
+guardDepthClaim(const void *h)
+{
+    for (int i = 0; i < GuardTls::kSlots; ++i)
+        if (t_guardTls.heap[i] == h && t_guardTls.depth[i] > 0)
+            return t_guardTls.depth[i];
+    for (int i = 0; i < GuardTls::kSlots; ++i) {
+        if (t_guardTls.depth[i] == 0) {
+            t_guardTls.heap[i] = h;
+            return t_guardTls.depth[i];
+        }
+    }
+    panic("PJH: guard sections nested across too many heaps");
+}
+
 } // namespace
 
 PjhHeap::PjhHeap(NvmDevice *device, KlassRegistry *registry)
@@ -83,6 +133,7 @@ PjhHeap::PjhHeap(NvmDevice *device, KlassRegistry *registry)
       serial_(g_heapSerial.fetch_add(1, std::memory_order_relaxed))
 {
     gcThreads_.store(gcThreadsFromEnv(), std::memory_order_relaxed);
+    gcConcurrent_.store(gcConcurrentFromEnv(), std::memory_order_relaxed);
 }
 
 void
@@ -98,20 +149,139 @@ PjhHeap::setGcThreads(unsigned n)
 void
 PjhHeap::allocGuardEnter()
 {
-    allocsInFlight_.fetch_add(1, std::memory_order_seq_cst);
-    if (gcActive_.load(std::memory_order_seq_cst)) {
+    unsigned &depth = guardDepthClaim(this);
+    if (depth > 0) {
+        // Re-entrant: this thread already holds the epoch, so a
+        // pending safepoint is waiting on *us* — proceed even while
+        // kPaused instead of backing out (which would deadlock the
+        // collector's drain against our own outer bracket).
+        ++depth;
+        allocsInFlight_.fetch_add(1, std::memory_order_seq_cst);
+        return;
+    }
+    for (;;) {
+        allocsInFlight_.fetch_add(1, std::memory_order_seq_cst);
+        unsigned ph = gcPhase_.load(std::memory_order_seq_cst);
+        if (ph == static_cast<unsigned>(GcPhase::kPaused)) {
+            // A concurrent cycle's safepoint is in force: back out so
+            // the collector's drain completes, wait it out, retry.
+            allocsInFlight_.fetch_sub(1, std::memory_order_seq_cst);
+            waitWhilePaused();
+            continue;
+        }
+        if (ph == static_cast<unsigned>(GcPhase::kIdle) &&
+            gcActive_.load(std::memory_order_seq_cst)) {
 #ifndef NDEBUG
-        allocsInFlight_.fetch_sub(1, std::memory_order_seq_cst);
-        panic("PJH: pnew raced collect(); collections are "
-              "stop-the-world and require quiesced mutators");
+            allocsInFlight_.fetch_sub(1, std::memory_order_seq_cst);
+            panic("PJH: pnew raced collect(); STW collections "
+                  "require quiesced mutators");
 #endif
+        }
+        depth = 1;
+        return;
     }
 }
 
 void
 PjhHeap::allocGuardExit()
 {
+    if (unsigned *depth = guardDepthFind(this))
+        --*depth;
     allocsInFlight_.fetch_sub(1, std::memory_order_seq_cst);
+}
+
+void
+PjhHeap::waitWhilePaused() const
+{
+    while (gcPhase_.load(std::memory_order_acquire) ==
+           static_cast<unsigned>(GcPhase::kPaused)) {
+        // Die with a simulated power failure instead of spinning on a
+        // safepoint whose collector was killed by one.
+        CrashInjector *inj = dev_->injector();
+        if (inj && inj->tripped())
+            throw SimulatedCrash();
+        std::this_thread::yield();
+    }
+}
+
+void
+PjhHeap::rootOpGuardEnter() const
+{
+    // Inside this thread's own allocation epoch (a MutatorSection
+    // bracketing a compound op) a pending safepoint waits for us, so
+    // the root op proceeds even while kPaused — see allocGuardEnter.
+    const bool in_own_epoch = guardDepthFind(this) != nullptr;
+    for (;;) {
+        rootOpsInFlight_.fetch_add(1, std::memory_order_seq_cst);
+        if (in_own_epoch ||
+            gcPhase_.load(std::memory_order_seq_cst) !=
+                static_cast<unsigned>(GcPhase::kPaused)) {
+            // No STW check here: root reads legitimately probe shards
+            // that are STW-collecting (the fabric's fallback scan
+            // visits every member); that contract is the caller's.
+            return;
+        }
+        rootOpsInFlight_.fetch_sub(1, std::memory_order_seq_cst);
+        waitWhilePaused();
+    }
+}
+
+void
+PjhHeap::rootOpGuardExit() const
+{
+    rootOpsInFlight_.fetch_sub(1, std::memory_order_seq_cst);
+}
+
+void
+PjhHeap::shade(Addr ref) const
+{
+    if (gcPhase_.load(std::memory_order_acquire) !=
+        static_cast<unsigned>(GcPhase::kMarking))
+        return;
+    if (ref == kNullAddr || !containsData(ref))
+        return;
+    // Marked-test *before* the header reads: a ref published during
+    // the cycle points at an already-marked object (born black or
+    // shaded on store) whose header may still be in flight from this
+    // thread's perspective; an unmarked object is pre-snapshot and
+    // fully visible (initial-safepoint happens-before).
+    if (marks_.isMarkedAtomic(ref))
+        return;
+    Oop obj(ref);
+    Addr img = obj.klassImage();
+    if (img == fillerInstanceImage_ || img == fillerArrayImage_)
+        return;
+    // The claim CAS is shared with the markers: whoever wins owns the
+    // push, so the object lands on exactly one scan queue.
+    auto &self = const_cast<PjhHeap &>(*this);
+    if (!self.marks_.tryMarkObject(ref, pjhRawObjectSize(obj)))
+        return;
+    shadeCount_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> g(satbMu_);
+    satbBuffer_.push_back(ref);
+}
+
+void
+PjhHeap::shadeFieldIfRef(Oop obj, std::uint32_t offset) const
+{
+    if (gcPhase_.load(std::memory_order_acquire) !=
+        static_cast<unsigned>(GcPhase::kMarking))
+        return;
+    // flushField can't observe the overwritten value — shade the
+    // stored one, but only when the Klass image declares a reference
+    // field at this offset (shading a primitive word that happens to
+    // alias a heap address would dereference a non-header).
+    auto *img = reinterpret_cast<const KlassImage *>(obj.klassImage());
+    if (img->isArray())
+        return;
+    const FieldImage *fields = img->fields();
+    for (Word i = 0; i < img->fieldCount; ++i) {
+        if (fields[i].offset == offset) {
+            if (static_cast<FieldType>(fields[i].type) == FieldType::kRef)
+                shade(loadWord(obj.addr() + offset));
+            return;
+        }
+    }
 }
 
 void
@@ -247,6 +417,14 @@ PjhHeap::attach(NvmDevice *device, KlassRegistry *registry,
         PjhRecovery recovery(*heap, delta);
         recovery.run();
         ++heap->stats_.recoveries;
+    } else if (meta->gcMarkingActive) {
+        // The crash hit mutator/marker overlap: the cycle's snapshot
+        // never committed (gcInProgress was still down, so the mark
+        // bitmap may be torn on media). Discard the cycle cleanly —
+        // the heap itself is untouched by marking.
+        PjhRecovery recovery(*heap, delta);
+        recovery.discardMarkingCycle();
+        ++heap->stats_.recoveries;
     }
     // Application-level rollback happens while pointer values are
     // still expressed in the stored address space.
@@ -279,6 +457,11 @@ PjhHeap::attach(NvmDevice *device, KlassRegistry *registry,
     // seed the volatile mirror so post-crash readers see them.
     heap->stats_.collections = meta->gcCollections;
     heap->stats_.lastGcMarked = meta->gcLastMarked;
+    heap->stats_.lastGcConcMarkNs = meta->gcLastConcMarkNs;
+    heap->stats_.lastGcRemarkNs = meta->gcLastRemarkNs;
+    heap->stats_.lastGcShaded = meta->gcLastShaded;
+    heap->stats_.lastGcFloating = meta->gcLastFloating;
+    heap->stats_.markDiscards = meta->gcMarkDiscards;
     heap->stats_.lastLoadNs = nowNs() - t0;
     return heap;
 }
@@ -520,6 +703,7 @@ PjhHeap::allocRaw(const Klass *k, std::uint64_t length)
     Addr a = tlabReserve(t, size);
     if (a == kNullAddr) {
         Oop o = allocSlotless(pk, image, length, size);
+        bornBlackIfMarking(o.addr(), size);
         stats_.allocations.fetch_add(1, std::memory_order_relaxed);
         stats_.bytesAllocated.fetch_add(size, std::memory_order_relaxed);
         return o;
@@ -543,10 +727,28 @@ PjhHeap::allocRaw(const Klass *k, std::uint64_t length)
         header = ObjectLayout::kArrayHeaderSize;
     }
     dev_->persist(a, header);
+    bornBlackIfMarking(a, size);
 
     stats_.allocations.fetch_add(1, std::memory_order_relaxed);
     stats_.bytesAllocated.fetch_add(size, std::memory_order_relaxed);
     return o;
+}
+
+void
+PjhHeap::bornBlackIfMarking(Addr a, std::size_t size)
+{
+    // Objects allocated during a concurrent cycle are born black:
+    // they survive the cycle unconditionally and markers never scan
+    // them (their outgoing references are covered by the store
+    // barrier and the remark root rescan). The phase is stable here —
+    // the allocation guard is held, so the cycle cannot reach a
+    // safepoint mid-allocation. Marked per object, not per chunk, so
+    // the live bits stay object-granular for liveSizeAt.
+    if (gcPhase_.load(std::memory_order_acquire) ==
+        static_cast<unsigned>(GcPhase::kMarking)) {
+        marks_.tryMarkObject(a, size);
+        bornBlack_.fetch_add(1, std::memory_order_relaxed);
+    }
 }
 
 Oop
@@ -570,25 +772,48 @@ PjhHeap::setRoot(const std::string &name, Oop obj)
 {
     if (obj && !containsData(obj.addr()))
         fatal("setRoot: object is not in this persistent heap");
+    RootOpGuard guard(*this);
+    // SATB deletion barrier: the overwritten referent may be the last
+    // snapshot path to its subgraph. (Shading the value we observed
+    // is enough even if another setRoot interleaves: a value stored
+    // *during* the cycle is either born black or covered by the
+    // shading of its own snapshot paths.)
+    if (markingConcurrently()) {
+        if (NameEntry *e = names_.find(name, NameKind::kRoot))
+            shade(NameTable::readValue(e));
+        shade(obj.addr());
+    }
     names_.upsert(name, NameKind::kRoot, obj.addr());
 }
 
 Oop
 PjhHeap::getRoot(const std::string &name) const
 {
+    RootOpGuard guard(*this);
     NameEntry *e = names_.find(name, NameKind::kRoot);
-    return e ? Oop(NameTable::readValue(e)) : Oop();
+    Oop obj = e ? Oop(NameTable::readValue(e)) : Oop();
+    // Load barrier: the caller may delete the root next and keep the
+    // only reference in a local, which no marker can see.
+    if (obj)
+        shade(obj.addr());
+    return obj;
 }
 
 bool
 PjhHeap::hasRoot(const std::string &name) const
 {
+    RootOpGuard guard(*this);
     return names_.find(name, NameKind::kRoot) != nullptr;
 }
 
 void
 PjhHeap::flushField(Oop obj, std::uint32_t offset)
 {
+    RootOpGuard guard(*this);
+    // Write barrier half for raw setRef users: the overwritten value
+    // is gone by flush time, so shade the stored one (see the
+    // concurrent-mode contract in the header).
+    shadeFieldIfRef(obj, offset);
     // Work set is bounded to 8 bytes to preserve atomicity (§3.5).
     dev_->persist(obj.addr() + offset, kWordSize);
 }
@@ -596,14 +821,21 @@ PjhHeap::flushField(Oop obj, std::uint32_t offset)
 void
 PjhHeap::flushArrayElement(Oop obj, std::uint64_t index)
 {
+    RootOpGuard guard(*this);
     const Klass *k = obj.klass();
     std::size_t esz = elementSize(k->elemType());
+    if (k->elemType() == FieldType::kRef && markingConcurrently())
+        shade(loadWord(obj.elemAddr(index, kWordSize)));
     dev_->persist(obj.elemAddr(index, esz), esz);
 }
 
 void
 PjhHeap::flushObject(Oop obj)
 {
+    RootOpGuard guard(*this);
+    if (markingConcurrently())
+        pjhRawForEachRefSlot(obj,
+                             [this](Addr slot) { shade(loadWord(slot)); });
     // All fields, one trailing fence (§3.5 coarse-grained flush).
     dev_->flush(obj.addr(), obj.sizeInBytes());
     dev_->fence();
@@ -629,6 +861,16 @@ void
 PjhHeap::storeRef(Oop obj, std::uint32_t offset, Oop value)
 {
     checkRefStore(obj, value);
+    RootOpGuard guard(*this);
+    if (markingConcurrently()) {
+        // Deletion barrier (SATB: the overwritten referent may be the
+        // last snapshot path to its subgraph) plus an insertion shade
+        // of the stored value, which covers references obtained just
+        // before the cycle's snapshot and published into an
+        // already-scanned object.
+        shade(loadWord(obj.addr() + offset));
+        shade(value.addr());
+    }
     obj.setRef(offset, value);
 }
 
@@ -636,6 +878,11 @@ void
 PjhHeap::storeRefElement(Oop obj, std::uint64_t index, Oop value)
 {
     checkRefStore(obj, value);
+    RootOpGuard guard(*this);
+    if (markingConcurrently()) {
+        shade(loadWord(obj.elemAddr(index, kWordSize)));
+        shade(value.addr());
+    }
     obj.setRefElem(index, value.addr());
 }
 
@@ -875,7 +1122,24 @@ PjhHeap::zeroingScan()
 void
 PjhHeap::collect(VolatileHeap *volatile_heap)
 {
+    // Whole cycles are serialized: a mutator-triggered collect that
+    // lost the race blocks here (its allocation guard is released by
+    // triggerGcOutsideGuard, so the winner's safepoints still drain),
+    // then runs its own cycle against the freshly compacted heap.
+    std::lock_guard<std::mutex> cycle(gcCycleMu_);
     std::uint64_t t0 = nowNs();
+
+    if (gcConcurrent()) {
+        // Concurrent SATB cycle: PjhGc drives the phase transitions
+        // and pause accounting itself. gcActive_ is raised only after
+        // the phase leaves kIdle so the STW panic branch in
+        // allocGuardEnter can never misfire on a concurrent cycle.
+        PjhGc gc(*this, volatile_heap);
+        gc.collectConcurrent();
+        ++stats_.collections;
+        return;
+    }
+
     // Quiescence check (see the header contract): flag the
     // collection, then look for in-flight allocations. seq_cst on
     // both sides guarantees a racing allocator and this collector

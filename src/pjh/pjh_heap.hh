@@ -28,6 +28,7 @@
 #include <mutex>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "heap/mark_bitmap.hh"
 #include "heap/volatile_heap.hh"
@@ -81,10 +82,38 @@ struct PjhStats
     std::uint64_t lastLoadNs = 0;
     std::uint64_t lastLoadBindNs = 0;
     std::uint64_t lastLoadSafetyNs = 0;
+    /** Mutator-visible stop time: the whole collection when STW, the
+     * initial + remark/compact pauses when concurrent. */
     std::uint64_t lastGcPauseNs = 0;
     std::uint64_t lastGcMarkNs = 0;
     std::uint64_t lastGcCompactNs = 0;
     std::uint64_t lastGcMarked = 0;
+    /** @name Concurrent-cycle observability (0 after an STW cycle) */
+    /// @{
+    std::uint64_t lastGcConcMarkNs = 0; ///< marking overlapped with mutators
+    std::uint64_t lastGcRemarkNs = 0;   ///< final remark pause alone
+    std::uint64_t lastGcShaded = 0;     ///< write-barrier shades
+    std::uint64_t lastGcFloating = 0;   ///< floating-garbage upper bound
+    std::uint64_t markDiscards = 0;     ///< cycles discarded by recovery
+    /// @}
+};
+
+/**
+ * Collection phase a mutator can observe (concurrent mode).
+ *
+ *  - kIdle: no cycle (or an STW collection, which quiesces mutators
+ *    by contract instead of by phase).
+ *  - kMarking: snapshot-at-the-beginning marking overlaps mutators;
+ *    allocation, root, flush and ref-store APIs proceed under the
+ *    write barrier.
+ *  - kPaused: a brief safepoint (initial root snapshot, or the final
+ *    remark + sliced compaction). Mutator APIs block until it lifts.
+ */
+enum class GcPhase : unsigned
+{
+    kIdle = 0,
+    kMarking = 1,
+    kPaused = 2,
 };
 
 /** One attached PJH instance. */
@@ -128,9 +157,11 @@ class PjhHeap : public ExternalSpace
      * registered in the metadata's TLAB slot table, and every
      * allocation re-establishes a trailing filler over the chunk's
      * unused tail before the object header is persisted. Recovery
-     * therefore repairs at most one torn tail per TLAB. Collections
-     * are stop-the-world: the caller must ensure no thread
-     * allocates during collect().
+     * therefore repairs at most one torn tail per TLAB. STW
+     * collections require the caller to ensure no thread allocates
+     * during collect(); in concurrent mode allocation overlaps
+     * marking (objects are born black) and blocks only during the
+     * cycle's brief safepoints.
      */
     /// @{
     Oop allocInstance(const Klass *k);
@@ -204,15 +235,27 @@ class PjhHeap : public ExternalSpace
     /** ExternalSpace: slots referencing DRAM (for the volatile GC). */
     void forEachOutRefSlot(const SlotVisitor &visitor) override;
 
+    /** ExternalSpace: DRAM-side SATB deletion barrier — a volatile
+     * root slot (handle) dropped @p ref, which may be the last
+     * snapshot path into this heap. No-op unless a concurrent cycle
+     * is marking and @p ref lands in our data space. */
+    void shadeOverwrittenRef(Addr ref) override { shade(ref); }
+
     /**
      * Full persistent-space collection (System.gc() analog);
      * @p volatile_heap supplies DRAM→NVM roots (may be null).
      *
-     * Precondition: mutators are quiesced — no thread may be inside
-     * an allocation (or start one) for the duration of the call. The
-     * allocation-epoch guard makes a racing allocator panic in debug
-     * builds; in release builds the precondition is the caller's
-     * responsibility (this documented contract).
+     * STW mode precondition: mutators are quiesced — no thread may be
+     * inside an allocation (or start one) for the duration of the
+     * call. The allocation-epoch guard makes a racing allocator panic
+     * in debug builds; in release builds the precondition is the
+     * caller's responsibility (this documented contract).
+     *
+     * Concurrent mode (setGcConcurrent) drops that precondition:
+     * mutators may allocate and mutate throughout marking; they are
+     * only stopped for the initial snapshot and the remark+compact
+     * window (see the mode's contract above). Cycles are serialized;
+     * a second caller blocks, then runs its own full cycle.
      */
     void collect(VolatileHeap *volatile_heap);
 
@@ -236,17 +279,100 @@ class PjhHeap : public ExternalSpace
     /// @}
 
     /**
+     * @name Concurrent (SATB) collection mode
+     *
+     * Off (the default), collect() is the classic stop-the-world
+     * cycle. On, collect() runs snapshot-at-the-beginning marking
+     * concurrently with mutators: a brief initial pause snapshots the
+     * roots and flips the marking phase, marker threads then race
+     * mutators under the deletion/insertion write barrier (see
+     * storeRef / setRoot / flushField), objects allocated during the
+     * cycle are born black, and only the final remark plus the sliced
+     * compaction stop mutators. Defaults to ESPRESSO_GC_CONCURRENT
+     * when set.
+     *
+     * Contract while a concurrent cycle is marking:
+     *  - reference mutations must go through storeRef /
+     *    storeRefElement / setRoot (the barrier shades both the
+     *    overwritten and the stored referent); a raw Oop::setRef is
+     *    only safe when followed by flushField of the same slot
+     *    before the cycle's remark;
+     *  - a reference obtained before the cycle began (pnew result,
+     *    getRoot) must be stored into a scannable location — or the
+     *    compound op wrapped in a MutatorSection, which holds off the
+     *    cycle's safepoints — before the thread yields for a full
+     *    cycle, since there is no stack scanning.
+     */
+    /// @{
+    bool
+    gcConcurrent() const
+    {
+        return gcConcurrent_.load(std::memory_order_relaxed);
+    }
+
+    void
+    setGcConcurrent(bool on)
+    {
+        gcConcurrent_.store(on, std::memory_order_relaxed);
+    }
+
+    /** Phase observed by mutators; kIdle during STW collections. */
+    GcPhase
+    gcPhase() const
+    {
+        return static_cast<GcPhase>(
+            gcPhase_.load(std::memory_order_acquire));
+    }
+
+    /** True while marking overlaps mutators (root/alloc/flush ops
+     * proceed under the barrier instead of blocking). */
+    bool
+    markingConcurrently() const
+    {
+        return gcPhase() == GcPhase::kMarking;
+    }
+
+    /**
+     * RAII mutator section: while held, a concurrent cycle cannot
+     * reach a safepoint (the collector's pause drains all sections
+     * first), so raw references stay valid across the bracketed
+     * compound operation. Cheap (one atomic inc/dec); may block
+     * briefly at entry while a safepoint is in force. Nests with
+     * itself and with the allocation guard: guarded ops (pnew,
+     * setRoot, flushField, storeRef, ...) called inside a section
+     * proceed even as a safepoint is being requested — the collector
+     * waits for the outermost bracket to exit.
+     */
+    class MutatorSection
+    {
+      public:
+        explicit MutatorSection(PjhHeap &h) : h_(h)
+        {
+            h_.allocGuardEnter();
+        }
+        ~MutatorSection() { h_.allocGuardExit(); }
+        MutatorSection(const MutatorSection &) = delete;
+        MutatorSection &operator=(const MutatorSection &) = delete;
+
+      private:
+        PjhHeap &h_;
+    };
+    /// @}
+
+    /**
      * @name Allocation-epoch guard (collect() quiescence check)
      *
      * Every allocation brackets its heap-mutating window with
-     * enter/exit; collect() raises the GC-active flag and checks the
-     * in-flight count. Both sides use seq_cst so at least one of a
-     * racing (allocator, collector) pair observes the other — the
-     * race then fails loudly (debug panic) instead of silently
+     * enter/exit; an STW collect() raises the GC-active flag and
+     * checks the in-flight count. Both sides use seq_cst so at least
+     * one of a racing (allocator, collector) pair observes the other
+     * — the race then fails loudly (debug panic) instead of silently
      * corrupting the heap. In release builds the check compiles to
      * nothing beyond the counter and the documented precondition on
-     * collect() stands. Public for the internal RAII bracket; not
-     * part of the user API.
+     * collect() stands. In concurrent mode the same counter doubles
+     * as the safepoint drain: entry spins while the phase is kPaused,
+     * and the collector's pause waits for the count to reach zero.
+     * Public for the internal RAII bracket; not part of the user API.
      */
     /// @{
     void allocGuardEnter();
@@ -325,6 +451,10 @@ class PjhHeap : public ExternalSpace
     Oop allocSlotless(const Klass *pk, Addr image, std::uint64_t length,
                       std::size_t size);
 
+    /** Born-black marking for objects allocated while a concurrent
+     * cycle is tracing (caller holds the allocation guard). */
+    void bornBlackIfMarking(Addr a, std::size_t size);
+
     /**
      * Write a filler header covering [a, a+gap) (working image only;
      * the caller persists). The image addresses default to the
@@ -346,6 +476,48 @@ class PjhHeap : public ExternalSpace
     /** Invoke the GC trigger with the allocation-epoch guard
      * released, restoring it even on an exception. */
     void triggerGcOutsideGuard();
+
+    /**
+     * @name Concurrent-marking internals (write barrier + safepoint)
+     */
+    /// @{
+    /** Root/flush-op bracket: like the allocation guard but without
+     * the STW debug panic — root reads legitimately probe shards that
+     * are STW-collecting (the fabric's fallback scan). Blocks while
+     * the phase is kPaused. Const: called from const read paths. */
+    void rootOpGuardEnter() const;
+    void rootOpGuardExit() const;
+
+    /** Spin until the collector lifts the safepoint. */
+    void waitWhilePaused() const;
+
+    /**
+     * SATB shade: claim @p ref in the mark bitmap and queue it for
+     * the markers to scan. No-op unless the phase is kMarking and
+     * @p ref is a non-filler data-heap object start. Must be called
+     * with an alloc/root-op guard held (the safepoint drain is what
+     * keeps a shade from racing the remark's bitmap fixpoint).
+     */
+    void shade(Addr ref) const;
+
+    /** Shade the current value of @p obj's slot at @p offset iff the
+     * Klass image declares a reference field there (flushField can't
+     * see the overwritten value, so it shades the stored one). */
+    void shadeFieldIfRef(Oop obj, std::uint32_t offset) const;
+
+    /** RAII root-op bracket. */
+    struct RootOpGuard
+    {
+        explicit RootOpGuard(const PjhHeap &h) : h_(h)
+        {
+            h_.rootOpGuardEnter();
+        }
+        ~RootOpGuard() { h_.rootOpGuardExit(); }
+        RootOpGuard(const RootOpGuard &) = delete;
+        RootOpGuard &operator=(const RootOpGuard &) = delete;
+        const PjhHeap &h_;
+    };
+    /// @}
 
     void rebase(std::ptrdiff_t delta);
     void zeroingScan();
@@ -389,6 +561,22 @@ class PjhHeap : public ExternalSpace
     std::atomic<std::uint32_t> allocsInFlight_{0};
     /** True while collect() owns the heap. */
     std::atomic<bool> gcActive_{false};
+    /** Serializes whole collection cycles (a mutator-triggered
+     * collect that lost the race simply runs after the winner). */
+    std::mutex gcCycleMu_;
+    /** Concurrent-mode collection phase (GcPhase). */
+    std::atomic<unsigned> gcPhase_{0};
+    /** Root/flush ops currently inside their bracket. */
+    mutable std::atomic<std::uint32_t> rootOpsInFlight_{0};
+    /** Concurrent (SATB) mode knob; ESPRESSO_GC_CONCURRENT default. */
+    std::atomic<bool> gcConcurrent_{false};
+    /** SATB buffer: shaded (already claimed) objects whose children
+     * the markers still have to scan. */
+    mutable std::mutex satbMu_;
+    mutable std::vector<Addr> satbBuffer_;
+    /** Per-cycle barrier counters (reset at each cycle's start). */
+    mutable std::atomic<std::uint64_t> shadeCount_{0};
+    std::atomic<std::uint64_t> bornBlack_{0};
     /** Cached filler KlassImage addresses for walk skipping. */
     Addr fillerInstanceImage_ = 0;
     Addr fillerArrayImage_ = 0;

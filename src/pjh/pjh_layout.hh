@@ -70,7 +70,7 @@ struct PjhConfig
 struct PjhMetadata
 {
     static constexpr Word kMagic = 0x455350524a480001ull; // "ESPRJH",v1
-    static constexpr Word kVersion = 3;
+    static constexpr Word kVersion = 4;
 
     /** Maximum concurrently registered TLAB chunks. Threads beyond
      * this fall back to fully locked, immediately durable
@@ -199,8 +199,34 @@ struct PjhMetadata
      * raised so recovery rebuilds the identical slice-aware summary. */
     Word gcSliceCount;
 
+    /** @name Concurrent-marking epoch record
+     *
+     * gcMarkingActive is persisted (flush+fence) *before* the first
+     * mark-bitmap line of a concurrent cycle is dirtied and cleared
+     * only after the cycle either commits its mark state (gcInProgress
+     * raised — compaction owns recovery from here) or finishes. The
+     * recovery rule is therefore: gcInProgress set → the snapshot is
+     * provably durable, resume the compaction; gcMarkingActive alone →
+     * the crash hit mutator/marker overlap, the bitmap may be torn,
+     * discard the cycle (clear bitmaps, bump gcMarkDiscards). */
+    /// @{
+    Word gcMarkingActive; ///< 1 while a concurrent mark is in flight
+    Word gcMarkEpoch;     ///< cycles started (concurrent or STW)
+    Word gcMarkDiscards;  ///< cycles discarded by crash recovery
+    /// @}
+
+    /** @name Per-cycle pause/overlap stats (persisted with the two
+     * words above at the end of every collection) */
+    /// @{
+    Word gcLastConcMarkNs; ///< concurrent-mark wall time (0 when STW)
+    Word gcLastRemarkNs;   ///< final remark pause (0 when STW)
+    Word gcLastShaded;     ///< refs shaded by the write barrier
+    Word gcLastFloating;   ///< floating-garbage upper bound
+                           ///< (shaded + born-black allocations)
+    /// @}
+
     /** Pad so the GC slice table below stays cache-line aligned. */
-    Word gcStatsPad[5];
+    Word gcStatsPad[6];
 
     /**
      * The per-slice compaction progress table (§4.2 extended for

@@ -28,6 +28,36 @@ PjhRecovery::run()
     compactor.applyRootJournal();
     compactor.compact(/*resume=*/true);
     compactor.finish();
+
+    // A concurrent cycle that reached the commit point leaves its
+    // marking-epoch record set (it is cleared after gcInProgress is
+    // raised, and the crash may have hit between the two persists or
+    // anywhere in the compaction). The collection is now complete;
+    // retire the record so the next attach doesn't discard a cycle
+    // that in fact finished.
+    PjhMetadata *meta = &h_.meta();
+    if (meta->gcMarkingActive) {
+        meta->gcMarkingActive = 0;
+        h_.device().persist(
+            reinterpret_cast<Addr>(&meta->gcMarkingActive),
+            sizeof(Word));
+    }
+}
+
+void
+PjhRecovery::discardMarkingCycle()
+{
+    PjhMetadata *meta = &h_.meta();
+    if (meta->gcInProgress || !meta->gcMarkingActive)
+        panic("PjhRecovery::discardMarkingCycle: not an uncommitted "
+              "marking cycle");
+    meta->gcMarkingActive = 0;
+    meta->gcMarkDiscards += 1;
+    h_.device().flush(reinterpret_cast<Addr>(&meta->gcMarkingActive),
+                      sizeof(Word));
+    h_.device().flush(reinterpret_cast<Addr>(&meta->gcMarkDiscards),
+                      sizeof(Word));
+    h_.device().fence();
 }
 
 } // namespace espresso

@@ -40,6 +40,16 @@ class PjhRecovery
     /** Run recovery; clears the in-collection flag on success. */
     void run();
 
+    /**
+     * Discard an uncommitted concurrent-marking cycle (the crash hit
+     * mutator/marker overlap: gcMarkingActive is set but gcInProgress
+     * never was). The heap itself is untouched — marking writes only
+     * the bitmaps, which no reader trusts outside gcInProgress — so
+     * discarding is just retiring the epoch record: clear the flag,
+     * count the discard, persist both.
+     */
+    void discardMarkingCycle();
+
   private:
     PjhHeap &h_;
     std::ptrdiff_t delta_;

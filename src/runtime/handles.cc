@@ -17,6 +17,9 @@ Handle::set(Oop o)
 {
     if (!registry_)
         panic("Handle::set on an invalid handle");
+    Addr old = registry_->slots_[index_];
+    if (old != kNullAddr && old != o.addr() && registry_->overwriteHook_)
+        registry_->overwriteHook_(old);
     registry_->slots_[index_] = o.addr();
 }
 
@@ -44,6 +47,8 @@ HandleRegistry::release(Handle h)
         panic("HandleRegistry::release: foreign handle");
     if (!live_[h.index_])
         panic("HandleRegistry::release: double release");
+    if (slots_[h.index_] != kNullAddr && overwriteHook_)
+        overwriteHook_(slots_[h.index_]);
     live_[h.index_] = false;
     slots_[h.index_] = kNullAddr;
     freeList_.push_back(h.index_);

@@ -11,6 +11,7 @@
 #define ESPRESSO_RUNTIME_HANDLES_HH
 
 #include <cstddef>
+#include <functional>
 #include <vector>
 
 #include "runtime/oop.hh"
@@ -61,12 +62,26 @@ class HandleRegistry
 
     std::size_t liveCount() const;
 
+    /**
+     * Deletion-barrier hook (SATB): invoked with every non-null
+     * value a live slot stops holding (Handle::set overwrite,
+     * release), *before* the slot changes. External spaces running a
+     * concurrent mark use it to shade the dropped reference; unset
+     * by default.
+     */
+    void
+    setOverwriteHook(std::function<void(Addr)> hook)
+    {
+        overwriteHook_ = std::move(hook);
+    }
+
   private:
     friend class Handle;
 
     std::vector<Addr> slots_;
     std::vector<bool> live_;
     std::vector<std::size_t> freeList_;
+    std::function<void(Addr)> overwriteHook_;
 };
 
 } // namespace espresso

@@ -623,6 +623,337 @@ TEST(CrashMatrixTest, GcSweepMultiSliceWithCacheEviction)
 }
 
 // ---------------------------------------------------------------------
+// Concurrent-marking matrix: mutator threads race a SATB cycle, power
+// fails at a randomized persistence event of either side; recovery
+// must resume (gcInProgress durable) or discard (gcMarkingActive
+// alone) without losing, inventing, or double-moving an object
+// ---------------------------------------------------------------------
+
+/**
+ * Pre-built rooted lists (the snapshot-live set, immutable during the
+ * run) share the heap with garbage and with mutator threads that
+ * allocate, flush, publish, link and unlink nodes *while* a
+ * concurrent collection runs. Crash points come in two flavours:
+ * uniformly random over the whole interleaved event stream, and
+ * targeted — armed only once marking is observed overlapping the
+ * mutators, so the sweep provably exercises the discard window
+ * (gcMarkingActive persisted, gcInProgress not yet).
+ *
+ * Invariants after recovery:
+ *  - the heap parses end to end;
+ *  - no snapshot-live node is ever lost, invented, or moved twice,
+ *    whichever path recovery took;
+ *  - mutator roots never hold a value no thread durably wrote;
+ *  - the recovered heap takes new work, and a clean follow-up
+ *    concurrent cycle drops every remaining pre-crash garbage node.
+ */
+struct ConcRig
+{
+    static constexpr int kRoots = 4;
+    static constexpr int kPerList = 250;
+    static constexpr int kGarbagePerLive = 2;
+    static constexpr int kMutators = 3;
+    static constexpr int kOpsPerThread = 80;
+
+    ConcRig()
+    {
+        rt = std::make_unique<EspressoRuntime>();
+        rt->define(gcNodeDef());
+        valueOff = rt->fieldOffset("GcNode", "value");
+        nextOff = rt->fieldOffset("GcNode", "next");
+        rt->heaps().setGcThreads(2);
+        heap = rt->heaps().createHeap(kHeapName, 16u << 20);
+        heap->setGcConcurrent(true);
+
+        std::int64_t next_value = 1;
+        for (int r = 0; r < kRoots; ++r) {
+            Oop head;
+            for (int i = 0; i < kPerList; ++i) {
+                head = node(next_value, head);
+                liveValues.insert(next_value);
+                ++next_value;
+                for (int g = 0; g < kGarbagePerLive; ++g) {
+                    node(-next_value, Oop());
+                    writtenValues.insert(-next_value);
+                    ++next_value;
+                }
+            }
+            heap->setRoot("r" + std::to_string(r), head);
+        }
+        writtenValues.insert(liveValues.begin(), liveValues.end());
+        rt->heaps().deviceOf(kHeapName)->setInjector(&injector);
+    }
+
+    Oop
+    node(std::int64_t v, Oop next)
+    {
+        Oop n = rt->pnewInstance(heap, "GcNode");
+        n.setI64(valueOff, v);
+        n.setRef(nextOff, next);
+        heap->flushObject(n);
+        return n;
+    }
+
+    /** One mutator: allocate/flush/publish/link/unlink under the
+     * concurrent-mode contract (compound ops in a MutatorSection). */
+    void
+    mutate(int w, std::atomic<bool> &crashed)
+    {
+        std::set<std::int64_t> written;
+        const std::string root = "mt" + std::to_string(w);
+        try {
+            for (int i = 0;
+                 i < kOpsPerThread &&
+                 !crashed.load(std::memory_order_relaxed);
+                 ++i) {
+                std::int64_t v = 10000000 + w * 1000000 + i;
+                PjhHeap::MutatorSection ms(*heap);
+                Oop n = rt->pnewInstance(heap, "GcNode");
+                n.setI64(valueOff, v);
+                written.insert(v);
+                heap->flushObject(n);
+                switch (i % 4) {
+                case 0:
+                    // Republish: drops the previous chain (deletion
+                    // barrier shades it).
+                    heap->setRoot(root, n);
+                    break;
+                case 1: {
+                    // Push onto the chain (insertion barrier).
+                    Oop head = heap->getRoot(root);
+                    if (!head.isNull())
+                        heap->storeRef(n, nextOff, head);
+                    heap->setRoot(root, n);
+                    break;
+                }
+                case 2: {
+                    std::int64_t v2 = v + 500000;
+                    n.setI64(valueOff, v2);
+                    written.insert(v2);
+                    heap->flushField(n, valueOff);
+                    break;
+                }
+                case 3: {
+                    // Unlink the chain tail (deletion barrier).
+                    Oop head = heap->getRoot(root);
+                    if (!head.isNull())
+                        heap->storeRef(head, nextOff, Oop());
+                    break;
+                }
+                }
+            }
+        } catch (const SimulatedCrash &) {
+            crashed.store(true, std::memory_order_relaxed);
+        }
+        std::lock_guard<std::mutex> g(writtenMu);
+        writtenValues.insert(written.begin(), written.end());
+    }
+
+    /**
+     * Mutators race one concurrent collection. @p arm_after_marking
+     * == 0: the caller pre-armed the injector. > 0: arm that many
+     * events ahead once marking is observed overlapping the mutators
+     * (lands the crash in or just past the marking window).
+     */
+    bool
+    run(std::uint64_t arm_after_marking)
+    {
+        std::atomic<bool> crashed{false};
+        std::atomic<bool> gc_done{false};
+        std::vector<std::thread> workers;
+        for (int w = 0; w < kMutators; ++w)
+            workers.emplace_back(
+                [this, w, &crashed]() { mutate(w, crashed); });
+        std::thread collector([this, &crashed, &gc_done]() {
+            try {
+                heap->collect(nullptr);
+            } catch (const SimulatedCrash &) {
+                crashed.store(true, std::memory_order_relaxed);
+            }
+            gc_done.store(true, std::memory_order_release);
+        });
+        if (arm_after_marking > 0) {
+            while (!gc_done.load(std::memory_order_acquire) &&
+                   !heap->markingConcurrently())
+                std::this_thread::yield();
+            if (!gc_done.load(std::memory_order_acquire))
+                injector.arm(arm_after_marking);
+        }
+        collector.join();
+        for (auto &t : workers)
+            t.join();
+        return crashed.load();
+    }
+
+    std::unique_ptr<EspressoRuntime> rt;
+    PjhHeap *heap = nullptr;
+    CrashInjector injector;
+    std::uint32_t valueOff = 0, nextOff = 0;
+    std::set<std::int64_t> liveValues;
+    std::mutex writtenMu;
+    std::set<std::int64_t> writtenValues;
+};
+
+void
+verifyConcRecovered(ConcRig &rig, PjhHeap *h, std::uint64_t event)
+{
+    // Invariant 1: the heap parses end to end, and the snapshot-live
+    // set was neither lost nor duplicated (a node moved twice would
+    // surface as a duplicate).
+    std::multiset<std::int64_t> seen;
+    ASSERT_NO_THROW(h->forEachObject([&](Oop o) {
+        if (o.klass()->name() == "GcNode")
+            seen.insert(o.getI64(rig.valueOff));
+    })) << "conc event "
+        << event;
+    for (std::int64_t v : rig.liveValues) {
+        ASSERT_EQ(seen.count(v), 1u)
+            << "conc event " << event << " live value " << v
+            << " lost or duplicated";
+    }
+
+    // Invariant 2: every pre-built root resolves its full exact list.
+    for (int r = 0; r < ConcRig::kRoots; ++r) {
+        Oop cur = h->getRoot("r" + std::to_string(r));
+        int len = 0;
+        std::int64_t prev = 0;
+        while (!cur.isNull()) {
+            ASSERT_EQ(cur.klass()->name(), "GcNode")
+                << "conc event " << event << " root " << r;
+            std::int64_t v = cur.getI64(rig.valueOff);
+            ASSERT_TRUE(rig.liveValues.count(v))
+                << "conc event " << event << " root " << r
+                << " reaches non-live value " << v;
+            if (len > 0) {
+                ASSERT_LT(v, prev)
+                    << "conc event " << event << " root " << r;
+            }
+            prev = v;
+            cur = Oop(cur.getRef(rig.nextOff));
+            ASSERT_LE(++len, ConcRig::kPerList)
+                << "conc event " << event << " root " << r;
+        }
+        ASSERT_EQ(len, ConcRig::kPerList)
+            << "conc event " << event << " root " << r;
+    }
+
+    // Invariant 3: mutator roots never hold an invented value.
+    for (int w = 0; w < ConcRig::kMutators; ++w) {
+        Oop root = h->getRoot("mt" + std::to_string(w));
+        if (root.isNull())
+            continue;
+        ASSERT_EQ(root.klass()->name(), "GcNode")
+            << "conc event " << event << " mt" << w;
+        EXPECT_TRUE(rig.writtenValues.count(root.getI64(rig.valueOff)))
+            << "conc event " << event << " root mt" << w
+            << " holds invented value";
+    }
+
+    // Invariant 4: new work succeeds, and a clean follow-up
+    // concurrent cycle drops every remaining pre-crash garbage node
+    // while keeping the live set exact.
+    Oop extra = rig.rt->pnewInstance(h, "GcNode");
+    extra.setI64(rig.valueOff, 987654);
+    h->flushObject(extra);
+    h->setRoot("extra", extra);
+    h->setGcConcurrent(true);
+    h->collect(nullptr);
+    EXPECT_EQ(h->getRoot("extra").getI64(rig.valueOff), 987654)
+        << "conc event " << event;
+    std::multiset<std::int64_t> after;
+    h->forEachObject([&](Oop o) {
+        if (o.klass()->name() == "GcNode")
+            after.insert(o.getI64(rig.valueOff));
+    });
+    for (std::int64_t v : after) {
+        EXPECT_GE(v, 0)
+            << "conc event " << event << " garbage value " << v
+            << " survived a clean collection";
+    }
+    for (std::int64_t v : rig.liveValues) {
+        ASSERT_EQ(after.count(v), 1u)
+            << "conc event " << event << " live value " << v
+            << " lost by the follow-up collection";
+    }
+}
+
+void
+sweepConcGc(CrashMode mode, std::uint64_t seed, int iterations,
+            bool target_marking)
+{
+    std::uint64_t max_events = 0;
+    {
+        ConcRig probe;
+        ASSERT_FALSE(probe.run(0));
+        max_events = probe.injector.eventCount();
+        ASSERT_GT(max_events, 0u);
+    }
+
+    Rng rng(seed);
+    int discards_seen = 0, resumes_seen = 0;
+    for (int it = 0; it < iterations; ++it) {
+        ConcRig rig;
+        std::uint64_t event;
+        bool crashed;
+        if (target_marking) {
+            event = 1 + rng.nextBelow(8);
+            crashed = rig.run(event);
+        } else {
+            event = 1 + rng.nextBelow(max_events);
+            rig.injector.arm(event);
+            crashed = rig.run(0);
+        }
+        rig.injector.disarm();
+        if (testing::Test::HasFatalFailure())
+            return;
+        if (!crashed) {
+            // The cycle (or the whole run) finished first: verify the
+            // clean detach/reload path instead.
+            rig.rt->heaps().detachHeap(kHeapName);
+            PjhHeap *h = rig.rt->heaps().loadHeap(kHeapName);
+            verifyConcRecovered(rig, h, 0);
+            continue;
+        }
+        rig.rt->heaps().crashHeap(kHeapName, mode, seed + event);
+        PjhHeap *h = rig.rt->heaps().loadHeap(kHeapName);
+        if (h->stats().markDiscards > 0)
+            ++discards_seen;
+        else if (h->stats().recoveries > 0)
+            ++resumes_seen;
+        verifyConcRecovered(rig, h, event);
+        if (testing::Test::HasFatalFailure())
+            return;
+    }
+    if (target_marking) {
+        EXPECT_GT(discards_seen, 0)
+            << "no crash landed inside the marking window";
+    } else {
+        EXPECT_GT(discards_seen + resumes_seen, 0)
+            << "no crash landed inside the collection itself";
+    }
+}
+
+TEST(CrashMatrixTest, ConcurrentGcOverlapSweepConservative)
+{
+    sweepConcGc(CrashMode::kDiscardUnflushed, 113, 10, false);
+}
+
+TEST(CrashMatrixTest, ConcurrentGcOverlapSweepWithCacheEviction)
+{
+    sweepConcGc(CrashMode::kEvictRandomLines, 127, 10, false);
+}
+
+TEST(CrashMatrixTest, ConcurrentGcMarkWindowSweepConservative)
+{
+    sweepConcGc(CrashMode::kDiscardUnflushed, 131, 8, true);
+}
+
+TEST(CrashMatrixTest, ConcurrentGcMarkWindowSweepWithCacheEviction)
+{
+    sweepConcGc(CrashMode::kEvictRandomLines, 137, 8, true);
+}
+
+// ---------------------------------------------------------------------
 // WAL-side matrix: commit brackets of varying width
 // ---------------------------------------------------------------------
 

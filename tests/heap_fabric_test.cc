@@ -271,6 +271,102 @@ TEST(HeapFabricTest, RemoteShardCollectDoesNotBlockAllocation)
     fabric->shard(1)->flushObject(fresh);
 }
 
+TEST(HeapFabricTest, RootOpsProceedDuringConcurrentMark)
+{
+    // PR 5 left one contract weaker: root ops on names homed on a
+    // collecting shard blocked for the whole collection. Concurrent
+    // marking retires it — while the shard is *marking*, root ops
+    // proceed under the SATB barrier and block only at the brief
+    // snapshot and remark+compact safepoints.
+    EspressoRuntime rt;
+    rt.define(nodeDef());
+    std::uint32_t off = rt.fieldOffset("Node", "value");
+
+    PjhConfig cfg;
+    cfg.dataSize = 8u << 20;
+    HeapFabric *fabric = rt.heaps().createFabric("concfab", cfg, 2);
+    fabric->setGcConcurrent(true);
+    PjhHeap *h0 = fabric->shard(0);
+    ASSERT_TRUE(h0->gcConcurrent());
+
+    // Keys homed on shard 0 for the root ops issued mid-mark.
+    std::vector<std::string> keys;
+    for (int i = 0; keys.size() < 48; ++i) {
+        std::string key = "lv" + std::to_string(i);
+        if (fabric->shardIndexFor(key) == 0)
+            keys.push_back(key);
+    }
+
+    // A large reachable population widens the marking window: one
+    // long chain, rooted every 16 nodes (the name table is small).
+    std::uint32_t next_off = rt.fieldOffset("Node", "next");
+    std::string k0 = keyForShard(fabric, 0, "c0.");
+    Oop prev;
+    for (int i = 0; i < 12000; ++i) {
+        Oop n = rt.pnewInstance(fabric, k0, "Node");
+        n.setI64(off, i);
+        n.setRef(next_off, prev);
+        h0->flushObject(n);
+        if (i % 16 == 0)
+            h0->setRoot("keep" + std::to_string(i), n);
+        prev = n;
+    }
+
+    std::atomic<bool> done{false};
+    std::thread collector([&]() {
+        fabric->collectShard(0);
+        done.store(true, std::memory_order_release);
+    });
+
+    while (!h0->markingConcurrently() &&
+           !done.load(std::memory_order_acquire))
+        std::this_thread::yield();
+
+    // Full root ops against the collecting shard: allocate, publish,
+    // read back. Under the retired contract every one of these would
+    // block until the collection finished.
+    int during_mark = 0;
+    std::size_t issued = 0;
+    for (const std::string &key : keys) {
+        if (done.load(std::memory_order_acquire))
+            break;
+        bool before = h0->markingConcurrently();
+        {
+            PjhHeap::MutatorSection ms(*h0);
+            Oop n = rt.pnewInstance(fabric, key, "Node");
+            n.setI64(off, 100000 + static_cast<std::int64_t>(issued));
+            h0->flushObject(n);
+            fabric->setRoot(key, n);
+        }
+        Oop back = fabric->getRoot(key);
+        ASSERT_FALSE(back.isNull()) << key;
+        EXPECT_EQ(back.getI64(off),
+                  100000 + static_cast<std::int64_t>(issued))
+            << key;
+        // Phase moves kMarking -> kPaused monotonically within the
+        // cycle: marking on both sides brackets the whole op.
+        if (before && h0->markingConcurrently())
+            ++during_mark;
+        ++issued;
+    }
+    collector.join();
+    EXPECT_GT(during_mark, 0)
+        << "no root op overlapped the marking phase — the retired "
+           "blocking contract crept back";
+
+    // Everything published mid-cycle survived it, the pre-built roots
+    // are intact, and the cycle was genuinely concurrent.
+    for (std::size_t i = 0; i < issued; ++i) {
+        EXPECT_EQ(fabric->getRoot(keys[i]).getI64(off),
+                  100000 + static_cast<std::int64_t>(i))
+            << keys[i];
+    }
+    EXPECT_EQ(h0->getRoot("keep0").getI64(off), 0);
+    EXPECT_EQ(h0->getRoot("keep11984").getI64(off), 11984);
+    EXPECT_EQ(h0->meta().gcMarkEpoch, 1u);
+    EXPECT_GT(h0->stats().lastGcConcMarkNs, 0u);
+}
+
 TEST(HeapFabricTest, CollectAllRunsEveryMemberIndependently)
 {
     EspressoRuntime rt;
