@@ -83,6 +83,7 @@ main()
         "near-linearly in cores (hardware threads here: " +
             std::to_string(std::thread::hardware_concurrency()) + ")");
 
+    bench::JsonReport json("mt_alloc");
     std::printf("%8s %12s %14s %10s\n", "threads", "ops", "Mops/s",
                 "scaling");
     double base_mops = 0;
@@ -92,8 +93,15 @@ main()
         double mops = total_ops / (static_cast<double>(ns) / 1e9) / 1e6;
         if (threads == 1)
             base_mops = mops;
+        double scaling = base_mops > 0 ? mops / base_mops : 0.0;
         std::printf("%8d %12.0f %14.2f %9.2fx\n", threads, total_ops,
-                    mops, base_mops > 0 ? mops / base_mops : 0.0);
+                    mops, scaling);
+        json.beginRow()
+            .field("threads", static_cast<std::uint64_t>(threads))
+            .field("ops", total_ops)
+            .field("mops_per_s", mops)
+            .field("scaling_vs_1t", scaling);
     }
+    json.write();
     return 0;
 }

@@ -428,6 +428,7 @@ main()
             "% remote stock lines (ESPRESSO_TPCC_REMOTE_PCT; "
             "cross-shard NewOrders commit via 2PC)");
 
+    bench::JsonReport json("tpcc_lite");
     std::printf("%8s %7s %10s %16s %11s\n", "threads", "commit",
                 "txn/s", "p99 NewOrder(us)", "fences/txn");
     for (int threads : {1, 2, 4}) {
@@ -436,7 +437,17 @@ main()
             std::printf("%8d %7s %10.0f %16.1f %11.1f\n", threads,
                         window ? "group" : "eager", r.txns, r.p99Us,
                         r.fencesPerTxn);
+            json.beginRow()
+                .field("threads", static_cast<std::uint64_t>(threads))
+                .field("commit",
+                       std::string(window ? "group" : "eager"))
+                .field("remote_pct",
+                       static_cast<std::uint64_t>(remote_pct))
+                .field("txn_per_s", r.txns)
+                .field("p99_neworder_us", r.p99Us)
+                .field("fences_per_txn", r.fencesPerTxn);
         }
     }
+    json.write();
     return 0;
 }

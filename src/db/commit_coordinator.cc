@@ -9,10 +9,34 @@
 namespace espresso {
 namespace db {
 
+namespace {
+
+std::uint64_t
+steadyNowNs()
+{
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+} // namespace
+
 CommitCoordinator::CommitCoordinator(NvmDevice *device,
                                      std::uint64_t window_ns)
     : device_(device), windowNs_(window_ns)
 {}
+
+CommitCoordinator::~CommitCoordinator()
+{
+    {
+        std::lock_guard<std::mutex> g(mu_);
+        stop_ = true;
+        cv_.notify_all();
+    }
+    if (drainer_.joinable())
+        drainer_.join();
+}
 
 void
 CommitCoordinator::bumpMaxBatch(std::uint64_t n)
@@ -24,9 +48,53 @@ CommitCoordinator::bumpMaxBatch(std::uint64_t n)
 }
 
 void
+CommitCoordinator::noteArrival()
+{
+    std::uint64_t now = steadyNowNs();
+    std::uint64_t last =
+        lastArrivalNs_.exchange(now, std::memory_order_relaxed);
+    if (last == 0 || now <= last)
+        return;
+    std::uint64_t gap = std::min(now - last, kAutoMaxGapNs);
+    std::uint64_t e = ewmaGapNs_.load(std::memory_order_relaxed);
+    ewmaGapNs_.store(e == 0 ? gap : (e * 7 + gap) / 8,
+                     std::memory_order_relaxed);
+}
+
+std::uint64_t
+CommitCoordinator::effectiveWindowNs()
+{
+    std::uint64_t w = windowNs_.load(std::memory_order_relaxed);
+    if (w != kAutoWindow)
+        return w;
+    unsigned infl = inflight_.load(std::memory_order_relaxed);
+    if (infl <= 1) {
+        // Nobody to coalesce with: degenerate to the eager path so
+        // an uncontended committer never waits.
+        statAutoWindow_.store(0, std::memory_order_relaxed);
+        return 0;
+    }
+    std::uint64_t gap = ewmaGapNs_.load(std::memory_order_relaxed);
+    if (gap == 0)
+        return 0;
+    std::uint64_t win = std::min(
+        gap * std::min<std::uint64_t>(infl, kMaxBatch),
+        kAutoMaxWindowNs);
+    statAutoWindow_.store(win, std::memory_order_relaxed);
+    return win;
+}
+
+void
 CommitCoordinator::drainBatch(const std::vector<Waiter *> &batch)
 {
-    if (batch.size() >= kParallelDrainMin) {
+    // The fan-out only pays when the workers' fences actually overlap.
+    // On a host with fewer cores than drain workers they serialize
+    // instead, so the "parallel" path just multiplies the fence count
+    // (kDrainWorkers + 1 per batch instead of 2) — inline staging is
+    // strictly better there.
+    static const bool pool_pays =
+        std::thread::hardware_concurrency() >= kDrainWorkers;
+    if (pool_pays && batch.size() >= kParallelDrainMin) {
         // Wide burst: fan the image staging out — each worker stages
         // its slice of shards and fences them, in parallel. Pool
         // bodies must not throw; a simulated crash is re-raised here.
@@ -56,9 +124,117 @@ CommitCoordinator::drainBatch(const std::vector<Waiter *> &batch)
 }
 
 void
+CommitCoordinator::leadBatch(std::unique_lock<std::mutex> &lock)
+{
+    leaderActive_ = true;
+    std::uint64_t window = effectiveWindowNs();
+    if (window > 0) {
+        leaderWaiting_.store(true, std::memory_order_release);
+        auto now = std::chrono::steady_clock::now();
+        auto deadline = now + std::chrono::nanoseconds(window);
+        // A straggler that lost the CPU shouldn't cost the batch the
+        // whole window: once arrivals go quiet, drain what we have.
+        // "Quiet" is measured against the observed arrival cadence —
+        // several expected gaps, not a fixed fraction of the window —
+        // so slow-arriving pipelines aren't truncated to tiny
+        // batches on slow hosts.
+        auto quiet = std::chrono::nanoseconds(std::max<std::uint64_t>(
+            {window / 4,
+             4 * ewmaGapNs_.load(std::memory_order_relaxed), 1000}));
+        std::size_t last_size = pending_.size();
+        auto last_arrival = now;
+        for (;;) {
+            unsigned target = std::min(
+                kMaxBatch, std::max(1u, inflight_.load(
+                                            std::memory_order_relaxed)));
+            // Sync committers all park before committing, so once
+            // every in-flight txn has joined there is nothing to
+            // wait for. Async entries are different: their pipelined
+            // successors don't exist yet (the connection's next
+            // frame begins only after this one parked), they block
+            // no caller, and the arrival EWMA says more are coming —
+            // so ride the window instead of draining at the
+            // instantaneous in-flight count.
+            for (Waiter *w : pending_)
+                if (w->asyncDone) {
+                    target = kMaxBatch;
+                    break;
+                }
+            if (pending_.size() >= target)
+                break;
+            if (pending_.size() != last_size) {
+                last_size = pending_.size();
+                last_arrival = std::chrono::steady_clock::now();
+            }
+            auto slice = std::min(deadline, last_arrival + quiet);
+            if (cv_.wait_until(lock, slice) ==
+                std::cv_status::timeout) {
+                now = std::chrono::steady_clock::now();
+                if (now >= deadline) {
+                    statWindowTimeouts_.fetch_add(
+                        1, std::memory_order_relaxed);
+                    break;
+                }
+                if (pending_.size() == last_size)
+                    break; // quiescent: no arrival for a quiet period
+            }
+        }
+        leaderWaiting_.store(false, std::memory_order_release);
+    }
+
+    std::vector<Waiter *> batch;
+    batch.swap(pending_);
+    if (batch.empty()) {
+        leaderActive_ = false;
+        cv_.notify_all();
+        return;
+    }
+    lock.unlock();
+
+    std::exception_ptr err;
+    try {
+        if (batch.size() == 1) {
+            // Alone after the window: the eager path, on this thread
+            // — identical to a coordinator-less commit.
+            batch[0]->shard->commitEager();
+        } else {
+            drainBatch(batch);
+        }
+    } catch (...) {
+        err = std::current_exception();
+    }
+
+    std::vector<Waiter *> asyncs;
+    lock.lock();
+    statBatches_.fetch_add(1, std::memory_order_relaxed);
+    statTxns_.fetch_add(batch.size(), std::memory_order_relaxed);
+    bumpMaxBatch(batch.size());
+    for (Waiter *w : batch) {
+        if (w->asyncDone) {
+            asyncs.push_back(w);
+        } else {
+            w->err = err;
+            w->done = true;
+        }
+    }
+    leaderActive_ = false;
+    cv_.notify_all();
+    lock.unlock();
+
+    // Callbacks run off the coordinator mutex so they may re-enter
+    // (begin the next pipelined transaction, even commit it).
+    for (Waiter *w : asyncs) {
+        w->asyncDone(err);
+        delete w;
+    }
+    lock.lock();
+}
+
+void
 CommitCoordinator::commit(WalShard &shard)
 {
-    std::uint64_t window = windowNs_.load(std::memory_order_relaxed);
+    noteArrival();
+    std::uint64_t window = effectiveWindowNs();
     if (window == 0) {
         shard.commitEager();
         statBatches_.fetch_add(1, std::memory_order_relaxed);
@@ -80,78 +256,45 @@ CommitCoordinator::commit(WalShard &shard)
                 std::rethrow_exception(self.err);
             return;
         }
-        if (!leaderActive_)
-            break;
+        if (!leaderActive_) {
+            leadBatch(lock);
+            continue;
+        }
         cv_.wait(lock);
     }
+}
 
-    leaderActive_ = true;
-    leaderWaiting_.store(true, std::memory_order_release);
-    auto now = std::chrono::steady_clock::now();
-    auto deadline = now + std::chrono::nanoseconds(window);
-    // A straggler that lost the CPU shouldn't cost the batch the
-    // whole window: once arrivals go quiet, drain what we have.
-    auto quiet = std::chrono::nanoseconds(std::max<std::uint64_t>(
-        window / 4, 1000));
-    std::size_t last_size = pending_.size();
-    auto last_arrival = now;
-    for (;;) {
-        unsigned target = std::min(
-            kMaxBatch,
-            std::max(1u, inflight_.load(std::memory_order_relaxed)));
-        if (pending_.size() >= target)
-            break;
-        if (pending_.size() != last_size) {
-            last_size = pending_.size();
-            last_arrival = std::chrono::steady_clock::now();
-        }
-        auto slice = std::min(deadline, last_arrival + quiet);
-        if (cv_.wait_until(lock, slice) == std::cv_status::timeout) {
-            now = std::chrono::steady_clock::now();
-            if (now >= deadline) {
-                statWindowTimeouts_.fetch_add(
-                    1, std::memory_order_relaxed);
-                break;
-            }
-            if (pending_.size() == last_size)
-                break; // quiescent: no arrival for a quiet period
-        }
+void
+CommitCoordinator::commitAsync(WalShard &shard, DoneFn done)
+{
+    noteArrival();
+    Waiter *w = new Waiter;
+    w->shard = &shard;
+    w->asyncDone = std::move(done);
+
+    std::lock_guard<std::mutex> g(mu_);
+    if (!drainerStarted_) {
+        drainerStarted_ = true;
+        drainer_ = std::thread([this] { drainerLoop(); });
     }
-    leaderWaiting_.store(false, std::memory_order_release);
-
-    std::vector<Waiter *> batch;
-    batch.swap(pending_);
-    lock.unlock();
-
-    std::exception_ptr err;
-    try {
-        if (batch.size() == 1) {
-            // Alone after the window: the eager path, on this thread
-            // — identical to a coordinator-less commit.
-            batch[0]->shard->commitEager();
-        } else {
-            drainBatch(batch);
-        }
-    } catch (...) {
-        err = std::current_exception();
-    }
-
-    lock.lock();
-    statBatches_.fetch_add(1, std::memory_order_relaxed);
-    statTxns_.fetch_add(batch.size(), std::memory_order_relaxed);
-    bumpMaxBatch(batch.size());
-    for (Waiter *w : batch) {
-        if (w != &self) {
-            w->err = err;
-            w->done = true;
-        }
-    }
-    leaderActive_ = false;
+    pending_.push_back(w);
     cv_.notify_all();
-    lock.unlock();
+}
 
-    if (err)
-        std::rethrow_exception(err);
+void
+CommitCoordinator::drainerLoop()
+{
+    std::unique_lock<std::mutex> lock(mu_);
+    while (!stop_) {
+        if (pending_.empty() || leaderActive_) {
+            cv_.wait(lock);
+            continue;
+        }
+        // Even with a zero window this drains whatever accumulated
+        // while the previous batch fenced — opportunistic batching
+        // for pipelined async commits in eager mode.
+        leadBatch(lock);
+    }
 }
 
 void
@@ -172,9 +315,14 @@ void
 CommitCoordinator::resetAfterCrash()
 {
     std::lock_guard<std::mutex> g(mu_);
+    for (Waiter *w : pending_)
+        if (w->asyncDone)
+            delete w; // session died with the power; no callback
     pending_.clear();
     leaderActive_ = false;
     inflight_.store(0, std::memory_order_relaxed);
+    lastArrivalNs_.store(0, std::memory_order_relaxed);
+    ewmaGapNs_.store(0, std::memory_order_relaxed);
 }
 
 CommitCoordinator::Stats
@@ -186,6 +334,7 @@ CommitCoordinator::stats() const
     s.maxBatch = statMaxBatch_.load(std::memory_order_relaxed);
     s.windowTimeouts =
         statWindowTimeouts_.load(std::memory_order_relaxed);
+    s.autoWindowNs = statAutoWindow_.load(std::memory_order_relaxed);
     return s;
 }
 

@@ -16,11 +16,36 @@
  * the persistent WorkerPool — each worker stages its slice of shards
  * and fences them in parallel — before the leader's single retire
  * fence, so the serial drain depth stays constant no matter how wide
- * a burst commits.
+ * a burst commits. The fan-out is used only on hosts with enough
+ * cores for the workers' fences to really overlap; otherwise every
+ * batch drains inline (two fences total).
  *
  * A batch of one falls back to the eager path on the caller's own
  * thread, so single-threaded behavior (and its crash sweep event
  * stream) is identical to a database without a coordinator.
+ *
+ * Two entry points:
+ *
+ *  - commit(): the classic blocking path — the caller parks until
+ *    its commit record is durable (and may be elected leader).
+ *  - commitAsync(): the network front door's path. The caller
+ *    (an event-loop worker that must never block on a fence) parks
+ *    only the *transaction* here and returns; a lazily spawned
+ *    drainer thread acts as the standing leader for async entries
+ *    and invokes the completion callback — off the coordinator
+ *    mutex, on the drainer thread — once the batch is durable. Sync
+ *    and async waiters share batches, so pipelined connections and
+ *    in-process committers coalesce their fences. Even with a zero
+ *    window the drainer drains whatever accumulated while the
+ *    previous batch fenced, so async commits batch opportunistically
+ *    in eager mode.
+ *
+ * Window auto-tuning (ESPRESSO_DB_GROUP_COMMIT=auto): with
+ * window_ns == kAutoWindow the effective window is derived from an
+ * EWMA of commit arrival gaps, scaled by the in-flight transaction
+ * count and clamped to kAutoMaxWindowNs. With at most one committer
+ * in flight the effective window is zero — the eager path — so an
+ * uncontended thread never waits for stragglers that cannot exist.
  */
 
 #ifndef ESPRESSO_DB_COMMIT_COORDINATOR_HH
@@ -30,7 +55,9 @@
 #include <condition_variable>
 #include <cstdint>
 #include <exception>
+#include <functional>
 #include <mutex>
+#include <thread>
 #include <vector>
 
 #include "util/worker_pool.hh"
@@ -56,9 +83,31 @@ class CommitCoordinator
     /** Stage-fan-out width for pool drains. */
     static constexpr unsigned kDrainWorkers = 4;
 
+    /** window_ns sentinel: derive the window from the observed
+     * commit arrival rate (see file comment). */
+    static constexpr std::uint64_t kAutoWindow = ~0ull;
+
+    /** Ceiling for the auto-tuned window. Sized so that even when
+     * commit arrivals are a few hundred microseconds apart (small
+     * hosts, oversubscribed cores) a leader can still accumulate a
+     * fence-amortizing batch; an uncontended committer never waits
+     * at all (the window is 0 below two in-flight txns), so the
+     * ceiling only bounds tail latency under real concurrency. */
+    static constexpr std::uint64_t kAutoMaxWindowNs = 2'000'000;
+
+    /** Arrival gaps above this don't feed the EWMA (an idle pause is
+     * not a signal about the arrival rate under load). */
+    static constexpr std::uint64_t kAutoMaxGapNs = 10'000'000;
+
+    /** Async completion: the exception_ptr is set when the drain
+     * died of a simulated crash. Runs on the drainer thread. */
+    using DoneFn = std::function<void(std::exception_ptr)>;
+
     /** @param device the database device; @param window_ns how long
-     * a leader waits for stragglers (0 = always eager). */
+     * a leader waits for stragglers (0 = always eager; kAutoWindow =
+     * auto-tune). */
     CommitCoordinator(NvmDevice *device, std::uint64_t window_ns);
+    ~CommitCoordinator();
 
     CommitCoordinator(const CommitCoordinator &) = delete;
     CommitCoordinator &operator=(const CommitCoordinator &) = delete;
@@ -67,10 +116,22 @@ class CommitCoordinator
      * its commit record is durable. */
     void commit(WalShard &shard);
 
+    /** Park @p shard's open transaction for a batched drain and
+     * return immediately; @p done fires once its commit record is
+     * durable (see DoneFn). The caller must not touch the shard
+     * until then. */
+    void commitAsync(WalShard &shard, DoneFn done);
+
     /** In-flight transaction accounting: a leader stops waiting as
      * soon as every in-flight transaction has joined its batch. */
     void txnBegan() { inflight_.fetch_add(1, std::memory_order_relaxed); }
     void txnEnded();
+
+    unsigned
+    inflight() const
+    {
+        return inflight_.load(std::memory_order_relaxed);
+    }
 
     void setWindowNs(std::uint64_t ns)
     {
@@ -82,8 +143,15 @@ class CommitCoordinator
         return windowNs_.load(std::memory_order_relaxed);
     }
 
+    /** The window a leader would use right now: the configured
+     * window, or the auto-derived one (0 — eager — when at most one
+     * transaction is in flight). */
+    std::uint64_t effectiveWindowNs();
+
     /** Drop volatile batching state after a simulated power failure
-     * (callers are quiesced by contract). */
+     * (callers are quiesced by contract; parked async commits are
+     * dropped without their callbacks — their sessions died with the
+     * power). */
     void resetAfterCrash();
 
     struct Stats
@@ -95,6 +163,8 @@ class CommitCoordinator
          * joined — a high ratio means the window is too short or
          * in-flight txns are long. */
         std::uint64_t windowTimeouts = 0;
+        /** Last auto-derived window (0 unless auto mode engaged). */
+        std::uint64_t autoWindowNs = 0;
     };
 
     Stats stats() const;
@@ -105,7 +175,20 @@ class CommitCoordinator
         WalShard *shard = nullptr;
         bool done = false;
         std::exception_ptr err;
+        /** Non-null for async entries (heap-owned; the leader that
+         * drains the batch deletes them after firing the callback). */
+        DoneFn asyncDone;
     };
+
+    /** Feed the arrival-gap EWMA (auto window). */
+    void noteArrival();
+
+    /** Take leadership, wait out the window, drain the batch and
+     * deliver results. @p lock is held on entry and exit. */
+    void leadBatch(std::unique_lock<std::mutex> &lock);
+
+    /** Standing leader for async entries. */
+    void drainerLoop();
 
     /** Stage+fence the whole batch; runs on the drain thread. */
     void drainBatch(const std::vector<Waiter *> &batch);
@@ -117,13 +200,24 @@ class CommitCoordinator
     std::atomic<std::uint64_t> windowNs_;
     std::atomic<unsigned> inflight_{0};
 
+    /** Arrival-rate observation for the auto window. Racy-relaxed on
+     * purpose: the EWMA is a tuning signal, not a correctness
+     * input. */
+    std::atomic<std::uint64_t> lastArrivalNs_{0};
+    std::atomic<std::uint64_t> ewmaGapNs_{0};
+
     std::mutex mu_;
     std::condition_variable cv_;
     std::vector<Waiter *> pending_;
     bool leaderActive_ = false;
+    bool stop_ = false;
     /** True while a leader sits in its batch window, so txnEnded()
      * knows to wake it (its target may just have shrunk). */
     std::atomic<bool> leaderWaiting_{false};
+
+    /** Lazily spawned by the first commitAsync (guarded by mu_). */
+    std::thread drainer_;
+    bool drainerStarted_ = false;
 
     WorkerPool pool_;
 
@@ -131,6 +225,7 @@ class CommitCoordinator
     std::atomic<std::uint64_t> statTxns_{0};
     std::atomic<std::uint64_t> statMaxBatch_{0};
     std::atomic<std::uint64_t> statWindowTimeouts_{0};
+    std::atomic<std::uint64_t> statAutoWindow_{0};
 };
 
 } // namespace db

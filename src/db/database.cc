@@ -1,6 +1,7 @@
 #include "db/database.hh"
 
 #include <cstdlib>
+#include <cstring>
 
 #include "nvm/crash_injector.hh"
 #include "util/logging.hh"
@@ -23,10 +24,30 @@ threadToken()
     return token;
 }
 
+/** Fast path for txContext(): the last (database serial, generation,
+ * context) this thread resolved. File-scope (not function-local) so
+ * the detached-session bind/unbind/detach paths can invalidate it
+ * when they swap the thread's slot out from under the cache. */
+struct CtxCache
+{
+    std::uint64_t serial = 0;
+    std::uint64_t gen = 0;
+    void *ctx = nullptr;
+};
+thread_local CtxCache g_ctxCache;
+
+/** Row-lock wait bound for nowait (wire) transactions: this many
+ * 256-spin rounds, then abort kBusy. Long enough to ride out a
+ * committing holder, short enough that an event-loop worker stalls
+ * for microseconds, not milliseconds. */
+constexpr std::uint32_t kNetLockSpinRounds = 16;
+
 std::uint64_t
 groupCommitWindowFromEnv()
 {
     if (const char *s = std::getenv("ESPRESSO_DB_GROUP_COMMIT")) {
+        if (std::strcmp(s, "auto") == 0)
+            return DatabaseConfig::kWindowAuto;
         long long v = std::atoll(s);
         if (v > 0)
             return static_cast<std::uint64_t>(v);
@@ -66,8 +87,12 @@ Database::Database(const DatabaseConfig &cfg, NvmConfig nvm_cfg,
     rows_ = std::make_unique<RowStore>(
         dev_.get(), base + rowsOff_, cfg_.rowRegionSize, &catalog_,
         cfg_.rowsPerTable, ctrls_.get(), wal_->shardCount(), clock_);
-    coordinator_ = std::make_unique<CommitCoordinator>(
-        dev_.get(), cfg_.groupCommitWindowUs * 1000);
+    std::uint64_t window_ns =
+        cfg_.groupCommitWindowUs == DatabaseConfig::kWindowAuto
+            ? CommitCoordinator::kAutoWindow
+            : cfg_.groupCommitWindowUs * 1000;
+    coordinator_ =
+        std::make_unique<CommitCoordinator>(dev_.get(), window_ns);
 }
 
 Database::~Database() = default;
@@ -75,16 +100,9 @@ Database::~Database() = default;
 Database::TxContext &
 Database::txContext()
 {
-    struct Cache
-    {
-        std::uint64_t serial = 0;
-        std::uint64_t gen = 0;
-        TxContext *ctx = nullptr;
-    };
-    static thread_local Cache cache;
     std::uint64_t gen = generation_.load(std::memory_order_acquire);
-    if (cache.serial == serial_ && cache.gen == gen)
-        return *cache.ctx;
+    if (g_ctxCache.serial == serial_ && g_ctxCache.gen == gen)
+        return *static_cast<TxContext *>(g_ctxCache.ctx);
     SpinGuard g(ctxMu_);
     auto &slot = ctxs_[threadToken()];
     if (!slot) {
@@ -93,7 +111,7 @@ Database::txContext()
                         wal_->shardCount();
         slot->rowTx.token = slot->shardId + 1;
     }
-    cache = Cache{serial_, gen, slot.get()};
+    g_ctxCache = CtxCache{serial_, gen, slot.get()};
     return *slot;
 }
 
@@ -105,13 +123,35 @@ Database::txContextIfAny() const
     return it == ctxs_.end() ? nullptr : it->second.get();
 }
 
-void
-Database::beginTx(TxContext &ctx, Isolation iso, Word bracket_snapshot)
+bool
+Database::beginTx(TxContext &ctx, Isolation iso, Word bracket_snapshot,
+                  bool nowait)
 {
+    if (nowait) {
+        // Admission control: claim any free shard token (starting at
+        // the context's home shard) or decline — never queue. This
+        // naturally caps concurrent wire write sessions at the shard
+        // count.
+        unsigned n = wal_->shardCount();
+        unsigned chosen = n;
+        for (unsigned i = 0; i < n; ++i) {
+            unsigned cand = (ctx.shardId + i) % n;
+            if (wal_->shard(cand).tryAcquireTx()) {
+                chosen = cand;
+                break;
+            }
+        }
+        if (chosen == n)
+            return false;
+        ctx.shardId = chosen;
+        ctx.rowTx.token = chosen + 1;
+    } else {
+        // One transaction per shard: extra threads mapped to the
+        // same shard queue here.
+        wal_->shard(ctx.shardId).acquireTx();
+    }
     WalShard &shard = wal_->shard(ctx.shardId);
-    // One transaction per shard: extra threads mapped to the same
-    // shard queue here.
-    shard.acquireTx();
+    ctx.rowTx.maxSpinRounds = nowait ? kNetLockSpinRounds : 0;
 
     ctx.isolation = iso;
     if (iso == Isolation::kSnapshot) {
@@ -143,6 +183,7 @@ Database::beginTx(TxContext &ctx, Isolation iso, Word bracket_snapshot)
 
     shard.begin();
     coordinator_->txnBegan();
+    return true;
 }
 
 void
@@ -342,6 +383,200 @@ Database::beginWith(Isolation iso, Word bracket_snapshot)
     ctx.abortCode = StatusCode::kOk;
     beginTx(ctx, iso, bracket_snapshot);
     ctx.explicitTx = true;
+}
+
+bool
+Database::beginWithTry(Isolation iso, Word bracket_snapshot)
+{
+    TxContext &ctx = txContext();
+    if (ctx.explicitTx)
+        fatal("db: nested transactions are not supported");
+    ctx.aborted = false;
+    ctx.abortCode = StatusCode::kOk;
+    if (!beginTx(ctx, iso, bracket_snapshot, /*nowait=*/true))
+        return false;
+    ctx.explicitTx = true;
+    return true;
+}
+
+Status
+Database::beginDetached(const TxnOptions &opts, std::uint64_t *id_out)
+{
+    *id_out = 0;
+    auto ctx = std::make_unique<TxContext>();
+    ctx->shardId = nextShard_.fetch_add(1, std::memory_order_relaxed) %
+                   wal_->shardCount();
+    ctx->rowTx.token = ctx->shardId + 1;
+    if (!beginTx(*ctx, opts.isolation, kNoSnapshot, /*nowait=*/true))
+        return Status::make(StatusCode::kBusy,
+                            "db: every undo-log shard is carrying a "
+                            "transaction; retry");
+    ctx->explicitTx = true;
+
+    std::uint64_t id =
+        detachedIdCounter_.fetch_add(1, std::memory_order_relaxed);
+    SpinGuard g(ctxMu_);
+    DetachedSession &s = detached_[id];
+    s.ctx = std::move(ctx);
+    *id_out = id;
+    return Status::ok();
+}
+
+bool
+Database::bindDetached(std::uint64_t id)
+{
+    SpinGuard g(ctxMu_);
+    auto it = detached_.find(id);
+    if (it == detached_.end() || it->second.boundToken != 0)
+        return false;
+    auto &slot = ctxs_[threadToken()];
+    if (slot && slot->explicitTx)
+        return false; // binder has its own open transaction
+    it->second.stash = std::move(slot);
+    slot = std::move(it->second.ctx);
+    it->second.boundToken = threadToken();
+    g_ctxCache = CtxCache{};
+    return true;
+}
+
+void
+Database::unbindDetached(std::uint64_t id)
+{
+    SpinGuard g(ctxMu_);
+    auto it = detached_.find(id);
+    if (it == detached_.end() || it->second.boundToken != threadToken())
+        fatal("db: unbind of a session not bound to this thread");
+    auto &slot = ctxs_[threadToken()];
+    it->second.ctx = std::move(slot);
+    slot = std::move(it->second.stash);
+    it->second.boundToken = 0;
+    g_ctxCache = CtxCache{};
+}
+
+std::uint64_t
+Database::detachCurrentTx()
+{
+    SpinGuard g(ctxMu_);
+    auto it = ctxs_.find(threadToken());
+    if (it == ctxs_.end() || !it->second || !it->second->explicitTx)
+        fatal("db: detach without an open transaction");
+    std::uint64_t id =
+        detachedIdCounter_.fetch_add(1, std::memory_order_relaxed);
+    DetachedSession &s = detached_[id];
+    s.ctx = std::move(it->second);
+    g_ctxCache = CtxCache{};
+    return id;
+}
+
+std::unique_ptr<Database::TxContext>
+Database::takeDetached(std::uint64_t id)
+{
+    SpinGuard g(ctxMu_);
+    auto it = detached_.find(id);
+    if (it == detached_.end())
+        fatal("db: unknown detached session");
+    if (it->second.boundToken != 0)
+        fatal("db: finishing a detached session while it is bound");
+    std::unique_ptr<TxContext> ctx = std::move(it->second.ctx);
+    detached_.erase(it);
+    return ctx;
+}
+
+Status
+Database::commitDetached(std::uint64_t id)
+{
+    std::unique_ptr<TxContext> ctx = takeDetached(id);
+    if (!ctx->explicitTx) {
+        if (ctx->aborted) {
+            StatusCode code = ctx->abortCode == StatusCode::kOk
+                                  ? StatusCode::kAborted
+                                  : ctx->abortCode;
+            return Status::make(
+                code, "db: transaction was rolled back by the engine");
+        }
+        return Status::make(StatusCode::kMisuse,
+                            "db: transaction already finished");
+    }
+    ctx->explicitTx = false;
+    commitTx(*ctx);
+    return Status::ok();
+}
+
+Status
+Database::rollbackDetached(std::uint64_t id)
+{
+    std::unique_ptr<TxContext> ctx = takeDetached(id);
+    if (!ctx->explicitTx) {
+        if (ctx->aborted)
+            return Status::ok(); // already rolled back, as requested
+        return Status::make(StatusCode::kMisuse,
+                            "db: transaction already finished");
+    }
+    ctx->explicitTx = false;
+    rollbackTx(*ctx, TxOutcome::kRolledBack);
+    return Status::ok();
+}
+
+void
+Database::commitDetachedAsync(std::uint64_t id,
+                              std::function<void(Status)> done)
+{
+    std::unique_ptr<TxContext> ctx = takeDetached(id);
+    if (!ctx->explicitTx) {
+        if (ctx->aborted) {
+            StatusCode code = ctx->abortCode == StatusCode::kOk
+                                  ? StatusCode::kAborted
+                                  : ctx->abortCode;
+            done(Status::make(
+                code, "db: transaction was rolled back by the engine"));
+        } else {
+            done(Status::make(StatusCode::kMisuse,
+                              "db: transaction already finished"));
+        }
+        return;
+    }
+    ctx->explicitTx = false;
+    WalShard &shard = wal_->shard(ctx->shardId);
+    if (shard.entryCount() == 0) {
+        // Nothing written: no fences, no batch — complete inline.
+        shard.retireEmpty();
+        finishCommitLocal(*ctx);
+        ctx->lastOutcome = TxOutcome::kCommitted;
+        done(Status::ok());
+        return;
+    }
+    TxContext *raw = ctx.release();
+    coordinator_->commitAsync(
+        shard, [this, raw, done](std::exception_ptr err) {
+            std::unique_ptr<TxContext> reclaim(raw);
+            if (err) {
+                // The drain died of a simulated power failure; the
+                // session's durability is whatever recovery decides.
+                done(Status::make(StatusCode::kAborted,
+                                  "db: commit drain failed"));
+                return;
+            }
+            finishCommitLocal(*reclaim);
+            reclaim->lastOutcome = TxOutcome::kCommitted;
+            done(Status::ok());
+        });
+}
+
+std::size_t
+Database::detachedCount() const
+{
+    SpinGuard g(ctxMu_);
+    return detached_.size();
+}
+
+unsigned
+Database::busyWalShards() const
+{
+    unsigned n = 0;
+    for (unsigned i = 0; i < wal_->shardCount(); ++i)
+        if (wal_->shard(i).txHeld())
+            ++n;
+    return n;
 }
 
 bool
@@ -763,6 +998,9 @@ Database::crash(CrashMode mode, std::uint64_t seed,
     {
         SpinGuard g(ctxMu_);
         ctxs_.clear();
+        // Parked sessions died with the power; their shard tokens
+        // are re-zeroed by recovery below.
+        detached_.clear();
         generation_.fetch_add(1, std::memory_order_release);
     }
     coordinator_->resetAfterCrash();

@@ -35,6 +35,21 @@
  * Isolation::kSnapshot gives latch-free consistent reads at the
  * transaction's begin timestamp, with first-committer-wins write
  * conflicts (StatusCode::kConflict) — see db/txn.hh.
+ *
+ * Detached sessions (PR 10, the wire front door): a Txn handle is
+ * thread-affine by design — commit() from another thread reports
+ * StatusCode::kMisuse ("foreign or stale transaction handle").
+ * Network servers need the opposite: a connection's transaction must
+ * hop between event-loop worker threads and commit on whichever
+ * thread the group-commit drainer runs. beginDetached() opens a
+ * transaction that lives in the engine (not in any thread's slot);
+ * bindDetached()/unbindDetached() splice it into the calling
+ * thread's slot around each statement batch, and
+ * commitDetached()/commitDetachedAsync()/rollbackDetached() finish
+ * it from any thread. Detached begins never block: they take a free
+ * WAL shard token or fail with StatusCode::kBusy (admission
+ * control), and their row-lock waits are bounded (kBusy abort) so an
+ * event-loop worker can never park behind a stalled session.
  */
 
 #ifndef ESPRESSO_DB_DATABASE_HH
@@ -76,8 +91,15 @@ struct DatabaseConfig
     /** Resolve groupCommitWindowUs from ESPRESSO_DB_GROUP_COMMIT. */
     static constexpr std::uint64_t kWindowFromEnv = ~0ull;
 
+    /** Auto-tune the window from the observed commit arrival rate
+     * (ESPRESSO_DB_GROUP_COMMIT=auto): an uncontended committer gets
+     * the eager path, concurrent committers get a window sized to
+     * one batch of arrivals. See CommitCoordinator. */
+    static constexpr std::uint64_t kWindowAuto = ~0ull - 1;
+
     /** Group-commit batch window in microseconds; 0 commits eagerly
-     * (the seed behavior). Defaults to the env knob, else 0. */
+     * (the seed behavior); kWindowAuto auto-tunes. Defaults to the
+     * env knob, else 0. */
     std::uint64_t groupCommitWindowUs = kWindowFromEnv;
 };
 
@@ -140,6 +162,60 @@ class Database
 
     /** Outcome of the calling thread's last finished transaction. */
     TxOutcome lastTxOutcome() const;
+    /// @}
+
+    /** @name Detached transaction sessions (wire front door)
+     *
+     * Transferable transactions for servers whose connections hop
+     * between worker threads (see file comment). Lifecycle:
+     * beginDetached -> {bindDetached ... statements ...
+     * unbindDetached}* -> commitDetached / commitDetachedAsync /
+     * rollbackDetached. A session is either parked (owned by the
+     * engine) or bound to exactly one thread; finishing a bound
+     * session is a fatal protocol error.
+     */
+    /// @{
+    /** Open a detached transaction without blocking. kBusy (with
+     * *id_out == 0) when every WAL shard token is taken — nothing
+     * was opened; retry later. */
+    Status beginDetached(const TxnOptions &opts, std::uint64_t *id_out);
+
+    /** Splice session @p id into the calling thread's transaction
+     * slot (the slot's idle context, if any, is stashed and restored
+     * on unbind). False when the id is unknown, the session is bound
+     * elsewhere, or the calling thread has its own open
+     * transaction. */
+    bool bindDetached(std::uint64_t id);
+
+    /** Park the bound session again; fatal when @p id is not bound
+     * to the calling thread. */
+    void unbindDetached(std::uint64_t id);
+
+    /** Park the calling thread's open explicit transaction as a new
+     * detached session and return its id (fatal without one). The
+     * wire workers' auto-commit path: begin on the worker, execute,
+     * detach, hand the commit to the async drainer. */
+    std::uint64_t detachCurrentTx();
+
+    /** Commit/roll back a parked session from any thread. Reports
+     * kAborted/kWalFull/kDeadlock/kConflict/kBusy when the engine
+     * already rolled the transaction back mid-statement. */
+    Status commitDetached(std::uint64_t id);
+    Status rollbackDetached(std::uint64_t id);
+
+    /** Commit a parked session through the group-commit batcher
+     * without blocking the calling thread; @p done fires on the
+     * drainer thread (or inline for an empty/already-aborted
+     * transaction) once the commit is durable. */
+    void commitDetachedAsync(std::uint64_t id,
+                             std::function<void(Status)> done);
+
+    /** Parked + bound session count (leak checks). */
+    std::size_t detachedCount() const;
+
+    /** WAL shards whose transaction token is currently held (leak
+     * checks: 0 once every session is finished). */
+    unsigned busyWalShards() const;
     /// @}
 
     /** @name SQL (JDBC) path */
@@ -251,12 +327,32 @@ class Database
         RowTxState rowTx;
     };
 
+    /** A parked transferable transaction (see beginDetached). */
+    struct DetachedSession
+    {
+        /** The parked transaction (null while bound to a thread). */
+        std::unique_ptr<TxContext> ctx;
+        /** The binder's displaced idle slot context. */
+        std::unique_ptr<TxContext> stash;
+        /** Thread token of the binder (0 = parked). */
+        std::uint64_t boundToken = 0;
+    };
+
     TxContext &txContext();
     TxContext *txContextIfAny() const;
 
-    void beginTx(TxContext &ctx,
+    /** Remove parked session @p id from the table (fatal when
+     * unknown or bound). */
+    std::unique_ptr<TxContext> takeDetached(std::uint64_t id);
+
+    /** @return false only in nowait mode, when no WAL shard token
+     * was free (nothing was opened). nowait begins also bound the
+     * row-lock wait so the transaction aborts kBusy instead of
+     * parking its thread. */
+    bool beginTx(TxContext &ctx,
                  Isolation iso = Isolation::kReadUncommitted,
-                 Word bracket_snapshot = kNoSnapshot);
+                 Word bracket_snapshot = kNoSnapshot,
+                 bool nowait = false);
     void commitTx(TxContext &ctx);
     void rollbackTx(TxContext &ctx, TxOutcome outcome);
 
@@ -280,6 +376,10 @@ class Database
     /** Like begin(), for a sharded bracket: the bracket's isolation
      * and (already registered) snapshot apply to the member txn. */
     void beginWith(Isolation iso, Word bracket_snapshot);
+
+    /** Nowait beginWith: false when no WAL shard token was free
+     * (nothing was opened). */
+    bool beginWithTry(Isolation iso, Word bracket_snapshot);
 
     /** Prepare the calling thread's open transaction under
      * @p txn_id; false when it logged nothing (vote commit with no
@@ -340,6 +440,9 @@ class Database
      * database. */
     std::unordered_map<std::uint64_t, std::unique_ptr<TxContext>>
         ctxs_;
+    /** Detached sessions by id (under ctxMu_). */
+    std::unordered_map<std::uint64_t, DetachedSession> detached_;
+    std::atomic<std::uint64_t> detachedIdCounter_{1};
     std::atomic<unsigned> nextShard_{0};
 
     /** Identity for the thread-local context cache. */

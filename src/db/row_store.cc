@@ -201,12 +201,21 @@ RowStore::acquireRow(std::size_t table, TableRegion &region,
                         : nullptr;
     Word expect = 0;
     std::uint32_t spins = 0;
+    std::uint32_t rounds = 0;
     while (!owner.compare_exchange_weak(expect, tx.token,
                                         std::memory_order_acq_rel,
                                         std::memory_order_relaxed)) {
         expect = 0;
         if (++spins >= 256) {
             spins = 0;
+            if (tx.maxSpinRounds != 0 && ++rounds > tx.maxSpinRounds) {
+                if (self != nullptr)
+                    self->waitingFor.store(0, std::memory_order_release);
+                throw TxnAbortError(
+                    StatusCode::kBusy,
+                    "db: bounded lock wait expired; no-wait "
+                    "transaction rolled back");
+            }
             // The holder may have died of a simulated power failure;
             // die with it rather than spin on a lock nobody releases.
             CrashInjector *inj = device_->injector();

@@ -74,6 +74,13 @@ struct RowTxState
     Word token = 0;
     /** Maintain version chains + dirty markers (clock save mode). */
     bool saveImages = false;
+    /** Bounded write-lock wait: abort with StatusCode::kBusy after
+     * this many 256-spin rounds instead of waiting forever (0 =
+     * unbounded). No-wait transactions — the network front door's
+     * event-loop sessions — set this so a worker thread can never
+     * park behind a lock whose holder is itself a parked session
+     * waiting for that same worker to process its commit frame. */
+    std::uint32_t maxSpinRounds = 0;
     /** Snapshot timestamp for SI write-conflict checks (0 = none). */
     Word snapshot = kNoSnapshot;
     std::vector<std::pair<std::size_t, std::size_t>> ownedRows;

@@ -91,7 +91,17 @@ ShardedDatabase::joinShard(TxState &st, unsigned idx)
 {
     if (!st.open || st.begun[idx])
         return;
-    shards_[idx]->beginWith(st.isolation, st.snapshot);
+    if (st.nowait) {
+        // Wire bracket: take a free member WAL shard token or abort
+        // the whole bracket — the callers' catch blocks run
+        // noteMemberAbort, so the bracket dies cleanly kBusy.
+        if (!shards_[idx]->beginWithTry(st.isolation, st.snapshot))
+            throw TxnAbortError(StatusCode::kBusy,
+                                "sharded db: member undo-log shards "
+                                "are saturated; bracket aborted");
+    } else {
+        shards_[idx]->beginWith(st.isolation, st.snapshot);
+    }
     st.begun[idx] = 1;
 }
 
@@ -385,6 +395,198 @@ ShardedDatabase::handleActive(std::uint64_t seq) const
     return st.open && st.seq == seq;
 }
 
+Status
+ShardedDatabase::beginDetached(const TxnOptions &opts,
+                               std::uint64_t *id_out)
+{
+    *id_out = 0;
+    // The nowait flavor of beginBracket's barrier dance: a draining
+    // membership change turns new wire brackets away instead of
+    // parking an event-loop worker on the fence.
+    if (bracketBarrier_.load(std::memory_order_acquire))
+        return Status::make(StatusCode::kBusy,
+                            "sharded db: membership change draining "
+                            "brackets; retry");
+    activeBrackets_.fetch_add(1, std::memory_order_acq_rel);
+    if (bracketBarrier_.load(std::memory_order_acquire)) {
+        activeBrackets_.fetch_sub(1, std::memory_order_acq_rel);
+        return Status::make(StatusCode::kBusy,
+                            "sharded db: membership change draining "
+                            "brackets; retry");
+    }
+
+    DetachedBracket b;
+    unsigned n = memberCount_.load(std::memory_order_acquire);
+    b.st.gen = generation_.load(std::memory_order_acquire);
+    b.st.begun.assign(n, 0);
+    b.st.nowait = true;
+    b.st.isolation = opts.isolation;
+    b.st.snapshot = opts.isolation == Isolation::kSnapshot
+                        ? clock_.beginSnapshot()
+                        : kNoSnapshot;
+    b.st.seq = seqCounter_.fetch_add(1, std::memory_order_relaxed);
+    b.st.open = true;
+    b.memberSessions.assign(n, 0);
+
+    std::uint64_t id = b.st.seq;
+    SpinGuard g(detachedMu_);
+    detached_.emplace(id, std::move(b));
+    *id_out = id;
+    return Status::ok();
+}
+
+bool
+ShardedDatabase::bindDetached(std::uint64_t id)
+{
+    SpinGuard g(detachedMu_);
+    auto it = detached_.find(id);
+    if (it == detached_.end() || it->second.bound)
+        return false;
+    TxState &slot = txState();
+    if (slot.open)
+        return false; // binder has its own open bracket
+    DetachedBracket &b = it->second;
+    std::uint64_t gen = slot.gen;
+    slot = b.st;
+    slot.gen = gen;
+    for (unsigned i = 0; i < b.memberSessions.size(); ++i) {
+        if (b.memberSessions[i] == 0)
+            continue;
+        if (!shards_[i]->bindDetached(b.memberSessions[i]))
+            fatal("sharded db: member session bind failed");
+    }
+    b.bound = true;
+    return true;
+}
+
+void
+ShardedDatabase::unbindDetached(std::uint64_t id)
+{
+    SpinGuard g(detachedMu_);
+    auto it = detached_.find(id);
+    if (it == detached_.end() || !it->second.bound)
+        fatal("sharded db: unbind of an unbound bracket");
+    DetachedBracket &b = it->second;
+    TxState &slot = txState();
+    if (b.memberSessions.size() < slot.begun.size())
+        b.memberSessions.resize(slot.begun.size(), 0);
+    for (unsigned i = 0; i < slot.begun.size(); ++i) {
+        bool session = b.memberSessions[i] != 0;
+        if (slot.begun[i] && session) {
+            shards_[i]->unbindDetached(b.memberSessions[i]);
+        } else if (slot.begun[i] && !session) {
+            // Joined while bound: park the member transaction the
+            // join opened on this thread.
+            b.memberSessions[i] = shards_[i]->detachCurrentTx();
+        } else if (!slot.begun[i] && session) {
+            // The engine aborted the bracket mid-statement while
+            // bound: the member already rolled back on this thread.
+            // Park the finished context and dispose of the session.
+            shards_[i]->unbindDetached(b.memberSessions[i]);
+            (void)shards_[i]->rollbackDetached(b.memberSessions[i]);
+            b.memberSessions[i] = 0;
+        }
+    }
+    b.st = slot;
+    TxState fresh;
+    fresh.gen = slot.gen;
+    fresh.begun.assign(slot.begun.size(), 0);
+    slot = std::move(fresh);
+    b.bound = false;
+}
+
+void
+ShardedDatabase::finishDetached(std::uint64_t id)
+{
+    SpinGuard g(detachedMu_);
+    auto it = detached_.find(id);
+    if (it == detached_.end() || !it->second.bound)
+        fatal("sharded db: finish of an unbound bracket");
+    DetachedBracket &b = it->second;
+    for (unsigned i = 0; i < b.memberSessions.size(); ++i) {
+        if (b.memberSessions[i] == 0)
+            continue;
+        // The member transaction is finished (commitBracket /
+        // abortBracket closed every begun member); park the spent
+        // context and dispose of the session entry.
+        shards_[i]->unbindDetached(b.memberSessions[i]);
+        (void)shards_[i]->rollbackDetached(b.memberSessions[i]);
+    }
+    TxState &slot = txState();
+    TxState fresh;
+    fresh.gen = slot.gen;
+    fresh.begun.assign(slot.begun.size(), 0);
+    slot = std::move(fresh);
+    detached_.erase(it);
+}
+
+Status
+ShardedDatabase::commitDetached(std::uint64_t id)
+{
+    if (!bindDetached(id))
+        return Status::make(StatusCode::kMisuse,
+                            "sharded db: unknown or bound detached "
+                            "transaction");
+    TxState &st = txState();
+    Status s;
+    if (!st.open) {
+        if (st.aborted) {
+            StatusCode code = st.abortCode == StatusCode::kOk
+                                  ? StatusCode::kAborted
+                                  : st.abortCode;
+            s = Status::make(code,
+                             "sharded db: transaction was rolled "
+                             "back by the engine");
+        } else {
+            s = Status::make(StatusCode::kMisuse,
+                             "sharded db: transaction already "
+                             "finished");
+        }
+    } else {
+        s = commitBracket(st);
+    }
+    finishDetached(id);
+    return s;
+}
+
+Status
+ShardedDatabase::rollbackDetached(std::uint64_t id)
+{
+    if (!bindDetached(id))
+        return Status::make(StatusCode::kMisuse,
+                            "sharded db: unknown or bound detached "
+                            "transaction");
+    TxState &st = txState();
+    Status s = Status::ok();
+    if (!st.open) {
+        if (!st.aborted)
+            s = Status::make(StatusCode::kMisuse,
+                             "sharded db: transaction already "
+                             "finished");
+    } else {
+        abortBracket(st);
+    }
+    finishDetached(id);
+    return s;
+}
+
+std::size_t
+ShardedDatabase::detachedCount() const
+{
+    SpinGuard g(detachedMu_);
+    return detached_.size();
+}
+
+unsigned
+ShardedDatabase::busyWalShards() const
+{
+    unsigned n = 0;
+    for (unsigned i = 0;
+         i < memberCount_.load(std::memory_order_acquire); ++i)
+        n += shards_[i]->busyWalShards();
+    return n;
+}
+
 void
 ShardedDatabase::createTable(const TableSchema &schema)
 {
@@ -437,6 +639,42 @@ ShardedDatabase::persistRecord(const std::string &table,
         }
         joinShard(st, nidx);
         shards_[nidx]->persistRecord(table, record);
+    } catch (const WalFullError &) {
+        noteMemberAbort(st, StatusCode::kWalFull);
+        throw;
+    } catch (const TxnAbortError &e) {
+        noteMemberAbort(st, e.code());
+        throw;
+    }
+}
+
+bool
+ShardedDatabase::updateRecord(const std::string &table,
+                              const DbRecord &record)
+{
+    std::int64_t pk = pkOf(table, record);
+    const DbRouting &rt = routingRef();
+    unsigned nidx =
+        rt.next.shardForKey(static_cast<std::uint64_t>(pk));
+    TxState &st = txState();
+    try {
+        if (rt.migrating) {
+            unsigned oidx = rt.committed.shardForKey(
+                static_cast<std::uint64_t>(pk));
+            if (oidx != nidx) {
+                // Same two-home probe as persistRecord, minus the
+                // final insert: update-only never resurrects a row.
+                joinShard(st, nidx);
+                joinShard(st, oidx);
+                if (shards_[nidx]->updateRecord(table, record))
+                    return true;
+                if (shards_[oidx]->updateRecord(table, record))
+                    return true;
+                return shards_[nidx]->updateRecord(table, record);
+            }
+        }
+        joinShard(st, nidx);
+        return shards_[nidx]->updateRecord(table, record);
     } catch (const WalFullError &) {
         noteMemberAbort(st, StatusCode::kWalFull);
         throw;
@@ -716,7 +954,13 @@ ShardedDatabase::crash(CrashMode mode, std::uint64_t seed)
     // Counted brackets and a raised barrier belong to dead threads
     // (quiesced-caller contract) — including a membership change
     // killed mid-repartition, which resumeMembershipChange() rolls
-    // forward after recovery.
+    // forward after recovery. Parked wire brackets died with the
+    // power too; their member sessions are swept by each member's
+    // own crash below.
+    {
+        SpinGuard g(detachedMu_);
+        detached_.clear();
+    }
     bracketBarrier_.store(false, std::memory_order_release);
     activeBrackets_.store(0, std::memory_order_release);
 

@@ -77,6 +77,7 @@
 #include <atomic>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "db/database.hh"
@@ -181,12 +182,59 @@ class ShardedDatabase
     bool inTransaction() const;
     /// @}
 
+    /** @name Detached cross-shard brackets (wire front door)
+     *
+     * The sharded flavor of Database's detached sessions: a bracket
+     * that hops between server worker threads and commits on a
+     * committer-pool thread. Lifecycle: beginDetached ->
+     * {bindDetached ... record ops ... unbindDetached}* ->
+     * commitDetached / rollbackDetached. Detached brackets are
+     * nowait throughout — a member join takes a free WAL shard token
+     * or aborts the bracket kBusy, and row-lock waits are bounded —
+     * so an event-loop worker can never park behind another session.
+     * A parked bracket counts toward the bracket-drain fence, so
+     * grow()/shrink() waits for in-flight wire transactions (and
+     * beginDetached declines kBusy while a change is draining).
+     */
+    /// @{
+    /** Open a parked bracket; kBusy (with *id_out == 0) while a
+     * membership change is draining brackets. */
+    Status beginDetached(const TxnOptions &opts, std::uint64_t *id_out);
+
+    /** Splice bracket @p id (and its begun members' sessions) into
+     * the calling thread. False when unknown, bound elsewhere, or
+     * the thread has its own open bracket. */
+    bool bindDetached(std::uint64_t id);
+
+    /** Park the bound bracket again (fatal when @p id is not bound
+     * to the calling thread). */
+    void unbindDetached(std::uint64_t id);
+
+    /** Finish a parked bracket from any thread. Reports
+     * kAborted/kWalFull/kDeadlock/kConflict/kBusy when the engine
+     * already killed the bracket mid-statement. */
+    Status commitDetached(std::uint64_t id);
+    Status rollbackDetached(std::uint64_t id);
+
+    /** Parked + bound bracket count (leak checks). */
+    std::size_t detachedCount() const;
+
+    /** Held WAL shard tokens across all members (leak checks). */
+    unsigned busyWalShards() const;
+    /// @}
+
     /** @name Direct (DBPersistable) path, pk-routed */
     /// @{
     /** Broadcast DDL: every member carries every table's schema. */
     void createTable(const TableSchema &schema);
 
     void persistRecord(const std::string &table, const DbRecord &record);
+
+    /** Masked update ONLY — false when the pk is absent (the wire
+     * kUpdate surface; same migration-aware two-home probing as
+     * persistRecord). */
+    bool updateRecord(const std::string &table, const DbRecord &record);
+
     bool fetchRecord(const std::string &table, std::int64_t pk,
                      DbRecord *out);
     bool deleteRecord(const std::string &table, std::int64_t pk);
@@ -256,7 +304,19 @@ class ShardedDatabase
         Word snapshot = kNoSnapshot;
         /** Begin sequence tying a Txn handle to this bracket. */
         std::uint64_t seq = 0;
+        /** Detached (wire) bracket: member joins and row-lock waits
+         * never block — they abort the bracket kBusy instead. */
+        bool nowait = false;
         std::vector<std::uint8_t> begun; ///< per-shard: sub-txn open
+    };
+
+    /** A parked transferable bracket (see beginDetached). */
+    struct DetachedBracket
+    {
+        TxState st;
+        /** Per-member Database detached-session ids (0 = none). */
+        std::vector<std::uint64_t> memberSessions;
+        bool bound = false;
     };
 
     /** The calling thread's bracket for this instance. Entries live
@@ -283,6 +343,11 @@ class ShardedDatabase
 
     /** Kill the bracket after a member aborted mid-statement. */
     void noteMemberAbort(TxState &st, StatusCode code);
+
+    /** Teardown after a bound bracket finished: unbind + dispose
+     * every member session, reset the thread slot, erase the
+     * entry. */
+    void finishDetached(std::uint64_t id);
 
     /** @name Txn-handle plumbing (thread-affine) */
     /// @{
@@ -377,6 +442,11 @@ class ShardedDatabase
      * up; quiesceBrackets waits for the count to hit zero. */
     std::atomic<bool> bracketBarrier_{false};
     std::atomic<unsigned> activeBrackets_{0};
+
+    /** Parked wire brackets by id. Lock order: detachedMu_ before
+     * any member's context lock (bind/unbind take both). */
+    mutable SpinLock detachedMu_;
+    std::unordered_map<std::uint64_t, DetachedBracket> detached_;
 
     /** One commit clock across all members: cross-shard commits get
      * one timestamp, snapshots are fabric-wide. */

@@ -44,6 +44,14 @@ enum class StatusCode
     /** A statement inside the transaction failed and the transaction
      * was rolled back. */
     kAborted,
+
+    /** The engine is saturated and declined the work. On begin: no
+     * WAL shard token was free, nothing was opened — retry later. On
+     * a statement inside a no-wait transaction: a bounded lock wait
+     * expired and the whole transaction was rolled back (the net
+     * front door's workers must never park on another session's
+     * row lock). */
+    kBusy,
 };
 
 /** Value-type result of Txn::commit() and friends. */
@@ -87,6 +95,8 @@ class Status
             return "misuse";
         case StatusCode::kAborted:
             return "aborted";
+        case StatusCode::kBusy:
+            return "busy";
         }
         return "unknown";
     }

@@ -143,6 +143,15 @@ class WalShard
     bool tryAcquireTx();
     void acquireTx();
     void releaseTx();
+
+    /** True while some transaction holds this shard's token (leak
+     * detection: after a disconnect sweep every token must be
+     * free). */
+    bool
+    txHeld() const
+    {
+        return busy_.load(std::memory_order_acquire) != 0;
+    }
     /// @}
 
     /** @name Introspection (tests, stats) */

@@ -1,0 +1,153 @@
+#include "net/event_loop.hh"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+
+#include <array>
+#include <cerrno>
+
+#include "util/logging.hh"
+
+namespace espresso {
+namespace net {
+
+EventLoop::EventLoop()
+{
+    epollFd_.reset(::epoll_create1(EPOLL_CLOEXEC));
+    if (!epollFd_)
+        fatal("net: epoll_create1 failed");
+    wakeFd_.reset(::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK));
+    if (!wakeFd_)
+        fatal("net: eventfd failed");
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = wakeFd_.get();
+    if (::epoll_ctl(epollFd_.get(), EPOLL_CTL_ADD, wakeFd_.get(),
+                    &ev) != 0)
+        fatal("net: epoll_ctl(wakefd) failed");
+}
+
+EventLoop::~EventLoop()
+{
+    stop();
+}
+
+void
+EventLoop::start()
+{
+    thread_ = std::thread([this] { run(); });
+}
+
+void
+EventLoop::stop()
+{
+    if (!thread_.joinable())
+        return;
+    stop_.store(true, std::memory_order_release);
+    wake();
+    thread_.join();
+}
+
+void
+EventLoop::wake()
+{
+    std::uint64_t one = 1;
+    [[maybe_unused]] ssize_t n =
+        ::write(wakeFd_.get(), &one, sizeof(one));
+}
+
+void
+EventLoop::post(std::function<void()> fn)
+{
+    if (inLoopThread()) {
+        fn();
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> g(postMu_);
+        posted_.push_back(std::move(fn));
+    }
+    wake();
+}
+
+void
+EventLoop::add(int fd, std::uint32_t events, IoFn fn)
+{
+    handlers_[fd] = std::move(fn);
+    epoll_event ev{};
+    ev.events = events;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epollFd_.get(), EPOLL_CTL_ADD, fd, &ev) != 0)
+        fatal("net: epoll_ctl(add) failed");
+}
+
+void
+EventLoop::mod(int fd, std::uint32_t events)
+{
+    epoll_event ev{};
+    ev.events = events;
+    ev.data.fd = fd;
+    if (::epoll_ctl(epollFd_.get(), EPOLL_CTL_MOD, fd, &ev) != 0)
+        fatal("net: epoll_ctl(mod) failed");
+}
+
+void
+EventLoop::del(int fd)
+{
+    handlers_.erase(fd);
+    ::epoll_ctl(epollFd_.get(), EPOLL_CTL_DEL, fd, nullptr);
+}
+
+void
+EventLoop::drainPosted()
+{
+    std::vector<std::function<void()>> batch;
+    {
+        std::lock_guard<std::mutex> g(postMu_);
+        batch.swap(posted_);
+    }
+    for (std::function<void()> &fn : batch)
+        fn();
+}
+
+void
+EventLoop::run()
+{
+    threadId_.store(std::this_thread::get_id(),
+                    std::memory_order_release);
+    std::array<epoll_event, 64> events;
+    while (!stop_.load(std::memory_order_acquire)) {
+        int n = ::epoll_wait(epollFd_.get(), events.data(),
+                             static_cast<int>(events.size()), -1);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            fatal("net: epoll_wait failed");
+        }
+        for (int i = 0; i < n; ++i) {
+            int fd = events[i].data.fd;
+            if (fd == wakeFd_.get()) {
+                std::uint64_t drain;
+                while (::read(wakeFd_.get(), &drain, sizeof(drain)) >
+                       0) {
+                }
+                continue;
+            }
+            // Look the handler up per event: an earlier handler in
+            // this batch may have closed this fd. Invoke a copy —
+            // the handler itself may del() this fd, and erasing the
+            // map entry must not destroy a std::function whose
+            // call frame is live.
+            auto it = handlers_.find(fd);
+            if (it != handlers_.end()) {
+                IoFn fn = it->second;
+                fn(events[i].events);
+            }
+        }
+        drainPosted();
+    }
+    drainPosted();
+}
+
+} // namespace net
+} // namespace espresso

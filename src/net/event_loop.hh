@@ -1,0 +1,89 @@
+/**
+ * @file
+ * One epoll reactor thread.
+ *
+ * The wire server runs one EventLoop per worker plus one acceptor;
+ * each loop owns its registered fds exclusively — add/mod/del are
+ * loop-thread-only, and cross-thread work arrives through post(),
+ * which enqueues a closure and wakes the loop via an eventfd. Level
+ * -triggered dispatch: a handler that cannot make progress must
+ * deregister the interest it cannot serve (e.g. a paused connection
+ * drops EPOLLIN) or the loop busy-wakes.
+ */
+
+#ifndef ESPRESSO_NET_EVENT_LOOP_HH
+#define ESPRESSO_NET_EVENT_LOOP_HH
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "util/fd.hh"
+
+namespace espresso {
+namespace net {
+
+/** A single-threaded epoll dispatcher. */
+class EventLoop
+{
+  public:
+    /** Invoked with the epoll event mask for the fd. */
+    using IoFn = std::function<void(std::uint32_t)>;
+
+    EventLoop();
+    ~EventLoop();
+
+    EventLoop(const EventLoop &) = delete;
+    EventLoop &operator=(const EventLoop &) = delete;
+
+    /** Spawn the loop thread. */
+    void start();
+
+    /** Ask the loop to exit and join it (idempotent). Pending posted
+     * closures run before exit. */
+    void stop();
+
+    /** Run @p fn on the loop thread (thread-safe; runs inline when
+     * already on it). */
+    void post(std::function<void()> fn);
+
+    /** @name fd registration (loop thread only) */
+    /// @{
+    void add(int fd, std::uint32_t events, IoFn fn);
+    void mod(int fd, std::uint32_t events);
+    void del(int fd);
+    /// @}
+
+    bool inLoopThread() const
+    {
+        return std::this_thread::get_id() ==
+               threadId_.load(std::memory_order_acquire);
+    }
+
+  private:
+    void run();
+    void wake();
+    void drainPosted();
+
+    UniqueFd epollFd_;
+    UniqueFd wakeFd_; ///< eventfd: post()/stop() kick epoll_wait
+    std::thread thread_;
+    std::atomic<std::thread::id> threadId_{};
+    std::atomic<bool> stop_{false};
+
+    std::mutex postMu_;
+    std::vector<std::function<void()>> posted_;
+
+    /** Loop-thread-only handler table. */
+    std::unordered_map<int, IoFn> handlers_;
+};
+
+} // namespace net
+} // namespace espresso
+
+#endif // ESPRESSO_NET_EVENT_LOOP_HH

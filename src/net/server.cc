@@ -1,0 +1,289 @@
+#include "net/server.hh"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "db/sharded_database.hh"
+#include "net/connection.hh"
+#include "util/env.hh"
+#include "util/logging.hh"
+
+namespace espresso {
+namespace net {
+
+namespace {
+
+void
+setNonBlocking(int fd)
+{
+    int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0)
+        fatal("net: fcntl(O_NONBLOCK) failed");
+}
+
+} // namespace
+
+Server::Server(db::ShardedDatabase *db, const ServerConfig &cfg)
+    : db_(db), cfg_(cfg)
+{
+    if (cfg_.workers == 0)
+        cfg_.workers = envUnsigned("ESPRESSO_NET_WORKERS", 2);
+    if (cfg_.workers == 0)
+        cfg_.workers = 1;
+    if (cfg_.queueDepth == 0)
+        cfg_.queueDepth = envUnsigned("ESPRESSO_NET_QUEUE_DEPTH", 128);
+    if (cfg_.queueDepth == 0)
+        cfg_.queueDepth = 1;
+    if (cfg_.committers == 0)
+        cfg_.committers = 1;
+}
+
+Server::~Server()
+{
+    stop();
+}
+
+void
+Server::start()
+{
+    if (started_)
+        fatal("net: server started twice");
+    started_ = true;
+
+    listenFd_.reset(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+    if (!listenFd_.valid())
+        fatal("net: socket() failed");
+    int one = 1;
+    ::setsockopt(listenFd_.get(), SOL_SOCKET, SO_REUSEADDR, &one,
+                 sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(cfg_.port);
+    if (::inet_pton(AF_INET, cfg_.host.c_str(), &addr.sin_addr) != 1)
+        fatal("net: bad listen address " + cfg_.host);
+    if (::bind(listenFd_.get(),
+               reinterpret_cast<const sockaddr *>(&addr),
+               sizeof(addr)) != 0)
+        fatal("net: bind failed");
+    if (::listen(listenFd_.get(), 1024) != 0)
+        fatal("net: listen failed");
+
+    sockaddr_in bound{};
+    socklen_t blen = sizeof(bound);
+    if (::getsockname(listenFd_.get(),
+                      reinterpret_cast<sockaddr *>(&bound),
+                      &blen) != 0)
+        fatal("net: getsockname failed");
+    port_ = ntohs(bound.sin_port);
+
+    workerLoad_ =
+        std::make_unique<std::atomic<unsigned>[]>(cfg_.workers);
+    for (unsigned i = 0; i < cfg_.workers; ++i)
+        workerLoad_[i].store(0, std::memory_order_relaxed);
+
+    loops_.reserve(cfg_.workers);
+    for (unsigned i = 0; i < cfg_.workers; ++i) {
+        loops_.push_back(std::make_unique<EventLoop>());
+        loops_.back()->start();
+    }
+    for (unsigned i = 0; i < cfg_.committers; ++i)
+        committers_.emplace_back([this] { committerLoop(); });
+    acceptor_ = std::thread([this] { acceptLoop(); });
+}
+
+void
+Server::acceptLoop()
+{
+    for (;;) {
+        int fd = ::accept(listenFd_.get(), nullptr, nullptr);
+        if (fd < 0) {
+            if (stopping_.load(std::memory_order_acquire))
+                return;
+            if (errno == EINTR || errno == ECONNABORTED)
+                continue;
+            // The listen socket was shut down under us.
+            return;
+        }
+        if (stopping_.load(std::memory_order_acquire)) {
+            ::close(fd);
+            return;
+        }
+        adoptConnection(UniqueFd(fd));
+    }
+}
+
+void
+Server::adoptConnection(UniqueFd fd)
+{
+    setNonBlocking(fd.get());
+    int one = 1;
+    ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one,
+                 sizeof(one));
+
+    unsigned idx = nextLoop_.fetch_add(1, std::memory_order_relaxed) %
+                   static_cast<unsigned>(loops_.size());
+    EventLoop *loop = loops_[idx].get();
+    std::uint64_t id =
+        connIds_.fetch_add(1, std::memory_order_relaxed);
+    auto conn = std::make_shared<Connection>(this, loop, idx,
+                                             std::move(fd), id);
+    {
+        std::lock_guard<std::mutex> g(connMu_);
+        conns_.emplace(id, conn);
+    }
+    stats_.accepted.fetch_add(1, std::memory_order_relaxed);
+    loop->post([conn] { conn->start(); });
+}
+
+void
+Server::submitJob(std::function<void()> job)
+{
+    {
+        std::lock_guard<std::mutex> g(jobMu_);
+        jobs_.push_back(std::move(job));
+    }
+    jobCv_.notify_one();
+}
+
+void
+Server::committerLoop()
+{
+    for (;;) {
+        std::function<void()> job;
+        {
+            std::unique_lock<std::mutex> lk(jobMu_);
+            jobCv_.wait(lk,
+                        [this] { return jobStop_ || !jobs_.empty(); });
+            if (jobs_.empty())
+                return; // jobStop_, queue drained
+            job = std::move(jobs_.front());
+            jobs_.pop_front();
+        }
+        job();
+    }
+}
+
+bool
+Server::admit(unsigned worker)
+{
+    std::atomic<unsigned> &load = workerLoad_[worker];
+    unsigned cur = load.load(std::memory_order_relaxed);
+    for (;;) {
+        if (cur >= cfg_.queueDepth)
+            return false;
+        if (load.compare_exchange_weak(cur, cur + 1,
+                                       std::memory_order_acq_rel,
+                                       std::memory_order_relaxed))
+            break;
+    }
+    totalLoad_.fetch_add(1, std::memory_order_acq_rel);
+    return true;
+}
+
+void
+Server::forceAdmit(unsigned worker)
+{
+    workerLoad_[worker].fetch_add(1, std::memory_order_acq_rel);
+    totalLoad_.fetch_add(1, std::memory_order_acq_rel);
+}
+
+void
+Server::noteWorkDone(unsigned worker)
+{
+    workerLoad_[worker].fetch_sub(1, std::memory_order_acq_rel);
+    totalLoad_.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+void
+Server::connectionClosed(std::uint64_t id)
+{
+    std::lock_guard<std::mutex> g(connMu_);
+    conns_.erase(id);
+}
+
+std::size_t
+Server::connectionCount() const
+{
+    std::lock_guard<std::mutex> g(connMu_);
+    return conns_.size();
+}
+
+ServerStats
+Server::stats() const
+{
+    ServerStats out;
+    out.accepted = stats_.accepted.load(std::memory_order_relaxed);
+    out.closed = stats_.closed.load(std::memory_order_relaxed);
+    out.frames = stats_.frames.load(std::memory_order_relaxed);
+    out.admissionRejects =
+        stats_.admissionRejects.load(std::memory_order_relaxed);
+    out.overflowDisconnects =
+        stats_.overflowDisconnects.load(std::memory_order_relaxed);
+    out.protocolErrors =
+        stats_.protocolErrors.load(std::memory_order_relaxed);
+    out.txnsCommitted =
+        stats_.txnsCommitted.load(std::memory_order_relaxed);
+    out.txnsAborted =
+        stats_.txnsAborted.load(std::memory_order_relaxed);
+    return out;
+}
+
+void
+Server::stop()
+{
+    if (!started_ || stopping_.exchange(true))
+        return;
+
+    // 1. Stop accepting: shut the listen socket down so the
+    //    blocking accept() returns, then join the acceptor.
+    if (listenFd_.valid())
+        ::shutdown(listenFd_.get(), SHUT_RDWR);
+    if (acceptor_.joinable())
+        acceptor_.join();
+    listenFd_.reset();
+
+    // 2. Close every connection on its own loop (close() rolls open
+    //    brackets back on the pool).
+    std::vector<std::shared_ptr<Connection>> open;
+    {
+        std::lock_guard<std::mutex> g(connMu_);
+        for (auto &kv : conns_)
+            open.push_back(kv.second);
+    }
+    for (auto &conn : open)
+        conn->loop()->post([conn] { conn->close(); });
+
+    // 3. Drain in-flight deferred work (async commits, pool jobs):
+    //    their completions still need the loops alive.
+    while (totalLoad_.load(std::memory_order_acquire) != 0 ||
+           connectionCount() != 0)
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+    // 4. Stop the committer pool (queue is drained by now).
+    {
+        std::lock_guard<std::mutex> g(jobMu_);
+        jobStop_ = true;
+    }
+    jobCv_.notify_all();
+    for (std::thread &t : committers_)
+        t.join();
+    committers_.clear();
+
+    // 5. Stop the loops.
+    for (auto &loop : loops_)
+        loop->stop();
+    loops_.clear();
+}
+
+} // namespace net
+} // namespace espresso

@@ -1,0 +1,363 @@
+#include "net/wire_client.hh"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace espresso {
+namespace net {
+
+void
+encodePing(WireWriter &w)
+{
+    w.begin(WireOp::kPing);
+    w.finish();
+}
+
+void
+encodeCreateTable(WireWriter &w, const db::TableSchema &schema)
+{
+    w.begin(WireOp::kCreateTable);
+    w.putStr(schema.name);
+    w.putU16(static_cast<std::uint16_t>(schema.pkColumn));
+    w.putU16(schema.indexColumn == db::TableSchema::kNoIndex
+                 ? 0xffff
+                 : static_cast<std::uint16_t>(schema.indexColumn));
+    w.putU16(static_cast<std::uint16_t>(schema.columns.size()));
+    for (const db::ColumnDef &c : schema.columns) {
+        w.putStr(c.name);
+        w.putU8(static_cast<std::uint8_t>(c.type));
+    }
+    w.finish();
+}
+
+void
+encodeGet(WireWriter &w, const std::string &table, std::int64_t pk)
+{
+    w.begin(WireOp::kGet);
+    w.putStr(table);
+    w.putI64(pk);
+    w.finish();
+}
+
+void
+encodePut(WireWriter &w, const std::string &table,
+          const std::vector<db::DbValue> &row,
+          std::uint64_t dirty_mask, WireOp op)
+{
+    w.begin(op);
+    w.putStr(table);
+    w.putU64(dirty_mask);
+    w.putRow(row);
+    w.finish();
+}
+
+void
+encodeUpdate(WireWriter &w, const std::string &table,
+             const std::vector<db::DbValue> &row,
+             std::uint64_t dirty_mask)
+{
+    encodePut(w, table, row, dirty_mask, WireOp::kUpdate);
+}
+
+void
+encodeDel(WireWriter &w, const std::string &table, std::int64_t pk)
+{
+    w.begin(WireOp::kDel);
+    w.putStr(table);
+    w.putI64(pk);
+    w.finish();
+}
+
+void
+encodeScanEq(WireWriter &w, const std::string &table,
+             const std::string &column, const db::DbValue &v)
+{
+    w.begin(WireOp::kScanEq);
+    w.putStr(table);
+    w.putStr(column);
+    w.putValue(v);
+    w.finish();
+}
+
+void
+encodeRowCount(WireWriter &w, const std::string &table)
+{
+    w.begin(WireOp::kRowCount);
+    w.putStr(table);
+    w.finish();
+}
+
+void
+encodeBegin(WireWriter &w, bool snapshot)
+{
+    w.begin(WireOp::kBegin);
+    w.putU8(snapshot ? 1 : 0);
+    w.finish();
+}
+
+void
+encodeCommit(WireWriter &w)
+{
+    w.begin(WireOp::kCommit);
+    w.finish();
+}
+
+void
+encodeRollback(WireWriter &w)
+{
+    w.begin(WireOp::kRollback);
+    w.finish();
+}
+
+bool
+WireClient::connect(const std::string &host, std::uint16_t port)
+{
+    fd_.reset(::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0));
+    if (!fd_.valid())
+        return false;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        fd_.reset();
+        return false;
+    }
+    if (::connect(fd_.get(), reinterpret_cast<const sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        fd_.reset();
+        return false;
+    }
+    int one = 1;
+    ::setsockopt(fd_.get(), IPPROTO_TCP, TCP_NODELAY, &one,
+                 sizeof(one));
+    return true;
+}
+
+bool
+WireClient::sendRaw(const void *data, std::size_t n)
+{
+    const std::uint8_t *p = static_cast<const std::uint8_t *>(data);
+    while (n > 0) {
+        // MSG_NOSIGNAL: a peer that hung up mid-send is a false
+        // return, not a SIGPIPE.
+        ssize_t w = ::send(fd_.get(), p, n, MSG_NOSIGNAL);
+        if (w < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        p += w;
+        n -= static_cast<std::size_t>(w);
+    }
+    return true;
+}
+
+bool
+WireClient::sendFrames(const WireWriter &w)
+{
+    return sendRaw(w.bytes().data(), w.size());
+}
+
+bool
+WireClient::recvFrame(std::vector<std::uint8_t> *frame, FrameView *view)
+{
+    for (;;) {
+        FrameView f;
+        ParseResult pr =
+            tryParseFrame(rbuf_.data(), rbuf_.size(), &f);
+        if (pr == ParseResult::kFrame) {
+            frame->assign(rbuf_.begin(),
+                          rbuf_.begin() + static_cast<std::ptrdiff_t>(
+                                              f.frameBytes()));
+            rbuf_.erase(rbuf_.begin(),
+                        rbuf_.begin() + static_cast<std::ptrdiff_t>(
+                                            f.frameBytes()));
+            if (tryParseFrame(frame->data(), frame->size(), view) !=
+                ParseResult::kFrame)
+                return false;
+            return true;
+        }
+        if (pr != ParseResult::kNeedMore)
+            return false;
+        std::uint8_t chunk[4096];
+        ssize_t n = ::read(fd_.get(), chunk, sizeof(chunk));
+        if (n == 0)
+            return false;
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        rbuf_.insert(rbuf_.end(), chunk, chunk + n);
+    }
+}
+
+WireStatus
+WireClient::roundTrip(const WireWriter &w,
+                      std::vector<std::uint8_t> *frame, FrameView *view)
+{
+    std::vector<std::uint8_t> local_frame;
+    FrameView local_view;
+    if (frame == nullptr)
+        frame = &local_frame;
+    if (view == nullptr)
+        view = &local_view;
+    if (!sendFrames(w))
+        return WireStatus::kError;
+    if (!recvFrame(frame, view))
+        return WireStatus::kError;
+    return static_cast<WireStatus>(view->status);
+}
+
+WireStatus
+WireClient::ping()
+{
+    WireWriter w;
+    encodePing(w);
+    return roundTrip(w, nullptr, nullptr);
+}
+
+WireStatus
+WireClient::createTable(const db::TableSchema &schema)
+{
+    WireWriter w;
+    encodeCreateTable(w, schema);
+    return roundTrip(w, nullptr, nullptr);
+}
+
+WireStatus
+WireClient::put(const std::string &table,
+                const std::vector<db::DbValue> &row,
+                std::uint64_t dirty_mask)
+{
+    WireWriter w;
+    encodePut(w, table, row, dirty_mask);
+    return roundTrip(w, nullptr, nullptr);
+}
+
+WireStatus
+WireClient::get(const std::string &table, std::int64_t pk,
+                std::vector<db::DbValue> *row_out)
+{
+    WireWriter w;
+    encodeGet(w, table, pk);
+    std::vector<std::uint8_t> frame;
+    FrameView view;
+    WireStatus st = roundTrip(w, &frame, &view);
+    if (st == WireStatus::kOk && row_out != nullptr) {
+        WireReader r(view);
+        *row_out = r.getRow();
+        if (!r.ok())
+            return WireStatus::kError;
+    }
+    return st;
+}
+
+WireStatus
+WireClient::update(const std::string &table,
+                   const std::vector<db::DbValue> &row,
+                   std::uint64_t dirty_mask, bool *updated)
+{
+    WireWriter w;
+    encodeUpdate(w, table, row, dirty_mask);
+    std::vector<std::uint8_t> frame;
+    FrameView view;
+    WireStatus st = roundTrip(w, &frame, &view);
+    if (st == WireStatus::kOk && updated != nullptr) {
+        WireReader r(view);
+        *updated = r.getU8() != 0;
+    }
+    return st;
+}
+
+WireStatus
+WireClient::del(const std::string &table, std::int64_t pk, bool *erased)
+{
+    WireWriter w;
+    encodeDel(w, table, pk);
+    std::vector<std::uint8_t> frame;
+    FrameView view;
+    WireStatus st = roundTrip(w, &frame, &view);
+    if (st == WireStatus::kOk && erased != nullptr) {
+        WireReader r(view);
+        *erased = r.getU8() != 0;
+    }
+    return st;
+}
+
+WireStatus
+WireClient::scanEq(const std::string &table, const std::string &column,
+                   const db::DbValue &v,
+                   std::vector<std::vector<db::DbValue>> *rows_out)
+{
+    WireWriter w;
+    encodeScanEq(w, table, column, v);
+    std::vector<std::uint8_t> frame;
+    FrameView view;
+    WireStatus st = roundTrip(w, &frame, &view);
+    if (st == WireStatus::kOk && rows_out != nullptr) {
+        WireReader r(view);
+        std::uint32_t n = r.getU32();
+        rows_out->clear();
+        for (std::uint32_t i = 0; i < n && r.ok(); ++i)
+            rows_out->push_back(r.getRow());
+        if (!r.ok())
+            return WireStatus::kError;
+    }
+    return st;
+}
+
+WireStatus
+WireClient::rowCount(const std::string &table, std::uint64_t *n)
+{
+    WireWriter w;
+    encodeRowCount(w, table);
+    std::vector<std::uint8_t> frame;
+    FrameView view;
+    WireStatus st = roundTrip(w, &frame, &view);
+    if (st == WireStatus::kOk && n != nullptr) {
+        WireReader r(view);
+        *n = r.getU64();
+    }
+    return st;
+}
+
+WireStatus
+WireClient::begin(bool snapshot, std::uint64_t *txn_id)
+{
+    WireWriter w;
+    encodeBegin(w, snapshot);
+    std::vector<std::uint8_t> frame;
+    FrameView view;
+    WireStatus st = roundTrip(w, &frame, &view);
+    if (st == WireStatus::kOk && txn_id != nullptr) {
+        WireReader r(view);
+        *txn_id = r.getU64();
+    }
+    return st;
+}
+
+WireStatus
+WireClient::commit()
+{
+    WireWriter w;
+    encodeCommit(w);
+    return roundTrip(w, nullptr, nullptr);
+}
+
+WireStatus
+WireClient::rollback()
+{
+    WireWriter w;
+    encodeRollback(w);
+    return roundTrip(w, nullptr, nullptr);
+}
+
+} // namespace net
+} // namespace espresso

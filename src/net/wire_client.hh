@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Blocking wire client (tests, tools) and the request encoders the
+ * nonblocking bench driver shares with it.
+ *
+ * The sync API is strictly request/response; pipelining clients
+ * (bench/wire_bench) encode requests with the encode* helpers, write
+ * them back-to-back on their own nonblocking sockets, and match the
+ * in-order responses themselves. sendRaw() exists so protocol tests
+ * can emit torn/hostile byte sequences.
+ */
+
+#ifndef ESPRESSO_NET_WIRE_CLIENT_HH
+#define ESPRESSO_NET_WIRE_CLIENT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "db/catalog.hh"
+#include "net/wire_protocol.hh"
+#include "util/fd.hh"
+
+namespace espresso {
+namespace net {
+
+/** @name Request encoders (append one request frame to @p w) */
+/// @{
+void encodePing(WireWriter &w);
+void encodeCreateTable(WireWriter &w, const db::TableSchema &schema);
+void encodeGet(WireWriter &w, const std::string &table,
+               std::int64_t pk);
+void encodePut(WireWriter &w, const std::string &table,
+               const std::vector<db::DbValue> &row,
+               std::uint64_t dirty_mask = ~0ull,
+               WireOp op = WireOp::kPut);
+void encodeUpdate(WireWriter &w, const std::string &table,
+                  const std::vector<db::DbValue> &row,
+                  std::uint64_t dirty_mask = ~0ull);
+void encodeDel(WireWriter &w, const std::string &table,
+               std::int64_t pk);
+void encodeScanEq(WireWriter &w, const std::string &table,
+                  const std::string &column, const db::DbValue &v);
+void encodeRowCount(WireWriter &w, const std::string &table);
+void encodeBegin(WireWriter &w, bool snapshot);
+void encodeCommit(WireWriter &w);
+void encodeRollback(WireWriter &w);
+/// @}
+
+/** One blocking client connection. */
+class WireClient
+{
+  public:
+    WireClient() = default;
+    ~WireClient() = default;
+
+    WireClient(const WireClient &) = delete;
+    WireClient &operator=(const WireClient &) = delete;
+
+    /** Connect (blocking); false on failure. */
+    bool connect(const std::string &host, std::uint16_t port);
+
+    void closeConn() { fd_.reset(); }
+    bool connected() const { return fd_.valid(); }
+
+    /** The raw socket (tests: abrupt close, shutdown). */
+    int fd() const { return fd_.get(); }
+
+    /** Write raw bytes as-is (torn-frame tests); false on error. */
+    bool sendRaw(const void *data, std::size_t n);
+
+    /** Write every frame queued in @p w; false on error. */
+    bool sendFrames(const WireWriter &w);
+
+    /** Block for one response frame; false on EOF/error. @p frame
+     * owns the bytes @p view points into. */
+    bool recvFrame(std::vector<std::uint8_t> *frame, FrameView *view);
+
+    /** @name Sync ops (send one request, await its response) */
+    /// @{
+    WireStatus ping();
+    WireStatus createTable(const db::TableSchema &schema);
+    WireStatus put(const std::string &table,
+                   const std::vector<db::DbValue> &row,
+                   std::uint64_t dirty_mask = ~0ull);
+    WireStatus get(const std::string &table, std::int64_t pk,
+                   std::vector<db::DbValue> *row_out);
+    WireStatus update(const std::string &table,
+                      const std::vector<db::DbValue> &row,
+                      std::uint64_t dirty_mask, bool *updated);
+    WireStatus del(const std::string &table, std::int64_t pk,
+                   bool *erased);
+    WireStatus scanEq(const std::string &table,
+                      const std::string &column, const db::DbValue &v,
+                      std::vector<std::vector<db::DbValue>> *rows_out);
+    WireStatus rowCount(const std::string &table, std::uint64_t *n);
+    WireStatus begin(bool snapshot, std::uint64_t *txn_id);
+    WireStatus commit();
+    WireStatus rollback();
+    /// @}
+
+  private:
+    /** Send @p w, receive one frame, surface its status; payload via
+     * @p view/@p frame when non-null. */
+    WireStatus roundTrip(const WireWriter &w,
+                         std::vector<std::uint8_t> *frame,
+                         FrameView *view);
+
+    UniqueFd fd_;
+    /** Unconsumed bytes past the last parsed frame. */
+    std::vector<std::uint8_t> rbuf_;
+};
+
+} // namespace net
+} // namespace espresso
+
+#endif // ESPRESSO_NET_WIRE_CLIENT_HH

@@ -1,0 +1,417 @@
+/**
+ * @file
+ * The espresso wire protocol: length-prefixed binary frames over a
+ * byte stream.
+ *
+ * Frame layout (all integers little-endian):
+ *
+ *   | u32 magic 'ESPW' | u8 version | u8 opcode | u16 status |
+ *   | u32 length | length bytes of payload |
+ *
+ * The 12-byte header is identical in both directions; requests carry
+ * status = 0, responses echo the request opcode and carry the result
+ * in status. Payloads are typed values (u8 tag + fixed or
+ * length-prefixed body) composed into rows (u16 column count +
+ * values). A frame never exceeds kMaxPayload — an oversize length
+ * prefix is a protocol violation and the server hangs up (it cannot
+ * resynchronize a stream whose framing it no longer trusts); an
+ * unknown opcode inside a well-formed frame is answered with
+ * kBadRequest and the stream continues.
+ *
+ * Transactions are explicit frames (kBegin/kCommit/kRollback)
+ * bracketing ordinary ops; everything outside a bracket
+ * auto-commits. Clients may pipeline: the server executes a
+ * connection's frames in order and responds in order, but parks
+ * commit durability in the group-commit coordinator so concurrent
+ * connections' fences coalesce.
+ */
+
+#ifndef ESPRESSO_NET_WIRE_PROTOCOL_HH
+#define ESPRESSO_NET_WIRE_PROTOCOL_HH
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "db/value_codec.hh"
+
+namespace espresso {
+namespace net {
+
+constexpr std::uint32_t kWireMagic = 0x45535057; // 'ESPW'
+constexpr std::uint8_t kWireVersion = 1;
+constexpr std::size_t kWireHeaderBytes = 12;
+
+/** Payload ceiling: bounds per-connection read buffering and makes
+ * a corrupt length prefix detectable. */
+constexpr std::size_t kMaxPayload = 1u << 20;
+
+enum class WireOp : std::uint8_t
+{
+    kPing = 1,
+    kGet = 2,         ///< table, pk -> row
+    kPut = 3,         ///< table, row (upsert by pk)
+    kDel = 4,         ///< table, pk
+    kInsert = 5,      ///< table, row (SQL-surface alias of put)
+    kUpdate = 6,      ///< table, row, dirty mask -> u8 updated
+    kScanEq = 7,      ///< table, column, value -> u32 n, rows
+    kRowCount = 8,    ///< table -> u64
+    kBegin = 9,       ///< u8 isolation -> u64 txn id
+    kCommit = 10,
+    kRollback = 11,
+    kCreateTable = 12,
+};
+
+/** Response status (u16 in the header). */
+enum class WireStatus : std::uint16_t
+{
+    kOk = 0,
+    kNotFound = 1,
+    /** Saturated: a begin/admission kBusy was NOT executed (retry
+     * as-is); a kBusy on an op inside a transaction means the whole
+     * transaction was aborted. */
+    kBusy = 2,
+    kAborted = 3,
+    kWalFull = 4,
+    kDeadlock = 5,
+    kConflict = 6,
+    kMisuse = 7,
+    kBadRequest = 8,
+    kError = 10,
+};
+
+const char *wireStatusName(WireStatus s);
+
+/** A parsed frame pointing into the receive buffer. */
+struct FrameView
+{
+    WireOp op = WireOp::kPing;
+    std::uint16_t status = 0;
+    const std::uint8_t *payload = nullptr;
+    std::size_t length = 0;
+
+    /** Header + payload bytes this frame consumed. */
+    std::size_t frameBytes() const { return kWireHeaderBytes + length; }
+};
+
+enum class ParseResult
+{
+    kNeedMore, ///< incomplete header or payload; read more bytes
+    kFrame,    ///< *out is valid
+    kBadMagic, ///< stream corrupt; hang up
+    kBadVersion,
+    kTooLarge, ///< length prefix exceeds kMaxPayload; hang up
+};
+
+inline std::uint16_t
+loadU16(const std::uint8_t *p)
+{
+    return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+
+inline std::uint32_t
+loadU32(const std::uint8_t *p)
+{
+    return static_cast<std::uint32_t>(p[0]) |
+           (static_cast<std::uint32_t>(p[1]) << 8) |
+           (static_cast<std::uint32_t>(p[2]) << 16) |
+           (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+inline std::uint64_t
+loadU64(const std::uint8_t *p)
+{
+    return static_cast<std::uint64_t>(loadU32(p)) |
+           (static_cast<std::uint64_t>(loadU32(p + 4)) << 32);
+}
+
+/** Parse one frame from [data, data+n); see ParseResult. */
+inline ParseResult
+tryParseFrame(const std::uint8_t *data, std::size_t n, FrameView *out)
+{
+    if (n < kWireHeaderBytes)
+        return ParseResult::kNeedMore;
+    if (loadU32(data) != kWireMagic)
+        return ParseResult::kBadMagic;
+    if (data[4] != kWireVersion)
+        return ParseResult::kBadVersion;
+    std::uint32_t length = loadU32(data + 8);
+    if (length > kMaxPayload)
+        return ParseResult::kTooLarge;
+    if (n < kWireHeaderBytes + length)
+        return ParseResult::kNeedMore;
+    out->op = static_cast<WireOp>(data[5]);
+    out->status = loadU16(data + 6);
+    out->payload = data + kWireHeaderBytes;
+    out->length = length;
+    return ParseResult::kFrame;
+}
+
+/** Append-only frame builder. */
+class WireWriter
+{
+  public:
+    /** Start a frame; payload length is patched by finish(). */
+    void
+    begin(WireOp op, std::uint16_t status = 0)
+    {
+        frameStart_ = buf_.size();
+        putU32(kWireMagic);
+        putU8(kWireVersion);
+        putU8(static_cast<std::uint8_t>(op));
+        putU16(status);
+        putU32(0); // length placeholder
+    }
+
+    void
+    finish()
+    {
+        std::uint32_t length = static_cast<std::uint32_t>(
+            buf_.size() - frameStart_ - kWireHeaderBytes);
+        std::uint8_t *p = buf_.data() + frameStart_ + 8;
+        p[0] = static_cast<std::uint8_t>(length);
+        p[1] = static_cast<std::uint8_t>(length >> 8);
+        p[2] = static_cast<std::uint8_t>(length >> 16);
+        p[3] = static_cast<std::uint8_t>(length >> 24);
+    }
+
+    /** Overwrite 4 bytes at @p offset (e.g. a count written before
+     * the elements were). */
+    void
+    patchU32(std::size_t offset, std::uint32_t v)
+    {
+        buf_[offset] = static_cast<std::uint8_t>(v);
+        buf_[offset + 1] = static_cast<std::uint8_t>(v >> 8);
+        buf_[offset + 2] = static_cast<std::uint8_t>(v >> 16);
+        buf_[offset + 3] = static_cast<std::uint8_t>(v >> 24);
+    }
+
+    void putU8(std::uint8_t v) { buf_.push_back(v); }
+
+    void
+    putU16(std::uint16_t v)
+    {
+        buf_.push_back(static_cast<std::uint8_t>(v));
+        buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+    }
+
+    void
+    putU32(std::uint32_t v)
+    {
+        putU16(static_cast<std::uint16_t>(v));
+        putU16(static_cast<std::uint16_t>(v >> 16));
+    }
+
+    void
+    putU64(std::uint64_t v)
+    {
+        putU32(static_cast<std::uint32_t>(v));
+        putU32(static_cast<std::uint32_t>(v >> 32));
+    }
+
+    void putI64(std::int64_t v) { putU64(static_cast<std::uint64_t>(v)); }
+
+    void
+    putStr(const std::string &s)
+    {
+        putU32(static_cast<std::uint32_t>(s.size()));
+        buf_.insert(buf_.end(), s.begin(), s.end());
+    }
+
+    void
+    putValue(const db::DbValue &v)
+    {
+        putU8(static_cast<std::uint8_t>(v.type));
+        switch (v.type) {
+        case db::DbType::kNull:
+            break;
+        case db::DbType::kI64:
+            putI64(v.i);
+            break;
+        case db::DbType::kF64: {
+            std::uint64_t bits;
+            std::memcpy(&bits, &v.d, sizeof(bits));
+            putU64(bits);
+            break;
+        }
+        case db::DbType::kStr:
+            putStr(v.s);
+            break;
+        }
+    }
+
+    void
+    putRow(const std::vector<db::DbValue> &row)
+    {
+        putU16(static_cast<std::uint16_t>(row.size()));
+        for (const db::DbValue &v : row)
+            putValue(v);
+    }
+
+    const std::vector<std::uint8_t> &bytes() const { return buf_; }
+    std::size_t size() const { return buf_.size(); }
+    void clear() { buf_.clear(); }
+
+  private:
+    std::vector<std::uint8_t> buf_;
+    std::size_t frameStart_ = 0;
+};
+
+/** Bounds-checked payload cursor; any overrun latches ok() false and
+ * subsequent reads return zero values (one check at the end). */
+class WireReader
+{
+  public:
+    WireReader(const std::uint8_t *data, std::size_t n)
+        : data_(data), n_(n)
+    {}
+
+    explicit WireReader(const FrameView &f)
+        : WireReader(f.payload, f.length)
+    {}
+
+    bool ok() const { return ok_; }
+    bool atEnd() const { return pos_ == n_; }
+
+    std::uint8_t
+    getU8()
+    {
+        if (!need(1))
+            return 0;
+        return data_[pos_++];
+    }
+
+    std::uint16_t
+    getU16()
+    {
+        if (!need(2))
+            return 0;
+        std::uint16_t v = loadU16(data_ + pos_);
+        pos_ += 2;
+        return v;
+    }
+
+    std::uint32_t
+    getU32()
+    {
+        if (!need(4))
+            return 0;
+        std::uint32_t v = loadU32(data_ + pos_);
+        pos_ += 4;
+        return v;
+    }
+
+    std::uint64_t
+    getU64()
+    {
+        if (!need(8))
+            return 0;
+        std::uint64_t v = loadU64(data_ + pos_);
+        pos_ += 8;
+        return v;
+    }
+
+    std::int64_t getI64() { return static_cast<std::int64_t>(getU64()); }
+
+    std::string
+    getStr()
+    {
+        std::uint32_t len = getU32();
+        if (!need(len))
+            return {};
+        std::string s(reinterpret_cast<const char *>(data_ + pos_),
+                      len);
+        pos_ += len;
+        return s;
+    }
+
+    db::DbValue
+    getValue()
+    {
+        std::uint8_t tag = getU8();
+        switch (static_cast<db::DbType>(tag)) {
+        case db::DbType::kNull:
+            return db::DbValue::null();
+        case db::DbType::kI64:
+            return db::DbValue::ofI64(getI64());
+        case db::DbType::kF64: {
+            std::uint64_t bits = getU64();
+            double d;
+            std::memcpy(&d, &bits, sizeof(d));
+            return db::DbValue::ofF64(d);
+        }
+        case db::DbType::kStr:
+            return db::DbValue::ofStr(getStr());
+        }
+        ok_ = false; // unknown tag: poison the read
+        return db::DbValue::null();
+    }
+
+    std::vector<db::DbValue>
+    getRow()
+    {
+        std::uint16_t count = getU16();
+        std::vector<db::DbValue> row;
+        // A hostile count can't make us reserve more than the
+        // payload could actually hold (1 byte per value minimum).
+        if (count > n_ - std::min<std::size_t>(pos_, n_)) {
+            ok_ = false;
+            return row;
+        }
+        row.reserve(count);
+        for (std::uint16_t i = 0; i < count && ok_; ++i)
+            row.push_back(getValue());
+        return row;
+    }
+
+  private:
+    bool
+    need(std::size_t n)
+    {
+        if (n_ - pos_ < n) {
+            ok_ = false;
+            pos_ = n_;
+            return false;
+        }
+        return true;
+    }
+
+    const std::uint8_t *data_;
+    std::size_t n_;
+    std::size_t pos_ = 0;
+    bool ok_ = true;
+};
+
+inline const char *
+wireStatusName(WireStatus s)
+{
+    switch (s) {
+    case WireStatus::kOk:
+        return "ok";
+    case WireStatus::kNotFound:
+        return "not-found";
+    case WireStatus::kBusy:
+        return "busy";
+    case WireStatus::kAborted:
+        return "aborted";
+    case WireStatus::kWalFull:
+        return "wal-full";
+    case WireStatus::kDeadlock:
+        return "deadlock";
+    case WireStatus::kConflict:
+        return "conflict";
+    case WireStatus::kMisuse:
+        return "misuse";
+    case WireStatus::kBadRequest:
+        return "bad-request";
+    case WireStatus::kError:
+        return "error";
+    }
+    return "unknown";
+}
+
+} // namespace net
+} // namespace espresso
+
+#endif // ESPRESSO_NET_WIRE_PROTOCOL_HH

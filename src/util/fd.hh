@@ -1,0 +1,63 @@
+/**
+ * @file
+ * RAII file-descriptor ownership for the net layer.
+ */
+
+#ifndef ESPRESSO_UTIL_FD_HH
+#define ESPRESSO_UTIL_FD_HH
+
+#include <unistd.h>
+
+#include <utility>
+
+namespace espresso {
+
+/** Owns one fd; closes it on destruction. Move-only. */
+class UniqueFd
+{
+  public:
+    UniqueFd() = default;
+    explicit UniqueFd(int fd) : fd_(fd) {}
+
+    UniqueFd(UniqueFd &&other) noexcept : fd_(other.release()) {}
+
+    UniqueFd &
+    operator=(UniqueFd &&other) noexcept
+    {
+        if (this != &other)
+            reset(other.release());
+        return *this;
+    }
+
+    UniqueFd(const UniqueFd &) = delete;
+    UniqueFd &operator=(const UniqueFd &) = delete;
+
+    ~UniqueFd() { reset(); }
+
+    int get() const { return fd_; }
+    bool valid() const { return fd_ >= 0; }
+    explicit operator bool() const { return valid(); }
+
+    /** Close the held fd (if any) and adopt @p fd. */
+    void
+    reset(int fd = -1)
+    {
+        if (fd_ >= 0)
+            ::close(fd_);
+        fd_ = fd;
+    }
+
+    /** Give up ownership without closing. */
+    int
+    release()
+    {
+        return std::exchange(fd_, -1);
+    }
+
+  private:
+    int fd_ = -1;
+};
+
+} // namespace espresso
+
+#endif // ESPRESSO_UTIL_FD_HH

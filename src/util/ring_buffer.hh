@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Fixed-capacity byte ring for per-connection write buffering.
+ *
+ * The net layer's backpressure primitive: a slow reader's pending
+ * response bytes accumulate here, never beyond the configured cap —
+ * an append that doesn't fit fails as a unit and the server hangs up
+ * instead of buffering without bound. peek()/consume() expose the
+ * front contiguous span so the drain path can write() straight from
+ * the ring without re-copying.
+ */
+
+#ifndef ESPRESSO_UTIL_RING_BUFFER_HH
+#define ESPRESSO_UTIL_RING_BUFFER_HH
+
+#include <cstdint>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+namespace espresso {
+
+/** Single-threaded bounded FIFO of bytes. */
+class RingBuffer
+{
+  public:
+    explicit RingBuffer(std::size_t capacity) : buf_(capacity) {}
+
+    std::size_t capacity() const { return buf_.size(); }
+    std::size_t size() const { return size_; }
+    std::size_t free() const { return buf_.size() - size_; }
+    bool empty() const { return size_ == 0; }
+
+    /** Append all of [data, data+n) or nothing; false on overflow. */
+    bool
+    write(const void *data, std::size_t n)
+    {
+        if (n > free())
+            return false;
+        const std::uint8_t *src =
+            static_cast<const std::uint8_t *>(data);
+        std::size_t tail = (head_ + size_) % buf_.size();
+        std::size_t first = std::min(n, buf_.size() - tail);
+        std::memcpy(buf_.data() + tail, src, first);
+        std::memcpy(buf_.data(), src + first, n - first);
+        size_ += n;
+        return true;
+    }
+
+    /** The front contiguous span (empty when the ring is). */
+    std::pair<const std::uint8_t *, std::size_t>
+    peek() const
+    {
+        std::size_t first = std::min(size_, buf_.size() - head_);
+        return {buf_.data() + head_, first};
+    }
+
+    /** Drop @p n consumed bytes from the front (n <= size()). */
+    void
+    consume(std::size_t n)
+    {
+        head_ = (head_ + n) % buf_.size();
+        size_ -= n;
+        if (size_ == 0)
+            head_ = 0; // reset so future writes are one memcpy
+    }
+
+  private:
+    std::vector<std::uint8_t> buf_;
+    std::size_t head_ = 0;
+    std::size_t size_ = 0;
+};
+
+} // namespace espresso
+
+#endif // ESPRESSO_UTIL_RING_BUFFER_HH

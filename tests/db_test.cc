@@ -568,6 +568,160 @@ TEST(GroupCommitTest, ConcurrentCommittersShareOneDrain)
     }
 }
 
+TEST(GroupCommitTest, AutoWindowDegeneratesToEagerWhenUncontended)
+{
+    DatabaseConfig cfg;
+    cfg.rowRegionSize = 2u << 20;
+    cfg.rowsPerTable = 256;
+    cfg.walShards = 8;
+    cfg.groupCommitWindowUs = DatabaseConfig::kWindowAuto;
+    Database db(cfg);
+    EXPECT_EQ(db.commitCoordinator().windowNs(),
+              CommitCoordinator::kAutoWindow);
+    db.executeSql("CREATE TABLE T (ID BIGINT PRIMARY KEY, V BIGINT)");
+
+    // Phase 1: one committer. Auto must behave exactly like eager —
+    // every commit drains alone, immediately, and the derived window
+    // is zero (there is nobody to coalesce with).
+    CommitCoordinator::Stats before = db.commitCoordinator().stats();
+    constexpr int kSeq = 8;
+    for (int i = 0; i < kSeq; ++i) {
+        db.begin();
+        DbRecord rec;
+        rec.values = {DbValue::ofI64(i), DbValue::ofI64(i)};
+        db.persistRecord("T", rec);
+        db.commit();
+    }
+    CommitCoordinator::Stats mid = db.commitCoordinator().stats();
+    EXPECT_EQ(mid.txns - before.txns, static_cast<std::uint64_t>(kSeq));
+    EXPECT_EQ(mid.batches - before.batches,
+              static_cast<std::uint64_t>(kSeq));
+    EXPECT_EQ(mid.maxBatch, 1u);
+    EXPECT_EQ(db.commitCoordinator().effectiveWindowNs(), 0u);
+    EXPECT_EQ(db.commitCoordinator().stats().autoWindowNs, 0u);
+
+    // Phase 2: four in-flight committers parked at a barrier. The
+    // EWMA has seen the phase-1 arrival gaps, so with inflight > 1
+    // the derived window must open up (and be published in stats).
+    constexpr int kThreads = 4;
+    std::atomic<int> staged{0};
+    std::atomic<bool> go{false};
+    std::vector<std::thread> workers;
+    for (int t = 0; t < kThreads; ++t) {
+        workers.emplace_back([&, t]() {
+            db.begin();
+            DbRecord rec;
+            rec.values = {DbValue::ofI64(100 + t), DbValue::ofI64(t)};
+            db.persistRecord("T", rec);
+            staged.fetch_add(1);
+            while (!go.load(std::memory_order_acquire))
+                std::this_thread::yield();
+            db.commit();
+        });
+    }
+    while (staged.load() != kThreads)
+        std::this_thread::yield();
+    EXPECT_GT(db.commitCoordinator().effectiveWindowNs(), 0u);
+    EXPECT_GT(db.commitCoordinator().stats().autoWindowNs, 0u);
+    EXPECT_LE(db.commitCoordinator().stats().autoWindowNs,
+              CommitCoordinator::kAutoMaxWindowNs);
+    go.store(true, std::memory_order_release);
+    for (auto &w : workers)
+        w.join();
+    CommitCoordinator::Stats after = db.commitCoordinator().stats();
+    EXPECT_EQ(after.txns - mid.txns,
+              static_cast<std::uint64_t>(kThreads));
+    EXPECT_EQ(db.rowCount("T"), static_cast<std::size_t>(kSeq + kThreads));
+}
+
+TEST(GroupCommitTest, AutoWindowResolvesFromEnv)
+{
+    ASSERT_EQ(::setenv("ESPRESSO_DB_GROUP_COMMIT", "auto", 1), 0);
+    DatabaseConfig cfg;
+    cfg.rowRegionSize = 2u << 20;
+    cfg.rowsPerTable = 256;
+    {
+        Database db(cfg);
+        EXPECT_EQ(db.commitCoordinator().windowNs(),
+                  CommitCoordinator::kAutoWindow);
+    }
+    ::unsetenv("ESPRESSO_DB_GROUP_COMMIT");
+}
+
+// ---------------------------------------------------------------------
+// Detached sessions: the wire front door's transferable transactions
+// ---------------------------------------------------------------------
+
+TEST(DetachedSessionTest, BracketTransfersAcrossThreads)
+{
+    DatabaseConfig cfg;
+    cfg.rowRegionSize = 2u << 20;
+    cfg.rowsPerTable = 256;
+    cfg.walShards = 4;
+    cfg.groupCommitWindowUs = 0;
+    Database db(cfg);
+    db.executeSql("CREATE TABLE T (ID BIGINT PRIMARY KEY, V BIGINT)");
+
+    // Thread A opens the session and stages the first write.
+    std::uint64_t sid = 0;
+    std::thread a([&]() {
+        ASSERT_TRUE(db.beginDetached({}, &sid).isOk());
+        ASSERT_TRUE(db.bindDetached(sid));
+        DbRecord rec;
+        rec.values = {DbValue::ofI64(1), DbValue::ofI64(10)};
+        db.persistRecord("T", rec);
+        db.unbindDetached(sid);
+    });
+    a.join();
+    ASSERT_NE(sid, 0u);
+    EXPECT_EQ(db.detachedCount(), 1u);
+    EXPECT_GE(db.busyWalShards(), 1u);
+
+    // Thread B adopts it mid-flight: it sees A's uncommitted write
+    // from inside the same transaction and stages another.
+    std::thread b([&]() {
+        ASSERT_TRUE(db.bindDetached(sid));
+        DbRecord out;
+        ASSERT_TRUE(db.fetchRecord("T", 1, &out));
+        EXPECT_EQ(out.values[1].i, 10);
+        DbRecord rec;
+        rec.values = {DbValue::ofI64(2), DbValue::ofI64(20)};
+        db.persistRecord("T", rec);
+        db.unbindDetached(sid);
+    });
+    b.join();
+
+    // A session bound nowhere commits from any thread — C never
+    // executed a statement of it.
+    std::thread c([&]() {
+        EXPECT_TRUE(db.commitDetached(sid).isOk());
+    });
+    c.join();
+
+    EXPECT_EQ(db.detachedCount(), 0u);
+    EXPECT_EQ(db.busyWalShards(), 0u);
+    DbRecord out;
+    ASSERT_TRUE(db.fetchRecord("T", 1, &out));
+    EXPECT_EQ(out.values[1].i, 10);
+    ASSERT_TRUE(db.fetchRecord("T", 2, &out));
+    EXPECT_EQ(out.values[1].i, 20);
+
+    // Both writes rode one transaction: atomic across the transfer.
+    db.crash(CrashMode::kDiscardUnflushed);
+    EXPECT_EQ(db.rowCount("T"), 2u);
+
+    // A double bind from a second thread while bound elsewhere is
+    // refused, not fatal.
+    std::uint64_t sid2 = 0;
+    ASSERT_TRUE(db.beginDetached({}, &sid2).isOk());
+    ASSERT_TRUE(db.bindDetached(sid2));
+    std::thread d([&]() { EXPECT_FALSE(db.bindDetached(sid2)); });
+    d.join();
+    db.unbindDetached(sid2);
+    EXPECT_TRUE(db.rollbackDetached(sid2).isOk());
+    EXPECT_EQ(db.busyWalShards(), 0u);
+}
+
 TEST_F(DatabaseTest, TableCapacityIsEnforced)
 {
     DatabaseConfig tiny;
@@ -846,6 +1000,26 @@ TEST_F(TxnApiTest, DestructorAndMoveSemantics)
     EXPECT_TRUE(b.active());
     EXPECT_TRUE(b.commit().isOk());
     EXPECT_EQ(get(3), 4);
+}
+
+TEST_F(TxnApiTest, ForeignThreadCommitIsMisuse)
+{
+    // A Txn handle is pinned to the thread that minted it; finishing
+    // it from a worker that merely holds a reference is a protocol
+    // error reported as a status, never silently committed.
+    Txn t = db_->beginTxn();
+    put(4, 44);
+    Status foreign = Status::ok();
+    std::thread other([&]() { foreign = t.commit(); });
+    other.join();
+    EXPECT_EQ(foreign.code(), StatusCode::kMisuse);
+
+    // The refused commit consumed the handle but not the
+    // transaction — it is still open on this thread and rolls back
+    // normally, so the staged write never lands.
+    EXPECT_TRUE(db_->inTransaction());
+    db_->rollback();
+    EXPECT_EQ(get(4), 0);
 }
 
 TEST_F(TxnApiTest, CommitReportsWalFullAsStatus)
